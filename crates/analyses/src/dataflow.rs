@@ -1,0 +1,279 @@
+//! The combined points-to + parity dataflow analysis with the
+//! division-by-zero client — Figure 2 of the paper, through the Rust API.
+//!
+//! This is the paper's motivating example of what Datalog *cannot* express
+//! and FLIX can: the `IntVar` and `IntField` predicates carry parity
+//! lattice elements, the `sum` transfer function computes abstract
+//! addition in a rule head, and the `isMaybeZero` monotone filter selects
+//! possibly-zero denominators. (The same program written in the FLIX
+//! surface language is exercised by the `surface_language` integration
+//! test.)
+
+use crate::points_to::PointsToInput;
+use flix_core::{
+    BodyItem, Head, HeadTerm, LatticeOps, Program, ProgramBuilder, Solver, Term, Value,
+    ValueLattice,
+};
+use flix_lattice::Parity;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Input facts: the points-to facts of Figure 1 plus the integer dataflow
+/// facts of Figure 2.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DataflowInput {
+    /// The pointer part.
+    pub points_to: PointsToInput,
+    /// `Int(var, n)` — `var = n`, seeding the parity of `var`.
+    pub int_const: Vec<(String, i64)>,
+    /// `AddExp(res, v1, v2)` — `res = v1 + v2`.
+    pub add_exp: Vec<(String, String, String)>,
+    /// `DivExp(res, v1, v2)` — `res = v1 / v2`.
+    pub div_exp: Vec<(String, String, String)>,
+}
+
+/// The analysis result.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DataflowResult {
+    /// The parity of each integer variable.
+    pub int_var: BTreeMap<String, Parity>,
+    /// The parity of each heap field, keyed by `(object, field)`.
+    pub int_field: BTreeMap<(String, String), Parity>,
+    /// Result variables of divisions whose denominator may be zero.
+    pub arithmetic_errors: BTreeSet<String>,
+}
+
+/// Builds the Figure 2 program over the input facts.
+pub fn build_program(input: &DataflowInput) -> Program {
+    let mut b = ProgramBuilder::new();
+
+    // Pointer relations (shared shape with Figure 1).
+    let new = b.relation("New", 2);
+    let assign = b.relation("Assign", 2);
+    let load = b.relation("Load", 3);
+    let store = b.relation("Store", 3);
+    let vpt = b.relation("VarPointsTo", 2);
+    let hpt = b.relation("HeapPointsTo", 3);
+    // Integer relations and lattices.
+    let int_fact = b.relation("Int", 2);
+    let add_exp = b.relation("AddExp", 3);
+    let div_exp = b.relation("DivExp", 3);
+    let arith_err = b.relation("ArithmeticError", 1);
+    let int_var = b.lattice("IntVar", 2, LatticeOps::of::<Parity>());
+    let int_field = b.lattice("IntField", 3, LatticeOps::of::<Parity>());
+
+    let sum = b.function("sum", |args| {
+        Parity::expect_from(&args[0])
+            .sum(&Parity::expect_from(&args[1]))
+            .to_value()
+    });
+    let is_maybe_zero = b.function("isMaybeZero", |args| {
+        Value::Bool(Parity::expect_from(&args[0]).is_maybe_zero())
+    });
+
+    // Facts.
+    let s = Value::str;
+    for (x, y) in &input.points_to.new {
+        b.fact(new, vec![s(x.as_str()), s(y.as_str())]);
+    }
+    for (x, y) in &input.points_to.assign {
+        b.fact(assign, vec![s(x.as_str()), s(y.as_str())]);
+    }
+    for (x, y, z) in &input.points_to.load {
+        b.fact(load, vec![s(x.as_str()), s(y.as_str()), s(z.as_str())]);
+    }
+    for (x, y, z) in &input.points_to.store {
+        b.fact(store, vec![s(x.as_str()), s(y.as_str()), s(z.as_str())]);
+    }
+    for (x, n) in &input.int_const {
+        b.fact(int_fact, vec![s(x.as_str()), Value::Int(*n)]);
+    }
+    for (r, x, y) in &input.add_exp {
+        b.fact(add_exp, vec![s(r.as_str()), s(x.as_str()), s(y.as_str())]);
+    }
+    for (r, x, y) in &input.div_exp {
+        b.fact(div_exp, vec![s(r.as_str()), s(x.as_str()), s(y.as_str())]);
+    }
+
+    let v = Term::var;
+
+    // The four points-to rules of Figure 1.
+    b.rule(
+        Head::new(vpt, [HeadTerm::var("v1"), HeadTerm::var("h1")]),
+        [BodyItem::atom(new, [v("v1"), v("h1")])],
+    );
+    b.rule(
+        Head::new(vpt, [HeadTerm::var("v1"), HeadTerm::var("h2")]),
+        [
+            BodyItem::atom(assign, [v("v1"), v("v2")]),
+            BodyItem::atom(vpt, [v("v2"), v("h2")]),
+        ],
+    );
+    b.rule(
+        Head::new(vpt, [HeadTerm::var("v1"), HeadTerm::var("h2")]),
+        [
+            BodyItem::atom(load, [v("v1"), v("v2"), v("f")]),
+            BodyItem::atom(vpt, [v("v2"), v("h1")]),
+            BodyItem::atom(hpt, [v("h1"), v("f"), v("h2")]),
+        ],
+    );
+    b.rule(
+        Head::new(
+            hpt,
+            [HeadTerm::var("h1"), HeadTerm::var("f"), HeadTerm::var("h2")],
+        ),
+        [
+            BodyItem::atom(store, [v("v1"), v("f"), v("v2")]),
+            BodyItem::atom(vpt, [v("v1"), v("h1")]),
+            BodyItem::atom(vpt, [v("v2"), v("h2")]),
+        ],
+    );
+
+    // IntVar(v, alpha(n)) :- Int(v, n) — seeding, via a parity-abstraction
+    // transfer function (lines 49 of Figure 2, with abstraction inlined).
+    let alpha = b.function("alpha", |args| {
+        Parity::alpha(args[0].as_int().expect("constant")).to_value()
+    });
+    b.rule(
+        Head::new(
+            int_var,
+            [HeadTerm::var("v"), HeadTerm::app(alpha, [v("n")])],
+        ),
+        [BodyItem::atom(int_fact, [v("v"), v("n")])],
+    );
+    // IntVar(v, i) :- Assign(v, v2), IntVar(v2, i).
+    b.rule(
+        Head::new(int_var, [HeadTerm::var("v"), HeadTerm::var("i")]),
+        [
+            BodyItem::atom(assign, [v("v"), v("v2")]),
+            BodyItem::atom(int_var, [v("v2"), v("i")]),
+        ],
+    );
+    // IntVar(v, i) :- Load(v, v2, f), VarPointsTo(v2, h), IntField(h, f, i).
+    b.rule(
+        Head::new(int_var, [HeadTerm::var("v"), HeadTerm::var("i")]),
+        [
+            BodyItem::atom(load, [v("v"), v("v2"), v("f")]),
+            BodyItem::atom(vpt, [v("v2"), v("h")]),
+            BodyItem::atom(int_field, [v("h"), v("f"), v("i")]),
+        ],
+    );
+    // IntField(h, f, i) :- Store(v1, f, v2), VarPointsTo(v1, h), IntVar(v2, i).
+    b.rule(
+        Head::new(
+            int_field,
+            [HeadTerm::var("h"), HeadTerm::var("f"), HeadTerm::var("i")],
+        ),
+        [
+            BodyItem::atom(store, [v("v1"), v("f"), v("v2")]),
+            BodyItem::atom(vpt, [v("v1"), v("h")]),
+            BodyItem::atom(int_var, [v("v2"), v("i")]),
+        ],
+    );
+    // IntVar(r, sum(i1, i2)) :- AddExp(r, v1, v2), IntVar(v1, i1), IntVar(v2, i2).
+    b.rule(
+        Head::new(
+            int_var,
+            [HeadTerm::var("r"), HeadTerm::app(sum, [v("i1"), v("i2")])],
+        ),
+        [
+            BodyItem::atom(add_exp, [v("r"), v("v1"), v("v2")]),
+            BodyItem::atom(int_var, [v("v1"), v("i1")]),
+            BodyItem::atom(int_var, [v("v2"), v("i2")]),
+        ],
+    );
+    // ArithmeticError(r) :- DivExp(r, v1, v2), IntVar(v2, i2), isMaybeZero(i2).
+    b.rule(
+        Head::new(arith_err, [HeadTerm::var("r")]),
+        [
+            BodyItem::atom(div_exp, [v("r"), v("v1"), v("v2")]),
+            BodyItem::atom(int_var, [v("v2"), v("i2")]),
+            BodyItem::filter(is_maybe_zero, [v("i2")]),
+        ],
+    );
+
+    b.build().expect("Figure 2 is well-formed")
+}
+
+/// Runs the analysis with the given solver.
+pub fn analyze_with(input: &DataflowInput, solver: &Solver) -> DataflowResult {
+    let solution = solver
+        .solve(&build_program(input))
+        .expect("Figure 2 is stratifiable");
+    let mut result = DataflowResult::default();
+    for (key, value) in solution.lattice("IntVar").expect("declared") {
+        result.int_var.insert(
+            key[0].as_str().expect("var").to_string(),
+            Parity::expect_from(value),
+        );
+    }
+    for (key, value) in solution.lattice("IntField").expect("declared") {
+        result.int_field.insert(
+            (
+                key[0].as_str().expect("obj").to_string(),
+                key[1].as_str().expect("field").to_string(),
+            ),
+            Parity::expect_from(value),
+        );
+    }
+    for row in solution.relation("ArithmeticError").expect("declared") {
+        result
+            .arithmetic_errors
+            .insert(row[0].as_str().expect("var").to_string());
+    }
+    result
+}
+
+/// Runs the analysis with the default solver.
+pub fn analyze(input: &DataflowInput) -> DataflowResult {
+    analyze_with(input, &Solver::new())
+}
+
+/// A worked example exercising every rule: an odd constant is stored into
+/// a heap field, loaded back, added to itself (odd + odd = even, so maybe
+/// zero), and used as a denominator.
+pub fn example_input() -> DataflowInput {
+    DataflowInput {
+        points_to: PointsToInput {
+            new: vec![("o".into(), "H".into())],
+            assign: vec![],
+            store: vec![("o".into(), "f".into(), "a".into())],
+            load: vec![("b".into(), "o".into(), "f".into())],
+        },
+        int_const: vec![("a".into(), 3), ("x".into(), 10)],
+        add_exp: vec![("c".into(), "b".into(), "b".into())],
+        div_exp: vec![
+            ("d".into(), "x".into(), "c".into()), // x / even — flagged
+            ("e".into(), "x".into(), "b".into()), // x / odd — safe
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_example() {
+        let result = analyze(&example_input());
+        assert_eq!(result.int_var["a"], Parity::Odd);
+        assert_eq!(result.int_field[&("H".into(), "f".into())], Parity::Odd);
+        assert_eq!(result.int_var["b"], Parity::Odd);
+        assert_eq!(result.int_var["c"], Parity::Even, "odd + odd");
+        assert!(result.arithmetic_errors.contains("d"));
+        assert!(!result.arithmetic_errors.contains("e"));
+    }
+
+    #[test]
+    fn joining_parities_through_assignments() {
+        let input = DataflowInput {
+            int_const: vec![("a".into(), 2), ("b".into(), 3)],
+            points_to: PointsToInput {
+                assign: vec![("c".into(), "a".into()), ("c".into(), "b".into())],
+                ..PointsToInput::default()
+            },
+            ..DataflowInput::default()
+        };
+        let result = analyze(&input);
+        assert_eq!(result.int_var["c"], Parity::Top, "Even ⊔ Odd");
+    }
+}

@@ -1,0 +1,311 @@
+//! The declarative IDE solver — Figure 6 of the paper.
+//!
+//! The rules mirror the IFDS rules of Figure 5 with `PathEdge` and
+//! `SummaryEdge` renamed to `JumpFn` and `SummaryFn` and one extra column
+//! holding the micro-function, composed with `comp` (Figure 7). One
+//! mechanical deviation: the engine allows a single function application
+//! in the head, so Figure 6's nested `comp(comp(cs, se), er)` is
+//! registered as the flattened helper `comp3`.
+
+use super::{IdeProblem, IdeResult};
+use crate::ifds::{Fact, Supergraph};
+use flix_core::{
+    BodyItem, Head, HeadTerm, LatticeOps, Program, ProgramBuilder, Solver, Term, Value,
+    ValueLattice,
+};
+use flix_lattice::{Constant, Transformer};
+use std::sync::Arc;
+
+fn tset(items: Vec<(Fact, Transformer)>) -> Value {
+    Value::set(
+        items
+            .into_iter()
+            .map(|(d, t)| Value::tuple([Value::Int(d), t.to_value()])),
+    )
+}
+
+/// Builds the Figure 6 program for a supergraph and problem.
+pub fn build_program(graph: &Supergraph, problem: Arc<dyn IdeProblem>) -> Program {
+    let mut b = ProgramBuilder::new();
+
+    let cfg = b.relation("CFG", 2);
+    let call_graph = b.relation("CallGraph", 2);
+    let start_node = b.relation("StartNode", 2);
+    let end_node = b.relation("EndNode", 2);
+    let in_proc = b.relation("InProc", 2);
+    let jump_fn = b.lattice("JumpFn", 4, LatticeOps::of::<Transformer>());
+    let summary_fn = b.lattice("SummaryFn", 4, LatticeOps::of::<Transformer>());
+    let esh_call_start = b.lattice("EshCallStart", 5, LatticeOps::of::<Transformer>());
+    let result = b.lattice("Result", 3, LatticeOps::of::<Constant>());
+    let result_proc = b.lattice("ResultProc", 3, LatticeOps::of::<Constant>());
+
+    let p1 = Arc::clone(&problem);
+    let esh_intra = b.function("eshIntra", move |args| {
+        let n = args[0].as_int().expect("node") as u32;
+        let d = args[1].as_int().expect("fact");
+        tset(p1.flow(n, d))
+    });
+    let p2 = Arc::clone(&problem);
+    let esh_call_start_fn = b.function("eshCallStart", move |args| {
+        let call = args[0].as_int().expect("node") as u32;
+        let d = args[1].as_int().expect("fact");
+        let target = args[2].as_int().expect("proc") as u32;
+        tset(p2.call_flow(call, d, target))
+    });
+    let p3 = Arc::clone(&problem);
+    let esh_end_return = b.function("eshEndReturn", move |args| {
+        let target = args[0].as_int().expect("proc") as u32;
+        let d = args[1].as_int().expect("fact");
+        let call = args[2].as_int().expect("node") as u32;
+        tset(p3.return_flow(target, d, call))
+    });
+
+    // comp(t1, t2): apply t1 first, then t2 — the operation of Figure 7.
+    let comp = b.function("comp", |args| {
+        let first = Transformer::expect_from(&args[0]);
+        let second = Transformer::expect_from(&args[1]);
+        Transformer::comp(&first, &second).to_value()
+    });
+    // comp3(cs, se, er) = comp(comp(cs, se), er), flattening the nested
+    // head application of Figure 6's SummaryFn rule.
+    let comp3 = b.function("comp3", |args| {
+        let cs = Transformer::expect_from(&args[0]);
+        let se = Transformer::expect_from(&args[1]);
+        let er = Transformer::expect_from(&args[2]);
+        Transformer::comp(&Transformer::comp(&cs, &se), &er).to_value()
+    });
+    let identity = b.function("identity", |_| Transformer::identity().to_value());
+    // apply(fn, v): evaluate a micro-function on a value-lattice element.
+    let apply = b.function("apply", |args| {
+        let f = Transformer::expect_from(&args[0]);
+        let v = Constant::expect_from(&args[1]);
+        f.apply(&v).to_value()
+    });
+
+    // Supergraph facts.
+    for &(n, m) in &graph.cfg {
+        b.fact(cfg, vec![(n as i64).into(), (m as i64).into()]);
+    }
+    for call in &graph.calls {
+        b.fact(
+            call_graph,
+            vec![(call.call as i64).into(), (call.target as i64).into()],
+        );
+    }
+    for (proc, info) in graph.procs.iter().enumerate() {
+        b.fact(
+            start_node,
+            vec![(proc as i64).into(), (info.start as i64).into()],
+        );
+        b.fact(
+            end_node,
+            vec![(proc as i64).into(), (info.end as i64).into()],
+        );
+    }
+    // Seeds.
+    for (n, d) in problem.seeds() {
+        b.fact(
+            jump_fn,
+            vec![
+                d.into(),
+                (n as i64).into(),
+                d.into(),
+                Transformer::identity().to_value(),
+            ],
+        );
+        let proc = graph.proc_of[n as usize];
+        b.fact(
+            result_proc,
+            vec![
+                (proc as i64).into(),
+                d.into(),
+                problem.entry_value().to_value(),
+            ],
+        );
+    }
+
+    let v = Term::var;
+
+    // JumpFn(d1, m, d3, comp(long, short)) :-
+    //     CFG(n, m), JumpFn(d1, n, d2, long), (d3, short) <- eshIntra(n, d2).
+    b.rule(
+        Head::new(
+            jump_fn,
+            [
+                HeadTerm::var("d1"),
+                HeadTerm::var("m"),
+                HeadTerm::var("d3"),
+                HeadTerm::app(comp, [v("long"), v("short")]),
+            ],
+        ),
+        [
+            BodyItem::atom(cfg, [v("n"), v("m")]),
+            BodyItem::atom(jump_fn, [v("d1"), v("n"), v("d2"), v("long")]),
+            BodyItem::choose_tuple(esh_intra, [v("n"), v("d2")], ["d3", "short"]),
+        ],
+    );
+    // JumpFn(d1, m, d3, comp(caller, summary)) :-
+    //     CFG(n, m), JumpFn(d1, n, d2, caller), SummaryFn(n, d2, d3, summary).
+    b.rule(
+        Head::new(
+            jump_fn,
+            [
+                HeadTerm::var("d1"),
+                HeadTerm::var("m"),
+                HeadTerm::var("d3"),
+                HeadTerm::app(comp, [v("caller"), v("summary")]),
+            ],
+        ),
+        [
+            BodyItem::atom(cfg, [v("n"), v("m")]),
+            BodyItem::atom(jump_fn, [v("d1"), v("n"), v("d2"), v("caller")]),
+            BodyItem::atom(summary_fn, [v("n"), v("d2"), v("d3"), v("summary")]),
+        ],
+    );
+    // JumpFn(d3, start, d3, identity()) :-
+    //     JumpFn(d1, call, d2, _), CallGraph(call, target),
+    //     EshCallStart(call, d2, target, d3, _), StartNode(target, start).
+    b.rule(
+        Head::new(
+            jump_fn,
+            [
+                HeadTerm::var("d3"),
+                HeadTerm::var("start"),
+                HeadTerm::var("d3"),
+                HeadTerm::app(identity, []),
+            ],
+        ),
+        [
+            BodyItem::atom(jump_fn, [v("d1"), v("call"), v("d2"), Term::Wildcard]),
+            BodyItem::atom(call_graph, [v("call"), v("target")]),
+            BodyItem::atom(
+                esh_call_start,
+                [v("call"), v("d2"), v("target"), v("d3"), Term::Wildcard],
+            ),
+            BodyItem::atom(start_node, [v("target"), v("start")]),
+        ],
+    );
+    // SummaryFn(call, d4, d5, comp(comp(cs, se), er)) :-
+    //     CallGraph(call, target), StartNode(target, start),
+    //     EndNode(target, end), EshCallStart(call, d4, target, d1, cs),
+    //     JumpFn(d1, end, d2, se), (d5, er) <- eshEndReturn(target, d2, call).
+    b.rule(
+        Head::new(
+            summary_fn,
+            [
+                HeadTerm::var("call"),
+                HeadTerm::var("d4"),
+                HeadTerm::var("d5"),
+                HeadTerm::app(comp3, [v("cs"), v("se"), v("er")]),
+            ],
+        ),
+        [
+            BodyItem::atom(call_graph, [v("call"), v("target")]),
+            BodyItem::atom(start_node, [v("target"), v("start")]),
+            BodyItem::atom(end_node, [v("target"), v("end")]),
+            BodyItem::atom(
+                esh_call_start,
+                [v("call"), v("d4"), v("target"), v("d1"), v("cs")],
+            ),
+            BodyItem::atom(jump_fn, [v("d1"), v("end"), v("d2"), v("se")]),
+            BodyItem::choose_tuple(
+                esh_end_return,
+                [v("target"), v("d2"), v("call")],
+                ["d5", "er"],
+            ),
+        ],
+    );
+    // EshCallStart(call, d, target, d2, cs) :-
+    //     JumpFn(_, call, d, _), CallGraph(call, target),
+    //     (d2, cs) <- eshCallStart(call, d, target).
+    b.rule(
+        Head::new(
+            esh_call_start,
+            [
+                HeadTerm::var("call"),
+                HeadTerm::var("d"),
+                HeadTerm::var("target"),
+                HeadTerm::var("d2"),
+                HeadTerm::var("cs"),
+            ],
+        ),
+        [
+            BodyItem::atom(jump_fn, [Term::Wildcard, v("call"), v("d"), Term::Wildcard]),
+            BodyItem::atom(call_graph, [v("call"), v("target")]),
+            BodyItem::choose_tuple(
+                esh_call_start_fn,
+                [v("call"), v("d"), v("target")],
+                ["d2", "cs"],
+            ),
+        ],
+    );
+    // InProc(p, start) :- StartNode(p, start).
+    // InProc(p, m) :- InProc(p, n), CFG(n, m).
+    b.rule(
+        Head::new(in_proc, [HeadTerm::var("p"), HeadTerm::var("start")]),
+        [BodyItem::atom(start_node, [v("p"), v("start")])],
+    );
+    b.rule(
+        Head::new(in_proc, [HeadTerm::var("p"), HeadTerm::var("m")]),
+        [
+            BodyItem::atom(in_proc, [v("p"), v("n")]),
+            BodyItem::atom(cfg, [v("n"), v("m")]),
+        ],
+    );
+    // Result(n, d, apply(fn, vp)) :-
+    //     ResultProc(proc, dp, vp), InProc(proc, n), JumpFn(dp, n, d, fn).
+    b.rule(
+        Head::new(
+            result,
+            [
+                HeadTerm::var("n"),
+                HeadTerm::var("d"),
+                HeadTerm::app(apply, [v("fn"), v("vp")]),
+            ],
+        ),
+        [
+            BodyItem::atom(result_proc, [v("proc"), v("dp"), v("vp")]),
+            BodyItem::atom(in_proc, [v("proc"), v("n")]),
+            BodyItem::atom(jump_fn, [v("dp"), v("n"), v("d"), v("fn")]),
+        ],
+    );
+    // ResultProc(proc, dp, apply(cs, v)) :-
+    //     Result(call, d, v), EshCallStart(call, d, proc, dp, cs).
+    b.rule(
+        Head::new(
+            result_proc,
+            [
+                HeadTerm::var("proc"),
+                HeadTerm::var("dp"),
+                HeadTerm::app(apply, [v("cs"), v("vv")]),
+            ],
+        ),
+        [
+            BodyItem::atom(result, [v("call"), v("d"), v("vv")]),
+            BodyItem::atom(
+                esh_call_start,
+                [v("call"), v("d"), v("proc"), v("dp"), v("cs")],
+            ),
+        ],
+    );
+
+    b.build().expect("the Figure 6 rule set is well-formed")
+}
+
+/// Solves the problem with the given solver configuration.
+pub fn solve_with(graph: &Supergraph, problem: Arc<dyn IdeProblem>, solver: &Solver) -> IdeResult {
+    let program = build_program(graph, problem);
+    let solution = solver.solve(&program).expect("Figure 6 is stratifiable");
+    let mut result = IdeResult::default();
+    for (key, value) in solution.lattice("Result").expect("declared") {
+        let n = key[0].as_int().expect("node") as u32;
+        let d = key[1].as_int().expect("fact");
+        result.values.insert((n, d), Constant::expect_from(value));
+    }
+    result
+}
+
+/// Solves the problem with the default solver.
+pub fn solve(graph: &Supergraph, problem: Arc<dyn IdeProblem>) -> IdeResult {
+    solve_with(graph, problem, &Solver::new())
+}

@@ -1,0 +1,319 @@
+//! The hand-coded imperative IDE solver.
+//!
+//! The original IDE presentation "as an imperative algorithm requires two
+//! pages" (§4.3); this is its standard two-phase structure: phase 1
+//! tabulates jump functions (the IFDS tabulation carrying micro-function
+//! compositions), phase 2 propagates value-lattice elements through the
+//! tabulated jump functions.
+
+use super::{IdeProblem, IdeResult};
+use crate::ifds::{Fact, Node, ProcId, Supergraph};
+use flix_lattice::{Constant, Lattice, Transformer};
+use std::collections::HashMap;
+
+/// Solves an IDE problem imperatively.
+pub fn solve(graph: &Supergraph, problem: &dyn IdeProblem) -> IdeResult {
+    let phase1 = JumpFunctions::tabulate(graph, problem);
+    phase2(graph, problem, &phase1)
+}
+
+/// Phase-1 output: jump functions, call-edge functions, and summaries.
+struct JumpFunctions {
+    /// `jump[(d1, n, d2)]` = composed micro-function along same-level
+    /// paths from the proc entry fact `d1` to `(n, d2)`.
+    jump: HashMap<(Fact, Node, Fact), Transformer>,
+    /// `esh[(call, d, target, d2)]` = call-edge micro-function.
+    esh: HashMap<(Node, Fact, ProcId, Fact), Transformer>,
+}
+
+impl JumpFunctions {
+    fn tabulate(graph: &Supergraph, problem: &dyn IdeProblem) -> JumpFunctions {
+        let succ = graph.successors();
+        let call_at: HashMap<Node, ProcId> =
+            graph.calls.iter().map(|c| (c.call, c.target)).collect();
+        let end_of: HashMap<Node, ProcId> = graph
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(p, info)| (info.end, p as ProcId))
+            .collect();
+
+        let mut jump: HashMap<(Fact, Node, Fact), Transformer> = HashMap::new();
+        let mut esh: HashMap<(Node, Fact, ProcId, Fact), Transformer> = HashMap::new();
+        // incoming[(target, d3)] = callers (call, d2).
+        let mut incoming: HashMap<(ProcId, Fact), Vec<(Node, Fact)>> = HashMap::new();
+        // summaries[(call, d4)] = (d5 -> transformer).
+        let mut summaries: HashMap<(Node, Fact), HashMap<Fact, Transformer>> = HashMap::new();
+        // Edges grouped for re-firing.
+        let mut edges_at: HashMap<Node, Vec<(Fact, Fact)>> = HashMap::new();
+
+        let mut worklist: Vec<(Fact, Node, Fact)> = Vec::new();
+        let propagate = |jump: &mut HashMap<(Fact, Node, Fact), Transformer>,
+                         edges_at: &mut HashMap<Node, Vec<(Fact, Fact)>>,
+                         worklist: &mut Vec<(Fact, Node, Fact)>,
+                         d1: Fact,
+                         n: Node,
+                         d2: Fact,
+                         t: Transformer| {
+            if t == Transformer::Bot {
+                return;
+            }
+            let entry = jump.entry((d1, n, d2)).or_insert(Transformer::Bot);
+            let joined = entry.lub(&t);
+            if joined != *entry {
+                *entry = joined;
+                if !edges_at.entry(n).or_default().contains(&(d1, d2)) {
+                    edges_at.entry(n).or_default().push((d1, d2));
+                }
+                worklist.push((d1, n, d2));
+            }
+        };
+
+        for (n, d) in problem.seeds() {
+            propagate(
+                &mut jump,
+                &mut edges_at,
+                &mut worklist,
+                d,
+                n,
+                d,
+                Transformer::identity(),
+            );
+        }
+
+        while let Some((d1, n, d2)) = worklist.pop() {
+            let t = jump[&(d1, n, d2)];
+            // Call handling.
+            if let Some(&target) = call_at.get(&n) {
+                let start = graph.procs[target as usize].start;
+                let end = graph.procs[target as usize].end;
+                for (d3, cs) in problem.call_flow(n, d2, target) {
+                    propagate(
+                        &mut jump,
+                        &mut edges_at,
+                        &mut worklist,
+                        d3,
+                        start,
+                        d3,
+                        Transformer::identity(),
+                    );
+                    let entry = esh.entry((n, d2, target, d3)).or_insert(Transformer::Bot);
+                    let joined = entry.lub(&cs);
+                    let grew = joined != *entry;
+                    *entry = joined;
+                    let cs_now = *entry;
+                    if !incoming.entry((target, d3)).or_default().contains(&(n, d2)) {
+                        incoming.entry((target, d3)).or_default().push((n, d2));
+                    }
+                    if grew {
+                        // Re-derive summaries against existing end edges.
+                        let end_edges: Vec<(Fact, Transformer)> = edges_at
+                            .get(&end)
+                            .map(|pairs| {
+                                pairs
+                                    .iter()
+                                    .filter(|&&(entry_fact, _)| entry_fact == d3)
+                                    .map(|&(_, d_end)| (d_end, jump[&(d3, end, d_end)]))
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        for (d_end, se) in end_edges {
+                            install_summary(
+                                graph,
+                                problem,
+                                &mut jump,
+                                &mut edges_at,
+                                &mut worklist,
+                                &mut summaries,
+                                &succ,
+                                target,
+                                n,
+                                d2,
+                                cs_now,
+                                se,
+                                d_end,
+                            );
+                        }
+                    }
+                }
+            }
+            // Exit handling.
+            if let Some(&proc) = end_of.get(&n) {
+                let callers: Vec<(Node, Fact)> =
+                    incoming.get(&(proc, d1)).cloned().unwrap_or_default();
+                for (call, d4) in callers {
+                    let cs = esh[&(call, d4, proc, d1)];
+                    install_summary(
+                        graph,
+                        problem,
+                        &mut jump,
+                        &mut edges_at,
+                        &mut worklist,
+                        &mut summaries,
+                        &succ,
+                        proc,
+                        call,
+                        d4,
+                        cs,
+                        t,
+                        d2,
+                    );
+                }
+            }
+            // Intraprocedural propagation (incl. call-to-return).
+            let succs = &succ[n as usize];
+            if !succs.is_empty() {
+                for (d3, short) in problem.flow(n, d2) {
+                    let composed = Transformer::comp(&t, &short);
+                    for &m in succs {
+                        propagate(&mut jump, &mut edges_at, &mut worklist, d1, m, d3, composed);
+                    }
+                }
+                if let Some(summary_map) = summaries.get(&(n, d2)).cloned() {
+                    for (d5, s) in summary_map {
+                        let composed = Transformer::comp(&t, &s);
+                        for &m in succs {
+                            propagate(&mut jump, &mut edges_at, &mut worklist, d1, m, d5, composed);
+                        }
+                    }
+                }
+            }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn install_summary(
+            _graph: &Supergraph,
+            problem: &dyn IdeProblem,
+            jump: &mut HashMap<(Fact, Node, Fact), Transformer>,
+            edges_at: &mut HashMap<Node, Vec<(Fact, Fact)>>,
+            worklist: &mut Vec<(Fact, Node, Fact)>,
+            summaries: &mut HashMap<(Node, Fact), HashMap<Fact, Transformer>>,
+            succ: &[Vec<Node>],
+            proc: ProcId,
+            call: Node,
+            d4: Fact,
+            cs: Transformer,
+            se: Transformer,
+            d_end: Fact,
+        ) {
+            for (d5, er) in problem.return_flow(proc, d_end, call) {
+                let summary = Transformer::comp(&Transformer::comp(&cs, &se), &er);
+                let entry = summaries
+                    .entry((call, d4))
+                    .or_default()
+                    .entry(d5)
+                    .or_insert(Transformer::Bot);
+                let joined = entry.lub(&summary);
+                if joined == *entry {
+                    continue;
+                }
+                *entry = joined;
+                let s_now = *entry;
+                // Re-fire rule 2: existing jump edges into (call, d4).
+                let d1s: Vec<(Fact, Transformer)> = edges_at
+                    .get(&call)
+                    .map(|pairs| {
+                        pairs
+                            .iter()
+                            .filter(|&&(_, dd)| dd == d4)
+                            .map(|&(d1, _)| (d1, jump[&(d1, call, d4)]))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for (d1, caller_t) in d1s {
+                    let composed = Transformer::comp(&caller_t, &s_now);
+                    for &m in &succ[call as usize] {
+                        if t_propagate(jump, edges_at, d1, m, d5, composed) {
+                            worklist.push((d1, m, d5));
+                        }
+                    }
+                }
+            }
+        }
+
+        fn t_propagate(
+            jump: &mut HashMap<(Fact, Node, Fact), Transformer>,
+            edges_at: &mut HashMap<Node, Vec<(Fact, Fact)>>,
+            d1: Fact,
+            n: Node,
+            d2: Fact,
+            t: Transformer,
+        ) -> bool {
+            if t == Transformer::Bot {
+                return false;
+            }
+            let entry = jump.entry((d1, n, d2)).or_insert(Transformer::Bot);
+            let joined = entry.lub(&t);
+            if joined != *entry {
+                *entry = joined;
+                let list = edges_at.entry(n).or_default();
+                if !list.contains(&(d1, d2)) {
+                    list.push((d1, d2));
+                }
+                return true;
+            }
+            false
+        }
+
+        JumpFunctions { jump, esh }
+    }
+}
+
+/// Phase 2: propagate value-lattice elements through the tabulated jump
+/// functions — the imperative mirror of Figure 6's `Result`/`ResultProc`
+/// rules, iterated to a fixed point.
+fn phase2(graph: &Supergraph, problem: &dyn IdeProblem, jf: &JumpFunctions) -> IdeResult {
+    let mut result_proc: HashMap<(ProcId, Fact), Constant> = HashMap::new();
+    for (n, d) in problem.seeds() {
+        let proc = graph.proc_of[n as usize];
+        let entry = result_proc
+            .entry((proc, d))
+            .or_insert(flix_lattice::Flat::Bot);
+        *entry = entry.lub(&problem.entry_value());
+    }
+
+    let mut result: HashMap<(Node, Fact), Constant> = HashMap::new();
+    loop {
+        let mut changed = false;
+        // Result(n, d) ⊔= fn.apply(ResultProc(proc_of(n), dp)).
+        for (&(dp, n, d), f) in &jf.jump {
+            let proc = graph.proc_of[n as usize];
+            if let Some(vp) = result_proc.get(&(proc, dp)) {
+                let value = f.apply(vp);
+                if value.is_bottom() {
+                    continue;
+                }
+                let entry = result.entry((n, d)).or_insert(flix_lattice::Flat::Bot);
+                let joined = entry.lub(&value);
+                if joined != *entry {
+                    *entry = joined;
+                    changed = true;
+                }
+            }
+        }
+        // ResultProc(target, dp) ⊔= cs.apply(Result(call, d)).
+        for (&(call, d, target, dp), cs) in &jf.esh {
+            if let Some(v) = result.get(&(call, d)) {
+                let value = cs.apply(v);
+                if value.is_bottom() {
+                    continue;
+                }
+                let entry = result_proc
+                    .entry((target, dp))
+                    .or_insert(flix_lattice::Flat::Bot);
+                let joined = entry.lub(&value);
+                if joined != *entry {
+                    *entry = joined;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    IdeResult {
+        values: result.into_iter().filter(|(_, v)| !v.is_bottom()).collect(),
+    }
+}

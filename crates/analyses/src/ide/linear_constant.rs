@@ -1,0 +1,217 @@
+//! Linear constant propagation — the running IDE example of §4.3 and
+//! Figure 7 of the paper.
+//!
+//! The value lattice `V` is constant propagation
+//! ([`flix_lattice::Constant`]); the micro-function lattice `F` holds
+//! `λl.⊥` and `λl.(a·l + b) ⊔ c` ([`flix_lattice::Transformer`]). Edge
+//! functions: a constant assignment loads `λl.k`, a copy is the identity,
+//! a linear statement `dst = a*src + b` is `λl.a·l + b`, and an
+//! environment read is `λl.⊤`.
+
+use super::IdeProblem;
+use crate::ifds::{Fact, Node, ProcId, ZERO};
+use crate::workloads::jvm_program::{ProgramModel, Stmt, VarId};
+use flix_lattice::Transformer;
+use std::sync::Arc;
+
+fn fact_of(v: VarId) -> Fact {
+    v as Fact + 1
+}
+
+fn var_of(d: Fact) -> Option<VarId> {
+    if d == ZERO {
+        None
+    } else {
+        Some((d - 1) as VarId)
+    }
+}
+
+/// The linear constant propagation IDE problem over a [`ProgramModel`].
+pub struct LinearConstant {
+    model: Arc<ProgramModel>,
+}
+
+impl LinearConstant {
+    /// Creates the problem over a program model.
+    pub fn new(model: Arc<ProgramModel>) -> LinearConstant {
+        LinearConstant { model }
+    }
+
+    fn id() -> Transformer {
+        Transformer::identity()
+    }
+}
+
+impl IdeProblem for LinearConstant {
+    fn flow(&self, n: Node, d: Fact) -> Vec<(Fact, Transformer)> {
+        let stmt = self.model.stmt(n);
+        let Some(v) = var_of(d) else {
+            // Λ persists and generates definitions.
+            let mut out = vec![(ZERO, Self::id())];
+            match stmt {
+                Stmt::Const { dst, k } => out.push((fact_of(*dst), Transformer::constant(*k))),
+                Stmt::Read { dst } => out.push((fact_of(*dst), Transformer::top_transformer())),
+                _ => {}
+            }
+            return out;
+        };
+        match stmt {
+            Stmt::Nop | Stmt::Sanitize { .. } => vec![(d, Self::id())],
+            Stmt::Const { dst, .. } | Stmt::Read { dst } => {
+                if v == *dst {
+                    vec![] // killed; regenerated from Λ
+                } else {
+                    vec![(d, Self::id())]
+                }
+            }
+            Stmt::Assign { dst, src } => {
+                if v == *src && v == *dst {
+                    vec![(d, Self::id())]
+                } else if v == *src {
+                    vec![(d, Self::id()), (fact_of(*dst), Self::id())]
+                } else if v == *dst {
+                    vec![]
+                } else {
+                    vec![(d, Self::id())]
+                }
+            }
+            Stmt::Linear { dst, src, a, b } => {
+                if v == *src && v == *dst {
+                    vec![(d, Transformer::linear(*a, *b))]
+                } else if v == *src {
+                    vec![
+                        (d, Self::id()),
+                        (fact_of(*dst), Transformer::linear(*a, *b)),
+                    ]
+                } else if v == *dst {
+                    vec![]
+                } else {
+                    vec![(d, Self::id())]
+                }
+            }
+            Stmt::Call { ret_dst, .. } => {
+                if Some(v) == *ret_dst {
+                    vec![]
+                } else {
+                    vec![(d, Self::id())]
+                }
+            }
+        }
+    }
+
+    fn call_flow(&self, call: Node, d: Fact, _target: ProcId) -> Vec<(Fact, Transformer)> {
+        let Stmt::Call { args, .. } = self.model.stmt(call) else {
+            return vec![];
+        };
+        match var_of(d) {
+            None => vec![(ZERO, Self::id())],
+            Some(v) => args
+                .iter()
+                .filter(|&&(actual, _)| actual == v)
+                .map(|&(_, formal)| (fact_of(formal), Self::id()))
+                .collect(),
+        }
+    }
+
+    fn return_flow(&self, target: ProcId, d: Fact, call: Node) -> Vec<(Fact, Transformer)> {
+        match var_of(d) {
+            Some(v) if v == self.model.proc_ret[target as usize] => {
+                let Stmt::Call { ret_dst, .. } = self.model.stmt(call) else {
+                    return vec![];
+                };
+                ret_dst
+                    .map(|r| (fact_of(r), Self::id()))
+                    .into_iter()
+                    .collect()
+            }
+            _ => vec![],
+        }
+    }
+
+    fn seeds(&self) -> Vec<(Node, Fact)> {
+        let main = self.model.main;
+        vec![(self.model.graph.procs[main as usize].start, ZERO)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ide::imperative;
+    use flix_lattice::{Constant, Flat};
+
+    /// main: n0 start | n1 x=3 | n2 y=2*x+1 | n3 z=input() | n4 w=y | n5 end
+    /// Variables: x=0, y=1, z=2, w=3.
+    fn straight_line() -> ProgramModel {
+        use crate::ifds::{ProcInfo, Supergraph};
+        ProgramModel {
+            graph: Supergraph {
+                num_nodes: 6,
+                procs: vec![ProcInfo { start: 0, end: 5 }],
+                cfg: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+                calls: vec![],
+                proc_of: vec![0; 6],
+            },
+            stmts: vec![
+                Stmt::Nop,
+                Stmt::Const { dst: 0, k: 3 },
+                Stmt::Linear {
+                    dst: 1,
+                    src: 0,
+                    a: 2,
+                    b: 1,
+                },
+                Stmt::Read { dst: 2 },
+                Stmt::Assign { dst: 3, src: 1 },
+                Stmt::Nop,
+            ],
+            proc_vars: vec![vec![0, 1, 2, 3]],
+            proc_params: vec![vec![]],
+            proc_ret: vec![3],
+            main: 0,
+            num_vars: 4,
+        }
+    }
+
+    #[test]
+    fn straight_line_constants() {
+        let model = Arc::new(straight_line());
+        let problem = LinearConstant::new(model.clone());
+        let result = imperative::solve(&model.graph, &problem);
+        // At the end node: x = 3, y = 2*3+1 = 7, z = ⊤, w = 7.
+        assert_eq!(result.value(5, fact_of(0)), Constant::cst(3));
+        assert_eq!(result.value(5, fact_of(1)), Constant::cst(7));
+        assert_eq!(result.value(5, fact_of(2)), Flat::Top);
+        assert_eq!(result.value(5, fact_of(3)), Constant::cst(7));
+    }
+
+    #[test]
+    fn branch_join_loses_constancy() {
+        // A diamond assigning x=1 on one arm and x=2 on the other.
+        use crate::ifds::{ProcInfo, Supergraph};
+        let model = Arc::new(ProgramModel {
+            graph: Supergraph {
+                num_nodes: 5,
+                procs: vec![ProcInfo { start: 0, end: 4 }],
+                cfg: vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)],
+                calls: vec![],
+                proc_of: vec![0; 5],
+            },
+            stmts: vec![
+                Stmt::Nop,
+                Stmt::Const { dst: 0, k: 1 },
+                Stmt::Const { dst: 0, k: 2 },
+                Stmt::Nop,
+                Stmt::Nop,
+            ],
+            proc_vars: vec![vec![0]],
+            proc_params: vec![vec![]],
+            proc_ret: vec![0],
+            main: 0,
+            num_vars: 1,
+        });
+        let problem = LinearConstant::new(model.clone());
+        let result = imperative::solve(&model.graph, &problem);
+        assert_eq!(result.value(4, fact_of(0)), Flat::Top, "1 ⊔ 2 = ⊤");
+    }
+}

@@ -1,0 +1,122 @@
+//! The IDE framework (§4.3 of the paper): interprocedural distributive
+//! environment problems (Sagiv, Reps & Horwitz, TCS 1996).
+//!
+//! IDE generalises IFDS: the same exploded-supergraph edges, but each edge
+//! is decorated with a *micro-function* describing how a value lattice
+//! element transforms along it. The paper's point — made by Figures 5
+//! and 6 side by side — is that the declarative formulations make this
+//! generalisation visually obvious: the IDE rules are the IFDS rules with
+//! one extra column composed via `comp`.
+//!
+//! * [`flix`] — the declarative formulation of Figure 6, with the
+//!   micro-function lattice in the last column of `JumpFn`/`SummaryFn`;
+//! * [`imperative`] — a hand-coded two-phase jump-function solver;
+//! * [`linear_constant`] — the linear constant propagation instantiation
+//!   whose micro-function algebra is Figure 7
+//!   ([`flix_lattice::Transformer`]);
+//! * [`IdentityIde`] — wraps any IFDS problem with identity
+//!   micro-functions, the embedding that makes "IDE restricted to
+//!   identity = IFDS" a checkable theorem (see the integration tests).
+
+pub mod flix;
+pub mod imperative;
+pub mod linear_constant;
+
+use crate::ifds::{Fact, IfdsProblem, Node, ProcId};
+use flix_lattice::{Constant, Flat, Transformer};
+use std::collections::BTreeMap;
+
+/// An IDE problem instance: flow functions returning successor facts
+/// *decorated with micro-functions* over the constant propagation value
+/// lattice.
+pub trait IdeProblem: Send + Sync {
+    /// Intraprocedural flow (call-to-return at call nodes), with edge
+    /// micro-functions.
+    fn flow(&self, n: Node, d: Fact) -> Vec<(Fact, Transformer)>;
+
+    /// Call flow into the callee.
+    fn call_flow(&self, call: Node, d: Fact, target: ProcId) -> Vec<(Fact, Transformer)>;
+
+    /// Return flow back to the caller.
+    fn return_flow(&self, target: ProcId, d: Fact, call: Node) -> Vec<(Fact, Transformer)>;
+
+    /// Seeds: `JumpFn(d, n, d, identity)` entries.
+    fn seeds(&self) -> Vec<(Node, Fact)>;
+
+    /// The value of each seed fact at program entry (usually `⊤`,
+    /// "unknown").
+    fn entry_value(&self) -> Constant {
+        Flat::Top
+    }
+}
+
+/// The IDE solution: the value-lattice element for each reachable
+/// `(node, fact)` pair — the `Result` lattice of Figure 6.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IdeResult {
+    /// `Result(n, d) ↦ v` cells (only non-`⊥` entries).
+    pub values: BTreeMap<(Node, Fact), Constant>,
+}
+
+impl IdeResult {
+    /// The value at `(node, fact)` (`⊥` when unreachable).
+    pub fn value(&self, node: Node, fact: Fact) -> Constant {
+        self.values.get(&(node, fact)).copied().unwrap_or(Flat::Bot)
+    }
+
+    /// The reachable `(node, fact)` pairs — the IFDS projection.
+    pub fn reachable(&self) -> std::collections::BTreeSet<(Node, Fact)> {
+        self.values.keys().copied().collect()
+    }
+}
+
+/// Embeds an IFDS problem into IDE by decorating every edge with the
+/// identity micro-function.
+///
+/// §4.3: "the IDE framework computes the same edges as IFDS, but each
+/// edge is decorated with a representation of a so-called micro-function";
+/// with all decorations the identity, the two must coincide — the
+/// integration tests check exactly that.
+pub struct IdentityIde<P>(pub P);
+
+impl<P: IfdsProblem> IdeProblem for IdentityIde<P> {
+    fn flow(&self, n: Node, d: Fact) -> Vec<(Fact, Transformer)> {
+        self.0
+            .flow(n, d)
+            .into_iter()
+            .map(|d2| (d2, Transformer::identity()))
+            .collect()
+    }
+
+    fn call_flow(&self, call: Node, d: Fact, target: ProcId) -> Vec<(Fact, Transformer)> {
+        self.0
+            .call_flow(call, d, target)
+            .into_iter()
+            .map(|d2| (d2, Transformer::identity()))
+            .collect()
+    }
+
+    fn return_flow(&self, target: ProcId, d: Fact, call: Node) -> Vec<(Fact, Transformer)> {
+        self.0
+            .return_flow(target, d, call)
+            .into_iter()
+            .map(|d2| (d2, Transformer::identity()))
+            .collect()
+    }
+
+    fn seeds(&self) -> Vec<(Node, Fact)> {
+        self.0.seeds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_defaults_to_bottom() {
+        let r = IdeResult::default();
+        assert_eq!(r.value(3, 1), Flat::Bot);
+        assert!(r.reachable().is_empty());
+    }
+}

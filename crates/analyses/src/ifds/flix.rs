@@ -1,0 +1,197 @@
+//! The declarative IFDS solver — Figure 5 of the paper, rule for rule.
+//!
+//! The flow functions are registered as engine functions returning sets;
+//! the `d3 <- eshIntra(n, d2)` arrow syntax of the figure maps onto the
+//! engine's choice bindings.
+
+use super::{IfdsProblem, IfdsResult, Supergraph};
+use flix_core::{BodyItem, Head, HeadTerm, Program, ProgramBuilder, Solver, Term, Value};
+use std::sync::Arc;
+
+/// Builds the Figure 5 program for a supergraph and problem.
+///
+/// Nodes, procedures, and facts are all encoded as integers.
+pub fn build_program(graph: &Supergraph, problem: Arc<dyn IfdsProblem>) -> Program {
+    let mut b = ProgramBuilder::new();
+
+    let cfg = b.relation("CFG", 2);
+    let call_graph = b.relation("CallGraph", 2);
+    let start_node = b.relation("StartNode", 2);
+    let end_node = b.relation("EndNode", 2);
+    let path_edge = b.relation("PathEdge", 3);
+    let summary_edge = b.relation("SummaryEdge", 3);
+    let esh_call_start = b.relation("EshCallStart", 4);
+    let result = b.relation("Result", 2);
+
+    let p1 = Arc::clone(&problem);
+    let esh_intra = b.function("eshIntra", move |args| {
+        let n = args[0].as_int().expect("node") as u32;
+        let d = args[1].as_int().expect("fact");
+        Value::set(p1.flow(n, d).into_iter().map(Value::Int))
+    });
+    let p2 = Arc::clone(&problem);
+    let esh_call_start_fn = b.function("eshCallStart", move |args| {
+        let call = args[0].as_int().expect("node") as u32;
+        let d = args[1].as_int().expect("fact");
+        let target = args[2].as_int().expect("proc") as u32;
+        Value::set(p2.call_flow(call, d, target).into_iter().map(Value::Int))
+    });
+    let p3 = Arc::clone(&problem);
+    let esh_end_return = b.function("eshEndReturn", move |args| {
+        let target = args[0].as_int().expect("proc") as u32;
+        let d = args[1].as_int().expect("fact");
+        let call = args[2].as_int().expect("node") as u32;
+        Value::set(p3.return_flow(target, d, call).into_iter().map(Value::Int))
+    });
+
+    // Supergraph facts.
+    for &(n, m) in &graph.cfg {
+        b.fact(cfg, vec![(n as i64).into(), (m as i64).into()]);
+    }
+    for call in &graph.calls {
+        b.fact(
+            call_graph,
+            vec![(call.call as i64).into(), (call.target as i64).into()],
+        );
+    }
+    for (proc, info) in graph.procs.iter().enumerate() {
+        b.fact(
+            start_node,
+            vec![(proc as i64).into(), (info.start as i64).into()],
+        );
+        b.fact(
+            end_node,
+            vec![(proc as i64).into(), (info.end as i64).into()],
+        );
+    }
+    // Seeds: PathEdge(d, n, d).
+    for (n, d) in problem.seeds() {
+        b.fact(path_edge, vec![d.into(), (n as i64).into(), d.into()]);
+    }
+
+    let v = Term::var;
+
+    // PathEdge(d1, m, d3) :- CFG(n, m), PathEdge(d1, n, d2),
+    //                        d3 <- eshIntra(n, d2).
+    b.rule(
+        Head::new(
+            path_edge,
+            [HeadTerm::var("d1"), HeadTerm::var("m"), HeadTerm::var("d3")],
+        ),
+        [
+            BodyItem::atom(cfg, [v("n"), v("m")]),
+            BodyItem::atom(path_edge, [v("d1"), v("n"), v("d2")]),
+            BodyItem::choose(esh_intra, [v("n"), v("d2")], "d3"),
+        ],
+    );
+    // PathEdge(d1, m, d3) :- CFG(n, m), PathEdge(d1, n, d2),
+    //                        SummaryEdge(n, d2, d3).
+    b.rule(
+        Head::new(
+            path_edge,
+            [HeadTerm::var("d1"), HeadTerm::var("m"), HeadTerm::var("d3")],
+        ),
+        [
+            BodyItem::atom(cfg, [v("n"), v("m")]),
+            BodyItem::atom(path_edge, [v("d1"), v("n"), v("d2")]),
+            BodyItem::atom(summary_edge, [v("n"), v("d2"), v("d3")]),
+        ],
+    );
+    // PathEdge(d3, start, d3) :- PathEdge(d1, call, d2),
+    //                            CallGraph(call, target),
+    //                            EshCallStart(call, d2, target, d3),
+    //                            StartNode(target, start).
+    b.rule(
+        Head::new(
+            path_edge,
+            [
+                HeadTerm::var("d3"),
+                HeadTerm::var("start"),
+                HeadTerm::var("d3"),
+            ],
+        ),
+        [
+            BodyItem::atom(path_edge, [v("d1"), v("call"), v("d2")]),
+            BodyItem::atom(call_graph, [v("call"), v("target")]),
+            BodyItem::atom(esh_call_start, [v("call"), v("d2"), v("target"), v("d3")]),
+            BodyItem::atom(start_node, [v("target"), v("start")]),
+        ],
+    );
+    // SummaryEdge(call, d4, d5) :- CallGraph(call, target),
+    //                              StartNode(target, start),
+    //                              EndNode(target, end),
+    //                              EshCallStart(call, d4, target, d1),
+    //                              PathEdge(d1, end, d2),
+    //                              d5 <- eshEndReturn(target, d2, call).
+    b.rule(
+        Head::new(
+            summary_edge,
+            [
+                HeadTerm::var("call"),
+                HeadTerm::var("d4"),
+                HeadTerm::var("d5"),
+            ],
+        ),
+        [
+            BodyItem::atom(call_graph, [v("call"), v("target")]),
+            BodyItem::atom(start_node, [v("target"), v("start")]),
+            BodyItem::atom(end_node, [v("target"), v("end")]),
+            BodyItem::atom(esh_call_start, [v("call"), v("d4"), v("target"), v("d1")]),
+            BodyItem::atom(path_edge, [v("d1"), v("end"), v("d2")]),
+            BodyItem::choose(esh_end_return, [v("target"), v("d2"), v("call")], "d5"),
+        ],
+    );
+    // EshCallStart(call, d, target, d2) :- PathEdge(_, call, d),
+    //                                      CallGraph(call, target),
+    //                                      d2 <- eshCallStart(call, d, target).
+    // This rule tabulates the call flow function so the SummaryEdge rule
+    // can consult it in the inverse direction (§4.2 of the paper).
+    b.rule(
+        Head::new(
+            esh_call_start,
+            [
+                HeadTerm::var("call"),
+                HeadTerm::var("d"),
+                HeadTerm::var("target"),
+                HeadTerm::var("d2"),
+            ],
+        ),
+        [
+            BodyItem::atom(path_edge, [Term::Wildcard, v("call"), v("d")]),
+            BodyItem::atom(call_graph, [v("call"), v("target")]),
+            BodyItem::choose(esh_call_start_fn, [v("call"), v("d"), v("target")], "d2"),
+        ],
+    );
+    // Result(n, d2) :- PathEdge(_, n, d2).
+    b.rule(
+        Head::new(result, [HeadTerm::var("n"), HeadTerm::var("d2")]),
+        [BodyItem::atom(path_edge, [Term::Wildcard, v("n"), v("d2")])],
+    );
+
+    b.build().expect("the Figure 5 rule set is well-formed")
+}
+
+/// Solves the problem with the given solver configuration.
+pub fn solve_with(
+    graph: &Supergraph,
+    problem: Arc<dyn IfdsProblem>,
+    solver: &Solver,
+) -> IfdsResult {
+    let program = build_program(graph, problem);
+    let solution = solver.solve(&program).expect("Figure 5 is stratifiable");
+    solution
+        .relation("Result")
+        .expect("declared")
+        .map(|row| {
+            (
+                row[0].as_int().expect("node") as u32,
+                row[1].as_int().expect("fact"),
+            )
+        })
+        .collect()
+}
+
+/// Solves the problem with the default solver.
+pub fn solve(graph: &Supergraph, problem: Arc<dyn IfdsProblem>) -> IfdsResult {
+    solve_with(graph, problem, &Solver::new())
+}

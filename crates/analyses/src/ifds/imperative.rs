@@ -1,0 +1,177 @@
+//! The hand-coded imperative IFDS tabulation solver — the worklist
+//! algorithm of the original IFDS paper (Reps, Horwitz & Sagiv, POPL
+//! 1995), standing in for the Scala baseline of Table 2.
+//!
+//! The FLIX paper observes that this algorithm "contains many worklist
+//! updates and implicit quantifications" and is "difficult to understand";
+//! the bookkeeping below (the `incoming` and `summaries` maps, and the
+//! three re-firing loops) is exactly the complexity that the six rules of
+//! Figure 5 replace.
+
+use super::{Fact, IfdsProblem, IfdsResult, Node, ProcId, Supergraph};
+use std::collections::{HashMap, HashSet};
+
+/// Solves an IFDS problem by tabulation.
+pub fn solve(graph: &Supergraph, problem: &dyn IfdsProblem) -> IfdsResult {
+    Tabulation::new(graph, problem).run()
+}
+
+struct Tabulation<'a> {
+    graph: &'a Supergraph,
+    problem: &'a dyn IfdsProblem,
+    succ: Vec<Vec<Node>>,
+    /// Call target per node (None for non-call nodes).
+    call_at: HashMap<Node, ProcId>,
+    /// End node → procedure.
+    end_of: HashMap<Node, ProcId>,
+    /// The tabulated path edges (d1, n, d2).
+    path_edges: HashSet<(Fact, Node, Fact)>,
+    /// Path edges grouped by (node, d2) → set of d1, for summary re-firing.
+    edges_into: HashMap<(Node, Fact), HashSet<Fact>>,
+    /// Path edges grouped by node, for the call-site loop.
+    edges_at: HashMap<Node, HashSet<(Fact, Fact)>>,
+    /// incoming[(target, d3)] = callers (call, d2) whose call flow
+    /// produced d3 at the callee start — the tabulated `EshCallStart`.
+    incoming: HashMap<(ProcId, Fact), HashSet<(Node, Fact)>>,
+    /// summaries[(call, d4)] = facts d5 at the return site.
+    summaries: HashMap<(Node, Fact), HashSet<Fact>>,
+    worklist: Vec<(Fact, Node, Fact)>,
+}
+
+impl<'a> Tabulation<'a> {
+    fn new(graph: &'a Supergraph, problem: &'a dyn IfdsProblem) -> Tabulation<'a> {
+        let call_at = graph.calls.iter().map(|c| (c.call, c.target)).collect();
+        let end_of = graph
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(p, info)| (info.end, p as ProcId))
+            .collect();
+        Tabulation {
+            succ: graph.successors(),
+            graph,
+            problem,
+            call_at,
+            end_of,
+            path_edges: HashSet::new(),
+            edges_into: HashMap::new(),
+            edges_at: HashMap::new(),
+            incoming: HashMap::new(),
+            summaries: HashMap::new(),
+            worklist: Vec::new(),
+        }
+    }
+
+    fn propagate(&mut self, d1: Fact, n: Node, d2: Fact) {
+        if self.path_edges.insert((d1, n, d2)) {
+            self.edges_into.entry((n, d2)).or_default().insert(d1);
+            self.edges_at.entry(n).or_default().insert((d1, d2));
+            self.worklist.push((d1, n, d2));
+        }
+    }
+
+    fn run(mut self) -> IfdsResult {
+        for (n, d) in self.problem.seeds() {
+            self.propagate(d, n, d);
+        }
+        while let Some((d1, n, d2)) = self.worklist.pop() {
+            if let Some(&target) = self.call_at.get(&n) {
+                self.process_call(d1, n, d2, target);
+            } else if let Some(&proc) = self.end_of.get(&n) {
+                self.process_exit(d1, n, d2, proc);
+            }
+            // Every node (including call nodes, whose `flow` is the
+            // call-to-return function) propagates intraprocedurally.
+            self.process_normal(d1, n, d2);
+        }
+        self.path_edges.iter().map(|&(_, n, d2)| (n, d2)).collect()
+    }
+
+    fn process_normal(&mut self, d1: Fact, n: Node, d2: Fact) {
+        let succs = self.succ[n as usize].clone();
+        if succs.is_empty() {
+            return;
+        }
+        let out = self.problem.flow(n, d2);
+        for &m in &succs {
+            for &d3 in &out {
+                self.propagate(d1, m, d3);
+            }
+        }
+        // Apply any summaries already tabulated at (n, d2).
+        if let Some(d5s) = self.summaries.get(&(n, d2)).cloned() {
+            for &m in &succs {
+                for &d5 in &d5s {
+                    self.propagate(d1, m, d5);
+                }
+            }
+        }
+    }
+
+    fn process_call(&mut self, _d1: Fact, call: Node, d2: Fact, target: ProcId) {
+        let start = self.graph.procs[target as usize].start;
+        let end = self.graph.procs[target as usize].end;
+        for d3 in self.problem.call_flow(call, d2, target) {
+            // Seed the callee and remember who called with what.
+            self.propagate(d3, start, d3);
+            let newly_registered = self
+                .incoming
+                .entry((target, d3))
+                .or_default()
+                .insert((call, d2));
+            if newly_registered {
+                // The callee may already have end-node path edges for d3:
+                // materialise their summaries for this caller now.
+                let end_facts: Vec<Fact> = self
+                    .edges_at
+                    .get(&end)
+                    .map(|pairs| {
+                        pairs
+                            .iter()
+                            .filter(|&&(entry, _)| entry == d3)
+                            .map(|&(_, d_end)| d_end)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                for d_end in end_facts {
+                    self.record_summary(target, call, d2, d_end);
+                }
+            }
+        }
+    }
+
+    fn process_exit(&mut self, d1: Fact, _end: Node, d2: Fact, proc: ProcId) {
+        // d1 entered the procedure; find every caller that produced d1.
+        let callers: Vec<(Node, Fact)> = self
+            .incoming
+            .get(&(proc, d1))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for (call, d4) in callers {
+            self.record_summary(proc, call, d4, d2);
+        }
+    }
+
+    /// Installs the summary for caller fact `d4` at `call` given that the
+    /// callee (entered with whatever fact flowed from `d4`) exits with
+    /// `d_end`, and re-fires the rule-2 propagation for existing edges.
+    fn record_summary(&mut self, proc: ProcId, call: Node, d4: Fact, d_end: Fact) {
+        for d5 in self.problem.return_flow(proc, d_end, call) {
+            if self.summaries.entry((call, d4)).or_default().insert(d5) {
+                // Re-fire: every path edge reaching (call, d4) continues
+                // to the return sites with d5.
+                let d1s: Vec<Fact> = self
+                    .edges_into
+                    .get(&(call, d4))
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                let succs = self.succ[call as usize].clone();
+                for d1 in d1s {
+                    for &m in &succs {
+                        self.propagate(d1, m, d5);
+                    }
+                }
+            }
+        }
+    }
+}

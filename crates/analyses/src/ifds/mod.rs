@@ -1,0 +1,142 @@
+//! The IFDS framework (§4.2 of the paper): interprocedural, finite,
+//! distributive subset problems solved by graph reachability (Reps,
+//! Horwitz & Sagiv, POPL 1995).
+//!
+//! Two interchangeable solvers over one problem interface:
+//!
+//! * [`flix`] — the declarative formulation of Figure 5 of the FLIX
+//!   paper, six rules running on the lattice engine with `<-` choice
+//!   bindings calling the flow functions;
+//! * [`imperative`] — the hand-coded tabulation worklist algorithm of the
+//!   original IFDS paper, standing in for the Scala baseline of Table 2.
+//!
+//! Flow functions are *functions*, not tabulated relations — §4.2
+//! explains why that is essential: tabulating `eshIntra` for all pairs
+//! would itself solve the problem. Both solvers call the same
+//! [`IfdsProblem`] object, exactly as the paper's evaluation reuses "the
+//! same implementations of the transfer functions".
+
+pub mod flix;
+pub mod imperative;
+pub mod problems;
+
+use std::collections::BTreeSet;
+
+/// A supergraph node (program point).
+pub type Node = u32;
+/// A procedure id.
+pub type ProcId = u32;
+/// A dataflow fact; `ZERO` is the distinguished Λ fact.
+pub type Fact = i64;
+
+/// The distinguished zero fact Λ.
+pub const ZERO: Fact = 0;
+
+/// A procedure's distinguished nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcInfo {
+    /// The unique start node.
+    pub start: Node,
+    /// The unique end (exit) node.
+    pub end: Node,
+}
+
+/// A call site: a node that invokes a target procedure. The intraprocedural
+/// CFG edge out of `call` is the call-to-return edge; the callee is entered
+/// via [`IfdsProblem::call_flow`] and left via [`IfdsProblem::return_flow`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// The calling node.
+    pub call: Node,
+    /// The callee.
+    pub target: ProcId,
+}
+
+/// The exploded-supergraph skeleton: procedures, intraprocedural edges
+/// (including call-to-return edges), and the call graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Supergraph {
+    /// Total number of nodes.
+    pub num_nodes: u32,
+    /// Per-procedure start/end nodes.
+    pub procs: Vec<ProcInfo>,
+    /// Intraprocedural edges, including call-node → return-site edges.
+    pub cfg: Vec<(Node, Node)>,
+    /// Call sites.
+    pub calls: Vec<CallSite>,
+    /// The procedure containing each node.
+    pub proc_of: Vec<ProcId>,
+}
+
+impl Supergraph {
+    /// Successor lists indexed by node.
+    pub fn successors(&self) -> Vec<Vec<Node>> {
+        let mut succ = vec![Vec::new(); self.num_nodes as usize];
+        for &(n, m) in &self.cfg {
+            succ[n as usize].push(m);
+        }
+        succ
+    }
+
+    /// The call target at a node, if it is a call site.
+    pub fn call_target(&self, node: Node) -> Option<ProcId> {
+        self.calls.iter().find(|c| c.call == node).map(|c| c.target)
+    }
+}
+
+/// An IFDS problem instance: the flow functions of §4.2.
+///
+/// Implementations must be *distributive*: `flow(n, ·)` must distribute
+/// over set union, which holds by construction here because every flow
+/// function maps a single fact to a set of facts.
+pub trait IfdsProblem: Send + Sync {
+    /// The intraprocedural flow function `eshIntra(n, d)`. At call nodes
+    /// this is the call-to-return flow applied along the call-node →
+    /// return-site CFG edge.
+    fn flow(&self, n: Node, d: Fact) -> Vec<Fact>;
+
+    /// The call flow function `eshCallStart(call, d, target)`: facts
+    /// entering the callee.
+    fn call_flow(&self, call: Node, d: Fact, target: ProcId) -> Vec<Fact>;
+
+    /// The return flow function `eshEndReturn(target, d, call)`: facts
+    /// mapped from the callee's end node back to the caller.
+    fn return_flow(&self, target: ProcId, d: Fact, call: Node) -> Vec<Fact>;
+
+    /// Initial path-edge seeds `(n, d)`, each seeding `PathEdge(d, n, d)`.
+    fn seeds(&self) -> Vec<(Node, Fact)>;
+}
+
+/// The solution: the set of reachable `(node, fact)` pairs — the `Result`
+/// relation of Figure 5. `ZERO` facts are included.
+pub type IfdsResult = BTreeSet<(Node, Fact)>;
+
+/// Strips `ZERO` entries, leaving only the analysis-meaningful facts.
+pub fn without_zero(result: &IfdsResult) -> IfdsResult {
+    result.iter().copied().filter(|&(_, d)| d != ZERO).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supergraph_helpers() {
+        let g = Supergraph {
+            num_nodes: 4,
+            procs: vec![ProcInfo { start: 0, end: 3 }],
+            cfg: vec![(0, 1), (1, 2), (2, 3)],
+            calls: vec![CallSite { call: 1, target: 0 }],
+            proc_of: vec![0; 4],
+        };
+        assert_eq!(g.successors()[1], vec![2]);
+        assert_eq!(g.call_target(1), Some(0));
+        assert_eq!(g.call_target(2), None);
+    }
+
+    #[test]
+    fn without_zero_strips_lambda() {
+        let result: IfdsResult = [(1, ZERO), (1, 5), (2, ZERO)].into_iter().collect();
+        assert_eq!(without_zero(&result), [(1, 5)].into_iter().collect());
+    }
+}

@@ -1,0 +1,355 @@
+//! Concrete IFDS problem instantiations over the [`ProgramModel`] of the
+//! workload generator.
+//!
+//! The paper instantiates its IFDS evaluation with the object abstraction
+//! of a multi-object typestate analysis; that abstraction is tied to the
+//! unavailable Soot/DaCapo pipeline, so (per DESIGN.md) we substitute two
+//! classic IFDS problems with the same gen/kill structure:
+//!
+//! * [`UninitVars`] — possibly-uninitialised variables;
+//! * [`Taint`] — taint propagation from environment reads, with
+//!   sanitisation kills.
+
+use super::{Fact, IfdsProblem, Node, ProcId, ZERO};
+use crate::workloads::jvm_program::{ProgramModel, Stmt, VarId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn fact_of(v: VarId) -> Fact {
+    v as Fact + 1
+}
+
+fn var_of(d: Fact) -> Option<VarId> {
+    if d == ZERO {
+        None
+    } else {
+        Some((d - 1) as VarId)
+    }
+}
+
+/// Shared plumbing for problems over a [`ProgramModel`].
+struct ModelInfo {
+    model: Arc<ProgramModel>,
+    start_of: HashMap<Node, ProcId>,
+}
+
+impl ModelInfo {
+    fn new(model: Arc<ProgramModel>) -> ModelInfo {
+        let start_of = model
+            .graph
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(p, info)| (info.start, p as ProcId))
+            .collect();
+        ModelInfo { model, start_of }
+    }
+
+    /// The non-parameter locals of a procedure (uninitialised at entry).
+    fn uninit_at_entry(&self, proc: ProcId) -> impl Iterator<Item = VarId> + '_ {
+        let params = &self.model.proc_params[proc as usize];
+        self.model.proc_vars[proc as usize]
+            .iter()
+            .copied()
+            .filter(move |v| !params.contains(v))
+    }
+
+    fn ret_dst_at(&self, call: Node) -> Option<VarId> {
+        match self.model.stmt(call) {
+            Stmt::Call { ret_dst, .. } => *ret_dst,
+            _ => None,
+        }
+    }
+
+    fn args_at(&self, call: Node) -> &[(VarId, VarId)] {
+        match self.model.stmt(call) {
+            Stmt::Call { args, .. } => args,
+            _ => &[],
+        }
+    }
+}
+
+/// The possibly-uninitialised-variables IFDS problem.
+///
+/// A fact `v` at node `n` means "some execution reaches `n` with `v` never
+/// assigned". Non-parameter locals are uninitialised at procedure entry;
+/// assignments kill their destination (and copy uninitialised-ness from
+/// their source); calls bind uninitialised actuals to formals and map the
+/// callee's return variable back to the caller's destination.
+pub struct UninitVars {
+    info: ModelInfo,
+}
+
+impl UninitVars {
+    /// Creates the problem over a program model.
+    pub fn new(model: Arc<ProgramModel>) -> UninitVars {
+        UninitVars {
+            info: ModelInfo::new(model),
+        }
+    }
+}
+
+impl IfdsProblem for UninitVars {
+    fn flow(&self, n: Node, d: Fact) -> Vec<Fact> {
+        let stmt = self.info.model.stmt(n);
+        let Some(v) = var_of(d) else {
+            // Λ generates the uninitialised locals at procedure entries.
+            let mut out = vec![ZERO];
+            if let Some(&proc) = self.info.start_of.get(&n) {
+                out.extend(self.info.uninit_at_entry(proc).map(fact_of));
+            }
+            return out;
+        };
+        match stmt {
+            Stmt::Nop | Stmt::Sanitize { .. } => vec![d],
+            Stmt::Const { dst, .. } | Stmt::Read { dst } => {
+                if v == *dst {
+                    vec![]
+                } else {
+                    vec![d]
+                }
+            }
+            Stmt::Assign { dst, src } | Stmt::Linear { dst, src, .. } => {
+                if v == *src && v == *dst {
+                    vec![d]
+                } else if v == *src {
+                    vec![d, fact_of(*dst)]
+                } else if v == *dst {
+                    vec![]
+                } else {
+                    vec![d]
+                }
+            }
+            Stmt::Call { ret_dst, .. } => {
+                // Call-to-return: the return value is defined by the
+                // callee (or mapped back by return_flow), so kill it here.
+                if Some(v) == *ret_dst {
+                    vec![]
+                } else {
+                    vec![d]
+                }
+            }
+        }
+    }
+
+    fn call_flow(&self, call: Node, d: Fact, _target: ProcId) -> Vec<Fact> {
+        match var_of(d) {
+            None => vec![ZERO],
+            Some(v) => self
+                .info
+                .args_at(call)
+                .iter()
+                .filter(|&&(actual, _)| actual == v)
+                .map(|&(_, formal)| fact_of(formal))
+                .collect(),
+        }
+    }
+
+    fn return_flow(&self, target: ProcId, d: Fact, call: Node) -> Vec<Fact> {
+        match var_of(d) {
+            Some(v) if v == self.info.model.proc_ret[target as usize] => self
+                .info
+                .ret_dst_at(call)
+                .map(fact_of)
+                .into_iter()
+                .collect(),
+            _ => vec![],
+        }
+    }
+
+    fn seeds(&self) -> Vec<(Node, Fact)> {
+        let main = self.info.model.main;
+        vec![(self.info.model.graph.procs[main as usize].start, ZERO)]
+    }
+}
+
+/// The taint-propagation IFDS problem.
+///
+/// `Read` statements taint their destination; assignments propagate taint;
+/// `Sanitize` and constant assignments clear it; calls carry taint through
+/// arguments and return values.
+pub struct Taint {
+    info: ModelInfo,
+}
+
+impl Taint {
+    /// Creates the problem over a program model.
+    pub fn new(model: Arc<ProgramModel>) -> Taint {
+        Taint {
+            info: ModelInfo::new(model),
+        }
+    }
+}
+
+impl IfdsProblem for Taint {
+    fn flow(&self, n: Node, d: Fact) -> Vec<Fact> {
+        let stmt = self.info.model.stmt(n);
+        let Some(v) = var_of(d) else {
+            let mut out = vec![ZERO];
+            if let Stmt::Read { dst } = stmt {
+                out.push(fact_of(*dst));
+            }
+            return out;
+        };
+        match stmt {
+            Stmt::Nop => vec![d],
+            Stmt::Read { dst } => {
+                // Overwrites dst with fresh (tainted) input; existing
+                // taint of dst stays tainted, everything else unaffected.
+                let _ = dst;
+                vec![d]
+            }
+            Stmt::Const { dst, .. } | Stmt::Sanitize { dst } => {
+                if v == *dst {
+                    vec![]
+                } else {
+                    vec![d]
+                }
+            }
+            Stmt::Assign { dst, src } | Stmt::Linear { dst, src, .. } => {
+                if v == *src && v == *dst {
+                    vec![d]
+                } else if v == *src {
+                    vec![d, fact_of(*dst)]
+                } else if v == *dst {
+                    vec![]
+                } else {
+                    vec![d]
+                }
+            }
+            Stmt::Call { ret_dst, .. } => {
+                if Some(v) == *ret_dst {
+                    vec![]
+                } else {
+                    vec![d]
+                }
+            }
+        }
+    }
+
+    fn call_flow(&self, call: Node, d: Fact, _target: ProcId) -> Vec<Fact> {
+        match var_of(d) {
+            None => vec![ZERO],
+            Some(v) => self
+                .info
+                .args_at(call)
+                .iter()
+                .filter(|&&(actual, _)| actual == v)
+                .map(|&(_, formal)| fact_of(formal))
+                .collect(),
+        }
+    }
+
+    fn return_flow(&self, target: ProcId, d: Fact, call: Node) -> Vec<Fact> {
+        match var_of(d) {
+            Some(v) if v == self.info.model.proc_ret[target as usize] => self
+                .info
+                .ret_dst_at(call)
+                .map(fact_of)
+                .into_iter()
+                .collect(),
+            _ => vec![],
+        }
+    }
+
+    fn seeds(&self) -> Vec<(Node, Fact)> {
+        let main = self.info.model.main;
+        vec![(self.info.model.graph.procs[main as usize].start, ZERO)]
+    }
+}
+
+/// Builds a small two-procedure program with a known answer, used by unit
+/// and integration tests:
+///
+/// ```text
+/// main:  n0 start | n1 x=input() | n2 y=5 | n3 r=callee(x) | n4 z=y | n5 end
+/// callee: n6 start | n7 ret=param | n8 end
+/// ```
+///
+/// Variables: main has x=0, y=1, z=2, r=3 (locals), callee has param=4,
+/// ret=5. `x` is tainted; the call propagates the taint into `r`; `y` and
+/// `z` stay clean. For uninitialised variables: everything but params is
+/// uninitialised at entry; `x`, `y`, `r` are defined along the way; `z`
+/// is defined from `y`.
+pub fn two_proc_example() -> ProgramModel {
+    use crate::ifds::{CallSite, ProcInfo, Supergraph};
+    let graph = Supergraph {
+        num_nodes: 9,
+        procs: vec![ProcInfo { start: 0, end: 5 }, ProcInfo { start: 6, end: 8 }],
+        cfg: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (6, 7), (7, 8)],
+        calls: vec![CallSite { call: 3, target: 1 }],
+        proc_of: vec![0, 0, 0, 0, 0, 0, 1, 1, 1],
+    };
+    let stmts = vec![
+        Stmt::Nop,                    // n0 main start
+        Stmt::Read { dst: 0 },        // n1 x = input()
+        Stmt::Const { dst: 1, k: 5 }, // n2 y = 5
+        Stmt::Call {
+            args: vec![(0, 4)],
+            ret_dst: Some(3),
+        }, // n3 r = callee(x)
+        Stmt::Assign { dst: 2, src: 1 }, // n4 z = y
+        Stmt::Nop,                    // n5 main end
+        Stmt::Nop,                    // n6 callee start
+        Stmt::Assign { dst: 5, src: 4 }, // n7 ret = param
+        Stmt::Nop,                    // n8 callee end
+    ];
+    ProgramModel {
+        graph,
+        stmts,
+        proc_vars: vec![vec![0, 1, 2, 3], vec![4, 5]],
+        proc_params: vec![vec![], vec![4]],
+        proc_ret: vec![3, 5],
+        main: 0,
+        num_vars: 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ifds::imperative;
+
+    #[test]
+    fn taint_flows_through_the_call() {
+        let model = Arc::new(two_proc_example());
+        let result = imperative::solve(&model.graph, &Taint::new(model.clone()));
+        // After the call (node 4), r (var 3, fact 4) is tainted.
+        assert!(result.contains(&(4, fact_of(3))), "r tainted after call");
+        // x (var 0) is tainted from node 2 onwards.
+        assert!(result.contains(&(2, fact_of(0))));
+        // y (var 1) is never tainted.
+        assert!(!result.contains(&(5, fact_of(1))), "y must stay clean");
+        // z (var 2) copies clean y: never tainted.
+        assert!(!result.contains(&(5, fact_of(2))), "z must stay clean");
+        // Inside the callee, the parameter is tainted.
+        assert!(result.contains(&(7, fact_of(4))));
+    }
+
+    #[test]
+    fn uninit_vars_are_killed_by_definitions() {
+        let model = Arc::new(two_proc_example());
+        let result = imperative::solve(&model.graph, &UninitVars::new(model.clone()));
+        // At node 1 everything local to main is still uninitialised.
+        for v in [0u32, 1, 2, 3] {
+            assert!(result.contains(&(1, fact_of(v))), "v{v} uninit at n1");
+        }
+        // After x = input() and y = 5, x and y are initialised at n3.
+        assert!(!result.contains(&(3, fact_of(0))));
+        assert!(!result.contains(&(3, fact_of(1))));
+        // z is still uninitialised at n4 (defined there), not after.
+        assert!(result.contains(&(4, fact_of(2))));
+        assert!(!result.contains(&(5, fact_of(2))));
+        // r is defined by the call: not uninitialised at n4.
+        assert!(!result.contains(&(4, fact_of(3))));
+    }
+
+    #[test]
+    fn zero_fact_reaches_everywhere_reachable() {
+        let model = Arc::new(two_proc_example());
+        let result = imperative::solve(&model.graph, &Taint::new(model.clone()));
+        for n in 0..model.graph.num_nodes {
+            assert!(result.contains(&(n, ZERO)), "node {n} reachable");
+        }
+    }
+}

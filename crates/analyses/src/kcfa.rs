@@ -1,0 +1,384 @@
+//! k-CFA control-flow analysis for a labelled lambda calculus.
+//!
+//! §1 of the paper: "the lack of functions, as well as compound datatypes,
+//! means that even a simple context-sensitive analysis such as k-CFA
+//! cannot be expressed" in Datalog. This module expresses it in FLIX:
+//! contexts are **k-truncated call strings stored as tuple values in
+//! relation columns**, and the context-push operation is a transfer
+//! function in a rule head — the two capabilities Datalog lacks.
+//!
+//! The subject language is a unary lambda calculus with labelled terms:
+//!
+//! ```text
+//! e ::= Var(x) | Lam(x, body) | App(f, a)
+//! ```
+//!
+//! The analysis computes, per (term, context), the set of closures the
+//! term may evaluate to. Lexical capture of free variables through nested
+//! lambdas is not modelled (bindings are looked up in the occurrence
+//! context, as in flat m-CFA variants); the demonstration programs bind
+//! and use variables within one lambda body, which this models soundly.
+
+use flix_core::{
+    BodyItem, Head, HeadTerm, Program, ProgramBuilder, Solver, Term, Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A term label.
+pub type Label = i64;
+
+/// A term of the subject language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A variable reference.
+    Var {
+        /// The variable name.
+        name: String,
+    },
+    /// A lambda abstraction.
+    Lam {
+        /// The parameter name.
+        param: String,
+        /// The label of the body term.
+        body: Label,
+    },
+    /// An application.
+    App {
+        /// The label of the function term.
+        func: Label,
+        /// The label of the argument term.
+        arg: Label,
+    },
+}
+
+/// A program: labelled terms plus the root labels to seed as reachable
+/// (in the empty context).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CfaInput {
+    /// Terms by label.
+    pub terms: BTreeMap<Label, Expr>,
+    /// Labels evaluated at the top level.
+    pub roots: Vec<Label>,
+}
+
+/// The analysis result: for each (term label, context) pair, the labels
+/// of the lambdas the term may evaluate to.
+///
+/// Contexts are rendered as the vector of call-site labels (most recent
+/// first), truncated to length `k`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CfaResult {
+    /// `(label, context) → {lambda labels}`.
+    pub flows: BTreeMap<(Label, Vec<Label>), BTreeSet<Label>>,
+}
+
+impl CfaResult {
+    /// All lambdas a term may evaluate to, joined over every context.
+    pub fn values_of(&self, label: Label) -> BTreeSet<Label> {
+        self.flows
+            .iter()
+            .filter(|((l, _), _)| *l == label)
+            .flat_map(|(_, lams)| lams.iter().copied())
+            .collect()
+    }
+}
+
+fn ctx_value(labels: &[Label]) -> Value {
+    Value::tuple(labels.iter().map(|&l| Value::Int(l)))
+}
+
+fn ctx_labels(v: &Value) -> Vec<Label> {
+    v.as_tuple()
+        .expect("contexts are tuples")
+        .iter()
+        .map(|l| l.as_int().expect("labels are ints"))
+        .collect()
+}
+
+/// Builds the k-CFA program over the input terms.
+pub fn build_program(input: &CfaInput, k: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+
+    // Syntax relations.
+    let lam = b.relation("Lam", 3); // (label, param, body)
+    let var_ref = b.relation("VarRef", 2); // (label, name)
+    let app = b.relation("App", 3); // (label, func, arg)
+
+    // Analysis relations. Context columns hold tuple values — the
+    // compound data Datalog cannot represent.
+    let reachable = b.relation("Reachable", 2); // (label, ctx)
+    let flows_to = b.relation("FlowsTo", 4); // (label, ctx, lam, lam_ctx)
+    let call_ctx = b.relation("CallCtx", 3); // (call, ctx, callee_ctx)
+    let bind = b.relation("Bind", 4); // (name, ctx, lam, lam_ctx)
+
+    // push(l, ctx): prepend the call site, truncate to k.
+    let push = b.function("push", move |args| {
+        let l = args[0].as_int().expect("label");
+        let mut labels = ctx_labels(&args[1]);
+        labels.insert(0, l);
+        labels.truncate(k);
+        ctx_value(&labels)
+    });
+
+    for (&label, term) in &input.terms {
+        match term {
+            Expr::Var { name } => {
+                b.fact(var_ref, vec![label.into(), name.as_str().into()]);
+            }
+            Expr::Lam { param, body } => {
+                b.fact(
+                    lam,
+                    vec![label.into(), param.as_str().into(), (*body).into()],
+                );
+            }
+            Expr::App { func, arg } => {
+                b.fact(app, vec![label.into(), (*func).into(), (*arg).into()]);
+            }
+        }
+    }
+    for &root in &input.roots {
+        b.fact(reachable, vec![root.into(), ctx_value(&[])]);
+    }
+
+    let v = Term::var;
+
+    // Subterms of a reachable application are reachable in the same ctx.
+    for col in ["f", "a"] {
+        b.rule(
+            Head::new(reachable, [HeadTerm::var(col), HeadTerm::var("ctx")]),
+            [
+                BodyItem::atom(app, [v("l"), v("f"), v("a")]),
+                BodyItem::atom(reachable, [v("l"), v("ctx")]),
+            ],
+        );
+    }
+    // A reachable lambda evaluates to itself (closed over its context).
+    b.rule(
+        Head::new(
+            flows_to,
+            [
+                HeadTerm::var("l"),
+                HeadTerm::var("ctx"),
+                HeadTerm::var("l"),
+                HeadTerm::var("ctx"),
+            ],
+        ),
+        [
+            BodyItem::atom(lam, [v("l"), v("x"), v("b")]),
+            BodyItem::atom(reachable, [v("l"), v("ctx")]),
+        ],
+    );
+    // Calling context: push the call site (the head transfer function).
+    b.rule(
+        Head::new(
+            call_ctx,
+            [
+                HeadTerm::var("l"),
+                HeadTerm::var("ctx"),
+                HeadTerm::app(push, [v("l"), v("ctx")]),
+            ],
+        ),
+        [
+            BodyItem::atom(app, [v("l"), v("f"), v("a")]),
+            BodyItem::atom(reachable, [v("l"), v("ctx")]),
+        ],
+    );
+    // The callee body is reachable in the callee context.
+    b.rule(
+        Head::new(reachable, [HeadTerm::var("body"), HeadTerm::var("ctx2")]),
+        [
+            BodyItem::atom(app, [v("l"), v("f"), v("a")]),
+            BodyItem::atom(flows_to, [v("f"), v("ctx"), v("laml"), Term::Wildcard]),
+            BodyItem::atom(lam, [v("laml"), Term::Wildcard, v("body")]),
+            BodyItem::atom(call_ctx, [v("l"), v("ctx"), v("ctx2")]),
+        ],
+    );
+    // The parameter is bound to the argument's values in the callee ctx.
+    b.rule(
+        Head::new(
+            bind,
+            [
+                HeadTerm::var("x"),
+                HeadTerm::var("ctx2"),
+                HeadTerm::var("vl"),
+                HeadTerm::var("vctx"),
+            ],
+        ),
+        [
+            BodyItem::atom(app, [v("l"), v("f"), v("a")]),
+            BodyItem::atom(flows_to, [v("f"), v("ctx"), v("laml"), Term::Wildcard]),
+            BodyItem::atom(lam, [v("laml"), v("x"), Term::Wildcard]),
+            BodyItem::atom(call_ctx, [v("l"), v("ctx"), v("ctx2")]),
+            BodyItem::atom(flows_to, [v("a"), v("ctx"), v("vl"), v("vctx")]),
+        ],
+    );
+    // Variable references read their binding in the occurrence context.
+    b.rule(
+        Head::new(
+            flows_to,
+            [
+                HeadTerm::var("l"),
+                HeadTerm::var("ctx"),
+                HeadTerm::var("vl"),
+                HeadTerm::var("vctx"),
+            ],
+        ),
+        [
+            BodyItem::atom(var_ref, [v("l"), v("x")]),
+            BodyItem::atom(reachable, [v("l"), v("ctx")]),
+            BodyItem::atom(bind, [v("x"), v("ctx"), v("vl"), v("vctx")]),
+        ],
+    );
+    // An application evaluates to whatever the callee body evaluates to.
+    b.rule(
+        Head::new(
+            flows_to,
+            [
+                HeadTerm::var("l"),
+                HeadTerm::var("ctx"),
+                HeadTerm::var("vl"),
+                HeadTerm::var("vctx"),
+            ],
+        ),
+        [
+            BodyItem::atom(app, [v("l"), v("f"), v("a")]),
+            BodyItem::atom(flows_to, [v("f"), v("ctx"), v("laml"), Term::Wildcard]),
+            BodyItem::atom(lam, [v("laml"), Term::Wildcard, v("body")]),
+            BodyItem::atom(call_ctx, [v("l"), v("ctx"), v("ctx2")]),
+            BodyItem::atom(flows_to, [v("body"), v("ctx2"), v("vl"), v("vctx")]),
+        ],
+    );
+
+    b.build().expect("the k-CFA rules are well-formed")
+}
+
+/// Runs the analysis with context depth `k`.
+pub fn analyze(input: &CfaInput, k: usize) -> CfaResult {
+    let solution = Solver::new()
+        .solve(&build_program(input, k))
+        .expect("finite term set and k-bounded contexts terminate");
+    let mut result = CfaResult::default();
+    for row in solution.relation("FlowsTo").expect("declared") {
+        let label = row[0].as_int().expect("label");
+        let ctx = ctx_labels(&row[1]);
+        let lam = row[2].as_int().expect("lambda label");
+        result.flows.entry((label, ctx)).or_default().insert(lam);
+    }
+    result
+}
+
+/// The classic polyvariance test program:
+///
+/// ```text
+/// l10: App(l1, l2)   — id applied to lamA
+/// l11: App(l1, l3)   — id applied to lamB
+/// l1:  λx. x         (body: l6)
+/// l2:  λa. a         ("lamA", body l7)
+/// l3:  λb. b         ("lamB", body l8)
+/// ```
+///
+/// 0-CFA merges both calls of `id`, so each application appears to return
+/// both lambdas; 1-CFA distinguishes the call sites.
+pub fn polyvariance_example() -> CfaInput {
+    let mut terms = BTreeMap::new();
+    terms.insert(1, Expr::Lam { param: "x".into(), body: 6 });
+    terms.insert(6, Expr::Var { name: "x".into() });
+    terms.insert(2, Expr::Lam { param: "a".into(), body: 7 });
+    terms.insert(7, Expr::Var { name: "a".into() });
+    terms.insert(3, Expr::Lam { param: "b".into(), body: 8 });
+    terms.insert(8, Expr::Var { name: "b".into() });
+    terms.insert(10, Expr::App { func: 1, arg: 2 });
+    terms.insert(11, Expr::App { func: 1, arg: 3 });
+    CfaInput {
+        terms,
+        roots: vec![10, 11],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cfa_distinguishes_call_sites() {
+        let result = analyze(&polyvariance_example(), 1);
+        // Under context [10], the body of id sees only lamA (label 2);
+        // under [11], only lamB (label 3).
+        assert_eq!(
+            result.flows.get(&(6, vec![10])),
+            Some(&BTreeSet::from([2])),
+            "id's body under call site 10"
+        );
+        assert_eq!(
+            result.flows.get(&(6, vec![11])),
+            Some(&BTreeSet::from([3])),
+            "id's body under call site 11"
+        );
+        // Consequently each application returns exactly its own argument.
+        assert_eq!(result.flows.get(&(10, vec![])), Some(&BTreeSet::from([2])));
+        assert_eq!(result.flows.get(&(11, vec![])), Some(&BTreeSet::from([3])));
+    }
+
+    #[test]
+    fn zero_cfa_merges_call_sites() {
+        let result = analyze(&polyvariance_example(), 0);
+        // With k = 0 every context is the empty tuple: the two calls of
+        // id merge and both applications appear to return both lambdas.
+        assert_eq!(
+            result.flows.get(&(6, vec![])),
+            Some(&BTreeSet::from([2, 3])),
+            "id's body merges both arguments"
+        );
+        assert_eq!(
+            result.flows.get(&(10, vec![])),
+            Some(&BTreeSet::from([2, 3]))
+        );
+    }
+
+    #[test]
+    fn one_cfa_is_at_most_as_coarse_as_zero_cfa() {
+        let zero = analyze(&polyvariance_example(), 0);
+        let one = analyze(&polyvariance_example(), 1);
+        for label in [1i64, 2, 3, 6, 10, 11] {
+            let z = zero.values_of(label);
+            let o = one.values_of(label);
+            assert!(
+                o.is_subset(&z),
+                "1-CFA must refine 0-CFA at {label}: {o:?} ⊄ {z:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lambdas_evaluate_to_themselves() {
+        let result = analyze(&polyvariance_example(), 1);
+        assert_eq!(result.flows.get(&(1, vec![])), Some(&BTreeSet::from([1])));
+    }
+
+    #[test]
+    fn contexts_are_truncated_to_k() {
+        // A self-application tower would build unbounded call strings
+        // without truncation: ((λx. x x) (λy. y y)) loops forever
+        // concretely, but k-CFA terminates.
+        let mut terms = BTreeMap::new();
+        terms.insert(1, Expr::Lam { param: "x".into(), body: 2 });
+        terms.insert(2, Expr::App { func: 3, arg: 4 });
+        terms.insert(3, Expr::Var { name: "x".into() });
+        terms.insert(4, Expr::Var { name: "x".into() });
+        terms.insert(5, Expr::Lam { param: "y".into(), body: 6 });
+        terms.insert(6, Expr::App { func: 7, arg: 8 });
+        terms.insert(7, Expr::Var { name: "y".into() });
+        terms.insert(8, Expr::Var { name: "y".into() });
+        terms.insert(9, Expr::App { func: 1, arg: 5 });
+        let input = CfaInput {
+            terms,
+            roots: vec![9],
+        };
+        for k in [0usize, 1, 2] {
+            let result = analyze(&input, k);
+            for (_, ctx) in result.flows.keys() {
+                assert!(ctx.len() <= k, "context {ctx:?} exceeds k = {k}");
+            }
+        }
+    }
+}

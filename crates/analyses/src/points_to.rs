@@ -1,0 +1,195 @@
+//! The field-sensitive subset-based points-to analysis of Figure 1 of the
+//! paper — pure Datalog, the "killer-app" baseline of §2.1.
+
+use flix_core::{BodyItem, Head, HeadTerm, Program, ProgramBuilder, Solver, Term, Value};
+use std::collections::BTreeSet;
+
+/// Input facts for the points-to analysis: the four relations of
+/// Figure 1 over variable, object, and field names.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PointsToInput {
+    /// `New(var, obj)` — `var = new Obj()`.
+    pub new: Vec<(String, String)>,
+    /// `Assign(lhs, rhs)` — `lhs = rhs`.
+    pub assign: Vec<(String, String)>,
+    /// `Load(dst, base, field)` — `dst = base.field`.
+    pub load: Vec<(String, String, String)>,
+    /// `Store(base, field, src)` — `base.field = src`.
+    pub store: Vec<(String, String, String)>,
+}
+
+impl PointsToInput {
+    /// The five-fact example program of §2.1 of the paper.
+    ///
+    /// ```java
+    /// ClassA o1 = new ClassA() // object A
+    /// ClassB o2 = new ClassB() // object B
+    /// ClassB o3 = o2;
+    /// o2.f = o1;
+    /// Object r = o3.f;         // Q: what is r?
+    /// ```
+    pub fn section_2_1_example() -> PointsToInput {
+        PointsToInput {
+            new: vec![("o1".into(), "A".into()), ("o2".into(), "B".into())],
+            assign: vec![("o3".into(), "o2".into())],
+            store: vec![("o2".into(), "f".into(), "o1".into())],
+            load: vec![("r".into(), "o3".into(), "f".into())],
+        }
+    }
+}
+
+/// The computed points-to relations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PointsToResult {
+    /// `VarPointsTo(var, obj)`.
+    pub var_points_to: BTreeSet<(String, String)>,
+    /// `HeapPointsTo(obj, field, obj)`.
+    pub heap_points_to: BTreeSet<(String, String, String)>,
+}
+
+impl PointsToResult {
+    /// Does `var` possibly point to `obj`?
+    pub fn may_point_to(&self, var: &str, obj: &str) -> bool {
+        self.var_points_to
+            .contains(&(var.to_string(), obj.to_string()))
+    }
+}
+
+/// Builds the four-rule program of Figure 1 over the input facts.
+pub fn build_program(input: &PointsToInput) -> Program {
+    let mut b = ProgramBuilder::new();
+    let new = b.relation("New", 2);
+    let assign = b.relation("Assign", 2);
+    let load = b.relation("Load", 3);
+    let store = b.relation("Store", 3);
+    let vpt = b.relation("VarPointsTo", 2);
+    let hpt = b.relation("HeapPointsTo", 3);
+
+    for (x, y) in &input.new {
+        b.fact(new, vec![Value::str(x.as_str()), Value::str(y.as_str())]);
+    }
+    for (x, y) in &input.assign {
+        b.fact(assign, vec![Value::str(x.as_str()), Value::str(y.as_str())]);
+    }
+    for (x, y, z) in &input.load {
+        b.fact(
+            load,
+            vec![
+                Value::str(x.as_str()),
+                Value::str(y.as_str()),
+                Value::str(z.as_str()),
+            ],
+        );
+    }
+    for (x, y, z) in &input.store {
+        b.fact(
+            store,
+            vec![
+                Value::str(x.as_str()),
+                Value::str(y.as_str()),
+                Value::str(z.as_str()),
+            ],
+        );
+    }
+
+    let v = Term::var;
+    // VarPointsTo(v1, h1) :- New(v1, h1).
+    b.rule(
+        Head::new(vpt, [HeadTerm::var("v1"), HeadTerm::var("h1")]),
+        [BodyItem::atom(new, [v("v1"), v("h1")])],
+    );
+    // VarPointsTo(v1, h2) :- Assign(v1, v2), VarPointsTo(v2, h2).
+    b.rule(
+        Head::new(vpt, [HeadTerm::var("v1"), HeadTerm::var("h2")]),
+        [
+            BodyItem::atom(assign, [v("v1"), v("v2")]),
+            BodyItem::atom(vpt, [v("v2"), v("h2")]),
+        ],
+    );
+    // VarPointsTo(v1, h2) :- Load(v1, v2, f), VarPointsTo(v2, h1),
+    //                        HeapPointsTo(h1, f, h2).
+    b.rule(
+        Head::new(vpt, [HeadTerm::var("v1"), HeadTerm::var("h2")]),
+        [
+            BodyItem::atom(load, [v("v1"), v("v2"), v("f")]),
+            BodyItem::atom(vpt, [v("v2"), v("h1")]),
+            BodyItem::atom(hpt, [v("h1"), v("f"), v("h2")]),
+        ],
+    );
+    // HeapPointsTo(h1, f, h2) :- Store(v1, f, v2), VarPointsTo(v1, h1),
+    //                            VarPointsTo(v2, h2).
+    b.rule(
+        Head::new(
+            hpt,
+            [HeadTerm::var("h1"), HeadTerm::var("f"), HeadTerm::var("h2")],
+        ),
+        [
+            BodyItem::atom(store, [v("v1"), v("f"), v("v2")]),
+            BodyItem::atom(vpt, [v("v1"), v("h1")]),
+            BodyItem::atom(vpt, [v("v2"), v("h2")]),
+        ],
+    );
+    b.build().expect("Figure 1 is well-formed")
+}
+
+/// Runs the analysis with the given solver.
+pub fn analyze_with(input: &PointsToInput, solver: &Solver) -> PointsToResult {
+    let solution = solver
+        .solve(&build_program(input))
+        .expect("Figure 1 is a positive Datalog program");
+    let mut result = PointsToResult::default();
+    for row in solution.relation("VarPointsTo").expect("declared") {
+        result.var_points_to.insert((
+            row[0].as_str().expect("var").to_string(),
+            row[1].as_str().expect("obj").to_string(),
+        ));
+    }
+    for row in solution.relation("HeapPointsTo").expect("declared") {
+        result.heap_points_to.insert((
+            row[0].as_str().expect("obj").to_string(),
+            row[1].as_str().expect("field").to_string(),
+            row[2].as_str().expect("obj").to_string(),
+        ));
+    }
+    result
+}
+
+/// Runs the analysis with the default solver.
+pub fn analyze(input: &PointsToInput) -> PointsToResult {
+    analyze_with(input, &Solver::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_2_1_answer() {
+        let result = analyze(&PointsToInput::section_2_1_example());
+        // "Running the solver infers ... VarPointsTo("r", "A")".
+        assert!(result.may_point_to("r", "A"));
+        assert!(result.may_point_to("o3", "B"));
+        assert!(!result.may_point_to("r", "B"));
+        assert!(result
+            .heap_points_to
+            .contains(&("B".into(), "f".into(), "A".into())));
+    }
+
+    #[test]
+    fn assignment_chains_propagate() {
+        let input = PointsToInput {
+            new: vec![("a".into(), "O".into())],
+            assign: vec![
+                ("b".into(), "a".into()),
+                ("c".into(), "b".into()),
+                ("d".into(), "c".into()),
+            ],
+            ..PointsToInput::default()
+        };
+        let result = analyze(&input);
+        for var in ["a", "b", "c", "d"] {
+            assert!(result.may_point_to(var, "O"));
+        }
+        assert_eq!(result.var_points_to.len(), 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! All-pairs shortest paths on the min-cost lattice — §4.4 of the paper.
+//!
+//! "FLIX is applicable to other types of fixed-point problems. For
+//! example, to compute all-pairs shortest paths, let `(N, ∞, 0, ≥, min,
+//! max)` be a lattice over the natural numbers. Then we can compute the
+//! shortest paths as follows: `Dist(y, d + c) :- Dist(x, d), Edge(x, y, c).`"
+//!
+//! This module provides both the single-source form (exactly the paper's
+//! rule) and the all-pairs form (the same rule with a source key column),
+//! plus extraction back into plain maps. The reference implementation for
+//! cross-validation is [`crate::workloads::graphs::dijkstra`].
+
+use crate::workloads::graphs::WeightedGraph;
+use flix_core::{
+    BodyItem, Head, HeadTerm, LatticeOps, Program, ProgramBuilder, Solver, Term, ValueLattice,
+};
+use flix_lattice::MinCost;
+use std::collections::BTreeMap;
+
+/// Builds the single-source program: `Dist(node, MinCost<>)` seeded with
+/// `Dist(source, 0)`.
+pub fn build_single_source(graph: &WeightedGraph, source: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    let edge = b.relation("Edge", 3);
+    let dist = b.lattice("Dist", 2, LatticeOps::of::<MinCost>());
+    let extend = b.function("extend", |args| {
+        let d = MinCost::expect_from(&args[0]);
+        let c = args[1].as_int().expect("weight") as u64;
+        d.add_weight(c).to_value()
+    });
+    for &(x, y, c) in &graph.edges {
+        b.fact(
+            edge,
+            vec![(x as i64).into(), (y as i64).into(), (c as i64).into()],
+        );
+    }
+    b.fact(
+        dist,
+        vec![(source as i64).into(), MinCost::finite(0).to_value()],
+    );
+    // Dist(y, d + c) :- Dist(x, d), Edge(x, y, c).
+    b.rule(
+        Head::new(
+            dist,
+            [
+                HeadTerm::var("y"),
+                HeadTerm::app(extend, [Term::var("d"), Term::var("c")]),
+            ],
+        ),
+        [
+            BodyItem::atom(dist, [Term::var("x"), Term::var("d")]),
+            BodyItem::atom(edge, [Term::var("x"), Term::var("y"), Term::var("c")]),
+        ],
+    );
+    b.build()
+        .expect("the shortest-paths program is well-formed")
+}
+
+/// Builds the all-pairs program: `Dist(src, node, MinCost<>)` seeded with
+/// `Dist(v, v, 0)` for every node.
+pub fn build_all_pairs(graph: &WeightedGraph) -> Program {
+    let mut b = ProgramBuilder::new();
+    let edge = b.relation("Edge", 3);
+    let dist = b.lattice("Dist", 3, LatticeOps::of::<MinCost>());
+    let extend = b.function("extend", |args| {
+        let d = MinCost::expect_from(&args[0]);
+        let c = args[1].as_int().expect("weight") as u64;
+        d.add_weight(c).to_value()
+    });
+    for &(x, y, c) in &graph.edges {
+        b.fact(
+            edge,
+            vec![(x as i64).into(), (y as i64).into(), (c as i64).into()],
+        );
+    }
+    for v in 0..graph.num_nodes {
+        b.fact(
+            dist,
+            vec![
+                (v as i64).into(),
+                (v as i64).into(),
+                MinCost::finite(0).to_value(),
+            ],
+        );
+    }
+    // Dist(s, y, d + c) :- Dist(s, x, d), Edge(x, y, c).
+    b.rule(
+        Head::new(
+            dist,
+            [
+                HeadTerm::var("s"),
+                HeadTerm::var("y"),
+                HeadTerm::app(extend, [Term::var("d"), Term::var("c")]),
+            ],
+        ),
+        [
+            BodyItem::atom(dist, [Term::var("s"), Term::var("x"), Term::var("d")]),
+            BodyItem::atom(edge, [Term::var("x"), Term::var("y"), Term::var("c")]),
+        ],
+    );
+    b.build().expect("the all-pairs program is well-formed")
+}
+
+/// Solves single-source shortest paths; `None` entries are unreachable.
+pub fn single_source_with(graph: &WeightedGraph, source: u32, solver: &Solver) -> Vec<Option<u64>> {
+    let solution = solver
+        .solve(&build_single_source(graph, source))
+        .expect("finite lattice height on a finite graph");
+    let mut out = vec![None; graph.num_nodes as usize];
+    for (key, value) in solution.lattice("Dist").expect("declared") {
+        let node = key[0].as_int().expect("node") as usize;
+        out[node] = MinCost::expect_from(value).value();
+    }
+    out
+}
+
+/// Solves single-source shortest paths with the default solver.
+pub fn single_source(graph: &WeightedGraph, source: u32) -> Vec<Option<u64>> {
+    single_source_with(graph, source, &Solver::new())
+}
+
+/// Solves all-pairs shortest paths; absent keys are unreachable pairs.
+pub fn all_pairs(graph: &WeightedGraph) -> BTreeMap<(u32, u32), u64> {
+    let solution = Solver::new()
+        .solve(&build_all_pairs(graph))
+        .expect("finite lattice height on a finite graph");
+    let mut out = BTreeMap::new();
+    for (key, value) in solution.lattice("Dist").expect("declared") {
+        let s = key[0].as_int().expect("source") as u32;
+        let n = key[1].as_int().expect("node") as u32;
+        if let Some(c) = MinCost::expect_from(value).value() {
+            out.insert((s, n), c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::graphs;
+
+    #[test]
+    fn single_source_matches_dijkstra() {
+        let graph = graphs::generate(30, 60, 5);
+        assert_eq!(single_source(&graph, 0), graphs::dijkstra(&graph, 0));
+    }
+
+    #[test]
+    fn all_pairs_diagonal_is_zero() {
+        let graph = graphs::generate(10, 15, 2);
+        let apsp = all_pairs(&graph);
+        for v in 0..10 {
+            assert_eq!(apsp.get(&(v, v)), Some(&0));
+        }
+    }
+
+    #[test]
+    fn all_pairs_agrees_with_repeated_dijkstra() {
+        let graph = graphs::generate(12, 25, 9);
+        let apsp = all_pairs(&graph);
+        for s in 0..graph.num_nodes {
+            let dist = graphs::dijkstra(&graph, s);
+            for (n, d) in dist.iter().enumerate() {
+                assert_eq!(apsp.get(&(s, n as u32)), d.as_ref(), "({s}, {n})");
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_at_bottom() {
+        // Two disconnected components.
+        let graph = WeightedGraph {
+            num_nodes: 4,
+            edges: vec![(0, 1, 3), (2, 3, 4)],
+        };
+        let dist = single_source(&graph, 0);
+        assert_eq!(dist, vec![Some(0), Some(3), None, None]);
+    }
+}

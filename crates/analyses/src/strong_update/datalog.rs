@@ -1,0 +1,266 @@
+//! The pure-Datalog powerset embedding of the Strong Update analysis —
+//! the "DLV" baseline of Table 1.
+//!
+//! §1 of the paper explains the embedding this reproduces: "⊥ is
+//! represented by the empty set, each constant is represented by a
+//! singleton set, and ⊤ is represented by any set that contains a
+//! specially designated ⊤ element. We then add a rule that adds the ⊤
+//! element to every set of two or more elements. However, this ⊤ rule
+//! cannot prevent the Datalog program from processing the original
+//! non-singleton, non-⊤ sets. We get the worst of both worlds."
+//!
+//! The program below uses only relations (the engine never touches a
+//! lattice); the `⊤`-closure rules use an inequality filter, standing in
+//! for DLV's built-in `!=`.
+
+use super::{obj_name, parse_obj, SuInput, SuResult};
+use flix_core::{BodyItem, Head, HeadTerm, Program, ProgramBuilder, Solver, Term, Value};
+use flix_lattice::SuLattice;
+
+/// The designated `⊤` element of the powerset embedding.
+pub const TOP_ELEMENT: &str = "⊤";
+
+/// Builds the relational powerset-embedded program.
+pub fn build_program(input: &SuInput) -> Program {
+    let mut b = ProgramBuilder::new();
+
+    let addr_of = b.relation("AddrOf", 2);
+    let copy = b.relation("Copy", 2);
+    let load = b.relation("Load", 3);
+    let store = b.relation("Store", 3);
+    let cfg = b.relation("CFG", 2);
+    let kill = b.relation("Kill", 2);
+
+    let pt = b.relation("Pt", 2);
+    let pt_h = b.relation("PtH", 2);
+    let pt_su = b.relation("PtSU", 3);
+    // The embedded "lattice" relations: the last column ranges over
+    // object names plus the designated ⊤ element.
+    let su_before = b.relation("SUBefore", 3);
+    let su_after = b.relation("SUAfter", 3);
+
+    // DLV's built-in inequality.
+    let neq = b.function("neq", |args| Value::Bool(args[0] != args[1]));
+
+    for &(p, a) in &input.addr_of {
+        b.fact(addr_of, vec![(p as i64).into(), obj_name(a).into()]);
+    }
+    for &(p, q) in &input.copy {
+        b.fact(copy, vec![(p as i64).into(), (q as i64).into()]);
+    }
+    for &(l, p, q) in &input.load {
+        b.fact(
+            load,
+            vec![(l as i64).into(), (p as i64).into(), (q as i64).into()],
+        );
+    }
+    for &(l, p, q) in &input.store {
+        b.fact(
+            store,
+            vec![(l as i64).into(), (p as i64).into(), (q as i64).into()],
+        );
+    }
+    for &(l1, l2) in &input.cfg {
+        b.fact(cfg, vec![(l1 as i64).into(), (l2 as i64).into()]);
+    }
+    for &(l, a) in &input.kill {
+        b.fact(kill, vec![(l as i64).into(), obj_name(a).into()]);
+    }
+
+    let v = Term::var;
+
+    // The four points-to rules, identical to the lattice version.
+    b.rule(
+        Head::new(pt, [HeadTerm::var("p"), HeadTerm::var("a")]),
+        [BodyItem::atom(addr_of, [v("p"), v("a")])],
+    );
+    b.rule(
+        Head::new(pt, [HeadTerm::var("p"), HeadTerm::var("a")]),
+        [
+            BodyItem::atom(copy, [v("p"), v("q")]),
+            BodyItem::atom(pt, [v("q"), v("a")]),
+        ],
+    );
+    b.rule(
+        Head::new(pt, [HeadTerm::var("p"), HeadTerm::var("b")]),
+        [
+            BodyItem::atom(load, [v("l"), v("p"), v("q")]),
+            BodyItem::atom(pt, [v("q"), v("a")]),
+            BodyItem::atom(pt_su, [v("l"), v("a"), v("b")]),
+        ],
+    );
+    b.rule(
+        Head::new(pt_h, [HeadTerm::var("a"), HeadTerm::var("b")]),
+        [
+            BodyItem::atom(store, [v("l"), v("p"), v("q")]),
+            BodyItem::atom(pt, [v("p"), v("a")]),
+            BodyItem::atom(pt, [v("q"), v("b")]),
+        ],
+    );
+    // Set-valued flow: every element flows along CFG edges, survives
+    // non-killing labels, and stores contribute singletons.
+    b.rule(
+        Head::new(
+            su_before,
+            [HeadTerm::var("l2"), HeadTerm::var("a"), HeadTerm::var("e")],
+        ),
+        [
+            BodyItem::atom(cfg, [v("l1"), v("l2")]),
+            BodyItem::atom(su_after, [v("l1"), v("a"), v("e")]),
+        ],
+    );
+    b.rule(
+        Head::new(
+            su_after,
+            [HeadTerm::var("l"), HeadTerm::var("a"), HeadTerm::var("e")],
+        ),
+        [
+            BodyItem::atom(su_before, [v("l"), v("a"), v("e")]),
+            BodyItem::not(kill, [v("l"), v("a")]),
+        ],
+    );
+    b.rule(
+        Head::new(
+            su_after,
+            [HeadTerm::var("l"), HeadTerm::var("a"), HeadTerm::var("b")],
+        ),
+        [
+            BodyItem::atom(store, [v("l"), v("p"), v("q")]),
+            BodyItem::atom(pt, [v("p"), v("a")]),
+            BodyItem::atom(pt, [v("q"), v("b")]),
+        ],
+    );
+    // The §1 "⊤ rule": any cell holding two distinct elements also holds ⊤.
+    for pred in [su_after, su_before] {
+        b.rule(
+            Head::new(
+                pred,
+                [
+                    HeadTerm::var("l"),
+                    HeadTerm::var("a"),
+                    HeadTerm::lit(TOP_ELEMENT),
+                ],
+            ),
+            [
+                BodyItem::atom(pred, [v("l"), v("a"), v("b1")]),
+                BodyItem::atom(pred, [v("l"), v("a"), v("b2")]),
+                BodyItem::filter(neq, [v("b1"), v("b2")]),
+            ],
+        );
+    }
+    // The filter of Figure 4, unrolled over the encoding: a member
+    // matches itself; a cell containing ⊤ matches everything in PtH.
+    b.rule(
+        Head::new(
+            pt_su,
+            [HeadTerm::var("l"), HeadTerm::var("a"), HeadTerm::var("b")],
+        ),
+        [
+            BodyItem::atom(pt_h, [v("a"), v("b")]),
+            BodyItem::atom(su_before, [v("l"), v("a"), v("b")]),
+        ],
+    );
+    b.rule(
+        Head::new(
+            pt_su,
+            [HeadTerm::var("l"), HeadTerm::var("a"), HeadTerm::var("b")],
+        ),
+        [
+            BodyItem::atom(pt_h, [v("a"), v("b")]),
+            BodyItem::atom(su_before, [v("l"), v("a"), Term::lit(TOP_ELEMENT)]),
+        ],
+    );
+
+    b.build().expect("the powerset embedding is well-formed")
+}
+
+/// Runs the embedded analysis and decodes the sets back into
+/// [`SuLattice`] values for comparison with the other implementations.
+pub fn analyze_with(input: &SuInput, solver: &Solver) -> SuResult {
+    let program = build_program(input);
+    let solution = solver.solve(&program).expect("stratifiable");
+    let mut result = SuResult {
+        derived_facts: solution.total_facts(),
+        ..SuResult::default()
+    };
+    for row in solution.relation("Pt").expect("declared") {
+        result.pt.insert((
+            row[0].as_int().expect("var") as u32,
+            parse_obj(row[1].as_str().expect("object")),
+        ));
+    }
+    for row in solution.relation("PtH").expect("declared") {
+        result.pt_heap.insert((
+            parse_obj(row[0].as_str().expect("object")),
+            parse_obj(row[1].as_str().expect("object")),
+        ));
+    }
+    // Decode each (label, object) set: {x} → Single(x); ⊤ ∈ set or
+    // |set| ≥ 2 → Top.
+    let mut cells: std::collections::BTreeMap<(u32, u32), Vec<String>> = Default::default();
+    for row in solution.relation("SUAfter").expect("declared") {
+        let l = row[0].as_int().expect("label") as u32;
+        let a = parse_obj(row[1].as_str().expect("object"));
+        cells
+            .entry((l, a))
+            .or_default()
+            .push(row[2].as_str().expect("element").to_string());
+    }
+    for ((l, a), elems) in cells {
+        let value = if elems.iter().any(|e| e == TOP_ELEMENT) || elems.len() >= 2 {
+            SuLattice::Top
+        } else {
+            SuLattice::single(elems[0].as_str())
+        };
+        result.su_after.insert((l, a), value);
+    }
+    result
+}
+
+/// Runs the embedded analysis with the default solver.
+pub fn analyze(input: &SuInput) -> SuResult {
+    analyze_with(input, &Solver::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{assert_pt_agree, example_program};
+    use super::*;
+
+    #[test]
+    fn agrees_with_lattice_version_on_example() {
+        let input = example_program();
+        let datalog = analyze(&input);
+        let lattice = super::super::flix::analyze(&input);
+        assert_pt_agree(&datalog, &lattice);
+        assert_eq!(datalog.su_after, lattice.su_after);
+    }
+
+    #[test]
+    fn embedding_materialises_more_facts() {
+        // The §1 claim: the embedding pays for the same precision with a
+        // larger database (members + ⊤ markers instead of one cell).
+        let mut input = SuInput {
+            num_vars: 3,
+            num_objs: 4,
+            num_labels: 2,
+            addr_of: vec![(0, 0), (0, 1), (1, 2), (2, 3)],
+            copy: vec![],
+            load: vec![],
+            store: vec![(0, 0, 1), (1, 0, 2)],
+            cfg: vec![(0, 1)],
+            kill: vec![],
+        };
+        input.compute_kill();
+        let datalog = analyze(&input);
+        let lattice = super::super::flix::analyze(&input);
+        assert_pt_agree(&datalog, &lattice);
+        assert_eq!(datalog.su_after, lattice.su_after);
+        assert!(
+            datalog.derived_facts > lattice.derived_facts,
+            "powerset embedding should store more facts ({} vs {})",
+            datalog.derived_facts,
+            lattice.derived_facts
+        );
+    }
+}

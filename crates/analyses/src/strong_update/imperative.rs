@@ -1,0 +1,227 @@
+//! The hand-crafted imperative Strong Update analysis — the "C++"
+//! baseline of Table 1.
+//!
+//! A worklist-driven fixed point over dense, index-based data structures:
+//! points-to sets are `Vec<HashSet<u32>>`, flow-sensitive cells are a
+//! compact copy-free enum, and per-relation indexes (stores by label,
+//! CFG predecessors) are precomputed. This is the "hand-crafted static
+//! analyzer" role: same constraint system as Figure 4, none of the
+//! declarative machinery.
+
+use super::{obj_name, SuInput, SuResult};
+use flix_lattice::SuLattice;
+use std::collections::HashSet;
+
+/// A compact Strong Update lattice element over object indices.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum SuVal {
+    #[default]
+    Bot,
+    Single(u32),
+    Top,
+}
+
+impl SuVal {
+    fn join(self, other: SuVal) -> SuVal {
+        match (self, other) {
+            (SuVal::Bot, x) | (x, SuVal::Bot) => x,
+            (SuVal::Top, _) | (_, SuVal::Top) => SuVal::Top,
+            (SuVal::Single(a), SuVal::Single(b)) if a == b => self,
+            _ => SuVal::Top,
+        }
+    }
+
+    fn admits(self, b: u32) -> bool {
+        match self {
+            SuVal::Bot => false,
+            SuVal::Single(p) => p == b,
+            SuVal::Top => true,
+        }
+    }
+}
+
+/// Runs the imperative analysis.
+#[allow(clippy::needless_range_loop)] // index loops avoid aliasing the mutated sets
+pub fn analyze(input: &SuInput) -> SuResult {
+    let nv = input.num_vars as usize;
+    let no = input.num_objs as usize;
+    let nl = input.num_labels as usize;
+
+    let mut pt: Vec<HashSet<u32>> = vec![HashSet::new(); nv];
+    let mut pt_heap: Vec<HashSet<u32>> = vec![HashSet::new(); no];
+    // Flow-sensitive cells, dense by (label, object).
+    let mut su_before: Vec<SuVal> = vec![SuVal::Bot; nl * no];
+    let mut su_after: Vec<SuVal> = vec![SuVal::Bot; nl * no];
+    let killed: HashSet<(u32, u32)> = input.kill.iter().copied().collect();
+
+    // Precomputed indexes.
+    let mut copies_from: Vec<Vec<u32>> = vec![Vec::new(); nv]; // q -> [p]
+    for &(p, q) in &input.copy {
+        copies_from[q as usize].push(p);
+    }
+    let mut cfg_succ: Vec<Vec<u32>> = vec![Vec::new(); nl];
+    for &(l1, l2) in &input.cfg {
+        cfg_succ[l1 as usize].push(l2);
+    }
+
+    let cell = |l: u32, a: u32| (l as usize) * no + a as usize;
+
+    for &(p, a) in &input.addr_of {
+        pt[p as usize].insert(a);
+    }
+
+    // Round-based fixed point with change tracking; each pass applies
+    // every constraint kind with its index.
+    loop {
+        let mut changed = false;
+
+        // Copy propagation to a local fixed point (worklist over vars).
+        let mut work: Vec<u32> = (0..input.num_vars).collect();
+        while let Some(q) = work.pop() {
+            let objs: Vec<u32> = pt[q as usize].iter().copied().collect();
+            for i in 0..copies_from[q as usize].len() {
+                let p = copies_from[q as usize][i];
+                let mut grew = false;
+                for &a in &objs {
+                    grew |= pt[p as usize].insert(a);
+                }
+                if grew {
+                    changed = true;
+                    work.push(p);
+                }
+            }
+        }
+
+        // Stores: heap writes and flow-sensitive updates.
+        for &(l, p, q) in &input.store {
+            let bases: Vec<u32> = pt[p as usize].iter().copied().collect();
+            let vals: Vec<u32> = pt[q as usize].iter().copied().collect();
+            for &a in &bases {
+                for &b in &vals {
+                    changed |= pt_heap[a as usize].insert(b);
+                    let c = cell(l, a);
+                    let joined = su_after[c].join(SuVal::Single(b));
+                    if joined != su_after[c] {
+                        su_after[c] = joined;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // CFG propagation to a local fixed point (worklist over labels).
+        let mut lwork: Vec<u32> = (0..input.num_labels).collect();
+        while let Some(l1) = lwork.pop() {
+            for i in 0..cfg_succ[l1 as usize].len() {
+                let l2 = cfg_succ[l1 as usize][i];
+                let mut grew = false;
+                for a in 0..input.num_objs {
+                    let incoming = su_after[cell(l1, a)];
+                    if incoming == SuVal::Bot {
+                        continue;
+                    }
+                    let before = &mut su_before[cell(l2, a)];
+                    let joined = before.join(incoming);
+                    if joined != *before {
+                        *before = joined;
+                        changed = true;
+                    }
+                    // Transfer: preserved unless killed at l2.
+                    if !killed.contains(&(l2, a)) {
+                        let after = &mut su_after[cell(l2, a)];
+                        let joined = after.join(su_before[cell(l2, a)]);
+                        if joined != *after {
+                            *after = joined;
+                            grew = true;
+                            changed = true;
+                        }
+                    }
+                }
+                if grew {
+                    lwork.push(l2);
+                }
+            }
+        }
+
+        // Loads through the filtered flow-sensitive view.
+        for &(l, p, q) in &input.load {
+            let bases: Vec<u32> = pt[q as usize].iter().copied().collect();
+            for &a in &bases {
+                let view = su_before[cell(l, a)];
+                if view == SuVal::Bot {
+                    continue;
+                }
+                let targets: Vec<u32> = pt_heap[a as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&b| view.admits(b))
+                    .collect();
+                for b in targets {
+                    changed |= pt[p as usize].insert(b);
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Package the result.
+    let mut result = SuResult::default();
+    for (p, objs) in pt.iter().enumerate() {
+        for &a in objs {
+            result.pt.insert((p as u32, a));
+        }
+    }
+    for (a, objs) in pt_heap.iter().enumerate() {
+        for &b in objs {
+            result.pt_heap.insert((a as u32, b));
+        }
+    }
+    for l in 0..input.num_labels {
+        for a in 0..input.num_objs {
+            let value = match su_after[cell(l, a)] {
+                SuVal::Bot => continue,
+                SuVal::Single(b) => SuLattice::single(obj_name(b)),
+                SuVal::Top => SuLattice::Top,
+            };
+            result.su_after.insert((l, a), value);
+        }
+    }
+    result.derived_facts = result.pt.len() + result.pt_heap.len() + result.su_after.len();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{assert_pt_agree, example_program};
+    use super::*;
+
+    #[test]
+    fn example_matches_flix() {
+        let input = example_program();
+        let imp = analyze(&input);
+        let flix = super::super::flix::analyze(&input);
+        assert_pt_agree(&imp, &flix);
+        assert_eq!(imp.su_after, flix.su_after);
+    }
+
+    #[test]
+    fn suval_join_table() {
+        use SuVal::*;
+        assert_eq!(Bot.join(Single(1)), Single(1));
+        assert_eq!(Single(1).join(Single(1)), Single(1));
+        assert_eq!(Single(1).join(Single(2)), Top);
+        assert_eq!(Top.join(Bot), Top);
+    }
+
+    #[test]
+    fn admits_matches_figure_4_filter() {
+        use SuVal::*;
+        assert!(!Bot.admits(0));
+        assert!(Single(3).admits(3));
+        assert!(!Single(3).admits(4));
+        assert!(Top.admits(9));
+    }
+}

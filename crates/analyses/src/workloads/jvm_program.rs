@@ -1,0 +1,342 @@
+//! Synthetic interprocedural programs for the IFDS and IDE analyses.
+//!
+//! Table 2 of the paper runs an IFDS object-abstraction analysis over six
+//! DaCapo benchmarks through a Soot frontend; neither is available here,
+//! so this generator is the substitution documented in DESIGN.md: seeded
+//! random interprocedural control-flow graphs with a small statement
+//! language, scaled per benchmark so the relative problem sizes track the
+//! paper's relative running times. Both solvers consume identical flow
+//! functions over this model, so the *ratio* Table 2 reports (imperative
+//! vs declarative) is preserved by construction.
+
+use crate::ifds::{CallSite, Node, ProcId, ProcInfo, Supergraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A program variable (global id across procedures).
+pub type VarId = u32;
+
+/// A statement attached to a supergraph node; it transforms facts along
+/// the node's outgoing edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// No effect.
+    Nop,
+    /// `dst = k` — initialises `dst` with the constant `k`.
+    Const {
+        /// The assigned variable.
+        dst: VarId,
+        /// The constant.
+        k: i64,
+    },
+    /// `dst = src`.
+    Assign {
+        /// The assigned variable.
+        dst: VarId,
+        /// The source variable.
+        src: VarId,
+    },
+    /// `dst = a * src + b` — the linear form of the IDE example (§4.3).
+    Linear {
+        /// The assigned variable.
+        dst: VarId,
+        /// The source variable.
+        src: VarId,
+        /// Multiplier.
+        a: i64,
+        /// Offset.
+        b: i64,
+    },
+    /// `dst = input()` — an environment read: initialises `dst` with an
+    /// unknown value (and taints it, for the taint analysis).
+    Read {
+        /// The assigned variable.
+        dst: VarId,
+    },
+    /// `dst = sanitize(dst)` — clears taint without changing
+    /// initialisation.
+    Sanitize {
+        /// The sanitised variable.
+        dst: VarId,
+    },
+    /// A call; the node is also registered in [`Supergraph::calls`].
+    Call {
+        /// `(actual, formal)` argument bindings.
+        args: Vec<(VarId, VarId)>,
+        /// The caller variable receiving the callee's return value.
+        ret_dst: Option<VarId>,
+    },
+}
+
+/// An interprocedural program: a supergraph plus per-node statements and
+/// per-procedure variable metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramModel {
+    /// The supergraph skeleton.
+    pub graph: Supergraph,
+    /// The statement at each node.
+    pub stmts: Vec<Stmt>,
+    /// All local variables of each procedure (global variable ids).
+    pub proc_vars: Vec<Vec<VarId>>,
+    /// The parameter subset of each procedure's locals.
+    pub proc_params: Vec<Vec<VarId>>,
+    /// The variable whose value a procedure returns.
+    pub proc_ret: Vec<VarId>,
+    /// The entry procedure.
+    pub main: ProcId,
+    /// Total number of variables.
+    pub num_vars: u32,
+}
+
+impl ProgramModel {
+    /// A size metric comparable across benchmarks: supergraph nodes times
+    /// average per-procedure fact-domain size.
+    pub fn exploded_size(&self) -> usize {
+        self.graph.num_nodes as usize * (self.num_vars as usize / self.graph.procs.len().max(1))
+    }
+
+    /// Returns the statement at `node`.
+    pub fn stmt(&self, node: Node) -> &Stmt {
+        &self.stmts[node as usize]
+    }
+}
+
+/// One row of Table 2 of the paper: a DaCapo benchmark with the reported
+/// running times (in tenths of seconds, to stay integral).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Table2Row {
+    /// The DaCapo benchmark name.
+    pub name: &'static str,
+    /// Paper column "Scala Time (s)" × 10.
+    pub scala_time_ds: u64,
+    /// Paper column "Flix Time (s)" × 10.
+    pub flix_time_ds: u64,
+    /// Paper column "Slowdown" × 10.
+    pub slowdown_x10: u64,
+}
+
+/// The six rows of Table 2.
+pub const TABLE_2: &[Table2Row] = &[
+    Table2Row {
+        name: "luindex",
+        scala_time_ds: 1_336,
+        flix_time_ds: 3_667,
+        slowdown_x10: 27,
+    },
+    Table2Row {
+        name: "antlr",
+        scala_time_ds: 1_767,
+        flix_time_ds: 4_373,
+        slowdown_x10: 25,
+    },
+    Table2Row {
+        name: "hsqldb",
+        scala_time_ds: 1_874,
+        flix_time_ds: 4_692,
+        slowdown_x10: 25,
+    },
+    Table2Row {
+        name: "bloat",
+        scala_time_ds: 2_035,
+        flix_time_ds: 5_841,
+        slowdown_x10: 29,
+    },
+    Table2Row {
+        name: "pmd",
+        scala_time_ds: 2_477,
+        flix_time_ds: 6_801,
+        slowdown_x10: 27,
+    },
+    Table2Row {
+        name: "jython",
+        scala_time_ds: 46_147,
+        flix_time_ds: 143_448,
+        slowdown_x10: 31,
+    },
+];
+
+/// Generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct GenParams {
+    /// Number of procedures.
+    pub num_procs: u32,
+    /// Body nodes per procedure (excluding start and end).
+    pub nodes_per_proc: u32,
+    /// Local variables per procedure.
+    pub vars_per_proc: u32,
+    /// Probability that a body node is a call site (percent).
+    pub call_percent: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    fn default() -> GenParams {
+        GenParams {
+            num_procs: 8,
+            nodes_per_proc: 12,
+            vars_per_proc: 6,
+            call_percent: 15,
+            seed: 0xF11C,
+        }
+    }
+}
+
+/// Parameters for one Table 2 row: problem size proportional to the
+/// paper's baseline running time, times `scale`.
+pub fn params_for_row(row: &Table2Row, scale: f64, seed: u64) -> GenParams {
+    // luindex (133.6 s) is the unit; jython is ~34.5x larger.
+    let rel = row.scala_time_ds as f64 / 1_336.0;
+    let budget = (rel * scale * 2_000.0).max(60.0); // total body nodes
+    let num_procs = (budget.sqrt() * 0.7).ceil().max(3.0) as u32;
+    let nodes_per_proc = (budget / num_procs as f64).ceil().max(6.0) as u32;
+    GenParams {
+        num_procs,
+        nodes_per_proc,
+        vars_per_proc: 8,
+        call_percent: 15,
+        seed: seed ^ row.scala_time_ds,
+    }
+}
+
+/// Generates a program, deterministically from the parameters.
+pub fn generate(params: GenParams) -> ProgramModel {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let np = params.num_procs.max(1);
+    let body = params.nodes_per_proc.max(2);
+    let nv = params.vars_per_proc.max(3);
+
+    let mut graph = Supergraph::default();
+    let mut stmts: Vec<Stmt> = Vec::new();
+    let mut proc_vars = Vec::new();
+    let mut proc_params = Vec::new();
+    let mut proc_ret = Vec::new();
+
+    // Allocate variables: proc p owns ids [p*nv, (p+1)*nv); the first
+    // `n_params` are parameters, the last is the return variable.
+    let n_params = 2.min(nv - 1);
+    for p in 0..np {
+        let base = p * nv;
+        proc_vars.push((base..base + nv).collect::<Vec<_>>());
+        proc_params.push((base..base + n_params).collect::<Vec<_>>());
+        proc_ret.push(base + nv - 1);
+    }
+
+    for p in 0..np {
+        let start = graph.num_nodes;
+        let vars = proc_vars[p as usize].clone();
+        stmts.push(Stmt::Nop); // start node
+        graph.num_nodes += 1;
+        let mut prev = start;
+        for i in 0..body {
+            let node = graph.num_nodes;
+            graph.num_nodes += 1;
+            graph.cfg.push((prev, node));
+            // Occasional forward branch (diamond shape).
+            if i >= 2 && rng.gen_bool(0.15) {
+                graph.cfg.push((node - 2, node));
+            }
+            let dst = vars[rng.gen_range(0..vars.len())];
+            let src = vars[rng.gen_range(0..vars.len())];
+            let stmt = if rng.gen_range(0..100) < params.call_percent && np > 1 {
+                let target = rng.gen_range(0..np);
+                let formals = proc_params[target as usize].clone();
+                let args = formals
+                    .iter()
+                    .map(|&f| (vars[rng.gen_range(0..vars.len())], f))
+                    .collect();
+                graph.calls.push(CallSite { call: node, target });
+                Stmt::Call {
+                    args,
+                    ret_dst: Some(dst),
+                }
+            } else {
+                match rng.gen_range(0..10) {
+                    0 | 1 => Stmt::Const {
+                        dst,
+                        k: rng.gen_range(-4..5),
+                    },
+                    2..=4 => Stmt::Assign { dst, src },
+                    5..=6 => Stmt::Linear {
+                        dst,
+                        src,
+                        a: rng.gen_range(1..4),
+                        b: rng.gen_range(-3..4),
+                    },
+                    7 => Stmt::Read { dst },
+                    8 => Stmt::Sanitize { dst },
+                    _ => Stmt::Nop,
+                }
+            };
+            stmts.push(stmt);
+            prev = node;
+        }
+        let end = graph.num_nodes;
+        graph.num_nodes += 1;
+        graph.cfg.push((prev, end));
+        stmts.push(Stmt::Nop); // end node
+        graph.procs.push(ProcInfo { start, end });
+    }
+
+    graph.proc_of = vec![0; graph.num_nodes as usize];
+    for (p, info) in graph.procs.iter().enumerate() {
+        for n in info.start..=info.end {
+            graph.proc_of[n as usize] = p as ProcId;
+        }
+    }
+
+    ProgramModel {
+        graph,
+        stmts,
+        proc_vars,
+        proc_params,
+        proc_ret,
+        main: 0,
+        num_vars: np * nv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(GenParams::default());
+        let b = generate(GenParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structure_is_well_formed() {
+        let m = generate(GenParams::default());
+        assert_eq!(m.stmts.len(), m.graph.num_nodes as usize);
+        assert_eq!(m.graph.proc_of.len(), m.graph.num_nodes as usize);
+        for call in &m.graph.calls {
+            assert!(matches!(m.stmt(call.call), Stmt::Call { .. }));
+        }
+        for (n, stmt) in m.stmts.iter().enumerate() {
+            if matches!(stmt, Stmt::Call { .. }) {
+                assert!(m.graph.calls.iter().any(|c| c.call == n as u32));
+            }
+        }
+        for info in &m.graph.procs {
+            assert_eq!(m.stmt(info.start), &Stmt::Nop);
+            assert_eq!(m.stmt(info.end), &Stmt::Nop);
+            assert!(info.start < info.end);
+        }
+    }
+
+    #[test]
+    fn table_2_rows_scale_monotonically() {
+        let mut sizes = Vec::new();
+        for row in TABLE_2 {
+            let m = generate(params_for_row(row, 0.1, 1));
+            sizes.push(m.graph.num_nodes);
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[0] <= w[1]),
+            "sizes must track the paper's times: {sizes:?}"
+        );
+    }
+}

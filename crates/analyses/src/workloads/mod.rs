@@ -1,0 +1,12 @@
+//! Workload generators: the substitutions (documented in DESIGN.md) for
+//! the paper's unavailable benchmark inputs.
+//!
+//! * [`c_program`] — SPEC-scale pointer programs for the Strong Update
+//!   analysis (Table 1);
+//! * [`jvm_program`] — DaCapo-scale interprocedural programs for the IFDS
+//!   and IDE analyses (Table 2);
+//! * [`graphs`] — random weighted digraphs for shortest paths (§4.4).
+
+pub mod c_program;
+pub mod graphs;
+pub mod jvm_program;

@@ -1,0 +1,129 @@
+//! Ablation benches for the engine design choices called out in
+//! DESIGN.md:
+//!
+//! * semi-naïve vs naïve evaluation (§3.7 of the paper);
+//! * hash-index joins vs full scans (index selection);
+//! * sequential vs parallel rule evaluation;
+//! * native lattice vs §1's powerset embedding (measured on the Strong
+//!   Update analysis in `strong_update.rs`; here on a pure engine
+//!   workload).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flix_analyses::strong_update;
+use flix_analyses::workloads::c_program;
+use flix_core::{BodyItem, Head, HeadTerm, Program, ProgramBuilder, Solver, Strategy, Term};
+
+/// Transitive closure over a chain plus random edges: the canonical
+/// engine micro-workload.
+fn closure_program(nodes: i64, extra: usize, seed: u64) -> Program {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new();
+    let e = b.relation("Edge", 2);
+    let p = b.relation("Path", 2);
+    for n in 0..nodes - 1 {
+        b.fact(e, vec![n.into(), (n + 1).into()]);
+    }
+    for _ in 0..extra {
+        let x = rng.gen_range(0..nodes);
+        let y = rng.gen_range(0..nodes);
+        b.fact(e, vec![x.into(), y.into()]);
+    }
+    b.rule(
+        Head::new(p, [HeadTerm::var("x"), HeadTerm::var("y")]),
+        [BodyItem::atom(e, [Term::var("x"), Term::var("y")])],
+    );
+    b.rule(
+        Head::new(p, [HeadTerm::var("x"), HeadTerm::var("z")]),
+        [
+            BodyItem::atom(p, [Term::var("x"), Term::var("y")]),
+            BodyItem::atom(e, [Term::var("y"), Term::var("z")]),
+        ],
+    );
+    b.build().expect("valid")
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_semi_naive_vs_naive");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &nodes in &[30i64, 60] {
+        let program = closure_program(nodes, nodes as usize, 7);
+        group.bench_with_input(BenchmarkId::new("semi_naive", nodes), &(), |b, ()| {
+            b.iter(|| Solver::new().solve(&program).expect("solves"))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", nodes), &(), |b, ()| {
+            b.iter(|| {
+                Solver::new()
+                    .strategy(Strategy::Naive)
+                    .solve(&program)
+                    .expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_indexes_vs_scans");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &nodes in &[40i64, 80] {
+        let program = closure_program(nodes, nodes as usize * 2, 11);
+        group.bench_with_input(BenchmarkId::new("indexed", nodes), &(), |b, ()| {
+            b.iter(|| Solver::new().solve(&program).expect("solves"))
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", nodes), &(), |b, ()| {
+            b.iter(|| {
+                Solver::new()
+                    .use_indexes(false)
+                    .solve(&program)
+                    .expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let input = c_program::generate(800, 0xAB1A);
+    let program = strong_update::flix::build_program(&input);
+    group.bench_function("sequential", |b| {
+        b.iter(|| Solver::new().solve(&program).expect("solves"))
+    });
+    group.bench_function("threads_4", |b| {
+        b.iter(|| Solver::new().threads(4).solve(&program).expect("solves"))
+    });
+    group.finish();
+}
+
+fn bench_lattice_vs_powerset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lattice_vs_powerset");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let input = c_program::generate(600, 0x90D);
+    group.bench_function("native_lattice", |b| {
+        b.iter(|| strong_update::flix::analyze(&input))
+    });
+    group.bench_function("powerset_embedding", |b| {
+        b.iter(|| strong_update::datalog::analyze(&input))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_indexes,
+    bench_parallel,
+    bench_lattice_vs_powerset
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table 2 bench: the IFDS analysis, hand-coded imperative tabulation
+//! (the paper's Scala column) vs the declarative FLIX formulation of
+//! Figure 5, over identical flow functions.
+//!
+//! The paper's shape to reproduce: the declarative version within a small
+//! constant factor (~2.5–3.1×) of the imperative one, scaling together.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flix_analyses::ifds;
+use flix_analyses::ifds::problems::{Taint, UninitVars};
+use flix_analyses::workloads::jvm_program::{self, GenParams};
+use std::sync::Arc;
+
+fn bench_ifds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_ifds");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &(procs, nodes) in &[(4u32, 10u32), (8, 16), (16, 28)] {
+        let size = procs * (nodes + 2);
+        let model = Arc::new(jvm_program::generate(GenParams {
+            num_procs: procs,
+            nodes_per_proc: nodes,
+            vars_per_proc: 6,
+            call_percent: 15,
+            seed: 0xDACA90,
+        }));
+        let taint = Arc::new(Taint::new(model.clone()));
+        group.bench_with_input(
+            BenchmarkId::new("imperative_scala_baseline", size),
+            &(),
+            |b, ()| b.iter(|| ifds::imperative::solve(&model.graph, taint.as_ref())),
+        );
+        group.bench_with_input(BenchmarkId::new("flix_declarative", size), &(), |b, ()| {
+            b.iter(|| ifds::flix::solve(&model.graph, taint.clone()))
+        });
+        let uninit = Arc::new(UninitVars::new(model.clone()));
+        group.bench_with_input(BenchmarkId::new("imperative_uninit", size), &(), |b, ()| {
+            b.iter(|| ifds::imperative::solve(&model.graph, uninit.as_ref()))
+        });
+        group.bench_with_input(BenchmarkId::new("flix_uninit", size), &(), |b, ()| {
+            b.iter(|| ifds::flix::solve(&model.graph, uninit.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ifds);
+criterion_main!(benches);

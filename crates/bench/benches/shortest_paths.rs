@@ -1,0 +1,36 @@
+//! §4.4 bench: all-pairs/single-source shortest paths as a FLIX lattice
+//! program vs the hand-written Dijkstra reference — the paper's example
+//! that FLIX "is applicable to other types of fixed-point problems".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flix_analyses::shortest_paths;
+use flix_analyses::workloads::graphs;
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shortest_paths");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &(nodes, extra) in &[(50u32, 150usize), (150, 500), (400, 1_500)] {
+        let graph = graphs::generate(nodes, extra, 0x5907);
+        group.bench_with_input(
+            BenchmarkId::new("flix_single_source", nodes),
+            &graph,
+            |b, graph| b.iter(|| shortest_paths::single_source(graph, 0)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dijkstra_reference", nodes),
+            &graph,
+            |b, graph| b.iter(|| graphs::dijkstra(graph, 0)),
+        );
+    }
+    // All-pairs on a small graph: the map-lattice workload.
+    let graph = graphs::generate(40, 120, 0x5907);
+    group.bench_function("flix_all_pairs_40", |b| {
+        b.iter(|| shortest_paths::all_pairs(&graph))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shortest_paths);
+criterion_main!(benches);

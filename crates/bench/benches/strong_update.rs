@@ -1,0 +1,44 @@
+//! Table 1 bench: the Strong Update analysis under its three
+//! implementations — the pure-Datalog powerset embedding (the paper's DLV
+//! column), the FLIX lattice engine, and the hand-written imperative
+//! worklist (the C++ column).
+//!
+//! The paper's shape to reproduce: DLV ≫ FLIX ≫ C++, with the embedding's
+//! gap growing with input size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flix_analyses::strong_update;
+use flix_analyses::workloads::c_program;
+
+fn bench_strong_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_strong_update");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &facts in &[200usize, 600, 1_800] {
+        let input = c_program::generate(facts, 0xBEEF);
+        group.bench_with_input(
+            BenchmarkId::new("imperative_cxx_baseline", facts),
+            &input,
+            |b, input| b.iter(|| strong_update::imperative::analyze(input)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flix_lattice", facts),
+            &input,
+            |b, input| b.iter(|| strong_update::flix::analyze(input)),
+        );
+        // The powerset embedding blows up quickly; cap its size like the
+        // paper's DLV column (which stops at 20k facts).
+        if facts <= 600 {
+            group.bench_with_input(
+                BenchmarkId::new("datalog_powerset_dlv_baseline", facts),
+                &input,
+                |b, input| b.iter(|| strong_update::datalog::analyze(input)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strong_update);
+criterion_main!(benches);

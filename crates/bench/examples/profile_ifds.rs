@@ -1,0 +1,31 @@
+use flix_analyses::ifds::{self, problems::Taint};
+use flix_analyses::workloads::jvm_program::{self, GenParams};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    for (procs, nodes) in [(8u32, 16u32), (16, 32), (31, 45)] {
+        let model = Arc::new(jvm_program::generate(GenParams {
+            num_procs: procs,
+            nodes_per_proc: nodes,
+            vars_per_proc: 8,
+            call_percent: 15,
+            seed: 42,
+        }));
+        let problem = Arc::new(Taint::new(model.clone()));
+        let t0 = Instant::now();
+        let imp = ifds::imperative::solve(&model.graph, problem.as_ref());
+        let imp_t = t0.elapsed();
+        let program = ifds::flix::build_program(&model.graph, problem.clone());
+        let t0 = Instant::now();
+        let sol = flix_core::Solver::new().solve(&program).unwrap();
+        let flix_t = t0.elapsed();
+        let s = sol.stats();
+        println!("nodes={:5} pathedges={:6} imp={:8.4}s flix={:8.4}s ratio={:6.1} rounds={} derived={} inserted={} probes={} scans={}",
+            model.graph.num_nodes, sol.len("PathEdge").unwrap(),
+            imp_t.as_secs_f64(), flix_t.as_secs_f64(),
+            flix_t.as_secs_f64()/imp_t.as_secs_f64(),
+            s.rounds, s.facts_derived, s.facts_inserted, s.index_probes, s.scan_fallbacks);
+        let _ = imp;
+    }
+}

@@ -1,0 +1,32 @@
+//! Benchmark harness for the FLIX reproduction.
+//!
+//! One Criterion bench per evaluation artifact of the paper:
+//!
+//! * `strong_update` — Table 1 (DLV powerset embedding vs FLIX vs
+//!   hand-written imperative);
+//! * `ifds` — Table 2 (imperative tabulation vs declarative FLIX);
+//! * `shortest_paths` — §4.4 (FLIX lattice solve vs Dijkstra);
+//! * `ablation` — the design-choice experiments of DESIGN.md (semi-naïve
+//!   vs naïve, indexes vs scans, parallel vs sequential, native lattice vs
+//!   powerset embedding).
+//!
+//! The `tables` binary regenerates the paper's tables as text:
+//! `cargo run --release -p flix-bench --bin tables -- all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Times one invocation of `f`, returning its result and the elapsed time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration in seconds with millisecond resolution, matching
+/// the paper's "Time (s)" columns.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}

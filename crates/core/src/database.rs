@@ -1,0 +1,339 @@
+//! The indexed fact database.
+//!
+//! Relations are stored as deduplicated tuple vectors with hash indexes on
+//! the bound-column sets requested by the compiled rules; `lat` predicates
+//! are stored as *compact* cell maps from key tuples (the first `n-1`
+//! columns, §3.2's cell partition) to a single lattice element, so the
+//! per-cell least-upper-bound compaction of the immediate consequence
+//! operator is a constant-time map update.
+
+use crate::ast::PredKind;
+use crate::program::Program;
+use crate::{LatticeOps, PredId, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A stored tuple. Shared so that indexes and deltas can alias rows
+/// without copying.
+pub(crate) type Row = Arc<[Value]>;
+
+/// Outcome of inserting one derived fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum InsertOutcome {
+    /// The fact was already present (or was a lattice `⊥`): no change.
+    Unchanged,
+    /// A new relational tuple was added.
+    NewRow(Row),
+    /// A lattice cell strictly increased; carries the key and the *new*
+    /// cell value — exactly the paper's `∆P` element `ga(P', S)` (§3.7).
+    LatIncrease(Row, Value),
+}
+
+/// Storage for one relational predicate.
+#[derive(Debug, Default)]
+pub(crate) struct RelationData {
+    rows: Vec<Row>,
+    set: HashMap<Row, ()>,
+    /// Hash indexes keyed by column set; values are row indices.
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<u32>>>,
+}
+
+impl RelationData {
+    fn insert(&mut self, row: Row) -> bool {
+        if self.set.contains_key(&row) {
+            return false;
+        }
+        let idx = self.rows.len() as u32;
+        for (cols, index) in &mut self.indexes {
+            let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            index.entry(key).or_default().push(idx);
+        }
+        self.set.insert(row.clone(), ());
+        self.rows.push(row);
+        true
+    }
+
+    pub(crate) fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub(crate) fn contains(&self, row: &[Value]) -> bool {
+        self.set.contains_key(row)
+    }
+
+    fn register_index(&mut self, cols: Vec<usize>) {
+        self.indexes.entry(cols).or_default();
+    }
+
+    /// Returns the row indices matching `key` on `cols`, or `None` if no
+    /// such index exists (the caller falls back to a scan).
+    pub(crate) fn probe(&self, cols: &[usize], key: &[Value]) -> Option<&[u32]> {
+        self.indexes
+            .get(cols)
+            .map(|index| index.get(key).map_or(&[][..], |v| &v[..]))
+    }
+}
+
+/// Storage for one lattice predicate: the compact cell map.
+#[derive(Debug)]
+pub(crate) struct LatticeData {
+    ops: LatticeOps,
+    cells: HashMap<Row, Value>,
+    keys: Vec<Row>,
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<u32>>>,
+}
+
+impl LatticeData {
+    fn new(ops: LatticeOps) -> LatticeData {
+        LatticeData {
+            ops,
+            cells: HashMap::new(),
+            keys: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn ops(&self) -> &LatticeOps {
+        &self.ops
+    }
+
+    /// Joins `value` into the cell at `key`. Returns the new cell value on
+    /// strict increase.
+    fn join(&mut self, key: Row, value: Value) -> Option<Value> {
+        if self.ops.is_bottom(&value) {
+            return None;
+        }
+        if let Some(cell) = self.cells.get_mut(&key) {
+            if self.ops.leq(&value, cell) {
+                return None;
+            }
+            let joined = (self.ops).lub(cell, &value);
+            *cell = joined.clone();
+            return Some(joined);
+        }
+        let idx = self.keys.len() as u32;
+        for (cols, index) in &mut self.indexes {
+            let ikey: Vec<Value> = cols.iter().map(|&c| key[c].clone()).collect();
+            index.entry(ikey).or_default().push(idx);
+        }
+        self.keys.push(key.clone());
+        self.cells.insert(key, value.clone());
+        Some(value)
+    }
+
+    pub(crate) fn keys(&self) -> &[Row] {
+        &self.keys
+    }
+
+    pub(crate) fn value(&self, key: &[Value]) -> Option<&Value> {
+        self.cells.get(key)
+    }
+
+    fn register_index(&mut self, cols: Vec<usize>) {
+        self.indexes.entry(cols).or_default();
+    }
+
+    pub(crate) fn probe(&self, cols: &[usize], key: &[Value]) -> Option<&[u32]> {
+        self.indexes
+            .get(cols)
+            .map(|index| index.get(key).map_or(&[][..], |v| &v[..]))
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&Row, &Value)> {
+        self.keys.iter().map(move |k| {
+            let v = self.cells.get(k).expect("key vector tracks cells");
+            (k, v)
+        })
+    }
+}
+
+/// Storage for one predicate.
+#[derive(Debug)]
+pub(crate) enum PredData {
+    Rel(RelationData),
+    Lat(LatticeData),
+}
+
+/// The fact database: one [`PredData`] per declared predicate, plus
+/// instrumentation counters for the benchmark harness.
+#[derive(Debug)]
+pub(crate) struct Database {
+    preds: Vec<PredData>,
+    /// Number of index probes performed.
+    pub(crate) index_probes: AtomicU64,
+    /// Number of full-scan fallbacks (no usable index).
+    pub(crate) scan_fallbacks: AtomicU64,
+}
+
+impl Database {
+    /// Creates an empty database for `program`, registering the requested
+    /// indexes (unless `use_indexes` is false, the ablation configuration).
+    pub(crate) fn for_program(program: &Program, use_indexes: bool) -> Database {
+        let mut preds: Vec<PredData> = program
+            .preds
+            .iter()
+            .map(|decl| match &decl.kind {
+                PredKind::Relation => PredData::Rel(RelationData::default()),
+                PredKind::Lattice(ops) => PredData::Lat(LatticeData::new(ops.clone())),
+            })
+            .collect();
+        if use_indexes {
+            for (pred, col_sets) in &program.index_requests {
+                for cols in col_sets {
+                    match &mut preds[pred.0 as usize] {
+                        PredData::Rel(r) => r.register_index(cols.clone()),
+                        PredData::Lat(l) => l.register_index(cols.clone()),
+                    }
+                }
+            }
+        }
+        Database {
+            preds,
+            index_probes: AtomicU64::new(0),
+            scan_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn pred(&self, pred: PredId) -> &PredData {
+        &self.preds[pred.0 as usize]
+    }
+
+    /// Inserts a derived tuple, interpreting the last column as a lattice
+    /// element for `lat` predicates.
+    pub(crate) fn insert(&mut self, pred: PredId, mut tuple: Vec<Value>) -> InsertOutcome {
+        match &mut self.preds[pred.0 as usize] {
+            PredData::Rel(r) => {
+                let row: Row = tuple.into();
+                if r.insert(row.clone()) {
+                    InsertOutcome::NewRow(row)
+                } else {
+                    InsertOutcome::Unchanged
+                }
+            }
+            PredData::Lat(l) => {
+                let value = tuple.pop().expect("lattice predicates have arity >= 1");
+                let key: Row = tuple.into();
+                match l.join(key.clone(), value) {
+                    Some(new_value) => InsertOutcome::LatIncrease(key, new_value),
+                    None => InsertOutcome::Unchanged,
+                }
+            }
+        }
+    }
+
+    pub(crate) fn count_probe(&self) {
+        self.index_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_scan(&self) {
+        self.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of stored facts (rows plus non-bottom lattice cells) —
+    /// the database-size proxy reported by the benchmark tables.
+    pub(crate) fn total_facts(&self) -> usize {
+        self.preds
+            .iter()
+            .map(|p| match p {
+                PredData::Rel(r) => r.rows.len(),
+                PredData::Lat(l) => l.keys.len(),
+            })
+            .sum()
+    }
+
+    pub(crate) fn len_of(&self, pred: PredId) -> usize {
+        match &self.preds[pred.0 as usize] {
+            PredData::Rel(r) => r.rows.len(),
+            PredData::Lat(l) => l.keys.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::ValueLattice;
+    use crate::ProgramBuilder;
+    use flix_lattice::Parity;
+
+    fn row(vals: &[i64]) -> Row {
+        vals.iter().map(|&n| Value::Int(n)).collect()
+    }
+
+    #[test]
+    fn relation_insert_dedups() {
+        let mut r = RelationData::default();
+        assert!(r.insert(row(&[1, 2])));
+        assert!(!r.insert(row(&[1, 2])));
+        assert!(r.insert(row(&[1, 3])));
+        assert_eq!(r.rows().len(), 2);
+        assert!(r.contains(&[Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn relation_index_tracks_inserts() {
+        let mut r = RelationData::default();
+        r.register_index(vec![0]);
+        r.insert(row(&[1, 2]));
+        r.insert(row(&[1, 3]));
+        r.insert(row(&[2, 4]));
+        let hits = r.probe(&[0], &[Value::Int(1)]).expect("index exists");
+        assert_eq!(hits.len(), 2);
+        let misses = r.probe(&[0], &[Value::Int(9)]).expect("index exists");
+        assert!(misses.is_empty());
+        assert!(r.probe(&[1], &[Value::Int(2)]).is_none(), "no such index");
+    }
+
+    #[test]
+    fn lattice_join_is_compact() {
+        let mut l = LatticeData::new(crate::LatticeOps::of::<Parity>());
+        let key = row(&[7]);
+        assert_eq!(
+            l.join(key.clone(), Parity::Even.to_value()),
+            Some(Parity::Even.to_value())
+        );
+        // Re-joining a smaller or equal element changes nothing.
+        assert_eq!(l.join(key.clone(), Parity::Even.to_value()), None);
+        assert_eq!(l.join(key.clone(), Parity::Bot.to_value()), None);
+        // Joining an incomparable element lifts the single cell to Top.
+        assert_eq!(
+            l.join(key.clone(), Parity::Odd.to_value()),
+            Some(Parity::Top.to_value())
+        );
+        assert_eq!(l.keys().len(), 1, "one cell per key: compactness");
+        assert_eq!(l.value(&key), Some(&Parity::Top.to_value()));
+    }
+
+    #[test]
+    fn bottom_is_never_stored() {
+        let mut l = LatticeData::new(crate::LatticeOps::of::<Parity>());
+        assert_eq!(l.join(row(&[1]), Parity::Bot.to_value()), None);
+        assert!(l.keys().is_empty());
+    }
+
+    #[test]
+    fn database_insert_dispatches_by_kind() {
+        let mut b = ProgramBuilder::new();
+        let e = b.relation("E", 2);
+        let iv = b.lattice("IntVar", 2, crate::LatticeOps::of::<Parity>());
+        let prog = b.build().expect("valid");
+        let mut db = Database::for_program(&prog, true);
+
+        assert!(matches!(
+            db.insert(e, vec![Value::Int(1), Value::Int(2)]),
+            InsertOutcome::NewRow(_)
+        ));
+        assert!(matches!(
+            db.insert(e, vec![Value::Int(1), Value::Int(2)]),
+            InsertOutcome::Unchanged
+        ));
+        assert!(matches!(
+            db.insert(iv, vec![Value::from("x"), Parity::Odd.to_value()]),
+            InsertOutcome::LatIncrease(_, _)
+        ));
+        assert_eq!(db.total_facts(), 2);
+        assert_eq!(db.len_of(e), 1);
+        assert_eq!(db.len_of(iv), 1);
+    }
+}

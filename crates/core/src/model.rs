@@ -1,0 +1,304 @@
+//! Model-theoretic validation of solver output (§3.1–§3.2 of the paper).
+//!
+//! The declarative semantics of FLIX defines *what* the solution is — the
+//! minimal compact model — independently of any evaluation strategy. This
+//! module checks a computed [`Solution`] against that definition:
+//!
+//! * [`model_violation`] verifies the model property `T_P(I) ⊑ I`: every
+//!   rule instance satisfied by the interpretation must have a true head
+//!   (for lattice predicates, true means *subsumed*: the derived element is
+//!   `⊑` the stored cell value, per §3.2 step 5);
+//! * [`is_locally_minimal`] verifies minimality in the paper's model order
+//!   `⊑M` (§3.2 step 6) against one-step reductions: removing any derived
+//!   tuple, or decreasing any lattice cell to any smaller candidate value,
+//!   must break the model property.
+//!
+//! Together these give the cross-validation used by the test suite: the
+//! naïve and semi-naïve solvers must both land on a compact model that is
+//! locally minimal. (Compactness itself is enforced structurally: the
+//! database stores exactly one value per cell.)
+
+use crate::database::{Database, InsertOutcome, PredData};
+use crate::program::Program;
+use crate::solver::{eval_rule, Solution};
+use crate::{PredId, Value};
+use std::collections::HashSet;
+
+/// Returns the first rule-head fact that the interpretation fails to
+/// satisfy, or `None` when the solution is a model of the program.
+///
+/// The result carries the predicate name and the violating head tuple.
+pub fn model_violation(program: &Program, solution: &Solution) -> Option<(String, Vec<Value>)> {
+    violation_against(program, solution.database())
+}
+
+/// Returns `true` when the solution is a model of the program.
+pub fn is_model(program: &Program, solution: &Solution) -> bool {
+    model_violation(program, solution).is_none()
+}
+
+fn violation_against(program: &Program, db: &Database) -> Option<(String, Vec<Value>)> {
+    // The explicit facts must be satisfied (they are rules with empty
+    // bodies).
+    for (pred, values) in &program.facts {
+        if !satisfied(program, db, *pred, values) {
+            return Some((program.decl(*pred).name().to_string(), values.clone()));
+        }
+    }
+    // Every rule-derivable head must be satisfied: T_P(I) ⊑ I.
+    let mut derived = Vec::new();
+    for rule in &program.rules {
+        eval_rule(program, db, rule, None, &[], &mut derived);
+    }
+    for (pred, tuple) in derived {
+        if !satisfied(program, db, pred, &tuple) {
+            return Some((program.decl(pred).name().to_string(), tuple));
+        }
+    }
+    None
+}
+
+/// Is the ground atom `pred(values...)` true in the interpretation?
+fn satisfied(program: &Program, db: &Database, pred: PredId, values: &[Value]) -> bool {
+    match db.pred(pred) {
+        PredData::Rel(rel) => rel.contains(values),
+        PredData::Lat(lat) => {
+            let (key, value) = values.split_at(values.len() - 1);
+            let ops = program.decl(pred).lattice_ops().expect("lattice predicate");
+            if ops.is_bottom(&value[0]) {
+                return true; // ⊥ is below every cell, stored or not.
+            }
+            match lat.value(key) {
+                Some(cell) => ops.leq(&value[0], cell),
+                None => false,
+            }
+        }
+    }
+}
+
+/// Checks that the solution is a model and that no single-step reduction
+/// of it is still a model — removing any non-fact relational tuple, or
+/// lowering any lattice cell to a strictly smaller candidate.
+///
+/// Candidate replacement values for a cell are the other values stored in
+/// the same lattice predicate, their pairwise greatest lower bounds with
+/// the cell value, and `⊥` (dropping the cell). This is a *local*
+/// minimality check: it cannot rule out a smaller model that differs in
+/// many cells at once, but the least fixed point is below every model, so
+/// any failure here proves the solver over-approximated.
+///
+/// Intended for small cross-validation programs; it re-runs the model
+/// check once per stored fact and candidate.
+pub fn is_locally_minimal(program: &Program, solution: &Solution) -> bool {
+    let db = solution.database();
+    if violation_against(program, db).is_some() {
+        return false;
+    }
+    let explicit: HashSet<(PredId, Vec<Value>)> =
+        program.facts.iter().map(|(p, v)| (*p, v.clone())).collect();
+
+    // Enumerate the current contents.
+    let mut rel_tuples: Vec<(PredId, Vec<Value>)> = Vec::new();
+    let mut lat_cells: Vec<(PredId, Vec<Value>, Value)> = Vec::new();
+    for i in 0..program.num_predicates() {
+        let pred = PredId(i as u32);
+        match db.pred(pred) {
+            PredData::Rel(rel) => {
+                for row in rel.rows() {
+                    rel_tuples.push((pred, row.to_vec()));
+                }
+            }
+            PredData::Lat(lat) => {
+                for (key, cell) in lat.iter() {
+                    lat_cells.push((pred, key.to_vec(), cell.clone()));
+                }
+            }
+        }
+    }
+
+    // Try removing each non-fact relational tuple.
+    for (pred, tuple) in &rel_tuples {
+        if explicit.contains(&(*pred, tuple.clone())) {
+            continue;
+        }
+        let reduced = rebuild_without(program, db, Some((*pred, tuple)), None);
+        if violation_against(program, &reduced).is_none() {
+            return false; // a strictly smaller model exists
+        }
+    }
+
+    // Try lowering each lattice cell.
+    for (pred, key, cell) in &lat_cells {
+        let ops = program.decl(*pred).lattice_ops().expect("lattice");
+        let mut candidates: Vec<Value> = vec![ops.bottom().clone()];
+        if let PredData::Lat(lat) = db.pred(*pred) {
+            for (_, other) in lat.iter() {
+                candidates.push(other.clone());
+                candidates.push(ops.glb(other, cell));
+            }
+        }
+        // Values asserted by facts are candidate cell values too: the
+        // stored cell may strictly dominate every fact it absorbed.
+        for (fact_pred, values) in &program.facts {
+            if fact_pred == pred {
+                let v = values.last().expect("lattice arity >= 1");
+                candidates.push(v.clone());
+                candidates.push(ops.glb(v, cell));
+            }
+        }
+        candidates.sort();
+        candidates.dedup();
+        for cand in candidates {
+            let strictly_smaller = ops.leq(&cand, cell) && cand != *cell;
+            if !strictly_smaller {
+                continue;
+            }
+            let reduced = rebuild_without(program, db, None, Some((*pred, key.as_slice(), &cand)));
+            if violation_against(program, &reduced).is_none() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Copies `db`, optionally skipping one relational tuple and optionally
+/// replacing one lattice cell with a smaller value (`⊥` drops the cell).
+fn rebuild_without(
+    program: &Program,
+    db: &Database,
+    skip_rel: Option<(PredId, &Vec<Value>)>,
+    replace_lat: Option<(PredId, &[Value], &Value)>,
+) -> Database {
+    let mut out = Database::for_program(program, false);
+    for i in 0..program.num_predicates() {
+        let pred = PredId(i as u32);
+        match db.pred(pred) {
+            PredData::Rel(rel) => {
+                for row in rel.rows() {
+                    if let Some((p, t)) = skip_rel {
+                        if p == pred && t.as_slice() == &row[..] {
+                            continue;
+                        }
+                    }
+                    let _ = out.insert(pred, row.to_vec());
+                }
+            }
+            PredData::Lat(lat) => {
+                for (key, cell) in lat.iter() {
+                    let mut tuple = key.to_vec();
+                    let value = match replace_lat {
+                        Some((p, k, v)) if p == pred && k == &key[..] => v.clone(),
+                        _ => cell.clone(),
+                    };
+                    tuple.push(value);
+                    let outcome = out.insert(pred, tuple);
+                    debug_assert!(
+                        !matches!(outcome, InsertOutcome::Unchanged) || {
+                            // ⊥ replacements are intentionally dropped.
+                            true
+                        }
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BodyItem, Head, HeadTerm, LatticeOps, ProgramBuilder, Solver, Term, ValueLattice};
+    use flix_lattice::Parity;
+
+    fn parity(p: Parity) -> Value {
+        p.to_value()
+    }
+
+    /// The worked example of §3.2: facts A(Even), A(Odd), B(Odd); the
+    /// minimal compact model is {A(⊤), B(Odd)}.
+    fn example_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.lattice("A", 1, LatticeOps::of::<Parity>());
+        let bb = b.lattice("B", 1, LatticeOps::of::<Parity>());
+        b.fact(a, vec![parity(Parity::Even)]);
+        b.fact(a, vec![parity(Parity::Odd)]);
+        b.fact(bb, vec![parity(Parity::Odd)]);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn solver_output_is_model_and_minimal() {
+        let prog = example_program();
+        let solution = Solver::new().solve(&prog).expect("solves");
+        assert_eq!(solution.lattice_value("A", &[]), Some(parity(Parity::Top)));
+        assert_eq!(solution.lattice_value("B", &[]), Some(parity(Parity::Odd)));
+        assert!(is_model(&prog, &solution));
+        assert!(is_locally_minimal(&prog, &solution));
+    }
+
+    #[test]
+    fn lub_and_glb_examples_from_section_3_2() {
+        // R(x) :- A(x). R(x) :- B(x). with A(Odd), B(Even) gives R(⊤).
+        let mut b = ProgramBuilder::new();
+        let a = b.lattice("A", 1, LatticeOps::of::<Parity>());
+        let bb = b.lattice("B", 1, LatticeOps::of::<Parity>());
+        let r = b.lattice("R", 1, LatticeOps::of::<Parity>());
+        b.fact(a, vec![parity(Parity::Odd)]);
+        b.fact(bb, vec![parity(Parity::Even)]);
+        b.rule(
+            Head::new(r, [HeadTerm::var("x")]),
+            [BodyItem::atom(a, [Term::var("x")])],
+        );
+        b.rule(
+            Head::new(r, [HeadTerm::var("x")]),
+            [BodyItem::atom(bb, [Term::var("x")])],
+        );
+        let prog = b.build().expect("valid");
+        let solution = Solver::new().solve(&prog).expect("solves");
+        assert_eq!(solution.lattice_value("R", &[]), Some(parity(Parity::Top)));
+        assert!(is_model(&prog, &solution));
+        assert!(is_locally_minimal(&prog, &solution));
+
+        // R(x) :- A(x), B(x). gives R(⊥), i.e. no stored cell.
+        let mut b = ProgramBuilder::new();
+        let a = b.lattice("A", 1, LatticeOps::of::<Parity>());
+        let bb = b.lattice("B", 1, LatticeOps::of::<Parity>());
+        let r = b.lattice("R", 1, LatticeOps::of::<Parity>());
+        b.fact(a, vec![parity(Parity::Odd)]);
+        b.fact(bb, vec![parity(Parity::Even)]);
+        b.rule(
+            Head::new(r, [HeadTerm::var("x")]),
+            [
+                BodyItem::atom(a, [Term::var("x")]),
+                BodyItem::atom(bb, [Term::var("x")]),
+            ],
+        );
+        let prog = b.build().expect("valid");
+        let solution = Solver::new().solve(&prog).expect("solves");
+        assert_eq!(solution.lattice_value("R", &[]), Some(parity(Parity::Bot)));
+        assert_eq!(solution.len("R"), Some(0));
+        assert!(is_model(&prog, &solution));
+    }
+
+    #[test]
+    fn non_minimal_interpretation_is_detected() {
+        // Inflate the solution of the example program by asserting B(⊤)
+        // as an extra fact in a copy of the program used only to build the
+        // inflated database, then check minimality against the original.
+        let prog = example_program();
+        let mut b = ProgramBuilder::new();
+        let a = b.lattice("A", 1, LatticeOps::of::<Parity>());
+        let bb = b.lattice("B", 1, LatticeOps::of::<Parity>());
+        b.fact(a, vec![parity(Parity::Even)]);
+        b.fact(a, vec![parity(Parity::Odd)]);
+        b.fact(bb, vec![parity(Parity::Top)]); // inflated
+        let inflated_prog = b.build().expect("valid");
+        let inflated = Solver::new().solve(&inflated_prog).expect("solves");
+        // Still a model of the original program (B(Odd) ⊑ B(⊤))...
+        assert!(is_model(&prog, &inflated));
+        // ...but not minimal.
+        assert!(!is_locally_minimal(&prog, &inflated));
+    }
+}

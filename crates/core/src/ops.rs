@@ -1,0 +1,492 @@
+//! Runtime lattice operations over dynamic [`Value`]s.
+
+use crate::Value;
+use flix_lattice::{
+    Constant, Flat, Interval, Lattice, MinCost, Parity, PowerSet, Sign, SuLattice, Transformer,
+};
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared closure type for the components of a [`LatticeOps`].
+type BinOp = Arc<dyn Fn(&Value, &Value) -> Value + Send + Sync>;
+type BinPred = Arc<dyn Fn(&Value, &Value) -> bool + Send + Sync>;
+
+/// The runtime representation of a lattice over dynamic [`Value`]s.
+///
+/// This is the engine-level counterpart of the paper's `let Parity<> =
+/// (Parity.Bot, Parity.Top, leq, lub, glb)` lattice association (Figure 2,
+/// lines 28–29): a bottom element, an optional top element, and the three
+/// operations as shared closures. A `lat` predicate declaration carries one
+/// of these.
+///
+/// Construct it either from a statically typed lattice via
+/// [`LatticeOps::of`] (using the [`ValueLattice`] embedding) or from raw
+/// closures via [`LatticeOps::from_fns`] (used by the surface-language
+/// compiler, whose `leq`/`lub`/`glb` are interpreted user code).
+///
+/// # Example
+///
+/// ```
+/// use flix_core::{LatticeOps, Value, ValueLattice};
+/// use flix_lattice::Parity;
+///
+/// let ops = LatticeOps::of::<Parity>();
+/// let even = Parity::Even.to_value();
+/// let odd = Parity::Odd.to_value();
+/// assert_eq!(ops.lub(&even, &odd), Parity::Top.to_value());
+/// ```
+#[derive(Clone)]
+pub struct LatticeOps {
+    name: Arc<str>,
+    bot: Value,
+    top: Option<Value>,
+    leq: BinPred,
+    lub: BinOp,
+    glb: BinOp,
+}
+
+impl LatticeOps {
+    /// Builds the runtime operations for a statically typed lattice `L`.
+    pub fn of<L: ValueLattice>() -> LatticeOps {
+        LatticeOps {
+            name: L::lattice_name().into(),
+            bot: L::bottom().to_value(),
+            top: L::top_value(),
+            leq: Arc::new(|a, b| {
+                let (a, b) = (L::expect_from(a), L::expect_from(b));
+                a.leq(&b)
+            }),
+            lub: Arc::new(|a, b| {
+                let (a, b) = (L::expect_from(a), L::expect_from(b));
+                a.lub(&b).to_value()
+            }),
+            glb: Arc::new(|a, b| {
+                let (a, b) = (L::expect_from(a), L::expect_from(b));
+                a.glb(&b).to_value()
+            }),
+        }
+    }
+
+    /// Builds runtime operations from raw closures.
+    ///
+    /// The closures must implement a complete lattice on the subset of
+    /// [`Value`]s they are applied to; otherwise the meaning of any program
+    /// using them is undefined (paper §2.2: "the definition assumes that
+    /// the supplied functions satisfy the properties of a complete
+    /// lattice").
+    pub fn from_fns(
+        name: impl Into<Arc<str>>,
+        bot: Value,
+        top: Option<Value>,
+        leq: impl Fn(&Value, &Value) -> bool + Send + Sync + 'static,
+        lub: impl Fn(&Value, &Value) -> Value + Send + Sync + 'static,
+        glb: impl Fn(&Value, &Value) -> Value + Send + Sync + 'static,
+    ) -> LatticeOps {
+        LatticeOps {
+            name: name.into(),
+            bot,
+            top,
+            leq: Arc::new(leq),
+            lub: Arc::new(lub),
+            glb: Arc::new(glb),
+        }
+    }
+
+    /// The human-readable lattice name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bottom element.
+    pub fn bottom(&self) -> &Value {
+        &self.bot
+    }
+
+    /// The top element, if representable.
+    pub fn top(&self) -> Option<&Value> {
+        self.top.as_ref()
+    }
+
+    /// The partial order.
+    pub fn leq(&self, a: &Value, b: &Value) -> bool {
+        (self.leq)(a, b)
+    }
+
+    /// The least upper bound.
+    pub fn lub(&self, a: &Value, b: &Value) -> Value {
+        (self.lub)(a, b)
+    }
+
+    /// The greatest lower bound.
+    pub fn glb(&self, a: &Value, b: &Value) -> Value {
+        (self.glb)(a, b)
+    }
+
+    /// Returns `true` if `v` is the bottom element.
+    pub fn is_bottom(&self, v: &Value) -> bool {
+        *v == self.bot
+    }
+}
+
+impl fmt::Debug for LatticeOps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatticeOps")
+            .field("name", &self.name)
+            .field("bot", &self.bot)
+            .field("top", &self.top)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A lattice whose elements embed into the engine's dynamic [`Value`]s.
+///
+/// Implemented here for every lattice shipped by
+/// [`flix_lattice`]; implement it for your own lattice types to use them
+/// in `lat` predicates.
+pub trait ValueLattice: Lattice {
+    /// A human-readable name for diagnostics.
+    fn lattice_name() -> &'static str;
+
+    /// Encodes this element as a [`Value`].
+    fn to_value(&self) -> Value;
+
+    /// Decodes an element from a [`Value`], if well-formed.
+    fn from_value(v: &Value) -> Option<Self>;
+
+    /// The top element as a value, when the lattice has one.
+    fn top_value() -> Option<Value> {
+        None
+    }
+
+    /// Decodes a value, panicking on malformed input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a valid encoding of an element of this
+    /// lattice — which indicates a type error in the program, i.e. a bug
+    /// in the caller, not recoverable data.
+    fn expect_from(v: &Value) -> Self {
+        match Self::from_value(v) {
+            Some(e) => e,
+            None => panic!(
+                "value {v} is not an element of the {} lattice",
+                Self::lattice_name()
+            ),
+        }
+    }
+}
+
+impl ValueLattice for Parity {
+    fn lattice_name() -> &'static str {
+        "Parity"
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            Parity::Bot => Value::tag0("Bot"),
+            Parity::Even => Value::tag0("Even"),
+            Parity::Odd => Value::tag0("Odd"),
+            Parity::Top => Value::tag0("Top"),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.tag_name()? {
+            "Bot" => Some(Parity::Bot),
+            "Even" => Some(Parity::Even),
+            "Odd" => Some(Parity::Odd),
+            "Top" => Some(Parity::Top),
+            _ => None,
+        }
+    }
+
+    fn top_value() -> Option<Value> {
+        Some(Parity::Top.to_value())
+    }
+}
+
+impl ValueLattice for Sign {
+    fn lattice_name() -> &'static str {
+        "Sign"
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            Sign::Bot => Value::tag0("Bot"),
+            Sign::Neg => Value::tag0("Neg"),
+            Sign::Zer => Value::tag0("Zer"),
+            Sign::Pos => Value::tag0("Pos"),
+            Sign::Top => Value::tag0("Top"),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.tag_name()? {
+            "Bot" => Some(Sign::Bot),
+            "Neg" => Some(Sign::Neg),
+            "Zer" => Some(Sign::Zer),
+            "Pos" => Some(Sign::Pos),
+            "Top" => Some(Sign::Top),
+            _ => None,
+        }
+    }
+
+    fn top_value() -> Option<Value> {
+        Some(Sign::Top.to_value())
+    }
+}
+
+impl ValueLattice for Constant {
+    fn lattice_name() -> &'static str {
+        "Constant"
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            Flat::Bot => Value::tag0("Bot"),
+            Flat::Val(n) => Value::tag("Cst", Value::Int(*n)),
+            Flat::Top => Value::tag0("Top"),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.tag_name()? {
+            "Bot" => Some(Flat::Bot),
+            "Top" => Some(Flat::Top),
+            "Cst" => Some(Flat::Val(v.tag_payload()?.as_int()?)),
+            _ => None,
+        }
+    }
+
+    fn top_value() -> Option<Value> {
+        Some(Flat::Top.to_value())
+    }
+}
+
+impl ValueLattice for Interval {
+    fn lattice_name() -> &'static str {
+        "Interval"
+    }
+
+    fn to_value(&self) -> Value {
+        match self.bounds() {
+            None => Value::tag0("Bot"),
+            Some((lo, hi)) => Value::tag("Range", Value::tuple([Value::Int(lo), Value::Int(hi)])),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.tag_name()? {
+            "Bot" => Some(Interval::Bot),
+            "Range" => {
+                let items = v.tag_payload()?.as_tuple()?;
+                match items {
+                    [lo, hi] => Some(Interval::of(lo.as_int()?, hi.as_int()?)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn top_value() -> Option<Value> {
+        use flix_lattice::HasTop;
+        Some(Interval::top().to_value())
+    }
+}
+
+impl ValueLattice for MinCost {
+    fn lattice_name() -> &'static str {
+        "MinCost"
+    }
+
+    fn to_value(&self) -> Value {
+        match self.value() {
+            None => Value::tag0("Inf"),
+            Some(c) => Value::tag("Fin", Value::Int(c as i64)),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.tag_name()? {
+            "Inf" => Some(MinCost::INFINITY),
+            "Fin" => Some(MinCost::finite(v.tag_payload()?.as_int()?.try_into().ok()?)),
+            _ => None,
+        }
+    }
+
+    fn top_value() -> Option<Value> {
+        Some(MinCost::finite(0).to_value())
+    }
+}
+
+impl ValueLattice for SuLattice {
+    fn lattice_name() -> &'static str {
+        "SULattice"
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            SuLattice::Bottom => Value::tag0("Bottom"),
+            SuLattice::Single(p) => Value::tag("Single", Value::Str(p.clone())),
+            SuLattice::Top => Value::tag0("Top"),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.tag_name()? {
+            "Bottom" => Some(SuLattice::Bottom),
+            "Top" => Some(SuLattice::Top),
+            "Single" => match v.tag_payload()? {
+                Value::Str(s) => Some(SuLattice::Single(s.clone())),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn top_value() -> Option<Value> {
+        Some(SuLattice::Top.to_value())
+    }
+}
+
+impl ValueLattice for Transformer {
+    fn lattice_name() -> &'static str {
+        "Transformer"
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            Transformer::Bot => Value::tag0("BotTransformer"),
+            Transformer::NonBot { a, b, c } => Value::tag(
+                "NonBotTransformer",
+                Value::tuple([Value::Int(*a), Value::Int(*b), c.to_value()]),
+            ),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.tag_name()? {
+            "BotTransformer" => Some(Transformer::Bot),
+            "NonBotTransformer" => {
+                let items = v.tag_payload()?.as_tuple()?;
+                match items {
+                    [a, b, c] => Some(Transformer::non_bot(
+                        a.as_int()?,
+                        b.as_int()?,
+                        Constant::from_value(c)?,
+                    )),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn top_value() -> Option<Value> {
+        Some(Transformer::top_transformer().to_value())
+    }
+}
+
+impl ValueLattice for PowerSet<Value> {
+    fn lattice_name() -> &'static str {
+        "PowerSet"
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            PowerSet::Empty => Value::tag("Fin", Value::set([])),
+            PowerSet::Set(s) => Value::tag("Fin", Value::set(s.iter().cloned())),
+            PowerSet::Univ => Value::tag0("Univ"),
+        }
+    }
+
+    fn from_value(v: &Value) -> Option<Self> {
+        match v.tag_name()? {
+            "Univ" => Some(PowerSet::Univ),
+            "Fin" => {
+                let set = v.tag_payload()?.as_set()?;
+                Some(set.iter().cloned().collect())
+            }
+            _ => None,
+        }
+    }
+
+    fn top_value() -> Option<Value> {
+        Some(PowerSet::Univ.to_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<L: ValueLattice>(elems: impl IntoIterator<Item = L>) {
+        for e in elems {
+            let v = e.to_value();
+            assert_eq!(L::from_value(&v), Some(e), "roundtrip of {v}");
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        use flix_lattice::FiniteLattice;
+        roundtrip(Parity::elements());
+        roundtrip(Sign::elements());
+        roundtrip([Flat::Bot, Constant::cst(-7), Flat::Top]);
+        roundtrip([Interval::Bot, Interval::of(-3, 9)]);
+        roundtrip([MinCost::INFINITY, MinCost::finite(42)]);
+        roundtrip([SuLattice::Bottom, SuLattice::single("p"), SuLattice::Top]);
+        roundtrip([
+            Transformer::Bot,
+            Transformer::identity(),
+            Transformer::top_transformer(),
+            Transformer::non_bot(2, 3, Constant::cst(4)),
+        ]);
+        roundtrip([
+            PowerSet::<Value>::Empty,
+            PowerSet::singleton(Value::from(1)),
+            PowerSet::Univ,
+        ]);
+    }
+
+    #[test]
+    fn ops_agree_with_static_lattice() {
+        let ops = LatticeOps::of::<Parity>();
+        for a in [Parity::Bot, Parity::Even, Parity::Odd, Parity::Top] {
+            for b in [Parity::Bot, Parity::Even, Parity::Odd, Parity::Top] {
+                assert_eq!(ops.leq(&a.to_value(), &b.to_value()), a.leq(&b));
+                assert_eq!(ops.lub(&a.to_value(), &b.to_value()), a.lub(&b).to_value());
+                assert_eq!(ops.glb(&a.to_value(), &b.to_value()), a.glb(&b).to_value());
+            }
+        }
+        assert!(ops.is_bottom(&Parity::Bot.to_value()));
+        assert_eq!(ops.top(), Some(&Parity::Top.to_value()));
+        assert_eq!(ops.name(), "Parity");
+    }
+
+    #[test]
+    #[should_panic(expected = "not an element")]
+    fn malformed_value_panics() {
+        let _ = Parity::expect_from(&Value::Int(3));
+    }
+
+    #[test]
+    fn from_fns_constructor() {
+        // A tiny two-point lattice over raw booleans.
+        let ops = LatticeOps::from_fns(
+            "Bool",
+            Value::Bool(false),
+            Some(Value::Bool(true)),
+            |a, b| !a.is_true() || b.is_true(),
+            |a, b| Value::Bool(a.is_true() || b.is_true()),
+            |a, b| Value::Bool(a.is_true() && b.is_true()),
+        );
+        assert!(ops.leq(&Value::Bool(false), &Value::Bool(true)));
+        assert_eq!(
+            ops.lub(&Value::Bool(false), &Value::Bool(true)),
+            Value::Bool(true)
+        );
+        assert!(format!("{ops:?}").contains("Bool"));
+    }
+}

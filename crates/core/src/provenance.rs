@@ -1,0 +1,130 @@
+//! Derivation provenance: why is a fact in the minimal model?
+//!
+//! The paper motivates Datalog with understandability: "it is easy to
+//! understand an analysis by understanding its components individually"
+//! (§1). Provenance extends that to individual *facts*: with
+//! [`Solver::record_provenance`](crate::Solver::record_provenance)
+//! enabled, the solver logs every database-changing insertion together
+//! with the rule and the body atoms that produced it, and
+//! [`Solution::explain`](crate::Solution::explain) reconstructs a
+//! derivation tree — the instantiated proof of the fact under the
+//! immediate-consequence semantics of §3.
+//!
+//! Premises record positive body atoms only; filters, choice bindings,
+//! and negated atoms are conditions on the derivation step rather than
+//! facts with their own derivations. Wildcard columns (which match
+//! without binding) appear as `None` in the premise pattern and unify
+//! with anything during reconstruction.
+
+use crate::{PredId, Value};
+use std::fmt;
+
+/// One positive body atom as instantiated at derivation time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Premise {
+    /// The premise's predicate.
+    pub pred: PredId,
+    /// The instantiated columns; `None` marks a wildcard position.
+    pub pattern: Vec<Option<Value>>,
+}
+
+/// How a logged fact entered the database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// An extensional fact of the program.
+    Fact,
+    /// Derived by a rule from the given premises.
+    Rule {
+        /// The rule index within the program (declaration order).
+        rule: usize,
+        /// The instantiated positive body atoms.
+        premises: Vec<Premise>,
+    },
+}
+
+/// One database-changing insertion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The predicate inserted into.
+    pub pred: PredId,
+    /// The inserted tuple. For lattice predicates this is the key columns
+    /// followed by the *new joined cell value* at the time of insertion.
+    pub tuple: Vec<Value>,
+    /// The origin of the insertion.
+    pub source: Source,
+}
+
+/// A reconstructed derivation: the fact, the rule that produced it (if
+/// any), and the derivations of its premises.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DerivationTree {
+    /// The predicate name.
+    pub predicate: String,
+    /// The derived tuple (for lattice predicates: key plus cell value at
+    /// the explaining event).
+    pub tuple: Vec<Value>,
+    /// The producing rule index, or `None` for extensional facts.
+    pub rule: Option<usize>,
+    /// Derivations of the positive premises.
+    pub children: Vec<DerivationTree>,
+}
+
+impl DerivationTree {
+    /// The height of the tree (a fact has height 1).
+    pub fn height(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(DerivationTree::height)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        for _ in 0..indent {
+            f.write_str("  ")?;
+        }
+        write!(f, "{}(", self.predicate)?;
+        for (i, v) in self.tuple.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")?;
+        match self.rule {
+            None => f.write_str("  [fact]")?,
+            Some(r) => write!(f, "  [rule {r}]")?,
+        }
+        f.write_str("\n")?;
+        for child in &self.children {
+            child.render(f, indent + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DerivationTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render(f, 0)
+    }
+}
+
+/// Does `pattern` (with `None` wildcards) match `tuple`?
+pub(crate) fn pattern_matches(pattern: &[Option<Value>], tuple: &[Value]) -> bool {
+    pattern.len() == tuple.len()
+        && pattern
+            .iter()
+            .zip(tuple)
+            .all(|(p, v)| p.as_ref().is_none_or(|p| p == v))
+}
+
+/// For lattice premises the witnessed value may be below the stored cell
+/// value; match on the key columns and accept any cell value.
+pub(crate) fn key_matches(pattern: &[Option<Value>], tuple: &[Value]) -> bool {
+    pattern.len() == tuple.len()
+        && pattern[..pattern.len() - 1]
+            .iter()
+            .zip(tuple)
+            .all(|(p, v)| p.as_ref().is_none_or(|p| p == v))
+}

@@ -1,0 +1,1250 @@
+//! The fixed-point solvers: naïve and semi-naïve evaluation (§3.2, §3.7).
+//!
+//! Both strategies compute the minimal model of a program by iterating the
+//! immediate consequence operator with per-cell least-upper-bound
+//! compaction. The naïve strategy re-evaluates every rule each round; the
+//! semi-naïve strategy follows §3.7 of the paper: it maintains, per
+//! predicate, an incremental relation `∆P` of ground atoms that *strictly
+//! increased* (`ga(P', S) ⊐ ga(P, S)`), and re-evaluates each rule once per
+//! body atom, instantiating that atom from `∆P` and the others from the
+//! full database.
+
+use crate::ast::{PredKind, ProgramError};
+use crate::database::{Database, InsertOutcome, PredData, Row};
+use crate::program::{CHead, CItem, CRule, CTerm, Program};
+use crate::provenance::{key_matches, pattern_matches, DerivationTree, Event, Premise, Source};
+use crate::stratify::stratify;
+use crate::{PredId, Value};
+use std::fmt;
+
+/// The evaluation strategy for [`Solver`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Re-evaluate every rule whenever anything changed (§3.1: "this
+    /// strategy is called naïve evaluation"). Correct but slow; kept as the
+    /// baseline for the ablation benchmarks.
+    Naive,
+    /// The incremental strategy of §3.7, adapted for lattices.
+    #[default]
+    SemiNaive,
+}
+
+/// Aggregate statistics of one solver run.
+///
+/// `facts_derived` counts gross derivations (before deduplication and
+/// subsumption); `facts_inserted` counts net database changes. Their ratio,
+/// together with `index_probes` vs `scan_fallbacks`, is the work profile
+/// reported by the benchmark tables in place of the paper's memory column.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Fixed-point rounds executed (across all strata).
+    pub rounds: u64,
+    /// Individual rule evaluations.
+    pub rule_evaluations: u64,
+    /// Head tuples produced by rule evaluation.
+    pub facts_derived: u64,
+    /// Insertions that changed the database (new tuples or strict lattice
+    /// increases).
+    pub facts_inserted: u64,
+    /// Index probes performed.
+    pub index_probes: u64,
+    /// Full-scan fallbacks (no usable index).
+    pub scan_fallbacks: u64,
+    /// Number of strata evaluated.
+    pub strata: u64,
+    /// Total facts in the final database.
+    pub total_facts: u64,
+}
+
+/// An error during solving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The program is not stratifiable (§3.5).
+    Program(ProgramError),
+    /// The configured round limit was exceeded — the symptom of a lattice
+    /// of unbounded height or a non-monotone function (§7 "Safety").
+    RoundLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Program(e) => write!(f, "{e}"),
+            SolveError::RoundLimitExceeded { limit } => write!(
+                f,
+                "fixed point not reached within {limit} rounds; check that every lattice has \
+                 finite height and every function is monotone"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl From<ProgramError> for SolveError {
+    fn from(e: ProgramError) -> SolveError {
+        SolveError::Program(e)
+    }
+}
+
+/// A configurable fixed-point solver.
+///
+/// # Example
+///
+/// ```
+/// use flix_core::{BodyItem, Head, HeadTerm, ProgramBuilder, Solver, Term, Value};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new();
+/// let edge = b.relation("Edge", 2);
+/// let path = b.relation("Path", 2);
+/// b.fact(edge, vec![1.into(), 2.into()]);
+/// b.fact(edge, vec![2.into(), 3.into()]);
+/// b.rule(
+///     Head::new(path, [HeadTerm::var("x"), HeadTerm::var("y")]),
+///     [BodyItem::atom(edge, [Term::var("x"), Term::var("y")])],
+/// );
+/// b.rule(
+///     Head::new(path, [HeadTerm::var("x"), HeadTerm::var("z")]),
+///     [
+///         BodyItem::atom(path, [Term::var("x"), Term::var("y")]),
+///         BodyItem::atom(edge, [Term::var("y"), Term::var("z")]),
+///     ],
+/// );
+/// let program = b.build()?;
+/// let solution = Solver::new().solve(&program)?;
+/// assert!(solution.contains("Path", &[1.into(), 3.into()]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Solver {
+    strategy: Strategy,
+    threads: usize,
+    use_indexes: bool,
+    max_rounds: Option<u64>,
+    provenance: bool,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration: semi-naïve,
+    /// sequential, indexed, no round limit.
+    pub fn new() -> Solver {
+        Solver {
+            strategy: Strategy::SemiNaive,
+            threads: 1,
+            use_indexes: true,
+            max_rounds: None,
+            provenance: false,
+        }
+    }
+
+    /// Records derivation provenance: every database-changing insertion is
+    /// logged with its rule and instantiated premises, and the resulting
+    /// [`Solution::explain`] reconstructs derivation trees. Costs memory
+    /// proportional to the number of insertions.
+    pub fn record_provenance(mut self, record: bool) -> Solver {
+        self.provenance = record;
+        self
+    }
+
+    /// Selects the evaluation strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Solver {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Evaluates rules within each round on `threads` worker threads
+    /// (`1` = sequential). Rule evaluations within a round are independent,
+    /// so this changes wall-clock time but never the solution.
+    pub fn threads(mut self, threads: usize) -> Solver {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables hash-index construction (the index-selection
+    /// ablation; disabling forces full scans on every join).
+    pub fn use_indexes(mut self, use_indexes: bool) -> Solver {
+        self.use_indexes = use_indexes;
+        self
+    }
+
+    /// Bounds the number of fixed-point rounds, as a safety net against
+    /// lattices of unbounded height.
+    pub fn max_rounds(mut self, limit: u64) -> Solver {
+        self.max_rounds = Some(limit);
+        self
+    }
+
+    /// Computes the minimal model of `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Program`] if the program is not stratifiable
+    /// and [`SolveError::RoundLimitExceeded`] if a configured round limit
+    /// is hit before the fixed point.
+    pub fn solve(&self, program: &Program) -> Result<Solution, SolveError> {
+        let strata = stratify(program)?;
+        let mut db = Database::for_program(program, self.use_indexes);
+        let mut stats = SolveStats::default();
+        let mut events: Option<Vec<Event>> = self.provenance.then(Vec::new);
+        let npreds = program.preds.len();
+
+        // Load the extensional facts.
+        for (pred, values) in &program.facts {
+            match db.insert(*pred, values.clone()) {
+                InsertOutcome::Unchanged => {}
+                _ => {
+                    stats.facts_inserted += 1;
+                    if let Some(log) = events.as_mut() {
+                        log.push(Event {
+                            pred: *pred,
+                            tuple: values.clone(),
+                            source: Source::Fact,
+                        });
+                    }
+                }
+            }
+        }
+
+        for group in &strata.rule_groups {
+            stats.strata += 1;
+            match self.strategy {
+                Strategy::Naive => {
+                    self.run_naive(program, &mut db, group, &mut stats, &mut events)?;
+                }
+                Strategy::SemiNaive => {
+                    self.run_semi_naive(program, &mut db, group, npreds, &mut stats, &mut events)?;
+                }
+            }
+        }
+
+        stats.index_probes = db.index_probes.load(std::sync::atomic::Ordering::Relaxed);
+        stats.scan_fallbacks = db.scan_fallbacks.load(std::sync::atomic::Ordering::Relaxed);
+        stats.total_facts = db.total_facts() as u64;
+        Ok(Solution {
+            names: program
+                .preds
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (d.name.to_string(), PredId(i as u32)))
+                .collect(),
+            kinds: program
+                .preds
+                .iter()
+                .map(|d| matches!(d.kind, PredKind::Lattice(_)))
+                .collect(),
+            db,
+            stats,
+            events,
+        })
+    }
+
+    fn check_round_limit(&self, stats: &SolveStats) -> Result<(), SolveError> {
+        if let Some(limit) = self.max_rounds {
+            if stats.rounds >= limit {
+                return Err(SolveError::RoundLimitExceeded { limit });
+            }
+        }
+        Ok(())
+    }
+
+    fn run_naive(
+        &self,
+        program: &Program,
+        db: &mut Database,
+        group: &[usize],
+        stats: &mut SolveStats,
+        events: &mut Option<Vec<Event>>,
+    ) -> Result<(), SolveError> {
+        loop {
+            self.check_round_limit(stats)?;
+            stats.rounds += 1;
+            let tasks: Vec<Task> = group
+                .iter()
+                .map(|&r| Task {
+                    rule: r,
+                    variant: None,
+                })
+                .collect();
+            let derived = self.run_tasks(program, db, &tasks, &[], stats);
+            let mut changed = false;
+            for d in derived {
+                stats.facts_derived += 1;
+                match db.insert(d.pred, d.tuple.clone()) {
+                    InsertOutcome::Unchanged => {}
+                    outcome => {
+                        stats.facts_inserted += 1;
+                        changed = true;
+                        log_event(events, &d, outcome);
+                    }
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_semi_naive(
+        &self,
+        program: &Program,
+        db: &mut Database,
+        group: &[usize],
+        npreds: usize,
+        stats: &mut SolveStats,
+        events: &mut Option<Vec<Event>>,
+    ) -> Result<(), SolveError> {
+        // Seed round: one full (naïve) evaluation of the stratum's rules.
+        self.check_round_limit(stats)?;
+        stats.rounds += 1;
+        let seed_tasks: Vec<Task> = group
+            .iter()
+            .map(|&r| Task {
+                rule: r,
+                variant: None,
+            })
+            .collect();
+        let derived = self.run_tasks(program, db, &seed_tasks, &[], stats);
+        let mut delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
+        for d in derived {
+            stats.facts_derived += 1;
+            record_insert(db, d, &mut delta, stats, events);
+        }
+
+        // Incremental rounds.
+        while delta.iter().any(|d| !d.is_empty()) {
+            self.check_round_limit(stats)?;
+            stats.rounds += 1;
+            let mut tasks = Vec::new();
+            for &r in group {
+                let rule = &program.rules[r];
+                for (vi, (pred, _)) in rule.delta_variants.iter().enumerate() {
+                    if !delta[pred.0 as usize].is_empty() {
+                        tasks.push(Task {
+                            rule: r,
+                            variant: Some(vi),
+                        });
+                    }
+                }
+            }
+            let derived = self.run_tasks(program, db, &tasks, &delta, stats);
+            let mut new_delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
+            for d in derived {
+                stats.facts_derived += 1;
+                record_insert(db, d, &mut new_delta, stats, events);
+            }
+            delta = new_delta;
+        }
+        Ok(())
+    }
+
+    fn run_tasks(
+        &self,
+        program: &Program,
+        db: &Database,
+        tasks: &[Task],
+        delta: &[Vec<Row>],
+        stats: &mut SolveStats,
+    ) -> Vec<Derived> {
+        stats.rule_evaluations += tasks.len() as u64;
+        if self.threads <= 1 || tasks.len() <= 1 {
+            let mut out = Vec::new();
+            for task in tasks {
+                eval_rule_prov(
+                    program,
+                    db,
+                    task.rule,
+                    task.variant,
+                    delta,
+                    self.provenance,
+                    &mut out,
+                );
+            }
+            return out;
+        }
+        // Parallel: rule evaluations within a round only read the database,
+        // so they can proceed concurrently; outputs are merged afterwards.
+        let chunk = tasks.len().div_ceil(self.threads);
+        let provenance = self.provenance;
+        let mut results: Vec<Vec<Derived>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = tasks
+                .chunks(chunk)
+                .map(|task_chunk| {
+                    scope.spawn(move |_| {
+                        let mut out = Vec::new();
+                        for task in task_chunk {
+                            eval_rule_prov(
+                                program,
+                                db,
+                                task.rule,
+                                task.variant,
+                                delta,
+                                provenance,
+                                &mut out,
+                            );
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("solver worker panicked"));
+            }
+        })
+        .expect("solver thread scope failed");
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// One rule evaluation within a round: the full body (seed/naïve), or a
+/// delta variant (delta atom first).
+#[derive(Clone, Copy, Debug)]
+struct Task {
+    rule: usize,
+    variant: Option<usize>,
+}
+
+/// One derived head tuple, optionally with instantiated premises.
+#[derive(Clone, Debug)]
+pub(crate) struct Derived {
+    pub(crate) pred: PredId,
+    pub(crate) tuple: Vec<Value>,
+    pub(crate) rule: usize,
+    pub(crate) premises: Option<Vec<Premise>>,
+}
+
+fn record_insert(
+    db: &mut Database,
+    d: Derived,
+    delta: &mut [Vec<Row>],
+    stats: &mut SolveStats,
+    events: &mut Option<Vec<Event>>,
+) {
+    let pred = d.pred;
+    match db.insert(pred, d.tuple.clone()) {
+        InsertOutcome::Unchanged => {}
+        outcome @ InsertOutcome::NewRow(_) => {
+            stats.facts_inserted += 1;
+            if let InsertOutcome::NewRow(row) = &outcome {
+                delta[pred.0 as usize].push(row.clone());
+            }
+            log_event(events, &d, outcome);
+        }
+        outcome @ InsertOutcome::LatIncrease(_, _) => {
+            stats.facts_inserted += 1;
+            if let InsertOutcome::LatIncrease(key, value) = &outcome {
+                // Delta rows carry the full tuple: key columns plus the
+                // *new* cell value (§3.7's ga(P', S)).
+                let mut full: Vec<Value> = key.to_vec();
+                full.push(value.clone());
+                delta[pred.0 as usize].push(full.into());
+            }
+            log_event(events, &d, outcome);
+        }
+    }
+}
+
+/// Appends a provenance event for a database-changing insertion.
+fn log_event(events: &mut Option<Vec<Event>>, d: &Derived, outcome: InsertOutcome) {
+    let Some(log) = events.as_mut() else {
+        return;
+    };
+    // For lattice increases, log the *joined* cell value so explanations
+    // show the state the database actually reached.
+    let tuple = match outcome {
+        InsertOutcome::LatIncrease(key, value) => {
+            let mut full = key.to_vec();
+            full.push(value);
+            full
+        }
+        _ => d.tuple.clone(),
+    };
+    log.push(Event {
+        pred: d.pred,
+        tuple,
+        source: Source::Rule {
+            rule: d.rule,
+            premises: d.premises.clone().unwrap_or_default(),
+        },
+    });
+}
+
+/// Evaluates a rule by index, producing [`Derived`] records (with
+/// premises when `provenance` is set).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_rule_prov(
+    program: &Program,
+    db: &Database,
+    rule_idx: usize,
+    variant: Option<usize>,
+    delta: &[Vec<Row>],
+    provenance: bool,
+    out: &mut Vec<Derived>,
+) {
+    let mut raw: Vec<(PredId, Vec<Value>, Option<Vec<Premise>>)> = Vec::new();
+    eval_rule_inner(
+        program,
+        db,
+        &program.rules[rule_idx],
+        variant,
+        delta,
+        provenance,
+        &mut raw,
+    );
+    out.extend(raw.into_iter().map(|(pred, tuple, premises)| Derived {
+        pred,
+        tuple,
+        rule: rule_idx,
+        premises,
+    }));
+}
+
+/// The variable environment of one rule evaluation.
+type Env = Vec<Option<Value>>;
+
+/// Undo log of bindings performed while matching one body item.
+type Trail = Vec<(usize, Option<Value>)>;
+
+fn bind(env: &mut Env, trail: &mut Trail, slot: usize, value: Value) {
+    trail.push((slot, env[slot].take()));
+    env[slot] = Some(value);
+}
+
+fn unwind(env: &mut Env, trail: &mut Trail, mark: usize) {
+    while trail.len() > mark {
+        let (slot, old) = trail.pop().expect("trail length checked");
+        env[slot] = old;
+    }
+}
+
+/// Evaluates `rule` against `db` and appends every derived head tuple to
+/// `out`. With `variant = Some(i)`, the i-th delta variant body is used:
+/// its first atom is instantiated from `delta` instead of the full
+/// database (§3.7's incremental evaluation step).
+pub(crate) fn eval_rule(
+    program: &Program,
+    db: &Database,
+    rule: &CRule,
+    variant: Option<usize>,
+    delta: &[Vec<Row>],
+    out: &mut Vec<(PredId, Vec<Value>)>,
+) {
+    let mut raw = Vec::new();
+    eval_rule_inner(program, db, rule, variant, delta, false, &mut raw);
+    out.extend(raw.into_iter().map(|(pred, tuple, _)| (pred, tuple)));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_rule_inner(
+    program: &Program,
+    db: &Database,
+    rule: &CRule,
+    variant: Option<usize>,
+    delta: &[Vec<Row>],
+    provenance: bool,
+    out: &mut Vec<(PredId, Vec<Value>, Option<Vec<Premise>>)>,
+) {
+    let (body, delta_pos): (&[CItem], Option<usize>) = match variant {
+        None => (&rule.body, None),
+        Some(vi) => (&rule.delta_variants[vi].1, Some(0)),
+    };
+    let mut env: Env = vec![None; rule.num_vars];
+    let mut trail: Trail = Vec::new();
+    eval_body(
+        program, db, rule, body, 0, delta_pos, delta, provenance, &mut env, &mut trail, out,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_body(
+    program: &Program,
+    db: &Database,
+    rule: &CRule,
+    body: &[CItem],
+    item_idx: usize,
+    delta_pos: Option<usize>,
+    delta: &[Vec<Row>],
+    provenance: bool,
+    env: &mut Env,
+    trail: &mut Trail,
+    out: &mut Vec<(PredId, Vec<Value>, Option<Vec<Premise>>)>,
+) {
+    if item_idx == body.len() {
+        derive_head(program, rule, body, provenance, env, out);
+        return;
+    }
+    match &body[item_idx] {
+        CItem::Atom {
+            pred,
+            terms,
+            index_cols,
+        } => {
+            let is_lat = program.decl(*pred).is_lattice();
+            let ops = program.decl(*pred).lattice_ops();
+            let visit = |row: &[Value],
+                         env: &mut Env,
+                         trail: &mut Trail,
+                         out: &mut Vec<(PredId, Vec<Value>, Option<Vec<Premise>>)>| {
+                let mark = trail.len();
+                if match_tuple(terms, row, is_lat, ops, env, trail) {
+                    eval_body(
+                        program,
+                        db,
+                        rule,
+                        body,
+                        item_idx + 1,
+                        delta_pos,
+                        delta,
+                        provenance,
+                        env,
+                        trail,
+                        out,
+                    );
+                }
+                unwind(env, trail, mark);
+            };
+            if delta_pos == Some(item_idx) {
+                for row in &delta[pred.0 as usize] {
+                    visit(row, env, trail, out);
+                }
+                return;
+            }
+            match db.pred(*pred) {
+                PredData::Rel(rel) => {
+                    // Fast path: a fully ground atom (every column a
+                    // literal or bound variable, no wildcards) is a plain
+                    // membership test — no index needed.
+                    if index_cols.len() == terms.len() {
+                        // A membership test, not an index probe: available
+                        // even with indexes disabled.
+                        if let Some(key) = probe_key(index_cols, terms, env) {
+                            if rel.contains(&key) {
+                                eval_body(
+                                    program,
+                                    db,
+                                    rule,
+                                    body,
+                                    item_idx + 1,
+                                    delta_pos,
+                                    delta,
+                                    provenance,
+                                    env,
+                                    trail,
+                                    out,
+                                );
+                            }
+                            return;
+                        }
+                    }
+                    if let Some(hits) = probe_key(index_cols, terms, env)
+                        .and_then(|key| rel.probe(index_cols, &key))
+                    {
+                        db.count_probe();
+                        let rows = rel.rows();
+                        for &i in hits {
+                            visit(&rows[i as usize], env, trail, out);
+                        }
+                    } else {
+                        if !index_cols.is_empty() {
+                            db.count_scan();
+                        }
+                        for row in rel.rows() {
+                            visit(row, env, trail, out);
+                        }
+                    }
+                }
+                PredData::Lat(lat) => {
+                    // Fast path: all key columns ground.
+                    if let Some(key) = ground_key(terms, env) {
+                        if let Some(cell) = lat.value(&key) {
+                            let mark = trail.len();
+                            if match_lattice_value(
+                                terms.last().expect("lattice arity >= 1"),
+                                cell,
+                                lat.ops(),
+                                env,
+                                trail,
+                            ) {
+                                eval_body(
+                                    program,
+                                    db,
+                                    rule,
+                                    body,
+                                    item_idx + 1,
+                                    delta_pos,
+                                    delta,
+                                    provenance,
+                                    env,
+                                    trail,
+                                    out,
+                                );
+                            }
+                            unwind(env, trail, mark);
+                        }
+                        return;
+                    }
+                    if let Some(hits) = probe_key(index_cols, terms, env)
+                        .and_then(|key| lat.probe(index_cols, &key))
+                    {
+                        db.count_probe();
+                        let keys = lat.keys();
+                        for &i in hits {
+                            let key = &keys[i as usize];
+                            let cell = lat.value(key).expect("indexed key exists");
+                            visit_lat(key, cell, terms, lat.ops(), env, trail, |env, trail| {
+                                eval_body(
+                                    program,
+                                    db,
+                                    rule,
+                                    body,
+                                    item_idx + 1,
+                                    delta_pos,
+                                    delta,
+                                    provenance,
+                                    env,
+                                    trail,
+                                    out,
+                                )
+                            });
+                        }
+                    } else {
+                        if !index_cols.is_empty() {
+                            db.count_scan();
+                        }
+                        for (key, cell) in lat.iter() {
+                            visit_lat(key, cell, terms, lat.ops(), env, trail, |env, trail| {
+                                eval_body(
+                                    program,
+                                    db,
+                                    rule,
+                                    body,
+                                    item_idx + 1,
+                                    delta_pos,
+                                    delta,
+                                    provenance,
+                                    env,
+                                    trail,
+                                    out,
+                                )
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        CItem::NegAtom { pred, terms } => {
+            if !exists_match(program, db, *pred, terms, env) {
+                eval_body(
+                    program,
+                    db,
+                    rule,
+                    body,
+                    item_idx + 1,
+                    delta_pos,
+                    delta,
+                    provenance,
+                    env,
+                    trail,
+                    out,
+                );
+            }
+        }
+        CItem::Filter { func, args } => {
+            let vals = eval_args(args, env);
+            let result = (program.funcs[*func].body)(&vals);
+            match result {
+                Value::Bool(true) => eval_body(
+                    program,
+                    db,
+                    rule,
+                    body,
+                    item_idx + 1,
+                    delta_pos,
+                    delta,
+                    provenance,
+                    env,
+                    trail,
+                    out,
+                ),
+                Value::Bool(false) => {}
+                other => panic!(
+                    "filter function {} returned non-boolean value {other}",
+                    program.funcs[*func].name
+                ),
+            }
+        }
+        CItem::Choose { func, args, binds } => {
+            let vals = eval_args(args, env);
+            let result = (program.funcs[*func].body)(&vals);
+            let Value::Set(elems) = &result else {
+                panic!(
+                    "choice function {} returned non-set value {result}",
+                    program.funcs[*func].name
+                )
+            };
+            for elem in elems.iter() {
+                let mark = trail.len();
+                let ok = if binds.len() == 1 {
+                    bind(env, trail, binds[0], elem.clone());
+                    true
+                } else {
+                    match elem.as_tuple() {
+                        Some(items) if items.len() == binds.len() => {
+                            for (slot, item) in binds.iter().zip(items) {
+                                bind(env, trail, *slot, item.clone());
+                            }
+                            true
+                        }
+                        _ => panic!(
+                            "choice function {} produced element {elem}, expected a \
+                             {}-tuple",
+                            program.funcs[*func].name,
+                            binds.len()
+                        ),
+                    }
+                };
+                if ok {
+                    eval_body(
+                        program,
+                        db,
+                        rule,
+                        body,
+                        item_idx + 1,
+                        delta_pos,
+                        delta,
+                        provenance,
+                        env,
+                        trail,
+                        out,
+                    );
+                }
+                unwind(env, trail, mark);
+            }
+        }
+    }
+}
+
+/// Matches a lattice (key, cell) pair against atom terms.
+fn visit_lat(
+    key: &[Value],
+    cell: &Value,
+    terms: &[CTerm],
+    ops: &crate::LatticeOps,
+    env: &mut Env,
+    trail: &mut Trail,
+    mut next: impl FnMut(&mut Env, &mut Trail),
+) {
+    let mark = trail.len();
+    let key_terms = &terms[..terms.len() - 1];
+    if match_tuple(key_terms, key, false, None, env, trail)
+        && match_lattice_value(terms.last().expect("arity >= 1"), cell, ops, env, trail)
+    {
+        next(env, trail);
+    }
+    unwind(env, trail, mark);
+}
+
+/// Unifies atom terms against a stored tuple. For lattice atoms
+/// (`is_lat`), the last term is matched with [`match_lattice_value`] and
+/// the rest positionally.
+fn match_tuple(
+    terms: &[CTerm],
+    row: &[Value],
+    is_lat: bool,
+    ops: Option<&crate::LatticeOps>,
+    env: &mut Env,
+    trail: &mut Trail,
+) -> bool {
+    debug_assert_eq!(terms.len(), row.len());
+    let n = terms.len();
+    for (i, (term, value)) in terms.iter().zip(row).enumerate() {
+        if is_lat && i == n - 1 {
+            let ops = ops.expect("lattice atoms carry ops");
+            if !match_lattice_value(term, value, ops, env, trail) {
+                return false;
+            }
+            continue;
+        }
+        match term {
+            CTerm::Wild => {}
+            CTerm::Lit(l) => {
+                if l != value {
+                    return false;
+                }
+            }
+            CTerm::Var(slot) => match &env[*slot] {
+                Some(bound) => {
+                    if bound != value {
+                        return false;
+                    }
+                }
+                None => bind(env, trail, *slot, value.clone()),
+            },
+        }
+    }
+    true
+}
+
+/// Matches the value column of a lattice atom against a cell value.
+///
+/// This implements the ground-instance semantics of §3.2: the atom
+/// `P(k̄, v)` is true when `v ⊑ cell(k̄)`. An unbound variable binds to the
+/// cell value (the greatest witness); a variable already bound to `w`
+/// rebinds to `w ⊓ cell` — the greatest element witnessing *both*
+/// occurrences, per the paper's `R(x) :- A(x), B(x)` example, whose minimal
+/// model holds `R(Odd ⊓ Even) = R(⊥)`. A `⊥` witness is dropped: every
+/// head derived from it through strict functions is `⊥`, which the
+/// database never stores.
+fn match_lattice_value(
+    term: &CTerm,
+    cell: &Value,
+    ops: &crate::LatticeOps,
+    env: &mut Env,
+    trail: &mut Trail,
+) -> bool {
+    match term {
+        CTerm::Wild => true,
+        CTerm::Lit(l) => ops.leq(l, cell),
+        CTerm::Var(slot) => match &env[*slot] {
+            None => {
+                bind(env, trail, *slot, cell.clone());
+                true
+            }
+            Some(bound) => {
+                let met = ops.glb(bound, cell);
+                if ops.is_bottom(&met) {
+                    return false;
+                }
+                if met != *bound {
+                    bind(env, trail, *slot, met);
+                }
+                true
+            }
+        },
+    }
+}
+
+/// Builds the probe key for an index lookup; `None` when some index column
+/// is not ground (cannot happen for compiled `index_cols`, but kept
+/// defensive) or when `index_cols` is empty.
+fn probe_key(index_cols: &[usize], terms: &[CTerm], env: &Env) -> Option<Vec<Value>> {
+    if index_cols.is_empty() {
+        return None;
+    }
+    let mut key = Vec::with_capacity(index_cols.len());
+    for &col in index_cols {
+        match &terms[col] {
+            CTerm::Lit(v) => key.push(v.clone()),
+            CTerm::Var(slot) => key.push(env[*slot].clone()?),
+            CTerm::Wild => return None,
+        }
+    }
+    Some(key)
+}
+
+/// Returns the fully ground key of a lattice atom, if every key column is
+/// a literal or bound variable.
+fn ground_key(terms: &[CTerm], env: &Env) -> Option<Vec<Value>> {
+    let key_terms = &terms[..terms.len() - 1];
+    let mut key = Vec::with_capacity(key_terms.len());
+    for t in key_terms {
+        match t {
+            CTerm::Lit(v) => key.push(v.clone()),
+            CTerm::Var(slot) => key.push(env[*slot].clone()?),
+            CTerm::Wild => return None,
+        }
+    }
+    Some(key)
+}
+
+/// Existence check for negated atoms (all variables are ground by
+/// validation; wildcards may remain).
+fn exists_match(
+    program: &Program,
+    db: &Database,
+    pred: PredId,
+    terms: &[CTerm],
+    env: &mut Env,
+) -> bool {
+    let is_lat = program.decl(pred).is_lattice();
+    let ops = program.decl(pred).lattice_ops();
+    let mut trail: Trail = Vec::new();
+    match db.pred(pred) {
+        PredData::Rel(rel) => rel.rows().iter().any(|row| {
+            let mark = trail.len();
+            let matched = match_tuple(terms, row, false, None, env, &mut trail);
+            unwind(env, &mut trail, mark);
+            matched
+        }),
+        PredData::Lat(lat) => {
+            if let Some(key) = ground_key(terms, env) {
+                if let Some(cell) = lat.value(&key) {
+                    let mark = trail.len();
+                    let matched = match_lattice_value(
+                        terms.last().expect("arity >= 1"),
+                        cell,
+                        ops.expect("lattice"),
+                        env,
+                        &mut trail,
+                    );
+                    unwind(env, &mut trail, mark);
+                    return matched;
+                }
+                return false;
+            }
+            lat.iter().any(|(key, cell)| {
+                let mark = trail.len();
+                let matched =
+                    match_tuple(terms, &full_row(key, cell), is_lat, ops, env, &mut trail);
+                unwind(env, &mut trail, mark);
+                matched
+            })
+        }
+    }
+}
+
+fn full_row(key: &[Value], cell: &Value) -> Vec<Value> {
+    let mut row = key.to_vec();
+    row.push(cell.clone());
+    row
+}
+
+fn eval_args(args: &[CTerm], env: &Env) -> Vec<Value> {
+    args.iter()
+        .map(|t| match t {
+            CTerm::Lit(v) => v.clone(),
+            CTerm::Var(slot) => env[*slot]
+                .clone()
+                .expect("validated: argument variables are bound"),
+            CTerm::Wild => panic!("wildcard cannot be a function argument"),
+        })
+        .collect()
+}
+
+fn derive_head(
+    program: &Program,
+    rule: &CRule,
+    body: &[CItem],
+    provenance: bool,
+    env: &Env,
+    out: &mut Vec<(PredId, Vec<Value>, Option<Vec<Premise>>)>,
+) {
+    let mut tuple = Vec::with_capacity(rule.head.len());
+    for h in &rule.head {
+        match h {
+            CHead::Lit(v) => tuple.push(v.clone()),
+            CHead::Var(slot) => {
+                tuple.push(env[*slot].clone().expect("validated: head variables bound"))
+            }
+            CHead::App(func, args) => {
+                let vals = eval_args(args, env);
+                tuple.push((program.funcs[*func].body)(&vals));
+            }
+        }
+    }
+    let premises = provenance.then(|| {
+        body.iter()
+            .filter_map(|item| match item {
+                CItem::Atom { pred, terms, .. } => Some(Premise {
+                    pred: *pred,
+                    pattern: terms
+                        .iter()
+                        .map(|t| match t {
+                            CTerm::Lit(v) => Some(v.clone()),
+                            CTerm::Var(slot) => env[*slot].clone(),
+                            CTerm::Wild => None,
+                        })
+                        .collect(),
+                }),
+                _ => None,
+            })
+            .collect()
+    });
+    out.push((rule.head_pred, tuple, premises));
+}
+
+/// The computed minimal model: the final fact database plus run statistics.
+///
+/// Query by predicate name; relations yield tuples, lattice predicates
+/// yield `(key, element)` cells.
+#[derive(Debug)]
+pub struct Solution {
+    names: std::collections::HashMap<String, PredId>,
+    kinds: Vec<bool>, // true = lattice
+    db: Database,
+    stats: SolveStats,
+    events: Option<Vec<Event>>,
+}
+
+impl Solution {
+    /// Looks up a predicate id by name.
+    pub fn predicate(&self, name: &str) -> Option<PredId> {
+        self.names.get(name).copied()
+    }
+
+    /// Iterates the tuples of a relational predicate.
+    ///
+    /// Returns `None` for unknown names or lattice predicates.
+    pub fn relation(&self, name: &str) -> Option<impl Iterator<Item = &[Value]> + '_> {
+        let pred = self.predicate(name)?;
+        match self.db.pred(pred) {
+            PredData::Rel(rel) => Some(rel.rows().iter().map(|r| &r[..])),
+            PredData::Lat(_) => None,
+        }
+    }
+
+    /// Iterates the `(key, element)` cells of a lattice predicate.
+    ///
+    /// Returns `None` for unknown names or relational predicates.
+    pub fn lattice(&self, name: &str) -> Option<impl Iterator<Item = (&[Value], &Value)> + '_> {
+        let pred = self.predicate(name)?;
+        match self.db.pred(pred) {
+            PredData::Lat(lat) => Some(lat.iter().map(|(k, v)| (&k[..], v))),
+            PredData::Rel(_) => None,
+        }
+    }
+
+    /// The lattice element at `key`, or the lattice's `⊥` when the cell
+    /// was never derived. Returns `None` for unknown or relational
+    /// predicates.
+    pub fn lattice_value(&self, name: &str, key: &[Value]) -> Option<Value> {
+        let pred = self.predicate(name)?;
+        match self.db.pred(pred) {
+            PredData::Lat(lat) => Some(
+                lat.value(key)
+                    .cloned()
+                    .unwrap_or_else(|| lat.ops().bottom().clone()),
+            ),
+            PredData::Rel(_) => None,
+        }
+    }
+
+    /// Returns `true` if the relational predicate contains the tuple.
+    pub fn contains(&self, name: &str, row: &[Value]) -> bool {
+        match self.predicate(name).map(|p| self.db.pred(p)) {
+            Some(PredData::Rel(rel)) => rel.contains(row),
+            _ => false,
+        }
+    }
+
+    /// The number of facts stored for a predicate (tuples, or non-bottom
+    /// cells for lattice predicates).
+    pub fn len(&self, name: &str) -> Option<usize> {
+        let pred = self.predicate(name)?;
+        Some(self.db.len_of(pred))
+    }
+
+    /// Returns `true` if a predicate holds no facts.
+    pub fn is_empty(&self, name: &str) -> Option<bool> {
+        self.len(name).map(|n| n == 0)
+    }
+
+    /// Returns `true` if the named predicate is a lattice predicate.
+    pub fn is_lattice(&self, name: &str) -> Option<bool> {
+        self.predicate(name).map(|p| self.kinds[p.0 as usize])
+    }
+
+    /// Total facts across all predicates.
+    pub fn total_facts(&self) -> usize {
+        self.db.total_facts()
+    }
+
+    /// The run statistics.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// The provenance event log, if the solver ran with
+    /// [`Solver::record_provenance`] — one entry per database-changing
+    /// insertion, in insertion order.
+    pub fn provenance(&self) -> Option<&[Event]> {
+        self.events.as_deref()
+    }
+
+    /// Reconstructs the derivation tree of a fact.
+    ///
+    /// For relational predicates, `row` is the full tuple; for lattice
+    /// predicates, `row` may be the key columns alone (the explanation
+    /// covers the last insertion that changed the cell) or the full tuple
+    /// including a cell value (the explanation covers the last insertion
+    /// at which the cell held exactly that value).
+    ///
+    /// Returns `None` when provenance was not recorded, the predicate is
+    /// unknown, or no matching insertion exists. Premises blocked behind
+    /// filters, negations, or choice bindings appear only through their
+    /// positive atoms, per the provenance model documented in
+    /// [`crate::provenance`].
+    pub fn explain(&self, name: &str, row: &[Value]) -> Option<DerivationTree> {
+        let events = self.events.as_deref()?;
+        let pred = self.predicate(name)?;
+        let is_lattice = self.kinds[pred.0 as usize];
+        let idx = events.iter().rposition(|e| {
+            e.pred == pred
+                && if is_lattice {
+                    if row.len() == e.tuple.len() {
+                        e.tuple == row
+                    } else {
+                        row.len() + 1 == e.tuple.len() && e.tuple[..row.len()] == *row
+                    }
+                } else {
+                    e.tuple == row
+                }
+        })?;
+        Some(self.build_tree(events, idx))
+    }
+
+    fn build_tree(&self, events: &[Event], idx: usize) -> DerivationTree {
+        let event = &events[idx];
+        let name = self
+            .names
+            .iter()
+            .find(|(_, &p)| p == event.pred)
+            .map(|(n, _)| n.clone())
+            .unwrap_or_default();
+        let (rule, premises) = match &event.source {
+            Source::Fact => (None, &[][..]),
+            Source::Rule { rule, premises } => (Some(*rule), premises.as_slice()),
+        };
+        let children = premises
+            .iter()
+            .filter_map(|premise| {
+                let is_lattice = self.kinds[premise.pred.0 as usize];
+                // Resolve to the latest earlier event establishing the
+                // premise; indices strictly decrease, so this terminates.
+                events[..idx]
+                    .iter()
+                    .rposition(|e| {
+                        e.pred == premise.pred
+                            && if is_lattice {
+                                key_matches(&premise.pattern, &e.tuple)
+                            } else {
+                                pattern_matches(&premise.pattern, &e.tuple)
+                            }
+                    })
+                    .map(|j| self.build_tree(events, j))
+            })
+            .collect();
+        DerivationTree {
+            predicate: name,
+            tuple: event.tuple.clone(),
+            rule,
+            children,
+        }
+    }
+
+    pub(crate) fn database(&self) -> &Database {
+        &self.db
+    }
+}

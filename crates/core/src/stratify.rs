@@ -1,0 +1,290 @@
+//! Stratification of programs with negation (§3.5 and §7 of the paper).
+//!
+//! The paper's FLIX "currently does not support any form of negation, but
+//! it is something we plan to add", and §7 judges the stratified extension
+//! straightforward. This module is that extension: it builds the predicate
+//! dependency graph, finds its strongly connected components, rejects
+//! programs with a negated edge inside a component (a negative cycle), and
+//! otherwise orders the rules into strata that the solver completes one at
+//! a time.
+
+use crate::ast::ProgramError;
+use crate::program::{CItem, Program};
+
+/// The stratification of a program's rules.
+#[derive(Debug)]
+pub(crate) struct Strata {
+    /// Rule indices grouped by stratum, in evaluation order.
+    pub(crate) rule_groups: Vec<Vec<usize>>,
+}
+
+/// Computes the strata of `program`'s rules.
+///
+/// # Errors
+///
+/// Returns [`ProgramError::NotStratifiable`] if some predicate depends
+/// negatively on itself through a cycle.
+pub(crate) fn stratify(program: &Program) -> Result<Strata, ProgramError> {
+    let n = program.preds.len();
+    // Positive and negative dependency edges: body pred -> head pred.
+    let mut pos_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut neg_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for rule in &program.rules {
+        let head = rule.head_pred.0 as usize;
+        for item in &rule.body {
+            match item {
+                CItem::Atom { pred, .. } => pos_edges[pred.0 as usize].push(head),
+                CItem::NegAtom { pred, .. } => neg_edges[pred.0 as usize].push(head),
+                CItem::Filter { .. } | CItem::Choose { .. } => {}
+            }
+        }
+    }
+
+    let scc_of = tarjan_scc(n, |v| {
+        pos_edges[v].iter().chain(neg_edges[v].iter()).copied()
+    });
+    let num_sccs = scc_of.iter().map(|&c| c + 1).max().unwrap_or(0);
+
+    // A negative edge inside one SCC is a negative cycle.
+    for (src, heads) in neg_edges.iter().enumerate() {
+        for &dst in heads {
+            if scc_of[src] == scc_of[dst] {
+                return Err(ProgramError::NotStratifiable {
+                    predicate: program.preds[src].name.to_string(),
+                });
+            }
+        }
+    }
+
+    // Stratum of each SCC: longest path counting negative edges, computed
+    // by relaxation over the condensation (acyclic in negative edges, and
+    // positive edges inside an SCC do not change its stratum).
+    let mut stratum = vec![0usize; num_sccs];
+    let mut changed = true;
+    let mut guard = 0usize;
+    while changed {
+        changed = false;
+        guard += 1;
+        assert!(
+            guard <= num_sccs + 1,
+            "stratum relaxation failed to converge; negative cycle missed"
+        );
+        for (src, heads) in pos_edges.iter().enumerate() {
+            for &dst in heads {
+                if stratum[scc_of[dst]] < stratum[scc_of[src]] {
+                    stratum[scc_of[dst]] = stratum[scc_of[src]];
+                    changed = true;
+                }
+            }
+        }
+        for (src, heads) in neg_edges.iter().enumerate() {
+            for &dst in heads {
+                if stratum[scc_of[dst]] < stratum[scc_of[src]] + 1 {
+                    stratum[scc_of[dst]] = stratum[scc_of[src]] + 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let max_stratum = stratum.iter().copied().max().unwrap_or(0);
+    let mut rule_groups: Vec<Vec<usize>> = vec![Vec::new(); max_stratum + 1];
+    for (i, rule) in program.rules.iter().enumerate() {
+        rule_groups[stratum[scc_of[rule.head_pred.0 as usize]]].push(i);
+    }
+    // Drop empty leading/trailing groups but keep order.
+    rule_groups.retain(|g| !g.is_empty());
+    if rule_groups.is_empty() {
+        rule_groups.push(Vec::new());
+    }
+    Ok(Strata { rule_groups })
+}
+
+/// Iterative Tarjan SCC; returns the component id of each vertex.
+/// Component ids are assigned in reverse topological order of the
+/// condensation (standard Tarjan property), but we only use them as labels.
+fn tarjan_scc<I>(n: usize, successors: impl Fn(usize) -> I) -> Vec<usize>
+where
+    I: Iterator<Item = usize>,
+{
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNVISITED; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    // Explicit DFS stack of (vertex, successor iterator state).
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succs: Vec<usize> = successors(start).collect();
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        call_stack.push((start, succs, 0));
+
+        while let Some((v, succs, mut i)) = call_stack.pop() {
+            let mut descended = false;
+            while i < succs.len() {
+                let w = succs[i];
+                i += 1;
+                if index[w] == UNVISITED {
+                    // Descend into w.
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((v, succs, i));
+                    let w_succs: Vec<usize> = successors(w).collect();
+                    call_stack.push((w, w_succs, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w] && index[w] < lowlink[v] {
+                    lowlink[v] = index[w];
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v is finished: maybe pop an SCC, then propagate lowlink.
+            if lowlink[v] == index[v] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack invariant");
+                    on_stack[w] = false;
+                    comp[w] = next_comp;
+                    if w == v {
+                        break;
+                    }
+                }
+                next_comp += 1;
+            }
+            if let Some((parent, _, _)) = call_stack.last() {
+                if lowlink[v] < lowlink[*parent] {
+                    let p = *parent;
+                    lowlink[p] = lowlink[v];
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BodyItem, Head, HeadTerm, ProgramBuilder, Term};
+
+    #[test]
+    fn positive_recursion_is_one_stratum() {
+        let mut b = ProgramBuilder::new();
+        let e = b.relation("E", 2);
+        let p = b.relation("P", 2);
+        b.rule(
+            Head::new(p, [HeadTerm::var("x"), HeadTerm::var("y")]),
+            [BodyItem::atom(e, [Term::var("x"), Term::var("y")])],
+        );
+        b.rule(
+            Head::new(p, [HeadTerm::var("x"), HeadTerm::var("z")]),
+            [
+                BodyItem::atom(p, [Term::var("x"), Term::var("y")]),
+                BodyItem::atom(e, [Term::var("y"), Term::var("z")]),
+            ],
+        );
+        let prog = b.build().expect("valid");
+        let strata = stratify(&prog).expect("stratifiable");
+        assert_eq!(strata.rule_groups.len(), 1);
+        assert_eq!(strata.rule_groups[0].len(), 2);
+    }
+
+    #[test]
+    fn negation_pushes_rules_to_later_stratum() {
+        let mut b = ProgramBuilder::new();
+        let node = b.relation("Node", 1);
+        let e = b.relation("E", 2);
+        let reach = b.relation("Reach", 1);
+        let unreach = b.relation("Unreach", 1);
+        b.rule(
+            Head::new(reach, [HeadTerm::var("y")]),
+            [
+                BodyItem::atom(reach, [Term::var("x")]),
+                BodyItem::atom(e, [Term::var("x"), Term::var("y")]),
+            ],
+        );
+        b.rule(
+            Head::new(unreach, [HeadTerm::var("x")]),
+            [
+                BodyItem::atom(node, [Term::var("x")]),
+                BodyItem::not(reach, [Term::var("x")]),
+            ],
+        );
+        let prog = b.build().expect("valid");
+        let strata = stratify(&prog).expect("stratifiable");
+        assert_eq!(strata.rule_groups.len(), 2);
+        assert_eq!(strata.rule_groups[0], vec![0]);
+        assert_eq!(strata.rule_groups[1], vec![1]);
+    }
+
+    #[test]
+    fn negative_cycle_is_rejected() {
+        // A(x) :- N(x), !B(x).  B(x) :- N(x), !A(x).   (§3.5)
+        let mut b = ProgramBuilder::new();
+        let n = b.relation("N", 1);
+        let a = b.relation("A", 1);
+        let bb = b.relation("B", 1);
+        b.rule(
+            Head::new(a, [HeadTerm::var("x")]),
+            [
+                BodyItem::atom(n, [Term::var("x")]),
+                BodyItem::not(bb, [Term::var("x")]),
+            ],
+        );
+        b.rule(
+            Head::new(bb, [HeadTerm::var("x")]),
+            [
+                BodyItem::atom(n, [Term::var("x")]),
+                BodyItem::not(a, [Term::var("x")]),
+            ],
+        );
+        let prog = b.build().expect("builds fine; stratification rejects");
+        let err = stratify(&prog).expect_err("negative cycle");
+        assert!(matches!(err, ProgramError::NotStratifiable { .. }));
+    }
+
+    #[test]
+    fn double_negation_chain_gets_three_strata() {
+        let mut b = ProgramBuilder::new();
+        let n = b.relation("N", 1);
+        let a = b.relation("A", 1);
+        let c = b.relation("C", 1);
+        let d = b.relation("D", 1);
+        b.rule(
+            Head::new(a, [HeadTerm::var("x")]),
+            [BodyItem::atom(n, [Term::var("x")])],
+        );
+        b.rule(
+            Head::new(c, [HeadTerm::var("x")]),
+            [
+                BodyItem::atom(n, [Term::var("x")]),
+                BodyItem::not(a, [Term::var("x")]),
+            ],
+        );
+        b.rule(
+            Head::new(d, [HeadTerm::var("x")]),
+            [
+                BodyItem::atom(n, [Term::var("x")]),
+                BodyItem::not(c, [Term::var("x")]),
+            ],
+        );
+        let prog = b.build().expect("valid");
+        let strata = stratify(&prog).expect("stratifiable");
+        assert_eq!(strata.rule_groups.len(), 3);
+    }
+}

@@ -1,0 +1,301 @@
+//! The dynamic value representation of the FLIX engine.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A runtime value of the FLIX engine.
+///
+/// §3.2 of the paper extends the values of Datalog "with enums (tagged
+/// unions), tuples, and sets"; `Value` is exactly that universe, plus the
+/// primitive integers, booleans and strings of Datalog. Lattice elements
+/// are ordinary values (e.g. the parity element `Odd` is
+/// `Value::tag("Odd", Value::Unit)`), which is what lets one engine serve
+/// both the surface language and Rust-native analyses.
+///
+/// `Value` has a *total* order ([`Ord`]) used only for indexing and
+/// canonical set representation — it is unrelated to any lattice partial
+/// order, which is supplied separately via
+/// [`LatticeOps`](crate::LatticeOps).
+///
+/// Values are cheap to clone: strings, tag payloads, tuples and sets are
+/// reference-counted.
+///
+/// # Example
+///
+/// ```
+/// use flix_core::Value;
+///
+/// let v = Value::tuple([Value::from(1), Value::from("x")]);
+/// assert_eq!(v.to_string(), "(1, \"x\")");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Value {
+    /// The unit value.
+    #[default]
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// An interned string.
+    Str(Arc<str>),
+    /// A tagged value (an `enum` constructor applied to a payload).
+    Tag(Arc<str>, Arc<Value>),
+    /// A tuple of values.
+    Tuple(Arc<[Value]>),
+    /// A finite set of values.
+    Set(Arc<BTreeSet<Value>>),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Creates a tagged value `Tag(payload)`.
+    ///
+    /// ```
+    /// use flix_core::Value;
+    /// let odd = Value::tag("Odd", Value::Unit);
+    /// assert_eq!(odd.tag_name(), Some("Odd"));
+    /// ```
+    pub fn tag(name: impl Into<Arc<str>>, payload: Value) -> Value {
+        Value::Tag(name.into(), Arc::new(payload))
+    }
+
+    /// Creates a nullary tagged value `Tag` (unit payload).
+    pub fn tag0(name: impl Into<Arc<str>>) -> Value {
+        Value::tag(name, Value::Unit)
+    }
+
+    /// Creates a tuple value.
+    pub fn tuple(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Tuple(items.into_iter().collect())
+    }
+
+    /// Creates a set value.
+    pub fn set(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Set(Arc::new(items.into_iter().collect()))
+    }
+
+    /// Returns the tag name if this is a tagged value.
+    pub fn tag_name(&self) -> Option<&str> {
+        match self {
+            Value::Tag(name, _) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Returns the payload if this is a tagged value.
+    pub fn tag_payload(&self) -> Option<&Value> {
+        match self {
+            Value::Tag(_, payload) => Some(payload),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the tuple components if this is a tuple value.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the set elements if this is a set value.
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Value::Set(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is `Bool(true)`.
+    ///
+    /// Used by the engine to interpret the result of a filter function.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Int(n)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(n: i32) -> Value {
+        Value::Int(n.into())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::str(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Tag(name, payload) => match &**payload {
+                Value::Unit => write!(f, "{name}"),
+                Value::Tuple(items) => {
+                    write!(f, "{name}(")?;
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    f.write_str(")")
+                }
+                other => write!(f, "{name}({other})"),
+            },
+            Value::Tuple(items) => {
+                f.write_str("(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str(")")
+            }
+            Value::Set(items) => {
+                f.write_str("#{")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from(String::from("hi")), Value::from("hi"));
+    }
+
+    #[test]
+    fn accessors_reject_wrong_variants() {
+        assert_eq!(Value::Unit.as_int(), None);
+        assert_eq!(Value::Int(3).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_str(), None);
+        assert_eq!(Value::Int(1).as_tuple(), None);
+        assert_eq!(Value::Int(1).as_set(), None);
+    }
+
+    #[test]
+    fn tags() {
+        let v = Value::tag("Single", Value::from("p"));
+        assert_eq!(v.tag_name(), Some("Single"));
+        assert_eq!(v.tag_payload(), Some(&Value::from("p")));
+        assert_eq!(Value::tag0("Top").tag_payload(), Some(&Value::Unit));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::tag0("Odd").to_string(), "Odd");
+        assert_eq!(
+            Value::tag("Single", Value::from("p")).to_string(),
+            "Single(\"p\")"
+        );
+        assert_eq!(
+            Value::tag("Pair", Value::tuple([Value::from(1), Value::from(2)])).to_string(),
+            "Pair(1, 2)"
+        );
+        assert_eq!(
+            Value::set([Value::from(2), Value::from(1)]).to_string(),
+            "#{1, 2}"
+        );
+    }
+
+    #[test]
+    fn sets_are_canonical() {
+        let a = Value::set([Value::from(1), Value::from(2), Value::from(1)]);
+        let b = Value::set([Value::from(2), Value::from(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn total_order_is_consistent() {
+        let mut values = vec![
+            Value::Unit,
+            Value::from(false),
+            Value::from(3),
+            Value::from("a"),
+            Value::tag0("T"),
+            Value::tuple([Value::from(1)]),
+            Value::set([]),
+        ];
+        values.sort();
+        // Sorting must be stable under equality and not panic; spot-check
+        // reflexivity of the derived order.
+        for v in &values {
+            assert_eq!(v.cmp(v), std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn is_true_only_for_bool_true() {
+        assert!(Value::Bool(true).is_true());
+        assert!(!Value::Bool(false).is_true());
+        assert!(!Value::Int(1).is_true());
+    }
+}

@@ -1,0 +1,402 @@
+//! Safety verification of lattices and functions (§7 of the paper).
+//!
+//! "A FLIX programmer may inadvertently violate one or more of the
+//! required properties when specifying a lattice or function. We plan to
+//! investigate the use of automatic program verification techniques to
+//! guarantee that FLIX programs are meaningful." This module is that
+//! guarantee in testing form: given sample elements for each lattice, it
+//! checks the complete-lattice laws of every `lat` predicate's
+//! [`LatticeOps`] and the strictness/monotonicity obligations of
+//! functions used as transfer functions and filters.
+//!
+//! The engine cannot see *through* a [`LatticeOps`] closure, so the check
+//! is property-based: exhaustive over the provided samples (a proof when
+//! the samples enumerate a finite lattice, a refutation search otherwise),
+//! exactly like [`flix_lattice::checks`] but at the dynamic-value level
+//! where the surface language's interpreted lattices live.
+
+use crate::{LatticeOps, Value};
+use std::fmt;
+
+/// A violation found by [`check_lattice_ops`] or the function checkers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// `leq` is not reflexive at the element.
+    NotReflexive(Value),
+    /// `leq` is not antisymmetric at the pair (both directions hold but
+    /// the values differ).
+    NotAntisymmetric(Value, Value),
+    /// `leq` is not transitive at the triple.
+    NotTransitive(Value, Value, Value),
+    /// `bottom()` is not below the element.
+    BottomNotLeast(Value),
+    /// `top()` is not above the element.
+    TopNotGreatest(Value),
+    /// `lub(a, b)` is not an upper bound of the pair.
+    LubNotUpperBound(Value, Value),
+    /// `lub(a, b)` is not the least sampled upper bound; carries the
+    /// smaller upper bound found.
+    LubNotLeast(Value, Value, Value),
+    /// `glb(a, b)` is not a lower bound of the pair.
+    GlbNotLowerBound(Value, Value),
+    /// `glb(a, b)` is not the greatest sampled lower bound.
+    GlbNotGreatest(Value, Value, Value),
+    /// A function is not monotone: the inputs are ordered, the outputs
+    /// are not.
+    NotMonotone {
+        /// Inputs before the bump.
+        lo: Vec<Value>,
+        /// Inputs after bumping one argument up the order.
+        hi: Vec<Value>,
+    },
+    /// A function applied to `⊥` did not return `⊥`.
+    NotStrict(Vec<Value>),
+    /// A filter function returned a non-boolean value.
+    FilterNotBoolean(Vec<Value>, Value),
+    /// A filter is not monotone over `false < true`.
+    FilterNotMonotone {
+        /// Inputs before the bump.
+        lo: Vec<Value>,
+        /// Inputs after the bump.
+        hi: Vec<Value>,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Violation::*;
+        match self {
+            NotReflexive(a) => write!(f, "leq is not reflexive at {a}"),
+            NotAntisymmetric(a, b) => write!(f, "leq is not antisymmetric at {a}, {b}"),
+            NotTransitive(a, b, c) => {
+                write!(f, "leq is not transitive at {a} ⊑ {b} ⊑ {c}")
+            }
+            BottomNotLeast(a) => write!(f, "bottom is not below {a}"),
+            TopNotGreatest(a) => write!(f, "top is not above {a}"),
+            LubNotUpperBound(a, b) => write!(f, "lub({a}, {b}) is not an upper bound"),
+            LubNotLeast(a, b, u) => {
+                write!(
+                    f,
+                    "lub({a}, {b}) is not least: {u} is a smaller upper bound"
+                )
+            }
+            GlbNotLowerBound(a, b) => write!(f, "glb({a}, {b}) is not a lower bound"),
+            GlbNotGreatest(a, b, l) => {
+                write!(
+                    f,
+                    "glb({a}, {b}) is not greatest: {l} is a larger lower bound"
+                )
+            }
+            NotMonotone { lo, hi } => write!(
+                f,
+                "function is not monotone: f({lo:?}) ⋢ f({hi:?}) though inputs are ordered"
+            ),
+            NotStrict(args) => write!(f, "function is not strict on {args:?}"),
+            FilterNotBoolean(args, out) => {
+                write!(f, "filter returned non-boolean {out} on {args:?}")
+            }
+            FilterNotMonotone { lo, hi } => write!(
+                f,
+                "filter is not monotone: true at {lo:?} but false at {hi:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks the complete-lattice laws of `ops` over the sampled elements.
+///
+/// The samples should include `ops.bottom()` (it is added if absent).
+/// Runs `O(n^3)` operations over the sample set.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn check_lattice_ops(ops: &LatticeOps, samples: &[Value]) -> Result<(), Violation> {
+    let mut elems: Vec<Value> = samples.to_vec();
+    if !elems.contains(ops.bottom()) {
+        elems.push(ops.bottom().clone());
+    }
+    if let Some(top) = ops.top() {
+        if !elems.contains(top) {
+            elems.push(top.clone());
+        }
+    }
+
+    for a in &elems {
+        if !ops.leq(a, a) {
+            return Err(Violation::NotReflexive(a.clone()));
+        }
+        if !ops.leq(ops.bottom(), a) {
+            return Err(Violation::BottomNotLeast(a.clone()));
+        }
+        if let Some(top) = ops.top() {
+            if !ops.leq(a, top) {
+                return Err(Violation::TopNotGreatest(a.clone()));
+            }
+        }
+    }
+    for a in &elems {
+        for b in &elems {
+            if ops.leq(a, b) && ops.leq(b, a) && a != b {
+                return Err(Violation::NotAntisymmetric(a.clone(), b.clone()));
+            }
+            let j = ops.lub(a, b);
+            if !ops.leq(a, &j) || !ops.leq(b, &j) {
+                return Err(Violation::LubNotUpperBound(a.clone(), b.clone()));
+            }
+            let m = ops.glb(a, b);
+            if !ops.leq(&m, a) || !ops.leq(&m, b) {
+                return Err(Violation::GlbNotLowerBound(a.clone(), b.clone()));
+            }
+            for c in &elems {
+                if ops.leq(a, b) && ops.leq(b, c) && !ops.leq(a, c) {
+                    return Err(Violation::NotTransitive(a.clone(), b.clone(), c.clone()));
+                }
+                if ops.leq(a, c) && ops.leq(b, c) && !ops.leq(&j, c) {
+                    return Err(Violation::LubNotLeast(a.clone(), b.clone(), c.clone()));
+                }
+                if ops.leq(c, a) && ops.leq(c, b) && !ops.leq(c, &m) {
+                    return Err(Violation::GlbNotGreatest(a.clone(), b.clone(), c.clone()));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that an n-ary transfer function over `ops` is strict (§3.3:
+/// `f(..., ⊥, ...) = ⊥`) and monotone in every argument, over all
+/// argument vectors drawn from the samples.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn check_transfer_function(
+    ops: &LatticeOps,
+    arity: usize,
+    f: impl Fn(&[Value]) -> Value,
+    samples: &[Value],
+) -> Result<(), Violation> {
+    let elems = with_bottom(ops, samples);
+    for args in combinations(&elems, arity) {
+        let out = f(&args);
+        if args.iter().any(|a| ops.is_bottom(a)) && !ops.is_bottom(&out) {
+            return Err(Violation::NotStrict(args.clone()));
+        }
+        for i in 0..arity {
+            for e in &elems {
+                if !ops.leq(&args[i], e) {
+                    continue;
+                }
+                let mut bumped = args.clone();
+                bumped[i] = e.clone();
+                if !ops.leq(&out, &f(&bumped)) {
+                    return Err(Violation::NotMonotone {
+                        lo: args.clone(),
+                        hi: bumped,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that an n-ary filter function over `ops` returns booleans and
+/// is monotone over `false < true` (§3.3).
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] found.
+pub fn check_filter_function(
+    ops: &LatticeOps,
+    arity: usize,
+    f: impl Fn(&[Value]) -> Value,
+    samples: &[Value],
+) -> Result<(), Violation> {
+    let elems = with_bottom(ops, samples);
+    let eval = |args: &[Value]| -> Result<bool, Violation> {
+        match f(args) {
+            Value::Bool(b) => Ok(b),
+            other => Err(Violation::FilterNotBoolean(args.to_vec(), other)),
+        }
+    };
+    for args in combinations(&elems, arity) {
+        let out = eval(&args)?;
+        if !out {
+            continue;
+        }
+        // true must stay true when any argument moves up the order.
+        for i in 0..arity {
+            for e in &elems {
+                if !ops.leq(&args[i], e) {
+                    continue;
+                }
+                let mut bumped = args.clone();
+                bumped[i] = e.clone();
+                if !eval(&bumped)? {
+                    return Err(Violation::FilterNotMonotone {
+                        lo: args.clone(),
+                        hi: bumped,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn with_bottom(ops: &LatticeOps, samples: &[Value]) -> Vec<Value> {
+    let mut elems: Vec<Value> = samples.to_vec();
+    if !elems.contains(ops.bottom()) {
+        elems.push(ops.bottom().clone());
+    }
+    elems
+}
+
+/// All length-`arity` argument vectors over `elems` (an odometer walk).
+fn combinations(elems: &[Value], arity: usize) -> Vec<Vec<Value>> {
+    if elems.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut idx = vec![0usize; arity];
+    loop {
+        out.push(idx.iter().map(|&i| elems[i].clone()).collect());
+        let mut k = 0;
+        loop {
+            if k == arity {
+                return out;
+            }
+            idx[k] += 1;
+            if idx[k] < elems.len() {
+                break;
+            }
+            idx[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::ValueLattice;
+    use flix_lattice::{FiniteLattice, Parity};
+
+    fn parity_samples() -> Vec<Value> {
+        Parity::elements()
+            .iter()
+            .map(ValueLattice::to_value)
+            .collect()
+    }
+
+    #[test]
+    fn parity_ops_pass() {
+        let ops = LatticeOps::of::<Parity>();
+        check_lattice_ops(&ops, &parity_samples()).expect("parity is a lattice");
+    }
+
+    #[test]
+    fn broken_lub_is_caught() {
+        // A "lattice" whose lub always returns bottom.
+        let ops = LatticeOps::from_fns(
+            "Broken",
+            Value::Int(0),
+            None,
+            |a, b| a.as_int() <= b.as_int(),
+            |_, _| Value::Int(0),
+            |a, _| a.clone(),
+        );
+        let samples = vec![Value::Int(0), Value::Int(1), Value::Int(2)];
+        let err = check_lattice_ops(&ops, &samples).expect_err("must reject");
+        assert!(matches!(err, Violation::LubNotUpperBound(_, _)), "{err}");
+    }
+
+    #[test]
+    fn sum_is_strict_and_monotone() {
+        let ops = LatticeOps::of::<Parity>();
+        check_transfer_function(
+            &ops,
+            2,
+            |args| {
+                Parity::expect_from(&args[0])
+                    .sum(&Parity::expect_from(&args[1]))
+                    .to_value()
+            },
+            &parity_samples(),
+        )
+        .expect("sum is a lawful transfer function");
+    }
+
+    #[test]
+    fn constant_top_is_not_strict() {
+        let ops = LatticeOps::of::<Parity>();
+        let err = check_transfer_function(&ops, 1, |_| Parity::Top.to_value(), &parity_samples())
+            .expect_err("constant ⊤ violates strictness");
+        assert!(matches!(err, Violation::NotStrict(_)), "{err}");
+    }
+
+    #[test]
+    fn non_monotone_transfer_is_caught() {
+        let ops = LatticeOps::of::<Parity>();
+        // "Swap": maps Even to Top and Top to Even — order-reversing
+        // between comparable elements.
+        let err = check_transfer_function(
+            &ops,
+            1,
+            |args| {
+                match Parity::expect_from(&args[0]) {
+                    Parity::Even => Parity::Top,
+                    Parity::Top => Parity::Even,
+                    other => other,
+                }
+                .to_value()
+            },
+            &parity_samples(),
+        )
+        .expect_err("must reject");
+        assert!(matches!(err, Violation::NotMonotone { .. }), "{err}");
+    }
+
+    #[test]
+    fn is_maybe_zero_is_a_lawful_filter() {
+        let ops = LatticeOps::of::<Parity>();
+        check_filter_function(
+            &ops,
+            1,
+            |args| Value::Bool(Parity::expect_from(&args[0]).is_maybe_zero()),
+            &parity_samples(),
+        )
+        .expect("isMaybeZero is monotone");
+    }
+
+    #[test]
+    fn anti_monotone_filter_is_caught() {
+        let ops = LatticeOps::of::<Parity>();
+        let err = check_filter_function(
+            &ops,
+            1,
+            |args| Value::Bool(Parity::expect_from(&args[0]) != Parity::Top),
+            &parity_samples(),
+        )
+        .expect_err("'is not top' is anti-monotone");
+        assert!(matches!(err, Violation::FilterNotMonotone { .. }), "{err}");
+    }
+
+    #[test]
+    fn filter_returning_ints_is_caught() {
+        let ops = LatticeOps::of::<Parity>();
+        let err = check_filter_function(&ops, 1, |_| Value::Int(1), &parity_samples())
+            .expect_err("must reject");
+        assert!(matches!(err, Violation::FilterNotBoolean(_, _)), "{err}");
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = Violation::NotStrict(vec![Value::Int(1)]);
+        assert!(v.to_string().contains("strict"));
+    }
+}

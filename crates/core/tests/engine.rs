@@ -1,0 +1,541 @@
+//! Engine-level integration tests: the worked examples of §2 and §3 of
+//! the paper, strategy cross-validation, and feature interactions.
+
+use flix_core::{
+    model, BodyItem, Head, HeadTerm, LatticeOps, ProgramBuilder, Solution, Solver, Strategy, Term,
+    Value, ValueLattice,
+};
+use flix_lattice::{MinCost, Parity, Sign};
+
+fn v(s: &str) -> Value {
+    Value::from(s)
+}
+
+fn solve(b: ProgramBuilder) -> Solution {
+    Solver::new()
+        .solve(&b.build().expect("valid program"))
+        .expect("solves")
+}
+
+/// Builds the Datalog points-to program of Figure 1 with the §2.1 facts.
+fn points_to_program() -> ProgramBuilder {
+    let mut b = ProgramBuilder::new();
+    let new = b.relation("New", 2);
+    let assign = b.relation("Assign", 2);
+    let load = b.relation("Load", 3);
+    let store = b.relation("Store", 3);
+    let vpt = b.relation("VarPointsTo", 2);
+    let hpt = b.relation("HeapPointsTo", 3);
+
+    b.rule(
+        Head::new(vpt, [HeadTerm::var("v1"), HeadTerm::var("h1")]),
+        [BodyItem::atom(new, [Term::var("v1"), Term::var("h1")])],
+    );
+    b.rule(
+        Head::new(vpt, [HeadTerm::var("v1"), HeadTerm::var("h2")]),
+        [
+            BodyItem::atom(assign, [Term::var("v1"), Term::var("v2")]),
+            BodyItem::atom(vpt, [Term::var("v2"), Term::var("h2")]),
+        ],
+    );
+    b.rule(
+        Head::new(vpt, [HeadTerm::var("v1"), HeadTerm::var("h2")]),
+        [
+            BodyItem::atom(load, [Term::var("v1"), Term::var("v2"), Term::var("f")]),
+            BodyItem::atom(vpt, [Term::var("v2"), Term::var("h1")]),
+            BodyItem::atom(hpt, [Term::var("h1"), Term::var("f"), Term::var("h2")]),
+        ],
+    );
+    b.rule(
+        Head::new(
+            hpt,
+            [HeadTerm::var("h1"), HeadTerm::var("f"), HeadTerm::var("h2")],
+        ),
+        [
+            BodyItem::atom(store, [Term::var("v1"), Term::var("f"), Term::var("v2")]),
+            BodyItem::atom(vpt, [Term::var("v1"), Term::var("h1")]),
+            BodyItem::atom(vpt, [Term::var("v2"), Term::var("h2")]),
+        ],
+    );
+
+    // The five facts of §2.1.
+    b.fact(new, vec![v("o1"), v("A")]);
+    b.fact(new, vec![v("o2"), v("B")]);
+    b.fact(assign, vec![v("o3"), v("o2")]);
+    b.fact(store, vec![v("o2"), v("f"), v("o1")]);
+    b.fact(load, vec![v("r"), v("o3"), v("f")]);
+    b
+}
+
+#[test]
+fn figure_1_points_to_example() {
+    let solution = solve(points_to_program());
+    // "Running the solver infers a solution containing the fact
+    //  VarPointsTo("r", "A"), as expected."
+    assert!(solution.contains("VarPointsTo", &[v("r"), v("A")]));
+    assert!(solution.contains("VarPointsTo", &[v("o3"), v("B")]));
+    assert!(solution.contains("HeapPointsTo", &[v("B"), v("f"), v("A")]));
+    // r must NOT point to B.
+    assert!(!solution.contains("VarPointsTo", &[v("r"), v("B")]));
+}
+
+#[test]
+fn naive_and_semi_naive_agree_on_points_to() {
+    let prog = points_to_program().build().expect("valid");
+    let naive = Solver::new()
+        .strategy(Strategy::Naive)
+        .solve(&prog)
+        .expect("solves");
+    let semi = Solver::new()
+        .strategy(Strategy::SemiNaive)
+        .solve(&prog)
+        .expect("solves");
+    let collect = |s: &Solution, p: &str| {
+        let mut rows: Vec<Vec<Value>> = s.relation(p).expect("rel").map(|r| r.to_vec()).collect();
+        rows.sort();
+        rows
+    };
+    for p in ["VarPointsTo", "HeapPointsTo"] {
+        assert_eq!(collect(&naive, p), collect(&semi, p));
+    }
+    // Semi-naïve must not do more rule evaluations than naïve needs
+    // full-program re-evaluations would imply; it is the efficiency claim
+    // of §3.7. We just check it did fewer derivations.
+    assert!(semi.stats().facts_derived <= naive.stats().facts_derived);
+}
+
+#[test]
+fn parallel_solver_agrees_with_sequential() {
+    let prog = points_to_program().build().expect("valid");
+    let seq = Solver::new().solve(&prog).expect("solves");
+    let par = Solver::new().threads(4).solve(&prog).expect("solves");
+    assert_eq!(seq.total_facts(), par.total_facts());
+    assert!(par.contains("VarPointsTo", &[v("r"), v("A")]));
+}
+
+#[test]
+fn unindexed_solver_agrees_with_indexed() {
+    let prog = points_to_program().build().expect("valid");
+    let indexed = Solver::new().solve(&prog).expect("solves");
+    let unindexed = Solver::new()
+        .use_indexes(false)
+        .solve(&prog)
+        .expect("solves");
+    assert_eq!(indexed.total_facts(), unindexed.total_facts());
+    assert_eq!(unindexed.stats().index_probes, 0);
+}
+
+#[test]
+fn sign_lattice_example_of_section_3_2() {
+    // Facts: A(1, Pos). A(2, Pos). A(2, Neg).
+    // Minimal model: A(1, Pos), A(2, ⊤)   (interpretation I4).
+    let mut b = ProgramBuilder::new();
+    let a = b.lattice("A", 2, LatticeOps::of::<Sign>());
+    b.fact(a, vec![1.into(), Sign::Pos.to_value()]);
+    b.fact(a, vec![2.into(), Sign::Pos.to_value()]);
+    b.fact(a, vec![2.into(), Sign::Neg.to_value()]);
+    let prog = b.build().expect("valid");
+    let solution = Solver::new().solve(&prog).expect("solves");
+    assert_eq!(
+        solution.lattice_value("A", &[1.into()]),
+        Some(Sign::Pos.to_value())
+    );
+    assert_eq!(
+        solution.lattice_value("A", &[2.into()]),
+        Some(Sign::Top.to_value())
+    );
+    assert!(model::is_model(&prog, &solution));
+    assert!(model::is_locally_minimal(&prog, &solution));
+}
+
+#[test]
+fn semi_naive_compactness_example_of_section_3_7() {
+    // A(Odd). B(Even). A(x) :- B(x). R(x) :- isMaybeZero(x), A(x).
+    // The paper: A becomes ⊤ and the third rule must re-evaluate under
+    // {x ↦ ⊤}, giving R(⊤).
+    let mut b = ProgramBuilder::new();
+    let a = b.lattice("A", 1, LatticeOps::of::<Parity>());
+    let bb = b.lattice("B", 1, LatticeOps::of::<Parity>());
+    let r = b.lattice("R", 1, LatticeOps::of::<Parity>());
+    let is_maybe_zero = b.function("isMaybeZero", |args| {
+        Value::Bool(Parity::expect_from(&args[0]).is_maybe_zero())
+    });
+    b.fact(a, vec![Parity::Odd.to_value()]);
+    b.fact(bb, vec![Parity::Even.to_value()]);
+    b.rule(
+        Head::new(a, [HeadTerm::var("x")]),
+        [BodyItem::atom(bb, [Term::var("x")])],
+    );
+    b.rule(
+        Head::new(r, [HeadTerm::var("x")]),
+        [
+            BodyItem::atom(a, [Term::var("x")]),
+            BodyItem::filter(is_maybe_zero, [Term::var("x")]),
+        ],
+    );
+    let prog = b.build().expect("valid");
+    let solution = Solver::new().solve(&prog).expect("solves");
+    assert_eq!(
+        solution.lattice_value("A", &[]),
+        Some(Parity::Top.to_value())
+    );
+    assert_eq!(
+        solution.lattice_value("R", &[]),
+        Some(Parity::Top.to_value())
+    );
+    assert!(model::is_model(&prog, &solution));
+}
+
+#[test]
+fn filter_rejects_non_matching_elements() {
+    // R(x) :- A(x), isMaybeZero(x) with A = Odd: filter is false, R empty.
+    let mut b = ProgramBuilder::new();
+    let a = b.lattice("A", 1, LatticeOps::of::<Parity>());
+    let r = b.lattice("R", 1, LatticeOps::of::<Parity>());
+    let is_maybe_zero = b.function("isMaybeZero", |args| {
+        Value::Bool(Parity::expect_from(&args[0]).is_maybe_zero())
+    });
+    b.fact(a, vec![Parity::Odd.to_value()]);
+    b.rule(
+        Head::new(r, [HeadTerm::var("x")]),
+        [
+            BodyItem::atom(a, [Term::var("x")]),
+            BodyItem::filter(is_maybe_zero, [Term::var("x")]),
+        ],
+    );
+    let solution = solve(b);
+    assert_eq!(solution.len("R"), Some(0));
+}
+
+#[test]
+fn transfer_function_in_head() {
+    // Sum(sum(x, y)) :- A(x), B(y).
+    let mut b = ProgramBuilder::new();
+    let a = b.lattice("A", 1, LatticeOps::of::<Parity>());
+    let bb = b.lattice("B", 1, LatticeOps::of::<Parity>());
+    let sum = b.lattice("Sum", 1, LatticeOps::of::<Parity>());
+    let f = b.function("sum", |args| {
+        Parity::expect_from(&args[0])
+            .sum(&Parity::expect_from(&args[1]))
+            .to_value()
+    });
+    b.fact(a, vec![Parity::Odd.to_value()]);
+    b.fact(bb, vec![Parity::Odd.to_value()]);
+    b.rule(
+        Head::new(sum, [HeadTerm::app(f, [Term::var("x"), Term::var("y")])]),
+        [
+            BodyItem::atom(a, [Term::var("x")]),
+            BodyItem::atom(bb, [Term::var("y")]),
+        ],
+    );
+    let solution = solve(b);
+    assert_eq!(
+        solution.lattice_value("Sum", &[]),
+        Some(Parity::Even.to_value())
+    );
+}
+
+#[test]
+fn choose_binding_iterates_set_elements() {
+    // Next(y) :- Cur(x), y <- succs(x).  succs returns a two-element set.
+    let mut b = ProgramBuilder::new();
+    let cur = b.relation("Cur", 1);
+    let next = b.relation("Next", 1);
+    let succs = b.function("succs", |args| {
+        let n = args[0].as_int().expect("int");
+        Value::set([Value::Int(n + 1), Value::Int(n + 2)])
+    });
+    b.fact(cur, vec![10.into()]);
+    b.rule(
+        Head::new(next, [HeadTerm::var("y")]),
+        [
+            BodyItem::atom(cur, [Term::var("x")]),
+            BodyItem::choose(succs, [Term::var("x")], "y"),
+        ],
+    );
+    let solution = solve(b);
+    assert!(solution.contains("Next", &[11.into()]));
+    assert!(solution.contains("Next", &[12.into()]));
+    assert_eq!(solution.len("Next"), Some(2));
+}
+
+#[test]
+fn choose_binding_destructures_tuples() {
+    // Pairs: (d, t) <- expand(x).
+    let mut b = ProgramBuilder::new();
+    let src = b.relation("Src", 1);
+    let out = b.relation("Out", 2);
+    let expand = b.function("expand", |args| {
+        let n = args[0].as_int().expect("int");
+        Value::set([
+            Value::tuple([Value::Int(n), Value::from("a")]),
+            Value::tuple([Value::Int(n + 1), Value::from("b")]),
+        ])
+    });
+    b.fact(src, vec![1.into()]);
+    b.rule(
+        Head::new(out, [HeadTerm::var("d"), HeadTerm::var("t")]),
+        [
+            BodyItem::atom(src, [Term::var("x")]),
+            BodyItem::choose_tuple(expand, [Term::var("x")], ["d", "t"]),
+        ],
+    );
+    let solution = solve(b);
+    assert!(solution.contains("Out", &[1.into(), v("a")]));
+    assert!(solution.contains("Out", &[2.into(), v("b")]));
+}
+
+#[test]
+fn stratified_negation_computes_complement() {
+    let mut b = ProgramBuilder::new();
+    let node = b.relation("Node", 1);
+    let edge = b.relation("Edge", 2);
+    let reach = b.relation("Reach", 1);
+    let unreach = b.relation("Unreach", 1);
+    for n in 1..=4 {
+        b.fact(node, vec![n.into()]);
+    }
+    b.fact(reach, vec![1.into()]);
+    b.fact(edge, vec![1.into(), 2.into()]);
+    b.fact(edge, vec![3.into(), 4.into()]);
+    b.rule(
+        Head::new(reach, [HeadTerm::var("y")]),
+        [
+            BodyItem::atom(reach, [Term::var("x")]),
+            BodyItem::atom(edge, [Term::var("x"), Term::var("y")]),
+        ],
+    );
+    b.rule(
+        Head::new(unreach, [HeadTerm::var("x")]),
+        [
+            BodyItem::atom(node, [Term::var("x")]),
+            BodyItem::not(reach, [Term::var("x")]),
+        ],
+    );
+    let solution = solve(b);
+    assert!(solution.contains("Unreach", &[3.into()]));
+    assert!(solution.contains("Unreach", &[4.into()]));
+    assert!(!solution.contains("Unreach", &[1.into()]));
+    assert!(!solution.contains("Unreach", &[2.into()]));
+}
+
+#[test]
+fn negative_cycle_reported_at_solve_time() {
+    let mut b = ProgramBuilder::new();
+    let n = b.relation("N", 1);
+    let a = b.relation("A", 1);
+    let bb = b.relation("B", 1);
+    b.rule(
+        Head::new(a, [HeadTerm::var("x")]),
+        [
+            BodyItem::atom(n, [Term::var("x")]),
+            BodyItem::not(bb, [Term::var("x")]),
+        ],
+    );
+    b.rule(
+        Head::new(bb, [HeadTerm::var("x")]),
+        [
+            BodyItem::atom(n, [Term::var("x")]),
+            BodyItem::not(a, [Term::var("x")]),
+        ],
+    );
+    let prog = b.build().expect("builds");
+    let err = Solver::new().solve(&prog).expect_err("not stratifiable");
+    assert!(err.to_string().contains("not stratifiable"));
+}
+
+#[test]
+fn shortest_paths_on_a_cycle_terminates() {
+    // A graph with a cycle: the min-cost lattice still reaches a fixed
+    // point because path extension cannot beat the existing minimum
+    // forever.
+    let mut b = ProgramBuilder::new();
+    let edge = b.relation("Edge", 3);
+    let dist = b.lattice("Dist", 2, LatticeOps::of::<MinCost>());
+    let extend = b.function("extend", |args| {
+        let d = MinCost::expect_from(&args[0]);
+        let c = args[1].as_int().expect("weight") as u64;
+        d.add_weight(c).to_value()
+    });
+    b.fact(dist, vec![v("a"), MinCost::finite(0).to_value()]);
+    for (x, y, c) in [("a", "b", 1), ("b", "c", 1), ("c", "a", 1), ("a", "c", 5)] {
+        b.fact(edge, vec![v(x), v(y), c.into()]);
+    }
+    b.rule(
+        Head::new(
+            dist,
+            [
+                HeadTerm::var("y"),
+                HeadTerm::app(extend, [Term::var("d"), Term::var("c")]),
+            ],
+        ),
+        [
+            BodyItem::atom(dist, [Term::var("x"), Term::var("d")]),
+            BodyItem::atom(edge, [Term::var("x"), Term::var("y"), Term::var("c")]),
+        ],
+    );
+    let solution = solve(b);
+    assert_eq!(
+        solution.lattice_value("Dist", &[v("c")]),
+        Some(MinCost::finite(2).to_value()),
+        "a -> b -> c beats the direct a -> c edge"
+    );
+    assert_eq!(
+        solution.lattice_value("Dist", &[v("a")]),
+        Some(MinCost::finite(0).to_value()),
+        "the cycle must not shrink the origin below 0"
+    );
+}
+
+#[test]
+fn round_limit_stops_divergence() {
+    // An intentionally non-monotone "lattice" over integers that always
+    // claims strict increase, so the fixed point never arrives.
+    let mut b = ProgramBuilder::new();
+    let bad = b.lattice(
+        "Bad",
+        1,
+        LatticeOps::from_fns(
+            "Diverging",
+            Value::Int(0),
+            None,
+            |_, _| false, // nothing is ever ⊑ anything: every join "grows"
+            |a, b| Value::Int(a.as_int().unwrap_or(0).max(b.as_int().unwrap_or(0)) + 1),
+            |a, _| a.clone(),
+        ),
+    );
+    let step = b.function("step", |args| {
+        Value::Int(args[0].as_int().expect("int") + 1)
+    });
+    b.fact(bad, vec![Value::Int(1)]);
+    b.rule(
+        Head::new(bad, [HeadTerm::app(step, [Term::var("x")])]),
+        [BodyItem::atom(bad, [Term::var("x")])],
+    );
+    let prog = b.build().expect("valid");
+    let err = Solver::new()
+        .max_rounds(50)
+        .solve(&prog)
+        .expect_err("diverges");
+    assert!(matches!(
+        err,
+        flix_core::SolveError::RoundLimitExceeded { limit: 50 }
+    ));
+}
+
+#[test]
+fn wildcards_match_without_binding() {
+    let mut b = ProgramBuilder::new();
+    let e = b.relation("E", 2);
+    let has_succ = b.relation("HasSucc", 1);
+    b.fact(e, vec![1.into(), 2.into()]);
+    b.fact(e, vec![1.into(), 3.into()]);
+    b.fact(e, vec![4.into(), 5.into()]);
+    b.rule(
+        Head::new(has_succ, [HeadTerm::var("x")]),
+        [BodyItem::atom(e, [Term::var("x"), Term::Wildcard])],
+    );
+    let solution = solve(b);
+    assert_eq!(solution.len("HasSucc"), Some(2));
+}
+
+#[test]
+fn literals_in_atoms_restrict_matches() {
+    let mut b = ProgramBuilder::new();
+    let e = b.relation("E", 2);
+    let from_one = b.relation("FromOne", 1);
+    b.fact(e, vec![1.into(), 2.into()]);
+    b.fact(e, vec![3.into(), 4.into()]);
+    b.rule(
+        Head::new(from_one, [HeadTerm::var("y")]),
+        [BodyItem::atom(e, [Term::lit(1), Term::var("y")])],
+    );
+    let solution = solve(b);
+    assert!(solution.contains("FromOne", &[2.into()]));
+    assert_eq!(solution.len("FromOne"), Some(1));
+}
+
+#[test]
+fn repeated_variable_within_one_atom() {
+    // SelfLoop(x) :- Edge(x, x).   (§3.7)
+    let mut b = ProgramBuilder::new();
+    let e = b.relation("Edge", 2);
+    let self_loop = b.relation("SelfLoop", 1);
+    b.fact(e, vec![1.into(), 1.into()]);
+    b.fact(e, vec![1.into(), 2.into()]);
+    b.fact(e, vec![2.into(), 2.into()]);
+    b.rule(
+        Head::new(self_loop, [HeadTerm::var("x")]),
+        [BodyItem::atom(e, [Term::var("x"), Term::var("x")])],
+    );
+    let solution = solve(b);
+    assert_eq!(solution.len("SelfLoop"), Some(2));
+    assert!(solution.contains("SelfLoop", &[1.into()]));
+    assert!(solution.contains("SelfLoop", &[2.into()]));
+}
+
+#[test]
+fn lattice_literal_in_body_is_a_threshold_test() {
+    // AtLeastEven(k) :- A(k, Even).  — true when Even ⊑ A(k).
+    let mut b = ProgramBuilder::new();
+    let a = b.lattice("A", 2, LatticeOps::of::<Parity>());
+    let out = b.relation("AtLeastEven", 1);
+    b.fact(a, vec![1.into(), Parity::Even.to_value()]);
+    b.fact(a, vec![2.into(), Parity::Odd.to_value()]);
+    b.fact(a, vec![3.into(), Parity::Top.to_value()]);
+    b.rule(
+        Head::new(out, [HeadTerm::var("k")]),
+        [BodyItem::atom(
+            a,
+            [Term::var("k"), Term::Lit(Parity::Even.to_value())],
+        )],
+    );
+    let solution = solve(b);
+    assert!(solution.contains("AtLeastEven", &[1.into()]));
+    assert!(!solution.contains("AtLeastEven", &[2.into()]));
+    assert!(solution.contains("AtLeastEven", &[3.into()]));
+}
+
+#[test]
+fn shared_lattice_variable_takes_glb_across_atoms() {
+    // Both(k, x) :- A(k, x), B(k, x).
+    let mut b = ProgramBuilder::new();
+    let a = b.lattice("A", 2, LatticeOps::of::<Parity>());
+    let bb = b.lattice("B", 2, LatticeOps::of::<Parity>());
+    let both = b.lattice("Both", 2, LatticeOps::of::<Parity>());
+    b.fact(a, vec![1.into(), Parity::Top.to_value()]);
+    b.fact(bb, vec![1.into(), Parity::Odd.to_value()]);
+    b.fact(a, vec![2.into(), Parity::Even.to_value()]);
+    b.fact(bb, vec![2.into(), Parity::Odd.to_value()]);
+    b.rule(
+        Head::new(both, [HeadTerm::var("k"), HeadTerm::var("x")]),
+        [
+            BodyItem::atom(a, [Term::var("k"), Term::var("x")]),
+            BodyItem::atom(bb, [Term::var("k"), Term::var("x")]),
+        ],
+    );
+    let solution = solve(b);
+    assert_eq!(
+        solution.lattice_value("Both", &[1.into()]),
+        Some(Parity::Odd.to_value()),
+        "⊤ ⊓ Odd = Odd"
+    );
+    assert_eq!(
+        solution.lattice_value("Both", &[2.into()]),
+        Some(Parity::Bot.to_value()),
+        "Even ⊓ Odd = ⊥: no cell stored"
+    );
+}
+
+#[test]
+fn solution_query_api() {
+    let solution = solve(points_to_program());
+    assert_eq!(solution.is_lattice("VarPointsTo"), Some(false));
+    assert_eq!(solution.is_empty("VarPointsTo"), Some(false));
+    assert!(solution.predicate("VarPointsTo").is_some());
+    assert!(solution.predicate("Missing").is_none());
+    assert!(solution.relation("Missing").is_none());
+    assert!(solution.lattice("VarPointsTo").is_none());
+    assert!(solution.stats().rounds > 0);
+    assert!(solution.total_facts() >= 5);
+}

@@ -1,0 +1,235 @@
+//! Property-based cross-validation of the solver strategies.
+//!
+//! The central correctness argument of §3.7 of the paper is that
+//! semi-naïve evaluation computes the same minimal model as naïve
+//! evaluation. We check it on randomly generated programs, together with
+//! the model-theoretic characterisation of §3.2 (the output is a model and
+//! locally minimal), for both relational and lattice programs, with and
+//! without indexes, sequentially and in parallel.
+
+use flix_core::{
+    model, BodyItem, Head, HeadTerm, LatticeOps, Program, ProgramBuilder, Solution, Solver,
+    Strategy as EvalStrategy, Term, Value, ValueLattice,
+};
+use flix_lattice::{MinCost, Parity};
+use proptest::prelude::*;
+
+/// Random edge lists over a small node universe.
+fn arb_edges() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..8, 0i64..8), 0..24)
+}
+
+fn arb_weighted_edges() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
+    proptest::collection::vec((0i64..7, 0i64..7, 1i64..10), 0..20)
+}
+
+fn arb_parity_facts() -> impl Strategy<Value = Vec<(i64, Parity)>> {
+    proptest::collection::vec(
+        (
+            0i64..6,
+            prop_oneof![Just(Parity::Even), Just(Parity::Odd), Just(Parity::Top)],
+        ),
+        0..16,
+    )
+}
+
+/// Transitive closure program over the given edges.
+fn closure_program(edges: &[(i64, i64)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let e = b.relation("Edge", 2);
+    let p = b.relation("Path", 2);
+    for &(x, y) in edges {
+        b.fact(e, vec![x.into(), y.into()]);
+    }
+    b.rule(
+        Head::new(p, [HeadTerm::var("x"), HeadTerm::var("y")]),
+        [BodyItem::atom(e, [Term::var("x"), Term::var("y")])],
+    );
+    b.rule(
+        Head::new(p, [HeadTerm::var("x"), HeadTerm::var("z")]),
+        [
+            BodyItem::atom(p, [Term::var("x"), Term::var("y")]),
+            BodyItem::atom(e, [Term::var("y"), Term::var("z")]),
+        ],
+    );
+    b.build().expect("valid")
+}
+
+/// Parity dataflow over assignments: IntVar(x, p) facts plus copy edges.
+fn parity_program(facts: &[(i64, Parity)], copies: &[(i64, i64)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let assign = b.relation("Assign", 2);
+    let intvar = b.lattice("IntVar", 2, LatticeOps::of::<Parity>());
+    for &(x, p) in facts {
+        b.fact(intvar, vec![x.into(), p.to_value()]);
+    }
+    for &(x, y) in copies {
+        b.fact(assign, vec![x.into(), y.into()]);
+    }
+    // IntVar(v, i) :- Assign(v, v2), IntVar(v2, i).
+    b.rule(
+        Head::new(intvar, [HeadTerm::var("v"), HeadTerm::var("i")]),
+        [
+            BodyItem::atom(assign, [Term::var("v"), Term::var("v2")]),
+            BodyItem::atom(intvar, [Term::var("v2"), Term::var("i")]),
+        ],
+    );
+    b.build().expect("valid")
+}
+
+fn shortest_path_program(edges: &[(i64, i64, i64)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let e = b.relation("Edge", 3);
+    let dist = b.lattice("Dist", 2, LatticeOps::of::<MinCost>());
+    let extend = b.function("extend", |args| {
+        let d = MinCost::expect_from(&args[0]);
+        let c = args[1].as_int().expect("weight") as u64;
+        d.add_weight(c).to_value()
+    });
+    b.fact(dist, vec![0.into(), MinCost::finite(0).to_value()]);
+    for &(x, y, c) in edges {
+        b.fact(e, vec![x.into(), y.into(), c.into()]);
+    }
+    b.rule(
+        Head::new(
+            dist,
+            [
+                HeadTerm::var("y"),
+                HeadTerm::app(extend, [Term::var("d"), Term::var("c")]),
+            ],
+        ),
+        [
+            BodyItem::atom(dist, [Term::var("x"), Term::var("d")]),
+            BodyItem::atom(e, [Term::var("x"), Term::var("y"), Term::var("c")]),
+        ],
+    );
+    b.build().expect("valid")
+}
+
+/// All facts of a solution in canonical order, for whole-model comparison.
+fn canonical(s: &Solution, preds: &[&str]) -> Vec<(String, Vec<Value>)> {
+    let mut out = Vec::new();
+    for &p in preds {
+        if let Some(rows) = s.relation(p) {
+            for r in rows {
+                out.push((p.to_string(), r.to_vec()));
+            }
+        }
+        if let Some(cells) = s.lattice(p) {
+            for (k, v) in cells {
+                let mut row = k.to_vec();
+                row.push(v.clone());
+                out.push((p.to_string(), row));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Reference transitive closure by repeated squaring of the edge set.
+fn reference_closure(edges: &[(i64, i64)]) -> std::collections::BTreeSet<(i64, i64)> {
+    let mut closure: std::collections::BTreeSet<(i64, i64)> = edges.iter().copied().collect();
+    loop {
+        let mut grew = false;
+        let snapshot: Vec<(i64, i64)> = closure.iter().copied().collect();
+        for &(x, y) in &snapshot {
+            for &(y2, z) in &snapshot {
+                if y == y2 && closure.insert((x, z)) {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            return closure;
+        }
+    }
+}
+
+/// Reference Bellman-Ford from node 0.
+fn reference_bellman_ford(edges: &[(i64, i64, i64)]) -> std::collections::BTreeMap<i64, u64> {
+    let mut dist = std::collections::BTreeMap::from([(0i64, 0u64)]);
+    for _ in 0..10 {
+        for &(x, y, c) in edges {
+            if let Some(&dx) = dist.get(&x) {
+                let cand = dx + c as u64;
+                let entry = dist.entry(y).or_insert(u64::MAX);
+                if cand < *entry {
+                    *entry = cand;
+                }
+            }
+        }
+    }
+    dist
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn strategies_agree_on_transitive_closure(edges in arb_edges()) {
+        let prog = closure_program(&edges);
+        let semi = Solver::new().solve(&prog).expect("solves");
+        let naive = Solver::new().strategy(EvalStrategy::Naive).solve(&prog).expect("solves");
+        let par = Solver::new().threads(3).solve(&prog).expect("solves");
+        let noidx = Solver::new().use_indexes(false).solve(&prog).expect("solves");
+        let preds = ["Edge", "Path"];
+        let want = canonical(&semi, &preds);
+        prop_assert_eq!(&canonical(&naive, &preds), &want);
+        prop_assert_eq!(&canonical(&par, &preds), &want);
+        prop_assert_eq!(&canonical(&noidx, &preds), &want);
+    }
+
+    #[test]
+    fn closure_matches_reference(edges in arb_edges()) {
+        let prog = closure_program(&edges);
+        let solution = Solver::new().solve(&prog).expect("solves");
+        let expected = reference_closure(&edges);
+        prop_assert_eq!(solution.len("Path"), Some(expected.len()));
+        for (x, y) in expected {
+            prop_assert!(solution.contains("Path", &[x.into(), y.into()]));
+        }
+    }
+
+    #[test]
+    fn closure_solution_is_model_and_minimal(edges in arb_edges()) {
+        let prog = closure_program(&edges);
+        let solution = Solver::new().solve(&prog).expect("solves");
+        prop_assert!(model::is_model(&prog, &solution));
+    }
+
+    #[test]
+    fn strategies_agree_on_parity_dataflow(
+        facts in arb_parity_facts(),
+        copies in arb_edges(),
+    ) {
+        let copies: Vec<(i64, i64)> =
+            copies.into_iter().map(|(a, b)| (a % 6, b % 6)).collect();
+        let prog = parity_program(&facts, &copies);
+        let semi = Solver::new().solve(&prog).expect("solves");
+        let naive = Solver::new().strategy(EvalStrategy::Naive).solve(&prog).expect("solves");
+        let preds = ["IntVar"];
+        prop_assert_eq!(canonical(&naive, &preds), canonical(&semi, &preds));
+        prop_assert!(model::is_model(&prog, &semi));
+        prop_assert!(model::is_locally_minimal(&prog, &semi));
+    }
+
+    #[test]
+    fn shortest_paths_match_bellman_ford(edges in arb_weighted_edges()) {
+        let prog = shortest_path_program(&edges);
+        let semi = Solver::new().solve(&prog).expect("solves");
+        let naive = Solver::new().strategy(EvalStrategy::Naive).solve(&prog).expect("solves");
+        prop_assert_eq!(
+            canonical(&naive, &["Dist"]),
+            canonical(&semi, &["Dist"])
+        );
+        let expected = reference_bellman_ford(&edges);
+        for (node, d) in expected {
+            prop_assert_eq!(
+                semi.lattice_value("Dist", &[node.into()]),
+                Some(MinCost::finite(d).to_value()),
+                "distance to {}", node
+            );
+        }
+    }
+}

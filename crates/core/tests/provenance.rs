@@ -1,0 +1,160 @@
+//! Tests of derivation provenance: the event log and the reconstructed
+//! derivation trees.
+
+use flix_core::provenance::Source;
+use flix_core::{
+    BodyItem, Head, HeadTerm, LatticeOps, ProgramBuilder, Solver, Term, Value, ValueLattice,
+};
+use flix_lattice::Parity;
+
+fn closure() -> flix_core::Program {
+    let mut b = ProgramBuilder::new();
+    let e = b.relation("Edge", 2);
+    let p = b.relation("Path", 2);
+    b.fact(e, vec![1.into(), 2.into()]);
+    b.fact(e, vec![2.into(), 3.into()]);
+    b.fact(e, vec![3.into(), 4.into()]);
+    b.rule(
+        Head::new(p, [HeadTerm::var("x"), HeadTerm::var("y")]),
+        [BodyItem::atom(e, [Term::var("x"), Term::var("y")])],
+    );
+    b.rule(
+        Head::new(p, [HeadTerm::var("x"), HeadTerm::var("z")]),
+        [
+            BodyItem::atom(p, [Term::var("x"), Term::var("y")]),
+            BodyItem::atom(e, [Term::var("y"), Term::var("z")]),
+        ],
+    );
+    b.build().expect("valid")
+}
+
+#[test]
+fn provenance_is_off_by_default() {
+    let solution = Solver::new().solve(&closure()).expect("solves");
+    assert!(solution.provenance().is_none());
+    assert!(solution.explain("Path", &[1.into(), 4.into()]).is_none());
+}
+
+#[test]
+fn events_cover_every_insertion() {
+    let solution = Solver::new()
+        .record_provenance(true)
+        .solve(&closure())
+        .expect("solves");
+    let events = solution.provenance().expect("recorded");
+    // 3 facts + 3 one-step paths + (1,3), (2,4), (1,4) = 9 insertions.
+    assert_eq!(events.len(), 9);
+    assert_eq!(
+        events.iter().filter(|e| e.source == Source::Fact).count(),
+        3
+    );
+}
+
+#[test]
+fn explain_reconstructs_the_full_proof() {
+    let solution = Solver::new()
+        .record_provenance(true)
+        .solve(&closure())
+        .expect("solves");
+    let tree = solution
+        .explain("Path", &[1.into(), 4.into()])
+        .expect("derivable");
+    assert_eq!(tree.predicate, "Path");
+    assert_eq!(tree.rule, Some(1), "derived by the transitive rule");
+    // Path(1,4) <- Path(1,3) <- Path(1,2) <- Edge(1,2): height 4.
+    assert_eq!(tree.height(), 4);
+    // Leaves are facts.
+    fn leaves_are_facts(t: &flix_core::provenance::DerivationTree) -> bool {
+        if t.children.is_empty() {
+            t.rule.is_none()
+        } else {
+            t.children.iter().all(leaves_are_facts)
+        }
+    }
+    assert!(leaves_are_facts(&tree));
+    // The rendering is a readable proof.
+    let rendered = tree.to_string();
+    assert!(rendered.contains("Path(1, 4)  [rule 1]"), "{rendered}");
+    assert!(rendered.contains("[fact]"), "{rendered}");
+}
+
+#[test]
+fn explain_unknown_fact_is_none() {
+    let solution = Solver::new()
+        .record_provenance(true)
+        .solve(&closure())
+        .expect("solves");
+    assert!(solution.explain("Path", &[4.into(), 1.into()]).is_none());
+    assert!(solution.explain("Nope", &[1.into()]).is_none());
+}
+
+#[test]
+fn lattice_cells_explain_their_increases() {
+    // A(x) :- B(x): A's cell rises from Even to Top when B holds Odd too.
+    let mut b = ProgramBuilder::new();
+    let a = b.lattice("A", 1, LatticeOps::of::<Parity>());
+    let bb = b.lattice("B", 1, LatticeOps::of::<Parity>());
+    b.fact(a, vec![Parity::Even.to_value()]);
+    b.fact(bb, vec![Parity::Odd.to_value()]);
+    b.rule(
+        Head::new(a, [HeadTerm::var("x")]),
+        [BodyItem::atom(bb, [Term::var("x")])],
+    );
+    let solution = Solver::new()
+        .record_provenance(true)
+        .solve(&b.build().expect("valid"))
+        .expect("solves");
+
+    // Explaining by key alone covers the last increase (to ⊤).
+    let tree = solution.explain("A", &[]).expect("cell exists");
+    assert_eq!(tree.tuple, vec![Parity::Top.to_value()]);
+    assert_eq!(tree.rule, Some(0));
+    assert_eq!(tree.children.len(), 1, "premise B");
+    assert_eq!(tree.children[0].predicate, "B");
+
+    // Explaining the earlier state (the Even fact) by full tuple.
+    let earlier = solution
+        .explain("A", &[Parity::Even.to_value()])
+        .expect("the fact insertion was logged");
+    assert_eq!(earlier.rule, None);
+}
+
+#[test]
+fn provenance_with_parallel_solver() {
+    let seq = Solver::new()
+        .record_provenance(true)
+        .solve(&closure())
+        .expect("solves");
+    let par = Solver::new()
+        .record_provenance(true)
+        .threads(4)
+        .solve(&closure())
+        .expect("solves");
+    // Event order may differ, but both logs cover the same facts and both
+    // explain the same conclusion.
+    assert_eq!(
+        seq.provenance().expect("recorded").len(),
+        par.provenance().expect("recorded").len()
+    );
+    assert!(par.explain("Path", &[1.into(), 4.into()]).is_some());
+}
+
+#[test]
+fn wildcard_premises_are_recorded_as_unknown() {
+    let mut b = ProgramBuilder::new();
+    let e = b.relation("E", 2);
+    let has = b.relation("HasSucc", 1);
+    b.fact(e, vec![1.into(), 2.into()]);
+    b.rule(
+        Head::new(has, [HeadTerm::var("x")]),
+        [BodyItem::atom(e, [Term::var("x"), Term::Wildcard])],
+    );
+    let solution = Solver::new()
+        .record_provenance(true)
+        .solve(&b.build().expect("valid"))
+        .expect("solves");
+    let tree = solution.explain("HasSucc", &[1.into()]).expect("derived");
+    // The wildcard premise still resolves to the matching Edge fact.
+    assert_eq!(tree.children.len(), 1);
+    assert_eq!(tree.children[0].tuple, vec![1.into(), 2.into()]);
+}

@@ -1,0 +1,414 @@
+//! The abstract syntax tree of the FLIX surface language.
+//!
+//! The shape follows Figure 2 of the paper: a program is a sequence of
+//! `enum` definitions, `def` function definitions, `let T<> = (...)`
+//! lattice bindings, `rel`/`lat` predicate declarations, and constraints
+//! (facts and rules).
+
+use crate::token::Pos;
+
+/// A surface type annotation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeExpr {
+    /// `Int`
+    Int,
+    /// `Str`
+    Str,
+    /// `Bool`
+    Bool,
+    /// `Unit`
+    Unit,
+    /// A named enum type, e.g. `Parity`.
+    Named(String),
+    /// A tuple type, e.g. `(Int, Str)`.
+    Tuple(Vec<TypeExpr>),
+    /// A set type, e.g. `Set(Int)`.
+    Set(Box<TypeExpr>),
+}
+
+/// One case of an `enum` definition, e.g. `case Single(Str)`.
+#[derive(Clone, Debug)]
+pub struct EnumCase {
+    /// The case name.
+    pub name: String,
+    /// Payload types (empty for nullary cases).
+    pub payload: Vec<TypeExpr>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// An `enum` definition.
+#[derive(Clone, Debug)]
+pub struct EnumDef {
+    /// The enum type name.
+    pub name: String,
+    /// The cases.
+    pub cases: Vec<EnumCase>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function parameter with type annotation.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// The parameter name.
+    pub name: String,
+    /// Its declared type.
+    pub ty: TypeExpr,
+}
+
+/// A `def` function definition.
+#[derive(Clone, Debug)]
+pub struct DefDef {
+    /// The function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Declared return type.
+    pub ret: TypeExpr,
+    /// The body expression.
+    pub body: Expr,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A lattice binding `let T<> = (bot, top, leq, lub, glb);`.
+#[derive(Clone, Debug)]
+pub struct LatticeBind {
+    /// The enum type equipped with the lattice.
+    pub ty: String,
+    /// Expression for `⊥`.
+    pub bot: Expr,
+    /// Expression for `⊤`.
+    pub top: Expr,
+    /// Name of the `⊑` function.
+    pub leq: String,
+    /// Name of the `⊔` function.
+    pub lub: String,
+    /// Name of the `⊓` function.
+    pub glb: String,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// An attribute (column) of a predicate declaration.
+#[derive(Clone, Debug)]
+pub struct Attribute {
+    /// The attribute name (may be synthesised for unnamed lattice columns).
+    pub name: String,
+    /// The attribute type.
+    pub ty: TypeExpr,
+    /// Whether this column was written with the `T<>` lattice marker.
+    pub is_lattice: bool,
+}
+
+/// A `rel` or `lat` predicate declaration.
+#[derive(Clone, Debug)]
+pub struct PredDecl {
+    /// The predicate name.
+    pub name: String,
+    /// The columns.
+    pub attributes: Vec<Attribute>,
+    /// `true` for `lat` declarations.
+    pub is_lattice: bool,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// An expression of the pure functional language.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Lit, Pos),
+    /// A variable reference.
+    Var(String, Pos),
+    /// An enum constructor, e.g. `Parity.Odd` or `SULattice.Single(e)`.
+    Ctor {
+        /// The enum type name.
+        enum_name: String,
+        /// The case name.
+        case: String,
+        /// Payload arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A function call `f(e1, ..., en)`.
+    Call {
+        /// The function name.
+        func: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A tuple `(e1, ..., en)` with `n >= 2`.
+    Tuple(Vec<Expr>, Pos),
+    /// A set literal `Set(e1, ..., en)`.
+    SetLit(Vec<Expr>, Pos),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `if cond { then } else { otherwise }` (brace-free form accepted).
+    If {
+        /// The condition.
+        cond: Box<Expr>,
+        /// The then-branch.
+        then: Box<Expr>,
+        /// The else-branch.
+        otherwise: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `let x = bound; body` — a local binding.
+    Let {
+        /// The bound variable name.
+        name: String,
+        /// The bound expression.
+        bound: Box<Expr>,
+        /// The body in which the binding is visible.
+        body: Box<Expr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `match scrutinee with { case pat => expr ... }`.
+    Match {
+        /// The matched expression.
+        scrutinee: Box<Expr>,
+        /// The arms, tried in order.
+        arms: Vec<MatchArm>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// The source position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Lit(_, p)
+            | Expr::Var(_, p)
+            | Expr::Tuple(_, p)
+            | Expr::SetLit(_, p)
+            | Expr::Ctor { pos: p, .. }
+            | Expr::Call { pos: p, .. }
+            | Expr::Unary { pos: p, .. }
+            | Expr::Binary { pos: p, .. }
+            | Expr::If { pos: p, .. }
+            | Expr::Let { pos: p, .. }
+            | Expr::Match { pos: p, .. } => *p,
+        }
+    }
+}
+
+/// A literal.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Lit {
+    /// Unit `()`.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+}
+
+/// A unary operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Boolean negation `!`.
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+/// A binary operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// One arm of a `match` expression.
+#[derive(Clone, Debug)]
+pub struct MatchArm {
+    /// The pattern.
+    pub pat: Pattern,
+    /// The arm body.
+    pub body: Expr,
+}
+
+/// A pattern.
+#[derive(Clone, Debug)]
+pub enum Pattern {
+    /// `_`
+    Wildcard(Pos),
+    /// A binder.
+    Var(String, Pos),
+    /// A literal pattern.
+    Lit(Lit, Pos),
+    /// An enum constructor pattern, e.g. `Parity.Odd` or
+    /// `SULattice.Single(p)`.
+    Ctor {
+        /// The enum type name.
+        enum_name: String,
+        /// The case name.
+        case: String,
+        /// Payload patterns.
+        args: Vec<Pattern>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A tuple pattern.
+    Tuple(Vec<Pattern>, Pos),
+}
+
+/// A term in a constraint atom.
+#[derive(Clone, Debug)]
+pub enum RuleTerm {
+    /// A variable.
+    Var(String, Pos),
+    /// A literal.
+    Lit(Lit, Pos),
+    /// An enum constructor with *ground* payload terms.
+    Ctor {
+        /// The enum type name.
+        enum_name: String,
+        /// The case name.
+        case: String,
+        /// Payload terms.
+        args: Vec<RuleTerm>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A function application (only allowed as the last term of a head
+    /// atom).
+    App {
+        /// The function name.
+        func: String,
+        /// Argument terms.
+        args: Vec<RuleTerm>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// `_`
+    Wildcard(Pos),
+}
+
+impl RuleTerm {
+    /// The source position of the term.
+    pub fn pos(&self) -> Pos {
+        match self {
+            RuleTerm::Var(_, p) | RuleTerm::Lit(_, p) | RuleTerm::Wildcard(p) => *p,
+            RuleTerm::Ctor { pos, .. } | RuleTerm::App { pos, .. } => *pos,
+        }
+    }
+}
+
+/// An atom `P(t1, ..., tn)` in a constraint.
+#[derive(Clone, Debug)]
+pub struct Atom {
+    /// The predicate name.
+    pub pred: String,
+    /// The terms.
+    pub terms: Vec<RuleTerm>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// One item of a rule body.
+#[derive(Clone, Debug)]
+pub enum BodyItem {
+    /// A positive atom (or, after resolution, possibly a filter
+    /// application — the parser cannot distinguish `P(x)` from `f(x)`;
+    /// the type checker resolves by name).
+    Atom(Atom),
+    /// A negated atom `!P(...)`.
+    NegAtom(Atom),
+    /// A choice binding `x <- f(args)` or `(x, y) <- f(args)`.
+    Choose {
+        /// The bound variable names.
+        binds: Vec<String>,
+        /// The set-returning function name.
+        func: String,
+        /// The function arguments.
+        args: Vec<RuleTerm>,
+        /// Source position.
+        pos: Pos,
+    },
+}
+
+/// A constraint: a fact (empty body) or a rule.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// The head atom.
+    pub head: Atom,
+    /// The body items (empty for facts).
+    pub body: Vec<BodyItem>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A top-level declaration.
+#[derive(Clone, Debug)]
+pub enum Decl {
+    /// An `enum` definition.
+    Enum(EnumDef),
+    /// A `def` function definition.
+    Def(DefDef),
+    /// A `let T<> = ...` lattice binding.
+    Lattice(LatticeBind),
+    /// A `rel`/`lat` predicate declaration.
+    Pred(PredDecl),
+    /// A fact or rule.
+    Constraint(Constraint),
+}
+
+/// A parsed program: the declaration list.
+#[derive(Clone, Debug, Default)]
+pub struct SourceProgram {
+    /// The declarations in source order.
+    pub decls: Vec<Decl>,
+}

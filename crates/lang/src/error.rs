@@ -1,0 +1,96 @@
+//! Diagnostics for the FLIX surface language toolchain.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// The compilation phase that produced a diagnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking and resolution.
+    Type,
+    /// Lowering to the fixed-point engine.
+    Lower,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => f.write_str("lex"),
+            Phase::Parse => f.write_str("parse"),
+            Phase::Type => f.write_str("type"),
+            Phase::Lower => f.write_str("lower"),
+        }
+    }
+}
+
+/// A diagnostic with phase, position, and message.
+#[derive(Clone, Debug)]
+pub struct LangError {
+    /// The phase that failed.
+    pub phase: Phase,
+    /// The source position (best effort for lowering errors).
+    pub pos: Pos,
+    /// The human-readable message.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates a lexer error.
+    pub fn lex(pos: Pos, message: impl Into<String>) -> LangError {
+        LangError {
+            phase: Phase::Lex,
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a parser error.
+    pub fn parse(pos: Pos, message: impl Into<String>) -> LangError {
+        LangError {
+            phase: Phase::Parse,
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a type error.
+    pub fn ty(pos: Pos, message: impl Into<String>) -> LangError {
+        LangError {
+            phase: Phase::Type,
+            pos,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a lowering error.
+    pub fn lower(pos: Pos, message: impl Into<String>) -> LangError {
+        LangError {
+            phase: Phase::Lower,
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_position() {
+        let e = LangError::ty(Pos { line: 3, col: 7 }, "mismatched types");
+        assert_eq!(e.to_string(), "type error at 3:7: mismatched types");
+    }
+}

@@ -1,0 +1,332 @@
+//! The AST interpreter for the pure functional fragment of FLIX.
+//!
+//! The paper's implementation evaluates functions "using an AST-based
+//! interpreter" (§4.5); this module is the same design. Values are the
+//! engine's dynamic [`Value`]s, so interpreted lattice operations and
+//! transfer functions plug directly into [`flix_core::LatticeOps`] and
+//! [`flix_core::ProgramBuilder::function`].
+
+use crate::ast::{BinOp, Expr, Lit, Pattern, UnOp};
+use crate::typeck::CheckedProgram;
+use flix_core::Value;
+use std::sync::Arc;
+
+/// An interpreter over a checked program's function table.
+///
+/// Cloning is cheap (the program is shared); the interpreter is `Send +
+/// Sync` so closures built from it can run inside the parallel solver.
+#[derive(Clone, Debug)]
+pub struct Interpreter {
+    program: Arc<CheckedProgram>,
+}
+
+impl Interpreter {
+    /// Creates an interpreter for the checked program.
+    pub fn new(program: Arc<CheckedProgram>) -> Interpreter {
+        Interpreter { program }
+    }
+
+    /// Calls a named function with the given argument values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown function names or arity mismatches — both are
+    /// ruled out by the type checker, so hitting one indicates a caller
+    /// bug, and on a `match` expression with no matching arm (the surface
+    /// language does not check exhaustiveness, mirroring the paper's
+    /// implementation).
+    pub fn call(&self, name: &str, args: &[Value]) -> Value {
+        let def = self
+            .program
+            .defs
+            .get(name)
+            .unwrap_or_else(|| panic!("call to unknown function {name}"));
+        assert_eq!(
+            def.params.len(),
+            args.len(),
+            "function {name} called with wrong arity"
+        );
+        let mut env: Vec<(String, Value)> = def
+            .params
+            .iter()
+            .map(|(p, _)| p.clone())
+            .zip(args.iter().cloned())
+            .collect();
+        self.eval(&def.body, &mut env)
+    }
+
+    /// Evaluates a closed expression (no free variables).
+    pub fn eval_closed(&self, expr: &Expr) -> Value {
+        self.eval(expr, &mut Vec::new())
+    }
+
+    fn eval(&self, expr: &Expr, env: &mut Vec<(String, Value)>) -> Value {
+        match expr {
+            Expr::Lit(l, _) => lit_value(l),
+            Expr::Var(name, _) => env
+                .iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("unbound variable {name} (checker bug)")),
+            Expr::Ctor { case, args, .. } => {
+                let payload = match args.len() {
+                    0 => Value::Unit,
+                    1 => self.eval(&args[0], env),
+                    _ => Value::tuple(args.iter().map(|a| self.eval(a, env))),
+                };
+                Value::tag(case.as_str(), payload)
+            }
+            Expr::Call { func, args, .. } => {
+                let vals: Vec<Value> = args.iter().map(|a| self.eval(a, env)).collect();
+                self.call(func, &vals)
+            }
+            Expr::Tuple(items, _) => Value::tuple(items.iter().map(|e| self.eval(e, env))),
+            Expr::SetLit(items, _) => Value::set(items.iter().map(|e| self.eval(e, env))),
+            Expr::Unary { op, expr, .. } => {
+                let v = self.eval(expr, env);
+                match op {
+                    UnOp::Not => Value::Bool(!v.as_bool().expect("typechecked Bool")),
+                    UnOp::Neg => Value::Int(-v.as_int().expect("typechecked Int")),
+                }
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                // Short-circuit the boolean connectives.
+                match op {
+                    BinOp::And => {
+                        return if self.eval(lhs, env).is_true() {
+                            self.eval(rhs, env)
+                        } else {
+                            Value::Bool(false)
+                        }
+                    }
+                    BinOp::Or => {
+                        return if self.eval(lhs, env).is_true() {
+                            Value::Bool(true)
+                        } else {
+                            self.eval(rhs, env)
+                        }
+                    }
+                    _ => {}
+                }
+                let a = self.eval(lhs, env);
+                let b = self.eval(rhs, env);
+                match op {
+                    BinOp::Eq => Value::Bool(a == b),
+                    BinOp::Ne => Value::Bool(a != b),
+                    _ => {
+                        let x = a.as_int().expect("typechecked Int");
+                        let y = b.as_int().expect("typechecked Int");
+                        match op {
+                            BinOp::Add => Value::Int(x.wrapping_add(y)),
+                            BinOp::Sub => Value::Int(x.wrapping_sub(y)),
+                            BinOp::Mul => Value::Int(x.wrapping_mul(y)),
+                            BinOp::Div => Value::Int(if y == 0 { 0 } else { x.wrapping_div(y) }),
+                            BinOp::Rem => Value::Int(if y == 0 { 0 } else { x.wrapping_rem(y) }),
+                            BinOp::Lt => Value::Bool(x < y),
+                            BinOp::Le => Value::Bool(x <= y),
+                            BinOp::Gt => Value::Bool(x > y),
+                            BinOp::Ge => Value::Bool(x >= y),
+                            BinOp::And | BinOp::Or | BinOp::Eq | BinOp::Ne => {
+                                unreachable!("handled above")
+                            }
+                        }
+                    }
+                }
+            }
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+                ..
+            } => {
+                if self.eval(cond, env).is_true() {
+                    self.eval(then, env)
+                } else {
+                    self.eval(otherwise, env)
+                }
+            }
+            Expr::Let {
+                name, bound, body, ..
+            } => {
+                let value = self.eval(bound, env);
+                env.push((name.clone(), value));
+                let result = self.eval(body, env);
+                env.pop();
+                result
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                let value = self.eval(scrutinee, env);
+                for arm in arms {
+                    let mark = env.len();
+                    if match_pattern(&arm.pat, &value, env) {
+                        let result = self.eval(&arm.body, env);
+                        env.truncate(mark);
+                        return result;
+                    }
+                    env.truncate(mark);
+                }
+                panic!(
+                    "non-exhaustive match at {}: no arm matches {value}",
+                    expr.pos()
+                )
+            }
+        }
+    }
+}
+
+/// Converts a surface literal to a runtime value.
+pub fn lit_value(l: &Lit) -> Value {
+    match l {
+        Lit::Unit => Value::Unit,
+        Lit::Bool(b) => Value::Bool(*b),
+        Lit::Int(n) => Value::Int(*n),
+        Lit::Str(s) => Value::str(s.as_str()),
+    }
+}
+
+fn match_pattern(pat: &Pattern, value: &Value, env: &mut Vec<(String, Value)>) -> bool {
+    match pat {
+        Pattern::Wildcard(_) => true,
+        Pattern::Var(name, _) => {
+            env.push((name.clone(), value.clone()));
+            true
+        }
+        Pattern::Lit(l, _) => lit_value(l) == *value,
+        Pattern::Ctor { case, args, .. } => {
+            let Some(tag) = value.tag_name() else {
+                return false;
+            };
+            if tag != case {
+                return false;
+            }
+            let payload = value.tag_payload().expect("tags carry payloads");
+            match args.len() {
+                0 => *payload == Value::Unit,
+                1 => match_pattern(&args[0], payload, env),
+                n => match payload.as_tuple() {
+                    Some(items) if items.len() == n => args
+                        .iter()
+                        .zip(items)
+                        .all(|(p, v)| match_pattern(p, v, env)),
+                    _ => false,
+                },
+            }
+        }
+        Pattern::Tuple(pats, _) => match value.as_tuple() {
+            Some(items) if items.len() == pats.len() => pats
+                .iter()
+                .zip(items)
+                .all(|(p, v)| match_pattern(p, v, env)),
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::typeck::check;
+
+    fn interp_of(src: &str) -> Interpreter {
+        let checked = check(&parse(src).expect("parses")).expect("checks");
+        Interpreter::new(Arc::new(checked))
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let i = interp_of("def f(x: Int, y: Int): Int = (x + y) * 2 - x / 2");
+        assert_eq!(i.call("f", &[Value::Int(4), Value::Int(3)]), Value::Int(12));
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        // Total semantics: the pure language cannot fail at runtime.
+        let i = interp_of("def f(x: Int): Int = x / 0 + x % 0");
+        assert_eq!(i.call("f", &[Value::Int(7)]), Value::Int(0));
+    }
+
+    #[test]
+    fn short_circuit_connectives() {
+        let i = interp_of(
+            "def f(x: Int): Bool = x != 0 && 10 / x > 1
+             def g(x: Int): Bool = x == 0 || 10 / x > 1",
+        );
+        assert_eq!(i.call("f", &[Value::Int(0)]), Value::Bool(false));
+        assert_eq!(i.call("g", &[Value::Int(0)]), Value::Bool(true));
+    }
+
+    #[test]
+    fn match_on_enums_with_payload() {
+        let i = interp_of(
+            r#"
+            enum SULattice { case Top, case Single(Str), case Bottom }
+            def filter(t: SULattice, b: Str): Bool =
+              match t with {
+                case SULattice.Bottom => false
+                case SULattice.Single(p) => b == p
+                case SULattice.Top => true
+              }
+            "#,
+        );
+        let single = Value::tag("Single", Value::from("p"));
+        assert_eq!(
+            i.call("filter", &[single.clone(), Value::from("p")]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            i.call("filter", &[single, Value::from("q")]),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            i.call("filter", &[Value::tag0("Top"), Value::from("x")]),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn recursion_works() {
+        let i = interp_of("def fact(n: Int): Int = if (n <= 1) 1 else n * fact(n - 1)");
+        assert_eq!(i.call("fact", &[Value::Int(6)]), Value::Int(720));
+    }
+
+    #[test]
+    fn set_literals() {
+        let i = interp_of("def f(x: Int): Set(Int) = Set(x, x + 1, x)");
+        assert_eq!(
+            i.call("f", &[Value::Int(5)]),
+            Value::set([Value::Int(5), Value::Int(6)])
+        );
+        let empty = interp_of("def e(): Set(Int) = Set()");
+        assert_eq!(empty.call("e", &[]), Value::set([]));
+    }
+
+    #[test]
+    fn tuple_patterns_bind_components() {
+        let i = interp_of(
+            "def swap(p: (Int, Str)): (Str, Int) = match p with { case (a, b) => (b, a) }",
+        );
+        let arg = Value::tuple([Value::Int(1), Value::from("x")]);
+        assert_eq!(
+            i.call("swap", &[arg]),
+            Value::tuple([Value::from("x"), Value::Int(1)])
+        );
+    }
+
+    #[test]
+    fn let_bindings_scope_and_shadow() {
+        let i = interp_of("def f(x: Int): Int = let y = x + 1; let x = y * 2; x + y");
+        // y = 4, inner x = 8, result 12.
+        assert_eq!(i.call("f", &[Value::Int(3)]), Value::Int(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-exhaustive match")]
+    fn non_exhaustive_match_panics() {
+        let i = interp_of("def f(x: Int): Int = match x with { case 0 => 1 }");
+        i.call("f", &[Value::Int(5)]);
+    }
+}

@@ -1,0 +1,365 @@
+//! The hand-written lexer for the FLIX surface language.
+
+use crate::error::LangError;
+use crate::token::{Pos, Tok, Token};
+
+/// Tokenises FLIX source text.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on unterminated strings, malformed numbers, or
+/// unexpected characters, with the source position.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer {
+        chars: src.chars().collect(),
+        at: 0,
+        pos: Pos { line: 1, col: 1 },
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    at: usize,
+    pos: Pos,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.at + 1).copied()
+    }
+
+    fn advance(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.at += 1;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let pos = self.pos;
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, pos });
+                return Ok(out);
+            };
+            let tok = match c {
+                '(' => self.single(Tok::LParen),
+                ')' => self.single(Tok::RParen),
+                '{' => self.single(Tok::LBrace),
+                '}' => self.single(Tok::RBrace),
+                ',' => self.single(Tok::Comma),
+                ';' => self.single(Tok::Semi),
+                '.' => self.single(Tok::Dot),
+                '+' => self.single(Tok::Plus),
+                '*' => self.single(Tok::Star),
+                '/' => self.single(Tok::Slash),
+                '%' => self.single(Tok::Percent),
+                ':' => {
+                    self.advance();
+                    if self.peek() == Some('-') {
+                        self.advance();
+                        Tok::ColonDash
+                    } else {
+                        Tok::Colon
+                    }
+                }
+                '=' => {
+                    self.advance();
+                    match self.peek() {
+                        Some('>') => {
+                            self.advance();
+                            Tok::FatArrow
+                        }
+                        Some('=') => {
+                            self.advance();
+                            Tok::EqEq
+                        }
+                        _ => Tok::Eq,
+                    }
+                }
+                '!' => {
+                    self.advance();
+                    if self.peek() == Some('=') {
+                        self.advance();
+                        Tok::BangEq
+                    } else {
+                        Tok::Bang
+                    }
+                }
+                '<' => {
+                    self.advance();
+                    match self.peek() {
+                        Some('-') => {
+                            self.advance();
+                            Tok::BackArrow
+                        }
+                        Some('=') => {
+                            self.advance();
+                            Tok::Le
+                        }
+                        Some('>') => {
+                            self.advance();
+                            Tok::Diamond
+                        }
+                        _ => Tok::Lt,
+                    }
+                }
+                '>' => {
+                    self.advance();
+                    if self.peek() == Some('=') {
+                        self.advance();
+                        Tok::Ge
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                '&' => {
+                    self.advance();
+                    if self.peek() == Some('&') {
+                        self.advance();
+                        Tok::AndAnd
+                    } else {
+                        return Err(LangError::lex(pos, "expected `&&`"));
+                    }
+                }
+                '|' => {
+                    self.advance();
+                    if self.peek() == Some('|') {
+                        self.advance();
+                        Tok::OrOr
+                    } else {
+                        return Err(LangError::lex(pos, "expected `||`"));
+                    }
+                }
+                '-' => {
+                    self.advance();
+                    Tok::Minus
+                }
+                '"' => self.string(pos)?,
+                c if c.is_ascii_digit() => self.number(pos)?,
+                c if c == '_' && !matches!(self.peek2(), Some(c2) if ident_char(c2)) => {
+                    self.single(Tok::Underscore)
+                }
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                other => {
+                    return Err(LangError::lex(
+                        pos,
+                        format!("unexpected character {other:?}"),
+                    ))
+                }
+            };
+            out.push(Token { tok, pos });
+        }
+    }
+
+    fn single(&mut self, tok: Tok) -> Tok {
+        self.advance();
+        tok
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.advance();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.advance();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn string(&mut self, pos: Pos) -> Result<Tok, LangError> {
+        self.advance(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.advance() {
+                None => return Err(LangError::lex(pos, "unterminated string literal")),
+                Some('"') => return Ok(Tok::Str(s)),
+                Some('\\') => match self.advance() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    other => {
+                        return Err(LangError::lex(
+                            pos,
+                            format!("invalid escape sequence \\{}", other.unwrap_or(' ')),
+                        ))
+                    }
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<Tok, LangError> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        s.parse::<i64>()
+            .map(Tok::Int)
+            .map_err(|_| LangError::lex(pos, format!("integer literal {s} out of range")))
+    }
+
+    fn ident(&mut self) -> Tok {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if ident_char(c) {
+                s.push(c);
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        match s.as_str() {
+            "enum" => Tok::Enum,
+            "case" => Tok::Case,
+            "def" => Tok::Def,
+            "let" => Tok::Let,
+            "rel" => Tok::Rel,
+            "lat" => Tok::Lat,
+            "match" => Tok::Match,
+            "with" => Tok::With,
+            "if" => Tok::If,
+            "else" => Tok::Else,
+            "true" => Tok::True,
+            "false" => Tok::False,
+            _ => {
+                if s.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    Tok::UpperIdent(s)
+                } else {
+                    Tok::LowerIdent(s)
+                }
+            }
+        }
+    }
+}
+
+fn ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("enum Parity case def foo Bar"),
+            vec![
+                Tok::Enum,
+                Tok::UpperIdent("Parity".into()),
+                Tok::Case,
+                Tok::Def,
+                Tok::LowerIdent("foo".into()),
+                Tok::UpperIdent("Bar".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            toks(":- <- <> => == != <= >= && || < >"),
+            vec![
+                Tok::ColonDash,
+                Tok::BackArrow,
+                Tok::Diamond,
+                Tok::FatArrow,
+                Tok::EqEq,
+                Tok::BangEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            toks(r#"42 "hi\n" true false"#),
+            vec![
+                Tok::Int(42),
+                Tok::Str("hi\n".into()),
+                Tok::True,
+                Tok::False,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 // comment\n2"),
+            vec![Tok::Int(1), Tok::Int(2), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn wildcard_vs_identifier() {
+        assert_eq!(
+            toks("_ _x"),
+            vec![Tok::Underscore, Tok::LowerIdent("_x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let tokens = lex("a\n  b").expect("lexes");
+        assert_eq!(tokens[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(tokens[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        assert!(lex("a @ b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! The FLIX surface language: lexer, parser, type checker, interpreter,
+//! and lowering to the [`flix_core`] fixed-point engine.
+//!
+//! This crate is the "compiler and runtime" of §4 of the reproduced paper
+//! (Madsen, Yee, Lhoták, PLDI 2016): "The toolchain includes a parser, a
+//! type checker, an interpreter, an indexed database, and a semi-naïve
+//! fixed-point solver" — the database and solver live in [`flix_core`];
+//! everything else is here, plus the `flixr` CLI binary.
+//!
+//! # Example
+//!
+//! Compile and solve a FLIX program from source:
+//!
+//! ```
+//! use flix_core::Solver;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let source = r#"
+//!     rel Edge(x: Int, y: Int);
+//!     rel Path(x: Int, y: Int);
+//!
+//!     Edge(1, 2).
+//!     Edge(2, 3).
+//!
+//!     Path(x, y) :- Edge(x, y).
+//!     Path(x, z) :- Path(x, y), Edge(y, z).
+//! "#;
+//! let program = flix_lang::compile(source)?;
+//! let solution = Solver::new().solve(&program)?;
+//! assert!(solution.contains("Path", &[1.into(), 3.into()]));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod interp;
+mod lexer;
+mod lower;
+mod parser;
+pub mod pretty;
+pub mod token;
+pub mod typeck;
+pub mod verify;
+
+use std::sync::Arc;
+
+pub use error::LangError;
+pub use interp::Interpreter;
+pub use lexer::lex;
+pub use lower::lower;
+pub use parser::parse;
+pub use typeck::{check, CheckedProgram};
+
+/// Compiles FLIX source text to an executable engine program.
+///
+/// Runs the full pipeline: lex → parse → type check → lower. Solve the
+/// result with [`flix_core::Solver`].
+///
+/// # Errors
+///
+/// Returns the first [`LangError`] from any phase.
+pub fn compile(source: &str) -> Result<flix_core::Program, LangError> {
+    let parsed = parse(source)?;
+    let checked = check(&parsed)?;
+    lower(Arc::new(checked))
+}
+
+/// Parses a single ground atom like `Path(1, "a")` into its predicate
+/// name and values — the query syntax of `flixr --explain`.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] if the text is not a single ground atom.
+pub fn parse_ground_atom(text: &str) -> Result<(String, Vec<flix_core::Value>), LangError> {
+    let trimmed = text.trim().trim_end_matches('.');
+    let source = format!("{trimmed}.");
+    let parsed = parse(&source)?;
+    let [ast::Decl::Constraint(c)] = parsed.decls.as_slice() else {
+        return Err(LangError::parse(
+            Default::default(),
+            "expected exactly one ground atom, e.g. Path(1, 2)",
+        ));
+    };
+    if !c.body.is_empty() {
+        return Err(LangError::parse(
+            c.pos,
+            "expected a ground atom, found a rule",
+        ));
+    }
+    let values = c
+        .head
+        .terms
+        .iter()
+        .map(|t| match t {
+            ast::RuleTerm::Lit(l, _) => Ok(interp::lit_value(l)),
+            ast::RuleTerm::Ctor { .. } => Ok(ground_ctor(t)),
+            other => Err(LangError::parse(
+                other.pos(),
+                "explain queries must be ground (no variables or wildcards)",
+            )),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((c.head.pred.clone(), values))
+}
+
+fn ground_ctor(t: &ast::RuleTerm) -> flix_core::Value {
+    match t {
+        ast::RuleTerm::Lit(l, _) => interp::lit_value(l),
+        ast::RuleTerm::Ctor { case, args, .. } => {
+            let payload = match args.len() {
+                0 => flix_core::Value::Unit,
+                1 => ground_ctor(&args[0]),
+                _ => flix_core::Value::tuple(args.iter().map(ground_ctor)),
+            };
+            flix_core::Value::tag(case.as_str(), payload)
+        }
+        _ => unreachable!("caller checks groundness"),
+    }
+}
+
+/// Compiles and solves FLIX source text with the default solver.
+///
+/// # Errors
+///
+/// Returns a boxed error from compilation or solving.
+pub fn run(source: &str) -> Result<flix_core::Solution, Box<dyn std::error::Error>> {
+    let program = compile(source)?;
+    Ok(flix_core::Solver::new().solve(&program)?)
+}

@@ -1,0 +1,178 @@
+//! Lowering a checked surface program to the fixed-point engine.
+//!
+//! Lattice bindings become [`LatticeOps`] whose operations call the AST
+//! interpreter; `def` functions are registered as engine functions the
+//! same way; predicates, facts, and rules map one-to-one onto the
+//! [`flix_core::ProgramBuilder`] API.
+
+use crate::ast::{Atom, LatticeBind, RuleTerm};
+use crate::error::LangError;
+use crate::interp::{lit_value, Interpreter};
+use crate::typeck::{CheckedBodyItem, CheckedProgram};
+use flix_core::{
+    BodyItem, FuncId, Head, HeadTerm, LatticeOps, PredId, Program, ProgramBuilder, Term, Value,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Lowers a checked program to an executable engine [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`LangError`] if the engine rejects the rule set (e.g. an
+/// unbound head variable or an unstratifiable use of negation discovered
+/// at solve time is reported by the solver instead).
+pub fn lower(checked: Arc<CheckedProgram>) -> Result<Program, LangError> {
+    let interp = Interpreter::new(checked.clone());
+    let mut b = ProgramBuilder::new();
+
+    // Lattice bindings → runtime ops (closures over the interpreter).
+    let mut ops_by_ty: HashMap<String, LatticeOps> = HashMap::new();
+    for (ty, bind) in &checked.lattices {
+        ops_by_ty.insert(ty.clone(), ops_for_binding(&interp, ty, bind));
+    }
+
+    // Predicates, in declaration order.
+    let mut pred_ids: HashMap<String, PredId> = HashMap::new();
+    for name in &checked.pred_order {
+        let sig = &checked.preds[name];
+        let id = if sig.is_lattice {
+            let ty = sig
+                .lattice_ty
+                .as_ref()
+                .expect("checked: lat has value type");
+            let ops = ops_by_ty.get(ty).cloned().ok_or_else(|| {
+                LangError::lower(
+                    Default::default(),
+                    format!("lat {name} uses type {ty} which has no `let {ty}<> = ...` binding"),
+                )
+            })?;
+            b.lattice(name.as_str(), sig.attrs.len(), ops)
+        } else {
+            b.relation(name.as_str(), sig.attrs.len())
+        };
+        pred_ids.insert(name.clone(), id);
+    }
+
+    // Every def becomes an engine function (transfer, filter, or choice).
+    let mut func_ids: HashMap<String, FuncId> = HashMap::new();
+    for name in checked.defs.keys() {
+        let i = interp.clone();
+        let n = name.clone();
+        func_ids.insert(
+            name.clone(),
+            b.function(name.as_str(), move |args| i.call(&n, args)),
+        );
+    }
+
+    // Constraints.
+    for c in &checked.constraints {
+        if c.body.is_empty() {
+            let values: Vec<Value> = c.head.terms.iter().map(ground_value).collect();
+            b.fact(pred_ids[&c.head.pred], values);
+            continue;
+        }
+        let head = Head::new(
+            pred_ids[&c.head.pred],
+            c.head
+                .terms
+                .iter()
+                .map(|t| lower_head_term(t, &func_ids))
+                .collect::<Vec<_>>(),
+        );
+        let body: Vec<BodyItem> = c
+            .body
+            .iter()
+            .map(|item| lower_body_item(item, &pred_ids, &func_ids))
+            .collect();
+        b.rule(head, body);
+    }
+
+    b.build()
+        .map_err(|e| LangError::lower(Default::default(), e.to_string()))
+}
+
+/// Builds the runtime [`LatticeOps`] for one surface lattice binding;
+/// shared with the safety checker of [`crate::verify`].
+pub(crate) fn ops_for_binding(interp: &Interpreter, ty: &str, bind: &LatticeBind) -> LatticeOps {
+    let bot = interp.eval_closed(&bind.bot);
+    let top = interp.eval_closed(&bind.top);
+    let (leq_i, leq_n) = (interp.clone(), bind.leq.clone());
+    let (lub_i, lub_n) = (interp.clone(), bind.lub.clone());
+    let (glb_i, glb_n) = (interp.clone(), bind.glb.clone());
+    LatticeOps::from_fns(
+        ty.to_string(),
+        bot,
+        Some(top),
+        move |a, b| leq_i.call(&leq_n, &[a.clone(), b.clone()]).is_true(),
+        move |a, b| lub_i.call(&lub_n, &[a.clone(), b.clone()]),
+        move |a, b| glb_i.call(&glb_n, &[a.clone(), b.clone()]),
+    )
+}
+
+/// Evaluates a ground rule term (literal or constructor) to a value.
+fn ground_value(t: &RuleTerm) -> Value {
+    match t {
+        RuleTerm::Lit(l, _) => lit_value(l),
+        RuleTerm::Ctor { case, args, .. } => {
+            let payload = match args.len() {
+                0 => Value::Unit,
+                1 => ground_value(&args[0]),
+                _ => Value::tuple(args.iter().map(ground_value)),
+            };
+            Value::tag(case.as_str(), payload)
+        }
+        RuleTerm::Var(..) | RuleTerm::Wildcard(_) | RuleTerm::App { .. } => {
+            unreachable!("checker enforces groundness of facts")
+        }
+    }
+}
+
+fn lower_term(t: &RuleTerm) -> Term {
+    match t {
+        RuleTerm::Var(name, _) => Term::var(name.as_str()),
+        RuleTerm::Lit(l, _) => Term::Lit(lit_value(l)),
+        RuleTerm::Ctor { .. } => Term::Lit(ground_value(t)),
+        RuleTerm::Wildcard(_) => Term::Wildcard,
+        RuleTerm::App { .. } => unreachable!("checker restricts apps to head position"),
+    }
+}
+
+fn lower_head_term(t: &RuleTerm, func_ids: &HashMap<String, FuncId>) -> HeadTerm {
+    match t {
+        RuleTerm::Var(name, _) => HeadTerm::var(name.as_str()),
+        RuleTerm::Lit(l, _) => HeadTerm::Lit(lit_value(l)),
+        RuleTerm::Ctor { .. } => HeadTerm::Lit(ground_value(t)),
+        RuleTerm::App { func, args, .. } => HeadTerm::app(
+            func_ids[func],
+            args.iter().map(lower_term).collect::<Vec<_>>(),
+        ),
+        RuleTerm::Wildcard(_) => unreachable!("checker rejects wildcards in heads"),
+    }
+}
+
+fn lower_atom_terms(atom: &Atom) -> Vec<Term> {
+    atom.terms.iter().map(lower_term).collect()
+}
+
+fn lower_body_item(
+    item: &CheckedBodyItem,
+    pred_ids: &HashMap<String, PredId>,
+    func_ids: &HashMap<String, FuncId>,
+) -> BodyItem {
+    match item {
+        CheckedBodyItem::Atom(atom) => BodyItem::atom(pred_ids[&atom.pred], lower_atom_terms(atom)),
+        CheckedBodyItem::NegAtom(atom) => {
+            BodyItem::not(pred_ids[&atom.pred], lower_atom_terms(atom))
+        }
+        CheckedBodyItem::Filter { func, args } => BodyItem::filter(
+            func_ids[func],
+            args.iter().map(lower_term).collect::<Vec<_>>(),
+        ),
+        CheckedBodyItem::Choose { binds, func, args } => BodyItem::Choose {
+            func: func_ids[func],
+            args: args.iter().map(lower_term).collect(),
+            binds: binds.iter().map(|s| s.as_str().into()).collect(),
+        },
+    }
+}

@@ -1,0 +1,1017 @@
+//! Recursive-descent parser for the FLIX surface language.
+//!
+//! The grammar follows the concrete syntax of the paper's figures:
+//! Figure 2 (enums, defs, lattice bindings, `rel`/`lat` declarations,
+//! rules with transfer and filter functions), Figure 4 (match-based filter
+//! functions), and Figures 5–6 (`<-` choice bindings).
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::{Pos, Tok, Token};
+
+/// Parses FLIX source text into a [`SourceProgram`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`LangError`].
+pub fn parse(src: &str) -> Result<SourceProgram, LangError> {
+    let tokens = lex(src)?;
+    Parser { tokens, at: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.at].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        let i = (self.at + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.at].tok.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), LangError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                self.pos(),
+                format!("expected `{tok}`, found `{}`", self.peek()),
+            ))
+        }
+    }
+
+    fn lower_ident(&mut self, what: &str) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::LowerIdent(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(LangError::parse(
+                self.pos(),
+                format!("expected {what}, found `{other}`"),
+            )),
+        }
+    }
+
+    fn upper_ident(&mut self, what: &str) -> Result<String, LangError> {
+        match self.peek().clone() {
+            Tok::UpperIdent(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(LangError::parse(
+                self.pos(),
+                format!("expected {what}, found `{other}`"),
+            )),
+        }
+    }
+
+    fn program(mut self) -> Result<SourceProgram, LangError> {
+        let mut decls = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => return Ok(SourceProgram { decls }),
+                Tok::Enum => decls.push(Decl::Enum(self.enum_def()?)),
+                Tok::Def => decls.push(Decl::Def(self.def_def()?)),
+                Tok::Let => decls.push(Decl::Lattice(self.lattice_bind()?)),
+                Tok::Rel => decls.push(Decl::Pred(self.pred_decl(false)?)),
+                Tok::Lat => decls.push(Decl::Pred(self.pred_decl(true)?)),
+                Tok::UpperIdent(_) => decls.push(Decl::Constraint(self.constraint()?)),
+                Tok::Semi => {
+                    self.bump();
+                }
+                other => {
+                    return Err(LangError::parse(
+                        self.pos(),
+                        format!("expected a declaration, found `{other}`"),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn enum_def(&mut self) -> Result<EnumDef, LangError> {
+        let pos = self.pos();
+        self.expect(&Tok::Enum)?;
+        let name = self.upper_ident("an enum name")?;
+        self.expect(&Tok::LBrace)?;
+        let mut cases = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let case_pos = self.pos();
+            self.expect(&Tok::Case)?;
+            let case_name = self.upper_ident("a case name")?;
+            let mut payload = Vec::new();
+            if self.eat(&Tok::LParen) {
+                loop {
+                    payload.push(self.type_expr()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+            }
+            cases.push(EnumCase {
+                name: case_name,
+                payload,
+                pos: case_pos,
+            });
+            // Commas between cases are optional (the paper uses both
+            // styles within one figure).
+            self.eat(&Tok::Comma);
+        }
+        Ok(EnumDef { name, cases, pos })
+    }
+
+    fn def_def(&mut self) -> Result<DefDef, LangError> {
+        let pos = self.pos();
+        self.expect(&Tok::Def)?;
+        let name = self.lower_ident("a function name")?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                let pname = self.lower_ident("a parameter name")?;
+                self.expect(&Tok::Colon)?;
+                let ty = self.type_expr()?;
+                params.push(Param { name: pname, ty });
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Colon)?;
+        let ret = self.type_expr()?;
+        self.expect(&Tok::Eq)?;
+        let body = self.expr()?;
+        self.eat(&Tok::Semi);
+        Ok(DefDef {
+            name,
+            params,
+            ret,
+            body,
+            pos,
+        })
+    }
+
+    fn lattice_bind(&mut self) -> Result<LatticeBind, LangError> {
+        let pos = self.pos();
+        self.expect(&Tok::Let)?;
+        let ty = self.upper_ident("a lattice type name")?;
+        self.expect(&Tok::Diamond)?;
+        self.expect(&Tok::Eq)?;
+        self.expect(&Tok::LParen)?;
+        let bot = self.expr()?;
+        self.expect(&Tok::Comma)?;
+        let top = self.expr()?;
+        self.expect(&Tok::Comma)?;
+        let leq = self.lower_ident("the leq function name")?;
+        self.expect(&Tok::Comma)?;
+        let lub = self.lower_ident("the lub function name")?;
+        self.expect(&Tok::Comma)?;
+        let glb = self.lower_ident("the glb function name")?;
+        self.expect(&Tok::RParen)?;
+        self.eat(&Tok::Semi);
+        Ok(LatticeBind {
+            ty,
+            bot,
+            top,
+            leq,
+            lub,
+            glb,
+            pos,
+        })
+    }
+
+    fn pred_decl(&mut self, is_lattice: bool) -> Result<PredDecl, LangError> {
+        let pos = self.pos();
+        self.bump(); // rel / lat
+        let name = self.upper_ident("a predicate name")?;
+        self.expect(&Tok::LParen)?;
+        let mut attributes = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                attributes.push(self.attribute(attributes.len())?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.eat(&Tok::Semi);
+        Ok(PredDecl {
+            name,
+            attributes,
+            is_lattice,
+            pos,
+        })
+    }
+
+    /// Parses `name: Type`, `name: Type<>`, or the unnamed `Type<>` form
+    /// used for the final column of `lat` declarations in Figure 2
+    /// (`lat IntVar(var: Str, Parity<>)`).
+    fn attribute(&mut self, index: usize) -> Result<Attribute, LangError> {
+        if let Tok::LowerIdent(_) = self.peek() {
+            let name = self.lower_ident("an attribute name")?;
+            self.expect(&Tok::Colon)?;
+            let ty = self.type_expr()?;
+            let is_lattice = self.eat(&Tok::Diamond);
+            return Ok(Attribute {
+                name,
+                ty,
+                is_lattice,
+            });
+        }
+        let ty = self.type_expr()?;
+        let is_lattice = self.eat(&Tok::Diamond);
+        Ok(Attribute {
+            name: format!("_{index}"),
+            ty,
+            is_lattice,
+        })
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, LangError> {
+        match self.peek().clone() {
+            Tok::UpperIdent(name) if name == "Set" && self.peek2() == &Tok::LParen => {
+                self.bump();
+                self.bump();
+                let elem = self.type_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(TypeExpr::Set(Box::new(elem)))
+            }
+            Tok::UpperIdent(name) => {
+                self.bump();
+                Ok(match name.as_str() {
+                    "Int" => TypeExpr::Int,
+                    "Str" => TypeExpr::Str,
+                    "Bool" => TypeExpr::Bool,
+                    "Unit" => TypeExpr::Unit,
+                    _ => TypeExpr::Named(name),
+                })
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.eat(&Tok::RParen) {
+                    return Ok(TypeExpr::Unit);
+                }
+                let mut items = vec![self.type_expr()?];
+                while self.eat(&Tok::Comma) {
+                    items.push(self.type_expr()?);
+                }
+                self.expect(&Tok::RParen)?;
+                if items.len() == 1 {
+                    Ok(items.pop().expect("checked"))
+                } else {
+                    Ok(TypeExpr::Tuple(items))
+                }
+            }
+            other => Err(LangError::parse(
+                self.pos(),
+                format!("expected a type, found `{other}`"),
+            )),
+        }
+    }
+
+    // ---- constraints -----------------------------------------------------
+
+    fn constraint(&mut self) -> Result<Constraint, LangError> {
+        let pos = self.pos();
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        if self.eat(&Tok::ColonDash) {
+            loop {
+                body.push(self.body_item()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::Dot)?;
+        Ok(Constraint { head, body, pos })
+    }
+
+    fn atom(&mut self) -> Result<Atom, LangError> {
+        let pos = self.pos();
+        let pred = self.upper_ident("a predicate name")?;
+        self.expect(&Tok::LParen)?;
+        let mut terms = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                terms.push(self.rule_term()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(Atom { pred, terms, pos })
+    }
+
+    fn body_item(&mut self) -> Result<BodyItem, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Bang => {
+                self.bump();
+                Ok(BodyItem::NegAtom(self.atom()?))
+            }
+            Tok::UpperIdent(_) => Ok(BodyItem::Atom(self.atom()?)),
+            // `x <- f(args)` — single-variable choice binding.
+            Tok::LowerIdent(name) if self.peek2() == &Tok::BackArrow => {
+                self.bump();
+                self.bump();
+                let func = self.lower_ident("a set-returning function name")?;
+                let args = self.call_args()?;
+                Ok(BodyItem::Choose {
+                    binds: vec![name],
+                    func,
+                    args,
+                    pos,
+                })
+            }
+            // `f(args)` — a filter application; represented as an Atom
+            // with a lowercase "predicate" name, resolved by the checker.
+            Tok::LowerIdent(name) => {
+                self.bump();
+                let args = self.call_args()?;
+                Ok(BodyItem::Atom(Atom {
+                    pred: name,
+                    terms: args,
+                    pos,
+                }))
+            }
+            // `(x, y) <- f(args)` — tuple-destructuring choice binding.
+            Tok::LParen => {
+                self.bump();
+                let mut binds = vec![self.lower_ident("a variable")?];
+                while self.eat(&Tok::Comma) {
+                    binds.push(self.lower_ident("a variable")?);
+                }
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::BackArrow)?;
+                let func = self.lower_ident("a set-returning function name")?;
+                let args = self.call_args()?;
+                Ok(BodyItem::Choose {
+                    binds,
+                    func,
+                    args,
+                    pos,
+                })
+            }
+            other => Err(LangError::parse(
+                pos,
+                format!("expected a body atom, filter, or choice, found `{other}`"),
+            )),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<RuleTerm>, LangError> {
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                args.push(self.rule_term()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn rule_term(&mut self) -> Result<RuleTerm, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Underscore => {
+                self.bump();
+                Ok(RuleTerm::Wildcard(pos))
+            }
+            Tok::Int(n) => {
+                self.bump();
+                Ok(RuleTerm::Lit(Lit::Int(n), pos))
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.bump() {
+                    Tok::Int(n) => Ok(RuleTerm::Lit(Lit::Int(-n), pos)),
+                    other => Err(LangError::parse(
+                        pos,
+                        format!("expected an integer after `-`, found `{other}`"),
+                    )),
+                }
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(RuleTerm::Lit(Lit::Str(s), pos))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(RuleTerm::Lit(Lit::Bool(true), pos))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(RuleTerm::Lit(Lit::Bool(false), pos))
+            }
+            Tok::LowerIdent(name) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    let args = self.call_args()?;
+                    Ok(RuleTerm::App {
+                        func: name,
+                        args,
+                        pos,
+                    })
+                } else {
+                    Ok(RuleTerm::Var(name, pos))
+                }
+            }
+            Tok::UpperIdent(enum_name) => {
+                self.bump();
+                self.expect(&Tok::Dot)?;
+                let case = self.upper_ident("an enum case name")?;
+                let mut args = Vec::new();
+                if self.peek() == &Tok::LParen {
+                    args = self.call_args()?;
+                }
+                Ok(RuleTerm::Ctor {
+                    enum_name,
+                    case,
+                    args,
+                    pos,
+                })
+            }
+            other => Err(LangError::parse(
+                pos,
+                format!("expected a term, found `{other}`"),
+            )),
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &Tok::AndAnd {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => BinOp::Eq,
+            Tok::BangEq => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let pos = self.pos();
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            pos,
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Bang => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(self.unary_expr()?),
+                    pos,
+                })
+            }
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.unary_expr()?),
+                    pos,
+                })
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Int(n), pos))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Str(s), pos))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Bool(true), pos))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Bool(false), pos))
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.eat(&Tok::RParen) {
+                    return Ok(Expr::Lit(Lit::Unit, pos));
+                }
+                let mut items = vec![self.expr()?];
+                while self.eat(&Tok::Comma) {
+                    items.push(self.expr()?);
+                }
+                self.expect(&Tok::RParen)?;
+                if items.len() == 1 {
+                    Ok(items.pop().expect("checked"))
+                } else {
+                    Ok(Expr::Tuple(items, pos))
+                }
+            }
+            Tok::LowerIdent(name) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Call {
+                        func: name,
+                        args,
+                        pos,
+                    })
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            Tok::UpperIdent(enum_name) if enum_name == "Set" && self.peek2() == &Tok::LParen => {
+                self.bump();
+                self.bump();
+                let mut items = Vec::new();
+                if self.peek() != &Tok::RParen {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::SetLit(items, pos))
+            }
+            Tok::UpperIdent(enum_name) => {
+                self.bump();
+                self.expect(&Tok::Dot)?;
+                let case = self.upper_ident("an enum case name")?;
+                let mut args = Vec::new();
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                }
+                Ok(Expr::Ctor {
+                    enum_name,
+                    case,
+                    args,
+                    pos,
+                })
+            }
+            Tok::Let => {
+                self.bump();
+                let name = self.lower_ident("a binding name")?;
+                self.expect(&Tok::Eq)?;
+                let bound = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                let body = self.expr()?;
+                Ok(Expr::Let {
+                    name,
+                    bound: Box::new(bound),
+                    body: Box::new(body),
+                    pos,
+                })
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then = self.expr()?;
+                self.expect(&Tok::Else)?;
+                let otherwise = self.expr()?;
+                Ok(Expr::If {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    otherwise: Box::new(otherwise),
+                    pos,
+                })
+            }
+            Tok::Match => {
+                self.bump();
+                let scrutinee = self.expr()?;
+                self.expect(&Tok::With)?;
+                self.expect(&Tok::LBrace)?;
+                let mut arms = Vec::new();
+                while !self.eat(&Tok::RBrace) {
+                    self.expect(&Tok::Case)?;
+                    let pat = self.pattern()?;
+                    self.expect(&Tok::FatArrow)?;
+                    let body = self.expr()?;
+                    arms.push(MatchArm { pat, body });
+                    self.eat(&Tok::Comma);
+                }
+                Ok(Expr::Match {
+                    scrutinee: Box::new(scrutinee),
+                    arms,
+                    pos,
+                })
+            }
+            other => Err(LangError::parse(
+                pos,
+                format!("expected an expression, found `{other}`"),
+            )),
+        }
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, LangError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Underscore => {
+                self.bump();
+                Ok(Pattern::Wildcard(pos))
+            }
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Pattern::Lit(Lit::Int(n), pos))
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.bump() {
+                    Tok::Int(n) => Ok(Pattern::Lit(Lit::Int(-n), pos)),
+                    other => Err(LangError::parse(
+                        pos,
+                        format!("expected an integer after `-`, found `{other}`"),
+                    )),
+                }
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Pattern::Lit(Lit::Str(s), pos))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Pattern::Lit(Lit::Bool(true), pos))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Pattern::Lit(Lit::Bool(false), pos))
+            }
+            Tok::LowerIdent(name) => {
+                self.bump();
+                Ok(Pattern::Var(name, pos))
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.eat(&Tok::RParen) {
+                    return Ok(Pattern::Lit(Lit::Unit, pos));
+                }
+                let mut items = vec![self.pattern()?];
+                while self.eat(&Tok::Comma) {
+                    items.push(self.pattern()?);
+                }
+                self.expect(&Tok::RParen)?;
+                if items.len() == 1 {
+                    Ok(items.pop().expect("checked"))
+                } else {
+                    Ok(Pattern::Tuple(items, pos))
+                }
+            }
+            Tok::UpperIdent(enum_name) => {
+                self.bump();
+                self.expect(&Tok::Dot)?;
+                let case = self.upper_ident("an enum case name")?;
+                let mut args = Vec::new();
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.pattern()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                }
+                Ok(Pattern::Ctor {
+                    enum_name,
+                    case,
+                    args,
+                    pos,
+                })
+            }
+            other => Err(LangError::parse(
+                pos,
+                format!("expected a pattern, found `{other}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure_2_style_program() {
+        let src = r#"
+            // an almost complete Flix program.
+            enum Parity {
+              case Top,
+              case Even, case Odd,
+              case Bot
+            }
+
+            def leq(e1: Parity, e2: Parity): Bool =
+              match (e1, e2) with {
+                case (Parity.Bot, _) => true
+                case (Parity.Even, Parity.Even) => true
+                case (Parity.Odd, Parity.Odd) => true
+                case (_, Parity.Top) => true
+                case _ => false
+              }
+
+            def lub(e1: Parity, e2: Parity): Parity =
+              match (e1, e2) with {
+                case (Parity.Bot, x) => x
+                case (x, Parity.Bot) => x
+                case (Parity.Even, Parity.Even) => Parity.Even
+                case (Parity.Odd, Parity.Odd) => Parity.Odd
+                case _ => Parity.Top
+              }
+
+            def glb(e1: Parity, e2: Parity): Parity =
+              match (e1, e2) with {
+                case (Parity.Top, x) => x
+                case (x, Parity.Top) => x
+                case (Parity.Even, Parity.Even) => Parity.Even
+                case (Parity.Odd, Parity.Odd) => Parity.Odd
+                case _ => Parity.Bot
+              }
+
+            let Parity<> = (Parity.Bot, Parity.Top, leq, lub, glb);
+
+            def isMaybeZero(e: Parity): Bool =
+              match e with {
+                case Parity.Even => true
+                case Parity.Top => true
+                case _ => false
+              }
+
+            rel AddExp(r: Str, v1: Str, v2: Str);
+            rel DivExp(r: Str, v1: Str, v2: Str);
+            rel ArithmeticError(r: Str);
+            lat IntVar(var: Str, Parity<>);
+
+            IntVar("x", Parity.Odd).
+            IntVar(r, sum(i1, i2)) :- AddExp(r, v1, v2),
+                                      IntVar(v1, i1),
+                                      IntVar(v2, i2).
+            ArithmeticError(r) :- DivExp(r, v1, v2),
+                                  IntVar(v2, i2),
+                                  isMaybeZero(i2).
+        "#;
+        let prog = parse(src).expect("parses");
+        assert_eq!(prog.decls.len(), 13);
+        let kinds: Vec<&str> = prog
+            .decls
+            .iter()
+            .map(|d| match d {
+                Decl::Enum(_) => "enum",
+                Decl::Def(_) => "def",
+                Decl::Lattice(_) => "lat-bind",
+                Decl::Pred(_) => "pred",
+                Decl::Constraint(_) => "constraint",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "enum",
+                "def",
+                "def",
+                "def",
+                "lat-bind",
+                "def",
+                "pred",
+                "pred",
+                "pred",
+                "pred",
+                "constraint",
+                "constraint",
+                "constraint"
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_choice_bindings() {
+        let src = r#"
+            rel CFG(n: Int, m: Int);
+            rel PathEdge(d1: Int, n: Int, d2: Int);
+            PathEdge(d1, m, d3) :- CFG(n, m),
+                                   PathEdge(d1, n, d2),
+                                   d3 <- eshIntra(n, d2).
+            JumpFn(d1, m, d3) :- CFG(n, m),
+                                 (d3, short) <- eshIntra(n, d2).
+        "#;
+        let prog = parse(src).expect("parses");
+        let Decl::Constraint(c) = &prog.decls[2] else {
+            panic!("expected constraint")
+        };
+        assert!(matches!(&c.body[2], BodyItem::Choose { binds, .. } if binds == &["d3"]));
+        let Decl::Constraint(c2) = &prog.decls[3] else {
+            panic!("expected constraint")
+        };
+        assert!(matches!(&c2.body[1], BodyItem::Choose { binds, .. } if binds == &["d3", "short"]));
+    }
+
+    #[test]
+    fn parses_negated_atoms_and_wildcards() {
+        let src = r#"
+            rel A(x: Int);
+            rel B(x: Int, y: Int);
+            A(x) :- B(x, _), !B(x, 3).
+        "#;
+        let prog = parse(src).expect("parses");
+        let Decl::Constraint(c) = &prog.decls[2] else {
+            panic!("expected constraint")
+        };
+        assert!(matches!(&c.body[0], BodyItem::Atom(a) if a.pred == "B"));
+        assert!(matches!(&c.body[1], BodyItem::NegAtom(a) if a.pred == "B"));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let src = "def f(x: Int, y: Int): Int = x + y * 2";
+        let prog = parse(src).expect("parses");
+        let Decl::Def(d) = &prog.decls[0] else {
+            panic!("expected def")
+        };
+        // x + (y * 2)
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = &d.body
+        else {
+            panic!("expected +: {:?}", d.body)
+        };
+        assert!(matches!(&**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn if_expression() {
+        let src = "def f(x: Int): Int = if (x > 0) x else -x";
+        let prog = parse(src).expect("parses");
+        let Decl::Def(d) = &prog.decls[0] else {
+            panic!("expected def")
+        };
+        assert!(matches!(&d.body, Expr::If { .. }));
+    }
+
+    #[test]
+    fn error_messages_carry_positions() {
+        let err = parse("rel A(").expect_err("incomplete");
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn negative_literals_in_facts() {
+        let src = "rel A(x: Int); A(-3).";
+        let prog = parse(src).expect("parses");
+        let Decl::Constraint(c) = &prog.decls[1] else {
+            panic!("expected constraint")
+        };
+        assert!(matches!(&c.head.terms[0], RuleTerm::Lit(Lit::Int(-3), _)));
+    }
+}

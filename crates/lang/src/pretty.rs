@@ -1,0 +1,481 @@
+//! Pretty-printing of surface-language ASTs back to concrete FLIX syntax.
+//!
+//! The printer produces parseable text: `parse(print(parse(src)))` prints
+//! identically to `print(parse(src))` (checked by the round-trip tests),
+//! which makes it usable for program transformation tooling and for
+//! normalising test fixtures.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Pretty-prints a whole program.
+pub fn program(p: &SourceProgram) -> String {
+    let mut out = String::new();
+    for decl in &p.decls {
+        match decl {
+            Decl::Enum(e) => enum_def(&mut out, e),
+            Decl::Def(d) => def_def(&mut out, d),
+            Decl::Lattice(l) => lattice_bind(&mut out, l),
+            Decl::Pred(p) => pred_decl(&mut out, p),
+            Decl::Constraint(c) => constraint(&mut out, c),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn enum_def(out: &mut String, e: &EnumDef) {
+    let _ = writeln!(out, "enum {} {{", e.name);
+    for case in &e.cases {
+        let _ = write!(out, "  case {}", case.name);
+        if !case.payload.is_empty() {
+            let items: Vec<String> = case.payload.iter().map(type_expr).collect();
+            let _ = write!(out, "({})", items.join(", "));
+        }
+        out.push_str(",\n");
+    }
+    out.push_str("}\n");
+}
+
+fn def_def(out: &mut String, d: &DefDef) {
+    let params: Vec<String> = d
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, type_expr(&p.ty)))
+        .collect();
+    let _ = write!(
+        out,
+        "def {}({}): {} = ",
+        d.name,
+        params.join(", "),
+        type_expr(&d.ret)
+    );
+    expr(out, &d.body, 1);
+    out.push('\n');
+}
+
+fn lattice_bind(out: &mut String, l: &LatticeBind) {
+    let _ = write!(out, "let {}<> = (", l.ty);
+    expr(out, &l.bot, 0);
+    out.push_str(", ");
+    expr(out, &l.top, 0);
+    let _ = writeln!(out, ", {}, {}, {});", l.leq, l.lub, l.glb);
+}
+
+fn pred_decl(out: &mut String, p: &PredDecl) {
+    let kw = if p.is_lattice { "lat" } else { "rel" };
+    let attrs: Vec<String> = p
+        .attributes
+        .iter()
+        .map(|a| {
+            let base = if a.name.starts_with('_') {
+                type_expr(&a.ty)
+            } else {
+                format!("{}: {}", a.name, type_expr(&a.ty))
+            };
+            if a.is_lattice {
+                format!("{base}<>")
+            } else {
+                base
+            }
+        })
+        .collect();
+    let _ = writeln!(out, "{kw} {}({});", p.name, attrs.join(", "));
+}
+
+fn constraint(out: &mut String, c: &Constraint) {
+    atom(out, &c.head);
+    if !c.body.is_empty() {
+        out.push_str(" :- ");
+        for (i, item) in c.body.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            body_item(out, item);
+        }
+    }
+    out.push_str(".\n");
+}
+
+fn atom(out: &mut String, a: &Atom) {
+    let _ = write!(out, "{}(", a.pred);
+    for (i, t) in a.terms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        rule_term(out, t);
+    }
+    out.push(')');
+}
+
+fn body_item(out: &mut String, item: &BodyItem) {
+    match item {
+        BodyItem::Atom(a) => atom(out, a),
+        BodyItem::NegAtom(a) => {
+            out.push('!');
+            atom(out, a);
+        }
+        BodyItem::Choose {
+            binds, func, args, ..
+        } => {
+            if binds.len() == 1 {
+                out.push_str(&binds[0]);
+            } else {
+                let _ = write!(out, "({})", binds.join(", "));
+            }
+            let _ = write!(out, " <- {func}(");
+            for (i, t) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                rule_term(out, t);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn rule_term(out: &mut String, t: &RuleTerm) {
+    match t {
+        RuleTerm::Var(name, _) => out.push_str(name),
+        RuleTerm::Lit(l, _) => lit(out, l),
+        RuleTerm::Wildcard(_) => out.push('_'),
+        RuleTerm::Ctor {
+            enum_name,
+            case,
+            args,
+            ..
+        } => {
+            let _ = write!(out, "{enum_name}.{case}");
+            if !args.is_empty() {
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    rule_term(out, a);
+                }
+                out.push(')');
+            }
+        }
+        RuleTerm::App { func, args, .. } => {
+            let _ = write!(out, "{func}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                rule_term(out, a);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Renders a type annotation.
+pub fn type_expr(t: &TypeExpr) -> String {
+    match t {
+        TypeExpr::Int => "Int".into(),
+        TypeExpr::Str => "Str".into(),
+        TypeExpr::Bool => "Bool".into(),
+        TypeExpr::Unit => "Unit".into(),
+        TypeExpr::Named(n) => n.clone(),
+        TypeExpr::Tuple(items) => {
+            let inner: Vec<String> = items.iter().map(type_expr).collect();
+            format!("({})", inner.join(", "))
+        }
+        TypeExpr::Set(elem) => format!("Set({})", type_expr(elem)),
+    }
+}
+
+fn lit(out: &mut String, l: &Lit) {
+    match l {
+        Lit::Unit => out.push_str("()"),
+        Lit::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Lit::Int(n) if *n < 0 => {
+            // Parenthesise so `f(-3)` round-trips as a term but binary
+            // contexts don't glue the minus onto an operator.
+            let _ = write!(out, "{n}");
+        }
+        Lit::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Lit::Str(s) => {
+            let _ = write!(out, "{:?}", s);
+        }
+    }
+}
+
+fn expr(out: &mut String, e: &Expr, depth: usize) {
+    match e {
+        Expr::Lit(l, _) => lit(out, l),
+        Expr::Var(name, _) => out.push_str(name),
+        Expr::Ctor {
+            enum_name,
+            case,
+            args,
+            ..
+        } => {
+            let _ = write!(out, "{enum_name}.{case}");
+            if !args.is_empty() {
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    expr(out, a, depth);
+                }
+                out.push(')');
+            }
+        }
+        Expr::Call { func, args, .. } => {
+            let _ = write!(out, "{func}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, a, depth);
+            }
+            out.push(')');
+        }
+        Expr::Tuple(items, _) => {
+            out.push('(');
+            for (i, a) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, a, depth);
+            }
+            out.push(')');
+        }
+        Expr::SetLit(items, _) => {
+            out.push_str("Set(");
+            for (i, a) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, a, depth);
+            }
+            out.push(')');
+        }
+        Expr::Unary {
+            op, expr: inner, ..
+        } => {
+            out.push(match op {
+                UnOp::Not => '!',
+                UnOp::Neg => '-',
+            });
+            paren_expr(out, inner, depth);
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            paren_expr(out, lhs, depth);
+            let _ = write!(out, " {} ", bin_op(*op));
+            paren_expr(out, rhs, depth);
+        }
+        Expr::If {
+            cond,
+            then,
+            otherwise,
+            ..
+        } => {
+            out.push_str("if (");
+            expr(out, cond, depth);
+            out.push_str(") ");
+            paren_expr(out, then, depth);
+            out.push_str(" else ");
+            paren_expr(out, otherwise, depth);
+        }
+        Expr::Let {
+            name, bound, body, ..
+        } => {
+            let _ = write!(out, "let {name} = ");
+            expr(out, bound, depth);
+            out.push_str("; ");
+            expr(out, body, depth);
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            out.push_str("match ");
+            paren_expr(out, scrutinee, depth);
+            out.push_str(" with {\n");
+            let indent = "  ".repeat(depth + 1);
+            for arm in arms {
+                out.push_str(&indent);
+                out.push_str("case ");
+                pattern(out, &arm.pat);
+                out.push_str(" => ");
+                expr(out, &arm.body, depth + 1);
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(depth));
+            out.push('}');
+        }
+    }
+}
+
+/// Parenthesises compound sub-expressions so precedence survives the
+/// round trip without tracking operator levels.
+fn paren_expr(out: &mut String, e: &Expr, depth: usize) {
+    let needs_parens = matches!(
+        e,
+        Expr::Binary { .. } | Expr::If { .. } | Expr::Unary { .. }
+    ) || matches!(e, Expr::Lit(Lit::Int(n), _) if *n < 0);
+    if needs_parens {
+        out.push('(');
+        expr(out, e, depth);
+        out.push(')');
+    } else {
+        expr(out, e, depth);
+    }
+}
+
+fn pattern(out: &mut String, p: &Pattern) {
+    match p {
+        Pattern::Wildcard(_) => out.push('_'),
+        Pattern::Var(name, _) => out.push_str(name),
+        Pattern::Lit(l, _) => lit(out, l),
+        Pattern::Ctor {
+            enum_name,
+            case,
+            args,
+            ..
+        } => {
+            let _ = write!(out, "{enum_name}.{case}");
+            if !args.is_empty() {
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    pattern(out, a);
+                }
+                out.push(')');
+            }
+        }
+        Pattern::Tuple(items, _) => {
+            out.push('(');
+            for (i, a) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                pattern(out, a);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn bin_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Round trip: printing is a fixed point of parse∘print.
+    fn assert_round_trip(src: &str) {
+        let once = program(&parse(src).expect("source parses"));
+        let twice =
+            program(&parse(&once).unwrap_or_else(|e| {
+                panic!("printed output must parse: {e}\n--- printed ---\n{once}")
+            }));
+        assert_eq!(once, twice, "print∘parse must be idempotent");
+    }
+
+    #[test]
+    fn round_trips_datalog() {
+        assert_round_trip(
+            "rel Edge(x: Int, y: Int);
+             rel Path(x: Int, y: Int);
+             Edge(1, 2). Edge(2, -3).
+             Path(x, y) :- Edge(x, y).
+             Path(x, z) :- Path(x, y), Edge(y, z), !Edge(z, x).",
+        );
+    }
+
+    #[test]
+    fn round_trips_figure_2_fragment() {
+        assert_round_trip(
+            r#"
+            enum Parity { case Top, case Even, case Odd, case Bot }
+            def leq(e1: Parity, e2: Parity): Bool =
+              match (e1, e2) with {
+                case (Parity.Bot, _) => true
+                case (Parity.Even, Parity.Even) => true
+                case _ => false
+              }
+            def lub(e1: Parity, e2: Parity): Parity = Parity.Top
+            def glb(e1: Parity, e2: Parity): Parity = Parity.Bot
+            let Parity<> = (Parity.Bot, Parity.Top, leq, lub, glb);
+            lat IntVar(v: Str, Parity<>);
+            IntVar("x", Parity.Odd).
+            "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_expressions() {
+        assert_round_trip(
+            r#"
+            def f(x: Int, y: Int): Int = if (x > 0 && y != 0) x + y * 2 else -x
+            def g(s: (Int, Str)): Set(Int) =
+              match s with { case (n, _) => Set(n, n + 1) }
+            def h(b: Bool): Bool = !b || b
+            "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_choice_and_wildcards() {
+        assert_round_trip(
+            "def succs(n: Int): Set(Int) = Set(n + 1)
+             def pairs(n: Int): Set((Int, Int)) = Set((n, n))
+             rel P(x: Int);
+             rel Q(x: Int);
+             rel R(x: Int, y: Int);
+             Q(y) :- P(_), P(x), y <- succs(x).
+             R(a, b) :- P(x), (a, b) <- pairs(x).",
+        );
+    }
+
+    #[test]
+    fn round_trips_let_expressions() {
+        assert_round_trip("def f(x: Int): Int = let y = x + 1; y * y");
+    }
+
+    #[test]
+    fn printed_programs_still_solve() {
+        let src = "rel Edge(x: Int, y: Int);
+                   rel Path(x: Int, y: Int);
+                   Edge(1, 2). Edge(2, 3).
+                   Path(x, y) :- Edge(x, y).
+                   Path(x, z) :- Path(x, y), Edge(y, z).";
+        let printed = program(&parse(src).expect("parses"));
+        let solution = crate::compile(&printed)
+            .and_then(|p| {
+                flix_core::Solver::new()
+                    .solve(&p)
+                    .map_err(|e| crate::LangError::lower(Default::default(), e.to_string()))
+            })
+            .expect("printed program compiles and solves");
+        assert!(solution.contains("Path", &[1.into(), 3.into()]));
+    }
+}

@@ -1,0 +1,181 @@
+//! Tokens of the FLIX surface language.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    // Literals and identifiers.
+    /// An integer literal.
+    Int(i64),
+    /// A string literal (content, unescaped).
+    Str(String),
+    /// An identifier starting with a lowercase letter (variables,
+    /// functions, attribute names).
+    LowerIdent(String),
+    /// An identifier starting with an uppercase letter (predicates, enum
+    /// types, enum cases).
+    UpperIdent(String),
+
+    // Keywords.
+    /// `enum`
+    Enum,
+    /// `case`
+    Case,
+    /// `def`
+    Def,
+    /// `let`
+    Let,
+    /// `rel`
+    Rel,
+    /// `lat`
+    Lat,
+    /// `match`
+    Match,
+    /// `with`
+    With,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `true`
+    True,
+    /// `false`
+    False,
+
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `:-`
+    ColonDash,
+    /// `=`
+    Eq,
+    /// `=>`
+    FatArrow,
+    /// `<-`
+    BackArrow,
+    /// `<>` (lattice instance marker, as in `Parity<>`)
+    Diamond,
+    /// `_`
+    Underscore,
+    /// `!`
+    Bang,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LowerIdent(s) | Tok::UpperIdent(s) => write!(f, "{s}"),
+            Tok::Enum => f.write_str("enum"),
+            Tok::Case => f.write_str("case"),
+            Tok::Def => f.write_str("def"),
+            Tok::Let => f.write_str("let"),
+            Tok::Rel => f.write_str("rel"),
+            Tok::Lat => f.write_str("lat"),
+            Tok::Match => f.write_str("match"),
+            Tok::With => f.write_str("with"),
+            Tok::If => f.write_str("if"),
+            Tok::Else => f.write_str("else"),
+            Tok::True => f.write_str("true"),
+            Tok::False => f.write_str("false"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::Comma => f.write_str(","),
+            Tok::Semi => f.write_str(";"),
+            Tok::Dot => f.write_str("."),
+            Tok::Colon => f.write_str(":"),
+            Tok::ColonDash => f.write_str(":-"),
+            Tok::Eq => f.write_str("="),
+            Tok::FatArrow => f.write_str("=>"),
+            Tok::BackArrow => f.write_str("<-"),
+            Tok::Diamond => f.write_str("<>"),
+            Tok::Underscore => f.write_str("_"),
+            Tok::Bang => f.write_str("!"),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Star => f.write_str("*"),
+            Tok::Slash => f.write_str("/"),
+            Tok::Percent => f.write_str("%"),
+            Tok::EqEq => f.write_str("=="),
+            Tok::BangEq => f.write_str("!="),
+            Tok::Lt => f.write_str("<"),
+            Tok::Le => f.write_str("<="),
+            Tok::Gt => f.write_str(">"),
+            Tok::Ge => f.write_str(">="),
+            Tok::AndAnd => f.write_str("&&"),
+            Tok::OrOr => f.write_str("||"),
+            Tok::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it begins.
+    pub pos: Pos,
+}

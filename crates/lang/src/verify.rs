@@ -1,0 +1,225 @@
+//! Safety checking of surface-language lattice bindings (§7 of the
+//! paper).
+//!
+//! A `let T<> = (bot, top, leq, lub, glb)` binding is trusted by the
+//! solver; if the user's functions do not form a complete lattice, "the
+//! semantics of the FLIX program is undefined" (§2.2). This module makes
+//! the check §7 proposes: it enumerates sample elements of each lattice
+//! enum (all nullary cases, plus payload-bearing cases instantiated with
+//! small sample payloads) and runs the engine-level law checker
+//! [`flix_core::verify::check_lattice_ops`] against the interpreted
+//! operations.
+//!
+//! Exposed on the CLI as `flixr --verify`.
+
+use crate::interp::Interpreter;
+use crate::lower;
+use crate::typeck::{CheckedProgram, Type};
+use crate::LangError;
+use flix_core::{verify, Value};
+use std::sync::Arc;
+
+/// Maximum number of sample elements generated per lattice (the law check
+/// is cubic in this number).
+const MAX_SAMPLES: usize = 12;
+
+/// Checks every lattice binding of a checked program against the
+/// complete-lattice laws, over generated sample elements.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] naming the lattice type and the violated law.
+pub fn check_lattices(checked: &Arc<CheckedProgram>) -> Result<(), LangError> {
+    let interp = Interpreter::new(Arc::clone(checked));
+    for (ty, bind) in &checked.lattices {
+        let ops = lower::ops_for_binding(&interp, ty, bind);
+        let samples = sample_elements(checked, ty);
+        if let Err(violation) = verify::check_lattice_ops(&ops, &samples) {
+            return Err(LangError::ty(
+                bind.pos,
+                format!("the {ty}<> binding is not a lattice: {violation}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Generates sample elements of an enum type: every case, instantiated
+/// with small payload samples, capped at [`MAX_SAMPLES`].
+fn sample_elements(checked: &CheckedProgram, enum_name: &str) -> Vec<Value> {
+    let Some(info) = checked.enums.get(enum_name) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut cases: Vec<_> = info.cases.iter().collect();
+    cases.sort_by_key(|(name, _)| (*name).clone());
+    for (case, payload) in cases {
+        for combo in payload_samples(checked, payload, 2) {
+            let value = match combo.len() {
+                0 => Value::tag0(case.as_str()),
+                1 => Value::tag(case.as_str(), combo.into_iter().next().expect("len 1")),
+                _ => Value::tag(case.as_str(), Value::tuple(combo)),
+            };
+            out.push(value);
+            if out.len() >= MAX_SAMPLES {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Small sample values per type, combined across a payload (odometer over
+/// `per_type` choices per field).
+fn payload_samples(checked: &CheckedProgram, payload: &[Type], per_type: usize) -> Vec<Vec<Value>> {
+    let choices: Vec<Vec<Value>> = payload
+        .iter()
+        .map(|t| type_samples(checked, t, per_type))
+        .collect();
+    let mut out = vec![Vec::new()];
+    for field in choices {
+        let mut next = Vec::new();
+        for prefix in &out {
+            for v in &field {
+                let mut row = prefix.clone();
+                row.push(v.clone());
+                next.push(row);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn type_samples(checked: &CheckedProgram, t: &Type, per_type: usize) -> Vec<Value> {
+    let all = match t {
+        Type::Int => vec![Value::Int(0), Value::Int(1), Value::Int(-1)],
+        Type::Str => vec![Value::from("a"), Value::from("b")],
+        Type::Bool => vec![Value::Bool(false), Value::Bool(true)],
+        Type::Unit => vec![Value::Unit],
+        Type::Enum(name) => {
+            // Nested enums contribute their nullary cases only.
+            let mut vals = Vec::new();
+            if let Some(info) = checked.enums.get(name) {
+                let mut cases: Vec<_> = info.cases.iter().collect();
+                cases.sort_by_key(|(n, _)| (*n).clone());
+                for (case, payload) in cases {
+                    if payload.is_empty() {
+                        vals.push(Value::tag0(case.as_str()));
+                    }
+                }
+            }
+            vals
+        }
+        Type::Tuple(items) => {
+            return payload_samples(checked, items, per_type)
+                .into_iter()
+                .map(Value::tuple)
+                .take(per_type)
+                .collect()
+        }
+        Type::Set(_) | Type::Never => vec![Value::set([])],
+    };
+    all.into_iter().take(per_type).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::typeck::check;
+
+    fn checked(src: &str) -> Arc<CheckedProgram> {
+        Arc::new(check(&parse(src).expect("parses")).expect("checks"))
+    }
+
+    const GOOD_PARITY: &str = r#"
+        enum Parity { case Top, case Even, case Odd, case Bot }
+        def leq(e1: Parity, e2: Parity): Bool = match (e1, e2) with {
+          case (Parity.Bot, _) => true
+          case (Parity.Even, Parity.Even) => true
+          case (Parity.Odd, Parity.Odd) => true
+          case (_, Parity.Top) => true
+          case _ => false
+        }
+        def lub(e1: Parity, e2: Parity): Parity = match (e1, e2) with {
+          case (Parity.Bot, x) => x
+          case (x, Parity.Bot) => x
+          case (Parity.Even, Parity.Even) => Parity.Even
+          case (Parity.Odd, Parity.Odd) => Parity.Odd
+          case _ => Parity.Top
+        }
+        def glb(e1: Parity, e2: Parity): Parity = match (e1, e2) with {
+          case (Parity.Top, x) => x
+          case (x, Parity.Top) => x
+          case (Parity.Even, Parity.Even) => Parity.Even
+          case (Parity.Odd, Parity.Odd) => Parity.Odd
+          case _ => Parity.Bot
+        }
+        let Parity<> = (Parity.Bot, Parity.Top, leq, lub, glb);
+    "#;
+
+    #[test]
+    fn lawful_lattice_passes() {
+        check_lattices(&checked(GOOD_PARITY)).expect("parity is lawful");
+    }
+
+    #[test]
+    fn broken_lub_is_rejected_with_position() {
+        // A lub that returns Bot for incomparable elements is not an
+        // upper bound operator at all.
+        let src = r#"
+            enum P { case Top, case A, case B, case Bot }
+            def leq(x: P, y: P): Bool = match (x, y) with {
+              case (P.Bot, _) => true
+              case (_, P.Top) => true
+              case (P.A, P.A) => true
+              case (P.B, P.B) => true
+              case _ => false
+            }
+            def lub(x: P, y: P): P = match (x, y) with {
+              case (P.Bot, z) => z
+              case (z, P.Bot) => z
+              case _ => P.Bot
+            }
+            def glb(x: P, y: P): P = match (x, y) with {
+              case (P.Top, z) => z
+              case (z, P.Top) => z
+              case _ => P.Bot
+            }
+            let P<> = (P.Bot, P.Top, leq, lub, glb);
+        "#;
+        let err = check_lattices(&checked(src)).expect_err("must reject");
+        assert!(err.to_string().contains("not a lattice"), "{err}");
+        assert!(err.to_string().contains("upper bound"), "{err}");
+    }
+
+    #[test]
+    fn payload_cases_are_sampled() {
+        // The SULattice with Single(Str): samples must include Single("a")
+        // and Single("b") so the flat-lattice structure is exercised.
+        let src = r#"
+            enum S { case Top, case Single(Str), case Bottom }
+            def leq(x: S, y: S): Bool = match (x, y) with {
+              case (S.Bottom, _) => true
+              case (_, S.Top) => true
+              case (S.Single(a), S.Single(b)) => a == b
+              case _ => false
+            }
+            def lub(x: S, y: S): S = match (x, y) with {
+              case (S.Bottom, z) => z
+              case (z, S.Bottom) => z
+              case (S.Single(a), S.Single(b)) => if (a == b) S.Single(a) else S.Top
+              case _ => S.Top
+            }
+            def glb(x: S, y: S): S = match (x, y) with {
+              case (S.Top, z) => z
+              case (z, S.Top) => z
+              case (S.Single(a), S.Single(b)) => if (a == b) S.Single(a) else S.Bottom
+              case _ => S.Bottom
+            }
+            let S<> = (S.Bottom, S.Top, leq, lub, glb);
+        "#;
+        check_lattices(&checked(src)).expect("SULattice is lawful");
+    }
+}

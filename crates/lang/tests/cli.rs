@@ -1,0 +1,159 @@
+//! End-to-end tests of the `flixr` command-line interface.
+
+use std::process::Command;
+
+fn flixr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_flixr"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("flixr-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).expect("write temp file");
+    path
+}
+
+const PATHS: &str = "
+    rel Edge(x: Int, y: Int);
+    rel Path(x: Int, y: Int);
+    Edge(1, 2). Edge(2, 3).
+    Path(x, y) :- Edge(x, y).
+    Path(x, z) :- Path(x, y), Edge(y, z).
+";
+
+#[test]
+fn solves_and_prints_deterministically() {
+    let file = write_temp("paths.flix", PATHS);
+    let output = flixr().arg(&file).output().expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert_eq!(
+        stdout.lines().collect::<Vec<_>>(),
+        vec![
+            "Edge(1, 2)",
+            "Edge(2, 3)",
+            "Path(1, 2)",
+            "Path(1, 3)",
+            "Path(2, 3)",
+        ]
+    );
+}
+
+#[test]
+fn print_filter_limits_output() {
+    let file = write_temp("filter.flix", PATHS);
+    let output = flixr()
+        .args(["--print", "Path"])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.lines().all(|l| l.starts_with("Path(")));
+    assert_eq!(stdout.lines().count(), 3);
+}
+
+#[test]
+fn stats_go_to_stderr() {
+    let file = write_temp("stats.flix", PATHS);
+    let output = flixr().arg("--stats").arg(&file).output().expect("runs");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("rounds:"), "{stderr}");
+    assert!(stderr.contains("facts inserted:"), "{stderr}");
+}
+
+#[test]
+fn multiple_files_are_concatenated() {
+    let rules = write_temp(
+        "rules.flix",
+        "rel Edge(x: Int, y: Int);
+         rel Path(x: Int, y: Int);
+         Path(x, y) :- Edge(x, y).
+         Path(x, z) :- Path(x, y), Edge(y, z).",
+    );
+    let facts = write_temp("facts.flix", "Edge(7, 8). Edge(8, 9).");
+    let output = flixr()
+        .args(["--print", "Path"])
+        .arg(&rules)
+        .arg(&facts)
+        .output()
+        .expect("runs");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("Path(7, 9)"), "{stdout}");
+}
+
+#[test]
+fn type_errors_fail_with_diagnostics() {
+    let file = write_temp("bad.flix", "rel A(x: Int);\nA(\"nope\").");
+    let output = flixr().arg(&file).output().expect("runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("type error"), "{stderr}");
+}
+
+#[test]
+fn verify_rejects_unlawful_lattices() {
+    let file = write_temp(
+        "broken.flix",
+        r#"
+        enum P { case Top, case A, case B, case Bot }
+        def leq(x: P, y: P): Bool = match (x, y) with {
+          case (P.Bot, _) => true
+          case (_, P.Top) => true
+          case (P.A, P.A) => true
+          case (P.B, P.B) => true
+          case _ => false
+        }
+        def lub(x: P, y: P): P = match (x, y) with {
+          case (P.Bot, z) => z
+          case (z, P.Bot) => z
+          case _ => P.Bot
+        }
+        def glb(x: P, y: P): P = x
+        let P<> = (P.Bot, P.Top, leq, lub, glb);
+        lat L(k: Int, P<>);
+        L(1, P.A).
+        "#,
+    );
+    let output = flixr().arg("--verify").arg(&file).output().expect("runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("not a lattice"), "{stderr}");
+    // Without --verify the unlawful program still "solves" (garbage in,
+    // garbage out — exactly why §7 wants the check).
+    let output = flixr().arg(&file).output().expect("runs");
+    assert!(output.status.success());
+}
+
+#[test]
+fn missing_file_is_reported() {
+    let output = flixr()
+        .arg("/nonexistent/nope.flix")
+        .output()
+        .expect("runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn explain_prints_a_derivation_tree() {
+    let file = write_temp("explain.flix", PATHS);
+    let output = flixr()
+        .args(["--explain", "Path(1, 3)"])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("Path(1, 3)  [rule 1]"), "{stdout}");
+    assert!(stdout.contains("Edge(1, 2)  [fact]"), "{stdout}");
+
+    // Underivable facts are reported as such.
+    let output = flixr()
+        .args(["--explain", "Path(3, 1)"])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("not in the minimal model"), "{stderr}");
+}

@@ -1,0 +1,128 @@
+//! Property tests for the surface-language pipeline: randomly generated
+//! Datalog programs are rendered to concrete syntax, compiled, and solved
+//! under both strategies; the pipeline must agree with the Rust-API route
+//! and with itself across strategies, and the pretty-printer must
+//! round-trip every generated program.
+
+use flix_core::{Solver, Strategy as EvalStrategy};
+use proptest::prelude::*;
+use std::fmt::Write;
+
+/// A random small edge set over nodes 0..6.
+fn arb_edges() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    proptest::collection::vec((0i64..6, 0i64..6), 0..15)
+}
+
+/// Renders a transitive-closure program with the given facts as FLIX
+/// source text.
+fn closure_source(edges: &[(i64, i64)]) -> String {
+    let mut src = String::from(
+        "rel Edge(x: Int, y: Int);\n\
+         rel Path(x: Int, y: Int);\n\
+         Path(x, y) :- Edge(x, y).\n\
+         Path(x, z) :- Path(x, y), Edge(y, z).\n",
+    );
+    for (x, y) in edges {
+        let _ = writeln!(src, "Edge({x}, {y}).");
+    }
+    src
+}
+
+/// The Rust-API equivalent of [`closure_source`].
+fn closure_api(edges: &[(i64, i64)]) -> flix_core::Program {
+    use flix_core::{BodyItem, Head, HeadTerm, ProgramBuilder, Term};
+    let mut b = ProgramBuilder::new();
+    let e = b.relation("Edge", 2);
+    let p = b.relation("Path", 2);
+    for &(x, y) in edges {
+        b.fact(e, vec![x.into(), y.into()]);
+    }
+    b.rule(
+        Head::new(p, [HeadTerm::var("x"), HeadTerm::var("y")]),
+        [BodyItem::atom(e, [Term::var("x"), Term::var("y")])],
+    );
+    b.rule(
+        Head::new(p, [HeadTerm::var("x"), HeadTerm::var("z")]),
+        [
+            BodyItem::atom(p, [Term::var("x"), Term::var("y")]),
+            BodyItem::atom(e, [Term::var("y"), Term::var("z")]),
+        ],
+    );
+    b.build().expect("valid")
+}
+
+fn paths(solution: &flix_core::Solution) -> Vec<Vec<flix_core::Value>> {
+    let mut rows: Vec<Vec<flix_core::Value>> = solution
+        .relation("Path")
+        .expect("declared")
+        .map(|r| r.to_vec())
+        .collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Surface-compiled programs agree with API-built programs.
+    #[test]
+    fn surface_route_equals_api_route(edges in arb_edges()) {
+        let surface = flix_lang::compile(&closure_source(&edges)).expect("compiles");
+        let api = closure_api(&edges);
+        let s1 = Solver::new().solve(&surface).expect("solves");
+        let s2 = Solver::new().solve(&api).expect("solves");
+        prop_assert_eq!(paths(&s1), paths(&s2));
+    }
+
+    /// Naïve and semi-naïve agree on compiled surface programs.
+    #[test]
+    fn strategies_agree_on_surface_programs(edges in arb_edges()) {
+        let program = flix_lang::compile(&closure_source(&edges)).expect("compiles");
+        let semi = Solver::new().solve(&program).expect("solves");
+        let naive = Solver::new()
+            .strategy(EvalStrategy::Naive)
+            .solve(&program)
+            .expect("solves");
+        prop_assert_eq!(paths(&semi), paths(&naive));
+    }
+
+    /// The pretty-printer round-trips every generated program, and the
+    /// reprinted program solves to the same model.
+    #[test]
+    fn pretty_print_round_trip(edges in arb_edges()) {
+        let src = closure_source(&edges);
+        let parsed = flix_lang::parse(&src).expect("parses");
+        let printed = flix_lang::pretty::program(&parsed);
+        let reparsed = flix_lang::parse(&printed).expect("printed output parses");
+        prop_assert_eq!(&printed, &flix_lang::pretty::program(&reparsed));
+
+        let original = Solver::new()
+            .solve(&flix_lang::compile(&src).expect("compiles"))
+            .expect("solves");
+        let reprinted = Solver::new()
+            .solve(&flix_lang::compile(&printed).expect("compiles"))
+            .expect("solves");
+        prop_assert_eq!(paths(&original), paths(&reprinted));
+    }
+
+    /// Random integer arithmetic expressions evaluate like Rust's own
+    /// (wrapping) arithmetic: the interpreter as an oracle test.
+    #[test]
+    fn interpreter_matches_rust_arithmetic(
+        a in -100i64..100,
+        b in 1i64..100,
+        c in -100i64..100,
+    ) {
+        let src = format!(
+            "def f(): Int = ({a} + {b}) * {c} - {a} / {b} + {a} % {b}"
+        );
+        let parsed = flix_lang::parse(&src).expect("parses");
+        let checked = std::sync::Arc::new(flix_lang::check(&parsed).expect("checks"));
+        let interp = flix_lang::Interpreter::new(checked);
+        let expected = (a.wrapping_add(b))
+            .wrapping_mul(c)
+            .wrapping_sub(a.wrapping_div(b))
+            .wrapping_add(a.wrapping_rem(b));
+        prop_assert_eq!(interp.call("f", &[]), flix_core::Value::Int(expected));
+    }
+}

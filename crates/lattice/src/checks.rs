@@ -1,0 +1,358 @@
+//! Lattice-law and monotonicity checkers.
+//!
+//! §7 of the paper ("Safety") observes that "a FLIX programmer may
+//! inadvertently violate one or more of the required properties when
+//! specifying a lattice or function" and proposes verification. This module
+//! is that verification for the Rust embedding: given an enumeration of a
+//! finite lattice (or a finite sample of an infinite one), it checks the
+//! complete-lattice laws and the strictness/monotonicity obligations on
+//! transfer and filter functions.
+//!
+//! Two flavours are provided: `check_*` functions return a
+//! [`LawViolation`] describing the first failure, and `assert_*` wrappers
+//! panic with that description (convenient in tests).
+
+use crate::Lattice;
+use std::fmt;
+
+/// A violated lattice or function law, with the witnessing elements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LawViolation {
+    /// `leq` is not reflexive at the element.
+    NotReflexive(String),
+    /// `leq` is not antisymmetric at the pair.
+    NotAntisymmetric(String, String),
+    /// `leq` is not transitive at the triple.
+    NotTransitive(String, String, String),
+    /// `bottom()` is not below the element.
+    BottomNotLeast(String),
+    /// `lub` is not an upper bound of the pair.
+    LubNotUpperBound(String, String),
+    /// `lub` is not the *least* upper bound: the third element is a
+    /// strictly smaller upper bound.
+    LubNotLeast(String, String, String),
+    /// `glb` is not a lower bound of the pair.
+    GlbNotLowerBound(String, String),
+    /// `glb` is not the *greatest* lower bound: the third element is a
+    /// strictly larger lower bound.
+    GlbNotGreatest(String, String, String),
+    /// A function is not monotone: inputs ordered, outputs not.
+    NotMonotone(String, String),
+    /// A function is not strict: bottom input, non-bottom output.
+    NotStrict(String),
+}
+
+impl fmt::Display for LawViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use LawViolation::*;
+        match self {
+            NotReflexive(a) => write!(f, "leq not reflexive at {a}"),
+            NotAntisymmetric(a, b) => write!(f, "leq not antisymmetric at {a}, {b}"),
+            NotTransitive(a, b, c) => write!(f, "leq not transitive at {a} ⊑ {b} ⊑ {c}"),
+            BottomNotLeast(a) => write!(f, "bottom is not below {a}"),
+            LubNotUpperBound(a, b) => write!(f, "lub({a}, {b}) is not an upper bound"),
+            LubNotLeast(a, b, u) => {
+                write!(
+                    f,
+                    "lub({a}, {b}) is not least: {u} is a smaller upper bound"
+                )
+            }
+            GlbNotLowerBound(a, b) => write!(f, "glb({a}, {b}) is not a lower bound"),
+            GlbNotGreatest(a, b, l) => {
+                write!(
+                    f,
+                    "glb({a}, {b}) is not greatest: {l} is a larger lower bound"
+                )
+            }
+            NotMonotone(x, y) => write!(f, "function not monotone on inputs {x} ⊑ {y}"),
+            NotStrict(x) => write!(f, "function not strict on bottom input {x}"),
+        }
+    }
+}
+
+impl std::error::Error for LawViolation {}
+
+/// Checks the complete-lattice laws over the given elements.
+///
+/// When `elems` enumerates a finite lattice (e.g. via
+/// [`FiniteLattice::elements`](crate::FiniteLattice::elements)) this is an
+/// exhaustive proof; when it is a sample of an infinite lattice it is a
+/// refutation search. The least-upper-bound and greatest-lower-bound
+/// properties are checked *relative to the sample*: `lub(a, b)` must be
+/// below every sampled upper bound, and symmetrically for `glb`.
+///
+/// Runs in `O(n^3)` comparisons.
+///
+/// # Errors
+///
+/// Returns the first [`LawViolation`] found, if any.
+pub fn check_lattice_laws<L: Lattice + fmt::Debug>(elems: &[L]) -> Result<(), LawViolation> {
+    let d = |x: &L| format!("{x:?}");
+    let bot = L::bottom();
+    for a in elems {
+        if !a.leq(a) {
+            return Err(LawViolation::NotReflexive(d(a)));
+        }
+        if !bot.leq(a) {
+            return Err(LawViolation::BottomNotLeast(d(a)));
+        }
+    }
+    for a in elems {
+        for b in elems {
+            if a.leq(b) && b.leq(a) && a != b {
+                return Err(LawViolation::NotAntisymmetric(d(a), d(b)));
+            }
+            let j = a.lub(b);
+            if !a.leq(&j) || !b.leq(&j) {
+                return Err(LawViolation::LubNotUpperBound(d(a), d(b)));
+            }
+            let m = a.glb(b);
+            if !m.leq(a) || !m.leq(b) {
+                return Err(LawViolation::GlbNotLowerBound(d(a), d(b)));
+            }
+            for c in elems {
+                if a.leq(b) && b.leq(c) && !a.leq(c) {
+                    return Err(LawViolation::NotTransitive(d(a), d(b), d(c)));
+                }
+                // Any sampled upper bound of {a, b} must dominate the lub.
+                if a.leq(c) && b.leq(c) && !j.leq(c) {
+                    return Err(LawViolation::LubNotLeast(d(a), d(b), d(c)));
+                }
+                // Any sampled lower bound of {a, b} must be below the glb.
+                if c.leq(a) && c.leq(b) && !c.leq(&m) {
+                    return Err(LawViolation::GlbNotGreatest(d(a), d(b), d(c)));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper around [`check_lattice_laws`], for use in tests.
+///
+/// # Panics
+///
+/// Panics with a description of the first violated law.
+pub fn assert_lattice_laws<L: Lattice + fmt::Debug>(elems: &[L]) {
+    if let Err(v) = check_lattice_laws(elems) {
+        panic!("lattice law violated: {v}");
+    }
+}
+
+/// Checks that an `n`-ary function is monotone in every argument
+/// separately, over all argument vectors drawn from `elems`.
+///
+/// The paper (§3.3) requires transfer functions to be "order-preserving";
+/// argument-wise monotonicity over a finite lattice implies joint
+/// monotonicity, and is what we can check in `O(n^(arity+1))`.
+///
+/// # Errors
+///
+/// Returns [`LawViolation::NotMonotone`] with the witnessing inputs.
+pub fn check_monotone<L, M, F>(elems: &[L], arity: usize, f: F) -> Result<(), LawViolation>
+where
+    L: Lattice + fmt::Debug,
+    M: Lattice + fmt::Debug,
+    F: Fn(&[L]) -> M,
+{
+    let mut args = vec![L::bottom(); arity];
+    check_monotone_rec(elems, &f, &mut args, 0)
+}
+
+fn check_monotone_rec<L, M, F>(
+    elems: &[L],
+    f: &F,
+    args: &mut Vec<L>,
+    pos: usize,
+) -> Result<(), LawViolation>
+where
+    L: Lattice + fmt::Debug,
+    M: Lattice + fmt::Debug,
+    F: Fn(&[L]) -> M,
+{
+    if pos == args.len() {
+        // For every argument position, bump it to every larger element and
+        // require the output not to decrease.
+        let base = f(args);
+        for i in 0..args.len() {
+            let orig = args[i].clone();
+            for e in elems {
+                if orig.leq(e) {
+                    args[i] = e.clone();
+                    let bumped = f(args);
+                    if !base.leq(&bumped) {
+                        let witness_lo = format!("{:?} (arg {} = {:?})", args, i, orig);
+                        let witness_hi = format!("{args:?}");
+                        args[i] = orig;
+                        return Err(LawViolation::NotMonotone(witness_lo, witness_hi));
+                    }
+                }
+            }
+            args[i] = orig;
+        }
+        return Ok(());
+    }
+    for e in elems {
+        args[pos] = e.clone();
+        check_monotone_rec(elems, f, args, pos + 1)?;
+    }
+    Ok(())
+}
+
+/// Checks that an `n`-ary function is strict: whenever *any* argument is
+/// `⊥`, the result is `⊥` (§3.3: "strictness ensures that when a function
+/// is applied to ⊥ it returns ⊥").
+///
+/// # Errors
+///
+/// Returns [`LawViolation::NotStrict`] with the witnessing input vector.
+pub fn check_strict<L, M, F>(elems: &[L], arity: usize, f: F) -> Result<(), LawViolation>
+where
+    L: Lattice + fmt::Debug,
+    M: Lattice + fmt::Debug,
+    F: Fn(&[L]) -> M,
+{
+    let mut args = vec![L::bottom(); arity];
+    check_strict_rec(elems, &f, &mut args, 0)
+}
+
+fn check_strict_rec<L, M, F>(
+    elems: &[L],
+    f: &F,
+    args: &mut Vec<L>,
+    pos: usize,
+) -> Result<(), LawViolation>
+where
+    L: Lattice + fmt::Debug,
+    M: Lattice + fmt::Debug,
+    F: Fn(&[L]) -> M,
+{
+    if pos == args.len() {
+        if args.iter().any(Lattice::is_bottom) && !f(args).is_bottom() {
+            return Err(LawViolation::NotStrict(format!("{args:?}")));
+        }
+        return Ok(());
+    }
+    for e in elems {
+        args[pos] = e.clone();
+        check_strict_rec(elems, f, args, pos + 1)?;
+    }
+    Ok(())
+}
+
+/// Asserts that a binary function is monotone in both arguments.
+///
+/// # Panics
+///
+/// Panics with the witnessing inputs if monotonicity fails.
+pub fn assert_monotone_binary<L, M>(elems: &[L], f: impl Fn(&[L]) -> M)
+where
+    L: Lattice + fmt::Debug,
+    M: Lattice + fmt::Debug,
+{
+    if let Err(v) = check_monotone(elems, 2, f) {
+        panic!("monotonicity violated: {v}");
+    }
+}
+
+/// Asserts that a unary function is monotone.
+///
+/// # Panics
+///
+/// Panics with the witnessing inputs if monotonicity fails.
+pub fn assert_monotone_unary<L, M>(elems: &[L], f: impl Fn(&L) -> M)
+where
+    L: Lattice + fmt::Debug,
+    M: Lattice + fmt::Debug,
+{
+    if let Err(v) = check_monotone(elems, 1, |args: &[L]| f(&args[0])) {
+        panic!("monotonicity violated: {v}");
+    }
+}
+
+/// Asserts that a binary function is strict.
+///
+/// # Panics
+///
+/// Panics with the witnessing inputs if strictness fails.
+pub fn assert_strict_binary<L, M>(elems: &[L], f: impl Fn(&[L]) -> M)
+where
+    L: Lattice + fmt::Debug,
+    M: Lattice + fmt::Debug,
+{
+    if let Err(v) = check_strict(elems, 2, f) {
+        panic!("strictness violated: {v}");
+    }
+}
+
+/// Asserts that a boolean-valued filter function is monotone over
+/// `false < true` (§3.3).
+///
+/// # Panics
+///
+/// Panics with the witnessing inputs if monotonicity fails.
+pub fn assert_monotone_filter<L>(elems: &[L], f: impl Fn(&L) -> bool)
+where
+    L: Lattice + fmt::Debug,
+{
+    assert_monotone_unary(elems, |e| crate::BoolLat(f(e)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BoolLat, FiniteLattice, Parity};
+
+    /// A deliberately broken "lattice" whose lub is not an upper bound.
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct Broken(u8);
+
+    impl Lattice for Broken {
+        fn bottom() -> Self {
+            Broken(0)
+        }
+        fn leq(&self, other: &Self) -> bool {
+            self.0 <= other.0
+        }
+        fn lub(&self, other: &Self) -> Self {
+            // Wrong on purpose: min instead of max.
+            Broken(self.0.min(other.0))
+        }
+        fn glb(&self, other: &Self) -> Self {
+            Broken(self.0.min(other.0))
+        }
+    }
+
+    #[test]
+    fn broken_lattice_is_caught() {
+        let elems = [Broken(0), Broken(1), Broken(2)];
+        let err = check_lattice_laws(&elems).expect_err("must be rejected");
+        assert!(matches!(err, LawViolation::LubNotUpperBound(_, _)));
+    }
+
+    #[test]
+    fn non_monotone_function_is_caught() {
+        // Negation on the boolean lattice is the canonical non-monotone map.
+        let err = check_monotone(&BoolLat::elements(), 1, |a: &[BoolLat]| BoolLat(!a[0].0))
+            .expect_err("negation is not monotone");
+        assert!(matches!(err, LawViolation::NotMonotone(_, _)));
+    }
+
+    #[test]
+    fn non_strict_function_is_caught() {
+        let err = check_strict(&Parity::elements(), 1, |_: &[Parity]| Parity::Top)
+            .expect_err("constant Top is not strict");
+        assert!(matches!(err, LawViolation::NotStrict(_)));
+    }
+
+    #[test]
+    fn violations_display() {
+        let v = LawViolation::NotReflexive("x".into());
+        assert!(v.to_string().contains("reflexive"));
+    }
+
+    #[test]
+    fn good_lattice_passes() {
+        check_lattice_laws(&Parity::elements()).expect("parity is a lattice");
+    }
+}

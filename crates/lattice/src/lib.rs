@@ -1,0 +1,62 @@
+//! Complete lattices for the flix-rs fixed-point engine.
+//!
+//! This crate is the lattice-theory substrate of the FLIX reproduction
+//! (Madsen, Yee, Lhoták: *From Datalog to FLIX*, PLDI 2016). A FLIX program
+//! associates every `lat` predicate with a complete lattice
+//! `(E, ⊥, ⊤, ⊑, ⊔, ⊓)` and requires transfer functions on lattice elements
+//! to be strict and monotone. This crate provides:
+//!
+//! * the [`Lattice`] and [`HasTop`] traits describing that 6-tuple,
+//! * the standard abstract domains used throughout the paper — [`Parity`],
+//!   [`Sign`], constant propagation ([`Constant`]), [`Interval`]s, the
+//!   Strong Update lattice [`SuLattice`], the min-cost lattice [`MinCost`]
+//!   for shortest paths, and the IDE micro-function lattice [`Transformer`],
+//! * lattice *combinators* — [`Flat`], [`Lifted`], [`Dual`], products,
+//!   [`PowerSet`], and [`MapLattice`] (the direct product machinery of
+//!   §3.4 of the paper),
+//! * and the law checkers of the [`checks`] module, which implement the
+//!   "Safety" verification sketched in §7 of the paper: exhaustive
+//!   complete-lattice law checking for finite lattices and monotonicity /
+//!   strictness checking for transfer and filter functions.
+//!
+//! # Example
+//!
+//! ```
+//! use flix_lattice::{Lattice, HasTop, Parity};
+//!
+//! let even = Parity::Even;
+//! let odd = Parity::Odd;
+//! assert_eq!(even.lub(&odd), Parity::Top);
+//! assert_eq!(even.glb(&odd), Parity::Bot);
+//! assert!(Parity::Bot.leq(&even) && even.leq(&Parity::top()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+mod constant;
+mod interval;
+mod map;
+mod mincost;
+mod parity;
+mod powerset;
+mod product;
+mod sign;
+mod su;
+mod traits;
+mod transformer;
+mod wrappers;
+
+pub use constant::{Constant, Flat};
+pub use interval::Interval;
+pub use map::MapLattice;
+pub use mincost::MinCost;
+pub use parity::Parity;
+pub use powerset::PowerSet;
+pub use product::{Pair, Triple};
+pub use sign::Sign;
+pub use su::SuLattice;
+pub use traits::{FiniteLattice, HasTop, Lattice};
+pub use transformer::Transformer;
+pub use wrappers::{BoolLat, Dual, Lifted};

@@ -1,0 +1,225 @@
+//! The map lattice.
+
+use crate::Lattice;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// The map lattice from keys `K` to a lattice `L`, ordered pointwise.
+///
+/// Absent keys denote `⊥`, so the representation is always *compact*: it
+/// stores only the non-bottom cells. §3.2 of the paper observes that "the
+/// `IntVar` lattice is the map lattice from strings to elements of the
+/// parity lattice" — a `lat` predicate of arity *n* denotes exactly this
+/// structure with (n−1)-tuple keys, and the engine's database mirrors it.
+///
+/// `MapLattice` has no representable `⊤` unless the key universe is finite,
+/// so it implements [`Lattice`] but not [`HasTop`](crate::HasTop).
+///
+/// # Example
+///
+/// ```
+/// use flix_lattice::{Lattice, MapLattice, Parity};
+///
+/// let mut a = MapLattice::new();
+/// a.join_at("x", Parity::Even);
+/// let mut b = MapLattice::new();
+/// b.join_at("x", Parity::Odd);
+/// b.join_at("y", Parity::Even);
+///
+/// let joined = a.lub(&b);
+/// assert_eq!(joined.get(&"x"), Parity::Top);
+/// assert_eq!(joined.get(&"y"), Parity::Even);
+/// assert_eq!(joined.get(&"z"), Parity::Bot); // absent = bottom
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MapLattice<K: Ord, L> {
+    entries: BTreeMap<K, L>,
+}
+
+impl<K: Ord + Clone + Hash + fmt::Debug, L: Lattice> MapLattice<K, L> {
+    /// Creates the empty map, which is the bottom element.
+    pub fn new() -> Self {
+        MapLattice {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Returns the value at `key` (`⊥` when absent).
+    pub fn get(&self, key: &K) -> L {
+        self.entries.get(key).cloned().unwrap_or_else(L::bottom)
+    }
+
+    /// Joins `value` into the cell at `key`, returning `true` if the cell
+    /// strictly increased.
+    ///
+    /// This is the per-cell lub compaction step of the FLIX immediate
+    /// consequence operator (§3.2 step 4): the map never stores two
+    /// comparable values for one key.
+    pub fn join_at(&mut self, key: K, value: L) -> bool {
+        if value.is_bottom() {
+            return false;
+        }
+        match self.entries.get_mut(&key) {
+            Some(old) => {
+                let joined = old.lub(&value);
+                if joined == *old {
+                    false
+                } else {
+                    *old = joined;
+                    true
+                }
+            }
+            None => {
+                self.entries.insert(key, value);
+                true
+            }
+        }
+    }
+
+    /// Iterates the non-bottom cells in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &L)> {
+        self.entries.iter()
+    }
+
+    /// Returns the number of non-bottom cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if every cell is bottom.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<K, L> Lattice for MapLattice<K, L>
+where
+    K: Ord + Clone + Hash + fmt::Debug,
+    L: Lattice,
+{
+    fn bottom() -> Self {
+        MapLattice::new()
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.entries.iter().all(|(k, v)| v.leq(&other.get(k)))
+    }
+
+    fn lub(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (k, v) in &other.entries {
+            out.join_at(k.clone(), v.clone());
+        }
+        out
+    }
+
+    fn glb(&self, other: &Self) -> Self {
+        let mut entries = BTreeMap::new();
+        for (k, v) in &self.entries {
+            let met = v.glb(&other.get(k));
+            if !met.is_bottom() {
+                entries.insert(k.clone(), met);
+            }
+        }
+        MapLattice { entries }
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+impl<K: Ord + Clone + Hash + fmt::Debug, L: Lattice> FromIterator<(K, L)> for MapLattice<K, L> {
+    fn from_iter<I: IntoIterator<Item = (K, L)>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for (k, v) in iter {
+            out.join_at(k, v);
+        }
+        out
+    }
+}
+
+impl<K: Ord + Clone + Hash + fmt::Debug, L: Lattice> Extend<(K, L)> for MapLattice<K, L> {
+    fn extend<I: IntoIterator<Item = (K, L)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.join_at(k, v);
+        }
+    }
+}
+
+impl<K: Ord + fmt::Display, L: fmt::Display> fmt::Display for MapLattice<K, L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k} ↦ {v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{checks, Parity};
+
+    type M = MapLattice<u8, Parity>;
+
+    fn sample() -> Vec<M> {
+        let ps = [Parity::Bot, Parity::Even, Parity::Odd, Parity::Top];
+        let mut out = Vec::new();
+        for a in ps {
+            for b in ps {
+                out.push(M::from_iter([(0u8, a), (1u8, b)]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lattice_laws_on_two_key_maps() {
+        checks::assert_lattice_laws(&sample());
+    }
+
+    #[test]
+    fn absent_keys_are_bottom() {
+        let m = M::new();
+        assert_eq!(m.get(&42), Parity::Bot);
+        assert!(m.is_bottom());
+    }
+
+    #[test]
+    fn join_at_reports_strict_increase() {
+        let mut m = M::new();
+        assert!(m.join_at(0, Parity::Even));
+        assert!(!m.join_at(0, Parity::Even)); // no change
+        assert!(!m.join_at(0, Parity::Bot)); // bottom never changes a cell
+        assert!(m.join_at(0, Parity::Odd)); // Even ⊔ Odd = Top, strict
+        assert_eq!(m.get(&0), Parity::Top);
+    }
+
+    #[test]
+    fn compactness_bottom_cells_are_dropped() {
+        let m = M::from_iter([(0u8, Parity::Bot), (1u8, Parity::Even)]);
+        assert_eq!(m.len(), 1);
+        let met = m.glb(&M::from_iter([(1u8, Parity::Odd)]));
+        assert!(met.is_empty(), "Even ⊓ Odd = ⊥ must leave no cell");
+    }
+
+    #[test]
+    fn pointwise_order() {
+        let lo = M::from_iter([(0u8, Parity::Even)]);
+        let hi = M::from_iter([(0u8, Parity::Top), (1u8, Parity::Odd)]);
+        assert!(lo.leq(&hi));
+        assert!(!hi.leq(&lo));
+    }
+
+    #[test]
+    fn display_shows_cells() {
+        let m = MapLattice::from_iter([("x", Parity::Even)]);
+        assert_eq!(m.to_string(), "{x ↦ Even}");
+    }
+}

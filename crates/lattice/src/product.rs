@@ -1,0 +1,152 @@
+//! Direct products of lattices (§3.4 of the paper).
+
+use crate::{FiniteLattice, HasTop, Lattice};
+use std::fmt;
+
+/// The direct product of two lattices, ordered componentwise.
+///
+/// §3.4: "FLIX provides the direct product automatically, but the reduced
+/// and logical products must be implemented manually." `Pair` is the
+/// building block: running a sign analysis and a parity analysis over
+/// `Pair<Sign, Parity>` is exactly the direct product combination the paper
+/// describes (where the element `(Zer, Odd)` is representable even though
+/// no concrete value inhabits it — the hallmark of a *non-reduced* product).
+///
+/// A reduced product can be layered on top by normalising such empty
+/// elements to `(⊥, ⊥)` in user transfer functions.
+///
+/// # Example
+///
+/// ```
+/// use flix_lattice::{Lattice, Pair, Parity, Sign};
+///
+/// let a = Pair(Sign::Pos, Parity::Even);
+/// let b = Pair(Sign::Neg, Parity::Even);
+/// assert_eq!(a.lub(&b), Pair(Sign::Top, Parity::Even));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Pair<A, B>(pub A, pub B);
+
+impl<A: Lattice, B: Lattice> Lattice for Pair<A, B> {
+    fn bottom() -> Self {
+        Pair(A::bottom(), B::bottom())
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.leq(&other.0) && self.1.leq(&other.1)
+    }
+
+    fn lub(&self, other: &Self) -> Self {
+        Pair(self.0.lub(&other.0), self.1.lub(&other.1))
+    }
+
+    fn glb(&self, other: &Self) -> Self {
+        Pair(self.0.glb(&other.0), self.1.glb(&other.1))
+    }
+}
+
+impl<A: HasTop, B: HasTop> HasTop for Pair<A, B> {
+    fn top() -> Self {
+        Pair(A::top(), B::top())
+    }
+}
+
+impl<A: FiniteLattice, B: FiniteLattice> FiniteLattice for Pair<A, B> {
+    fn elements() -> Vec<Self> {
+        let bs = B::elements();
+        A::elements()
+            .into_iter()
+            .flat_map(|a| bs.iter().map(move |b| Pair(a.clone(), b.clone())))
+            .collect()
+    }
+}
+
+impl<A: fmt::Display, B: fmt::Display> fmt::Display for Pair<A, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.0, self.1)
+    }
+}
+
+/// The direct product of three lattices, ordered componentwise.
+///
+/// Provided as a convenience; deeper products nest [`Pair`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Triple<A, B, C>(pub A, pub B, pub C);
+
+impl<A: Lattice, B: Lattice, C: Lattice> Lattice for Triple<A, B, C> {
+    fn bottom() -> Self {
+        Triple(A::bottom(), B::bottom(), C::bottom())
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        self.0.leq(&other.0) && self.1.leq(&other.1) && self.2.leq(&other.2)
+    }
+
+    fn lub(&self, other: &Self) -> Self {
+        Triple(
+            self.0.lub(&other.0),
+            self.1.lub(&other.1),
+            self.2.lub(&other.2),
+        )
+    }
+
+    fn glb(&self, other: &Self) -> Self {
+        Triple(
+            self.0.glb(&other.0),
+            self.1.glb(&other.1),
+            self.2.glb(&other.2),
+        )
+    }
+}
+
+impl<A: HasTop, B: HasTop, C: HasTop> HasTop for Triple<A, B, C> {
+    fn top() -> Self {
+        Triple(A::top(), B::top(), C::top())
+    }
+}
+
+impl<A, B, C> fmt::Display for Triple<A, B, C>
+where
+    A: fmt::Display,
+    B: fmt::Display,
+    C: fmt::Display,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.0, self.1, self.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{checks, BoolLat, Parity, Sign};
+
+    #[test]
+    fn pair_laws() {
+        checks::assert_lattice_laws(&<Pair<Parity, BoolLat>>::elements());
+    }
+
+    #[test]
+    fn pair_height_adds() {
+        // height(Pair) = height(A) + height(B) - 1.
+        assert_eq!(<Pair<Parity, BoolLat>>::height(), 3 + 2 - 1);
+    }
+
+    #[test]
+    fn direct_product_keeps_unreachable_elements() {
+        // (Zer, Odd) is representable despite being concretely empty —
+        // that is what makes this the *direct*, not *reduced*, product.
+        let weird = Pair(Sign::Zer, Parity::Odd);
+        assert!(Pair::<Sign, Parity>::bottom().leq(&weird));
+    }
+
+    #[test]
+    fn triple_componentwise() {
+        let a = Triple(Sign::Pos, Parity::Even, BoolLat(false));
+        let b = Triple(Sign::Pos, Parity::Odd, BoolLat(true));
+        assert_eq!(a.lub(&b), Triple(Sign::Pos, Parity::Top, BoolLat(true)));
+        assert_eq!(a.glb(&b), Triple(Sign::Pos, Parity::Bot, BoolLat(false)));
+        assert!(Triple::<Sign, Parity, BoolLat>::bottom().leq(&a));
+        assert!(a.leq(&Triple::<Sign, Parity, BoolLat>::top()));
+    }
+}

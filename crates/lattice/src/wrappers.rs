@@ -1,0 +1,211 @@
+//! Lattice wrappers and small structural combinators.
+
+use crate::{FiniteLattice, HasTop, Lattice};
+use std::fmt;
+
+/// The two-point boolean lattice with `false ⊑ true`.
+///
+/// §3.3 of the paper: "a monotone filter function is a function from one or
+/// more lattice elements to true or false, and is monotone when the
+/// booleans are ordered `false < true`". This wrapper makes that ordering a
+/// first-class lattice so filter functions can be law-checked like any
+/// other monotone function.
+///
+/// # Example
+///
+/// ```
+/// use flix_lattice::{BoolLat, Lattice};
+///
+/// assert!(BoolLat(false).leq(&BoolLat(true)));
+/// assert_eq!(BoolLat(false).lub(&BoolLat(true)), BoolLat(true));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Default)]
+pub struct BoolLat(pub bool);
+
+impl Lattice for BoolLat {
+    fn bottom() -> Self {
+        BoolLat(false)
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        !self.0 || other.0
+    }
+
+    fn lub(&self, other: &Self) -> Self {
+        BoolLat(self.0 || other.0)
+    }
+
+    fn glb(&self, other: &Self) -> Self {
+        BoolLat(self.0 && other.0)
+    }
+}
+
+impl HasTop for BoolLat {
+    fn top() -> Self {
+        BoolLat(true)
+    }
+}
+
+impl FiniteLattice for BoolLat {
+    fn elements() -> Vec<Self> {
+        vec![BoolLat(false), BoolLat(true)]
+    }
+}
+
+impl fmt::Display for BoolLat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Adds a new distinct bottom element below an existing lattice.
+///
+/// `Lifted<L>` is the lattice `L` with a fresh `⊥` adjoined; the original
+/// bottom of `L` becomes the unique atom above it. Useful for
+/// distinguishing "unreachable" from "reachable with no information" in
+/// dataflow analyses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Lifted<L> {
+    /// The fresh least element.
+    #[default]
+    Bot,
+    /// An element of the underlying lattice.
+    Elem(L),
+}
+
+impl<L: Lattice> Lattice for Lifted<L> {
+    fn bottom() -> Self {
+        Lifted::Bot
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Lifted::Bot, _) => true,
+            (_, Lifted::Bot) => false,
+            (Lifted::Elem(a), Lifted::Elem(b)) => a.leq(b),
+        }
+    }
+
+    fn lub(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Lifted::Bot, x) | (x, Lifted::Bot) => x.clone(),
+            (Lifted::Elem(a), Lifted::Elem(b)) => Lifted::Elem(a.lub(b)),
+        }
+    }
+
+    fn glb(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Lifted::Bot, _) | (_, Lifted::Bot) => Lifted::Bot,
+            (Lifted::Elem(a), Lifted::Elem(b)) => Lifted::Elem(a.glb(b)),
+        }
+    }
+}
+
+impl<L: HasTop> HasTop for Lifted<L> {
+    fn top() -> Self {
+        Lifted::Elem(L::top())
+    }
+}
+
+impl<L: FiniteLattice> FiniteLattice for Lifted<L> {
+    fn elements() -> Vec<Self> {
+        let mut v = vec![Lifted::Bot];
+        v.extend(L::elements().into_iter().map(Lifted::Elem));
+        v
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for Lifted<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lifted::Bot => f.write_str("⊥⊥"),
+            Lifted::Elem(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The order dual of a lattice: `⊑` flipped, `⊔` and `⊓` swapped,
+/// `⊥` and `⊤` exchanged.
+///
+/// A greatest-fixed-point problem on `L` is a least-fixed-point problem on
+/// `Dual<L>`, so the FLIX engine — which computes least fixed points only —
+/// can solve "must" analyses through this wrapper.
+///
+/// `Dual` requires `HasTop` because the dual's bottom is the original top.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Dual<L>(pub L);
+
+impl<L: HasTop> Lattice for Dual<L> {
+    fn bottom() -> Self {
+        Dual(L::top())
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        other.0.leq(&self.0)
+    }
+
+    fn lub(&self, other: &Self) -> Self {
+        Dual(self.0.glb(&other.0))
+    }
+
+    fn glb(&self, other: &Self) -> Self {
+        Dual(self.0.lub(&other.0))
+    }
+}
+
+impl<L: HasTop> HasTop for Dual<L> {
+    fn top() -> Self {
+        Dual(L::bottom())
+    }
+}
+
+impl<L: FiniteLattice + HasTop> FiniteLattice for Dual<L> {
+    fn elements() -> Vec<Self> {
+        L::elements().into_iter().map(Dual).collect()
+    }
+}
+
+impl<L: fmt::Display> fmt::Display for Dual<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "δ{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{checks, Parity};
+
+    #[test]
+    fn bool_lattice_laws() {
+        checks::assert_lattice_laws(&BoolLat::elements());
+        assert_eq!(BoolLat::height(), 2);
+    }
+
+    #[test]
+    fn lifted_parity_laws() {
+        checks::assert_lattice_laws(&<Lifted<Parity>>::elements());
+        assert_eq!(<Lifted<Parity>>::height(), 4);
+    }
+
+    #[test]
+    fn lifted_bot_below_inner_bot() {
+        assert!(Lifted::Bot.leq(&Lifted::Elem(Parity::Bot)));
+        assert!(!Lifted::Elem(Parity::Bot).leq(&Lifted::<Parity>::Bot));
+    }
+
+    #[test]
+    fn dual_parity_laws() {
+        checks::assert_lattice_laws(&<Dual<Parity>>::elements());
+    }
+
+    #[test]
+    fn dual_swaps_bounds() {
+        assert_eq!(<Dual<Parity>>::bottom(), Dual(Parity::Top));
+        assert_eq!(<Dual<Parity>>::top(), Dual(Parity::Bot));
+        assert_eq!(
+            Dual(Parity::Even).lub(&Dual(Parity::Odd)),
+            Dual(Parity::Bot)
+        );
+    }
+}

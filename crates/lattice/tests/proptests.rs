@@ -1,0 +1,214 @@
+//! Property-based tests for the lattice instances whose carriers are too
+//! large to enumerate: intervals, constants, min-costs, powersets, maps,
+//! and IDE micro-functions.
+
+use flix_lattice::{
+    Constant, Flat, Interval, Lattice, MapLattice, MinCost, Parity, PowerSet, SuLattice,
+    Transformer,
+};
+use proptest::prelude::*;
+
+fn arb_constant() -> impl Strategy<Value = Constant> {
+    prop_oneof![
+        Just(Flat::Bot),
+        Just(Flat::Top),
+        (-50i64..50).prop_map(Constant::cst),
+    ]
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    prop_oneof![
+        Just(Interval::Bot),
+        (-100i64..100, 0i64..100).prop_map(|(lo, len)| Interval::of(lo, lo + len)),
+    ]
+}
+
+fn arb_mincost() -> impl Strategy<Value = MinCost> {
+    prop_oneof![
+        Just(MinCost::INFINITY),
+        (0u64..1000).prop_map(MinCost::finite)
+    ]
+}
+
+fn arb_powerset() -> impl Strategy<Value = PowerSet<u8>> {
+    prop_oneof![
+        Just(PowerSet::Univ),
+        proptest::collection::btree_set(0u8..10, 0..6)
+            .prop_map(|s| s.into_iter().collect::<PowerSet<u8>>()),
+    ]
+}
+
+fn arb_parity() -> impl Strategy<Value = Parity> {
+    prop_oneof![
+        Just(Parity::Bot),
+        Just(Parity::Even),
+        Just(Parity::Odd),
+        Just(Parity::Top)
+    ]
+}
+
+fn arb_map() -> impl Strategy<Value = MapLattice<u8, Parity>> {
+    proptest::collection::vec((0u8..5, arb_parity()), 0..8).prop_map(MapLattice::from_iter)
+}
+
+fn arb_su() -> impl Strategy<Value = SuLattice> {
+    prop_oneof![
+        Just(SuLattice::Bottom),
+        Just(SuLattice::Top),
+        (0u8..6).prop_map(|i| SuLattice::single(format!("obj{i}"))),
+    ]
+}
+
+fn arb_transformer() -> impl Strategy<Value = Transformer> {
+    prop_oneof![
+        Just(Transformer::Bot),
+        Just(Transformer::top_transformer()),
+        (-5i64..5, -5i64..5, arb_constant()).prop_map(|(a, b, c)| Transformer::non_bot(a, b, c)),
+    ]
+}
+
+/// Generates the core lattice-law properties for a given strategy.
+macro_rules! lattice_props {
+    ($modname:ident, $strat:expr, $ty:ty) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn lub_commutes(a in $strat, b in $strat) {
+                    prop_assert_eq!(a.lub(&b), b.lub(&a));
+                }
+
+                #[test]
+                fn lub_is_idempotent(a in $strat) {
+                    prop_assert_eq!(a.lub(&a), a);
+                }
+
+                #[test]
+                fn lub_associates(a in $strat, b in $strat, c in $strat) {
+                    prop_assert_eq!(a.lub(&b).lub(&c), a.lub(&b.lub(&c)));
+                }
+
+                #[test]
+                fn lub_is_upper_bound(a in $strat, b in $strat) {
+                    let j = a.lub(&b);
+                    prop_assert!(a.leq(&j) && b.leq(&j));
+                }
+
+                #[test]
+                fn glb_is_lower_bound(a in $strat, b in $strat) {
+                    let m = a.glb(&b);
+                    prop_assert!(m.leq(&a) && m.leq(&b));
+                }
+
+                #[test]
+                fn bottom_is_least(a in $strat) {
+                    prop_assert!(<$ty as Lattice>::bottom().leq(&a));
+                }
+
+                #[test]
+                fn leq_antisymmetric(a in $strat, b in $strat) {
+                    if a.leq(&b) && b.leq(&a) {
+                        prop_assert_eq!(a, b);
+                    }
+                }
+
+                #[test]
+                fn leq_transitive(a in $strat, b in $strat, c in $strat) {
+                    if a.leq(&b) && b.leq(&c) {
+                        prop_assert!(a.leq(&c));
+                    }
+                }
+
+                #[test]
+                fn absorption(a in $strat, b in $strat) {
+                    prop_assert_eq!(a.lub(&a.glb(&b)), a.clone());
+                    prop_assert_eq!(a.glb(&a.lub(&b)), a);
+                }
+            }
+        }
+    };
+}
+
+lattice_props!(constant_laws, arb_constant(), Constant);
+lattice_props!(interval_laws, arb_interval(), Interval);
+lattice_props!(mincost_laws, arb_mincost(), MinCost);
+lattice_props!(powerset_laws, arb_powerset(), PowerSet<u8>);
+lattice_props!(map_laws, arb_map(), MapLattice<u8, Parity>);
+lattice_props!(su_laws, arb_su(), SuLattice);
+lattice_props!(transformer_laws, arb_transformer(), Transformer);
+
+proptest! {
+    /// Interval arithmetic is sound: γ(a) + γ(b) ⊆ γ(a.sum(b)), etc.
+    #[test]
+    fn interval_sum_sound(a in -50i64..50, b in -50i64..50, wa in 0i64..5, wb in 0i64..5) {
+        let ia = Interval::of(a, a + wa);
+        let ib = Interval::of(b, b + wb);
+        for x in a..=a + wa {
+            for y in b..=b + wb {
+                prop_assert!(ia.sum(&ib).contains(x + y));
+                prop_assert!(ia.product(&ib).contains(x * y));
+            }
+        }
+    }
+
+    /// Constant propagation arithmetic agrees with concrete arithmetic.
+    #[test]
+    fn constant_arith_exact(a in -100i64..100, b in -100i64..100) {
+        prop_assert_eq!(Constant::cst(a).sum(&Constant::cst(b)), Constant::cst(a + b));
+        prop_assert_eq!(Constant::cst(a).product(&Constant::cst(b)), Constant::cst(a * b));
+    }
+
+    /// Transformer composition is pointwise function composition.
+    #[test]
+    fn transformer_comp_pointwise(
+        f in arb_transformer(),
+        g in arb_transformer(),
+        l in arb_constant(),
+    ) {
+        let h = Transformer::comp(&f, &g);
+        prop_assert_eq!(h.apply(&l), g.apply(&f.apply(&l)));
+    }
+
+    /// Transformer lub is a sound pointwise upper bound.
+    #[test]
+    fn transformer_lub_pointwise_sound(
+        f in arb_transformer(),
+        g in arb_transformer(),
+        l in arb_constant(),
+    ) {
+        let j = f.lub(&g);
+        prop_assert!(f.apply(&l).lub(&g.apply(&l)).leq(&j.apply(&l)));
+    }
+
+    /// Transformer leq is pointwise sound.
+    #[test]
+    fn transformer_leq_pointwise_sound(
+        f in arb_transformer(),
+        g in arb_transformer(),
+        l in arb_constant(),
+    ) {
+        if f.leq(&g) {
+            prop_assert!(f.apply(&l).leq(&g.apply(&l)));
+        }
+    }
+
+    /// MinCost::add is commutative, associative, and monotone.
+    #[test]
+    fn mincost_add_algebra(a in arb_mincost(), b in arb_mincost(), c in arb_mincost()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        if a.leq(&b) {
+            prop_assert!(a.add(&c).leq(&b.add(&c)));
+        }
+    }
+
+    /// Map lattice join-at agrees with lub of singleton maps.
+    #[test]
+    fn map_join_at_agrees_with_lub(k in 0u8..5, v in arb_parity(), m in arb_map()) {
+        let mut via_join = m.clone();
+        via_join.join_at(k, v);
+        let singleton = MapLattice::from_iter([(k, v)]);
+        prop_assert_eq!(via_join, m.lub(&singleton));
+    }
+}

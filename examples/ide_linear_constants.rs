@@ -1,0 +1,52 @@
+//! IFDS and IDE side by side — §4.2/§4.3 of the paper.
+//!
+//! Runs the declarative IFDS (Figure 5) and IDE (Figure 6) solvers on a
+//! small interprocedural program, demonstrating the paper's point that
+//! IDE is IFDS with one extra micro-function column: the IFDS result is
+//! the *reachability* projection of the IDE result, and IDE additionally
+//! reports the constant value of each variable.
+//!
+//! Run with `cargo run -p flix --example ide_linear_constants`.
+
+use flix::analyses::ide::{self, linear_constant::LinearConstant};
+use flix::analyses::ifds::{self, problems};
+use std::sync::Arc;
+
+fn main() {
+    let model = Arc::new(problems::two_proc_example());
+    println!(
+        "program: {} nodes, {} procedures, {} call sites",
+        model.graph.num_nodes,
+        model.graph.procs.len(),
+        model.graph.calls.len()
+    );
+
+    // IFDS: which variables may be tainted where?
+    let taint = Arc::new(problems::Taint::new(model.clone()));
+    let reachable = ifds::flix::solve(&model.graph, taint);
+    println!("\nIFDS taint facts (node, var):");
+    for &(n, d) in ifds::without_zero(&reachable).iter() {
+        println!("  node {n}: v{} tainted", d - 1);
+    }
+
+    // IDE: which constant value does each variable hold where?
+    let lcp = Arc::new(LinearConstant::new(model.clone()));
+    let values = ide::flix::solve(&model.graph, lcp);
+    println!("\nIDE linear constant propagation (node, var, value):");
+    for (&(n, d), v) in &values.values {
+        if d != ifds::ZERO {
+            println!("  node {n}: v{} = {v}", d - 1);
+        }
+    }
+
+    // The generalisation claim, checked: identity-decorated IDE computes
+    // exactly the IFDS reachable set.
+    let ide_as_ifds = ide::imperative::solve(
+        &model.graph,
+        &ide::IdentityIde(problems::Taint::new(model.clone())),
+    );
+    let ifds_imperative =
+        ifds::imperative::solve(&model.graph, &problems::Taint::new(model.clone()));
+    assert_eq!(ide_as_ifds.reachable(), ifds_imperative);
+    println!("\nIDE restricted to identity micro-functions == IFDS ✓");
+}

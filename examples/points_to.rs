@@ -1,0 +1,39 @@
+//! The Datalog points-to analysis of Figure 1 of the paper, run on the
+//! §2.1 Java fragment:
+//!
+//! ```java
+//! ClassA o1 = new ClassA() // object A
+//! ClassB o2 = new ClassB() // object B
+//! ClassB o3 = o2;
+//! o2.f = o1;
+//! Object r = o3.f; // Q: What is r?
+//! ```
+//!
+//! Run with `cargo run -p flix --example points_to`.
+
+use flix::analyses::points_to::{self, PointsToInput};
+
+fn main() {
+    let input = PointsToInput::section_2_1_example();
+    let result = points_to::analyze(&input);
+
+    println!("VarPointsTo:");
+    for (var, obj) in &result.var_points_to {
+        println!("  {var} -> {obj}");
+    }
+    println!("HeapPointsTo:");
+    for (obj, field, target) in &result.heap_points_to {
+        println!("  {obj}.{field} -> {target}");
+    }
+    println!();
+    println!(
+        "Q: what can r point to?  A: {}",
+        if result.may_point_to("r", "A") {
+            "object A"
+        } else {
+            "nothing!"
+        }
+    );
+    assert!(result.may_point_to("r", "A"));
+    assert!(!result.may_point_to("r", "B"));
+}

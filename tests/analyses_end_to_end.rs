@@ -1,0 +1,79 @@
+//! End-to-end integration of the §2 analyses and §4.4 shortest paths
+//! through the facade crate, plus the engine statistics the benchmark
+//! tables report.
+
+use flix::analyses::points_to::{self, PointsToInput};
+use flix::analyses::workloads::graphs;
+use flix::analyses::{dataflow, shortest_paths};
+use flix::lattice::Parity;
+
+#[test]
+fn section_2_1_points_to_question() {
+    let result = points_to::analyze(&PointsToInput::section_2_1_example());
+    assert!(result.may_point_to("r", "A"), "the paper's Q/A");
+    assert!(!result.may_point_to("r", "B"));
+}
+
+#[test]
+fn figure_2_division_by_zero_client() {
+    let result = dataflow::analyze(&dataflow::example_input());
+    assert_eq!(result.int_var["c"], Parity::Even);
+    assert!(result.arithmetic_errors.contains("d"));
+    assert!(!result.arithmetic_errors.contains("e"));
+}
+
+#[test]
+fn shortest_paths_match_dijkstra_on_larger_graphs() {
+    for seed in [1u64, 2] {
+        let graph = graphs::generate(60, 200, seed);
+        assert_eq!(
+            shortest_paths::single_source(&graph, 0),
+            graphs::dijkstra(&graph, 0),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn all_pairs_is_consistent_with_single_source() {
+    let graph = graphs::generate(15, 30, 5);
+    let apsp = shortest_paths::all_pairs(&graph);
+    for s in 0..graph.num_nodes {
+        let single = shortest_paths::single_source(&graph, s);
+        for (n, d) in single.iter().enumerate() {
+            assert_eq!(apsp.get(&(s, n as u32)), d.as_ref());
+        }
+    }
+}
+
+#[test]
+fn solver_statistics_are_populated() {
+    let program = points_to::build_program(&PointsToInput::section_2_1_example());
+    let solution = flix::Solver::new().solve(&program).expect("solves");
+    let stats = solution.stats();
+    assert!(stats.rounds >= 2, "at least seed + one delta round");
+    assert!(stats.rule_evaluations > 0);
+    assert!(stats.facts_derived > 0);
+    assert!(stats.facts_inserted >= stats.total_facts);
+    assert_eq!(stats.strata, 1, "Figure 1 has no negation");
+}
+
+#[test]
+fn semi_naive_does_less_work_than_naive() {
+    // The §3.7 efficiency claim, measured via the engine's own counters
+    // on a workload big enough to show it.
+    let graph = graphs::generate(40, 120, 9);
+    let program = shortest_paths::build_single_source(&graph, 0);
+    let semi = flix::Solver::new().solve(&program).expect("solves");
+    let naive = flix::Solver::new()
+        .strategy(flix::Strategy::Naive)
+        .solve(&program)
+        .expect("solves");
+    assert!(
+        semi.stats().facts_derived < naive.stats().facts_derived,
+        "semi-naive derived {} facts, naive {}",
+        semi.stats().facts_derived,
+        naive.stats().facts_derived
+    );
+    assert_eq!(semi.total_facts(), naive.total_facts());
+}

@@ -1,0 +1,193 @@
+//! Integration tests of the engine's declarative semantics through the
+//! facade crate: the worked examples of §3.2, compositionality (§3.4),
+//! and the direct product of analyses.
+
+use flix::core::model;
+use flix::core::ValueLattice;
+use flix::lattice::{MinCost, Pair, Parity, Sign};
+use flix::{
+    BodyItem, Head, HeadTerm, Lattice, LatticeOps, ProgramBuilder, Solver, Strategy, Term, Value,
+};
+
+fn parity(p: Parity) -> Value {
+    p.to_value()
+}
+
+/// §3.2, first worked example: A(Even). A(Odd). B(Odd). The minimal
+/// compact model is I6 = {A(⊤), B(Odd)} — the paper walks I1..I6.
+#[test]
+fn section_3_2_parity_example_reaches_interpretation_i6() {
+    let mut b = ProgramBuilder::new();
+    let a = b.lattice("A", 1, LatticeOps::of::<Parity>());
+    let bb = b.lattice("B", 1, LatticeOps::of::<Parity>());
+    b.fact(a, vec![parity(Parity::Even)]);
+    b.fact(a, vec![parity(Parity::Odd)]);
+    b.fact(bb, vec![parity(Parity::Odd)]);
+    let program = b.build().expect("valid");
+    let solution = Solver::new().solve(&program).expect("solves");
+
+    assert_eq!(solution.lattice_value("A", &[]), Some(parity(Parity::Top)));
+    assert_eq!(solution.lattice_value("B", &[]), Some(parity(Parity::Odd)));
+    assert!(model::is_model(&program, &solution));
+    assert!(model::is_locally_minimal(&program, &solution));
+}
+
+/// §3.2, second worked example, on the sign lattice: the minimal model is
+/// I4 = {A(1, Pos), A(2, ⊤)}.
+#[test]
+fn section_3_2_sign_example_reaches_interpretation_i4() {
+    let mut b = ProgramBuilder::new();
+    let a = b.lattice("A", 2, LatticeOps::of::<Sign>());
+    b.fact(a, vec![1.into(), Sign::Pos.to_value()]);
+    b.fact(a, vec![2.into(), Sign::Pos.to_value()]);
+    b.fact(a, vec![2.into(), Sign::Neg.to_value()]);
+    let program = b.build().expect("valid");
+    let solution = Solver::new().solve(&program).expect("solves");
+    assert_eq!(
+        solution.lattice_value("A", &[1.into()]),
+        Some(Sign::Pos.to_value())
+    );
+    assert_eq!(
+        solution.lattice_value("A", &[2.into()]),
+        Some(Sign::Top.to_value())
+    );
+    assert!(model::is_locally_minimal(&program, &solution));
+}
+
+/// §3.4 compositionality: the model of the union of two programs sharing
+/// predicates is computed by replaying both rule sets into one builder —
+/// here the paper's conditional-constant-propagation sketch, miniaturised:
+/// a reachability analysis and a parity analysis share `IsReachable`.
+#[test]
+fn section_3_4_composed_analyses_share_predicates() {
+    let build = |include_parity: bool, include_reach: bool| {
+        let mut b = ProgramBuilder::new();
+        let edge = b.relation("Edge", 2);
+        let reachable = b.relation("IsReachable", 1);
+        let parity_of = b.lattice("ParityOf", 2, LatticeOps::of::<Parity>());
+        b.fact(edge, vec![1.into(), 2.into()]);
+        b.fact(edge, vec![2.into(), 3.into()]);
+        b.fact(reachable, vec![1.into()]);
+        b.fact(parity_of, vec![1.into(), Parity::Odd.to_value()]);
+        if include_reach {
+            // IsReachable(y) :- IsReachable(x), Edge(x, y).
+            b.rule(
+                Head::new(reachable, [HeadTerm::var("y")]),
+                [
+                    BodyItem::atom(reachable, [Term::var("x")]),
+                    BodyItem::atom(edge, [Term::var("x"), Term::var("y")]),
+                ],
+            );
+        }
+        if include_parity {
+            // ParityOf(y, p) :- Edge(x, y), IsReachable(y), ParityOf(x, p).
+            b.rule(
+                Head::new(parity_of, [HeadTerm::var("y"), HeadTerm::var("p")]),
+                [
+                    BodyItem::atom(edge, [Term::var("x"), Term::var("y")]),
+                    BodyItem::atom(reachable, [Term::var("y")]),
+                    BodyItem::atom(parity_of, [Term::var("x"), Term::var("p")]),
+                ],
+            );
+        }
+        Solver::new()
+            .solve(&b.build().expect("valid"))
+            .expect("solves")
+    };
+
+    // Alone, the parity analysis cannot flow past unproven reachability.
+    let parity_alone = build(true, false);
+    assert_eq!(
+        parity_alone.lattice_value("ParityOf", &[3.into()]),
+        Some(Parity::Bot.to_value())
+    );
+    // Composed, reachability feeds the parity rules.
+    let composed = build(true, true);
+    assert_eq!(
+        composed.lattice_value("ParityOf", &[3.into()]),
+        Some(Parity::Odd.to_value())
+    );
+}
+
+/// §3.4: the direct product of two abstract domains as a single lattice
+/// predicate over `Pair<Sign, Parity>`.
+#[test]
+fn direct_product_of_sign_and_parity() {
+    type Sp = Pair<Sign, Parity>;
+
+    fn to_value(p: &Sp) -> Value {
+        Value::tuple([p.0.to_value(), p.1.to_value()])
+    }
+    fn from_value(v: &Value) -> Sp {
+        let items = v.as_tuple().expect("pair");
+        Pair(Sign::expect_from(&items[0]), Parity::expect_from(&items[1]))
+    }
+    let ops = LatticeOps::from_fns(
+        "Sign×Parity",
+        to_value(&Sp::bottom()),
+        None,
+        |a, b| from_value(a).leq(&from_value(b)),
+        |a, b| to_value(&from_value(a).lub(&from_value(b))),
+        |a, b| to_value(&from_value(a).glb(&from_value(b))),
+    );
+
+    let mut b = ProgramBuilder::new();
+    let d = b.lattice("D", 2, ops);
+    b.fact(d, vec![1.into(), to_value(&Pair(Sign::Pos, Parity::Even))]);
+    b.fact(d, vec![1.into(), to_value(&Pair(Sign::Pos, Parity::Odd))]);
+    let solution = Solver::new()
+        .solve(&b.build().expect("valid"))
+        .expect("solves");
+    assert_eq!(
+        solution.lattice_value("D", &[1.into()]),
+        Some(to_value(&Pair(Sign::Pos, Parity::Top))),
+        "componentwise join: signs agree, parities disagree"
+    );
+}
+
+/// Strategies and configurations all land on the same minimal model.
+#[test]
+fn solver_configuration_matrix_agrees() {
+    let mut b = ProgramBuilder::new();
+    let edge = b.relation("Edge", 3);
+    let dist = b.lattice("Dist", 2, LatticeOps::of::<MinCost>());
+    let extend = b.function("extend", |args| {
+        let d = MinCost::expect_from(&args[0]);
+        d.add_weight(args[1].as_int().expect("w") as u64).to_value()
+    });
+    b.fact(dist, vec![0.into(), MinCost::finite(0).to_value()]);
+    for (x, y, w) in [(0, 1, 2), (1, 2, 2), (0, 2, 5), (2, 0, 1)] {
+        b.fact(edge, vec![x.into(), y.into(), w.into()]);
+    }
+    b.rule(
+        Head::new(
+            dist,
+            [
+                HeadTerm::var("y"),
+                HeadTerm::app(extend, [Term::var("d"), Term::var("c")]),
+            ],
+        ),
+        [
+            BodyItem::atom(dist, [Term::var("x"), Term::var("d")]),
+            BodyItem::atom(edge, [Term::var("x"), Term::var("y"), Term::var("c")]),
+        ],
+    );
+    let program = b.build().expect("valid");
+    let reference = Solver::new().solve(&program).expect("solves");
+    for solver in [
+        Solver::new().strategy(Strategy::Naive),
+        Solver::new().threads(4),
+        Solver::new().use_indexes(false),
+        Solver::new()
+            .threads(2)
+            .use_indexes(false)
+            .strategy(Strategy::Naive),
+    ] {
+        let solution = solver.solve(&program).expect("solves");
+        assert_eq!(solution.total_facts(), reference.total_facts());
+        assert_eq!(
+            solution.lattice_value("Dist", &[2.into()]),
+            reference.lattice_value("Dist", &[2.into()])
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Integration tests of the Strong Update analysis (§4.1, Table 1)
+//! through the facade: implementation agreement at benchmark scale and
+//! the qualitative claims of the evaluation (precision and the powerset
+//! embedding's database blow-up).
+
+use flix::analyses::strong_update::{self, SuInput};
+use flix::analyses::workloads::c_program;
+use flix::Strategy;
+
+/// All three implementations on a Table-1-row-shaped workload (scaled
+/// down); exact agreement of all shared relations.
+#[test]
+fn three_way_agreement_at_row_scale() {
+    let input = c_program::generate_row(&c_program::TABLE_1[0], 0.4, 7);
+    let flix = strong_update::flix::analyze(&input);
+    let imperative = strong_update::imperative::analyze(&input);
+    let datalog = strong_update::datalog::analyze(&input);
+    strong_update::assert_pt_agree(&flix, &imperative);
+    strong_update::assert_pt_agree(&flix, &datalog);
+    assert_eq!(flix.su_after, imperative.su_after);
+    assert_eq!(flix.su_after, datalog.su_after);
+}
+
+/// The §1 "worst of both worlds" claim: same precision (checked above),
+/// strictly more derived facts in the powerset embedding.
+#[test]
+fn powerset_embedding_blows_up_database() {
+    let input = c_program::generate(600, 3);
+    let flix = strong_update::flix::analyze(&input);
+    let datalog = strong_update::datalog::analyze(&input);
+    strong_update::assert_pt_agree(&flix, &datalog);
+    assert!(
+        datalog.derived_facts as f64 > flix.derived_facts as f64 * 1.2,
+        "embedding stored {} facts, lattice version {}",
+        datalog.derived_facts,
+        flix.derived_facts
+    );
+}
+
+/// Strong updates are *observable*: removing the Kill facts (weak updates
+/// only) must not shrink the points-to sets, and on a program built to
+/// need them it strictly grows them.
+#[test]
+fn strong_updates_improve_precision() {
+    // l0: *p = a1-val; l1: *p = a2-val; l2: s = *p
+    // pt(p) = {h}; with kill, the read at l2 sees only the second store.
+    let mut input = SuInput {
+        num_vars: 4, // p=0, v1=1, v2=2, s=3
+        num_objs: 3, // h=0, a1=1, a2=2
+        num_labels: 3,
+        addr_of: vec![(0, 0), (1, 1), (2, 2)],
+        copy: vec![],
+        load: vec![(2, 3, 0)],
+        store: vec![(0, 0, 1), (1, 0, 2)],
+        cfg: vec![(0, 1), (1, 2)],
+        kill: vec![],
+    };
+    input.compute_kill();
+    assert_eq!(input.kill.len(), 2, "both stores strongly update h");
+
+    let strong = strong_update::flix::analyze(&input);
+    // s reads only the killed-and-rewritten value a2.
+    assert!(strong.pt.contains(&(3, 2)));
+    assert!(!strong.pt.contains(&(3, 1)), "a1 was strongly overwritten");
+
+    let mut weak_input = input.clone();
+    weak_input.kill.clear();
+    let weak = strong_update::flix::analyze(&weak_input);
+    assert!(weak.pt.contains(&(3, 1)), "weak updates keep both");
+    assert!(weak.pt.contains(&(3, 2)));
+    assert!(
+        strong.pt.len() < weak.pt.len(),
+        "strong updates must be strictly more precise here"
+    );
+}
+
+/// Naïve and semi-naïve evaluation agree on the full Figure 4 rule set
+/// (with stratified negation) at moderate scale.
+#[test]
+fn figure_4_naive_agrees_with_semi_naive() {
+    let input = c_program::generate(400, 21);
+    let semi = strong_update::flix::analyze(&input);
+    let naive =
+        strong_update::flix::analyze_with(&input, &flix::Solver::new().strategy(Strategy::Naive));
+    assert_eq!(semi, naive);
+}
+
+/// The parallel solver computes the same Figure 4 model.
+#[test]
+fn figure_4_parallel_agrees_with_sequential() {
+    let input = c_program::generate(400, 22);
+    let seq = strong_update::flix::analyze(&input);
+    let par = strong_update::flix::analyze_with(&input, &flix::Solver::new().threads(4));
+    assert_eq!(seq, par);
+}

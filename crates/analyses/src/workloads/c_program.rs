@@ -14,8 +14,7 @@
 //! strong updates profitable.
 
 use crate::strong_update::SuInput;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flix_lattice::rng::SmallRng;
 
 /// One row of Table 1 of the paper: a benchmark program with its source
 /// size and input fact count.

@@ -1,7 +1,6 @@
 //! Random weighted digraphs for the shortest-paths experiment (§4.4).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flix_lattice::rng::SmallRng;
 
 /// A weighted directed graph with nodes `0..num_nodes`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]

@@ -10,8 +10,7 @@
 //! vs declarative) is preserved by construction.
 
 use crate::ifds::{CallSite, Node, ProcId, ProcInfo, Supergraph};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use flix_lattice::rng::SmallRng;
 
 /// A program variable (global id across procedures).
 pub type VarId = u32;

@@ -10,7 +10,7 @@ use flix_analyses::ide::{self, linear_constant::LinearConstant, IdentityIde};
 use flix_analyses::ifds::{self, problems};
 use flix_analyses::strong_update::{self, SuInput};
 use flix_analyses::workloads::{c_program, jvm_program};
-use proptest::prelude::*;
+use flix_lattice::rng::SmallRng;
 use std::sync::Arc;
 
 // ---- Strong Update: flix vs datalog vs imperative ------------------------
@@ -51,26 +51,37 @@ fn strong_update_flix_sound_wrt_andersen() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn strong_update_agreement_on_random_programs(
-        addr in proptest::collection::vec((0u32..6, 0u32..5), 1..8),
-        copy in proptest::collection::vec((0u32..6, 0u32..6), 0..6),
-        load in proptest::collection::vec((0u32..5, 0u32..6, 0u32..6), 0..5),
-        store in proptest::collection::vec((0u32..5, 0u32..6, 0u32..6), 0..5),
-        cfg in proptest::collection::vec((0u32..5, 0u32..5), 0..8),
-    ) {
+#[test]
+fn strong_update_agreement_on_random_programs() {
+    let mut rng = SmallRng::seed_from_u64(0x5A5A_0001);
+    for _ in 0..24 {
+        let pairs = |rng: &mut SmallRng, lo: usize, hi: usize, a: u32, b: u32| {
+            let n = rng.gen_range(lo..hi);
+            (0..n)
+                .map(|_| (rng.gen_range(0u32..a), rng.gen_range(0u32..b)))
+                .collect::<Vec<_>>()
+        };
+        let triples = |rng: &mut SmallRng, hi: usize| {
+            let n = rng.gen_range(0usize..hi);
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0u32..5),
+                        rng.gen_range(0u32..6),
+                        rng.gen_range(0u32..6),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
         let mut input = SuInput {
             num_vars: 6,
             num_objs: 5,
             num_labels: 5,
-            addr_of: addr,
-            copy,
-            load,
-            store,
-            cfg,
+            addr_of: pairs(&mut rng, 1, 8, 6, 5),
+            copy: pairs(&mut rng, 0, 6, 6, 6),
+            load: triples(&mut rng, 5),
+            store: triples(&mut rng, 5),
+            cfg: pairs(&mut rng, 0, 8, 5, 5),
             kill: vec![],
         };
         input.compute_kill();

@@ -8,7 +8,8 @@
 //!   Update analysis in `strong_update.rs`; here on a pure engine
 //!   workload).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flix_bench::harness::{BenchmarkId, Criterion};
+use flix_bench::{criterion_group, criterion_main};
 use flix_analyses::strong_update;
 use flix_analyses::workloads::c_program;
 use flix_core::{BodyItem, Head, HeadTerm, Program, ProgramBuilder, Solver, Strategy, Term};
@@ -16,8 +17,7 @@ use flix_core::{BodyItem, Head, HeadTerm, Program, ProgramBuilder, Solver, Strat
 /// Transitive closure over a chain plus random edges: the canonical
 /// engine micro-workload.
 fn closure_program(nodes: i64, extra: usize, seed: u64) -> Program {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use flix_lattice::rng::SmallRng;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = ProgramBuilder::new();
     let e = b.relation("Edge", 2);

@@ -2,7 +2,8 @@
 //! program vs the hand-written Dijkstra reference — the paper's example
 //! that FLIX "is applicable to other types of fixed-point problems".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flix_bench::harness::{BenchmarkId, Criterion};
+use flix_bench::{criterion_group, criterion_main};
 use flix_analyses::shortest_paths;
 use flix_analyses::workloads::graphs;
 

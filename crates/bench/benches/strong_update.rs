@@ -6,7 +6,8 @@
 //! The paper's shape to reproduce: DLV ≫ FLIX ≫ C++, with the embedding's
 //! gap growing with input size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flix_bench::harness::{BenchmarkId, Criterion};
+use flix_bench::{criterion_group, criterion_main};
 use flix_analyses::strong_update;
 use flix_analyses::workloads::c_program;
 

@@ -1,0 +1,234 @@
+//! A tiny, dependency-free stand-in for the Criterion benchmark API.
+//!
+//! The container building this workspace has no network access, so the
+//! real `criterion` crate is unavailable. This module implements the
+//! small slice of its API the benches use (`benchmark_group`,
+//! `bench_with_input`, `bench_function`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros) on top of
+//! `std::time::Instant`.
+//!
+//! Two modes:
+//!
+//! * **Full** (`cargo bench`, i.e. argv contains `--bench`): each
+//!   benchmark is warmed up and then timed for `sample_size` samples
+//!   within the configured measurement window; mean / min / max are
+//!   printed per benchmark.
+//! * **Quick** (any other invocation, e.g. `cargo test` smoke-running
+//!   the bench binaries): each benchmark body runs exactly once, as a
+//!   correctness smoke test, with no timing loop.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    full: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to harness-less bench binaries;
+        // anything else (plain runs, `cargo test`) gets the quick mode.
+        let full = std::env::args().any(|a| a == "--bench");
+        Criterion { full }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Registers a stand-alone benchmark outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let (sample_size, warm_up, measurement) =
+            (10, Duration::from_millis(500), Duration::from_secs(3));
+        run_one(self.full, id, sample_size, warm_up, measurement, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected in full mode.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration used in full mode.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window used in full mode.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark identified by `id` over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            self.criterion.full,
+            &id.to_string(),
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(
+            self.criterion.full,
+            id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// A function-plus-parameter benchmark identifier, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Passed to each benchmark body; `iter` runs the measured routine.
+pub struct Bencher {
+    full: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`: once in quick mode, sampled in full mode.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        if !self.full {
+            let _ = routine();
+            return;
+        }
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            let _ = routine();
+        }
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let _ = routine();
+            self.samples.push(start.elapsed());
+            if run_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(
+    full: bool,
+    id: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        full,
+        sample_size,
+        warm_up_time,
+        measurement_time,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if !full {
+        println!("  {id}: ok (quick mode; run `cargo bench` to measure)");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("  {id}: no samples collected");
+        return;
+    }
+    let n = bencher.samples.len() as u32;
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / n;
+    let min = bencher.samples.iter().min().expect("nonempty");
+    let max = bencher.samples.iter().max().expect("nonempty");
+    println!(
+        "  {id}: mean {:.3} ms, min {:.3} ms, max {:.3} ms ({n} samples)",
+        mean.as_secs_f64() * 1e3,
+        min.as_secs_f64() * 1e3,
+        max.as_secs_f64() * 1e3,
+    );
+}
+
+/// Declares the list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

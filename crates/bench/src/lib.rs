@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::time::{Duration, Instant};
 
 /// Times one invocation of `f`, returning its result and the elapsed time.

@@ -378,11 +378,11 @@ impl Solver {
         let chunk = tasks.len().div_ceil(self.threads);
         let provenance = self.provenance;
         let mut results: Vec<Vec<Derived>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = tasks
                 .chunks(chunk)
                 .map(|task_chunk| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut out = Vec::new();
                         for task in task_chunk {
                             eval_rule_prov(
@@ -402,8 +402,7 @@ impl Solver {
             for h in handles {
                 results.push(h.join().expect("solver worker panicked"));
             }
-        })
-        .expect("solver thread scope failed");
+        });
         results.into_iter().flatten().collect()
     }
 }

@@ -6,31 +6,53 @@
 //! the model-theoretic characterisation of §3.2 (the output is a model and
 //! locally minimal), for both relational and lattice programs, with and
 //! without indexes, sequentially and in parallel.
+//!
+//! Randomised with the in-tree deterministic [`SmallRng`] (seeded loops)
+//! rather than an external property-testing framework, so the suite runs
+//! without network access.
 
 use flix_core::{
     model, BodyItem, Head, HeadTerm, LatticeOps, Program, ProgramBuilder, Solution, Solver,
     Strategy as EvalStrategy, Term, Value, ValueLattice,
 };
+use flix_lattice::rng::SmallRng;
 use flix_lattice::{MinCost, Parity};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 /// Random edge lists over a small node universe.
-fn arb_edges() -> impl Strategy<Value = Vec<(i64, i64)>> {
-    proptest::collection::vec((0i64..8, 0i64..8), 0..24)
+fn arb_edges(rng: &mut SmallRng) -> Vec<(i64, i64)> {
+    let n = rng.gen_range(0usize..24);
+    (0..n)
+        .map(|_| (rng.gen_range(0i64..8), rng.gen_range(0i64..8)))
+        .collect()
 }
 
-fn arb_weighted_edges() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
-    proptest::collection::vec((0i64..7, 0i64..7, 1i64..10), 0..20)
+fn arb_weighted_edges(rng: &mut SmallRng) -> Vec<(i64, i64, i64)> {
+    let n = rng.gen_range(0usize..20);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0i64..7),
+                rng.gen_range(0i64..7),
+                rng.gen_range(1i64..10),
+            )
+        })
+        .collect()
 }
 
-fn arb_parity_facts() -> impl Strategy<Value = Vec<(i64, Parity)>> {
-    proptest::collection::vec(
-        (
-            0i64..6,
-            prop_oneof![Just(Parity::Even), Just(Parity::Odd), Just(Parity::Top)],
-        ),
-        0..16,
-    )
+fn arb_parity_facts(rng: &mut SmallRng) -> Vec<(i64, Parity)> {
+    let n = rng.gen_range(0usize..16);
+    (0..n)
+        .map(|_| {
+            let p = match rng.gen_range(0u8..3) {
+                0 => Parity::Even,
+                1 => Parity::Odd,
+                _ => Parity::Top,
+            };
+            (rng.gen_range(0i64..6), p)
+        })
+        .collect()
 }
 
 /// Transitive closure program over the given edges.
@@ -163,72 +185,100 @@ fn reference_bellman_ford(edges: &[(i64, i64, i64)]) -> std::collections::BTreeM
     dist
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn strategies_agree_on_transitive_closure(edges in arb_edges()) {
+#[test]
+fn strategies_agree_on_transitive_closure() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0001);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng);
         let prog = closure_program(&edges);
         let semi = Solver::new().solve(&prog).expect("solves");
-        let naive = Solver::new().strategy(EvalStrategy::Naive).solve(&prog).expect("solves");
+        let naive = Solver::new()
+            .strategy(EvalStrategy::Naive)
+            .solve(&prog)
+            .expect("solves");
         let par = Solver::new().threads(3).solve(&prog).expect("solves");
         let noidx = Solver::new().use_indexes(false).solve(&prog).expect("solves");
         let preds = ["Edge", "Path"];
         let want = canonical(&semi, &preds);
-        prop_assert_eq!(&canonical(&naive, &preds), &want);
-        prop_assert_eq!(&canonical(&par, &preds), &want);
-        prop_assert_eq!(&canonical(&noidx, &preds), &want);
+        assert_eq!(canonical(&naive, &preds), want, "edges={edges:?}");
+        assert_eq!(canonical(&par, &preds), want, "edges={edges:?}");
+        assert_eq!(canonical(&noidx, &preds), want, "edges={edges:?}");
     }
+}
 
-    #[test]
-    fn closure_matches_reference(edges in arb_edges()) {
+#[test]
+fn closure_matches_reference() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0002);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng);
         let prog = closure_program(&edges);
         let solution = Solver::new().solve(&prog).expect("solves");
         let expected = reference_closure(&edges);
-        prop_assert_eq!(solution.len("Path"), Some(expected.len()));
+        assert_eq!(solution.len("Path"), Some(expected.len()), "edges={edges:?}");
         for (x, y) in expected {
-            prop_assert!(solution.contains("Path", &[x.into(), y.into()]));
+            assert!(
+                solution.contains("Path", &[x.into(), y.into()]),
+                "edges={edges:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn closure_solution_is_model_and_minimal(edges in arb_edges()) {
+#[test]
+fn closure_solution_is_model_and_minimal() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0003);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng);
         let prog = closure_program(&edges);
         let solution = Solver::new().solve(&prog).expect("solves");
-        prop_assert!(model::is_model(&prog, &solution));
+        assert!(model::is_model(&prog, &solution), "edges={edges:?}");
     }
+}
 
-    #[test]
-    fn strategies_agree_on_parity_dataflow(
-        facts in arb_parity_facts(),
-        copies in arb_edges(),
-    ) {
-        let copies: Vec<(i64, i64)> =
-            copies.into_iter().map(|(a, b)| (a % 6, b % 6)).collect();
+#[test]
+fn strategies_agree_on_parity_dataflow() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0004);
+    for _ in 0..CASES {
+        let facts = arb_parity_facts(&mut rng);
+        let copies: Vec<(i64, i64)> = arb_edges(&mut rng)
+            .into_iter()
+            .map(|(a, b)| (a % 6, b % 6))
+            .collect();
         let prog = parity_program(&facts, &copies);
         let semi = Solver::new().solve(&prog).expect("solves");
-        let naive = Solver::new().strategy(EvalStrategy::Naive).solve(&prog).expect("solves");
+        let naive = Solver::new()
+            .strategy(EvalStrategy::Naive)
+            .solve(&prog)
+            .expect("solves");
         let preds = ["IntVar"];
-        prop_assert_eq!(canonical(&naive, &preds), canonical(&semi, &preds));
-        prop_assert!(model::is_model(&prog, &semi));
-        prop_assert!(model::is_locally_minimal(&prog, &semi));
+        assert_eq!(
+            canonical(&naive, &preds),
+            canonical(&semi, &preds),
+            "facts={facts:?} copies={copies:?}"
+        );
+        assert!(model::is_model(&prog, &semi));
+        assert!(model::is_locally_minimal(&prog, &semi));
     }
+}
 
-    #[test]
-    fn shortest_paths_match_bellman_ford(edges in arb_weighted_edges()) {
+#[test]
+fn shortest_paths_match_bellman_ford() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DE_0005);
+    for _ in 0..CASES {
+        let edges = arb_weighted_edges(&mut rng);
         let prog = shortest_path_program(&edges);
         let semi = Solver::new().solve(&prog).expect("solves");
-        let naive = Solver::new().strategy(EvalStrategy::Naive).solve(&prog).expect("solves");
-        prop_assert_eq!(
-            canonical(&naive, &["Dist"]),
-            canonical(&semi, &["Dist"])
-        );
+        let naive = Solver::new()
+            .strategy(EvalStrategy::Naive)
+            .solve(&prog)
+            .expect("solves");
+        assert_eq!(canonical(&naive, &["Dist"]), canonical(&semi, &["Dist"]));
         let expected = reference_bellman_ford(&edges);
         for (node, d) in expected {
-            prop_assert_eq!(
+            assert_eq!(
                 semi.lattice_value("Dist", &[node.into()]),
                 Some(MinCost::finite(d).to_value()),
-                "distance to {}", node
+                "distance to {node} with edges={edges:?}"
             );
         }
     }

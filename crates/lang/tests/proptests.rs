@@ -5,12 +5,17 @@
 //! round-trip every generated program.
 
 use flix_core::{Solver, Strategy as EvalStrategy};
-use proptest::prelude::*;
+use flix_lattice::rng::SmallRng;
 use std::fmt::Write;
 
+const CASES: usize = 48;
+
 /// A random small edge set over nodes 0..6.
-fn arb_edges() -> impl Strategy<Value = Vec<(i64, i64)>> {
-    proptest::collection::vec((0i64..6, 0i64..6), 0..15)
+fn arb_edges(rng: &mut SmallRng) -> Vec<(i64, i64)> {
+    let n = rng.gen_range(0usize..15);
+    (0..n)
+        .map(|_| (rng.gen_range(0i64..6), rng.gen_range(0i64..6)))
+        .collect()
 }
 
 /// Renders a transitive-closure program with the given facts as FLIX
@@ -61,40 +66,48 @@ fn paths(solution: &flix_core::Solution) -> Vec<Vec<flix_core::Value>> {
     rows
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Surface-compiled programs agree with API-built programs.
-    #[test]
-    fn surface_route_equals_api_route(edges in arb_edges()) {
+/// Surface-compiled programs agree with API-built programs.
+#[test]
+fn surface_route_equals_api_route() {
+    let mut rng = SmallRng::seed_from_u64(0x1A06_0001);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng);
         let surface = flix_lang::compile(&closure_source(&edges)).expect("compiles");
         let api = closure_api(&edges);
         let s1 = Solver::new().solve(&surface).expect("solves");
         let s2 = Solver::new().solve(&api).expect("solves");
-        prop_assert_eq!(paths(&s1), paths(&s2));
+        assert_eq!(paths(&s1), paths(&s2), "edges={edges:?}");
     }
+}
 
-    /// Naïve and semi-naïve agree on compiled surface programs.
-    #[test]
-    fn strategies_agree_on_surface_programs(edges in arb_edges()) {
+/// Naïve and semi-naïve agree on compiled surface programs.
+#[test]
+fn strategies_agree_on_surface_programs() {
+    let mut rng = SmallRng::seed_from_u64(0x1A06_0002);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng);
         let program = flix_lang::compile(&closure_source(&edges)).expect("compiles");
         let semi = Solver::new().solve(&program).expect("solves");
         let naive = Solver::new()
             .strategy(EvalStrategy::Naive)
             .solve(&program)
             .expect("solves");
-        prop_assert_eq!(paths(&semi), paths(&naive));
+        assert_eq!(paths(&semi), paths(&naive), "edges={edges:?}");
     }
+}
 
-    /// The pretty-printer round-trips every generated program, and the
-    /// reprinted program solves to the same model.
-    #[test]
-    fn pretty_print_round_trip(edges in arb_edges()) {
+/// The pretty-printer round-trips every generated program, and the
+/// reprinted program solves to the same model.
+#[test]
+fn pretty_print_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x1A06_0003);
+    for _ in 0..CASES {
+        let edges = arb_edges(&mut rng);
         let src = closure_source(&edges);
         let parsed = flix_lang::parse(&src).expect("parses");
         let printed = flix_lang::pretty::program(&parsed);
         let reparsed = flix_lang::parse(&printed).expect("printed output parses");
-        prop_assert_eq!(&printed, &flix_lang::pretty::program(&reparsed));
+        assert_eq!(&printed, &flix_lang::pretty::program(&reparsed));
 
         let original = Solver::new()
             .solve(&flix_lang::compile(&src).expect("compiles"))
@@ -102,20 +115,20 @@ proptest! {
         let reprinted = Solver::new()
             .solve(&flix_lang::compile(&printed).expect("compiles"))
             .expect("solves");
-        prop_assert_eq!(paths(&original), paths(&reprinted));
+        assert_eq!(paths(&original), paths(&reprinted), "edges={edges:?}");
     }
+}
 
-    /// Random integer arithmetic expressions evaluate like Rust's own
-    /// (wrapping) arithmetic: the interpreter as an oracle test.
-    #[test]
-    fn interpreter_matches_rust_arithmetic(
-        a in -100i64..100,
-        b in 1i64..100,
-        c in -100i64..100,
-    ) {
-        let src = format!(
-            "def f(): Int = ({a} + {b}) * {c} - {a} / {b} + {a} % {b}"
-        );
+/// Random integer arithmetic expressions evaluate like Rust's own
+/// (wrapping) arithmetic: the interpreter as an oracle test.
+#[test]
+fn interpreter_matches_rust_arithmetic() {
+    let mut rng = SmallRng::seed_from_u64(0x1A06_0004);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-100i64..100);
+        let b = rng.gen_range(1i64..100);
+        let c = rng.gen_range(-100i64..100);
+        let src = format!("def f(): Int = ({a} + {b}) * {c} - {a} / {b} + {a} % {b}");
         let parsed = flix_lang::parse(&src).expect("parses");
         let checked = std::sync::Arc::new(flix_lang::check(&parsed).expect("checks"));
         let interp = flix_lang::Interpreter::new(checked);
@@ -123,6 +136,10 @@ proptest! {
             .wrapping_mul(c)
             .wrapping_sub(a.wrapping_div(b))
             .wrapping_add(a.wrapping_rem(b));
-        prop_assert_eq!(interp.call("f", &[]), flix_core::Value::Int(expected));
+        assert_eq!(
+            interp.call("f", &[]),
+            flix_core::Value::Int(expected),
+            "a={a} b={b} c={c}"
+        );
     }
 }

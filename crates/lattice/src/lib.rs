@@ -42,6 +42,7 @@ mod mincost;
 mod parity;
 mod powerset;
 mod product;
+pub mod rng;
 mod sign;
 mod su;
 mod traits;

@@ -1,0 +1,146 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The workload generators and property tests need reproducible random
+//! streams, not cryptographic quality. This SplitMix64 generator replaces
+//! the external `rand` dependency so the workspace builds with no network
+//! access; its API mirrors the subset of `rand` the repo used
+//! (`SmallRng::seed_from_u64`, `gen_range`, `gen_bool`).
+
+use std::ops::Range;
+
+/// A seedable SplitMix64 generator.
+///
+/// # Example
+///
+/// ```
+/// use flix_lattice::rng::SmallRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let a = rng.gen_range(0..10);
+/// assert!((0..10).contains(&a));
+/// assert_eq!(SmallRng::seed_from_u64(7).gen_range(0..10), a);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        SmallRng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Samples uniformly from a half-open range (`lo..hi`, `hi > lo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+
+    /// Samples a uniformly random index for a slice of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.gen_range(0..len)
+    }
+}
+
+/// Types that [`SmallRng::gen_range`] can sample uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Samples one value from `range`.
+    fn sample(rng: &mut SmallRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut SmallRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut SmallRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = range.end.wrapping_sub(range.start) as u64;
+                range.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..8)
+            .scan(SmallRng::seed_from_u64(42), |r, _| Some(r.next_u64()))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .scan(SmallRng::seed_from_u64(42), |r, _| Some(r.next_u64()))
+            .collect();
+        assert_eq!(a, b);
+        let c: Vec<u64> = (0..8)
+            .scan(SmallRng::seed_from_u64(43), |r, _| Some(r.next_u64()))
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!((0..7).contains(&rng.gen_range(0u32..7)));
+            assert!((-5..5).contains(&rng.gen_range(-5i64..5)));
+            assert!((3..4).contains(&rng.gen_range(3usize..4)));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn all_values_reachable_in_small_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,214 +1,307 @@
 //! Property-based tests for the lattice instances whose carriers are too
 //! large to enumerate: intervals, constants, min-costs, powersets, maps,
 //! and IDE micro-functions.
+//!
+//! Randomised with the in-tree deterministic [`SmallRng`] (seeded loops)
+//! rather than an external property-testing framework, so the suite runs
+//! without network access.
 
+use flix_lattice::rng::SmallRng;
 use flix_lattice::{
     Constant, Flat, Interval, Lattice, MapLattice, MinCost, Parity, PowerSet, SuLattice,
     Transformer,
 };
-use proptest::prelude::*;
 
-fn arb_constant() -> impl Strategy<Value = Constant> {
-    prop_oneof![
-        Just(Flat::Bot),
-        Just(Flat::Top),
-        (-50i64..50).prop_map(Constant::cst),
-    ]
+const CASES: usize = 300;
+
+fn arb_constant(rng: &mut SmallRng) -> Constant {
+    match rng.gen_range(0u8..3) {
+        0 => Flat::Bot,
+        1 => Flat::Top,
+        _ => Constant::cst(rng.gen_range(-50i64..50)),
+    }
 }
 
-fn arb_interval() -> impl Strategy<Value = Interval> {
-    prop_oneof![
-        Just(Interval::Bot),
-        (-100i64..100, 0i64..100).prop_map(|(lo, len)| Interval::of(lo, lo + len)),
-    ]
+fn arb_interval(rng: &mut SmallRng) -> Interval {
+    if rng.gen_bool(0.2) {
+        Interval::Bot
+    } else {
+        let lo = rng.gen_range(-100i64..100);
+        let len = rng.gen_range(0i64..100);
+        Interval::of(lo, lo + len)
+    }
 }
 
-fn arb_mincost() -> impl Strategy<Value = MinCost> {
-    prop_oneof![
-        Just(MinCost::INFINITY),
-        (0u64..1000).prop_map(MinCost::finite)
-    ]
+fn arb_mincost(rng: &mut SmallRng) -> MinCost {
+    if rng.gen_bool(0.2) {
+        MinCost::INFINITY
+    } else {
+        MinCost::finite(rng.gen_range(0u64..1000))
+    }
 }
 
-fn arb_powerset() -> impl Strategy<Value = PowerSet<u8>> {
-    prop_oneof![
-        Just(PowerSet::Univ),
-        proptest::collection::btree_set(0u8..10, 0..6)
-            .prop_map(|s| s.into_iter().collect::<PowerSet<u8>>()),
-    ]
+fn arb_powerset(rng: &mut SmallRng) -> PowerSet<u8> {
+    if rng.gen_bool(0.15) {
+        PowerSet::Univ
+    } else {
+        let n = rng.gen_range(0usize..6);
+        (0..n)
+            .map(|_| rng.gen_range(0u8..10))
+            .collect::<PowerSet<u8>>()
+    }
 }
 
-fn arb_parity() -> impl Strategy<Value = Parity> {
-    prop_oneof![
-        Just(Parity::Bot),
-        Just(Parity::Even),
-        Just(Parity::Odd),
-        Just(Parity::Top)
-    ]
+fn arb_parity(rng: &mut SmallRng) -> Parity {
+    match rng.gen_range(0u8..4) {
+        0 => Parity::Bot,
+        1 => Parity::Even,
+        2 => Parity::Odd,
+        _ => Parity::Top,
+    }
 }
 
-fn arb_map() -> impl Strategy<Value = MapLattice<u8, Parity>> {
-    proptest::collection::vec((0u8..5, arb_parity()), 0..8).prop_map(MapLattice::from_iter)
+fn arb_map(rng: &mut SmallRng) -> MapLattice<u8, Parity> {
+    let n = rng.gen_range(0usize..8);
+    MapLattice::from_iter((0..n).map(|_| (rng.gen_range(0u8..5), arb_parity(rng))))
 }
 
-fn arb_su() -> impl Strategy<Value = SuLattice> {
-    prop_oneof![
-        Just(SuLattice::Bottom),
-        Just(SuLattice::Top),
-        (0u8..6).prop_map(|i| SuLattice::single(format!("obj{i}"))),
-    ]
+fn arb_su(rng: &mut SmallRng) -> SuLattice {
+    match rng.gen_range(0u8..3) {
+        0 => SuLattice::Bottom,
+        1 => SuLattice::Top,
+        _ => {
+            let i = rng.gen_range(0u8..6);
+            SuLattice::single(format!("obj{i}"))
+        }
+    }
 }
 
-fn arb_transformer() -> impl Strategy<Value = Transformer> {
-    prop_oneof![
-        Just(Transformer::Bot),
-        Just(Transformer::top_transformer()),
-        (-5i64..5, -5i64..5, arb_constant()).prop_map(|(a, b, c)| Transformer::non_bot(a, b, c)),
-    ]
+fn arb_transformer(rng: &mut SmallRng) -> Transformer {
+    match rng.gen_range(0u8..3) {
+        0 => Transformer::Bot,
+        1 => Transformer::top_transformer(),
+        _ => Transformer::non_bot(
+            rng.gen_range(-5i64..5),
+            rng.gen_range(-5i64..5),
+            arb_constant(rng),
+        ),
+    }
 }
 
-/// Generates the core lattice-law properties for a given strategy.
+/// Generates the core lattice-law properties for a given generator.
 macro_rules! lattice_props {
-    ($modname:ident, $strat:expr, $ty:ty) => {
+    ($modname:ident, $gen:path, $ty:ty, $seed:expr) => {
         mod $modname {
             use super::*;
 
-            proptest! {
-                #[test]
-                fn lub_commutes(a in $strat, b in $strat) {
-                    prop_assert_eq!(a.lub(&b), b.lub(&a));
+            #[test]
+            fn lub_commutes() {
+                let mut rng = SmallRng::seed_from_u64($seed);
+                for _ in 0..CASES {
+                    let (a, b) = ($gen(&mut rng), $gen(&mut rng));
+                    assert_eq!(a.lub(&b), b.lub(&a), "a={a:?} b={b:?}");
                 }
+            }
 
-                #[test]
-                fn lub_is_idempotent(a in $strat) {
-                    prop_assert_eq!(a.lub(&a), a);
+            #[test]
+            fn lub_is_idempotent() {
+                let mut rng = SmallRng::seed_from_u64($seed + 1);
+                for _ in 0..CASES {
+                    let a = $gen(&mut rng);
+                    assert_eq!(a.lub(&a), a, "a={a:?}");
                 }
+            }
 
-                #[test]
-                fn lub_associates(a in $strat, b in $strat, c in $strat) {
-                    prop_assert_eq!(a.lub(&b).lub(&c), a.lub(&b.lub(&c)));
+            #[test]
+            fn lub_associates() {
+                let mut rng = SmallRng::seed_from_u64($seed + 2);
+                for _ in 0..CASES {
+                    let (a, b, c) = ($gen(&mut rng), $gen(&mut rng), $gen(&mut rng));
+                    assert_eq!(
+                        a.lub(&b).lub(&c),
+                        a.lub(&b.lub(&c)),
+                        "a={a:?} b={b:?} c={c:?}"
+                    );
                 }
+            }
 
-                #[test]
-                fn lub_is_upper_bound(a in $strat, b in $strat) {
+            #[test]
+            fn lub_is_upper_bound() {
+                let mut rng = SmallRng::seed_from_u64($seed + 3);
+                for _ in 0..CASES {
+                    let (a, b) = ($gen(&mut rng), $gen(&mut rng));
                     let j = a.lub(&b);
-                    prop_assert!(a.leq(&j) && b.leq(&j));
+                    assert!(a.leq(&j) && b.leq(&j), "a={a:?} b={b:?} j={j:?}");
                 }
+            }
 
-                #[test]
-                fn glb_is_lower_bound(a in $strat, b in $strat) {
+            #[test]
+            fn glb_is_lower_bound() {
+                let mut rng = SmallRng::seed_from_u64($seed + 4);
+                for _ in 0..CASES {
+                    let (a, b) = ($gen(&mut rng), $gen(&mut rng));
                     let m = a.glb(&b);
-                    prop_assert!(m.leq(&a) && m.leq(&b));
+                    assert!(m.leq(&a) && m.leq(&b), "a={a:?} b={b:?} m={m:?}");
                 }
+            }
 
-                #[test]
-                fn bottom_is_least(a in $strat) {
-                    prop_assert!(<$ty as Lattice>::bottom().leq(&a));
+            #[test]
+            fn bottom_is_least() {
+                let mut rng = SmallRng::seed_from_u64($seed + 5);
+                for _ in 0..CASES {
+                    let a = $gen(&mut rng);
+                    assert!(<$ty as Lattice>::bottom().leq(&a), "a={a:?}");
                 }
+            }
 
-                #[test]
-                fn leq_antisymmetric(a in $strat, b in $strat) {
+            #[test]
+            fn leq_antisymmetric() {
+                let mut rng = SmallRng::seed_from_u64($seed + 6);
+                for _ in 0..CASES {
+                    let (a, b) = ($gen(&mut rng), $gen(&mut rng));
                     if a.leq(&b) && b.leq(&a) {
-                        prop_assert_eq!(a, b);
+                        assert_eq!(a, b, "a={a:?} b={b:?}");
                     }
                 }
+            }
 
-                #[test]
-                fn leq_transitive(a in $strat, b in $strat, c in $strat) {
+            #[test]
+            fn leq_transitive() {
+                let mut rng = SmallRng::seed_from_u64($seed + 7);
+                for _ in 0..CASES {
+                    let (a, b, c) = ($gen(&mut rng), $gen(&mut rng), $gen(&mut rng));
                     if a.leq(&b) && b.leq(&c) {
-                        prop_assert!(a.leq(&c));
+                        assert!(a.leq(&c), "a={a:?} b={b:?} c={c:?}");
                     }
                 }
+            }
 
-                #[test]
-                fn absorption(a in $strat, b in $strat) {
-                    prop_assert_eq!(a.lub(&a.glb(&b)), a.clone());
-                    prop_assert_eq!(a.glb(&a.lub(&b)), a);
+            #[test]
+            fn absorption() {
+                let mut rng = SmallRng::seed_from_u64($seed + 8);
+                for _ in 0..CASES {
+                    let (a, b) = ($gen(&mut rng), $gen(&mut rng));
+                    assert_eq!(a.lub(&a.glb(&b)), a.clone(), "a={a:?} b={b:?}");
+                    assert_eq!(a.glb(&a.lub(&b)), a, "a={a:?} b={b:?}");
                 }
             }
         }
     };
 }
 
-lattice_props!(constant_laws, arb_constant(), Constant);
-lattice_props!(interval_laws, arb_interval(), Interval);
-lattice_props!(mincost_laws, arb_mincost(), MinCost);
-lattice_props!(powerset_laws, arb_powerset(), PowerSet<u8>);
-lattice_props!(map_laws, arb_map(), MapLattice<u8, Parity>);
-lattice_props!(su_laws, arb_su(), SuLattice);
-lattice_props!(transformer_laws, arb_transformer(), Transformer);
+lattice_props!(constant_laws, super::arb_constant, Constant, 0x01);
+lattice_props!(interval_laws, super::arb_interval, Interval, 0x100);
+lattice_props!(mincost_laws, super::arb_mincost, MinCost, 0x200);
+lattice_props!(powerset_laws, super::arb_powerset, PowerSet<u8>, 0x300);
+lattice_props!(map_laws, super::arb_map, MapLattice<u8, Parity>, 0x400);
+lattice_props!(su_laws, super::arb_su, SuLattice, 0x500);
+lattice_props!(transformer_laws, super::arb_transformer, Transformer, 0x600);
 
-proptest! {
-    /// Interval arithmetic is sound: γ(a) + γ(b) ⊆ γ(a.sum(b)), etc.
-    #[test]
-    fn interval_sum_sound(a in -50i64..50, b in -50i64..50, wa in 0i64..5, wb in 0i64..5) {
+/// Interval arithmetic is sound: γ(a) + γ(b) ⊆ γ(a.sum(b)), etc.
+#[test]
+fn interval_sum_sound() {
+    let mut rng = SmallRng::seed_from_u64(0x700);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-50i64..50);
+        let b = rng.gen_range(-50i64..50);
+        let wa = rng.gen_range(0i64..5);
+        let wb = rng.gen_range(0i64..5);
         let ia = Interval::of(a, a + wa);
         let ib = Interval::of(b, b + wb);
         for x in a..=a + wa {
             for y in b..=b + wb {
-                prop_assert!(ia.sum(&ib).contains(x + y));
-                prop_assert!(ia.product(&ib).contains(x * y));
+                assert!(ia.sum(&ib).contains(x + y));
+                assert!(ia.product(&ib).contains(x * y));
             }
         }
     }
+}
 
-    /// Constant propagation arithmetic agrees with concrete arithmetic.
-    #[test]
-    fn constant_arith_exact(a in -100i64..100, b in -100i64..100) {
-        prop_assert_eq!(Constant::cst(a).sum(&Constant::cst(b)), Constant::cst(a + b));
-        prop_assert_eq!(Constant::cst(a).product(&Constant::cst(b)), Constant::cst(a * b));
+/// Constant propagation arithmetic agrees with concrete arithmetic.
+#[test]
+fn constant_arith_exact() {
+    let mut rng = SmallRng::seed_from_u64(0x701);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-100i64..100);
+        let b = rng.gen_range(-100i64..100);
+        assert_eq!(Constant::cst(a).sum(&Constant::cst(b)), Constant::cst(a + b));
+        assert_eq!(
+            Constant::cst(a).product(&Constant::cst(b)),
+            Constant::cst(a * b)
+        );
     }
+}
 
-    /// Transformer composition is pointwise function composition.
-    #[test]
-    fn transformer_comp_pointwise(
-        f in arb_transformer(),
-        g in arb_transformer(),
-        l in arb_constant(),
-    ) {
+/// Transformer composition is pointwise function composition.
+#[test]
+fn transformer_comp_pointwise() {
+    let mut rng = SmallRng::seed_from_u64(0x702);
+    for _ in 0..CASES {
+        let f = arb_transformer(&mut rng);
+        let g = arb_transformer(&mut rng);
+        let l = arb_constant(&mut rng);
         let h = Transformer::comp(&f, &g);
-        prop_assert_eq!(h.apply(&l), g.apply(&f.apply(&l)));
+        assert_eq!(h.apply(&l), g.apply(&f.apply(&l)), "f={f:?} g={g:?} l={l:?}");
     }
+}
 
-    /// Transformer lub is a sound pointwise upper bound.
-    #[test]
-    fn transformer_lub_pointwise_sound(
-        f in arb_transformer(),
-        g in arb_transformer(),
-        l in arb_constant(),
-    ) {
+/// Transformer lub is a sound pointwise upper bound.
+#[test]
+fn transformer_lub_pointwise_sound() {
+    let mut rng = SmallRng::seed_from_u64(0x703);
+    for _ in 0..CASES {
+        let f = arb_transformer(&mut rng);
+        let g = arb_transformer(&mut rng);
+        let l = arb_constant(&mut rng);
         let j = f.lub(&g);
-        prop_assert!(f.apply(&l).lub(&g.apply(&l)).leq(&j.apply(&l)));
+        assert!(
+            f.apply(&l).lub(&g.apply(&l)).leq(&j.apply(&l)),
+            "f={f:?} g={g:?} l={l:?}"
+        );
     }
+}
 
-    /// Transformer leq is pointwise sound.
-    #[test]
-    fn transformer_leq_pointwise_sound(
-        f in arb_transformer(),
-        g in arb_transformer(),
-        l in arb_constant(),
-    ) {
+/// Transformer leq is pointwise sound.
+#[test]
+fn transformer_leq_pointwise_sound() {
+    let mut rng = SmallRng::seed_from_u64(0x704);
+    for _ in 0..CASES {
+        let f = arb_transformer(&mut rng);
+        let g = arb_transformer(&mut rng);
+        let l = arb_constant(&mut rng);
         if f.leq(&g) {
-            prop_assert!(f.apply(&l).leq(&g.apply(&l)));
+            assert!(f.apply(&l).leq(&g.apply(&l)), "f={f:?} g={g:?} l={l:?}");
         }
     }
+}
 
-    /// MinCost::add is commutative, associative, and monotone.
-    #[test]
-    fn mincost_add_algebra(a in arb_mincost(), b in arb_mincost(), c in arb_mincost()) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
-        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+/// MinCost::add is commutative, associative, and monotone.
+#[test]
+fn mincost_add_algebra() {
+    let mut rng = SmallRng::seed_from_u64(0x705);
+    for _ in 0..CASES {
+        let a = arb_mincost(&mut rng);
+        let b = arb_mincost(&mut rng);
+        let c = arb_mincost(&mut rng);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
         if a.leq(&b) {
-            prop_assert!(a.add(&c).leq(&b.add(&c)));
+            assert!(a.add(&c).leq(&b.add(&c)));
         }
     }
+}
 
-    /// Map lattice join-at agrees with lub of singleton maps.
-    #[test]
-    fn map_join_at_agrees_with_lub(k in 0u8..5, v in arb_parity(), m in arb_map()) {
+/// Map lattice join-at agrees with lub of singleton maps.
+#[test]
+fn map_join_at_agrees_with_lub() {
+    let mut rng = SmallRng::seed_from_u64(0x706);
+    for _ in 0..CASES {
+        let k = rng.gen_range(0u8..5);
+        let v = arb_parity(&mut rng);
+        let m = arb_map(&mut rng);
         let mut via_join = m.clone();
         via_join.join_at(k, v);
         let singleton = MapLattice::from_iter([(k, v)]);
-        prop_assert_eq!(via_join, m.lub(&singleton));
+        assert_eq!(via_join, m.lub(&singleton), "k={k:?} v={v:?}");
     }
 }

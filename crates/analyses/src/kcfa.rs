@@ -19,9 +19,7 @@
 //! context, as in flat m-CFA variants); the demonstration programs bind
 //! and use variables within one lambda body, which this models soundly.
 
-use flix_core::{
-    BodyItem, Head, HeadTerm, Program, ProgramBuilder, Solver, Term, Value,
-};
+use flix_core::{BodyItem, Head, HeadTerm, Program, ProgramBuilder, Solver, Term, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A term label.
@@ -281,11 +279,29 @@ pub fn analyze(input: &CfaInput, k: usize) -> CfaResult {
 /// both lambdas; 1-CFA distinguishes the call sites.
 pub fn polyvariance_example() -> CfaInput {
     let mut terms = BTreeMap::new();
-    terms.insert(1, Expr::Lam { param: "x".into(), body: 6 });
+    terms.insert(
+        1,
+        Expr::Lam {
+            param: "x".into(),
+            body: 6,
+        },
+    );
     terms.insert(6, Expr::Var { name: "x".into() });
-    terms.insert(2, Expr::Lam { param: "a".into(), body: 7 });
+    terms.insert(
+        2,
+        Expr::Lam {
+            param: "a".into(),
+            body: 7,
+        },
+    );
     terms.insert(7, Expr::Var { name: "a".into() });
-    terms.insert(3, Expr::Lam { param: "b".into(), body: 8 });
+    terms.insert(
+        3,
+        Expr::Lam {
+            param: "b".into(),
+            body: 8,
+        },
+    );
     terms.insert(8, Expr::Var { name: "b".into() });
     terms.insert(10, Expr::App { func: 1, arg: 2 });
     terms.insert(11, Expr::App { func: 1, arg: 3 });
@@ -361,11 +377,23 @@ mod tests {
         // without truncation: ((λx. x x) (λy. y y)) loops forever
         // concretely, but k-CFA terminates.
         let mut terms = BTreeMap::new();
-        terms.insert(1, Expr::Lam { param: "x".into(), body: 2 });
+        terms.insert(
+            1,
+            Expr::Lam {
+                param: "x".into(),
+                body: 2,
+            },
+        );
         terms.insert(2, Expr::App { func: 3, arg: 4 });
         terms.insert(3, Expr::Var { name: "x".into() });
         terms.insert(4, Expr::Var { name: "x".into() });
-        terms.insert(5, Expr::Lam { param: "y".into(), body: 6 });
+        terms.insert(
+            5,
+            Expr::Lam {
+                param: "y".into(),
+                body: 6,
+            },
+        );
         terms.insert(6, Expr::App { func: 7, arg: 8 });
         terms.insert(7, Expr::Var { name: "y".into() });
         terms.insert(8, Expr::Var { name: "y".into() });

@@ -8,10 +8,10 @@
 //!   Update analysis in `strong_update.rs`; here on a pure engine
 //!   workload).
 
-use flix_bench::harness::{BenchmarkId, Criterion};
-use flix_bench::{criterion_group, criterion_main};
 use flix_analyses::strong_update;
 use flix_analyses::workloads::c_program;
+use flix_bench::harness::{BenchmarkId, Criterion};
+use flix_bench::{criterion_group, criterion_main};
 use flix_core::{BodyItem, Head, HeadTerm, Program, ProgramBuilder, Solver, Strategy, Term};
 
 /// Transitive closure over a chain plus random edges: the canonical

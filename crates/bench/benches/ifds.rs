@@ -5,11 +5,11 @@
 //! The paper's shape to reproduce: the declarative version within a small
 //! constant factor (~2.5–3.1×) of the imperative one, scaling together.
 
-use flix_bench::harness::{BenchmarkId, Criterion};
-use flix_bench::{criterion_group, criterion_main};
 use flix_analyses::ifds;
 use flix_analyses::ifds::problems::{Taint, UninitVars};
 use flix_analyses::workloads::jvm_program::{self, GenParams};
+use flix_bench::harness::{BenchmarkId, Criterion};
+use flix_bench::{criterion_group, criterion_main};
 use std::sync::Arc;
 
 fn bench_ifds(c: &mut Criterion) {

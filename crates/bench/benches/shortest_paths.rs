@@ -2,10 +2,10 @@
 //! program vs the hand-written Dijkstra reference — the paper's example
 //! that FLIX "is applicable to other types of fixed-point problems".
 
-use flix_bench::harness::{BenchmarkId, Criterion};
-use flix_bench::{criterion_group, criterion_main};
 use flix_analyses::shortest_paths;
 use flix_analyses::workloads::graphs;
+use flix_bench::harness::{BenchmarkId, Criterion};
+use flix_bench::{criterion_group, criterion_main};
 
 fn bench_shortest_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("shortest_paths");

@@ -6,10 +6,10 @@
 //! The paper's shape to reproduce: DLV ≫ FLIX ≫ C++, with the embedding's
 //! gap growing with input size.
 
-use flix_bench::harness::{BenchmarkId, Criterion};
-use flix_bench::{criterion_group, criterion_main};
 use flix_analyses::strong_update;
 use flix_analyses::workloads::c_program;
+use flix_bench::harness::{BenchmarkId, Criterion};
+use flix_bench::{criterion_group, criterion_main};
 
 fn bench_strong_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_strong_update");

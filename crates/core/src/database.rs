@@ -8,11 +8,29 @@
 //! operator is a constant-time map update.
 
 use crate::ast::PredKind;
+use crate::ops::OpsPanic;
 use crate::program::Program;
+use crate::verify::Violation;
 use crate::{LatticeOps, PredId, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Why an insert failed: the user's lattice operations either panicked or
+/// were caught violating a lattice law by the runtime sentinels (§7).
+#[derive(Clone, Debug)]
+pub(crate) enum InsertFault {
+    /// A `leq`/`lub` closure panicked.
+    Panic(OpsPanic),
+    /// A runtime safety sentinel tripped.
+    Safety(Violation),
+}
+
+impl From<OpsPanic> for InsertFault {
+    fn from(p: OpsPanic) -> InsertFault {
+        InsertFault::Panic(p)
+    }
+}
 
 /// A stored tuple. Shared so that indexes and deltas can alias rows
 /// without copying.
@@ -100,17 +118,33 @@ impl LatticeData {
 
     /// Joins `value` into the cell at `key`. Returns the new cell value on
     /// strict increase.
-    fn join(&mut self, key: Row, value: Value) -> Option<Value> {
+    ///
+    /// This is the one place every lattice element passes through, so the
+    /// runtime safety sentinels live here: after each `lub` the result must
+    /// be an upper bound of both operands (otherwise the cell could
+    /// *decrease*, breaking monotonicity of the fixpoint iteration), and a
+    /// fresh cell value must satisfy `leq(v, v)` (reflexivity — a `leq`
+    /// that fails it would later mis-classify the cell as increased).
+    fn join(&mut self, key: Row, value: Value) -> Result<Option<Value>, InsertFault> {
         if self.ops.is_bottom(&value) {
-            return None;
+            return Ok(None);
         }
         if let Some(cell) = self.cells.get_mut(&key) {
-            if self.ops.leq(&value, cell) {
-                return None;
+            if self.ops.try_leq(&value, cell)? {
+                return Ok(None);
             }
-            let joined = (self.ops).lub(cell, &value);
+            let joined = self.ops.try_lub(cell, &value)?;
+            if !self.ops.try_leq(cell, &joined)? || !self.ops.try_leq(&value, &joined)? {
+                return Err(InsertFault::Safety(Violation::LubNotUpperBound(
+                    cell.clone(),
+                    value,
+                )));
+            }
             *cell = joined.clone();
-            return Some(joined);
+            return Ok(Some(joined));
+        }
+        if !self.ops.try_leq(&value, &value)? {
+            return Err(InsertFault::Safety(Violation::NotReflexive(value)));
         }
         let idx = self.keys.len() as u32;
         for (cols, index) in &mut self.indexes {
@@ -119,7 +153,7 @@ impl LatticeData {
         }
         self.keys.push(key.clone());
         self.cells.insert(key, value.clone());
-        Some(value)
+        Ok(Some(value))
     }
 
     pub(crate) fn keys(&self) -> &[Row] {
@@ -200,23 +234,28 @@ impl Database {
     }
 
     /// Inserts a derived tuple, interpreting the last column as a lattice
-    /// element for `lat` predicates.
-    pub(crate) fn insert(&mut self, pred: PredId, mut tuple: Vec<Value>) -> InsertOutcome {
+    /// element for `lat` predicates. Fails when the lattice operations
+    /// panic or trip a safety sentinel (see [`LatticeData::join`]).
+    pub(crate) fn insert(
+        &mut self,
+        pred: PredId,
+        mut tuple: Vec<Value>,
+    ) -> Result<InsertOutcome, InsertFault> {
         match &mut self.preds[pred.0 as usize] {
             PredData::Rel(r) => {
                 let row: Row = tuple.into();
                 if r.insert(row.clone()) {
-                    InsertOutcome::NewRow(row)
+                    Ok(InsertOutcome::NewRow(row))
                 } else {
-                    InsertOutcome::Unchanged
+                    Ok(InsertOutcome::Unchanged)
                 }
             }
             PredData::Lat(l) => {
                 let value = tuple.pop().expect("lattice predicates have arity >= 1");
                 let key: Row = tuple.into();
-                match l.join(key.clone(), value) {
-                    Some(new_value) => InsertOutcome::LatIncrease(key, new_value),
-                    None => InsertOutcome::Unchanged,
+                match l.join(key.clone(), value)? {
+                    Some(new_value) => Ok(InsertOutcome::LatIncrease(key, new_value)),
+                    None => Ok(InsertOutcome::Unchanged),
                 }
             }
         }
@@ -285,20 +324,24 @@ mod tests {
         assert!(r.probe(&[1], &[Value::Int(2)]).is_none(), "no such index");
     }
 
+    fn join_ok(l: &mut LatticeData, key: Row, value: Value) -> Option<Value> {
+        l.join(key, value).expect("lattice ops are sound")
+    }
+
     #[test]
     fn lattice_join_is_compact() {
         let mut l = LatticeData::new(crate::LatticeOps::of::<Parity>());
         let key = row(&[7]);
         assert_eq!(
-            l.join(key.clone(), Parity::Even.to_value()),
+            join_ok(&mut l, key.clone(), Parity::Even.to_value()),
             Some(Parity::Even.to_value())
         );
         // Re-joining a smaller or equal element changes nothing.
-        assert_eq!(l.join(key.clone(), Parity::Even.to_value()), None);
-        assert_eq!(l.join(key.clone(), Parity::Bot.to_value()), None);
+        assert_eq!(join_ok(&mut l, key.clone(), Parity::Even.to_value()), None);
+        assert_eq!(join_ok(&mut l, key.clone(), Parity::Bot.to_value()), None);
         // Joining an incomparable element lifts the single cell to Top.
         assert_eq!(
-            l.join(key.clone(), Parity::Odd.to_value()),
+            join_ok(&mut l, key.clone(), Parity::Odd.to_value()),
             Some(Parity::Top.to_value())
         );
         assert_eq!(l.keys().len(), 1, "one cell per key: compactness");
@@ -308,8 +351,93 @@ mod tests {
     #[test]
     fn bottom_is_never_stored() {
         let mut l = LatticeData::new(crate::LatticeOps::of::<Parity>());
-        assert_eq!(l.join(row(&[1]), Parity::Bot.to_value()), None);
+        assert_eq!(join_ok(&mut l, row(&[1]), Parity::Bot.to_value()), None);
         assert!(l.keys().is_empty());
+    }
+
+    #[test]
+    fn join_catches_panicking_ops() {
+        let ops = crate::LatticeOps::from_fns(
+            "Evil",
+            Value::Int(0),
+            None,
+            |_, _| panic!("leq exploded"),
+            |a, _| a.clone(),
+            |a, _| a.clone(),
+        );
+        let mut l = LatticeData::new(ops);
+        let fault = l.join(row(&[1]), Value::Int(3)).unwrap_err();
+        match fault {
+            InsertFault::Panic(p) => {
+                assert_eq!(p.function, "Evil.leq");
+                assert_eq!(p.payload, "leq exploded");
+            }
+            other => panic!("expected panic fault, got {other:?}"),
+        }
+        assert!(l.keys().is_empty(), "faulted insert leaves no cell behind");
+    }
+
+    #[test]
+    fn join_detects_lub_not_upper_bound() {
+        // A "lub" that always returns its left argument is not an upper
+        // bound of an incomparable right argument.
+        let ops = crate::LatticeOps::from_fns(
+            "BadLub",
+            Value::Int(i64::MIN),
+            None,
+            |a, b| a.as_int() <= b.as_int(),
+            |a, _| a.clone(),
+            |a, b| {
+                if a.as_int() <= b.as_int() {
+                    a.clone()
+                } else {
+                    b.clone()
+                }
+            },
+        );
+        let mut l = LatticeData::new(ops);
+        assert!(l
+            .join(row(&[1]), Value::Int(5))
+            .expect("first join")
+            .is_some());
+        let fault = l.join(row(&[1]), Value::Int(9)).unwrap_err();
+        assert!(
+            matches!(
+                fault,
+                InsertFault::Safety(Violation::LubNotUpperBound(_, _))
+            ),
+            "got {fault:?}"
+        );
+    }
+
+    #[test]
+    fn join_detects_irreflexive_leq() {
+        let ops = crate::LatticeOps::from_fns(
+            "Irreflexive",
+            Value::Int(i64::MIN),
+            None,
+            |a, b| a.as_int() < b.as_int(),
+            |a, b| {
+                if a.as_int() < b.as_int() {
+                    b.clone()
+                } else {
+                    a.clone()
+                }
+            },
+            |a, b| {
+                if a.as_int() < b.as_int() {
+                    a.clone()
+                } else {
+                    b.clone()
+                }
+            },
+        );
+        let mut l = LatticeData::new(ops);
+        let fault = l.join(row(&[1]), Value::Int(5)).unwrap_err();
+        assert!(
+            matches!(fault, InsertFault::Safety(Violation::NotReflexive(_))),
+            "got {fault:?}"
+        );
     }
 
     #[test]
@@ -322,15 +450,15 @@ mod tests {
 
         assert!(matches!(
             db.insert(e, vec![Value::Int(1), Value::Int(2)]),
-            InsertOutcome::NewRow(_)
+            Ok(InsertOutcome::NewRow(_))
         ));
         assert!(matches!(
             db.insert(e, vec![Value::Int(1), Value::Int(2)]),
-            InsertOutcome::Unchanged
+            Ok(InsertOutcome::Unchanged)
         ));
         assert!(matches!(
             db.insert(iv, vec![Value::from("x"), Parity::Odd.to_value()]),
-            InsertOutcome::LatIncrease(_, _)
+            Ok(InsertOutcome::LatIncrease(_, _))
         ));
         assert_eq!(db.total_facts(), 2);
         assert_eq!(db.len_of(e), 1);

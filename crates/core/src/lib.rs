@@ -69,6 +69,7 @@
 
 mod ast;
 mod database;
+mod guard;
 pub mod model;
 mod ops;
 mod program;
@@ -82,7 +83,8 @@ pub use ast::{
     BodyItem, FuncId, Head, HeadTerm, PredDecl, PredId, PredKind, ProgramBuilder, ProgramError,
     Term,
 };
+pub use guard::{Budget, BudgetKind, CancelToken};
 pub use ops::{LatticeOps, ValueLattice};
 pub use program::Program;
-pub use solver::{Solution, SolveError, SolveStats, Solver, Strategy};
+pub use solver::{Solution, SolveError, SolveFailure, SolveStats, Solver, Strategy};
 pub use value::Value;

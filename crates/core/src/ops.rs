@@ -1,11 +1,27 @@
 //! Runtime lattice operations over dynamic [`Value`]s.
 
+use crate::guard::panic_payload;
 use crate::Value;
 use flix_lattice::{
     Constant, Flat, Interval, Lattice, MinCost, Parity, PowerSet, Sign, SuLattice, Transformer,
 };
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+
+/// A panic caught inside a user-supplied lattice operation or function.
+///
+/// The solver isolates every invocation of user code with
+/// `catch_unwind`, so a buggy `leq`/`lub`/`glb` (or a transfer function
+/// that indexes out of bounds) surfaces as a structured solve error with
+/// the offending function named, instead of tearing down the process.
+#[derive(Clone, Debug)]
+pub(crate) struct OpsPanic {
+    /// Qualified function name, e.g. `Parity.lub`.
+    pub(crate) function: String,
+    /// The rendered panic payload.
+    pub(crate) payload: String,
+}
 
 /// Shared closure type for the components of a [`LatticeOps`].
 type BinOp = Arc<dyn Fn(&Value, &Value) -> Value + Send + Sync>;
@@ -125,6 +141,29 @@ impl LatticeOps {
     /// Returns `true` if `v` is the bottom element.
     pub fn is_bottom(&self, v: &Value) -> bool {
         *v == self.bot
+    }
+
+    /// [`LatticeOps::leq`] with panic isolation: a panic in the user
+    /// closure is caught and reported as a structured [`OpsPanic`].
+    pub(crate) fn try_leq(&self, a: &Value, b: &Value) -> Result<bool, OpsPanic> {
+        catch_unwind(AssertUnwindSafe(|| (self.leq)(a, b))).map_err(|p| self.ops_panic("leq", p))
+    }
+
+    /// [`LatticeOps::lub`] with panic isolation.
+    pub(crate) fn try_lub(&self, a: &Value, b: &Value) -> Result<Value, OpsPanic> {
+        catch_unwind(AssertUnwindSafe(|| (self.lub)(a, b))).map_err(|p| self.ops_panic("lub", p))
+    }
+
+    /// [`LatticeOps::glb`] with panic isolation.
+    pub(crate) fn try_glb(&self, a: &Value, b: &Value) -> Result<Value, OpsPanic> {
+        catch_unwind(AssertUnwindSafe(|| (self.glb)(a, b))).map_err(|p| self.ops_panic("glb", p))
+    }
+
+    fn ops_panic(&self, op: &str, payload: Box<dyn std::any::Any + Send>) -> OpsPanic {
+        OpsPanic {
+            function: format!("{}.{op}", self.name),
+            payload: panic_payload(payload),
+        }
     }
 }
 

@@ -9,13 +9,23 @@
 //! body atom, instantiating that atom from `∆P` and the others from the
 //! full database.
 
+// The error path is terminal and cold: a `SolveError` is built at most
+// once per solve, so the large-`Err`-variant lint's copy-cost concern
+// does not apply to the internal `Result<_, SolveError>` plumbing. The
+// public API already boxes it (`Box<SolveFailure>`).
+#![allow(clippy::result_large_err)]
+
 use crate::ast::{PredKind, ProgramError};
-use crate::database::{Database, InsertOutcome, PredData, Row};
+use crate::database::{Database, InsertFault, InsertOutcome, PredData, Row};
+use crate::guard::{panic_payload, Budget, BudgetKind, EvalGuard, Guard};
+use crate::ops::OpsPanic;
 use crate::program::{CHead, CItem, CRule, CTerm, Program};
 use crate::provenance::{key_matches, pattern_matches, DerivationTree, Event, Premise, Source};
 use crate::stratify::stratify;
+use crate::verify::Violation;
 use crate::{PredId, Value};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The evaluation strategy for [`Solver`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -66,6 +76,43 @@ pub enum SolveError {
     RoundLimitExceeded {
         /// The limit that was hit.
         limit: u64,
+        /// The stratum (0-based evaluation order) that failed to converge.
+        stratum: usize,
+        /// Statistics at the moment the limit was hit.
+        stats: SolveStats,
+    },
+    /// A user-supplied function or lattice operation panicked. The solver
+    /// catches the panic (`catch_unwind`), names the function and the
+    /// context it was invoked from, and returns the facts derived so far.
+    FunctionPanicked {
+        /// The predicate being derived (or matched) when the panic fired.
+        predicate: String,
+        /// The rule index within the program, when attributable to a rule.
+        rule: Option<usize>,
+        /// The function that panicked (e.g. `Parity.lub` or a named
+        /// transfer function).
+        function: String,
+        /// The rendered panic payload.
+        payload: String,
+    },
+    /// A runtime safety sentinel caught the user's lattice or functions
+    /// violating a required law *during* solving (§7 "Safety") — e.g. a
+    /// `lub` whose result is not an upper bound, an irreflexive `leq`, or
+    /// a filter returning a non-boolean.
+    SafetyViolation {
+        /// The predicate being derived when the sentinel tripped.
+        predicate: String,
+        /// The rule index within the program, when attributable to a rule.
+        rule: Option<usize>,
+        /// The concrete law violation observed.
+        violation: Violation,
+    },
+    /// A configured [`Budget`] limit was reached before the fixed point.
+    BudgetExceeded {
+        /// Which limit tripped.
+        kind: BudgetKind,
+        /// Statistics at the moment the budget tripped.
+        stats: SolveStats,
     },
 }
 
@@ -73,11 +120,48 @@ impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolveError::Program(e) => write!(f, "{e}"),
-            SolveError::RoundLimitExceeded { limit } => write!(
+            SolveError::RoundLimitExceeded {
+                limit,
+                stratum,
+                stats,
+            } => write!(
                 f,
-                "fixed point not reached within {limit} rounds; check that every lattice has \
-                 finite height and every function is monotone"
+                "fixed point not reached within {limit} rounds: stratum {stratum} did not \
+                 converge after {} derivations; check that every lattice has finite height \
+                 and every function is monotone",
+                stats.facts_derived
             ),
+            SolveError::FunctionPanicked {
+                predicate,
+                rule,
+                function,
+                payload,
+                ..
+            } => {
+                write!(f, "function {function} panicked")?;
+                if let Some(r) = rule {
+                    write!(f, " in rule #{r}")?;
+                }
+                write!(f, " while deriving {predicate}: {payload}")
+            }
+            SolveError::SafetyViolation {
+                predicate,
+                rule,
+                violation,
+            } => {
+                write!(f, "lattice safety violation")?;
+                if let Some(r) = rule {
+                    write!(f, " in rule #{r}")?;
+                }
+                write!(f, " while deriving {predicate}: {violation}")
+            }
+            SolveError::BudgetExceeded { kind, stats } => {
+                write!(
+                    f,
+                    "{kind} after {} rounds and {} derivations",
+                    stats.rounds, stats.facts_derived
+                )
+            }
         }
     }
 }
@@ -87,6 +171,41 @@ impl std::error::Error for SolveError {}
 impl From<ProgramError> for SolveError {
     fn from(e: ProgramError) -> SolveError {
         SolveError::Program(e)
+    }
+}
+
+/// A failed solve, carrying the partial solution computed before failure.
+///
+/// Every failure mode of [`Solver::solve`] — a panicking user function, a
+/// safety violation, an exhausted budget, a round limit — returns this
+/// struct rather than discarding the work done: `partial` is a fully
+/// queryable [`Solution`] over the facts derived up to the failure point,
+/// and `stats` describes the run. The partial solution is *sound but
+/// possibly incomplete*: every fact in it is derivable, but facts may be
+/// missing (and lattice cells may sit below their fixed-point values).
+#[derive(Debug)]
+pub struct SolveFailure {
+    /// Why the solve stopped.
+    pub error: SolveError,
+    /// The facts derived before the failure, queryable like any solution.
+    pub partial: Solution,
+    /// Statistics of the partial run.
+    pub stats: SolveStats,
+}
+
+impl fmt::Display for SolveFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (partial solution retains {} facts)",
+            self.error, self.stats.total_facts
+        )
+    }
+}
+
+impl std::error::Error for SolveFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -127,6 +246,7 @@ pub struct Solver {
     use_indexes: bool,
     max_rounds: Option<u64>,
     provenance: bool,
+    budget: Budget,
 }
 
 impl Default for Solver {
@@ -137,7 +257,7 @@ impl Default for Solver {
 
 impl Solver {
     /// Creates a solver with the default configuration: semi-naïve,
-    /// sequential, indexed, no round limit.
+    /// sequential, indexed, no round limit, unlimited budget.
     pub fn new() -> Solver {
         Solver {
             strategy: Strategy::SemiNaive,
@@ -145,6 +265,7 @@ impl Solver {
             use_indexes: true,
             max_rounds: None,
             provenance: false,
+            budget: Budget::new(),
         }
     }
 
@@ -185,25 +306,78 @@ impl Solver {
         self
     }
 
+    /// Attaches a resource [`Budget`] (deadline, fact/derivation limits,
+    /// cancellation token). When a limit trips, [`Solver::solve`] returns
+    /// [`SolveError::BudgetExceeded`] inside a [`SolveFailure`] carrying
+    /// the partial solution.
+    pub fn budget(mut self, budget: Budget) -> Solver {
+        self.budget = budget;
+        self
+    }
+
     /// Computes the minimal model of `program`.
     ///
     /// # Errors
     ///
-    /// Returns [`SolveError::Program`] if the program is not stratifiable
-    /// and [`SolveError::RoundLimitExceeded`] if a configured round limit
-    /// is hit before the fixed point.
-    pub fn solve(&self, program: &Program) -> Result<Solution, SolveError> {
-        let strata = stratify(program)?;
+    /// On failure, returns a [`SolveFailure`] carrying the [`SolveError`]
+    /// plus the partial [`Solution`] derived before the failure:
+    ///
+    /// - [`SolveError::Program`] if the program is not stratifiable;
+    /// - [`SolveError::RoundLimitExceeded`] if a configured round limit is
+    ///   hit before the fixed point;
+    /// - [`SolveError::FunctionPanicked`] if a user-supplied function or
+    ///   lattice operation panics (the panic is caught, not propagated);
+    /// - [`SolveError::SafetyViolation`] if a runtime sentinel observes a
+    ///   lattice-law violation;
+    /// - [`SolveError::BudgetExceeded`] if the configured [`Budget`] runs
+    ///   out.
+    pub fn solve(&self, program: &Program) -> Result<Solution, Box<SolveFailure>> {
+        let guard = Guard::new(&self.budget);
         let mut db = Database::for_program(program, self.use_indexes);
         let mut stats = SolveStats::default();
         let mut events: Option<Vec<Event>> = self.provenance.then(Vec::new);
+
+        let outcome = self.solve_inner(program, &guard, &mut db, &mut stats, &mut events);
+
+        stats.index_probes = db.index_probes.load(std::sync::atomic::Ordering::Relaxed);
+        stats.scan_fallbacks = db.scan_fallbacks.load(std::sync::atomic::Ordering::Relaxed);
+        stats.total_facts = db.total_facts() as u64;
+        let solution = make_solution(program, db, stats.clone(), events);
+        match outcome {
+            Ok(()) => Ok(solution),
+            Err(mut error) => {
+                // The stats snapshot embedded at the failure site predates
+                // the final counter fold; refresh it.
+                if let SolveError::RoundLimitExceeded { stats: s, .. }
+                | SolveError::BudgetExceeded { stats: s, .. } = &mut error
+                {
+                    *s = stats.clone();
+                }
+                Err(Box::new(SolveFailure {
+                    error,
+                    partial: solution,
+                    stats,
+                }))
+            }
+        }
+    }
+
+    fn solve_inner(
+        &self,
+        program: &Program,
+        guard: &Guard<'_>,
+        db: &mut Database,
+        stats: &mut SolveStats,
+        events: &mut Option<Vec<Event>>,
+    ) -> Result<(), SolveError> {
+        let strata = stratify(program)?;
         let npreds = program.preds.len();
 
         // Load the extensional facts.
         for (pred, values) in &program.facts {
             match db.insert(*pred, values.clone()) {
-                InsertOutcome::Unchanged => {}
-                _ => {
+                Ok(InsertOutcome::Unchanged) => {}
+                Ok(_) => {
                     stats.facts_inserted += 1;
                     if let Some(log) = events.as_mut() {
                         log.push(Event {
@@ -213,61 +387,62 @@ impl Solver {
                         });
                     }
                 }
+                Err(fault) => return Err(insert_fault_error(program, *pred, None, fault)),
             }
         }
 
-        for group in &strata.rule_groups {
+        for (stratum, group) in strata.rule_groups.iter().enumerate() {
             stats.strata += 1;
             match self.strategy {
                 Strategy::Naive => {
-                    self.run_naive(program, &mut db, group, &mut stats, &mut events)?;
+                    self.run_naive(program, guard, db, group, stratum, stats, events)?;
                 }
                 Strategy::SemiNaive => {
-                    self.run_semi_naive(program, &mut db, group, npreds, &mut stats, &mut events)?;
+                    self.run_semi_naive(program, guard, db, group, stratum, npreds, stats, events)?;
                 }
-            }
-        }
-
-        stats.index_probes = db.index_probes.load(std::sync::atomic::Ordering::Relaxed);
-        stats.scan_fallbacks = db.scan_fallbacks.load(std::sync::atomic::Ordering::Relaxed);
-        stats.total_facts = db.total_facts() as u64;
-        Ok(Solution {
-            names: program
-                .preds
-                .iter()
-                .enumerate()
-                .map(|(i, d)| (d.name.to_string(), PredId(i as u32)))
-                .collect(),
-            kinds: program
-                .preds
-                .iter()
-                .map(|d| matches!(d.kind, PredKind::Lattice(_)))
-                .collect(),
-            db,
-            stats,
-            events,
-        })
-    }
-
-    fn check_round_limit(&self, stats: &SolveStats) -> Result<(), SolveError> {
-        if let Some(limit) = self.max_rounds {
-            if stats.rounds >= limit {
-                return Err(SolveError::RoundLimitExceeded { limit });
             }
         }
         Ok(())
     }
 
+    fn check_round(
+        &self,
+        guard: &Guard<'_>,
+        db: &Database,
+        stratum: usize,
+        stats: &SolveStats,
+    ) -> Result<(), SolveError> {
+        if let Some(limit) = self.max_rounds {
+            if stats.rounds >= limit {
+                return Err(SolveError::RoundLimitExceeded {
+                    limit,
+                    stratum,
+                    stats: stats.clone(),
+                });
+            }
+        }
+        if let Some(kind) = guard.exceeded(stats.facts_derived, db.total_facts() as u64) {
+            return Err(SolveError::BudgetExceeded {
+                kind,
+                stats: stats.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_naive(
         &self,
         program: &Program,
+        guard: &Guard<'_>,
         db: &mut Database,
         group: &[usize],
+        stratum: usize,
         stats: &mut SolveStats,
         events: &mut Option<Vec<Event>>,
     ) -> Result<(), SolveError> {
         loop {
-            self.check_round_limit(stats)?;
+            self.check_round(guard, db, stratum, stats)?;
             stats.rounds += 1;
             let tasks: Vec<Task> = group
                 .iter()
@@ -276,16 +451,19 @@ impl Solver {
                     variant: None,
                 })
                 .collect();
-            let derived = self.run_tasks(program, db, &tasks, &[], stats);
+            let derived = self.run_tasks(program, guard, db, &tasks, &[], stats)?;
             let mut changed = false;
             for d in derived {
                 stats.facts_derived += 1;
                 match db.insert(d.pred, d.tuple.clone()) {
-                    InsertOutcome::Unchanged => {}
-                    outcome => {
+                    Ok(InsertOutcome::Unchanged) => {}
+                    Ok(outcome) => {
                         stats.facts_inserted += 1;
                         changed = true;
                         log_event(events, &d, outcome);
+                    }
+                    Err(fault) => {
+                        return Err(insert_fault_error(program, d.pred, Some(d.rule), fault))
                     }
                 }
             }
@@ -299,14 +477,16 @@ impl Solver {
     fn run_semi_naive(
         &self,
         program: &Program,
+        guard: &Guard<'_>,
         db: &mut Database,
         group: &[usize],
+        stratum: usize,
         npreds: usize,
         stats: &mut SolveStats,
         events: &mut Option<Vec<Event>>,
     ) -> Result<(), SolveError> {
         // Seed round: one full (naïve) evaluation of the stratum's rules.
-        self.check_round_limit(stats)?;
+        self.check_round(guard, db, stratum, stats)?;
         stats.rounds += 1;
         let seed_tasks: Vec<Task> = group
             .iter()
@@ -315,16 +495,16 @@ impl Solver {
                 variant: None,
             })
             .collect();
-        let derived = self.run_tasks(program, db, &seed_tasks, &[], stats);
+        let derived = self.run_tasks(program, guard, db, &seed_tasks, &[], stats)?;
         let mut delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
         for d in derived {
             stats.facts_derived += 1;
-            record_insert(db, d, &mut delta, stats, events);
+            record_insert(program, db, d, &mut delta, stats, events)?;
         }
 
         // Incremental rounds.
         while delta.iter().any(|d| !d.is_empty()) {
-            self.check_round_limit(stats)?;
+            self.check_round(guard, db, stratum, stats)?;
             stats.rounds += 1;
             let mut tasks = Vec::new();
             for &r in group {
@@ -338,11 +518,11 @@ impl Solver {
                     }
                 }
             }
-            let derived = self.run_tasks(program, db, &tasks, &delta, stats);
+            let derived = self.run_tasks(program, guard, db, &tasks, &delta, stats)?;
             let mut new_delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
             for d in derived {
                 stats.facts_derived += 1;
-                record_insert(db, d, &mut new_delta, stats, events);
+                record_insert(program, db, d, &mut new_delta, stats, events)?;
             }
             delta = new_delta;
         }
@@ -352,50 +532,55 @@ impl Solver {
     fn run_tasks(
         &self,
         program: &Program,
+        guard: &Guard<'_>,
         db: &Database,
         tasks: &[Task],
         delta: &[Vec<Row>],
         stats: &mut SolveStats,
-    ) -> Vec<Derived> {
+    ) -> Result<Vec<Derived>, SolveError> {
         stats.rule_evaluations += tasks.len() as u64;
         if self.threads <= 1 || tasks.len() <= 1 {
+            let eval_guard = guard.eval_guard();
             let mut out = Vec::new();
             for task in tasks {
-                eval_rule_prov(
+                run_one_task(
                     program,
                     db,
-                    task.rule,
-                    task.variant,
+                    task,
                     delta,
                     self.provenance,
+                    &eval_guard,
                     &mut out,
-                );
+                )?;
             }
-            return out;
+            return Ok(out);
         }
         // Parallel: rule evaluations within a round only read the database,
         // so they can proceed concurrently; outputs are merged afterwards.
+        // Each worker gets its own EvalGuard (the amortisation counter is
+        // not thread-safe); a fault in any worker fails the whole round.
         let chunk = tasks.len().div_ceil(self.threads);
         let provenance = self.provenance;
-        let mut results: Vec<Vec<Derived>> = Vec::new();
+        let mut results: Vec<Result<Vec<Derived>, SolveError>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = tasks
                 .chunks(chunk)
                 .map(|task_chunk| {
                     scope.spawn(move || {
+                        let eval_guard = guard.eval_guard();
                         let mut out = Vec::new();
                         for task in task_chunk {
-                            eval_rule_prov(
+                            run_one_task(
                                 program,
                                 db,
-                                task.rule,
-                                task.variant,
+                                task,
                                 delta,
                                 provenance,
+                                &eval_guard,
                                 &mut out,
-                            );
+                            )?;
                         }
-                        out
+                        Ok(out)
                     })
                 })
                 .collect();
@@ -403,7 +588,114 @@ impl Solver {
                 results.push(h.join().expect("solver worker panicked"));
             }
         });
-        results.into_iter().flatten().collect()
+        let mut merged = Vec::new();
+        for r in results {
+            merged.extend(r?);
+        }
+        Ok(merged)
+    }
+}
+
+/// Evaluates one task, converting an [`EvalFault`] into a [`SolveError`]
+/// attributed to the task's rule.
+fn run_one_task(
+    program: &Program,
+    db: &Database,
+    task: &Task,
+    delta: &[Vec<Row>],
+    provenance: bool,
+    eval_guard: &EvalGuard<'_>,
+    out: &mut Vec<Derived>,
+) -> Result<(), SolveError> {
+    eval_guard
+        .check_now()
+        .map_err(|kind| SolveError::BudgetExceeded {
+            kind,
+            stats: SolveStats::default(),
+        })?;
+    eval_rule_prov(
+        program,
+        db,
+        task.rule,
+        task.variant,
+        delta,
+        provenance,
+        eval_guard,
+        out,
+    )
+    .map_err(|fault| eval_fault_error(program, task.rule, fault))
+}
+
+/// Attributes an [`InsertFault`] (from [`Database::insert`]) to the
+/// predicate and rule it happened under.
+fn insert_fault_error(
+    program: &Program,
+    pred: PredId,
+    rule: Option<usize>,
+    fault: InsertFault,
+) -> SolveError {
+    let predicate = program.decl(pred).name.to_string();
+    match fault {
+        InsertFault::Panic(OpsPanic { function, payload }) => SolveError::FunctionPanicked {
+            predicate,
+            rule,
+            function,
+            payload,
+        },
+        InsertFault::Safety(violation) => SolveError::SafetyViolation {
+            predicate,
+            rule,
+            violation,
+        },
+    }
+}
+
+/// Attributes an [`EvalFault`] (raised during rule-body evaluation) to the
+/// rule's head predicate.
+fn eval_fault_error(program: &Program, rule: usize, fault: EvalFault) -> SolveError {
+    let predicate = program.decl(program.rules[rule].head_pred).name.to_string();
+    match fault {
+        EvalFault::Panic { function, payload } => SolveError::FunctionPanicked {
+            predicate,
+            rule: Some(rule),
+            function,
+            payload,
+        },
+        EvalFault::Safety(violation) => SolveError::SafetyViolation {
+            predicate,
+            rule: Some(rule),
+            violation,
+        },
+        EvalFault::Budget(kind) => SolveError::BudgetExceeded {
+            kind,
+            stats: SolveStats::default(),
+        },
+    }
+}
+
+/// Assembles the queryable [`Solution`] from the (possibly partial)
+/// database.
+fn make_solution(
+    program: &Program,
+    db: Database,
+    stats: SolveStats,
+    events: Option<Vec<Event>>,
+) -> Solution {
+    Solution {
+        names: program
+            .preds
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.to_string(), PredId(i as u32)))
+            .collect(),
+        kinds: program
+            .preds
+            .iter()
+            .map(|d| matches!(d.kind, PredKind::Lattice(_)))
+            .collect(),
+        db,
+        stats,
+        events,
     }
 }
 
@@ -425,14 +717,18 @@ pub(crate) struct Derived {
 }
 
 fn record_insert(
+    program: &Program,
     db: &mut Database,
     d: Derived,
     delta: &mut [Vec<Row>],
     stats: &mut SolveStats,
     events: &mut Option<Vec<Event>>,
-) {
+) -> Result<(), SolveError> {
     let pred = d.pred;
-    match db.insert(pred, d.tuple.clone()) {
+    match db
+        .insert(pred, d.tuple.clone())
+        .map_err(|fault| insert_fault_error(program, pred, Some(d.rule), fault))?
+    {
         InsertOutcome::Unchanged => {}
         outcome @ InsertOutcome::NewRow(_) => {
             stats.facts_inserted += 1;
@@ -453,6 +749,7 @@ fn record_insert(
             log_event(events, &d, outcome);
         }
     }
+    Ok(())
 }
 
 /// Appends a provenance event for a database-changing insertion.
@@ -480,6 +777,32 @@ fn log_event(events: &mut Option<Vec<Event>>, d: &Derived, outcome: InsertOutcom
     });
 }
 
+/// A fault raised while evaluating one rule body: a caught panic in user
+/// code, a tripped safety sentinel, or a budget limit hit mid-evaluation.
+#[derive(Clone, Debug)]
+pub(crate) enum EvalFault {
+    /// A user function or lattice operation panicked.
+    Panic {
+        /// The function that panicked.
+        function: String,
+        /// The rendered panic payload.
+        payload: String,
+    },
+    /// A runtime sentinel tripped.
+    Safety(Violation),
+    /// A budget limit tripped during evaluation.
+    Budget(BudgetKind),
+}
+
+impl From<OpsPanic> for EvalFault {
+    fn from(p: OpsPanic) -> EvalFault {
+        EvalFault::Panic {
+            function: p.function,
+            payload: p.payload,
+        }
+    }
+}
+
 /// Evaluates a rule by index, producing [`Derived`] records (with
 /// premises when `provenance` is set).
 #[allow(clippy::too_many_arguments)]
@@ -490,24 +813,25 @@ pub(crate) fn eval_rule_prov(
     variant: Option<usize>,
     delta: &[Vec<Row>],
     provenance: bool,
+    guard: &EvalGuard<'_>,
     out: &mut Vec<Derived>,
-) {
-    let mut raw: Vec<(PredId, Vec<Value>, Option<Vec<Premise>>)> = Vec::new();
-    eval_rule_inner(
+) -> Result<(), EvalFault> {
+    let raw = eval_rule_inner(
         program,
         db,
         &program.rules[rule_idx],
         variant,
         delta,
         provenance,
-        &mut raw,
-    );
+        guard,
+    )?;
     out.extend(raw.into_iter().map(|(pred, tuple, premises)| Derived {
         pred,
         tuple,
         rule: rule_idx,
         premises,
     }));
+    Ok(())
 }
 
 /// The variable environment of one rule evaluation.
@@ -532,6 +856,15 @@ fn unwind(env: &mut Env, trail: &mut Trail, mark: usize) {
 /// `out`. With `variant = Some(i)`, the i-th delta variant body is used:
 /// its first atom is instantiated from `delta` instead of the full
 /// database (§3.7's incremental evaluation step).
+///
+/// This is the unguarded entry point used by the model checker; it runs
+/// with no budget and assumes total user functions.
+///
+/// # Panics
+///
+/// Re-raises (as a plain panic) any fault the guarded evaluator would
+/// report structurally — the model checker has no partial result to
+/// salvage.
 pub(crate) fn eval_rule(
     program: &Program,
     db: &Database,
@@ -540,12 +873,38 @@ pub(crate) fn eval_rule(
     delta: &[Vec<Row>],
     out: &mut Vec<(PredId, Vec<Value>)>,
 ) {
-    let mut raw = Vec::new();
-    eval_rule_inner(program, db, rule, variant, delta, false, &mut raw);
-    out.extend(raw.into_iter().map(|(pred, tuple, _)| (pred, tuple)));
+    let guard = EvalGuard::unlimited();
+    match eval_rule_inner(program, db, rule, variant, delta, false, &guard) {
+        Ok(raw) => out.extend(raw.into_iter().map(|(pred, tuple, _)| (pred, tuple))),
+        Err(EvalFault::Panic { function, payload }) => {
+            panic!("function {function} panicked during model check: {payload}")
+        }
+        Err(EvalFault::Safety(v)) => panic!("lattice safety violation during model check: {v}"),
+        Err(EvalFault::Budget(_)) => unreachable!("unlimited guard never trips"),
+    }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// A derived head tuple before insertion: target predicate, values, and
+/// the rule premises when provenance recording is on.
+type RawDerivation = (PredId, Vec<Value>, Option<Vec<Premise>>);
+
+/// Per-evaluation mutable state: the output accumulator, the first fault
+/// observed (evaluation short-circuits once set), and the budget guard.
+struct EvalCx<'a> {
+    guard: &'a EvalGuard<'a>,
+    provenance: bool,
+    out: Vec<RawDerivation>,
+    fault: Option<EvalFault>,
+}
+
+impl EvalCx<'_> {
+    fn fail(&mut self, fault: impl Into<EvalFault>) {
+        if self.fault.is_none() {
+            self.fault = Some(fault.into());
+        }
+    }
+}
+
 fn eval_rule_inner(
     program: &Program,
     db: &Database,
@@ -553,17 +912,48 @@ fn eval_rule_inner(
     variant: Option<usize>,
     delta: &[Vec<Row>],
     provenance: bool,
-    out: &mut Vec<(PredId, Vec<Value>, Option<Vec<Premise>>)>,
-) {
+    guard: &EvalGuard<'_>,
+) -> Result<Vec<RawDerivation>, EvalFault> {
     let (body, delta_pos): (&[CItem], Option<usize>) = match variant {
         None => (&rule.body, None),
         Some(vi) => (&rule.delta_variants[vi].1, Some(0)),
     };
     let mut env: Env = vec![None; rule.num_vars];
     let mut trail: Trail = Vec::new();
+    let mut cx = EvalCx {
+        guard,
+        provenance,
+        out: Vec::new(),
+        fault: None,
+    };
     eval_body(
-        program, db, rule, body, 0, delta_pos, delta, provenance, &mut env, &mut trail, out,
+        program, db, rule, body, 0, delta_pos, delta, &mut env, &mut trail, &mut cx,
     );
+    match cx.fault {
+        None => Ok(cx.out),
+        Some(fault) => Err(fault),
+    }
+}
+
+/// Invokes a user-defined function body with panic isolation; on a caught
+/// panic the fault is recorded in `cx` and `None` returned.
+fn call_user_fn(
+    program: &Program,
+    func: usize,
+    vals: &[Value],
+    cx: &mut EvalCx<'_>,
+) -> Option<Value> {
+    let fdef = &program.funcs[func];
+    match catch_unwind(AssertUnwindSafe(|| (fdef.body)(vals))) {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            cx.fail(EvalFault::Panic {
+                function: fdef.name.to_string(),
+                payload: panic_payload(payload),
+            });
+            None
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -575,13 +965,19 @@ fn eval_body(
     item_idx: usize,
     delta_pos: Option<usize>,
     delta: &[Vec<Row>],
-    provenance: bool,
     env: &mut Env,
     trail: &mut Trail,
-    out: &mut Vec<(PredId, Vec<Value>, Option<Vec<Premise>>)>,
+    cx: &mut EvalCx<'_>,
 ) {
+    if cx.fault.is_some() {
+        return;
+    }
+    if let Err(kind) = cx.guard.poll() {
+        cx.fail(EvalFault::Budget(kind));
+        return;
+    }
     if item_idx == body.len() {
-        derive_head(program, rule, body, provenance, env, out);
+        derive_head(program, rule, body, env, cx);
         return;
     }
     match &body[item_idx] {
@@ -592,13 +988,13 @@ fn eval_body(
         } => {
             let is_lat = program.decl(*pred).is_lattice();
             let ops = program.decl(*pred).lattice_ops();
-            let visit = |row: &[Value],
-                         env: &mut Env,
-                         trail: &mut Trail,
-                         out: &mut Vec<(PredId, Vec<Value>, Option<Vec<Premise>>)>| {
+            let visit = |row: &[Value], env: &mut Env, trail: &mut Trail, cx: &mut EvalCx<'_>| {
+                if cx.fault.is_some() {
+                    return;
+                }
                 let mark = trail.len();
-                if match_tuple(terms, row, is_lat, ops, env, trail) {
-                    eval_body(
+                match match_tuple(terms, row, is_lat, ops, env, trail) {
+                    Ok(true) => eval_body(
                         program,
                         db,
                         rule,
@@ -606,17 +1002,18 @@ fn eval_body(
                         item_idx + 1,
                         delta_pos,
                         delta,
-                        provenance,
                         env,
                         trail,
-                        out,
-                    );
+                        cx,
+                    ),
+                    Ok(false) => {}
+                    Err(p) => cx.fail(p),
                 }
                 unwind(env, trail, mark);
             };
             if delta_pos == Some(item_idx) {
                 for row in &delta[pred.0 as usize] {
-                    visit(row, env, trail, out);
+                    visit(row, env, trail, cx);
                 }
                 return;
             }
@@ -638,10 +1035,9 @@ fn eval_body(
                                     item_idx + 1,
                                     delta_pos,
                                     delta,
-                                    provenance,
                                     env,
                                     trail,
-                                    out,
+                                    cx,
                                 );
                             }
                             return;
@@ -653,14 +1049,14 @@ fn eval_body(
                         db.count_probe();
                         let rows = rel.rows();
                         for &i in hits {
-                            visit(&rows[i as usize], env, trail, out);
+                            visit(&rows[i as usize], env, trail, cx);
                         }
                     } else {
                         if !index_cols.is_empty() {
                             db.count_scan();
                         }
                         for row in rel.rows() {
-                            visit(row, env, trail, out);
+                            visit(row, env, trail, cx);
                         }
                     }
                 }
@@ -669,14 +1065,14 @@ fn eval_body(
                     if let Some(key) = ground_key(terms, env) {
                         if let Some(cell) = lat.value(&key) {
                             let mark = trail.len();
-                            if match_lattice_value(
+                            match match_lattice_value(
                                 terms.last().expect("lattice arity >= 1"),
                                 cell,
                                 lat.ops(),
                                 env,
                                 trail,
                             ) {
-                                eval_body(
+                                Ok(true) => eval_body(
                                     program,
                                     db,
                                     rule,
@@ -684,11 +1080,12 @@ fn eval_body(
                                     item_idx + 1,
                                     delta_pos,
                                     delta,
-                                    provenance,
                                     env,
                                     trail,
-                                    out,
-                                );
+                                    cx,
+                                ),
+                                Ok(false) => {}
+                                Err(p) => cx.fail(p),
                             }
                             unwind(env, trail, mark);
                         }
@@ -702,67 +1099,84 @@ fn eval_body(
                         for &i in hits {
                             let key = &keys[i as usize];
                             let cell = lat.value(key).expect("indexed key exists");
-                            visit_lat(key, cell, terms, lat.ops(), env, trail, |env, trail| {
-                                eval_body(
-                                    program,
-                                    db,
-                                    rule,
-                                    body,
-                                    item_idx + 1,
-                                    delta_pos,
-                                    delta,
-                                    provenance,
-                                    env,
-                                    trail,
-                                    out,
-                                )
-                            });
+                            visit_lat(
+                                key,
+                                cell,
+                                terms,
+                                lat.ops(),
+                                env,
+                                trail,
+                                cx,
+                                |env, trail, cx| {
+                                    eval_body(
+                                        program,
+                                        db,
+                                        rule,
+                                        body,
+                                        item_idx + 1,
+                                        delta_pos,
+                                        delta,
+                                        env,
+                                        trail,
+                                        cx,
+                                    )
+                                },
+                            );
                         }
                     } else {
                         if !index_cols.is_empty() {
                             db.count_scan();
                         }
                         for (key, cell) in lat.iter() {
-                            visit_lat(key, cell, terms, lat.ops(), env, trail, |env, trail| {
-                                eval_body(
-                                    program,
-                                    db,
-                                    rule,
-                                    body,
-                                    item_idx + 1,
-                                    delta_pos,
-                                    delta,
-                                    provenance,
-                                    env,
-                                    trail,
-                                    out,
-                                )
-                            });
+                            visit_lat(
+                                key,
+                                cell,
+                                terms,
+                                lat.ops(),
+                                env,
+                                trail,
+                                cx,
+                                |env, trail, cx| {
+                                    eval_body(
+                                        program,
+                                        db,
+                                        rule,
+                                        body,
+                                        item_idx + 1,
+                                        delta_pos,
+                                        delta,
+                                        env,
+                                        trail,
+                                        cx,
+                                    )
+                                },
+                            );
                         }
                     }
                 }
             }
         }
-        CItem::NegAtom { pred, terms } => {
-            if !exists_match(program, db, *pred, terms, env) {
-                eval_body(
-                    program,
-                    db,
-                    rule,
-                    body,
-                    item_idx + 1,
-                    delta_pos,
-                    delta,
-                    provenance,
-                    env,
-                    trail,
-                    out,
-                );
-            }
-        }
+        CItem::NegAtom { pred, terms } => match exists_match(program, db, *pred, terms, env) {
+            Ok(false) => eval_body(
+                program,
+                db,
+                rule,
+                body,
+                item_idx + 1,
+                delta_pos,
+                delta,
+                env,
+                trail,
+                cx,
+            ),
+            Ok(true) => {}
+            Err(p) => cx.fail(p),
+        },
         CItem::Filter { func, args } => {
             let vals = eval_args(args, env);
-            let result = (program.funcs[*func].body)(&vals);
+            let Some(result) = call_user_fn(program, *func, &vals, cx) else {
+                return;
+            };
             match result {
                 Value::Bool(true) => eval_body(
                     program,
@@ -772,28 +1186,30 @@ fn eval_body(
                     item_idx + 1,
                     delta_pos,
                     delta,
-                    provenance,
                     env,
                     trail,
-                    out,
+                    cx,
                 ),
                 Value::Bool(false) => {}
-                other => panic!(
-                    "filter function {} returned non-boolean value {other}",
-                    program.funcs[*func].name
-                ),
+                other => cx.fail(EvalFault::Safety(Violation::FilterNotBoolean(vals, other))),
             }
         }
         CItem::Choose { func, args, binds } => {
             let vals = eval_args(args, env);
-            let result = (program.funcs[*func].body)(&vals);
+            let Some(result) = call_user_fn(program, *func, &vals, cx) else {
+                return;
+            };
             let Value::Set(elems) = &result else {
-                panic!(
-                    "choice function {} returned non-set value {result}",
-                    program.funcs[*func].name
-                )
+                cx.fail(EvalFault::Safety(Violation::ChoiceMalformed(
+                    vals,
+                    result.clone(),
+                )));
+                return;
             };
             for elem in elems.iter() {
+                if cx.fault.is_some() {
+                    return;
+                }
                 let mark = trail.len();
                 let ok = if binds.len() == 1 {
                     bind(env, trail, binds[0], elem.clone());
@@ -806,12 +1222,13 @@ fn eval_body(
                             }
                             true
                         }
-                        _ => panic!(
-                            "choice function {} produced element {elem}, expected a \
-                             {}-tuple",
-                            program.funcs[*func].name,
-                            binds.len()
-                        ),
+                        _ => {
+                            cx.fail(EvalFault::Safety(Violation::ChoiceMalformed(
+                                vals.clone(),
+                                elem.clone(),
+                            )));
+                            false
+                        }
                     }
                 };
                 if ok {
@@ -823,10 +1240,9 @@ fn eval_body(
                         item_idx + 1,
                         delta_pos,
                         delta,
-                        provenance,
                         env,
                         trail,
-                        out,
+                        cx,
                     );
                 }
                 unwind(env, trail, mark);
@@ -836,6 +1252,7 @@ fn eval_body(
 }
 
 /// Matches a lattice (key, cell) pair against atom terms.
+#[allow(clippy::too_many_arguments)]
 fn visit_lat(
     key: &[Value],
     cell: &Value,
@@ -843,21 +1260,31 @@ fn visit_lat(
     ops: &crate::LatticeOps,
     env: &mut Env,
     trail: &mut Trail,
-    mut next: impl FnMut(&mut Env, &mut Trail),
+    cx: &mut EvalCx<'_>,
+    mut next: impl FnMut(&mut Env, &mut Trail, &mut EvalCx<'_>),
 ) {
+    if cx.fault.is_some() {
+        return;
+    }
     let mark = trail.len();
     let key_terms = &terms[..terms.len() - 1];
-    if match_tuple(key_terms, key, false, None, env, trail)
-        && match_lattice_value(terms.last().expect("arity >= 1"), cell, ops, env, trail)
-    {
-        next(env, trail);
+    let matched = match_tuple(key_terms, key, false, None, env, trail).and_then(|key_ok| {
+        if !key_ok {
+            return Ok(false);
+        }
+        match_lattice_value(terms.last().expect("arity >= 1"), cell, ops, env, trail)
+    });
+    match matched {
+        Ok(true) => next(env, trail, cx),
+        Ok(false) => {}
+        Err(p) => cx.fail(p),
     }
     unwind(env, trail, mark);
 }
 
 /// Unifies atom terms against a stored tuple. For lattice atoms
 /// (`is_lat`), the last term is matched with [`match_lattice_value`] and
-/// the rest positionally.
+/// the rest positionally. Fails when a lattice operation panics.
 fn match_tuple(
     terms: &[CTerm],
     row: &[Value],
@@ -865,14 +1292,14 @@ fn match_tuple(
     ops: Option<&crate::LatticeOps>,
     env: &mut Env,
     trail: &mut Trail,
-) -> bool {
+) -> Result<bool, OpsPanic> {
     debug_assert_eq!(terms.len(), row.len());
     let n = terms.len();
     for (i, (term, value)) in terms.iter().zip(row).enumerate() {
         if is_lat && i == n - 1 {
             let ops = ops.expect("lattice atoms carry ops");
-            if !match_lattice_value(term, value, ops, env, trail) {
-                return false;
+            if !match_lattice_value(term, value, ops, env, trail)? {
+                return Ok(false);
             }
             continue;
         }
@@ -880,20 +1307,20 @@ fn match_tuple(
             CTerm::Wild => {}
             CTerm::Lit(l) => {
                 if l != value {
-                    return false;
+                    return Ok(false);
                 }
             }
             CTerm::Var(slot) => match &env[*slot] {
                 Some(bound) => {
                     if bound != value {
-                        return false;
+                        return Ok(false);
                     }
                 }
                 None => bind(env, trail, *slot, value.clone()),
             },
         }
     }
-    true
+    Ok(true)
 }
 
 /// Matches the value column of a lattice atom against a cell value.
@@ -912,24 +1339,24 @@ fn match_lattice_value(
     ops: &crate::LatticeOps,
     env: &mut Env,
     trail: &mut Trail,
-) -> bool {
+) -> Result<bool, OpsPanic> {
     match term {
-        CTerm::Wild => true,
-        CTerm::Lit(l) => ops.leq(l, cell),
+        CTerm::Wild => Ok(true),
+        CTerm::Lit(l) => ops.try_leq(l, cell),
         CTerm::Var(slot) => match &env[*slot] {
             None => {
                 bind(env, trail, *slot, cell.clone());
-                true
+                Ok(true)
             }
             Some(bound) => {
-                let met = ops.glb(bound, cell);
+                let met = ops.try_glb(bound, cell)?;
                 if ops.is_bottom(&met) {
-                    return false;
+                    return Ok(false);
                 }
                 if met != *bound {
                     bind(env, trail, *slot, met);
                 }
-                true
+                Ok(true)
             }
         },
     }
@@ -976,17 +1403,22 @@ fn exists_match(
     pred: PredId,
     terms: &[CTerm],
     env: &mut Env,
-) -> bool {
+) -> Result<bool, OpsPanic> {
     let is_lat = program.decl(pred).is_lattice();
     let ops = program.decl(pred).lattice_ops();
     let mut trail: Trail = Vec::new();
     match db.pred(pred) {
-        PredData::Rel(rel) => rel.rows().iter().any(|row| {
-            let mark = trail.len();
-            let matched = match_tuple(terms, row, false, None, env, &mut trail);
-            unwind(env, &mut trail, mark);
-            matched
-        }),
+        PredData::Rel(rel) => {
+            for row in rel.rows() {
+                let mark = trail.len();
+                let matched = match_tuple(terms, row, false, None, env, &mut trail);
+                unwind(env, &mut trail, mark);
+                if matched? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
         PredData::Lat(lat) => {
             if let Some(key) = ground_key(terms, env) {
                 if let Some(cell) = lat.value(&key) {
@@ -1001,15 +1433,18 @@ fn exists_match(
                     unwind(env, &mut trail, mark);
                     return matched;
                 }
-                return false;
+                return Ok(false);
             }
-            lat.iter().any(|(key, cell)| {
+            for (key, cell) in lat.iter() {
                 let mark = trail.len();
                 let matched =
                     match_tuple(terms, &full_row(key, cell), is_lat, ops, env, &mut trail);
                 unwind(env, &mut trail, mark);
-                matched
-            })
+                if matched? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
         }
     }
 }
@@ -1032,14 +1467,7 @@ fn eval_args(args: &[CTerm], env: &Env) -> Vec<Value> {
         .collect()
 }
 
-fn derive_head(
-    program: &Program,
-    rule: &CRule,
-    body: &[CItem],
-    provenance: bool,
-    env: &Env,
-    out: &mut Vec<(PredId, Vec<Value>, Option<Vec<Premise>>)>,
-) {
+fn derive_head(program: &Program, rule: &CRule, body: &[CItem], env: &Env, cx: &mut EvalCx<'_>) {
     let mut tuple = Vec::with_capacity(rule.head.len());
     for h in &rule.head {
         match h {
@@ -1049,11 +1477,14 @@ fn derive_head(
             }
             CHead::App(func, args) => {
                 let vals = eval_args(args, env);
-                tuple.push((program.funcs[*func].body)(&vals));
+                let Some(v) = call_user_fn(program, *func, &vals, cx) else {
+                    return;
+                };
+                tuple.push(v);
             }
         }
     }
-    let premises = provenance.then(|| {
+    let premises = cx.provenance.then(|| {
         body.iter()
             .filter_map(|item| match item {
                 CItem::Atom { pred, terms, .. } => Some(Premise {
@@ -1071,7 +1502,7 @@ fn derive_head(
             })
             .collect()
     });
-    out.push((rule.head_pred, tuple, premises));
+    cx.out.push((rule.head_pred, tuple, premises));
 }
 
 /// The computed minimal model: the final fact database plus run statistics.

@@ -60,6 +60,9 @@ pub enum Violation {
         /// Inputs after the bump.
         hi: Vec<Value>,
     },
+    /// A choice function returned something other than a set of tuples of
+    /// the expected arity.
+    ChoiceMalformed(Vec<Value>, Value),
 }
 
 impl fmt::Display for Violation {
@@ -99,6 +102,12 @@ impl fmt::Display for Violation {
                 f,
                 "filter is not monotone: true at {lo:?} but false at {hi:?}"
             ),
+            ChoiceMalformed(args, out) => {
+                write!(
+                    f,
+                    "choice function returned malformed result {out} on {args:?}"
+                )
+            }
         }
     }
 }

@@ -103,8 +103,7 @@ fn choose_with_always_empty_set_blocks_the_rule() {
 }
 
 #[test]
-#[should_panic(expected = "returned non-boolean")]
-fn filter_returning_non_bool_panics_with_function_name() {
+fn filter_returning_non_bool_is_a_safety_violation() {
     let mut b = ProgramBuilder::new();
     let p = b.relation("P", 1);
     let q = b.relation("Q", 1);
@@ -117,12 +116,21 @@ fn filter_returning_non_bool_panics_with_function_name() {
             BodyItem::filter(bad, [Term::var("x")]),
         ],
     );
-    let _ = Solver::new().solve(&b.build().expect("valid"));
+    let failure = Solver::new()
+        .solve(&b.build().expect("valid"))
+        .expect_err("non-boolean filter is rejected");
+    assert!(matches!(
+        &failure.error,
+        flix_core::SolveError::SafetyViolation {
+            violation: flix_core::verify::Violation::FilterNotBoolean(_, _),
+            ..
+        }
+    ));
+    assert!(failure.error.to_string().contains("non-boolean"));
 }
 
 #[test]
-#[should_panic(expected = "returned non-set")]
-fn choose_from_non_set_panics_with_function_name() {
+fn choose_from_non_set_is_a_safety_violation() {
     let mut b = ProgramBuilder::new();
     let p = b.relation("P", 1);
     let q = b.relation("Q", 1);
@@ -135,7 +143,16 @@ fn choose_from_non_set_panics_with_function_name() {
             BodyItem::choose(bad, [Term::var("x")], "y"),
         ],
     );
-    let _ = Solver::new().solve(&b.build().expect("valid"));
+    let failure = Solver::new()
+        .solve(&b.build().expect("valid"))
+        .expect_err("non-set choice result is rejected");
+    assert!(matches!(
+        &failure.error,
+        flix_core::SolveError::SafetyViolation {
+            violation: flix_core::verify::Violation::ChoiceMalformed(_, _),
+            ..
+        }
+    ));
 }
 
 #[test]

@@ -389,8 +389,10 @@ fn shortest_paths_on_a_cycle_terminates() {
 
 #[test]
 fn round_limit_stops_divergence() {
-    // An intentionally non-monotone "lattice" over integers that always
-    // claims strict increase, so the fixed point never arrives.
+    // An unbounded-height "lattice" over integers: the order is sound
+    // (reflexive `<=`), but every join overshoots to `max + 1`, so the
+    // chain of cell values climbs forever and the fixed point never
+    // arrives.
     let mut b = ProgramBuilder::new();
     let bad = b.lattice(
         "Bad",
@@ -399,9 +401,15 @@ fn round_limit_stops_divergence() {
             "Diverging",
             Value::Int(0),
             None,
-            |_, _| false, // nothing is ever ⊑ anything: every join "grows"
+            |a, b| a.as_int() <= b.as_int(),
             |a, b| Value::Int(a.as_int().unwrap_or(0).max(b.as_int().unwrap_or(0)) + 1),
-            |a, _| a.clone(),
+            |a, b| {
+                if a.as_int() <= b.as_int() {
+                    a.clone()
+                } else {
+                    b.clone()
+                }
+            },
         ),
     );
     let step = b.function("step", |args| {
@@ -413,14 +421,23 @@ fn round_limit_stops_divergence() {
         [BodyItem::atom(bad, [Term::var("x")])],
     );
     let prog = b.build().expect("valid");
-    let err = Solver::new()
+    let failure = Solver::new()
         .max_rounds(50)
         .solve(&prog)
         .expect_err("diverges");
     assert!(matches!(
-        err,
-        flix_core::SolveError::RoundLimitExceeded { limit: 50 }
+        failure.error,
+        flix_core::SolveError::RoundLimitExceeded {
+            limit: 50,
+            stratum: 0,
+            ..
+        }
     ));
+    // The error message names the non-converging stratum, and the partial
+    // solution retains the facts derived so far.
+    assert!(failure.error.to_string().contains("stratum 0"));
+    assert_eq!(failure.partial.len("Bad"), Some(1));
+    assert!(failure.stats.rounds >= 50);
 }
 
 #[test]

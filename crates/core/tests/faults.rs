@@ -1,0 +1,456 @@
+//! Fault injection against the guarded execution layer (§7 "Safety").
+//!
+//! Every test here feeds the solver deliberately broken user code —
+//! panicking transfer functions, lattice operations that violate the
+//! laws, unbounded-height lattices, exhausted budgets, cancellation —
+//! and asserts two things: the failure is reported as the *structured*
+//! error variant (no process abort, no unwinding through the solver),
+//! and the returned [`SolveFailure`] carries a non-empty partial
+//! solution with the facts derived before the fault.
+
+use flix_core::{
+    verify::Violation, BodyItem, Budget, BudgetKind, CancelToken, Head, HeadTerm, LatticeOps,
+    Program, ProgramBuilder, SolveError, Solver, Term, Value,
+};
+use std::time::{Duration, Instant};
+
+/// An integer "lattice" of unbounded height: sound order, but every join
+/// overshoots to `max + 1`, so cells climb forever.
+fn diverging_ops() -> LatticeOps {
+    LatticeOps::from_fns(
+        "Diverging",
+        Value::Int(0),
+        None,
+        |a, b| a.as_int() <= b.as_int(),
+        |a, b| Value::Int(a.as_int().unwrap_or(0).max(b.as_int().unwrap_or(0)) + 1),
+        |a, b| {
+            if a.as_int() <= b.as_int() {
+                a.clone()
+            } else {
+                b.clone()
+            }
+        },
+    )
+}
+
+/// A program whose single stratum never converges: `Bad(x + 1) :- Bad(x)`
+/// over [`diverging_ops`].
+fn diverging_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let bad = b.lattice("Bad", 1, diverging_ops());
+    let step = b.function("step", |args| {
+        Value::Int(args[0].as_int().expect("int") + 1)
+    });
+    b.fact(bad, vec![Value::Int(1)]);
+    b.rule(
+        Head::new(bad, [HeadTerm::app(step, [Term::var("x")])]),
+        [BodyItem::atom(bad, [Term::var("x")])],
+    );
+    b.build().expect("valid")
+}
+
+#[test]
+fn panicking_transfer_function_reports_rule_context_and_partial() {
+    let mut b = ProgramBuilder::new();
+    let edge = b.relation("Edge", 2);
+    let reach = b.relation("Reach", 2);
+    let boom = b.function("boom", |args| {
+        let n = args[0].as_int().expect("int");
+        if n >= 3 {
+            panic!("transfer function exploded on {n}");
+        }
+        Value::Int(n)
+    });
+    b.fact(edge, vec![1.into(), 2.into()]);
+    b.fact(edge, vec![2.into(), 3.into()]);
+    b.fact(edge, vec![3.into(), 4.into()]);
+    // Rule #0 copies edges; rule #1 extends paths through `boom`, which
+    // panics once a node id reaches 3.
+    b.rule(
+        Head::new(reach, [HeadTerm::var("x"), HeadTerm::var("y")]),
+        [BodyItem::atom(edge, [Term::var("x"), Term::var("y")])],
+    );
+    b.rule(
+        Head::new(
+            reach,
+            [HeadTerm::var("x"), HeadTerm::app(boom, [Term::var("z")])],
+        ),
+        [
+            BodyItem::atom(reach, [Term::var("x"), Term::var("y")]),
+            BodyItem::atom(edge, [Term::var("y"), Term::var("z")]),
+        ],
+    );
+    let failure = Solver::new()
+        .solve(&b.build().expect("valid"))
+        .expect_err("transfer function panics");
+    match &failure.error {
+        SolveError::FunctionPanicked {
+            predicate,
+            rule,
+            function,
+            payload,
+        } => {
+            assert_eq!(predicate, "Reach");
+            assert_eq!(*rule, Some(1));
+            assert_eq!(function, "boom");
+            assert!(payload.contains("transfer function exploded"), "{payload}");
+        }
+        other => panic!("expected FunctionPanicked, got {other:?}"),
+    }
+    // The partial solution holds the facts derived before the panic.
+    assert!(failure.partial.len("Reach").expect("known predicate") > 0);
+    assert!(failure.stats.facts_inserted > 0);
+    // And the formatted diagnostic names everything a user needs.
+    let msg = failure.error.to_string();
+    assert!(
+        msg.contains("boom") && msg.contains("Reach") && msg.contains("rule #1"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn panicking_lattice_op_is_named_in_the_error() {
+    let mut b = ProgramBuilder::new();
+    let ops = LatticeOps::from_fns(
+        "Fragile",
+        Value::Int(0),
+        None,
+        |a, b| {
+            if b.as_int().unwrap_or(0) >= 3 {
+                panic!("leq saw a value it cannot handle");
+            }
+            a.as_int() <= b.as_int()
+        },
+        |a, b| Value::Int(a.as_int().unwrap_or(0).max(b.as_int().unwrap_or(0))),
+        |a, b| Value::Int(a.as_int().unwrap_or(0).min(b.as_int().unwrap_or(0))),
+    );
+    let cell = b.lattice("Cell", 1, ops);
+    let step = b.function("grow", |args| {
+        Value::Int((args[0].as_int().expect("int") + 1).min(3))
+    });
+    b.fact(cell, vec![Value::Int(1)]);
+    b.rule(
+        Head::new(cell, [HeadTerm::app(step, [Term::var("x")])]),
+        [BodyItem::atom(cell, [Term::var("x")])],
+    );
+    let failure = Solver::new()
+        .solve(&b.build().expect("valid"))
+        .expect_err("leq panics at 3");
+    match &failure.error {
+        SolveError::FunctionPanicked {
+            predicate,
+            function,
+            ..
+        } => {
+            assert_eq!(predicate, "Cell");
+            assert_eq!(function, "Fragile.leq");
+        }
+        other => panic!("expected FunctionPanicked, got {other:?}"),
+    }
+    assert_eq!(failure.partial.len("Cell"), Some(1));
+}
+
+#[test]
+fn non_boolean_filter_reports_safety_violation_with_args() {
+    let mut b = ProgramBuilder::new();
+    let p = b.relation("P", 1);
+    let q = b.relation("Q", 1);
+    let weird = b.function("weird", |args| args[0].clone());
+    b.fact(p, vec![7.into()]);
+    b.rule(
+        Head::new(q, [HeadTerm::var("x")]),
+        [
+            BodyItem::atom(p, [Term::var("x")]),
+            BodyItem::filter(weird, [Term::var("x")]),
+        ],
+    );
+    let failure = Solver::new()
+        .solve(&b.build().expect("valid"))
+        .expect_err("filter is not boolean");
+    match &failure.error {
+        SolveError::SafetyViolation {
+            predicate,
+            violation: Violation::FilterNotBoolean(args, out),
+            ..
+        } => {
+            assert_eq!(predicate, "Q");
+            assert_eq!(args, &vec![Value::Int(7)]);
+            assert_eq!(out, &Value::Int(7));
+        }
+        other => panic!("expected FilterNotBoolean, got {other:?}"),
+    }
+    // P's extensional fact survives in the partial solution.
+    assert_eq!(failure.partial.len("P"), Some(1));
+}
+
+#[test]
+fn lub_not_upper_bound_sentinel_trips_during_solving() {
+    // `lub` ignores its right operand entirely, so joining an
+    // incomparable element produces a "join" below one argument.
+    let mut b = ProgramBuilder::new();
+    let ops = LatticeOps::from_fns(
+        "BadLub",
+        Value::Int(i64::MIN),
+        None,
+        |a, b| a.as_int() <= b.as_int(),
+        |a, _| a.clone(),
+        |a, b| {
+            if a.as_int() <= b.as_int() {
+                a.clone()
+            } else {
+                b.clone()
+            }
+        },
+    );
+    let cell = b.lattice("Cell", 1, ops);
+    b.fact(cell, vec![Value::Int(5)]);
+    b.fact(cell, vec![Value::Int(9)]);
+    let failure = Solver::new()
+        .solve(&b.build().expect("valid"))
+        .expect_err("lub is not an upper bound");
+    assert!(
+        matches!(
+            &failure.error,
+            SolveError::SafetyViolation {
+                violation: Violation::LubNotUpperBound(_, _),
+                ..
+            }
+        ),
+        "got {:?}",
+        failure.error
+    );
+}
+
+#[test]
+fn unbounded_height_lattice_hits_round_limit_with_stratum() {
+    let failure = Solver::new()
+        .max_rounds(25)
+        .solve(&diverging_program())
+        .expect_err("diverges");
+    match &failure.error {
+        SolveError::RoundLimitExceeded {
+            limit,
+            stratum,
+            stats,
+        } => {
+            assert_eq!(*limit, 25);
+            assert_eq!(*stratum, 0);
+            assert!(stats.rounds >= 25);
+        }
+        other => panic!("expected RoundLimitExceeded, got {other:?}"),
+    }
+    assert_eq!(
+        failure.partial.len("Bad"),
+        Some(1),
+        "partial keeps the cell"
+    );
+}
+
+#[test]
+fn max_derivations_budget_stops_divergence() {
+    let failure = Solver::new()
+        .budget(Budget::new().max_derivations(100))
+        .solve(&diverging_program())
+        .expect_err("budget runs out");
+    match &failure.error {
+        SolveError::BudgetExceeded { kind, stats } => {
+            assert_eq!(*kind, BudgetKind::MaxDerivations { limit: 100 });
+            assert!(stats.facts_derived > 100);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    assert!(failure.partial.total_facts() > 0);
+}
+
+#[test]
+fn max_facts_budget_stops_a_large_closure() {
+    // Transitive closure over a 60-node chain derives ~1800 facts; cap
+    // total storage at 150 (above the 60 extensional edges, far below the
+    // full closure).
+    let mut b = ProgramBuilder::new();
+    let edge = b.relation("Edge", 2);
+    let path = b.relation("Path", 2);
+    for i in 0..60i64 {
+        b.fact(edge, vec![i.into(), (i + 1).into()]);
+    }
+    b.rule(
+        Head::new(path, [HeadTerm::var("x"), HeadTerm::var("y")]),
+        [BodyItem::atom(edge, [Term::var("x"), Term::var("y")])],
+    );
+    b.rule(
+        Head::new(path, [HeadTerm::var("x"), HeadTerm::var("z")]),
+        [
+            BodyItem::atom(path, [Term::var("x"), Term::var("y")]),
+            BodyItem::atom(edge, [Term::var("y"), Term::var("z")]),
+        ],
+    );
+    let failure = Solver::new()
+        .budget(Budget::new().max_facts(150))
+        .solve(&b.build().expect("valid"))
+        .expect_err("fact budget runs out");
+    assert!(matches!(
+        &failure.error,
+        SolveError::BudgetExceeded {
+            kind: BudgetKind::MaxFacts { limit: 150 },
+            ..
+        }
+    ));
+    let partial_paths = failure.partial.len("Path").expect("known");
+    assert!(partial_paths > 0, "partial solution is non-empty");
+    assert!(
+        failure.partial.total_facts() < 1830,
+        "stopped well before the full closure"
+    );
+}
+
+#[test]
+fn deadline_expiry_returns_within_twice_the_timeout() {
+    let deadline = Duration::from_millis(200);
+    let start = Instant::now();
+    let failure = Solver::new()
+        .budget(Budget::new().deadline(deadline))
+        .solve(&diverging_program())
+        .expect_err("deadline expires");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < deadline * 2,
+        "returned in {elapsed:?}, more than twice the {deadline:?} deadline"
+    );
+    match &failure.error {
+        SolveError::BudgetExceeded { kind, .. } => {
+            assert_eq!(
+                *kind,
+                BudgetKind::Deadline {
+                    configured: deadline
+                }
+            );
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    assert!(failure.partial.total_facts() > 0, "facts derived so far");
+    assert!(failure.stats.rounds > 0);
+}
+
+#[test]
+fn deadline_interrupts_a_single_huge_rule_evaluation() {
+    // One rule whose body is a three-way cross product (~8M combinations)
+    // with an always-false filter: no round boundary is ever reached, so
+    // only the intra-evaluation guard can stop it.
+    let mut b = ProgramBuilder::new();
+    let n = b.relation("N", 1);
+    let out = b.relation("Out", 3);
+    let never = b.function("never", |_| Value::Bool(false));
+    for i in 0..200i64 {
+        b.fact(n, vec![i.into()]);
+    }
+    b.rule(
+        Head::new(
+            out,
+            [HeadTerm::var("x"), HeadTerm::var("y"), HeadTerm::var("z")],
+        ),
+        [
+            BodyItem::atom(n, [Term::var("x")]),
+            BodyItem::atom(n, [Term::var("y")]),
+            BodyItem::atom(n, [Term::var("z")]),
+            BodyItem::filter(never, [Term::var("x")]),
+        ],
+    );
+    let deadline = Duration::from_millis(100);
+    let start = Instant::now();
+    let failure = Solver::new()
+        .budget(Budget::new().deadline(deadline))
+        .solve(&b.build().expect("valid"))
+        .expect_err("deadline expires mid-rule");
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(
+            &failure.error,
+            SolveError::BudgetExceeded {
+                kind: BudgetKind::Deadline { .. },
+                ..
+            }
+        ),
+        "got {:?}",
+        failure.error
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "intra-rule guard should fire long before the cross product \
+         finishes (took {elapsed:?})"
+    );
+    assert_eq!(failure.partial.len("N"), Some(200), "facts survived");
+}
+
+#[test]
+fn cancellation_mid_stratum_stops_the_solve() {
+    let token = CancelToken::new();
+    let program = diverging_program();
+    let solver = Solver::new().budget(Budget::new().cancel_token(token.clone()));
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        })
+    };
+    let failure = solver.solve(&program).expect_err("cancelled");
+    canceller.join().expect("canceller thread");
+    assert!(token.is_cancelled());
+    assert!(matches!(
+        &failure.error,
+        SolveError::BudgetExceeded {
+            kind: BudgetKind::Cancelled,
+            ..
+        }
+    ));
+    assert!(failure.partial.total_facts() > 0);
+}
+
+#[test]
+fn parallel_solver_isolates_worker_panics() {
+    // Several rules, one of which panics: with threads > 1 the panic is
+    // caught inside the worker and surfaces as the same structured error.
+    let mut b = ProgramBuilder::new();
+    let p = b.relation("P", 1);
+    let q = b.relation("Q", 1);
+    let r = b.relation("R", 1);
+    let ok = b.function("ok", |args| args[0].clone());
+    let boom = b.function("kaboom", |_| panic!("worker-side panic"));
+    b.fact(p, vec![1.into()]);
+    b.fact(p, vec![2.into()]);
+    b.rule(
+        Head::new(q, [HeadTerm::app(ok, [Term::var("x")])]),
+        [BodyItem::atom(p, [Term::var("x")])],
+    );
+    b.rule(
+        Head::new(r, [HeadTerm::app(boom, [Term::var("x")])]),
+        [BodyItem::atom(p, [Term::var("x")])],
+    );
+    let failure = Solver::new()
+        .threads(4)
+        .solve(&b.build().expect("valid"))
+        .expect_err("a rule panics");
+    match &failure.error {
+        SolveError::FunctionPanicked {
+            function, payload, ..
+        } => {
+            assert_eq!(function, "kaboom");
+            assert!(payload.contains("worker-side panic"));
+        }
+        other => panic!("expected FunctionPanicked, got {other:?}"),
+    }
+    assert_eq!(failure.partial.len("P"), Some(2));
+}
+
+#[test]
+fn budget_error_display_is_informative() {
+    let failure = Solver::new()
+        .budget(Budget::new().max_derivations(10))
+        .solve(&diverging_program())
+        .expect_err("budget");
+    let msg = failure.to_string();
+    assert!(
+        msg.contains("derivation budget of 10") && msg.contains("partial solution"),
+        "{msg}"
+    );
+}

@@ -197,7 +197,10 @@ fn strategies_agree_on_transitive_closure() {
             .solve(&prog)
             .expect("solves");
         let par = Solver::new().threads(3).solve(&prog).expect("solves");
-        let noidx = Solver::new().use_indexes(false).solve(&prog).expect("solves");
+        let noidx = Solver::new()
+            .use_indexes(false)
+            .solve(&prog)
+            .expect("solves");
         let preds = ["Edge", "Path"];
         let want = canonical(&semi, &preds);
         assert_eq!(canonical(&naive, &preds), want, "edges={edges:?}");
@@ -214,7 +217,11 @@ fn closure_matches_reference() {
         let prog = closure_program(&edges);
         let solution = Solver::new().solve(&prog).expect("solves");
         let expected = reference_closure(&edges);
-        assert_eq!(solution.len("Path"), Some(expected.len()), "edges={edges:?}");
+        assert_eq!(
+            solution.len("Path"),
+            Some(expected.len()),
+            "edges={edges:?}"
+        );
         for (x, y) in expected {
             assert!(
                 solution.contains("Path", &[x.into(), y.into()]),

@@ -2,9 +2,7 @@
 //! derivation trees.
 
 use flix_core::provenance::Source;
-use flix_core::{
-    BodyItem, Head, HeadTerm, LatticeOps, ProgramBuilder, Solver, Term, Value, ValueLattice,
-};
+use flix_core::{BodyItem, Head, HeadTerm, LatticeOps, ProgramBuilder, Solver, Term, ValueLattice};
 use flix_lattice::Parity;
 
 fn closure() -> flix_core::Program {

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! flixr [--stats] [--naive] [--verify] [--threads N]
+//!       [--max-rounds N] [--timeout SECS]
 //!       [--print PRED[,PRED...]] [--explain "Fact(args)"]
 //!       FILE.flix [MORE.flix ...]
 //! ```
@@ -17,26 +18,98 @@
 //!
 //! Prints every relation tuple and lattice cell of the minimal model (or
 //! only the named predicates), one fact per line, in deterministic order.
+//!
+//! # Exit codes
+//!
+//! Failures are distinguishable by exit code so scripts can react without
+//! scraping stderr:
+//!
+//! | code | meaning                                                        |
+//! |------|----------------------------------------------------------------|
+//! | 0    | solved; the minimal model was printed                          |
+//! | 1    | usage or I/O error (bad flag, unreadable file, ...)            |
+//! | 2    | the program failed to parse or type-check                      |
+//! | 3    | solving failed (function panic, lattice-law violation, ...)    |
+//! | 4    | a budget was exhausted (`--timeout`, `--max-rounds`)           |
+//!
+//! On exit codes 3 and 4 the facts derived before the fault are still
+//! printed — the guarded execution layer returns the partial model, and
+//! `flixr` surfaces it so long-running analyses degrade to best-effort
+//! results instead of nothing.
 
-use flix_core::{Solver, Strategy};
+use flix_core::{Budget, Solution, SolveError, Solver, Strategy};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Usage or I/O problem (bad flag, unreadable input file).
+const EXIT_USAGE: u8 = 1;
+/// The program failed to parse or type-check.
+const EXIT_LANG: u8 = 2;
+/// Solving failed: a user function panicked, a runtime safety sentinel
+/// tripped, or the program was rejected by stratification.
+const EXIT_SOLVE: u8 = 3;
+/// A configured budget (deadline, round limit, fact or derivation cap)
+/// was exhausted before the fixed point was reached.
+const EXIT_BUDGET: u8 = 4;
+
+struct Failure {
+    code: u8,
+    /// `None` when the diagnostic was already written to stderr.
+    message: Option<String>,
+}
+
+impl Failure {
+    fn usage(message: impl Into<String>) -> Failure {
+        Failure {
+            code: EXIT_USAGE,
+            message: Some(message.into()),
+        }
+    }
+
+    fn lang(message: impl Into<String>) -> Failure {
+        Failure {
+            code: EXIT_LANG,
+            message: Some(message.into()),
+        }
+    }
+}
 
 fn main() -> ExitCode {
-    match run(std::env::args().skip(1).collect()) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("flixr: {message}");
+    // The guarded solver catches panics in user-supplied functions and
+    // re-reports them with rule context, so the default panic hook would
+    // only duplicate each caught panic as "thread panicked" noise.
+    // Silence it; a panic that *escapes* `run` is a flixr bug and is
+    // re-reported below as an internal error.
+    std::panic::set_hook(Box::new(|_| {}));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match std::panic::catch_unwind(|| run(args)) {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(failure)) => {
+            if let Some(message) = failure.message {
+                eprintln!("flixr: {message}");
+            }
+            ExitCode::from(failure.code)
+        }
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            eprintln!("flixr: internal error: {message}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn run(args: Vec<String>) -> Result<(), Failure> {
     let mut files: Vec<String> = Vec::new();
     let mut stats = false;
     let mut verify = false;
     let mut strategy = Strategy::SemiNaive;
     let mut threads = 1usize;
+    let mut max_rounds: Option<u64> = None;
+    let mut timeout: Option<Duration> = None;
     let mut print: Option<Vec<String>> = None;
     let mut explain: Option<String> = None;
 
@@ -47,73 +120,159 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--verify" => verify = true,
             "--naive" => strategy = Strategy::Naive,
             "--threads" => {
-                let n = it.next().ok_or("--threads requires a number")?;
-                threads = n.parse().map_err(|_| format!("invalid thread count {n}"))?;
+                let n = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--threads requires a number"))?;
+                threads = n
+                    .parse()
+                    .map_err(|_| Failure::usage(format!("invalid thread count {n}")))?;
+            }
+            "--max-rounds" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--max-rounds requires a number"))?;
+                max_rounds = Some(
+                    n.parse()
+                        .map_err(|_| Failure::usage(format!("invalid round limit {n}")))?,
+                );
+            }
+            "--timeout" => {
+                let s = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--timeout requires seconds"))?;
+                let secs: f64 = s
+                    .parse()
+                    .map_err(|_| Failure::usage(format!("invalid timeout {s}")))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(Failure::usage(format!(
+                        "timeout must be a positive number of seconds, got {s}"
+                    )));
+                }
+                timeout = Some(Duration::from_secs_f64(secs));
             }
             "--print" => {
-                let list = it.next().ok_or("--print requires predicate names")?;
+                let list = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--print requires predicate names"))?;
                 print = Some(list.split(',').map(str::to_string).collect());
             }
             "--explain" => {
-                explain = Some(it.next().ok_or("--explain requires a ground atom")?);
+                explain = Some(
+                    it.next()
+                        .ok_or_else(|| Failure::usage("--explain requires a ground atom"))?,
+                );
             }
             "--help" | "-h" => {
                 println!(
                     "usage: flixr [--stats] [--naive] [--verify] [--threads N] \
-                     [--print PREDS] FILE.flix [MORE.flix ...]"
+                     [--max-rounds N] [--timeout SECS] [--print PREDS] \
+                     [--explain ATOM] FILE.flix [MORE.flix ...]"
                 );
                 return Ok(());
             }
             other if other.starts_with('-') => {
-                return Err(format!("unknown option {other}"));
+                return Err(Failure::usage(format!("unknown option {other}")));
             }
             path => files.push(path.to_string()),
         }
     }
 
     if files.is_empty() {
-        return Err("no input file; see --help".into());
+        return Err(Failure::usage("no input file; see --help"));
     }
     let mut source = String::new();
     for path in &files {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Failure::usage(format!("cannot read {path}: {e}")))?;
         source.push_str(&text);
         source.push('\n');
     }
     if verify {
-        let parsed = flix_lang::parse(&source).map_err(|e| e.to_string())?;
-        let checked = std::sync::Arc::new(flix_lang::check(&parsed).map_err(|e| e.to_string())?);
-        flix_lang::verify::check_lattices(&checked).map_err(|e| e.to_string())?;
+        let parsed = flix_lang::parse(&source).map_err(|e| Failure::lang(e.to_string()))?;
+        let checked = std::sync::Arc::new(
+            flix_lang::check(&parsed).map_err(|e| Failure::lang(e.to_string()))?,
+        );
+        flix_lang::verify::check_lattices(&checked).map_err(|e| Failure {
+            code: EXIT_SOLVE,
+            message: Some(e.to_string()),
+        })?;
         eprintln!("flixr: all lattice bindings satisfy the lattice laws");
     }
-    let program = flix_lang::compile(&source).map_err(|e| e.to_string())?;
-    let solution = Solver::new()
+    let program = flix_lang::compile(&source).map_err(|e| Failure::lang(e.to_string()))?;
+
+    let mut budget = Budget::new();
+    if let Some(deadline) = timeout {
+        budget = budget.deadline(deadline);
+    }
+    let mut solver = Solver::new()
         .strategy(strategy)
         .threads(threads)
-        .record_provenance(explain.is_some())
-        .solve(&program)
-        .map_err(|e| e.to_string())?;
+        .budget(budget)
+        .record_provenance(explain.is_some());
+    if let Some(limit) = max_rounds {
+        solver = solver.max_rounds(limit);
+    }
+
+    let solution = match solver.solve(&program) {
+        Ok(solution) => solution,
+        Err(failure) => {
+            let code = match &failure.error {
+                SolveError::BudgetExceeded { .. } | SolveError::RoundLimitExceeded { .. } => {
+                    EXIT_BUDGET
+                }
+                _ => EXIT_SOLVE,
+            };
+            let retained = failure.partial.total_facts();
+            eprintln!("flixr: {}", failure.error);
+            eprintln!(
+                "flixr: printing the partial model ({retained} fact{} derived before the failure)",
+                if retained == 1 { "" } else { "s" }
+            );
+            print_model(&program, &failure.partial, print.as_deref());
+            if stats {
+                print_stats(&failure.stats);
+            }
+            return Err(Failure {
+                code,
+                message: None,
+            });
+        }
+    };
 
     if let Some(query) = &explain {
         let (pred, values) =
-            flix_lang::parse_ground_atom(query).map_err(|e| e.to_string())?;
+            flix_lang::parse_ground_atom(query).map_err(|e| Failure::lang(e.to_string()))?;
         match solution.explain(&pred, &values) {
             Some(tree) => {
                 print!("{tree}");
                 return Ok(());
             }
-            None => return Err(format!("{query} is not in the minimal model")),
+            None => {
+                return Err(Failure::usage(format!(
+                    "{query} is not in the minimal model"
+                )));
+            }
         }
     }
 
-    // Collect and print facts in deterministic order.
+    print_model(&program, &solution, print.as_deref());
+    if stats {
+        print_stats(solution.stats());
+    }
+    Ok(())
+}
+
+/// Prints the facts of `solution` in deterministic order, optionally
+/// restricted to the named predicates. Used for both the minimal model on
+/// success and the partial model on a guarded failure.
+fn print_model(program: &flix_core::Program, solution: &Solution, print: Option<&[String]>) {
     let mut names: Vec<String> = program
         .predicates()
         .map(|(_, decl)| decl.name().to_string())
         .collect();
     names.sort();
     for name in names {
-        if let Some(filter) = &print {
+        if let Some(filter) = print {
             if !filter.contains(&name) {
                 continue;
             }
@@ -142,20 +301,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
             println!("{line}");
         }
     }
+}
 
-    if stats {
-        let s = solution.stats();
-        eprintln!(
-            "rounds: {}  rule evaluations: {}  facts derived: {}  facts inserted: {}  \
-             index probes: {}  scans: {}  total facts: {}",
-            s.rounds,
-            s.rule_evaluations,
-            s.facts_derived,
-            s.facts_inserted,
-            s.index_probes,
-            s.scan_fallbacks,
-            s.total_facts
-        );
-    }
-    Ok(())
+fn print_stats(s: &flix_core::SolveStats) {
+    eprintln!(
+        "rounds: {}  rule evaluations: {}  facts derived: {}  facts inserted: {}  \
+         index probes: {}  scans: {}  total facts: {}",
+        s.rounds,
+        s.rule_evaluations,
+        s.facts_derived,
+        s.facts_inserted,
+        s.index_probes,
+        s.scan_fallbacks,
+        s.total_facts
+    );
 }

@@ -84,9 +84,86 @@ fn multiple_files_are_concatenated() {
 fn type_errors_fail_with_diagnostics() {
     let file = write_temp("bad.flix", "rel A(x: Int);\nA(\"nope\").");
     let output = flixr().arg(&file).output().expect("runs");
-    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2), "type errors exit with 2");
     let stderr = String::from_utf8(output.stderr).expect("utf8");
     assert!(stderr.contains("type error"), "{stderr}");
+}
+
+#[test]
+fn parse_errors_exit_with_code_2() {
+    let file = write_temp("syntax.flix", "rel A(x Int;");
+    let output = flixr().arg(&file).output().expect("runs");
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn usage_errors_exit_with_code_1() {
+    let output = flixr().arg("--frobnicate").output().expect("runs");
+    assert_eq!(output.status.code(), Some(1));
+    let output = flixr().args(["--timeout", "-3"]).output().expect("runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("positive"), "{stderr}");
+}
+
+#[test]
+fn round_limit_exits_with_code_4_and_prints_the_partial_model() {
+    let file = write_temp("rounds.flix", PATHS);
+    let output = flixr()
+        .args(["--max-rounds", "1"])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert_eq!(
+        output.status.code(),
+        Some(4),
+        "budget exhaustion exits with 4"
+    );
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("fixed point not reached"), "{stderr}");
+    assert!(stderr.contains("partial model"), "{stderr}");
+    // The extensional facts derived before the limit are still printed.
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("Edge(1, 2)"), "{stdout}");
+}
+
+#[test]
+fn expired_timeout_exits_with_code_4() {
+    let file = write_temp("timeout.flix", PATHS);
+    let output = flixr()
+        .args(["--timeout", "0.000001"])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(4));
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("wall-clock budget"), "{stderr}");
+}
+
+#[test]
+fn panicking_function_exits_with_code_3_and_names_the_function() {
+    // `partial` has a non-exhaustive match: applying it to E.B panics in
+    // the interpreter, and the guarded solver reports it instead of
+    // crashing the process.
+    let file = write_temp(
+        "panic.flix",
+        "
+        enum E { case A, case B }
+        def partial(x: E): Bool = match x with { case E.A => true }
+        rel P(x: E);
+        rel Q(x: E);
+        P(E.B).
+        Q(x) :- P(x), partial(x).
+        ",
+    );
+    let output = flixr().arg(&file).output().expect("runs");
+    assert_eq!(output.status.code(), Some(3), "solve failures exit with 3");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("partial panicked"), "{stderr}");
+    assert!(stderr.contains("non-exhaustive match"), "{stderr}");
+    // The extensional fact P(E.B) survives into the printed partial model.
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("P(B)"), "{stdout}");
 }
 
 #[test]

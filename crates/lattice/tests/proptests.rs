@@ -224,7 +224,10 @@ fn constant_arith_exact() {
     for _ in 0..CASES {
         let a = rng.gen_range(-100i64..100);
         let b = rng.gen_range(-100i64..100);
-        assert_eq!(Constant::cst(a).sum(&Constant::cst(b)), Constant::cst(a + b));
+        assert_eq!(
+            Constant::cst(a).sum(&Constant::cst(b)),
+            Constant::cst(a + b)
+        );
         assert_eq!(
             Constant::cst(a).product(&Constant::cst(b)),
             Constant::cst(a * b)
@@ -241,7 +244,11 @@ fn transformer_comp_pointwise() {
         let g = arb_transformer(&mut rng);
         let l = arb_constant(&mut rng);
         let h = Transformer::comp(&f, &g);
-        assert_eq!(h.apply(&l), g.apply(&f.apply(&l)), "f={f:?} g={g:?} l={l:?}");
+        assert_eq!(
+            h.apply(&l),
+            g.apply(&f.apply(&l)),
+            "f={f:?} g={g:?} l={l:?}"
+        );
     }
 }
 

@@ -44,6 +44,25 @@ fn bench_ifds(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // One instrumented Taint solve (mid-size workload), outside the
+    // timing loops, recorded for `--metrics-json` reports.
+    let model = Arc::new(jvm_program::generate(GenParams {
+        num_procs: 8,
+        nodes_per_proc: 16,
+        vars_per_proc: 6,
+        call_percent: 15,
+        seed: 0xDACA90,
+    }));
+    let taint = Arc::new(Taint::new(model.clone()));
+    let program = ifds::flix::build_program(&model.graph, taint);
+    let solution = flix_core::Solver::new().solve(&program).expect("solves");
+    flix_bench::metrics::record(
+        "table2_ifds/flix_declarative/taint_8x16",
+        flix_core::Strategy::SemiNaive.name(),
+        1,
+        solution.stats(),
+    );
 }
 
 criterion_group!(benches, bench_ifds);

@@ -31,6 +31,28 @@ fn bench_shortest_paths(c: &mut Criterion) {
         b.iter(|| shortest_paths::all_pairs(&graph))
     });
     group.finish();
+
+    // One instrumented solve per workload, outside the timing loops, so
+    // `--metrics-json` reports a full per-rule/per-stratum profile
+    // without perturbing the measurements above.
+    let graph = graphs::generate(400, 1_500, 0x5907);
+    let (_, stats) = shortest_paths::single_source_profiled(&graph, 0);
+    flix_bench::metrics::record(
+        "shortest_paths/flix_single_source/400",
+        flix_core::Strategy::SemiNaive.name(),
+        1,
+        &stats,
+    );
+    let graph = graphs::generate(40, 120, 0x5907);
+    let solution = flix_core::Solver::new()
+        .solve(&shortest_paths::build_all_pairs(&graph))
+        .expect("solves");
+    flix_bench::metrics::record(
+        "shortest_paths/flix_all_pairs_40",
+        flix_core::Strategy::SemiNaive.name(),
+        1,
+        solution.stats(),
+    );
 }
 
 criterion_group!(benches, bench_shortest_paths);

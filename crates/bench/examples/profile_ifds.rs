@@ -1,9 +1,18 @@
+//! Profiles the Figure 5 IFDS encoding against the imperative tabulation
+//! across three workload sizes, printing the solver's work counters and
+//! the ranked per-rule profile of the largest run.
+//!
+//! Pass `--metrics-json PATH` (or set `FLIX_METRICS_JSON`) to write every
+//! flix solve as one `flix-metrics/1` document — the same report
+//! `flixr --metrics-json` and the bench harness produce.
+
 use flix_analyses::ifds::{self, problems::Taint};
 use flix_analyses::workloads::jvm_program::{self, GenParams};
 use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
+    let mut last_stats = None;
     for (procs, nodes) in [(8u32, 16u32), (16, 32), (31, 45)] {
         let model = Arc::new(jvm_program::generate(GenParams {
             num_procs: procs,
@@ -26,6 +35,18 @@ fn main() {
             imp_t.as_secs_f64(), flix_t.as_secs_f64(),
             flix_t.as_secs_f64()/imp_t.as_secs_f64(),
             s.rounds, s.facts_derived, s.facts_inserted, s.index_probes, s.scan_fallbacks);
+        flix_bench::metrics::record(
+            format!("profile_ifds/taint_{procs}x{nodes}"),
+            flix_core::Strategy::SemiNaive.name(),
+            1,
+            s,
+        );
+        last_stats = Some(s.clone());
         let _ = imp;
     }
+    if let Some(stats) = &last_stats {
+        println!("\nper-rule profile of the largest run:");
+        print!("{}", flix_core::render_profile_table(stats));
+    }
+    flix_bench::metrics::write_if_requested();
 }

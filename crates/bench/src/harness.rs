@@ -14,8 +14,15 @@
 //!   within the configured measurement window; mean / min / max are
 //!   printed per benchmark.
 //! * **Quick** (any other invocation, e.g. `cargo test` smoke-running
-//!   the bench binaries): each benchmark body runs exactly once, as a
-//!   correctness smoke test, with no timing loop.
+//!   the bench binaries, or an explicit `cargo bench ... -- --quick`):
+//!   each benchmark body runs exactly once, as a correctness smoke test,
+//!   with no timing loop.
+//!
+//! Either mode records instrumented solver runs in the
+//! [`crate::metrics`] registry; pass `--metrics-json PATH` (after `--`)
+//! to write them as a `flix-metrics/1` report — CI's bench-smoke step
+//! runs `cargo bench ... -- --quick --metrics-json PATH` to land a
+//! `BENCH_*.json` profile without paying for full sampling.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -29,7 +36,17 @@ impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench` passes `--bench` to harness-less bench binaries;
         // anything else (plain runs, `cargo test`) gets the quick mode.
-        let full = std::env::args().any(|a| a == "--bench");
+        // An explicit `--quick` forces quick mode even under `cargo
+        // bench`, so CI can smoke-run the benches (and still collect
+        // metrics) without paying for warm-up and sampling.
+        let mut full = false;
+        for arg in std::env::args() {
+            match arg.as_str() {
+                "--bench" => full = true,
+                "--quick" => return Criterion { full: false },
+                _ => {}
+            }
+        }
         Criterion { full }
     }
 }
@@ -223,12 +240,15 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench binary's `main`, mirroring
-/// `criterion::criterion_main!`.
+/// `criterion::criterion_main!`. After all groups run, any instrumented
+/// solves recorded via [`crate::metrics::record`] are written out when
+/// `--metrics-json PATH` was passed.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::metrics::write_if_requested();
         }
     };
 }

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod metrics;
 
 use std::time::{Duration, Instant};
 

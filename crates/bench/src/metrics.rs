@@ -1,0 +1,105 @@
+//! A process-wide registry of instrumented solver runs, written out as
+//! one `flix-metrics/1` JSON document (the schema of DESIGN.md §10, the
+//! same report `flixr --metrics-json` produces).
+//!
+//! Each bench registers one representative *instrumented* solve per
+//! workload via [`record`] — separate from the timed iterations, so the
+//! profile never perturbs the measurements. When the bench binary was
+//! invoked with `--metrics-json PATH` (or with the `FLIX_METRICS_JSON`
+//! environment variable set), `criterion_main!` ends by calling
+//! [`write_if_requested`], which renders every recorded run to `PATH` —
+//! the `BENCH_*.json` files tracking the perf trajectory.
+
+use flix_core::{render_metrics_json, MetricsReport, SolveStats};
+use std::sync::Mutex;
+
+/// One recorded run, owned so the registry can outlive the solve.
+struct OwnedReport {
+    name: String,
+    strategy: &'static str,
+    threads: usize,
+    stats: SolveStats,
+}
+
+static REGISTRY: Mutex<Vec<OwnedReport>> = Mutex::new(Vec::new());
+
+/// Records one instrumented solve under `name` (convention:
+/// `<group>/<benchmark-id>`), in registration order.
+pub fn record(name: impl Into<String>, strategy: &'static str, threads: usize, stats: &SolveStats) {
+    REGISTRY
+        .lock()
+        .expect("metrics registry")
+        .push(OwnedReport {
+            name: name.into(),
+            strategy,
+            threads,
+            stats: stats.clone(),
+        });
+}
+
+/// Renders every recorded run as the `flix-metrics/1` JSON document.
+pub fn render() -> String {
+    let runs = REGISTRY.lock().expect("metrics registry");
+    let reports: Vec<MetricsReport<'_>> = runs
+        .iter()
+        .map(|r| MetricsReport {
+            name: &r.name,
+            strategy: r.strategy,
+            threads: r.threads,
+            stats: &r.stats,
+        })
+        .collect();
+    render_metrics_json(&reports)
+}
+
+/// The output path requested via `--metrics-json PATH` on the command
+/// line, or the `FLIX_METRICS_JSON` environment variable.
+fn requested_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--metrics-json" {
+            return args.next();
+        }
+        if let Some(path) = arg.strip_prefix("--metrics-json=") {
+            return Some(path.to_string());
+        }
+    }
+    std::env::var("FLIX_METRICS_JSON").ok()
+}
+
+/// Writes the recorded runs to the requested path, if any. Called by
+/// `criterion_main!` after every benchmark group has run; a no-op when
+/// no path was requested or nothing was recorded.
+pub fn write_if_requested() {
+    let Some(path) = requested_path() else {
+        return;
+    };
+    if REGISTRY.lock().expect("metrics registry").is_empty() {
+        eprintln!("metrics: no instrumented runs recorded; not writing {path}");
+        return;
+    }
+    match std::fs::write(&path, render()) {
+        Ok(()) => println!("metrics: wrote {path}"),
+        Err(e) => {
+            eprintln!("metrics: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_renders_recorded_runs_in_order() {
+        let stats = SolveStats::default();
+        record("unit/first", "semi-naive", 1, &stats);
+        record("unit/second", "naive", 4, &stats);
+        let json = render();
+        assert!(json.contains("\"schema\": \"flix-metrics/1\""), "{json}");
+        let first = json.find("unit/first").expect("first run present");
+        let second = json.find("unit/second").expect("second run present");
+        assert!(first < second, "runs render in registration order");
+    }
+}

@@ -13,7 +13,6 @@ use crate::program::Program;
 use crate::verify::Violation;
 use crate::{LatticeOps, PredId, Value};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Why an insert failed: the user's lattice operations either panicked or
@@ -189,15 +188,14 @@ pub(crate) enum PredData {
     Lat(LatticeData),
 }
 
-/// The fact database: one [`PredData`] per declared predicate, plus
-/// instrumentation counters for the benchmark harness.
+/// The fact database: one [`PredData`] per declared predicate.
+///
+/// Index-probe and scan-fallback counters live with the evaluator (the
+/// solver's per-rule profile), not here: each rule evaluation counts its
+/// own probes locally, so workers never contend on shared counters.
 #[derive(Debug)]
 pub(crate) struct Database {
     preds: Vec<PredData>,
-    /// Number of index probes performed.
-    pub(crate) index_probes: AtomicU64,
-    /// Number of full-scan fallbacks (no usable index).
-    pub(crate) scan_fallbacks: AtomicU64,
 }
 
 impl Database {
@@ -222,11 +220,7 @@ impl Database {
                 }
             }
         }
-        Database {
-            preds,
-            index_probes: AtomicU64::new(0),
-            scan_fallbacks: AtomicU64::new(0),
-        }
+        Database { preds }
     }
 
     pub(crate) fn pred(&self, pred: PredId) -> &PredData {
@@ -259,14 +253,6 @@ impl Database {
                 }
             }
         }
-    }
-
-    pub(crate) fn count_probe(&self) {
-        self.index_probes.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn count_scan(&self) {
-        self.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total number of stored facts (rows plus non-bottom lattice cells) —

@@ -192,10 +192,22 @@ impl<'a> Guard<'a> {
 
     /// A per-thread guard for checks *inside* rule evaluation.
     pub(crate) fn eval_guard(&self) -> EvalGuard<'_> {
+        self.eval_guard_scaled(1)
+    }
+
+    /// A per-thread guard whose amortised poll period is divided by the
+    /// worker-thread count. Each parallel worker owns its own counter, so
+    /// without scaling, `threads` workers would collectively let up to
+    /// `PERIOD × threads` evaluation steps elapse between wall-clock
+    /// checks — stretching the documented deadline-response bound.
+    /// Dividing the period keeps the *aggregate* steps-between-checks
+    /// constant regardless of thread count.
+    pub(crate) fn eval_guard_scaled(&self, threads: usize) -> EvalGuard<'_> {
         EvalGuard {
             deadline: self.budget.deadline.map(|d| (self.start + d, d)),
             cancel: self.budget.cancel.as_ref().map(|t| &*t.0),
             counter: Cell::new(0),
+            period: (EvalGuard::PERIOD / threads.max(1) as u32).max(1),
         }
     }
 }
@@ -206,10 +218,14 @@ pub(crate) struct EvalGuard<'a> {
     deadline: Option<(Instant, Duration)>,
     cancel: Option<&'a AtomicBool>,
     counter: Cell<u32>,
+    /// How many `poll` calls elapse between real clock checks on *this*
+    /// guard (the base [`EvalGuard::PERIOD`] divided by the worker count).
+    period: u32,
 }
 
 impl EvalGuard<'_> {
-    /// How many `poll` calls elapse between real clock checks.
+    /// How many `poll` calls elapse between real clock checks across all
+    /// workers of a solve combined.
     const PERIOD: u32 = 256;
 
     /// A guard that never trips (for evaluation outside a solve, e.g. the
@@ -219,6 +235,7 @@ impl EvalGuard<'_> {
             deadline: None,
             cancel: None,
             counter: Cell::new(0),
+            period: EvalGuard::PERIOD,
         }
     }
 
@@ -229,7 +246,7 @@ impl EvalGuard<'_> {
         }
         let n = self.counter.get().wrapping_add(1);
         self.counter.set(n);
-        if !n.is_multiple_of(Self::PERIOD) {
+        if !n.is_multiple_of(self.period) {
             return Ok(());
         }
         self.check_now()
@@ -313,6 +330,21 @@ mod tests {
         // poll trips within one period.
         let tripped = (0..=EvalGuard::PERIOD).any(|_| eval.poll().is_err());
         assert!(tripped);
+    }
+
+    #[test]
+    fn scaled_guard_shrinks_the_poll_period() {
+        let budget = Budget::new().deadline(Duration::from_millis(0));
+        let guard = Guard::new(&budget);
+        std::thread::sleep(Duration::from_millis(2));
+        // With 8 workers the per-worker period is 256 / 8 = 32 polls, so
+        // the deadline is observed within 32 steps instead of 256.
+        let eval = guard.eval_guard_scaled(8);
+        let tripped = (0..32).any(|_| eval.poll().is_err());
+        assert!(tripped);
+        // Extreme thread counts clamp to a period of 1, never 0.
+        let eval = guard.eval_guard_scaled(100_000);
+        assert!(eval.poll().is_err());
     }
 
     #[test]

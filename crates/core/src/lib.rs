@@ -71,6 +71,7 @@ mod ast;
 mod database;
 mod guard;
 pub mod model;
+pub mod observe;
 mod ops;
 mod program;
 pub mod provenance;
@@ -84,6 +85,10 @@ pub use ast::{
     Term,
 };
 pub use guard::{Budget, BudgetKind, CancelToken};
+pub use observe::{
+    render_metrics_json, render_profile_table, MetricsReport, Observer, RuleEvaluated, RuleStats,
+    StratumStats, METRICS_SCHEMA,
+};
 pub use ops::{LatticeOps, ValueLattice};
 pub use program::Program;
 pub use solver::{Solution, SolveError, SolveFailure, SolveStats, Solver, Strategy};

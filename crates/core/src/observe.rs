@@ -1,0 +1,370 @@
+//! Solver observability: per-rule / per-stratum work profiles, the
+//! pluggable [`Observer`] trait, and the stable metrics-JSON rendering.
+//!
+//! The paper's §6 evaluation reasons from per-analysis work profiles
+//! (rounds, derivations, strategy ablations); this module is the
+//! instrument that produces them. Every solve populates
+//! [`SolveStats::per_rule`] and [`SolveStats::per_stratum`] so callers can
+//! see *which* rule or stratum burns the time, and [`MetricsReport`]
+//! renders the whole profile as a stable machine-readable JSON document
+//! (schema `flix-metrics/1`, specified in DESIGN.md §10) consumed by
+//! `flixr --metrics-json`, the benchmark harness, and CI.
+
+use crate::guard::BudgetKind;
+use crate::solver::SolveStats;
+use std::fmt::Write as _;
+
+/// Work profile of one rule, accumulated across all rounds of a solve.
+///
+/// `inserted` (net database changes, credited to the rule that first
+/// changed the fact in its round) is strategy-invariant: naïve and
+/// semi-naïve evaluation, sequential or parallel, credit the same rules.
+/// `evaluations`, `derived`, `probes`, `scans`, and `eval_ns` describe the
+/// work a particular strategy performed and differ across strategies.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// The rule index within the program (the order rules were added).
+    pub rule: usize,
+    /// The name of the rule's head predicate.
+    pub head: String,
+    /// Evaluations of this rule (each delta variant counts separately).
+    pub evaluations: u64,
+    /// Gross head tuples produced (before deduplication and subsumption).
+    pub derived: u64,
+    /// Net database changes: new tuples, plus lattice cells this rule was
+    /// the first to strictly increase in a round.
+    pub inserted: u64,
+    /// Index probes performed while evaluating this rule's body.
+    pub probes: u64,
+    /// Full-scan fallbacks while evaluating this rule's body.
+    pub scans: u64,
+    /// Cumulative wall-clock time spent evaluating this rule, in
+    /// nanoseconds.
+    pub eval_ns: u64,
+}
+
+/// Work profile of one stratum: its rounds and how fast they converged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StratumStats {
+    /// The stratum index in evaluation order (0-based).
+    pub stratum: usize,
+    /// Fixed-point rounds executed in this stratum.
+    pub rounds: u64,
+    /// Net database changes per round, in round order: distinct new
+    /// tuples plus distinct lattice cells that strictly increased (a cell
+    /// climbing through several values within one round counts once).
+    /// The final entry is `0` for a converged stratum (the round that
+    /// observed no change).
+    pub delta_sizes: Vec<u64>,
+}
+
+/// One rule evaluation, as reported to [`Observer::rule_evaluated`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleEvaluated {
+    /// The stratum being evaluated.
+    pub stratum: usize,
+    /// The global round number (counting across strata, 1-based).
+    pub round: u64,
+    /// The rule index within the program.
+    pub rule: usize,
+    /// The semi-naïve delta variant evaluated, or `None` for a full
+    /// (naïve or seed-round) evaluation.
+    pub variant: Option<usize>,
+    /// Head tuples produced by this evaluation.
+    pub derived: u64,
+    /// Index probes performed.
+    pub probes: u64,
+    /// Full-scan fallbacks.
+    pub scans: u64,
+    /// Wall-clock time of the evaluation, in nanoseconds.
+    pub eval_ns: u64,
+}
+
+/// A pluggable listener for solver progress events.
+///
+/// Attach one with [`crate::Solver::observer`]. All callbacks fire on the
+/// thread driving the solve (never from worker threads: parallel rule
+/// evaluations are reported after their round is merged, in deterministic
+/// task order), so implementations need no internal ordering logic. Every
+/// method has a no-op default body, and the solver skips all bookkeeping
+/// branches when no observer is attached, keeping the hot path free.
+pub trait Observer: Send + Sync {
+    /// A fixed-point round is starting. `round` is the global round
+    /// number (1-based, counting across strata).
+    fn round_started(&self, stratum: usize, round: u64) {
+        let _ = (stratum, round);
+    }
+
+    /// One rule evaluation finished (full body or one delta variant).
+    fn rule_evaluated(&self, event: &RuleEvaluated) {
+        let _ = event;
+    }
+
+    /// A stratum reached its fixed point after `rounds` rounds.
+    fn stratum_converged(&self, stratum: usize, rounds: u64) {
+        let _ = stratum;
+        let _ = rounds;
+    }
+
+    /// The round-granularity budget check ran; `exceeded` carries the
+    /// tripped limit, or `None` when the solve may continue.
+    fn budget_checked(&self, stratum: usize, exceeded: Option<&BudgetKind>) {
+        let _ = stratum;
+        let _ = exceeded;
+    }
+}
+
+/// One solver run plus the run metadata needed for a self-describing
+/// metrics record. Render a batch with [`render_metrics_json`].
+#[derive(Clone, Debug)]
+pub struct MetricsReport<'a> {
+    /// A label identifying the run (an input file, a benchmark id, ...).
+    pub name: &'a str,
+    /// The evaluation strategy, as reported by
+    /// [`crate::Strategy::name`].
+    pub strategy: &'a str,
+    /// The worker-thread count the solver ran with.
+    pub threads: usize,
+    /// The run's statistics, including the per-rule and per-stratum
+    /// breakdowns.
+    pub stats: &'a SolveStats,
+}
+
+/// The identifier of the metrics JSON schema emitted by
+/// [`render_metrics_json`] (documented in DESIGN.md §10).
+pub const METRICS_SCHEMA: &str = "flix-metrics/1";
+
+/// Renders a batch of runs as the stable `flix-metrics/1` JSON document:
+///
+/// ```json
+/// {"schema": "flix-metrics/1", "runs": [ ... ]}
+/// ```
+///
+/// The output is deterministic (object keys in a fixed order, runs in
+/// input order) and uses only integers and strings, so byte-level diffs
+/// of two reports are meaningful.
+pub fn render_metrics_json(reports: &[MetricsReport<'_>]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": ");
+    push_json_string(&mut out, METRICS_SCHEMA);
+    out.push_str(",\n  \"runs\": [");
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_run(&mut out, report);
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn push_run(out: &mut String, report: &MetricsReport<'_>) {
+    let s = report.stats;
+    out.push_str("{\"name\": ");
+    push_json_string(out, report.name);
+    out.push_str(", \"strategy\": ");
+    push_json_string(out, report.strategy);
+    let _ = write!(
+        out,
+        ", \"threads\": {}, \"wall_ns\": {}, \"rounds\": {}, \
+         \"rule_evaluations\": {}, \"facts_derived\": {}, \
+         \"facts_inserted\": {}, \"index_probes\": {}, \
+         \"scan_fallbacks\": {}, \"strata\": {}, \"total_facts\": {}",
+        report.threads,
+        s.wall_ns,
+        s.rounds,
+        s.rule_evaluations,
+        s.facts_derived,
+        s.facts_inserted,
+        s.index_probes,
+        s.scan_fallbacks,
+        s.strata,
+        s.total_facts,
+    );
+    out.push_str(", \"per_rule\": [");
+    for (i, r) in s.per_rule.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"rule\": ");
+        let _ = write!(out, "{}", r.rule);
+        out.push_str(", \"head\": ");
+        push_json_string(out, &r.head);
+        let _ = write!(
+            out,
+            ", \"evaluations\": {}, \"derived\": {}, \"inserted\": {}, \
+             \"probes\": {}, \"scans\": {}, \"eval_ns\": {}}}",
+            r.evaluations, r.derived, r.inserted, r.probes, r.scans, r.eval_ns,
+        );
+    }
+    out.push_str("], \"per_stratum\": [");
+    for (i, st) in s.per_stratum.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"stratum\": {}, \"rounds\": {}, \"delta_sizes\": [",
+            st.stratum, st.rounds,
+        );
+        for (j, d) in st.delta_sizes.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{d}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+/// Escapes and quotes `s` as a JSON string.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders the per-rule profile as a ranked, human-readable table
+/// (hottest rule first, by cumulative evaluation time), as printed by
+/// `flixr --profile`.
+pub fn render_profile_table(stats: &SolveStats) -> String {
+    let mut rules: Vec<&RuleStats> = stats.per_rule.iter().collect();
+    rules.sort_by(|a, b| b.eval_ns.cmp(&a.eval_ns).then(a.rule.cmp(&b.rule)));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:<20} {:>8} {:>10} {:>10} {:>10} {:>7} {:>10}",
+        "rule", "head", "evals", "derived", "inserted", "probes", "scans", "time"
+    );
+    for r in &rules {
+        let _ = writeln!(
+            out,
+            "{:<6} {:<20} {:>8} {:>10} {:>10} {:>10} {:>7} {:>10}",
+            format!("#{}", r.rule),
+            r.head,
+            r.evaluations,
+            r.derived,
+            r.inserted,
+            r.probes,
+            r.scans,
+            format_ns(r.eval_ns),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<6} {:<20} {:>8} {:>10} {:>10} {:>10} {:>7} {:>10}",
+        "total",
+        "",
+        stats.rule_evaluations,
+        stats.facts_derived,
+        stats.facts_inserted,
+        stats.index_probes,
+        stats.scan_fallbacks,
+        format_ns(stats.wall_ns),
+    );
+    let _ = writeln!(
+        out,
+        "rounds: {}  strata: {}  total facts: {}",
+        stats.rounds, stats.strata, stats.total_facts
+    );
+    out
+}
+
+/// Formats a nanosecond count with a human-friendly unit.
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_string_escaping() {
+        let mut s = String::new();
+        push_json_string(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn report_renders_stable_schema() {
+        let mut stats = SolveStats::default();
+        stats.per_rule.push(RuleStats {
+            rule: 0,
+            head: "Path".into(),
+            evaluations: 3,
+            derived: 10,
+            inserted: 4,
+            probes: 7,
+            scans: 1,
+            eval_ns: 1234,
+        });
+        stats.per_stratum.push(StratumStats {
+            stratum: 0,
+            rounds: 2,
+            delta_sizes: vec![4, 0],
+        });
+        let json = render_metrics_json(&[MetricsReport {
+            name: "unit",
+            strategy: "semi-naive",
+            threads: 1,
+            stats: &stats,
+        }]);
+        assert!(json.contains("\"schema\": \"flix-metrics/1\""), "{json}");
+        assert!(json.contains("\"head\": \"Path\""), "{json}");
+        assert!(json.contains("\"delta_sizes\": [4, 0]"), "{json}");
+        // No trailing commas, balanced brackets.
+        assert!(!json.contains(",]") && !json.contains(",}"), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn profile_table_ranks_by_time() {
+        let mut stats = SolveStats::default();
+        for (i, ns) in [(0usize, 10u64), (1, 5_000_000), (2, 900)] {
+            stats.per_rule.push(RuleStats {
+                rule: i,
+                head: format!("P{i}"),
+                eval_ns: ns,
+                ..RuleStats::default()
+            });
+        }
+        let table = render_profile_table(&stats);
+        let p1 = table.find("#1").expect("#1 present");
+        let p2 = table.find("#2").expect("#2 present");
+        let p0 = table.find("#0").expect("#0 present");
+        assert!(p1 < p2 && p2 < p0, "hottest first:\n{table}");
+        assert!(table.contains("5.00ms"), "{table}");
+    }
+}

@@ -18,6 +18,7 @@
 use crate::ast::{PredKind, ProgramError};
 use crate::database::{Database, InsertFault, InsertOutcome, PredData, Row};
 use crate::guard::{panic_payload, Budget, BudgetKind, EvalGuard, Guard};
+use crate::observe::{Observer, RuleEvaluated, RuleStats, StratumStats};
 use crate::ops::OpsPanic;
 use crate::program::{CHead, CItem, CRule, CTerm, Program};
 use crate::provenance::{key_matches, pattern_matches, DerivationTree, Event, Premise, Source};
@@ -26,6 +27,8 @@ use crate::verify::Violation;
 use crate::{PredId, Value};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The evaluation strategy for [`Solver`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -39,12 +42,38 @@ pub enum Strategy {
     SemiNaive,
 }
 
+impl Strategy {
+    /// The strategy's stable machine-readable name, as used in the
+    /// metrics JSON (`"naive"` / `"semi-naive"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Naive => "naive",
+            Strategy::SemiNaive => "semi-naive",
+        }
+    }
+}
+
 /// Aggregate statistics of one solver run.
 ///
 /// `facts_derived` counts gross derivations (before deduplication and
 /// subsumption); `facts_inserted` counts net database changes. Their ratio,
 /// together with `index_probes` vs `scan_fallbacks`, is the work profile
 /// reported by the benchmark tables in place of the paper's memory column.
+///
+/// # Strategy invariance
+///
+/// The *outcome* fields — `rounds`, `strata`, `facts_inserted`,
+/// `total_facts`, the per-rule `inserted` counters in `per_rule`, and the
+/// whole of `per_stratum` (rounds and per-round net delta sizes) — are
+/// invariant across evaluation strategies: [`Strategy::Naive`],
+/// [`Strategy::SemiNaive`], and any thread count produce identical
+/// values, because every strategy computes the same sequence of per-round
+/// database states and the counters measure *net* changes between round
+/// boundaries (the strategy-parity test suite pins this). The *work*
+/// fields — `rule_evaluations`, `facts_derived`, `index_probes`,
+/// `scan_fallbacks`, `wall_ns`, and the remaining per-rule counters —
+/// describe how much work a particular strategy performed and differ
+/// between strategies by design.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Fixed-point rounds executed (across all strata).
@@ -53,8 +82,10 @@ pub struct SolveStats {
     pub rule_evaluations: u64,
     /// Head tuples produced by rule evaluation.
     pub facts_derived: u64,
-    /// Insertions that changed the database (new tuples or strict lattice
-    /// increases).
+    /// Net database changes: new tuples plus distinct lattice cells that
+    /// strictly increased, counted once per cell per round (a cell
+    /// climbing through several intermediate values within one round is
+    /// one net change).
     pub facts_inserted: u64,
     /// Index probes performed.
     pub index_probes: u64,
@@ -64,6 +95,12 @@ pub struct SolveStats {
     pub strata: u64,
     /// Total facts in the final database.
     pub total_facts: u64,
+    /// Wall-clock time of the whole solve, in nanoseconds.
+    pub wall_ns: u64,
+    /// Per-rule work profile, indexed by rule number.
+    pub per_rule: Vec<RuleStats>,
+    /// Per-stratum rounds and per-round delta sizes, in evaluation order.
+    pub per_stratum: Vec<StratumStats>,
 }
 
 /// An error during solving.
@@ -84,6 +121,10 @@ pub enum SolveError {
     /// A user-supplied function or lattice operation panicked. The solver
     /// catches the panic (`catch_unwind`), names the function and the
     /// context it was invoked from, and returns the facts derived so far.
+    /// A panic escaping a parallel worker *outside* the guarded user-code
+    /// paths (an internal solver bug) is reported through this variant
+    /// too, with `function` set to `"solver worker"`, rather than
+    /// aborting the process.
     FunctionPanicked {
         /// The predicate being derived (or matched) when the panic fired.
         predicate: String,
@@ -239,7 +280,7 @@ impl std::error::Error for SolveFailure {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Solver {
     strategy: Strategy,
     threads: usize,
@@ -247,6 +288,27 @@ pub struct Solver {
     max_rounds: Option<u64>,
     provenance: bool,
     budget: Budget,
+    observer: Option<Arc<dyn Observer>>,
+    /// Test hook: makes every parallel worker panic outside the
+    /// `catch_unwind`-guarded user code, simulating an internal solver bug.
+    inject_worker_panic: bool,
+}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("strategy", &self.strategy)
+            .field("threads", &self.threads)
+            .field("use_indexes", &self.use_indexes)
+            .field("max_rounds", &self.max_rounds)
+            .field("provenance", &self.provenance)
+            .field("budget", &self.budget)
+            .field(
+                "observer",
+                &self.observer.as_ref().map(|_| "<dyn Observer>"),
+            )
+            .finish()
+    }
 }
 
 impl Default for Solver {
@@ -266,6 +328,8 @@ impl Solver {
             max_rounds: None,
             provenance: false,
             budget: Budget::new(),
+            observer: None,
+            inject_worker_panic: false,
         }
     }
 
@@ -315,6 +379,26 @@ impl Solver {
         self
     }
 
+    /// Attaches a progress [`Observer`] that receives round-started,
+    /// rule-evaluated, stratum-converged, and budget-checked events during
+    /// the solve. All callbacks fire on the thread driving the solve.
+    /// With no observer attached (the default), the event paths are
+    /// skipped entirely.
+    pub fn observer(mut self, observer: Arc<dyn Observer>) -> Solver {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Test hook: makes every parallel worker thread panic outside the
+    /// guarded user-code paths, simulating an internal solver bug. Used
+    /// by the fault-injection suite to pin that worker panics surface as
+    /// a structured [`SolveError`] instead of aborting the process.
+    #[doc(hidden)]
+    pub fn inject_worker_panic_for_tests(mut self) -> Solver {
+        self.inject_worker_panic = true;
+        self
+    }
+
     /// Computes the minimal model of `program`.
     ///
     /// # Errors
@@ -332,16 +416,28 @@ impl Solver {
     /// - [`SolveError::BudgetExceeded`] if the configured [`Budget`] runs
     ///   out.
     pub fn solve(&self, program: &Program) -> Result<Solution, Box<SolveFailure>> {
+        let wall_start = Instant::now();
         let guard = Guard::new(&self.budget);
         let mut db = Database::for_program(program, self.use_indexes);
-        let mut stats = SolveStats::default();
+        let mut stats = SolveStats {
+            per_rule: program
+                .rules
+                .iter()
+                .enumerate()
+                .map(|(i, r)| RuleStats {
+                    rule: i,
+                    head: program.decl(r.head_pred).name.to_string(),
+                    ..RuleStats::default()
+                })
+                .collect(),
+            ..SolveStats::default()
+        };
         let mut events: Option<Vec<Event>> = self.provenance.then(Vec::new);
 
         let outcome = self.solve_inner(program, &guard, &mut db, &mut stats, &mut events);
 
-        stats.index_probes = db.index_probes.load(std::sync::atomic::Ordering::Relaxed);
-        stats.scan_fallbacks = db.scan_fallbacks.load(std::sync::atomic::Ordering::Relaxed);
         stats.total_facts = db.total_facts() as u64;
+        stats.wall_ns = wall_start.elapsed().as_nanos() as u64;
         let solution = make_solution(program, db, stats.clone(), events);
         match outcome {
             Ok(()) => Ok(solution),
@@ -393,6 +489,11 @@ impl Solver {
 
         for (stratum, group) in strata.rule_groups.iter().enumerate() {
             stats.strata += 1;
+            stats.per_stratum.push(StratumStats {
+                stratum,
+                rounds: 0,
+                delta_sizes: Vec::new(),
+            });
             match self.strategy {
                 Strategy::Naive => {
                     self.run_naive(program, guard, db, group, stratum, stats, events)?;
@@ -421,7 +522,11 @@ impl Solver {
                 });
             }
         }
-        if let Some(kind) = guard.exceeded(stats.facts_derived, db.total_facts() as u64) {
+        let exceeded = guard.exceeded(stats.facts_derived, db.total_facts() as u64);
+        if let Some(obs) = &self.observer {
+            obs.budget_checked(stratum, exceeded.as_ref());
+        }
+        if let Some(kind) = exceeded {
             return Err(SolveError::BudgetExceeded {
                 kind,
                 stats: stats.clone(),
@@ -444,6 +549,8 @@ impl Solver {
         loop {
             self.check_round(guard, db, stratum, stats)?;
             stats.rounds += 1;
+            let round = stats.rounds;
+            self.note_round_started(stats, stratum, round);
             let tasks: Vec<Task> = group
                 .iter()
                 .map(|&r| Task {
@@ -451,15 +558,19 @@ impl Solver {
                     variant: None,
                 })
                 .collect();
-            let derived = self.run_tasks(program, guard, db, &tasks, &[], stats)?;
-            let mut changed = false;
+            let derived = self.run_tasks(program, guard, db, &tasks, &[], stats, stratum, round)?;
+            let mut changed = 0u64;
+            let mut touched = TouchedCells::new();
             for d in derived {
                 stats.facts_derived += 1;
                 match db.insert(d.pred, d.tuple.clone()) {
                     Ok(InsertOutcome::Unchanged) => {}
                     Ok(outcome) => {
-                        stats.facts_inserted += 1;
-                        changed = true;
+                        if touched.first_change(&d, &outcome) {
+                            stats.facts_inserted += 1;
+                            stats.per_rule[d.rule].inserted += 1;
+                            changed += 1;
+                        }
                         log_event(events, &d, outcome);
                     }
                     Err(fault) => {
@@ -467,7 +578,11 @@ impl Solver {
                     }
                 }
             }
-            if !changed {
+            if let Some(st) = stats.per_stratum.last_mut() {
+                st.delta_sizes.push(changed);
+            }
+            if changed == 0 {
+                self.note_stratum_converged(stats, stratum);
                 return Ok(());
             }
         }
@@ -488,6 +603,8 @@ impl Solver {
         // Seed round: one full (naïve) evaluation of the stratum's rules.
         self.check_round(guard, db, stratum, stats)?;
         stats.rounds += 1;
+        let round = stats.rounds;
+        self.note_round_started(stats, stratum, round);
         let seed_tasks: Vec<Task> = group
             .iter()
             .map(|&r| Task {
@@ -495,17 +612,34 @@ impl Solver {
                 variant: None,
             })
             .collect();
-        let derived = self.run_tasks(program, guard, db, &seed_tasks, &[], stats)?;
+        let derived =
+            self.run_tasks(program, guard, db, &seed_tasks, &[], stats, stratum, round)?;
         let mut delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
+        let mut changed = 0u64;
+        let mut touched = TouchedCells::new();
         for d in derived {
             stats.facts_derived += 1;
-            record_insert(program, db, d, &mut delta, stats, events)?;
+            record_insert(
+                program,
+                db,
+                d,
+                &mut delta,
+                &mut touched,
+                &mut changed,
+                stats,
+                events,
+            )?;
+        }
+        if let Some(st) = stats.per_stratum.last_mut() {
+            st.delta_sizes.push(changed);
         }
 
         // Incremental rounds.
         while delta.iter().any(|d| !d.is_empty()) {
             self.check_round(guard, db, stratum, stats)?;
             stats.rounds += 1;
+            let round = stats.rounds;
+            self.note_round_started(stats, stratum, round);
             let mut tasks = Vec::new();
             for &r in group {
                 let rule = &program.rules[r];
@@ -518,17 +652,78 @@ impl Solver {
                     }
                 }
             }
-            let derived = self.run_tasks(program, guard, db, &tasks, &delta, stats)?;
+            let derived =
+                self.run_tasks(program, guard, db, &tasks, &delta, stats, stratum, round)?;
             let mut new_delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
+            let mut changed = 0u64;
+            let mut touched = TouchedCells::new();
             for d in derived {
                 stats.facts_derived += 1;
-                record_insert(program, db, d, &mut new_delta, stats, events)?;
+                record_insert(
+                    program,
+                    db,
+                    d,
+                    &mut new_delta,
+                    &mut touched,
+                    &mut changed,
+                    stats,
+                    events,
+                )?;
+            }
+            if let Some(st) = stats.per_stratum.last_mut() {
+                st.delta_sizes.push(changed);
             }
             delta = new_delta;
         }
+        self.note_stratum_converged(stats, stratum);
         Ok(())
     }
 
+    /// Fires the round-started observer event and counts the round on the
+    /// current stratum's profile entry.
+    fn note_round_started(&self, stats: &mut SolveStats, stratum: usize, round: u64) {
+        if let Some(st) = stats.per_stratum.last_mut() {
+            st.rounds += 1;
+        }
+        if let Some(obs) = &self.observer {
+            obs.round_started(stratum, round);
+        }
+    }
+
+    /// Fires the stratum-converged observer event.
+    fn note_stratum_converged(&self, stats: &SolveStats, stratum: usize) {
+        if let Some(obs) = &self.observer {
+            let rounds = stats.per_stratum.last().map_or(0, |st| st.rounds);
+            obs.stratum_converged(stratum, rounds);
+        }
+    }
+
+    /// Folds one finished task's counters into the per-rule profile and
+    /// the global totals, and fires the rule-evaluated observer event.
+    fn note_task(&self, stats: &mut SolveStats, stratum: usize, round: u64, report: &TaskReport) {
+        let r = &mut stats.per_rule[report.rule];
+        r.evaluations += 1;
+        r.derived += report.derived;
+        r.probes += report.probes;
+        r.scans += report.scans;
+        r.eval_ns += report.eval_ns;
+        stats.index_probes += report.probes;
+        stats.scan_fallbacks += report.scans;
+        if let Some(obs) = &self.observer {
+            obs.rule_evaluated(&RuleEvaluated {
+                stratum,
+                round,
+                rule: report.rule,
+                variant: report.variant,
+                derived: report.derived,
+                probes: report.probes,
+                scans: report.scans,
+                eval_ns: report.eval_ns,
+            });
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_tasks(
         &self,
         program: &Program,
@@ -537,13 +732,15 @@ impl Solver {
         tasks: &[Task],
         delta: &[Vec<Row>],
         stats: &mut SolveStats,
+        stratum: usize,
+        round: u64,
     ) -> Result<Vec<Derived>, SolveError> {
         stats.rule_evaluations += tasks.len() as u64;
         if self.threads <= 1 || tasks.len() <= 1 {
             let eval_guard = guard.eval_guard();
             let mut out = Vec::new();
             for task in tasks {
-                run_one_task(
+                let report = run_one_task(
                     program,
                     db,
                     task,
@@ -552,25 +749,36 @@ impl Solver {
                     &eval_guard,
                     &mut out,
                 )?;
+                self.note_task(stats, stratum, round, &report);
             }
             return Ok(out);
         }
         // Parallel: rule evaluations within a round only read the database,
-        // so they can proceed concurrently; outputs are merged afterwards.
-        // Each worker gets its own EvalGuard (the amortisation counter is
-        // not thread-safe); a fault in any worker fails the whole round.
+        // so they can proceed concurrently; outputs are merged afterwards
+        // in chunk order, keeping insertion order (and therefore the
+        // solution and the per-rule insertion credit) identical to the
+        // sequential path. Each worker gets its own EvalGuard with the
+        // poll period divided by the worker count, so the aggregate
+        // deadline-check frequency matches the sequential path. A fault in
+        // any worker fails the whole round.
         let chunk = tasks.len().div_ceil(self.threads);
         let provenance = self.provenance;
-        let mut results: Vec<Result<Vec<Derived>, SolveError>> = Vec::new();
+        let inject_panic = self.inject_worker_panic;
+        let threads = self.threads;
+        let mut joined: Vec<std::thread::Result<WorkerResult>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = tasks
                 .chunks(chunk)
                 .map(|task_chunk| {
                     scope.spawn(move || {
-                        let eval_guard = guard.eval_guard();
+                        if inject_panic {
+                            panic!("injected worker panic (test hook)");
+                        }
+                        let eval_guard = guard.eval_guard_scaled(threads);
                         let mut out = Vec::new();
+                        let mut reports = Vec::with_capacity(task_chunk.len());
                         for task in task_chunk {
-                            run_one_task(
+                            reports.push(run_one_task(
                                 program,
                                 db,
                                 task,
@@ -578,26 +786,76 @@ impl Solver {
                                 provenance,
                                 &eval_guard,
                                 &mut out,
-                            )?;
+                            )?);
                         }
-                        Ok(out)
+                        Ok((out, reports))
                     })
                 })
                 .collect();
+            // Every handle must be joined — an unjoined panicked thread
+            // would re-raise its panic when the scope exits, aborting the
+            // process and losing the partial model. Result *draining*
+            // stops at the first failure instead (see below).
             for h in handles {
-                results.push(h.join().expect("solver worker panicked"));
+                joined.push(h.join());
             }
         });
         let mut merged = Vec::new();
-        for r in results {
-            merged.extend(r?);
+        let mut failure: Option<SolveError> = None;
+        for result in joined {
+            if failure.is_some() {
+                // A worker already failed: drop the remaining chunks
+                // rather than merging derivations past the fault.
+                continue;
+            }
+            match result {
+                Ok(Ok((out, reports))) => {
+                    for report in &reports {
+                        self.note_task(stats, stratum, round, report);
+                    }
+                    merged.extend(out);
+                }
+                Ok(Err(error)) => failure = Some(error),
+                // A panic that escaped the worker's guarded paths is an
+                // internal solver bug; convert it into the structured
+                // error instead of aborting the process, preserving the
+                // PR-1 guarantee that failures return a partial model.
+                Err(payload) => {
+                    failure = Some(SolveError::FunctionPanicked {
+                        predicate: "<internal>".to_string(),
+                        rule: None,
+                        function: "solver worker".to_string(),
+                        payload: panic_payload(payload),
+                    })
+                }
+            }
         }
-        Ok(merged)
+        match failure {
+            None => Ok(merged),
+            Some(error) => Err(error),
+        }
     }
 }
 
+/// What one parallel worker returns: its derivations plus one
+/// [`TaskReport`] per task it ran.
+type WorkerResult = Result<(Vec<Derived>, Vec<TaskReport>), SolveError>;
+
+/// Counters for one rule evaluation, reported back to the coordinating
+/// thread (which owns the [`SolveStats`] and the [`Observer`]).
+#[derive(Clone, Copy, Debug)]
+struct TaskReport {
+    rule: usize,
+    variant: Option<usize>,
+    derived: u64,
+    probes: u64,
+    scans: u64,
+    eval_ns: u64,
+}
+
 /// Evaluates one task, converting an [`EvalFault`] into a [`SolveError`]
-/// attributed to the task's rule.
+/// attributed to the task's rule. Returns the task's work counters (time,
+/// derivations, probe/scan counts) for the per-rule profile.
 fn run_one_task(
     program: &Program,
     db: &Database,
@@ -606,14 +864,17 @@ fn run_one_task(
     provenance: bool,
     eval_guard: &EvalGuard<'_>,
     out: &mut Vec<Derived>,
-) -> Result<(), SolveError> {
+) -> Result<TaskReport, SolveError> {
     eval_guard
         .check_now()
         .map_err(|kind| SolveError::BudgetExceeded {
             kind,
             stats: SolveStats::default(),
         })?;
-    eval_rule_prov(
+    let before = out.len();
+    let mut counters = EvalCounters::default();
+    let start = Instant::now();
+    let result = eval_rule_prov(
         program,
         db,
         task.rule,
@@ -621,9 +882,19 @@ fn run_one_task(
         delta,
         provenance,
         eval_guard,
+        &mut counters,
         out,
-    )
-    .map_err(|fault| eval_fault_error(program, task.rule, fault))
+    );
+    let eval_ns = start.elapsed().as_nanos() as u64;
+    result.map_err(|fault| eval_fault_error(program, task.rule, fault))?;
+    Ok(TaskReport {
+        rule: task.rule,
+        variant: task.variant,
+        derived: (out.len() - before) as u64,
+        probes: counters.probes,
+        scans: counters.scans,
+        eval_ns,
+    })
 }
 
 /// Attributes an [`InsertFault`] (from [`Database::insert`]) to the
@@ -716,11 +987,44 @@ pub(crate) struct Derived {
     pub(crate) premises: Option<Vec<Premise>>,
 }
 
+/// Lattice cells already credited with a net change in the current
+/// round.
+///
+/// Within one round a lattice cell can climb through several
+/// intermediate values, and *how many* strict increases it takes depends
+/// on the order candidate values are merged — which differs between
+/// naïve and semi-naïve evaluation. Counting only the first increase per
+/// cell per round makes `facts_inserted`, the per-rule `inserted`
+/// credit, and the per-round `delta_sizes` *net* quantities (distinct
+/// facts changed between round boundaries), which are strategy-invariant
+/// (see the "Strategy invariance" section on [`SolveStats`]). Relational
+/// tuples change at most once ever, so only lattice increases are
+/// tracked.
+struct TouchedCells(std::collections::HashSet<(PredId, Row)>);
+
+impl TouchedCells {
+    fn new() -> TouchedCells {
+        TouchedCells(std::collections::HashSet::new())
+    }
+
+    /// Returns `true` when `outcome` is the first net change of its fact
+    /// in this round (always true for new relational rows).
+    fn first_change(&mut self, d: &Derived, outcome: &InsertOutcome) -> bool {
+        match outcome {
+            InsertOutcome::LatIncrease(key, _) => self.0.insert((d.pred, key.clone())),
+            _ => true,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn record_insert(
     program: &Program,
     db: &mut Database,
     d: Derived,
     delta: &mut [Vec<Row>],
+    touched: &mut TouchedCells,
+    changed: &mut u64,
     stats: &mut SolveStats,
     events: &mut Option<Vec<Event>>,
 ) -> Result<(), SolveError> {
@@ -730,21 +1034,24 @@ fn record_insert(
         .map_err(|fault| insert_fault_error(program, pred, Some(d.rule), fault))?
     {
         InsertOutcome::Unchanged => {}
-        outcome @ InsertOutcome::NewRow(_) => {
-            stats.facts_inserted += 1;
-            if let InsertOutcome::NewRow(row) = &outcome {
-                delta[pred.0 as usize].push(row.clone());
+        outcome => {
+            if touched.first_change(&d, &outcome) {
+                stats.facts_inserted += 1;
+                stats.per_rule[d.rule].inserted += 1;
+                *changed += 1;
             }
-            log_event(events, &d, outcome);
-        }
-        outcome @ InsertOutcome::LatIncrease(_, _) => {
-            stats.facts_inserted += 1;
-            if let InsertOutcome::LatIncrease(key, value) = &outcome {
-                // Delta rows carry the full tuple: key columns plus the
-                // *new* cell value (§3.7's ga(P', S)).
-                let mut full: Vec<Value> = key.to_vec();
-                full.push(value.clone());
-                delta[pred.0 as usize].push(full.into());
+            match &outcome {
+                InsertOutcome::NewRow(row) => {
+                    delta[pred.0 as usize].push(row.clone());
+                }
+                InsertOutcome::LatIncrease(key, value) => {
+                    // Delta rows carry the full tuple: key columns plus
+                    // the *new* cell value (§3.7's ga(P', S)).
+                    let mut full: Vec<Value> = key.to_vec();
+                    full.push(value.clone());
+                    delta[pred.0 as usize].push(full.into());
+                }
+                InsertOutcome::Unchanged => unreachable!("outer match excludes Unchanged"),
             }
             log_event(events, &d, outcome);
         }
@@ -803,8 +1110,18 @@ impl From<OpsPanic> for EvalFault {
     }
 }
 
+/// Index-probe / scan-fallback counters for one rule evaluation. Local to
+/// the evaluating thread (no shared atomics on the hot path); the solver
+/// folds them into the per-rule profile after the task finishes.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct EvalCounters {
+    pub(crate) probes: u64,
+    pub(crate) scans: u64,
+}
+
 /// Evaluates a rule by index, producing [`Derived`] records (with
-/// premises when `provenance` is set).
+/// premises when `provenance` is set). Probe/scan counts are accumulated
+/// into `counters`, including on the error path.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn eval_rule_prov(
     program: &Program,
@@ -814,6 +1131,7 @@ pub(crate) fn eval_rule_prov(
     delta: &[Vec<Row>],
     provenance: bool,
     guard: &EvalGuard<'_>,
+    counters: &mut EvalCounters,
     out: &mut Vec<Derived>,
 ) -> Result<(), EvalFault> {
     let raw = eval_rule_inner(
@@ -824,6 +1142,7 @@ pub(crate) fn eval_rule_prov(
         delta,
         provenance,
         guard,
+        counters,
     )?;
     out.extend(raw.into_iter().map(|(pred, tuple, premises)| Derived {
         pred,
@@ -874,7 +1193,17 @@ pub(crate) fn eval_rule(
     out: &mut Vec<(PredId, Vec<Value>)>,
 ) {
     let guard = EvalGuard::unlimited();
-    match eval_rule_inner(program, db, rule, variant, delta, false, &guard) {
+    let mut counters = EvalCounters::default();
+    match eval_rule_inner(
+        program,
+        db,
+        rule,
+        variant,
+        delta,
+        false,
+        &guard,
+        &mut counters,
+    ) {
         Ok(raw) => out.extend(raw.into_iter().map(|(pred, tuple, _)| (pred, tuple))),
         Err(EvalFault::Panic { function, payload }) => {
             panic!("function {function} panicked during model check: {payload}")
@@ -889,12 +1218,15 @@ pub(crate) fn eval_rule(
 type RawDerivation = (PredId, Vec<Value>, Option<Vec<Premise>>);
 
 /// Per-evaluation mutable state: the output accumulator, the first fault
-/// observed (evaluation short-circuits once set), and the budget guard.
+/// observed (evaluation short-circuits once set), the budget guard, and
+/// the thread-local probe/scan counters.
 struct EvalCx<'a> {
     guard: &'a EvalGuard<'a>,
     provenance: bool,
     out: Vec<RawDerivation>,
     fault: Option<EvalFault>,
+    probes: u64,
+    scans: u64,
 }
 
 impl EvalCx<'_> {
@@ -905,6 +1237,7 @@ impl EvalCx<'_> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn eval_rule_inner(
     program: &Program,
     db: &Database,
@@ -913,6 +1246,7 @@ fn eval_rule_inner(
     delta: &[Vec<Row>],
     provenance: bool,
     guard: &EvalGuard<'_>,
+    counters: &mut EvalCounters,
 ) -> Result<Vec<RawDerivation>, EvalFault> {
     let (body, delta_pos): (&[CItem], Option<usize>) = match variant {
         None => (&rule.body, None),
@@ -925,10 +1259,14 @@ fn eval_rule_inner(
         provenance,
         out: Vec::new(),
         fault: None,
+        probes: 0,
+        scans: 0,
     };
     eval_body(
         program, db, rule, body, 0, delta_pos, delta, &mut env, &mut trail, &mut cx,
     );
+    counters.probes += cx.probes;
+    counters.scans += cx.scans;
     match cx.fault {
         None => Ok(cx.out),
         Some(fault) => Err(fault),
@@ -1046,14 +1384,14 @@ fn eval_body(
                     if let Some(hits) = probe_key(index_cols, terms, env)
                         .and_then(|key| rel.probe(index_cols, &key))
                     {
-                        db.count_probe();
+                        cx.probes += 1;
                         let rows = rel.rows();
                         for &i in hits {
                             visit(&rows[i as usize], env, trail, cx);
                         }
                     } else {
                         if !index_cols.is_empty() {
-                            db.count_scan();
+                            cx.scans += 1;
                         }
                         for row in rel.rows() {
                             visit(row, env, trail, cx);
@@ -1094,7 +1432,7 @@ fn eval_body(
                     if let Some(hits) = probe_key(index_cols, terms, env)
                         .and_then(|key| lat.probe(index_cols, &key))
                     {
-                        db.count_probe();
+                        cx.probes += 1;
                         let keys = lat.keys();
                         for &i in hits {
                             let key = &keys[i as usize];
@@ -1125,7 +1463,7 @@ fn eval_body(
                         }
                     } else {
                         if !index_cols.is_empty() {
-                            db.count_scan();
+                            cx.scans += 1;
                         }
                         for (key, cell) in lat.iter() {
                             visit_lat(

@@ -443,6 +443,109 @@ fn parallel_solver_isolates_worker_panics() {
 }
 
 #[test]
+fn internal_worker_panic_is_a_structured_error_with_partial_solution() {
+    // The panics above all happen inside `catch_unwind`-guarded *user*
+    // code. This injects a panic in the worker thread itself — outside
+    // every guard, simulating an internal solver bug — and pins that the
+    // scope join converts it into a structured `SolveError` (instead of
+    // the historical behaviour: `h.join().expect(...)` aborting the
+    // process) and that the partial solution still carries the facts
+    // inserted before the failed round.
+    let mut b = ProgramBuilder::new();
+    let edge = b.relation("Edge", 2);
+    let path = b.relation("Path", 2);
+    let back = b.relation("Back", 2);
+    for i in 0..10i64 {
+        b.fact(edge, vec![i.into(), (i + 1).into()]);
+    }
+    // Two rules, so the parallel path (tasks > 1) is exercised.
+    b.rule(
+        Head::new(path, [HeadTerm::var("x"), HeadTerm::var("y")]),
+        [BodyItem::atom(edge, [Term::var("x"), Term::var("y")])],
+    );
+    b.rule(
+        Head::new(back, [HeadTerm::var("y"), HeadTerm::var("x")]),
+        [BodyItem::atom(edge, [Term::var("x"), Term::var("y")])],
+    );
+    let failure = Solver::new()
+        .threads(4)
+        .inject_worker_panic_for_tests()
+        .solve(&b.build().expect("valid"))
+        .expect_err("injected worker panic");
+    match &failure.error {
+        SolveError::FunctionPanicked {
+            predicate,
+            rule,
+            function,
+            payload,
+        } => {
+            assert_eq!(predicate, "<internal>");
+            assert_eq!(*rule, None);
+            assert_eq!(function, "solver worker");
+            assert!(payload.contains("injected worker panic"), "{payload}");
+        }
+        other => panic!("expected FunctionPanicked, got {other:?}"),
+    }
+    // Extensional facts inserted before the failed round survive.
+    assert_eq!(failure.partial.len("Edge"), Some(10));
+}
+
+#[test]
+fn parallel_deadline_returns_promptly_with_scaled_poll_period() {
+    // Four huge cross-product rules evaluated by four workers: each
+    // worker's amortised deadline poll runs at PERIOD / threads, so the
+    // aggregate steps-between-checks (and therefore the response bound)
+    // matches the sequential `deadline_interrupts_a_single_huge_rule_
+    // evaluation` test above.
+    let mut b = ProgramBuilder::new();
+    let n = b.relation("N", 1);
+    let never = b.function("never", |_| Value::Bool(false));
+    let outs: Vec<_> = (0..4).map(|i| b.relation(format!("Out{i}"), 3)).collect();
+    for i in 0..200i64 {
+        b.fact(n, vec![i.into()]);
+    }
+    for &out in &outs {
+        b.rule(
+            Head::new(
+                out,
+                [HeadTerm::var("x"), HeadTerm::var("y"), HeadTerm::var("z")],
+            ),
+            [
+                BodyItem::atom(n, [Term::var("x")]),
+                BodyItem::atom(n, [Term::var("y")]),
+                BodyItem::atom(n, [Term::var("z")]),
+                BodyItem::filter(never, [Term::var("x")]),
+            ],
+        );
+    }
+    let deadline = Duration::from_millis(100);
+    let start = Instant::now();
+    let failure = Solver::new()
+        .threads(4)
+        .budget(Budget::new().deadline(deadline))
+        .solve(&b.build().expect("valid"))
+        .expect_err("deadline expires mid-round");
+    let elapsed = start.elapsed();
+    assert!(
+        matches!(
+            &failure.error,
+            SolveError::BudgetExceeded {
+                kind: BudgetKind::Deadline { .. },
+                ..
+            }
+        ),
+        "got {:?}",
+        failure.error
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "all four workers should observe the deadline long before their \
+         cross products finish (took {elapsed:?})"
+    );
+    assert_eq!(failure.partial.len("N"), Some(200), "facts survived");
+}
+
+#[test]
 fn budget_error_display_is_informative() {
     let failure = Solver::new()
         .budget(Budget::new().max_derivations(10))

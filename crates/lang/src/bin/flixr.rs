@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! flixr [--stats] [--naive] [--verify] [--threads N]
+//! flixr [--stats] [--profile] [--metrics-json PATH]
+//!       [--naive] [--verify] [--threads N]
 //!       [--max-rounds N] [--timeout SECS]
 //!       [--print PRED[,PRED...]] [--explain "Fact(args)"]
 //!       FILE.flix [MORE.flix ...]
@@ -18,6 +19,12 @@
 //!
 //! Prints every relation tuple and lattice cell of the minimal model (or
 //! only the named predicates), one fact per line, in deterministic order.
+//!
+//! `--profile` prints the per-rule work profile (evaluations, derived,
+//! inserted, index probes, scans, cumulative time) as a ranked table on
+//! stderr; `--metrics-json PATH` writes the same profile as a
+//! `flix-metrics/1` JSON document (schema in DESIGN.md §10). Both also
+//! fire on guarded failures, describing the partial run.
 //!
 //! # Exit codes
 //!
@@ -37,7 +44,7 @@
 //! `flixr` surfaces it so long-running analyses degrade to best-effort
 //! results instead of nothing.
 
-use flix_core::{Budget, Solution, SolveError, Solver, Strategy};
+use flix_core::{Budget, MetricsReport, Solution, SolveError, Solver, Strategy};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -105,6 +112,8 @@ fn main() -> ExitCode {
 fn run(args: Vec<String>) -> Result<(), Failure> {
     let mut files: Vec<String> = Vec::new();
     let mut stats = false;
+    let mut profile = false;
+    let mut metrics_json: Option<String> = None;
     let mut verify = false;
     let mut strategy = Strategy::SemiNaive;
     let mut threads = 1usize;
@@ -117,6 +126,18 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--stats" => stats = true,
+            "--profile" => profile = true,
+            "--metrics-json" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--metrics-json requires an output path"))?;
+                if path.starts_with('-') {
+                    return Err(Failure::usage(format!(
+                        "--metrics-json requires an output path, got option {path}"
+                    )));
+                }
+                metrics_json = Some(path);
+            }
             "--verify" => verify = true,
             "--naive" => strategy = Strategy::Naive,
             "--threads" => {
@@ -126,6 +147,11 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                 threads = n
                     .parse()
                     .map_err(|_| Failure::usage(format!("invalid thread count {n}")))?;
+                if threads == 0 {
+                    return Err(Failure::usage(
+                        "--threads must be at least 1 (0 worker threads cannot make progress)",
+                    ));
+                }
             }
             "--max-rounds" => {
                 let n = it
@@ -164,7 +190,8 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: flixr [--stats] [--naive] [--verify] [--threads N] \
+                    "usage: flixr [--stats] [--profile] [--metrics-json PATH] \
+                     [--naive] [--verify] [--threads N] \
                      [--max-rounds N] [--timeout SECS] [--print PREDS] \
                      [--explain ATOM] FILE.flix [MORE.flix ...]"
                 );
@@ -232,6 +259,14 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
             if stats {
                 print_stats(&failure.stats);
             }
+            emit_observability(
+                profile,
+                metrics_json.as_deref(),
+                &files[0],
+                strategy,
+                threads,
+                &failure.stats,
+            )?;
             return Err(Failure {
                 code,
                 message: None,
@@ -258,6 +293,42 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     print_model(&program, &solution, print.as_deref());
     if stats {
         print_stats(solution.stats());
+    }
+    emit_observability(
+        profile,
+        metrics_json.as_deref(),
+        &files[0],
+        strategy,
+        threads,
+        solution.stats(),
+    )?;
+    Ok(())
+}
+
+/// Writes the `--profile` table (stderr) and the `--metrics-json` report
+/// (file), when requested. Shared by the success and guarded-failure
+/// paths so partial runs are observable too.
+fn emit_observability(
+    profile: bool,
+    metrics_json: Option<&str>,
+    name: &str,
+    strategy: Strategy,
+    threads: usize,
+    stats: &flix_core::SolveStats,
+) -> Result<(), Failure> {
+    if profile {
+        eprint!("{}", flix_core::render_profile_table(stats));
+    }
+    if let Some(path) = metrics_json {
+        let report = MetricsReport {
+            name,
+            strategy: strategy.name(),
+            threads,
+            stats,
+        };
+        let json = flix_core::render_metrics_json(&[report]);
+        std::fs::write(path, json)
+            .map_err(|e| Failure::usage(format!("cannot write {path}: {e}")))?;
     }
     Ok(())
 }

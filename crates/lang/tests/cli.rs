@@ -107,6 +107,101 @@ fn usage_errors_exit_with_code_1() {
 }
 
 #[test]
+fn zero_threads_is_a_usage_error() {
+    let file = write_temp("zero-threads.flix", PATHS);
+    let output = flixr()
+        .args(["--threads", "0"])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(1), "--threads 0 exits with 1");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("--threads must be at least 1"), "{stderr}");
+    // Nothing was solved or printed.
+    assert!(output.stdout.is_empty());
+}
+
+#[test]
+fn metrics_json_misuse_is_a_usage_error() {
+    let file = write_temp("metrics-misuse.flix", PATHS);
+    // Missing path entirely.
+    let output = flixr()
+        .arg(&file)
+        .arg("--metrics-json")
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("requires an output path"), "{stderr}");
+    // Next option swallowed as the path.
+    let output = flixr()
+        .args(["--metrics-json", "--stats"])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("got option --stats"), "{stderr}");
+}
+
+#[test]
+fn profile_prints_a_ranked_rule_table() {
+    let file = write_temp("profile.flix", PATHS);
+    let output = flixr().arg("--profile").arg(&file).output().expect("runs");
+    assert!(output.status.success());
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("rule"), "{stderr}");
+    assert!(stderr.contains("Path"), "{stderr}");
+    assert!(stderr.contains("total"), "{stderr}");
+    // The model still prints normally on stdout.
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("Path(1, 3)"), "{stdout}");
+}
+
+#[test]
+fn metrics_json_writes_a_stable_report() {
+    let file = write_temp("metrics.flix", PATHS);
+    let out = std::env::temp_dir().join(format!("flixr-test-{}-metrics.json", std::process::id()));
+    let output = flixr()
+        .args(["--metrics-json", out.to_str().expect("utf8 path")])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let json = std::fs::read_to_string(&out).expect("metrics file written");
+    assert!(json.contains("\"schema\": \"flix-metrics/1\""), "{json}");
+    assert!(json.contains("\"strategy\": \"semi-naive\""), "{json}");
+    assert!(json.contains("\"threads\": 1"), "{json}");
+    assert!(json.contains("\"per_rule\""), "{json}");
+    assert!(json.contains("\"per_stratum\""), "{json}");
+    assert!(json.contains("\"head\": \"Path\""), "{json}");
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn metrics_json_fires_on_guarded_failures_too() {
+    let file = write_temp("metrics-fail.flix", PATHS);
+    let out = std::env::temp_dir().join(format!(
+        "flixr-test-{}-metrics-fail.json",
+        std::process::id()
+    ));
+    let output = flixr()
+        .args([
+            "--max-rounds",
+            "1",
+            "--metrics-json",
+            out.to_str().expect("utf8 path"),
+        ])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(4));
+    let json = std::fs::read_to_string(&out).expect("metrics file written on failure");
+    assert!(json.contains("\"schema\": \"flix-metrics/1\""), "{json}");
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
 fn round_limit_exits_with_code_4_and_prints_the_partial_model() {
     let file = write_temp("rounds.flix", PATHS);
     let output = flixr()

@@ -1,0 +1,148 @@
+//! Strategy parity: naïve, semi-naïve, and parallel semi-naïve
+//! evaluation must agree — not only on the minimal model (§3.7 proves
+//! the strategies compute the same fixed point) but also on the
+//! *strategy-invariant* statistics documented on `SolveStats`: net
+//! insertions, per-rule insertion credit, and per-stratum convergence
+//! profiles. Gross work (`rule_evaluations`, `facts_derived`, probes,
+//! scans, timings) legitimately differs and is not compared.
+//!
+//! The workloads are the paper's case studies: shortest paths (§4.4),
+//! the Figure 2 combined dataflow analysis, and the Figure 5 IFDS
+//! encoding on a generated JVM-shaped supergraph.
+
+use flix::analyses::ifds::{self, problems::Taint};
+use flix::analyses::workloads::graphs;
+use flix::analyses::workloads::jvm_program::{self, GenParams};
+use flix::analyses::{dataflow, shortest_paths};
+use flix::{Program, Solution, Solver, Strategy};
+use std::sync::Arc;
+
+/// The three configurations under comparison.
+fn configurations() -> Vec<(&'static str, Solver)> {
+    vec![
+        ("naive", Solver::new().strategy(Strategy::Naive)),
+        ("semi-naive", Solver::new().strategy(Strategy::SemiNaive)),
+        (
+            "semi-naive x4",
+            Solver::new().strategy(Strategy::SemiNaive).threads(4),
+        ),
+    ]
+}
+
+/// Canonical dump of every relation tuple and lattice cell, sorted, so
+/// two solutions can be compared for semantic equality.
+fn dump(program: &Program, solution: &Solution) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (_, decl) in program.predicates() {
+        let name = decl.name();
+        if let Some(rows) = solution.relation(name) {
+            for row in rows {
+                lines.push(format!(
+                    "{name}({})",
+                    row.iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        if let Some(cells) = solution.lattice(name) {
+            for (key, value) in cells {
+                let mut parts: Vec<String> = key.iter().map(ToString::to_string).collect();
+                parts.push(value.to_string());
+                lines.push(format!("{name}({})", parts.join(", ")));
+            }
+        }
+    }
+    lines.sort();
+    lines
+}
+
+/// Solves `program` under every configuration and asserts that the
+/// model and all strategy-invariant statistics coincide.
+fn assert_strategy_parity(label: &str, program: &Program) {
+    let runs: Vec<(&str, Solution)> = configurations()
+        .into_iter()
+        .map(|(name, solver)| (name, solver.solve(program).expect("solves")))
+        .collect();
+    let (base_name, base) = &runs[0];
+    let base_dump = dump(program, base);
+    let base_inserted: Vec<(usize, u64)> = base
+        .stats()
+        .per_rule
+        .iter()
+        .map(|r| (r.rule, r.inserted))
+        .collect();
+    assert!(
+        base.stats().per_rule.iter().any(|r| r.inserted > 0),
+        "{label}: the baseline run credits at least one rule"
+    );
+    for (name, solution) in &runs[1..] {
+        assert_eq!(
+            dump(program, solution),
+            base_dump,
+            "{label}: {name} and {base_name} disagree on the minimal model"
+        );
+        let stats = solution.stats();
+        assert_eq!(
+            stats.facts_inserted,
+            base.stats().facts_inserted,
+            "{label}: {name} net insertions"
+        );
+        assert_eq!(
+            stats.total_facts,
+            base.stats().total_facts,
+            "{label}: {name} total facts"
+        );
+        let inserted: Vec<(usize, u64)> = stats
+            .per_rule
+            .iter()
+            .map(|r| (r.rule, r.inserted))
+            .collect();
+        assert_eq!(
+            inserted, base_inserted,
+            "{label}: {name} and {base_name} credit rules differently"
+        );
+        // Convergence profile: same rounds per stratum and the same net
+        // delta fed into each round.
+        assert_eq!(
+            stats.per_stratum,
+            base.stats().per_stratum,
+            "{label}: {name} and {base_name} converge differently"
+        );
+    }
+}
+
+#[test]
+fn shortest_paths_single_source_parity() {
+    let graph = graphs::generate(40, 120, 7);
+    let program = shortest_paths::build_single_source(&graph, 0);
+    assert_strategy_parity("single-source shortest paths", &program);
+}
+
+#[test]
+fn shortest_paths_all_pairs_parity() {
+    let graph = graphs::generate(12, 25, 3);
+    let program = shortest_paths::build_all_pairs(&graph);
+    assert_strategy_parity("all-pairs shortest paths", &program);
+}
+
+#[test]
+fn figure_2_dataflow_parity() {
+    let program = dataflow::build_program(&dataflow::example_input());
+    assert_strategy_parity("Figure 2 dataflow", &program);
+}
+
+#[test]
+fn figure_5_ifds_parity() {
+    let model = Arc::new(jvm_program::generate(GenParams {
+        num_procs: 6,
+        nodes_per_proc: 12,
+        vars_per_proc: 6,
+        call_percent: 15,
+        seed: 11,
+    }));
+    let problem = Arc::new(Taint::new(model.clone()));
+    let program = ifds::flix::build_program(&model.graph, problem);
+    assert_strategy_parity("Figure 5 IFDS", &program);
+}

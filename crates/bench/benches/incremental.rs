@@ -1,0 +1,96 @@
+//! Incremental re-solve bench: warm-starting the §4.4 shortest-paths
+//! fixed point from a prior model via `Solver::resume` vs solving the
+//! updated program from scratch, for a single-edge update.
+//!
+//! The interesting number is the ratio: a one-edge delta re-derives only
+//! the cells the new edge improves, so the warm start should be at least
+//! an order of magnitude faster than re-running the whole fixed point on
+//! the largest graph.
+
+use flix_analyses::shortest_paths;
+use flix_analyses::workloads::graphs;
+use flix_bench::harness::{BenchmarkId, Criterion};
+use flix_bench::{criterion_group, criterion_main};
+use flix_core::{Delta, Solver, Strategy, Value};
+
+/// The single-edge update: a cheap shortcut from the last node into the
+/// middle of the graph, so the delta actually propagates.
+fn update_for(nodes: u32) -> (u32, u32, u64) {
+    (nodes - 1, nodes / 2, 1)
+}
+
+fn delta_for(nodes: u32) -> Delta {
+    let (x, y, c) = update_for(nodes);
+    Delta::new().insert(
+        "Edge",
+        vec![
+            Value::from(x as i64),
+            Value::from(y as i64),
+            Value::from(c as i64),
+        ],
+    )
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let solver = Solver::new();
+    for &(nodes, extra) in &[(50u32, 150usize), (150, 500), (400, 1_500)] {
+        let graph = graphs::generate(nodes, extra, 0x5907);
+        let base = shortest_paths::build_single_source(&graph, 0);
+        let prior = solver.solve(&base).expect("base solves");
+        // The from-scratch reference: the same graph with the update
+        // already applied, solved from nothing.
+        let mut updated_graph = graph.clone();
+        updated_graph.edges.push(update_for(nodes));
+        let scratch_program = shortest_paths::build_single_source(&updated_graph, 0);
+        let delta = delta_for(nodes);
+
+        group.bench_with_input(
+            BenchmarkId::new("from_scratch", nodes),
+            &scratch_program,
+            |b, program| b.iter(|| solver.solve(program).expect("solves")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("resume_single_edge", nodes),
+            &(&base, &prior, &delta),
+            |b, (base, prior, delta)| {
+                b.iter(|| solver.resume(base, prior, delta).expect("resumes"))
+            },
+        );
+    }
+    group.finish();
+
+    // Instrumented runs outside the timing loops so `--metrics-json`
+    // carries comparable profiles (wall_ns of a scratch solve vs a warm
+    // resume of the same update on the largest graph).
+    for &(nodes, extra) in &[(50u32, 150usize), (150, 500), (400, 1_500)] {
+        let graph = graphs::generate(nodes, extra, 0x5907);
+        let base = shortest_paths::build_single_source(&graph, 0);
+        let prior = solver.solve(&base).expect("base solves");
+        let mut updated_graph = graph.clone();
+        updated_graph.edges.push(update_for(nodes));
+        let scratch_program = shortest_paths::build_single_source(&updated_graph, 0);
+        let scratch = solver.solve(&scratch_program).expect("solves");
+        flix_bench::metrics::record(
+            format!("incremental/from_scratch/{nodes}"),
+            Strategy::SemiNaive.name(),
+            1,
+            scratch.stats(),
+        );
+        let resumed = solver
+            .resume(&base, &prior, &delta_for(nodes))
+            .expect("resumes");
+        flix_bench::metrics::record(
+            format!("incremental/resume_single_edge/{nodes}"),
+            Strategy::SemiNaive.name(),
+            1,
+            resumed.stats(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

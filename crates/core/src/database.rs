@@ -48,7 +48,7 @@ pub(crate) enum InsertOutcome {
 }
 
 /// Storage for one relational predicate.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct RelationData {
     rows: Vec<Row>,
     set: HashMap<Row, ()>,
@@ -93,7 +93,7 @@ impl RelationData {
 }
 
 /// Storage for one lattice predicate: the compact cell map.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct LatticeData {
     ops: LatticeOps,
     cells: HashMap<Row, Value>,
@@ -182,7 +182,7 @@ impl LatticeData {
 }
 
 /// Storage for one predicate.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum PredData {
     Rel(RelationData),
     Lat(LatticeData),
@@ -193,7 +193,15 @@ pub(crate) enum PredData {
 /// Index-probe and scan-fallback counters live with the evaluator (the
 /// solver's per-rule profile), not here: each rule evaluation counts its
 /// own probes locally, so workers never contend on shared counters.
-#[derive(Debug)]
+///
+/// `Clone` is the warm-start path of [`crate::incremental`]: resuming a
+/// solve clones the prior solution's database (cheap — rows are
+/// refcounted `Arc` slices and indexes copy without rehashing) instead of
+/// re-deriving it. The clone keeps the index configuration it was built
+/// with; a resume under a different `use_indexes` setting stays correct
+/// because a missing index is always a scan fallback, never a wrong
+/// probe.
+#[derive(Clone, Debug)]
 pub(crate) struct Database {
     preds: Vec<PredData>,
 }

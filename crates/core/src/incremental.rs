@@ -1,0 +1,564 @@
+//! Incremental re-solving: warm-starting the fixed point from a prior
+//! model plus a monotone update.
+//!
+//! The semi-naïve strategy (§3.7 of the paper) already works in deltas:
+//! each round re-evaluates rules only against the ground atoms that
+//! *strictly increased* since the previous round. A finished solve is
+//! simply the state where that delta has drained — so a monotone update
+//! (new relational tuples, lub-raises of lattice cells) can re-enter the
+//! same loop with the update as the initial `∆`, skipping the seed round
+//! and every untouched stratum entirely.
+//!
+//! # Why monotone deltas need no retraction
+//!
+//! FLIX programs are monotone: adding facts (or raising lattice cells)
+//! can only grow the minimal model, never shrink it — `M(P) ⊑ M(P ∪ ∆)`.
+//! The prior model is therefore a *sound under-approximation* of the
+//! updated model, and every fact missing from it must be derivable
+//! through at least one changed ground atom. Seeding the semi-naïve
+//! worklist with exactly the changed atoms reaches all of those
+//! derivations (the standard semi-naïve completeness argument), so no
+//! DRed-style over-deletion/re-derivation phase is needed. The one
+//! exception is stratified negation: an *insertion* into a negated
+//! predicate can invalidate previously derived facts, so when a delta
+//! can reach a negated body atom (computed by a conservative transitive
+//! dirtiness check), [`Solver::resume`] falls back to a full from-scratch
+//! solve — still returning exactly the from-scratch model, just without
+//! the warm-start speedup.
+//!
+//! # Example
+//!
+//! ```
+//! use flix_core::incremental::Delta;
+//! use flix_core::{BodyItem, Head, HeadTerm, ProgramBuilder, Solver, Term};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ProgramBuilder::new();
+//! let edge = b.relation("Edge", 2);
+//! let path = b.relation("Path", 2);
+//! b.fact(edge, vec![1.into(), 2.into()]);
+//! b.rule(
+//!     Head::new(path, [HeadTerm::var("x"), HeadTerm::var("y")]),
+//!     [BodyItem::atom(edge, [Term::var("x"), Term::var("y")])],
+//! );
+//! b.rule(
+//!     Head::new(path, [HeadTerm::var("x"), HeadTerm::var("z")]),
+//!     [
+//!         BodyItem::atom(path, [Term::var("x"), Term::var("y")]),
+//!         BodyItem::atom(edge, [Term::var("y"), Term::var("z")]),
+//!     ],
+//! );
+//! let program = b.build()?;
+//! let solver = Solver::new();
+//! let initial = solver.solve(&program)?;
+//! assert!(!initial.contains("Path", &[1.into(), 3.into()]));
+//!
+//! let delta = Delta::new().insert("Edge", vec![2.into(), 3.into()]);
+//! let updated = solver.resume(&program, &initial, &delta)?;
+//! assert!(updated.contains("Path", &[1.into(), 3.into()]));
+//! # Ok(())
+//! # }
+//! ```
+
+// Internal plumbing passes `SolveError` by value between rounds, exactly
+// like `solver.rs`; it is boxed inside `SolveFailure` at the API boundary.
+#![allow(clippy::result_large_err)]
+
+use crate::database::{Database, InsertOutcome, PredData, Row};
+use crate::guard::Guard;
+use crate::observe::{RuleStats, StratumStats};
+use crate::program::{CItem, Program};
+use crate::provenance::{Event, Source};
+use crate::solver::{accumulate_change, insert_fault_error, make_solution};
+use crate::stratify::stratify;
+use crate::{PredId, Solution, SolveError, SolveFailure, SolveStats, Solver, Strategy, Value};
+use std::collections::HashSet;
+use std::fmt;
+use std::time::Instant;
+
+/// A monotone update to a program's extensional facts: relational tuples
+/// to insert and lattice cells to lub-raise.
+///
+/// Entries are predicate-*name* based, so a delta can be built without a
+/// handle on the program's internal ids (e.g. from a parsed update
+/// file); names are resolved — and arities checked — when the delta is
+/// applied by [`Solver::resume`]. Lattice entries carry the element as
+/// the last column, exactly like a lattice fact: the cell at the key
+/// columns is raised to the least upper bound of its current value and
+/// the given element (a no-op when already subsumed).
+///
+/// Only *additions* are expressible, by design: monotone updates are the
+/// case where resuming from the prior model is exact (see the module
+/// docs). Retracting a fact requires a from-scratch [`Solver::solve`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Delta {
+    entries: Vec<(String, Vec<Value>)>,
+}
+
+impl Delta {
+    /// Creates an empty delta.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// Adds one fact (chaining form): a full tuple for a relational
+    /// predicate, or key columns plus the element for a lattice
+    /// predicate.
+    pub fn insert(mut self, predicate: impl Into<String>, tuple: Vec<Value>) -> Delta {
+        self.push(predicate, tuple);
+        self
+    }
+
+    /// Adds one fact (mutating form). See [`Delta::insert`].
+    pub fn push(&mut self, predicate: impl Into<String>, tuple: Vec<Value>) {
+        self.entries.push((predicate.into(), tuple));
+    }
+
+    /// Adds a lattice lub-raise: the cell at `key` is raised to (at
+    /// least) `element`. Convenience over [`Delta::insert`] with the
+    /// element appended as the last column.
+    pub fn raise(mut self, predicate: impl Into<String>, key: Vec<Value>, element: Value) -> Delta {
+        let mut tuple = key;
+        tuple.push(element);
+        self.push(predicate, tuple);
+        self
+    }
+
+    /// Builds a delta from every fact of `program` — the flixr `--update`
+    /// path: the update file is compiled as a standalone program (its
+    /// facts re-declare the predicates they touch) and its facts become
+    /// the delta.
+    pub fn from_facts(program: &Program) -> Delta {
+        let mut delta = Delta::new();
+        for (pred, values) in program.facts() {
+            delta.push(program.decl(pred).name(), values.to_vec());
+        }
+        delta
+    }
+
+    /// The number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the delta holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates the entries as `(predicate name, tuple)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[Value])> {
+        self.entries.iter().map(|(n, t)| (n.as_str(), t.as_slice()))
+    }
+}
+
+/// A [`Delta`] (or prior [`Solution`]) that does not fit the program
+/// handed to [`Solver::resume`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A delta entry names a predicate the program does not declare.
+    UnknownPredicate {
+        /// The unresolvable name.
+        predicate: String,
+    },
+    /// A delta entry's tuple width does not match the predicate's
+    /// declared arity (for lattice predicates, key columns plus the
+    /// element).
+    ArityMismatch {
+        /// The predicate name.
+        predicate: String,
+        /// The declared arity.
+        declared: usize,
+        /// The entry's tuple width.
+        found: usize,
+    },
+    /// The prior solution was not produced from the program being
+    /// resumed: predicate names, order, or kinds differ.
+    SolutionMismatch,
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::UnknownPredicate { predicate } => {
+                write!(f, "delta names unknown predicate {predicate}")
+            }
+            DeltaError::ArityMismatch {
+                predicate,
+                declared,
+                found,
+            } => write!(
+                f,
+                "delta tuple for {predicate} has {found} columns, declared arity is {declared}"
+            ),
+            DeltaError::SolutionMismatch => write!(
+                f,
+                "prior solution does not match the program being resumed \
+                 (was it produced by solving a different program?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<DeltaError> for SolveError {
+    fn from(e: DeltaError) -> SolveError {
+        SolveError::Delta(e)
+    }
+}
+
+impl Solver {
+    /// Resumes a finished solve: applies the monotone `delta` on top of
+    /// `prior` (which must be a *complete* fixed point of `program`, as
+    /// returned by [`Solver::solve`] or an earlier `resume`) and re-runs
+    /// only the strata the update can reach, seeding the semi-naïve
+    /// worklist with exactly the changed cells.
+    ///
+    /// The result is cell-for-cell identical to a from-scratch
+    /// [`Solver::solve`] of the program extended with the delta's facts,
+    /// for every strategy and thread count; the randomized
+    /// update-sequence parity suite pins this. When the delta can reach
+    /// a negated body atom, `resume` transparently falls back to that
+    /// from-scratch solve (see the module docs).
+    ///
+    /// Resumed work is observable like any other solve: rounds, rule
+    /// evaluations, and net insertions (including the delta's own
+    /// insertions, counted like fact loads) appear in [`SolveStats`],
+    /// the per-rule/per-stratum profiles, and the attached
+    /// [`crate::Observer`], and the configured [`crate::Budget`] governs
+    /// the resumed rounds. Statistics describe the *resumed* run only;
+    /// `per_stratum` holds entries just for re-run strata (tagged with
+    /// their original stratum indices). When provenance recording is on,
+    /// the prior solution's event log (if any) is carried over and
+    /// extended, so [`Solution::explain`] spans both runs.
+    ///
+    /// # Errors
+    ///
+    /// All [`Solver::solve`] failure modes, plus [`SolveError::Delta`]
+    /// when the delta or prior solution does not fit `program`. The
+    /// partial solution on failure is always ⊒ the prior model: resuming
+    /// only ever adds facts, so an exhausted budget loses new
+    /// derivations, never prior ones.
+    pub fn resume(
+        &self,
+        program: &Program,
+        prior: &Solution,
+        delta: &Delta,
+    ) -> Result<Solution, Box<SolveFailure>> {
+        let wall_start = Instant::now();
+        let guard = Guard::new(&self.config.budget);
+        let mut stats = SolveStats {
+            per_rule: program
+                .rules
+                .iter()
+                .enumerate()
+                .map(|(i, r)| RuleStats {
+                    rule: i,
+                    head: program.decl(r.head_pred).name().to_string(),
+                    ..RuleStats::default()
+                })
+                .collect(),
+            ..SolveStats::default()
+        };
+
+        // Validate the prior solution and the delta before touching
+        // anything; on a validation error the partial model is the
+        // unmodified prior model.
+        let validated = check_prior(program, prior).and_then(|()| resolve_delta(program, delta));
+        let resolved = match validated {
+            Ok(resolved) => resolved,
+            Err(e) => {
+                let db = prior.database().clone();
+                stats.total_facts = db.total_facts() as u64;
+                stats.wall_ns = wall_start.elapsed().as_nanos() as u64;
+                let partial = make_solution(program, db, stats.clone(), None);
+                return Err(Box::new(SolveFailure {
+                    error: e.into(),
+                    partial,
+                    stats,
+                }));
+            }
+        };
+
+        // Warm start: clone the prior fixed point and extend its event
+        // log when provenance is on (the prior log may be absent if the
+        // prior solve ran without recording).
+        let mut db = prior.database().clone();
+        let mut events: Option<Vec<Event>> = self
+            .config
+            .record_provenance
+            .then(|| prior.events().cloned().unwrap_or_default());
+
+        let outcome =
+            self.resume_inner(program, &guard, &mut db, resolved, &mut stats, &mut events);
+
+        stats.total_facts = db.total_facts() as u64;
+        stats.wall_ns = wall_start.elapsed().as_nanos() as u64;
+        let solution = make_solution(program, db, stats.clone(), events);
+        match outcome {
+            Ok(()) => Ok(solution),
+            Err(mut error) => {
+                // Refresh the stats snapshot embedded at the failure
+                // site, exactly as `solve` does.
+                if let SolveError::RoundLimitExceeded { stats: s, .. }
+                | SolveError::BudgetExceeded { stats: s, .. } = &mut error
+                {
+                    *s = stats.clone();
+                }
+                Err(Box::new(SolveFailure {
+                    error,
+                    partial: solution,
+                    stats,
+                }))
+            }
+        }
+    }
+
+    fn resume_inner(
+        &self,
+        program: &Program,
+        guard: &Guard<'_>,
+        db: &mut Database,
+        resolved: Vec<(PredId, Vec<Value>)>,
+        stats: &mut SolveStats,
+        events: &mut Option<Vec<Event>>,
+    ) -> Result<(), SolveError> {
+        let strata = stratify(program)?;
+        let npreds = program.num_predicates();
+
+        // An insertion into a predicate a negated body atom can
+        // (transitively) depend on would require retraction, which the
+        // warm start cannot express. Fall back to a full from-scratch
+        // solve of program ∪ delta — same model, no warm-start speedup.
+        let mut delta_preds = vec![false; npreds];
+        for (pred, _) in &resolved {
+            delta_preds[pred.0 as usize] = true;
+        }
+        if negation_reaches(program, &delta_preds) {
+            *db = Database::for_program(program, self.config.use_indexes);
+            if let Some(log) = events.as_mut() {
+                log.clear();
+            }
+            return self.solve_inner(program, guard, db, &resolved, stats, events);
+        }
+
+        // Apply the delta as extensional updates, tracking net changes
+        // per predicate; already-subsumed entries are no-ops.
+        let mut pending: Vec<Vec<Row>> = vec![Vec::new(); npreds];
+        let mut dirty = vec![false; npreds];
+        for (pred, values) in resolved {
+            match db
+                .insert(pred, values.clone())
+                .map_err(|fault| insert_fault_error(program, pred, None, fault))?
+            {
+                InsertOutcome::Unchanged => {}
+                outcome => {
+                    stats.facts_inserted += 1;
+                    dirty[pred.0 as usize] = true;
+                    accumulate_change(&mut pending, pred, &outcome);
+                    if let Some(log) = events.as_mut() {
+                        log.push(Event {
+                            pred,
+                            tuple: match &outcome {
+                                // Log the joined cell value, as fact
+                                // loading does via the insert outcome.
+                                InsertOutcome::LatIncrease(key, value) => {
+                                    let mut full = key.to_vec();
+                                    full.push(value.clone());
+                                    full
+                                }
+                                _ => values.clone(),
+                            },
+                            source: Source::Fact,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Re-run exactly the strata a change can reach, in stratum
+        // order. Stratification guarantees a stratum's body predicates
+        // are final before it runs, so accumulating changes front to
+        // back seeds every affected stratum with its complete delta.
+        for (stratum, group) in strata.rule_groups.iter().enumerate() {
+            let reads_dirty = group.iter().any(|&r| {
+                program.rules[r]
+                    .body
+                    .iter()
+                    .any(|item| matches!(item, CItem::Atom { pred, .. } if dirty[pred.0 as usize]))
+            });
+            if !reads_dirty {
+                continue;
+            }
+            stats.strata += 1;
+            stats.per_stratum.push(StratumStats {
+                stratum,
+                rounds: 0,
+                delta_sizes: Vec::new(),
+            });
+            let mut changes: Vec<Vec<Row>> = vec![Vec::new(); npreds];
+            match self.config.strategy {
+                Strategy::Naive => {
+                    self.run_naive(
+                        program,
+                        guard,
+                        db,
+                        group,
+                        stratum,
+                        stats,
+                        events,
+                        Some(&mut changes),
+                    )?;
+                }
+                Strategy::SemiNaive => {
+                    let seed = seed_delta(program, db, group, &pending, npreds);
+                    self.run_semi_naive_rounds(
+                        program,
+                        guard,
+                        db,
+                        group,
+                        stratum,
+                        npreds,
+                        stats,
+                        events,
+                        seed,
+                        Some(&mut changes),
+                    )?;
+                }
+            }
+            for (pred, rows) in changes.into_iter().enumerate() {
+                if !rows.is_empty() {
+                    dirty[pred] = true;
+                    pending[pred].extend(rows);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks that `prior` was solved over (a program shaped exactly like)
+/// `program`: same predicate names resolving to the same ids, same
+/// kinds. Facts and rules need not match — that is the point of a
+/// resume — but the predicate layout must, since the prior database is
+/// reused positionally.
+fn check_prior(program: &Program, prior: &Solution) -> Result<(), DeltaError> {
+    if prior.num_predicates() != program.num_predicates() {
+        return Err(DeltaError::SolutionMismatch);
+    }
+    for (pred, decl) in program.predicates() {
+        if prior.predicate(decl.name()) != Some(pred)
+            || prior.is_lattice(decl.name()) != Some(decl.is_lattice())
+        {
+            return Err(DeltaError::SolutionMismatch);
+        }
+    }
+    Ok(())
+}
+
+/// Resolves a name-based delta against the program's declarations,
+/// checking arities.
+fn resolve_delta(
+    program: &Program,
+    delta: &Delta,
+) -> Result<Vec<(PredId, Vec<Value>)>, DeltaError> {
+    let mut resolved = Vec::with_capacity(delta.len());
+    for (name, tuple) in delta.entries() {
+        let Some((pred, decl)) = program.predicates().find(|(_, d)| d.name() == name) else {
+            return Err(DeltaError::UnknownPredicate {
+                predicate: name.to_string(),
+            });
+        };
+        if tuple.len() != decl.arity() {
+            return Err(DeltaError::ArityMismatch {
+                predicate: name.to_string(),
+                declared: decl.arity(),
+                found: tuple.len(),
+            });
+        }
+        resolved.push((pred, tuple.to_vec()));
+    }
+    Ok(resolved)
+}
+
+/// Conservative check for the negation fallback: transitively closes the
+/// delta-touched predicate set over rule dependencies (a rule whose body
+/// reads a dirty predicate dirties its head) and reports whether any
+/// negated body atom reads a dirty predicate.
+fn negation_reaches(program: &Program, delta_preds: &[bool]) -> bool {
+    let mut dirty = delta_preds.to_vec();
+    loop {
+        let mut changed = false;
+        for rule in &program.rules {
+            if dirty[rule.head_pred.0 as usize] {
+                continue;
+            }
+            let reads = rule.body.iter().any(|item| match item {
+                CItem::Atom { pred, .. } | CItem::NegAtom { pred, .. } => dirty[pred.0 as usize],
+                _ => false,
+            });
+            if reads {
+                dirty[rule.head_pred.0 as usize] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    program.rules.iter().any(|rule| {
+        rule.body
+            .iter()
+            .any(|item| matches!(item, CItem::NegAtom { pred, .. } if dirty[pred.0 as usize]))
+    })
+}
+
+/// Builds the warm-start `∆` for one stratum: the pending changes of
+/// every predicate the stratum's rules read positively. Relational rows
+/// pass through as-is; lattice keys are deduplicated and re-read from
+/// the database so the delta row carries the *current* cell value
+/// (intermediate values a cell climbed through in earlier strata must
+/// not leak into this stratum's witnesses — a from-scratch solve would
+/// only ever see the settled value).
+fn seed_delta(
+    program: &Program,
+    db: &Database,
+    group: &[usize],
+    pending: &[Vec<Row>],
+    npreds: usize,
+) -> Vec<Vec<Row>> {
+    let mut read_preds = vec![false; npreds];
+    for &r in group {
+        for item in &program.rules[r].body {
+            if let CItem::Atom { pred, .. } = item {
+                read_preds[pred.0 as usize] = true;
+            }
+        }
+    }
+    let mut seed: Vec<Vec<Row>> = vec![Vec::new(); npreds];
+    for (pred, rows) in pending.iter().enumerate() {
+        if !read_preds[pred] || rows.is_empty() {
+            continue;
+        }
+        match db.pred(PredId(pred as u32)) {
+            PredData::Rel(_) => seed[pred] = rows.clone(),
+            PredData::Lat(lat) => {
+                let mut seen: HashSet<&[Value]> = HashSet::new();
+                for row in rows {
+                    let key = &row[..row.len() - 1];
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    let value = lat
+                        .value(key)
+                        .expect("pending lattice key has a stored cell");
+                    let mut full = key.to_vec();
+                    full.push(value.clone());
+                    seed[pred].push(full.into());
+                }
+            }
+        }
+    }
+    seed
+}

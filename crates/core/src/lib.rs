@@ -15,7 +15,10 @@
 //!   filters, `<-` choice bindings, and stratified negation);
 //! * [`Solver`] — naïve and semi-naïve evaluation (§3.7), optionally
 //!   parallel and optionally index-free (for the ablation benchmarks),
+//!   configured via [`SolverConfig`] or chained builder methods,
 //!   producing a [`Solution`];
+//! * [`incremental`] — monotone update deltas and [`Solver::resume`],
+//!   warm-starting the semi-naïve fixed point from a prior model;
 //! * [`model`] — the model-theoretic checker used to cross-validate
 //!   solver output against the declarative semantics of §3.2.
 //!
@@ -70,6 +73,7 @@
 mod ast;
 mod database;
 mod guard;
+pub mod incremental;
 pub mod model;
 pub mod observe;
 mod ops;
@@ -85,11 +89,15 @@ pub use ast::{
     Term,
 };
 pub use guard::{Budget, BudgetKind, CancelToken};
+pub use incremental::{Delta, DeltaError};
 pub use observe::{
     render_metrics_json, render_profile_table, MetricsReport, Observer, RuleEvaluated, RuleStats,
     StratumStats, METRICS_SCHEMA,
 };
 pub use ops::{LatticeOps, ValueLattice};
 pub use program::Program;
-pub use solver::{Solution, SolveError, SolveFailure, SolveStats, Solver, Strategy};
+pub use solver::{
+    ConfigError, Fact, FactsIter, LatticeIter, RelationIter, Solution, SolveError, SolveFailure,
+    SolveStats, Solver, SolverConfig, Strategy,
+};
 pub use value::Value;

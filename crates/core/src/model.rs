@@ -97,20 +97,17 @@ pub fn is_locally_minimal(program: &Program, solution: &Solution) -> bool {
     let explicit: HashSet<(PredId, Vec<Value>)> =
         program.facts.iter().map(|(p, v)| (*p, v.clone())).collect();
 
-    // Enumerate the current contents.
+    // Enumerate the current contents through the solution's unified
+    // fact view.
     let mut rel_tuples: Vec<(PredId, Vec<Value>)> = Vec::new();
     let mut lat_cells: Vec<(PredId, Vec<Value>, Value)> = Vec::new();
-    for i in 0..program.num_predicates() {
-        let pred = PredId(i as u32);
-        match db.pred(pred) {
-            PredData::Rel(rel) => {
-                for row in rel.rows() {
-                    rel_tuples.push((pred, row.to_vec()));
-                }
-            }
-            PredData::Lat(lat) => {
-                for (key, cell) in lat.iter() {
-                    lat_cells.push((pred, key.to_vec(), cell.clone()));
+    for (pred, decl) in program.predicates() {
+        let facts = solution.facts(decl.name()).expect("declared predicate");
+        for fact in facts {
+            match fact {
+                crate::solver::Fact::Row(row) => rel_tuples.push((pred, row.to_vec())),
+                crate::solver::Fact::Cell(key, cell) => {
+                    lat_cells.push((pred, key.to_vec(), cell.clone()))
                 }
             }
         }

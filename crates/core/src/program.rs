@@ -98,6 +98,14 @@ impl Program {
         self.facts.len()
     }
 
+    /// Iterates the ground facts as `(predicate, tuple)` pairs, in
+    /// declaration order. Lattice facts carry the element as the last
+    /// column. This is how [`crate::incremental::Delta::from_facts`]
+    /// turns a standalone update program into a delta.
+    pub fn facts(&self) -> impl Iterator<Item = (PredId, &[Value])> {
+        self.facts.iter().map(|(p, v)| (*p, v.as_slice()))
+    }
+
     /// Looks up a predicate id by name.
     pub fn predicate(&self, name: &str) -> Option<PredId> {
         self.pred_names.get(name).copied()

@@ -155,6 +155,11 @@ pub enum SolveError {
         /// Statistics at the moment the budget tripped.
         stats: SolveStats,
     },
+    /// A [`crate::incremental::Delta`] handed to [`Solver::resume`] does
+    /// not fit the program or the prior solution (unknown predicate,
+    /// arity mismatch, mismatched solution). The partial solution is the
+    /// unmodified pre-update model.
+    Delta(crate::incremental::DeltaError),
 }
 
 impl fmt::Display for SolveError {
@@ -203,6 +208,7 @@ impl fmt::Display for SolveError {
                     stats.rounds, stats.facts_derived
                 )
             }
+            SolveError::Delta(e) => write!(f, "{e}"),
         }
     }
 }
@@ -282,31 +288,119 @@ impl std::error::Error for SolveFailure {
 /// ```
 #[derive(Clone)]
 pub struct Solver {
-    strategy: Strategy,
-    threads: usize,
-    use_indexes: bool,
-    max_rounds: Option<u64>,
-    provenance: bool,
-    budget: Budget,
-    observer: Option<Arc<dyn Observer>>,
+    pub(crate) config: SolverConfig,
     /// Test hook: makes every parallel worker panic outside the
     /// `catch_unwind`-guarded user code, simulating an internal solver bug.
-    inject_worker_panic: bool,
+    pub(crate) inject_worker_panic: bool,
 }
 
-impl fmt::Debug for Solver {
+/// The complete set of [`Solver`] knobs, constructible in one place.
+///
+/// The chained builder methods on [`Solver`] remain thin wrappers over
+/// this struct; [`Solver::with_config`] validates a configuration built
+/// up front (e.g. from command-line flags) and rejects nonsensical
+/// combinations — currently `threads == 0` — *before* any solving
+/// starts.
+///
+/// # Example
+///
+/// ```
+/// use flix_core::{Solver, SolverConfig, Strategy};
+///
+/// let solver = Solver::with_config(SolverConfig {
+///     strategy: Strategy::Naive,
+///     threads: 4,
+///     ..SolverConfig::default()
+/// })
+/// .expect("4 threads is a valid configuration");
+/// assert_eq!(solver.config().threads, 4);
+/// assert!(Solver::with_config(SolverConfig {
+///     threads: 0,
+///     ..SolverConfig::default()
+/// })
+/// .is_err());
+/// ```
+#[derive(Clone)]
+pub struct SolverConfig {
+    /// The evaluation strategy (default: [`Strategy::SemiNaive`]).
+    pub strategy: Strategy,
+    /// Worker threads per round; `1` (the default) is sequential. Must be
+    /// at least 1 — [`Solver::with_config`] rejects `0`.
+    pub threads: usize,
+    /// Whether to build hash indexes (default `true`; `false` is the
+    /// index-selection ablation forcing full scans on every join).
+    pub use_indexes: bool,
+    /// Bound on fixed-point rounds, a safety net against lattices of
+    /// unbounded height (default: unlimited).
+    pub max_rounds: Option<u64>,
+    /// Whether to log derivation provenance for [`Solution::explain`]
+    /// (default `false`; costs memory proportional to insertions).
+    pub record_provenance: bool,
+    /// The resource budget: deadline, fact/derivation limits,
+    /// cancellation (default: unlimited).
+    pub budget: Budget,
+    /// A progress observer receiving round/rule/stratum/budget events
+    /// (default: none; the event paths are skipped entirely).
+    pub observer: Option<Arc<dyn Observer>>,
+}
+
+impl Default for SolverConfig {
+    /// The default configuration: semi-naïve, sequential, indexed, no
+    /// round limit, unlimited budget, no provenance, no observer.
+    fn default() -> SolverConfig {
+        SolverConfig {
+            strategy: Strategy::SemiNaive,
+            threads: 1,
+            use_indexes: true,
+            max_rounds: None,
+            record_provenance: false,
+            budget: Budget::new(),
+            observer: None,
+        }
+    }
+}
+
+impl fmt::Debug for SolverConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Solver")
+        f.debug_struct("SolverConfig")
             .field("strategy", &self.strategy)
             .field("threads", &self.threads)
             .field("use_indexes", &self.use_indexes)
             .field("max_rounds", &self.max_rounds)
-            .field("provenance", &self.provenance)
+            .field("record_provenance", &self.record_provenance)
             .field("budget", &self.budget)
             .field(
                 "observer",
                 &self.observer.as_ref().map(|_| "<dyn Observer>"),
             )
+            .finish()
+    }
+}
+
+/// An invalid [`SolverConfig`], rejected by [`Solver::with_config`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `threads` was 0: zero worker threads cannot make progress.
+    ZeroThreads,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroThreads => write!(
+                f,
+                "threads must be at least 1 (0 worker threads cannot make progress)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl fmt::Debug for Solver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Solver")
+            .field("config", &self.config)
             .finish()
     }
 }
@@ -322,15 +416,27 @@ impl Solver {
     /// sequential, indexed, no round limit, unlimited budget.
     pub fn new() -> Solver {
         Solver {
-            strategy: Strategy::SemiNaive,
-            threads: 1,
-            use_indexes: true,
-            max_rounds: None,
-            provenance: false,
-            budget: Budget::new(),
-            observer: None,
+            config: SolverConfig::default(),
             inject_worker_panic: false,
         }
+    }
+
+    /// Creates a solver from a fully built [`SolverConfig`], validating
+    /// it: `threads == 0` is rejected with [`ConfigError::ZeroThreads`]
+    /// instead of being silently clamped.
+    pub fn with_config(config: SolverConfig) -> Result<Solver, ConfigError> {
+        if config.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        Ok(Solver {
+            config,
+            inject_worker_panic: false,
+        })
+    }
+
+    /// The solver's current configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
     }
 
     /// Records derivation provenance: every database-changing insertion is
@@ -338,35 +444,36 @@ impl Solver {
     /// [`Solution::explain`] reconstructs derivation trees. Costs memory
     /// proportional to the number of insertions.
     pub fn record_provenance(mut self, record: bool) -> Solver {
-        self.provenance = record;
+        self.config.record_provenance = record;
         self
     }
 
     /// Selects the evaluation strategy.
     pub fn strategy(mut self, strategy: Strategy) -> Solver {
-        self.strategy = strategy;
+        self.config.strategy = strategy;
         self
     }
 
     /// Evaluates rules within each round on `threads` worker threads
     /// (`1` = sequential). Rule evaluations within a round are independent,
-    /// so this changes wall-clock time but never the solution.
+    /// so this changes wall-clock time but never the solution. `0` is
+    /// clamped to `1`; use [`Solver::with_config`] to reject it instead.
     pub fn threads(mut self, threads: usize) -> Solver {
-        self.threads = threads.max(1);
+        self.config.threads = threads.max(1);
         self
     }
 
     /// Enables or disables hash-index construction (the index-selection
     /// ablation; disabling forces full scans on every join).
     pub fn use_indexes(mut self, use_indexes: bool) -> Solver {
-        self.use_indexes = use_indexes;
+        self.config.use_indexes = use_indexes;
         self
     }
 
     /// Bounds the number of fixed-point rounds, as a safety net against
     /// lattices of unbounded height.
     pub fn max_rounds(mut self, limit: u64) -> Solver {
-        self.max_rounds = Some(limit);
+        self.config.max_rounds = Some(limit);
         self
     }
 
@@ -375,7 +482,7 @@ impl Solver {
     /// [`SolveError::BudgetExceeded`] inside a [`SolveFailure`] carrying
     /// the partial solution.
     pub fn budget(mut self, budget: Budget) -> Solver {
-        self.budget = budget;
+        self.config.budget = budget;
         self
     }
 
@@ -385,7 +492,7 @@ impl Solver {
     /// With no observer attached (the default), the event paths are
     /// skipped entirely.
     pub fn observer(mut self, observer: Arc<dyn Observer>) -> Solver {
-        self.observer = Some(observer);
+        self.config.observer = Some(observer);
         self
     }
 
@@ -393,7 +500,11 @@ impl Solver {
     /// guarded user-code paths, simulating an internal solver bug. Used
     /// by the fault-injection suite to pin that worker panics surface as
     /// a structured [`SolveError`] instead of aborting the process.
+    /// Compiled only for the crate's own tests and under the
+    /// `test-internals` feature, so it cannot be reached from downstream
+    /// code.
     #[doc(hidden)]
+    #[cfg(any(test, feature = "test-internals"))]
     pub fn inject_worker_panic_for_tests(mut self) -> Solver {
         self.inject_worker_panic = true;
         self
@@ -417,8 +528,8 @@ impl Solver {
     ///   out.
     pub fn solve(&self, program: &Program) -> Result<Solution, Box<SolveFailure>> {
         let wall_start = Instant::now();
-        let guard = Guard::new(&self.budget);
-        let mut db = Database::for_program(program, self.use_indexes);
+        let guard = Guard::new(&self.config.budget);
+        let mut db = Database::for_program(program, self.config.use_indexes);
         let mut stats = SolveStats {
             per_rule: program
                 .rules
@@ -432,9 +543,9 @@ impl Solver {
                 .collect(),
             ..SolveStats::default()
         };
-        let mut events: Option<Vec<Event>> = self.provenance.then(Vec::new);
+        let mut events: Option<Vec<Event>> = self.config.record_provenance.then(Vec::new);
 
-        let outcome = self.solve_inner(program, &guard, &mut db, &mut stats, &mut events);
+        let outcome = self.solve_inner(program, &guard, &mut db, &[], &mut stats, &mut events);
 
         stats.total_facts = db.total_facts() as u64;
         stats.wall_ns = wall_start.elapsed().as_nanos() as u64;
@@ -458,11 +569,15 @@ impl Solver {
         }
     }
 
-    fn solve_inner(
+    /// Runs the full from-scratch fixed point: loads the program's facts
+    /// plus `extra_facts` (the resume fallback path appends the delta's
+    /// facts there), then evaluates every stratum in order.
+    pub(crate) fn solve_inner(
         &self,
         program: &Program,
         guard: &Guard<'_>,
         db: &mut Database,
+        extra_facts: &[(PredId, Vec<Value>)],
         stats: &mut SolveStats,
         events: &mut Option<Vec<Event>>,
     ) -> Result<(), SolveError> {
@@ -470,20 +585,22 @@ impl Solver {
         let npreds = program.preds.len();
 
         // Load the extensional facts.
-        for (pred, values) in &program.facts {
-            match db.insert(*pred, values.clone()) {
+        let program_facts = program.facts.iter().map(|(p, v)| (*p, v));
+        let extra = extra_facts.iter().map(|(p, v)| (*p, v));
+        for (pred, values) in program_facts.chain(extra) {
+            match db.insert(pred, values.clone()) {
                 Ok(InsertOutcome::Unchanged) => {}
                 Ok(_) => {
                     stats.facts_inserted += 1;
                     if let Some(log) = events.as_mut() {
                         log.push(Event {
-                            pred: *pred,
+                            pred,
                             tuple: values.clone(),
                             source: Source::Fact,
                         });
                     }
                 }
-                Err(fault) => return Err(insert_fault_error(program, *pred, None, fault)),
+                Err(fault) => return Err(insert_fault_error(program, pred, None, fault)),
             }
         }
 
@@ -494,9 +611,9 @@ impl Solver {
                 rounds: 0,
                 delta_sizes: Vec::new(),
             });
-            match self.strategy {
+            match self.config.strategy {
                 Strategy::Naive => {
-                    self.run_naive(program, guard, db, group, stratum, stats, events)?;
+                    self.run_naive(program, guard, db, group, stratum, stats, events, None)?;
                 }
                 Strategy::SemiNaive => {
                     self.run_semi_naive(program, guard, db, group, stratum, npreds, stats, events)?;
@@ -506,14 +623,14 @@ impl Solver {
         Ok(())
     }
 
-    fn check_round(
+    pub(crate) fn check_round(
         &self,
         guard: &Guard<'_>,
         db: &Database,
         stratum: usize,
         stats: &SolveStats,
     ) -> Result<(), SolveError> {
-        if let Some(limit) = self.max_rounds {
+        if let Some(limit) = self.config.max_rounds {
             if stats.rounds >= limit {
                 return Err(SolveError::RoundLimitExceeded {
                     limit,
@@ -523,7 +640,7 @@ impl Solver {
             }
         }
         let exceeded = guard.exceeded(stats.facts_derived, db.total_facts() as u64);
-        if let Some(obs) = &self.observer {
+        if let Some(obs) = &self.config.observer {
             obs.budget_checked(stratum, exceeded.as_ref());
         }
         if let Some(kind) = exceeded {
@@ -536,7 +653,7 @@ impl Solver {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn run_naive(
+    pub(crate) fn run_naive(
         &self,
         program: &Program,
         guard: &Guard<'_>,
@@ -545,6 +662,7 @@ impl Solver {
         stratum: usize,
         stats: &mut SolveStats,
         events: &mut Option<Vec<Event>>,
+        mut accumulate: Option<&mut Vec<Vec<Row>>>,
     ) -> Result<(), SolveError> {
         loop {
             self.check_round(guard, db, stratum, stats)?;
@@ -570,6 +688,9 @@ impl Solver {
                             stats.facts_inserted += 1;
                             stats.per_rule[d.rule].inserted += 1;
                             changed += 1;
+                        }
+                        if let Some(acc) = accumulate.as_deref_mut() {
+                            accumulate_change(acc, d.pred, &outcome);
                         }
                         log_event(events, &d, outcome);
                     }
@@ -634,7 +755,33 @@ impl Solver {
             st.delta_sizes.push(changed);
         }
 
-        // Incremental rounds.
+        self.run_semi_naive_rounds(
+            program, guard, db, group, stratum, npreds, stats, events, delta, None,
+        )
+    }
+
+    /// The incremental rounds of §3.7, starting from an explicit `∆`.
+    ///
+    /// [`Solver::run_semi_naive`] enters here after its seed round; the
+    /// warm-start path of [`crate::incremental`] enters directly, with
+    /// `delta` holding the changed cells of a resumed solve (skipping the
+    /// full seed evaluation entirely). When `accumulate` is set, every
+    /// net database change is also appended there, so a resume can seed
+    /// later strata with this stratum's output.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_semi_naive_rounds(
+        &self,
+        program: &Program,
+        guard: &Guard<'_>,
+        db: &mut Database,
+        group: &[usize],
+        stratum: usize,
+        npreds: usize,
+        stats: &mut SolveStats,
+        events: &mut Option<Vec<Event>>,
+        mut delta: Vec<Vec<Row>>,
+        mut accumulate: Option<&mut Vec<Vec<Row>>>,
+    ) -> Result<(), SolveError> {
         while delta.iter().any(|d| !d.is_empty()) {
             self.check_round(guard, db, stratum, stats)?;
             stats.rounds += 1;
@@ -673,6 +820,11 @@ impl Solver {
             if let Some(st) = stats.per_stratum.last_mut() {
                 st.delta_sizes.push(changed);
             }
+            if let Some(acc) = accumulate.as_deref_mut() {
+                for (pred, rows) in new_delta.iter().enumerate() {
+                    acc[pred].extend(rows.iter().cloned());
+                }
+            }
             delta = new_delta;
         }
         self.note_stratum_converged(stats, stratum);
@@ -685,14 +837,14 @@ impl Solver {
         if let Some(st) = stats.per_stratum.last_mut() {
             st.rounds += 1;
         }
-        if let Some(obs) = &self.observer {
+        if let Some(obs) = &self.config.observer {
             obs.round_started(stratum, round);
         }
     }
 
     /// Fires the stratum-converged observer event.
     fn note_stratum_converged(&self, stats: &SolveStats, stratum: usize) {
-        if let Some(obs) = &self.observer {
+        if let Some(obs) = &self.config.observer {
             let rounds = stats.per_stratum.last().map_or(0, |st| st.rounds);
             obs.stratum_converged(stratum, rounds);
         }
@@ -709,7 +861,7 @@ impl Solver {
         r.eval_ns += report.eval_ns;
         stats.index_probes += report.probes;
         stats.scan_fallbacks += report.scans;
-        if let Some(obs) = &self.observer {
+        if let Some(obs) = &self.config.observer {
             obs.rule_evaluated(&RuleEvaluated {
                 stratum,
                 round,
@@ -736,7 +888,7 @@ impl Solver {
         round: u64,
     ) -> Result<Vec<Derived>, SolveError> {
         stats.rule_evaluations += tasks.len() as u64;
-        if self.threads <= 1 || tasks.len() <= 1 {
+        if self.config.threads <= 1 || tasks.len() <= 1 {
             let eval_guard = guard.eval_guard();
             let mut out = Vec::new();
             for task in tasks {
@@ -745,7 +897,7 @@ impl Solver {
                     db,
                     task,
                     delta,
-                    self.provenance,
+                    self.config.record_provenance,
                     &eval_guard,
                     &mut out,
                 )?;
@@ -761,10 +913,10 @@ impl Solver {
         // poll period divided by the worker count, so the aggregate
         // deadline-check frequency matches the sequential path. A fault in
         // any worker fails the whole round.
-        let chunk = tasks.len().div_ceil(self.threads);
-        let provenance = self.provenance;
+        let chunk = tasks.len().div_ceil(self.config.threads);
+        let provenance = self.config.record_provenance;
         let inject_panic = self.inject_worker_panic;
-        let threads = self.threads;
+        let threads = self.config.threads;
         let mut joined: Vec<std::thread::Result<WorkerResult>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = tasks
@@ -899,7 +1051,7 @@ fn run_one_task(
 
 /// Attributes an [`InsertFault`] (from [`Database::insert`]) to the
 /// predicate and rule it happened under.
-fn insert_fault_error(
+pub(crate) fn insert_fault_error(
     program: &Program,
     pred: PredId,
     rule: Option<usize>,
@@ -946,7 +1098,7 @@ fn eval_fault_error(program: &Program, rule: usize, fault: EvalFault) -> SolveEr
 
 /// Assembles the queryable [`Solution`] from the (possibly partial)
 /// database.
-fn make_solution(
+pub(crate) fn make_solution(
     program: &Program,
     db: Database,
     stats: SolveStats,
@@ -1057,6 +1209,21 @@ fn record_insert(
         }
     }
     Ok(())
+}
+
+/// Appends one net database change to a per-predicate accumulator, in
+/// the same row format [`record_insert`] uses for `∆` rows: the full
+/// tuple, with a lattice increase carrying the new cell value.
+pub(crate) fn accumulate_change(acc: &mut [Vec<Row>], pred: PredId, outcome: &InsertOutcome) {
+    match outcome {
+        InsertOutcome::NewRow(row) => acc[pred.0 as usize].push(row.clone()),
+        InsertOutcome::LatIncrease(key, value) => {
+            let mut full: Vec<Value> = key.to_vec();
+            full.push(value.clone());
+            acc[pred.0 as usize].push(full.into());
+        }
+        InsertOutcome::Unchanged => {}
+    }
 }
 
 /// Appends a provenance event for a database-changing insertion.
@@ -1865,10 +2032,12 @@ impl Solution {
     /// Iterates the tuples of a relational predicate.
     ///
     /// Returns `None` for unknown names or lattice predicates.
-    pub fn relation(&self, name: &str) -> Option<impl Iterator<Item = &[Value]> + '_> {
+    pub fn relation(&self, name: &str) -> Option<RelationIter<'_>> {
         let pred = self.predicate(name)?;
         match self.db.pred(pred) {
-            PredData::Rel(rel) => Some(rel.rows().iter().map(|r| &r[..])),
+            PredData::Rel(rel) => Some(RelationIter {
+                rows: rel.rows().iter(),
+            }),
             PredData::Lat(_) => None,
         }
     }
@@ -1876,12 +2045,35 @@ impl Solution {
     /// Iterates the `(key, element)` cells of a lattice predicate.
     ///
     /// Returns `None` for unknown names or relational predicates.
-    pub fn lattice(&self, name: &str) -> Option<impl Iterator<Item = (&[Value], &Value)> + '_> {
+    pub fn lattice(&self, name: &str) -> Option<LatticeIter<'_>> {
         let pred = self.predicate(name)?;
         match self.db.pred(pred) {
-            PredData::Lat(lat) => Some(lat.iter().map(|(k, v)| (&k[..], v))),
+            PredData::Lat(lat) => Some(LatticeIter {
+                lat,
+                keys: lat.keys().iter(),
+            }),
             PredData::Rel(_) => None,
         }
+    }
+
+    /// Iterates every fact of a predicate, relational or lattice, as a
+    /// uniform [`Fact`] view.
+    ///
+    /// This is the one enumeration that works regardless of predicate
+    /// kind — model printing and the model-theory checker go through it.
+    /// Returns `None` for unknown names.
+    pub fn facts(&self, name: &str) -> Option<FactsIter<'_>> {
+        let pred = self.predicate(name)?;
+        let inner = match self.db.pred(pred) {
+            PredData::Rel(rel) => FactsInner::Rel(RelationIter {
+                rows: rel.rows().iter(),
+            }),
+            PredData::Lat(lat) => FactsInner::Lat(LatticeIter {
+                lat,
+                keys: lat.keys().iter(),
+            }),
+        };
+        Some(FactsIter { inner })
     }
 
     /// The lattice element at `key`, or the lattice's `⊥` when the cell
@@ -2015,4 +2207,150 @@ impl Solution {
     pub(crate) fn database(&self) -> &Database {
         &self.db
     }
+
+    pub(crate) fn events(&self) -> Option<&Vec<Event>> {
+        self.events.as_ref()
+    }
+
+    /// The number of predicates this solution was solved over, used by
+    /// [`crate::incremental`] to reject a prior solution whose program
+    /// does not match the one being resumed.
+    pub(crate) fn num_predicates(&self) -> usize {
+        self.kinds.len()
+    }
 }
+
+/// Iterator over the tuples of a relational predicate, returned by
+/// [`Solution::relation`]. Tuples come back in insertion order, which is
+/// deterministic for a given program and solver configuration.
+#[derive(Clone, Debug)]
+pub struct RelationIter<'a> {
+    rows: std::slice::Iter<'a, Row>,
+}
+
+impl<'a> Iterator for RelationIter<'a> {
+    type Item = &'a [Value];
+
+    fn next(&mut self) -> Option<&'a [Value]> {
+        self.rows.next().map(|r| &r[..])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.rows.size_hint()
+    }
+}
+
+impl ExactSizeIterator for RelationIter<'_> {}
+
+/// Iterator over the `(key, element)` cells of a lattice predicate,
+/// returned by [`Solution::lattice`]. Cells come back in first-derived
+/// key order; `⊥` cells are never stored, so never yielded.
+#[derive(Clone, Debug)]
+pub struct LatticeIter<'a> {
+    lat: &'a crate::database::LatticeData,
+    keys: std::slice::Iter<'a, Row>,
+}
+
+impl<'a> Iterator for LatticeIter<'a> {
+    type Item = (&'a [Value], &'a Value);
+
+    fn next(&mut self) -> Option<(&'a [Value], &'a Value)> {
+        let key = self.keys.next()?;
+        let value = self
+            .lat
+            .value(key)
+            .expect("every stored key has a non-bottom cell");
+        Some((&key[..], value))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.keys.size_hint()
+    }
+}
+
+impl ExactSizeIterator for LatticeIter<'_> {}
+
+/// One fact of a [`Solution`], as yielded by [`Solution::facts`]: either
+/// a relational tuple or a lattice cell.
+///
+/// `Display` renders the comma-separated column list (key columns plus
+/// the cell element for lattice facts), so `format!("{name}({fact})")`
+/// reproduces the canonical `Pred(a, b, c)` form used by flixr.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fact<'a> {
+    /// A relational tuple.
+    Row(&'a [Value]),
+    /// A lattice cell: the key columns and the cell's element.
+    Cell(&'a [Value], &'a Value),
+}
+
+impl Fact<'_> {
+    /// The key columns: the full tuple for relational facts, the key
+    /// columns (without the element) for lattice cells.
+    pub fn key(&self) -> &[Value] {
+        match self {
+            Fact::Row(row) => row,
+            Fact::Cell(key, _) => key,
+        }
+    }
+
+    /// The lattice element, for lattice cells.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            Fact::Row(_) => None,
+            Fact::Cell(_, value) => Some(value),
+        }
+    }
+}
+
+impl fmt::Display for Fact<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.key().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        if let Some(value) = self.value() {
+            if self.key().is_empty() {
+                write!(f, "{value}")?;
+            } else {
+                write!(f, ", {value}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over every fact of one predicate, returned by
+/// [`Solution::facts`]; works uniformly for relations and lattices.
+#[derive(Clone, Debug)]
+pub struct FactsIter<'a> {
+    inner: FactsInner<'a>,
+}
+
+#[derive(Clone, Debug)]
+enum FactsInner<'a> {
+    Rel(RelationIter<'a>),
+    Lat(LatticeIter<'a>),
+}
+
+impl<'a> Iterator for FactsIter<'a> {
+    type Item = Fact<'a>;
+
+    fn next(&mut self) -> Option<Fact<'a>> {
+        match &mut self.inner {
+            FactsInner::Rel(rel) => rel.next().map(Fact::Row),
+            FactsInner::Lat(lat) => lat.next().map(|(k, v)| Fact::Cell(k, v)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            FactsInner::Rel(rel) => rel.size_hint(),
+            FactsInner::Lat(lat) => lat.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for FactsIter<'_> {}

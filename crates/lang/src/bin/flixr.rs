@@ -7,6 +7,7 @@
 //!       [--naive] [--verify] [--threads N]
 //!       [--max-rounds N] [--timeout SECS]
 //!       [--print PRED[,PRED...]] [--explain "Fact(args)"]
+//!       [--update FILE.flix]
 //!       FILE.flix [MORE.flix ...]
 //! ```
 //!
@@ -16,6 +17,15 @@
 //! serialisation step). `--verify` law-checks every lattice binding
 //! before solving (§7 "Safety"); `--explain` prints the derivation tree of
 //! a fact in the computed model.
+//!
+//! `--update FILE` applies a monotone delta after the initial solve: the
+//! update file is compiled standalone (it re-declares the predicates its
+//! facts touch) and its facts are fed to [`Solver::resume`], which
+//! warm-starts the fixed point from the initial model instead of solving
+//! from scratch. Both models are printed, separated by
+//! `== initial model ==` / `== updated model ==` headers; without
+//! `--update` the model is printed headerless as before. `--explain`
+//! combined with `--update` explains the fact in the *updated* model.
 //!
 //! Prints every relation tuple and lattice cell of the minimal model (or
 //! only the named predicates), one fact per line, in deterministic order.
@@ -44,13 +54,16 @@
 //! `flixr` surfaces it so long-running analyses degrade to best-effort
 //! results instead of nothing.
 
-use flix_core::{Budget, MetricsReport, Solution, SolveError, Solver, Strategy};
+use flix_core::{
+    Budget, Delta, MetricsReport, Solution, SolveError, Solver, SolverConfig, Strategy,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
 /// Usage or I/O problem (bad flag, unreadable input file).
 const EXIT_USAGE: u8 = 1;
-/// The program failed to parse or type-check.
+/// The program failed to parse or type-check, or the `--update` file was
+/// rejected (parse error, unknown predicate, arity mismatch).
 const EXIT_LANG: u8 = 2;
 /// Solving failed: a user function panicked, a runtime safety sentinel
 /// tripped, or the program was rejected by stratification.
@@ -121,6 +134,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     let mut timeout: Option<Duration> = None;
     let mut print: Option<Vec<String>> = None;
     let mut explain: Option<String> = None;
+    let mut update: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -147,11 +161,6 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                 threads = n
                     .parse()
                     .map_err(|_| Failure::usage(format!("invalid thread count {n}")))?;
-                if threads == 0 {
-                    return Err(Failure::usage(
-                        "--threads must be at least 1 (0 worker threads cannot make progress)",
-                    ));
-                }
             }
             "--max-rounds" => {
                 let n = it
@@ -188,12 +197,24 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                         .ok_or_else(|| Failure::usage("--explain requires a ground atom"))?,
                 );
             }
+            "--update" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--update requires a .flix file of facts"))?;
+                if path.starts_with('-') {
+                    return Err(Failure::usage(format!(
+                        "--update requires a .flix file of facts, got option {path}"
+                    )));
+                }
+                update = Some(path);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: flixr [--stats] [--profile] [--metrics-json PATH] \
                      [--naive] [--verify] [--threads N] \
                      [--max-rounds N] [--timeout SECS] [--print PREDS] \
-                     [--explain ATOM] FILE.flix [MORE.flix ...]"
+                     [--explain ATOM] [--update FILE.flix] \
+                     FILE.flix [MORE.flix ...]"
                 );
                 return Ok(());
             }
@@ -231,14 +252,15 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     if let Some(deadline) = timeout {
         budget = budget.deadline(deadline);
     }
-    let mut solver = Solver::new()
-        .strategy(strategy)
-        .threads(threads)
-        .budget(budget)
-        .record_provenance(explain.is_some());
-    if let Some(limit) = max_rounds {
-        solver = solver.max_rounds(limit);
-    }
+    let solver = Solver::with_config(SolverConfig {
+        strategy,
+        threads,
+        max_rounds,
+        budget,
+        record_provenance: explain.is_some(),
+        ..SolverConfig::default()
+    })
+    .map_err(|e| Failure::usage(format!("--{e}")))?;
 
     let solution = match solver.solve(&program) {
         Ok(solution) => solution,
@@ -274,20 +296,84 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         }
     };
 
-    if let Some(query) = &explain {
-        let (pred, values) =
-            flix_lang::parse_ground_atom(query).map_err(|e| Failure::lang(e.to_string()))?;
-        match solution.explain(&pred, &values) {
-            Some(tree) => {
-                print!("{tree}");
-                return Ok(());
+    if let Some(update_path) = &update {
+        let update_source = std::fs::read_to_string(update_path)
+            .map_err(|e| Failure::usage(format!("cannot read {update_path}: {e}")))?;
+        let update_program =
+            flix_lang::compile(&update_source).map_err(|e| Failure::lang(e.to_string()))?;
+        let delta = Delta::from_facts(&update_program);
+        let updated = match solver.resume(&program, &solution, &delta) {
+            Ok(updated) => updated,
+            Err(failure) => {
+                eprintln!("flixr: {}", failure.error);
+                if let SolveError::Delta(_) = &failure.error {
+                    // The delta was rejected before any re-solving
+                    // happened; this is a static mismatch between the
+                    // update file and the program, like a type error.
+                    return Err(Failure {
+                        code: EXIT_LANG,
+                        message: None,
+                    });
+                }
+                let code = match &failure.error {
+                    SolveError::BudgetExceeded { .. } | SolveError::RoundLimitExceeded { .. } => {
+                        EXIT_BUDGET
+                    }
+                    _ => EXIT_SOLVE,
+                };
+                let retained = failure.partial.total_facts();
+                eprintln!(
+                    "flixr: printing the partial updated model \
+                     ({retained} fact{} retained or derived before the failure)",
+                    if retained == 1 { "" } else { "s" }
+                );
+                println!("== initial model ==");
+                print_model(&program, &solution, print.as_deref());
+                println!("== updated model ==");
+                print_model(&program, &failure.partial, print.as_deref());
+                if stats {
+                    print_stats(&failure.stats);
+                }
+                emit_observability(
+                    profile,
+                    metrics_json.as_deref(),
+                    &files[0],
+                    strategy,
+                    threads,
+                    &failure.stats,
+                )?;
+                return Err(Failure {
+                    code,
+                    message: None,
+                });
             }
-            None => {
-                return Err(Failure::usage(format!(
-                    "{query} is not in the minimal model"
-                )));
-            }
+        };
+        if let Some(query) = &explain {
+            return explain_fact(&updated, query, "updated model");
         }
+        println!("== initial model ==");
+        print_model(&program, &solution, print.as_deref());
+        if stats {
+            print_stats(solution.stats());
+        }
+        println!("== updated model ==");
+        print_model(&program, &updated, print.as_deref());
+        if stats {
+            print_stats(updated.stats());
+        }
+        emit_observability(
+            profile,
+            metrics_json.as_deref(),
+            &files[0],
+            strategy,
+            threads,
+            updated.stats(),
+        )?;
+        return Ok(());
+    }
+
+    if let Some(query) = &explain {
+        return explain_fact(&solution, query, "minimal model");
     }
 
     print_model(&program, &solution, print.as_deref());
@@ -303,6 +389,21 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         solution.stats(),
     )?;
     Ok(())
+}
+
+/// Parses `query` as a ground atom and prints its derivation tree in
+/// `solution`, or fails with a usage error naming which model (`initial`
+/// vs `updated`) the fact is missing from.
+fn explain_fact(solution: &Solution, query: &str, model: &str) -> Result<(), Failure> {
+    let (pred, values) =
+        flix_lang::parse_ground_atom(query).map_err(|e| Failure::lang(e.to_string()))?;
+    match solution.explain(&pred, &values) {
+        Some(tree) => {
+            print!("{tree}");
+            Ok(())
+        }
+        None => Err(Failure::usage(format!("{query} is not in the {model}"))),
+    }
 }
 
 /// Writes the `--profile` table (stderr) and the `--metrics-json` report
@@ -348,25 +449,8 @@ fn print_model(program: &flix_core::Program, solution: &Solution, print: Option<
                 continue;
             }
         }
-        let mut lines = Vec::new();
-        if let Some(rows) = solution.relation(&name) {
-            for row in rows {
-                lines.push(format!(
-                    "{name}({})",
-                    row.iter()
-                        .map(ToString::to_string)
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ));
-            }
-        }
-        if let Some(cells) = solution.lattice(&name) {
-            for (key, value) in cells {
-                let mut parts: Vec<String> = key.iter().map(ToString::to_string).collect();
-                parts.push(value.to_string());
-                lines.push(format!("{name}({})", parts.join(", ")));
-            }
-        }
+        let facts = solution.facts(&name).expect("declared predicate");
+        let mut lines: Vec<String> = facts.map(|fact| format!("{name}({fact})")).collect();
         lines.sort();
         for line in lines {
             println!("{line}");

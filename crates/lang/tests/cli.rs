@@ -307,6 +307,100 @@ fn missing_file_is_reported() {
 }
 
 #[test]
+fn update_prints_both_models_with_headers() {
+    let file = write_temp("update-base.flix", PATHS);
+    let update = write_temp(
+        "update-delta.flix",
+        "rel Edge(x: Int, y: Int);
+         Edge(3, 4).",
+    );
+    let output = flixr()
+        .arg(&file)
+        .arg("--update")
+        .arg(&update)
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    let initial_at = lines
+        .iter()
+        .position(|l| *l == "== initial model ==")
+        .expect("initial header");
+    let updated_at = lines
+        .iter()
+        .position(|l| *l == "== updated model ==")
+        .expect("updated header");
+    assert!(initial_at < updated_at);
+    let initial = &lines[initial_at + 1..updated_at];
+    let updated = &lines[updated_at + 1..];
+    // The initial model does not know about the new edge...
+    assert!(!initial.contains(&"Edge(3, 4)"));
+    assert!(!initial.contains(&"Path(1, 4)"));
+    // ...the updated model does, with the transitive consequences.
+    assert!(updated.contains(&"Edge(3, 4)"), "{stdout}");
+    assert!(updated.contains(&"Path(1, 4)"), "{stdout}");
+    assert!(updated.contains(&"Path(2, 4)"), "{stdout}");
+    assert!(updated.contains(&"Path(3, 4)"), "{stdout}");
+}
+
+#[test]
+fn update_with_unknown_predicate_exits_with_code_2() {
+    let file = write_temp("update-unknown-base.flix", PATHS);
+    let update = write_temp(
+        "update-unknown-delta.flix",
+        "rel Missing(x: Int);
+         Missing(1).",
+    );
+    let output = flixr()
+        .arg(&file)
+        .arg("--update")
+        .arg(&update)
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(2), "delta mismatch exits with 2");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("unknown predicate Missing"), "{stderr}");
+    // No models are printed for a statically rejected update.
+    assert!(output.stdout.is_empty());
+}
+
+#[test]
+fn update_file_that_fails_to_parse_exits_with_code_2() {
+    let file = write_temp("update-parse-base.flix", PATHS);
+    let update = write_temp("update-parse-delta.flix", "rel Edge(x Int;");
+    let output = flixr()
+        .arg(&file)
+        .arg("--update")
+        .arg(&update)
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn explain_after_update_targets_the_updated_model() {
+    let file = write_temp("update-explain-base.flix", PATHS);
+    let update = write_temp(
+        "update-explain-delta.flix",
+        "rel Edge(x: Int, y: Int);
+         Edge(3, 4).",
+    );
+    // Path(1, 4) only exists after the update.
+    let output = flixr()
+        .arg(&file)
+        .args(["--explain", "Path(1, 4)"])
+        .arg("--update")
+        .arg(&update)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("Path(1, 4)  [rule 1]"), "{stdout}");
+    assert!(stdout.contains("Edge(3, 4)  [fact]"), "{stdout}");
+}
+
+#[test]
 fn explain_prints_a_derivation_tree() {
     let file = write_temp("explain.flix", PATHS);
     let output = flixr()

@@ -1,0 +1,340 @@
+//! Incremental parity: `Solver::resume` must agree **cell-for-cell** with
+//! a from-scratch solve after every update in a randomized sequence of
+//! monotone deltas, under every evaluation strategy.
+//!
+//! The workloads are the paper's case studies: single-source shortest
+//! paths (§4.4, with both edge insertions and direct `Dist` lattice
+//! raises), the Figure 2 combined dataflow analysis (randomized fact
+//! splits across all nine input relations), and the Figure 5 IFDS
+//! encoding (CFG edges withheld from a generated JVM-shaped supergraph
+//! and re-added incrementally).
+//!
+//! Sequence count: 15 shortest-paths seeds + 12 dataflow seeds + 8 IFDS
+//! seeds = 35 seeded update sequences, each run under 3 configurations
+//! (naive, semi-naive, semi-naive x4) = 105 sequences total, each with
+//! 2–3 chained resume steps compared against a scratch solve.
+
+use flix::analyses::dataflow::{self, DataflowInput};
+use flix::analyses::ifds::{self, problems::Taint};
+use flix::analyses::points_to::PointsToInput;
+use flix::analyses::workloads::jvm_program::{self, GenParams};
+use flix::lattice::MinCost;
+use flix::{
+    BodyItem, Delta, Head, HeadTerm, LatticeOps, Program, ProgramBuilder, Solution, Solver,
+    SolverConfig, Strategy, Term, Value, ValueLattice,
+};
+use std::sync::Arc;
+
+/// The three configurations under comparison; the parallel one is built
+/// through the `SolverConfig` constructor to exercise both API surfaces.
+fn configurations() -> Vec<(&'static str, Solver)> {
+    vec![
+        ("naive", Solver::new().strategy(Strategy::Naive)),
+        ("semi-naive", Solver::new()),
+        (
+            "semi-naive x4",
+            Solver::with_config(SolverConfig {
+                threads: 4,
+                ..SolverConfig::default()
+            })
+            .expect("valid config"),
+        ),
+    ]
+}
+
+/// Canonical sorted dump of the whole model through the unified fact
+/// view, so two solutions can be compared for cell-for-cell equality.
+fn dump(program: &Program, solution: &Solution) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (_, decl) in program.predicates() {
+        let name = decl.name();
+        for fact in solution.facts(name).expect("declared predicate") {
+            lines.push(format!("{name}({fact})"));
+        }
+    }
+    lines.sort();
+    lines
+}
+
+/// Runs one update sequence under every configuration: solve the base
+/// program, then apply each delta with `resume` and assert the result is
+/// identical to solving the matching scratch program from nothing.
+fn assert_incremental_parity(label: &str, base: &Program, steps: &[(Delta, Program)]) {
+    for (config, solver) in configurations() {
+        let mut current = solver.solve(base).expect("base solves");
+        for (i, (delta, scratch_program)) in steps.iter().enumerate() {
+            current = solver
+                .resume(base, &current, delta)
+                .unwrap_or_else(|f| panic!("{label}/{config} step {i}: {}", f.error));
+            let scratch = solver.solve(scratch_program).expect("scratch solves");
+            assert_eq!(
+                dump(base, &current),
+                dump(scratch_program, &scratch),
+                "{label}/{config}: resume diverged from scratch at step {i}"
+            );
+        }
+    }
+}
+
+/// Tiny deterministic xorshift generator so sequences are seeded and
+/// reproducible without external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload 1: single-source shortest paths (§4.4).
+// ---------------------------------------------------------------------
+
+/// The §4.4 program over explicit edges plus extra `Dist` seeds — the
+/// scratch mirror of a delta that both inserts edges and lub-raises
+/// cells.
+fn sp_program(edges: &[(u32, u32, u64)], dist_seeds: &[(u32, u64)]) -> Program {
+    let mut b = ProgramBuilder::new();
+    let edge = b.relation("Edge", 3);
+    let dist = b.lattice("Dist", 2, LatticeOps::of::<MinCost>());
+    let extend = b.function("extend", |args| {
+        let d = MinCost::expect_from(&args[0]);
+        let c = args[1].as_int().expect("weight") as u64;
+        d.add_weight(c).to_value()
+    });
+    for &(x, y, c) in edges {
+        b.fact(
+            edge,
+            vec![(x as i64).into(), (y as i64).into(), (c as i64).into()],
+        );
+    }
+    b.fact(dist, vec![0i64.into(), MinCost::finite(0).to_value()]);
+    for &(n, c) in dist_seeds {
+        b.fact(dist, vec![(n as i64).into(), MinCost::finite(c).to_value()]);
+    }
+    b.rule(
+        Head::new(
+            dist,
+            [
+                HeadTerm::var("y"),
+                HeadTerm::app(extend, [Term::var("d"), Term::var("c")]),
+            ],
+        ),
+        [
+            BodyItem::atom(dist, [Term::var("x"), Term::var("d")]),
+            BodyItem::atom(edge, [Term::var("x"), Term::var("y"), Term::var("c")]),
+        ],
+    );
+    b.build().expect("valid program")
+}
+
+#[test]
+fn shortest_paths_update_sequences_match_scratch() {
+    const NODES: u64 = 30;
+    for seed in 0..15u64 {
+        let mut rng = Rng::new(seed + 1);
+        // A random base graph plus a pool of withheld edges.
+        let mut all_edges: Vec<(u32, u32, u64)> = Vec::new();
+        for _ in 0..70 {
+            let x = rng.below(NODES) as u32;
+            let y = rng.below(NODES) as u32;
+            let c = rng.below(9) + 1;
+            if x != y {
+                all_edges.push((x, y, c));
+            }
+        }
+        let split = all_edges.len() - 9;
+        let base_edges = &all_edges[..split];
+        let base = sp_program(base_edges, &[]);
+
+        let mut steps = Vec::new();
+        let mut edges_so_far = base_edges.to_vec();
+        let mut raises_so_far: Vec<(u32, u64)> = Vec::new();
+        for step in 0..3 {
+            let chunk = &all_edges[split + step * 3..split + (step + 1) * 3];
+            let mut delta = Delta::new();
+            for &(x, y, c) in chunk {
+                edges_so_far.push((x, y, c));
+                delta.push(
+                    "Edge",
+                    vec![(x as i64).into(), (y as i64).into(), (c as i64).into()],
+                );
+            }
+            // Every other step also lub-raises a Dist cell directly, as
+            // if a better path to that node appeared out of band.
+            if step % 2 == 1 {
+                let node = rng.below(NODES) as u32;
+                let cost = rng.below(4) + 1;
+                raises_so_far.push((node, cost));
+                delta = delta.raise(
+                    "Dist",
+                    vec![(node as i64).into()],
+                    MinCost::finite(cost).to_value(),
+                );
+            }
+            steps.push((delta, sp_program(&edges_so_far, &raises_so_far)));
+        }
+        assert_incremental_parity(&format!("shortest-paths seed {seed}"), &base, &steps);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload 2: Figure 2 combined dataflow.
+// ---------------------------------------------------------------------
+
+/// One input fact of the Figure 2 analysis, tagged by relation.
+#[derive(Clone)]
+enum DfFact {
+    New(String, String),
+    Assign(String, String),
+    Load(String, String, String),
+    Store(String, String, String),
+    Int(String, i64),
+    Add(String, String, String),
+    Div(String, String, String),
+}
+
+fn df_input(facts: &[DfFact]) -> DataflowInput {
+    let mut input = DataflowInput {
+        points_to: PointsToInput::default(),
+        ..DataflowInput::default()
+    };
+    for fact in facts {
+        match fact.clone() {
+            DfFact::New(a, b) => input.points_to.new.push((a, b)),
+            DfFact::Assign(a, b) => input.points_to.assign.push((a, b)),
+            DfFact::Load(a, b, c) => input.points_to.load.push((a, b, c)),
+            DfFact::Store(a, b, c) => input.points_to.store.push((a, b, c)),
+            DfFact::Int(a, n) => input.int_const.push((a, n)),
+            DfFact::Add(a, b, c) => input.add_exp.push((a, b, c)),
+            DfFact::Div(a, b, c) => input.div_exp.push((a, b, c)),
+        }
+    }
+    input
+}
+
+fn df_delta(facts: &[DfFact]) -> Delta {
+    let s = |x: &String| Value::from(x.as_str());
+    let mut delta = Delta::new();
+    for fact in facts {
+        match fact {
+            DfFact::New(a, b) => delta.push("New", vec![s(a), s(b)]),
+            DfFact::Assign(a, b) => delta.push("Assign", vec![s(a), s(b)]),
+            DfFact::Load(a, b, c) => delta.push("Load", vec![s(a), s(b), s(c)]),
+            DfFact::Store(a, b, c) => delta.push("Store", vec![s(a), s(b), s(c)]),
+            DfFact::Int(a, n) => delta.push("Int", vec![s(a), Value::Int(*n)]),
+            DfFact::Add(a, b, c) => delta.push("AddExp", vec![s(a), s(b), s(c)]),
+            DfFact::Div(a, b, c) => delta.push("DivExp", vec![s(a), s(b), s(c)]),
+        }
+    }
+    delta
+}
+
+#[test]
+fn dataflow_update_sequences_match_scratch() {
+    for seed in 0..12u64 {
+        let mut rng = Rng::new(seed + 101);
+        let var = |rng: &mut Rng| format!("v{}", rng.below(8));
+        let obj = |rng: &mut Rng| format!("h{}", rng.below(4));
+        let field = |rng: &mut Rng| format!("f{}", rng.below(3));
+        // A randomized program over a small universe of variables,
+        // objects, and fields, touching every input relation.
+        let mut all: Vec<DfFact> = Vec::new();
+        for _ in 0..5 {
+            all.push(DfFact::New(var(&mut rng), obj(&mut rng)));
+        }
+        for _ in 0..5 {
+            all.push(DfFact::Assign(var(&mut rng), var(&mut rng)));
+        }
+        for _ in 0..3 {
+            all.push(DfFact::Store(var(&mut rng), field(&mut rng), var(&mut rng)));
+        }
+        for _ in 0..3 {
+            all.push(DfFact::Load(var(&mut rng), var(&mut rng), field(&mut rng)));
+        }
+        for _ in 0..4 {
+            all.push(DfFact::Int(var(&mut rng), rng.below(20) as i64));
+        }
+        for _ in 0..3 {
+            all.push(DfFact::Add(var(&mut rng), var(&mut rng), var(&mut rng)));
+        }
+        for _ in 0..2 {
+            all.push(DfFact::Div(var(&mut rng), var(&mut rng), var(&mut rng)));
+        }
+        // Shuffle so each category is split across base and deltas.
+        for i in (1..all.len()).rev() {
+            let j = rng.below((i + 1) as u64) as usize;
+            all.swap(i, j);
+        }
+        let split = all.len() * 3 / 5;
+        let base = dataflow::build_program(&df_input(&all[..split]));
+        let rest = &all[split..];
+        let per_step = rest.len() / 3;
+        let mut steps = Vec::new();
+        let mut upto = split;
+        for step in 0..3 {
+            let end = if step == 2 {
+                all.len()
+            } else {
+                upto + per_step
+            };
+            let delta = df_delta(&all[upto..end]);
+            upto = end;
+            steps.push((delta, dataflow::build_program(&df_input(&all[..upto]))));
+        }
+        assert_incremental_parity(&format!("dataflow seed {seed}"), &base, &steps);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload 3: Figure 5 IFDS on a generated JVM-shaped supergraph.
+// ---------------------------------------------------------------------
+
+#[test]
+fn ifds_update_sequences_match_scratch() {
+    for seed in 0..8u64 {
+        let model = Arc::new(jvm_program::generate(GenParams {
+            num_procs: 4,
+            nodes_per_proc: 8,
+            vars_per_proc: 4,
+            call_percent: 15,
+            seed: seed + 31,
+        }));
+        let problem = Arc::new(Taint::new(model.clone()));
+        // Withhold the last six CFG edges and re-add them in two chunks;
+        // the flow functions are per-node closures over the full model,
+        // so a CFG-edge subset is a valid smaller supergraph.
+        let full_cfg = model.graph.cfg.clone();
+        assert!(full_cfg.len() > 8, "generated graph too small");
+        let withheld = 6;
+        let split = full_cfg.len() - withheld;
+        let mut base_graph = model.graph.clone();
+        base_graph.cfg.truncate(split);
+        let base = ifds::flix::build_program(&base_graph, problem.clone());
+
+        let mut steps = Vec::new();
+        for step in 0..2 {
+            let upto = split + (step + 1) * (withheld / 2);
+            let mut delta = Delta::new();
+            for &(n, m) in &full_cfg[split + step * (withheld / 2)..upto] {
+                delta.push("CFG", vec![(n as i64).into(), (m as i64).into()]);
+            }
+            let mut scratch_graph = model.graph.clone();
+            scratch_graph.cfg.truncate(upto);
+            steps.push((
+                delta,
+                ifds::flix::build_program(&scratch_graph, problem.clone()),
+            ));
+        }
+        assert_incremental_parity(&format!("IFDS seed {seed}"), &base, &steps);
+    }
+}

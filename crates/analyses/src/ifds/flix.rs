@@ -4,8 +4,9 @@
 //! the `d3 <- eshIntra(n, d2)` arrow syntax of the figure maps onto the
 //! engine's choice bindings.
 
-use super::{IfdsProblem, IfdsResult, Supergraph};
-use flix_core::{BodyItem, Head, HeadTerm, Program, ProgramBuilder, Solver, Term, Value};
+use super::{IfdsProblem, IfdsResult, Node, Supergraph};
+use flix_core::{BodyItem, Head, HeadTerm, Program, ProgramBuilder, Query, Solver, Term, Value};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Builds the Figure 5 program for a supergraph and problem.
@@ -194,4 +195,39 @@ pub fn solve_with(
 /// Solves the problem with the default solver.
 pub fn solve(graph: &Supergraph, problem: Arc<dyn IfdsProblem>) -> IfdsResult {
     solve_with(graph, problem, &Solver::new())
+}
+
+/// Demand-driven point query: the dataflow facts holding at one program
+/// point, via `Result(node, _)` and the demand rewrite.
+///
+/// The rewrite chases demand backwards through the Figure 5 rules —
+/// `Result(n, _)` demands the path edges *into* `n`, which demand the
+/// summary and call-start edges that can feed them — so only the slice
+/// of the exploded supergraph that can reach `node` is tabulated. The
+/// reported facts are identical to the full [`solve`] restricted to
+/// `node` (pinned by the demand parity suite).
+pub fn query_node_with(
+    graph: &Supergraph,
+    problem: Arc<dyn IfdsProblem>,
+    node: Node,
+    solver: &Solver,
+) -> BTreeSet<super::Fact> {
+    let program = build_program(graph, problem);
+    let query = Query::new("Result", vec![Some((node as i64).into()), None]);
+    let result = solver
+        .solve_query(&program, &[query])
+        .expect("Figure 5 is stratifiable");
+    result
+        .answers(0)
+        .map(|row| row.key()[1].as_int().expect("fact"))
+        .collect()
+}
+
+/// Demand-driven point query with the default solver.
+pub fn query_node(
+    graph: &Supergraph,
+    problem: Arc<dyn IfdsProblem>,
+    node: Node,
+) -> BTreeSet<super::Fact> {
+    query_node_with(graph, problem, node, &Solver::new())
 }

@@ -12,7 +12,7 @@
 
 use crate::workloads::graphs::WeightedGraph;
 use flix_core::{
-    BodyItem, Head, HeadTerm, LatticeOps, Program, ProgramBuilder, SolveStats, Solver, Term,
+    BodyItem, Head, HeadTerm, LatticeOps, Program, ProgramBuilder, Query, SolveStats, Solver, Term,
     ValueLattice,
 };
 use flix_lattice::MinCost;
@@ -140,6 +140,63 @@ pub fn single_source_profiled(
         out[node] = MinCost::expect_from(value).value();
     }
     (out, solution.stats().clone())
+}
+
+/// Demand-driven single-target query on the *all-pairs* program: the
+/// shortest distance from `source` to `target`, or `None` if `target` is
+/// unreachable.
+///
+/// Instead of materializing all n² distance cells, this runs
+/// [`Solver::solve_query`] with the pattern `Dist(source, target, _)`.
+/// The demand rewrite observes that the recursive rule propagates the
+/// source key unchanged, so the adornment settles on the source column
+/// and only the ~n cells reachable from `source` are ever derived — the
+/// single-target answer still equals the full all-pairs model's
+/// cell-for-cell (the demand parity suite pins this).
+pub fn query_distance_with(
+    graph: &WeightedGraph,
+    source: u32,
+    target: u32,
+    solver: &Solver,
+) -> Option<u64> {
+    let program = build_all_pairs(graph);
+    let query = Query::new(
+        "Dist",
+        vec![
+            Some((source as i64).into()),
+            Some((target as i64).into()),
+            None,
+        ],
+    );
+    let result = solver
+        .solve_query(&program, &[query])
+        .expect("finite lattice height on a finite graph");
+    result
+        .solution()
+        .lattice_value("Dist", &[(source as i64).into(), (target as i64).into()])
+        .and_then(|v| MinCost::expect_from(&v).value())
+}
+
+/// Demand-driven single-target query with the default solver.
+pub fn query_distance(graph: &WeightedGraph, source: u32, target: u32) -> Option<u64> {
+    query_distance_with(graph, source, target, &Solver::new())
+}
+
+/// Demand-driven single-source query on the *all-pairs* program: all
+/// distances from `source`, without materializing the other n−1 sources'
+/// cells. `None` entries are unreachable.
+pub fn query_single_source(graph: &WeightedGraph, source: u32) -> Vec<Option<u64>> {
+    let program = build_all_pairs(graph);
+    let query = Query::new("Dist", vec![Some((source as i64).into()), None, None]);
+    let result = Solver::new()
+        .solve_query(&program, &[query])
+        .expect("finite lattice height on a finite graph");
+    let mut out = vec![None; graph.num_nodes as usize];
+    for fact in result.answers(0) {
+        let node = fact.key()[1].as_int().expect("node") as usize;
+        out[node] = MinCost::expect_from(fact.value().expect("lattice cell")).value();
+    }
+    out
 }
 
 /// Solves all-pairs shortest paths; absent keys are unreachable pairs.

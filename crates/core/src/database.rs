@@ -265,6 +265,15 @@ impl Database {
 
     /// Total number of stored facts (rows plus non-bottom lattice cells) —
     /// the database-size proxy reported by the benchmark tables.
+    /// Drops every predicate at or past `keep`, returning the truncated
+    /// database. The demand rewrite appends its `demand$` relations after
+    /// the original predicates, so truncating to the original count
+    /// strips all rewrite machinery while preserving predicate ids.
+    pub(crate) fn truncated(mut self, keep: usize) -> Database {
+        self.preds.truncate(keep);
+        self
+    }
+
     pub(crate) fn total_facts(&self) -> usize {
         self.preds
             .iter()

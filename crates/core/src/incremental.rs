@@ -457,6 +457,36 @@ fn check_prior(program: &Program, prior: &Solution) -> Result<(), DeltaError> {
     Ok(())
 }
 
+impl Program {
+    /// Returns a copy of this program with the delta's facts appended —
+    /// the program whose model [`Solver::resume`] computes when handed
+    /// the same delta.
+    ///
+    /// This is the bridge between the incremental and the demand
+    /// subsystems: after a delta arrives, point queries against the
+    /// updated world are answered by
+    /// [`Solver::solve_query`](crate::demand) on `with_delta(&delta)` —
+    /// demand-restricted *and* reflecting the update, without ever
+    /// materializing the full updated model.
+    ///
+    /// # Errors
+    ///
+    /// [`DeltaError::UnknownPredicate`] / [`DeltaError::ArityMismatch`]
+    /// if the delta does not fit this program's declarations.
+    pub fn with_delta(&self, delta: &Delta) -> Result<Program, DeltaError> {
+        let mut facts = self.facts.clone();
+        facts.extend(resolve_delta(self, delta)?);
+        Ok(Program {
+            preds: self.preds.clone(),
+            pred_names: self.pred_names.clone(),
+            funcs: self.funcs.clone(),
+            rules: self.rules.clone(),
+            facts,
+            index_requests: self.index_requests.clone(),
+        })
+    }
+}
+
 /// Resolves a name-based delta against the program's declarations,
 /// checking arities.
 fn resolve_delta(

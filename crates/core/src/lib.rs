@@ -19,6 +19,9 @@
 //!   producing a [`Solution`];
 //! * [`incremental`] — monotone update deltas and [`Solver::resume`],
 //!   warm-starting the semi-naïve fixed point from a prior model;
+//! * [`demand`] — point queries and [`Solver::solve_query`], a
+//!   magic-set-style rewrite restricting evaluation to the tuples and
+//!   lattice cells a query demands;
 //! * [`model`] — the model-theoretic checker used to cross-validate
 //!   solver output against the declarative semantics of §3.2.
 //!
@@ -72,6 +75,7 @@
 
 mod ast;
 mod database;
+pub mod demand;
 mod guard;
 pub mod incremental;
 pub mod model;
@@ -88,6 +92,7 @@ pub use ast::{
     BodyItem, FuncId, Head, HeadTerm, PredDecl, PredId, PredKind, ProgramBuilder, ProgramError,
     Term,
 };
+pub use demand::{DemandError, Query, QueryResult};
 pub use guard::{Budget, BudgetKind, CancelToken};
 pub use incremental::{Delta, DeltaError};
 pub use observe::{

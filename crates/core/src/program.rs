@@ -55,7 +55,8 @@ pub(crate) struct CRule {
     pub(crate) head: Vec<CHead>,
     pub(crate) body: Vec<CItem>,
     pub(crate) num_vars: usize,
-    #[allow(dead_code)] // kept for diagnostics
+    /// Variable names by slot; the demand rewrite uses them to decompile
+    /// compiled rules back to surface syntax.
     pub(crate) var_names: Vec<Arc<str>>,
     /// Semi-naïve delta variants, one per positive body atom (§3.7: "the
     /// rule is evaluated as many times as there are atoms in its body").

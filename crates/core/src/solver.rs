@@ -160,6 +160,11 @@ pub enum SolveError {
     /// arity mismatch, mismatched solution). The partial solution is the
     /// unmodified pre-update model.
     Delta(crate::incremental::DeltaError),
+    /// A [`crate::demand::Query`] handed to
+    /// [`Solver::solve_query`](crate::Solver::solve_query) does not fit
+    /// the program (unknown predicate, wrong pattern width). The partial
+    /// solution is empty.
+    Demand(crate::demand::DemandError),
 }
 
 impl fmt::Display for SolveError {
@@ -209,6 +214,7 @@ impl fmt::Display for SolveError {
                 )
             }
             SolveError::Delta(e) => write!(f, "{e}"),
+            SolveError::Demand(e) => write!(f, "{e}"),
         }
     }
 }

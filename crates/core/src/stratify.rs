@@ -18,6 +18,13 @@ pub(crate) struct Strata {
     pub(crate) rule_groups: Vec<Vec<usize>>,
 }
 
+/// Checks that `program` stratifies without keeping the strata; used by
+/// the demand rewrite as a safety net before handing a rewritten program
+/// to the engine.
+pub(crate) fn check_stratifiable(program: &Program) -> Result<(), ProgramError> {
+    stratify(program).map(|_| ())
+}
+
 /// Computes the strata of `program`'s rules.
 ///
 /// # Errors

@@ -47,9 +47,10 @@ pub use flix_lang as lang;
 pub use flix_lattice as lattice;
 
 pub use flix_core::{
-    BodyItem, Budget, BudgetKind, CancelToken, ConfigError, Delta, DeltaError, Fact, FactsIter,
-    Head, HeadTerm, LatticeIter, LatticeOps, Program, ProgramBuilder, RelationIter, Solution,
-    SolveError, SolveFailure, Solver, SolverConfig, Strategy, Term, Value, ValueLattice,
+    BodyItem, Budget, BudgetKind, CancelToken, ConfigError, Delta, DeltaError, DemandError, Fact,
+    FactsIter, Head, HeadTerm, LatticeIter, LatticeOps, Program, ProgramBuilder, Query,
+    QueryResult, RelationIter, Solution, SolveError, SolveFailure, Solver, SolverConfig, Strategy,
+    Term, Value, ValueLattice,
 };
 pub use flix_lang::compile;
 pub use flix_lattice::{HasTop, Lattice};

@@ -7,7 +7,7 @@
 //!       [--naive] [--verify] [--threads N]
 //!       [--max-rounds N] [--timeout SECS]
 //!       [--print PRED[,PRED...]] [--explain "Fact(args)"]
-//!       [--update FILE.flix]
+//!       [--query "Pred(pattern)"] [--update FILE.flix]
 //!       FILE.flix [MORE.flix ...]
 //! ```
 //!
@@ -17,6 +17,20 @@
 //! serialisation step). `--verify` law-checks every lattice binding
 //! before solving (§7 "Safety"); `--explain` prints the derivation tree of
 //! a fact in the computed model.
+//!
+//! `--query 'Dist("a", _)'` (repeatable) switches to demand-driven
+//! evaluation: instead of computing the whole minimal model, the solver
+//! runs the magic-set-style rewrite of `flix_core::demand` and derives
+//! only the tuples and lattice cells the query patterns transitively
+//! demand, then prints only the matching answers. A `_` marks a free
+//! position; everything else must be a literal. Demanded answers are
+//! identical to the full model's. `--explain` explains a fact within the
+//! demanded model, `--stats`/`--profile`/`--metrics-json` describe the
+//! (cheaper) query-directed run in the program's own rule and predicate
+//! names, and `--update FILE` makes the queries ask about the *updated*
+//! program without ever materializing either full model. A malformed
+//! query pattern (syntax, unknown predicate, wrong arity) exits 2 with
+//! the offending source position.
 //!
 //! `--update FILE` applies a monotone delta after the initial solve: the
 //! update file is compiled standalone (it re-declares the predicates its
@@ -55,8 +69,9 @@
 //! results instead of nothing.
 
 use flix_core::{
-    Budget, Delta, MetricsReport, Solution, SolveError, Solver, SolverConfig, Strategy,
+    Budget, Delta, MetricsReport, Query, Solution, SolveError, Solver, SolverConfig, Strategy,
 };
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -134,6 +149,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     let mut timeout: Option<Duration> = None;
     let mut print: Option<Vec<String>> = None;
     let mut explain: Option<String> = None;
+    let mut queries: Vec<String> = Vec::new();
     let mut update: Option<String> = None;
 
     let mut it = args.into_iter();
@@ -197,6 +213,11 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                         .ok_or_else(|| Failure::usage("--explain requires a ground atom"))?,
                 );
             }
+            "--query" => {
+                queries.push(it.next().ok_or_else(|| {
+                    Failure::usage("--query requires an atom pattern, e.g. 'Dist(\"a\", _)'")
+                })?);
+            }
             "--update" => {
                 let path = it
                     .next()
@@ -213,7 +234,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                     "usage: flixr [--stats] [--profile] [--metrics-json PATH] \
                      [--naive] [--verify] [--threads N] \
                      [--max-rounds N] [--timeout SECS] [--print PREDS] \
-                     [--explain ATOM] [--update FILE.flix] \
+                     [--explain ATOM] [--query PATTERN] [--update FILE.flix] \
                      FILE.flix [MORE.flix ...]"
                 );
                 return Ok(());
@@ -261,6 +282,23 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         ..SolverConfig::default()
     })
     .map_err(|e| Failure::usage(format!("--{e}")))?;
+
+    if !queries.is_empty() {
+        return run_queries(RunQueries {
+            program,
+            solver,
+            queries: &queries,
+            explain: explain.as_deref(),
+            update: update.as_deref(),
+            stats,
+            profile,
+            metrics_json: metrics_json.as_deref(),
+            name: &files[0],
+            strategy,
+            threads,
+            print: print.as_deref(),
+        });
+    }
 
     let solution = match solver.solve(&program) {
         Ok(solution) => solution,
@@ -387,6 +425,123 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         strategy,
         threads,
         solution.stats(),
+    )?;
+    Ok(())
+}
+
+/// Everything the demand-driven `--query` path needs from `run`.
+struct RunQueries<'a> {
+    program: flix_core::Program,
+    solver: Solver,
+    queries: &'a [String],
+    explain: Option<&'a str>,
+    update: Option<&'a str>,
+    stats: bool,
+    profile: bool,
+    metrics_json: Option<&'a str>,
+    name: &'a str,
+    strategy: Strategy,
+    threads: usize,
+    print: Option<&'a [String]>,
+}
+
+/// The demand-driven path: parse the `--query` patterns, optionally fold
+/// an `--update` delta into the program, run the query-directed solve,
+/// and print only the matching answers (or the `--explain` derivation
+/// within the demanded model).
+fn run_queries(cx: RunQueries<'_>) -> Result<(), Failure> {
+    let mut parsed: Vec<Query> = Vec::with_capacity(cx.queries.len());
+    for text in cx.queries {
+        let (pred, pattern) =
+            flix_lang::parse_query_atom(text).map_err(|e| Failure::lang(e.to_string()))?;
+        parsed.push(Query::new(pred, pattern));
+    }
+
+    // With --update, the queries ask about the updated world: fold the
+    // delta's facts into the program and let the rewrite restrict the
+    // combined solve — neither full model is ever materialized.
+    let program = match cx.update {
+        Some(update_path) => {
+            let update_source = std::fs::read_to_string(update_path)
+                .map_err(|e| Failure::usage(format!("cannot read {update_path}: {e}")))?;
+            let update_program =
+                flix_lang::compile(&update_source).map_err(|e| Failure::lang(e.to_string()))?;
+            let delta = Delta::from_facts(&update_program);
+            cx.program
+                .with_delta(&delta)
+                .map_err(|e| Failure::lang(e.to_string()))?
+        }
+        None => cx.program,
+    };
+
+    let result = match cx.solver.solve_query(&program, &parsed) {
+        Ok(result) => result,
+        Err(failure) => {
+            eprintln!("flixr: {}", failure.error);
+            if let SolveError::Demand(_) = &failure.error {
+                // The query was rejected before any solving happened; a
+                // static mismatch like a type error.
+                return Err(Failure {
+                    code: EXIT_LANG,
+                    message: None,
+                });
+            }
+            let code = match &failure.error {
+                SolveError::BudgetExceeded { .. } | SolveError::RoundLimitExceeded { .. } => {
+                    EXIT_BUDGET
+                }
+                _ => EXIT_SOLVE,
+            };
+            let retained = failure.partial.total_facts();
+            eprintln!(
+                "flixr: printing the partial demanded model \
+                 ({retained} fact{} derived before the failure)",
+                if retained == 1 { "" } else { "s" }
+            );
+            print_model(&program, &failure.partial, cx.print);
+            if cx.stats {
+                print_stats(&failure.stats);
+            }
+            emit_observability(
+                cx.profile,
+                cx.metrics_json,
+                cx.name,
+                cx.strategy,
+                cx.threads,
+                &failure.stats,
+            )?;
+            return Err(Failure {
+                code,
+                message: None,
+            });
+        }
+    };
+
+    if let Some(query) = cx.explain {
+        return explain_fact(result.solution(), query, "demanded model");
+    }
+
+    // Only the demanded answers, deduplicated across overlapping queries,
+    // in deterministic order.
+    let mut lines: BTreeSet<String> = BTreeSet::new();
+    for (i, query) in result.queries().iter().enumerate() {
+        for fact in result.answers(i) {
+            lines.insert(format!("{}({fact})", query.predicate()));
+        }
+    }
+    for line in &lines {
+        println!("{line}");
+    }
+    if cx.stats {
+        print_stats(result.stats());
+    }
+    emit_observability(
+        cx.profile,
+        cx.metrics_json,
+        cx.name,
+        cx.strategy,
+        cx.threads,
+        result.stats(),
     )?;
     Ok(())
 }

@@ -69,42 +69,78 @@ pub fn compile(source: &str) -> Result<flix_core::Program, LangError> {
     lower(Arc::new(checked))
 }
 
-/// Parses a single ground atom like `Path(1, "a")` into its predicate
-/// name and values — the query syntax of `flixr --explain`.
-///
-/// # Errors
-///
-/// Returns a [`LangError`] if the text is not a single ground atom.
-pub fn parse_ground_atom(text: &str) -> Result<(String, Vec<flix_core::Value>), LangError> {
+/// Parses `text` as exactly one bodyless atom, returning its predicate
+/// name and terms. Shared by the `flixr --explain` and `--query` atom
+/// syntaxes; errors carry the source position within `text`.
+fn parse_single_atom(text: &str, example: &str) -> Result<(String, Vec<ast::RuleTerm>), LangError> {
     let trimmed = text.trim().trim_end_matches('.');
     let source = format!("{trimmed}.");
     let parsed = parse(&source)?;
     let [ast::Decl::Constraint(c)] = parsed.decls.as_slice() else {
         return Err(LangError::parse(
             Default::default(),
-            "expected exactly one ground atom, e.g. Path(1, 2)",
+            format!("expected exactly one atom, e.g. {example}"),
         ));
     };
     if !c.body.is_empty() {
-        return Err(LangError::parse(
-            c.pos,
-            "expected a ground atom, found a rule",
-        ));
+        return Err(LangError::parse(c.pos, "expected an atom, found a rule"));
     }
-    let values = c
-        .head
-        .terms
+    Ok((c.head.pred.clone(), c.head.terms.clone()))
+}
+
+/// Parses a single ground atom like `Path(1, "a")` into its predicate
+/// name and values — the query syntax of `flixr --explain`.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] if the text is not a single ground atom; a
+/// `_` wildcard is rejected with its source position and a pointer to
+/// `--query`, which accepts patterns.
+pub fn parse_ground_atom(text: &str) -> Result<(String, Vec<flix_core::Value>), LangError> {
+    let (pred, terms) = parse_single_atom(text, "Path(1, 2)")?;
+    let values = terms
         .iter()
         .map(|t| match t {
             ast::RuleTerm::Lit(l, _) => Ok(interp::lit_value(l)),
             ast::RuleTerm::Ctor { .. } => Ok(ground_ctor(t)),
+            ast::RuleTerm::Wildcard(pos) => Err(LangError::parse(
+                *pos,
+                "explain queries must be ground; replace `_` with a value \
+                 (or use --query, which accepts `_` patterns)",
+            )),
             other => Err(LangError::parse(
                 other.pos(),
-                "explain queries must be ground (no variables or wildcards)",
+                "explain queries must be ground (no variables)",
             )),
         })
         .collect::<Result<Vec<_>, _>>()?;
-    Ok((c.head.pred.clone(), values))
+    Ok((pred, values))
+}
+
+/// Parses a query atom like `Path(1, _)` into its predicate name and
+/// bound/free pattern — the query syntax of `flixr --query`. A `_`
+/// wildcard marks a free position (`None`); literals and enum
+/// constructors are bound positions (`Some`).
+///
+/// # Errors
+///
+/// Returns a [`LangError`] (with the offending source position) if the
+/// text is not a single atom of literals and wildcards.
+pub fn parse_query_atom(text: &str) -> Result<(String, Vec<Option<flix_core::Value>>), LangError> {
+    let (pred, terms) = parse_single_atom(text, "Path(1, _)")?;
+    let pattern = terms
+        .iter()
+        .map(|t| match t {
+            ast::RuleTerm::Wildcard(_) => Ok(None),
+            ast::RuleTerm::Lit(l, _) => Ok(Some(interp::lit_value(l))),
+            ast::RuleTerm::Ctor { .. } => Ok(Some(ground_ctor(t))),
+            other => Err(LangError::parse(
+                other.pos(),
+                "query atoms take literals and `_` wildcards (no variables)",
+            )),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((pred, pattern))
 }
 
 fn ground_ctor(t: &ast::RuleTerm) -> flix_core::Value {

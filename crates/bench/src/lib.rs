@@ -17,7 +17,9 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod json;
 pub mod metrics;
+pub mod regress;
 
 use std::time::{Duration, Instant};
 

@@ -9,19 +9,18 @@
 //! environment variable set), `criterion_main!` ends by calling
 //! [`write_if_requested`], which renders every recorded run to `PATH` —
 //! the `BENCH_*.json` files tracking the perf trajectory.
+//!
+//! Rendering and file output go through
+//! [`flix_core::write_metrics_json`] / [`OwnedMetricsReport`] — the
+//! same code path `flixr --metrics-json` uses — so the two producers of
+//! `flix-metrics/1` documents cannot drift apart.
 
-use flix_core::{render_metrics_json, MetricsReport, SolveStats};
+use flix_core::{
+    render_metrics_json, write_metrics_json, MetricsReport, OwnedMetricsReport, SolveStats,
+};
 use std::sync::Mutex;
 
-/// One recorded run, owned so the registry can outlive the solve.
-struct OwnedReport {
-    name: String,
-    strategy: &'static str,
-    threads: usize,
-    stats: SolveStats,
-}
-
-static REGISTRY: Mutex<Vec<OwnedReport>> = Mutex::new(Vec::new());
+static REGISTRY: Mutex<Vec<OwnedMetricsReport>> = Mutex::new(Vec::new());
 
 /// Records one instrumented solve under `name` (convention:
 /// `<group>/<benchmark-id>`), in registration order.
@@ -29,9 +28,9 @@ pub fn record(name: impl Into<String>, strategy: &'static str, threads: usize, s
     REGISTRY
         .lock()
         .expect("metrics registry")
-        .push(OwnedReport {
+        .push(OwnedMetricsReport {
             name: name.into(),
-            strategy,
+            strategy: strategy.to_string(),
             threads,
             stats: stats.clone(),
         });
@@ -40,15 +39,7 @@ pub fn record(name: impl Into<String>, strategy: &'static str, threads: usize, s
 /// Renders every recorded run as the `flix-metrics/1` JSON document.
 pub fn render() -> String {
     let runs = REGISTRY.lock().expect("metrics registry");
-    let reports: Vec<MetricsReport<'_>> = runs
-        .iter()
-        .map(|r| MetricsReport {
-            name: &r.name,
-            strategy: r.strategy,
-            threads: r.threads,
-            stats: &r.stats,
-        })
-        .collect();
+    let reports: Vec<MetricsReport<'_>> = runs.iter().map(|r| r.as_report()).collect();
     render_metrics_json(&reports)
 }
 
@@ -74,11 +65,12 @@ pub fn write_if_requested() {
     let Some(path) = requested_path() else {
         return;
     };
-    if REGISTRY.lock().expect("metrics registry").is_empty() {
+    let runs = REGISTRY.lock().expect("metrics registry");
+    if runs.is_empty() {
         eprintln!("metrics: no instrumented runs recorded; not writing {path}");
         return;
     }
-    match std::fs::write(&path, render()) {
+    match write_metrics_json(&path, &runs) {
         Ok(()) => println!("metrics: wrote {path}"),
         Err(e) => {
             eprintln!("metrics: cannot write {path}: {e}");

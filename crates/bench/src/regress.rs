@@ -1,0 +1,180 @@
+//! Bench-regression comparison: pair the runs of a freshly produced
+//! `flix-metrics/1` document against a committed baseline and flag
+//! wall-time regressions beyond a tolerance.
+//!
+//! The committed `BENCH_*.json` files track the perf trajectory of the
+//! reproduction; the `regression` binary re-runs the benches in CI and
+//! uses this module to fail the job when a workload got more than
+//! `tolerance` slower than its committed baseline. Speed-ups and
+//! membership changes (runs added or removed) are reported but never
+//! fail — wall-clock noise on shared CI runners only ever pushes one
+//! way, so only the slow direction is load-bearing.
+
+use crate::json::Json;
+
+/// One run's identity and wall time, extracted from a metrics document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunTime {
+    /// The run's registered name (`<group>/<benchmark-id>`).
+    pub name: String,
+    /// Wall time of the instrumented solve, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Extracts the named wall times from a parsed `flix-metrics/1`
+/// document, validating the schema marker.
+pub fn extract_runs(doc: &Json) -> Result<Vec<RunTime>, String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("flix-metrics/1") => {}
+        Some(other) => return Err(format!("unsupported schema {other:?}")),
+        None => return Err("missing \"schema\" field".into()),
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("missing \"runs\" array")?;
+    runs.iter()
+        .enumerate()
+        .map(|(i, run)| {
+            let name = run
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("run #{i}: missing \"name\""))?
+                .to_string();
+            let wall_ns = run
+                .get("wall_ns")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("run {name:?}: missing \"wall_ns\""))?;
+            Ok(RunTime { name, wall_ns })
+        })
+        .collect()
+}
+
+/// The outcome of comparing one baseline run against the fresh metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Within tolerance of the baseline.
+    Within {
+        /// fresh / baseline wall-time ratio.
+        ratio: f64,
+    },
+    /// More than `tolerance` faster — informational.
+    Faster {
+        /// fresh / baseline wall-time ratio (below `1 - tolerance`).
+        ratio: f64,
+    },
+    /// More than `tolerance` slower — this fails the check.
+    Slower {
+        /// fresh / baseline wall-time ratio (above `1 + tolerance`).
+        ratio: f64,
+    },
+    /// Present in the baseline but absent from the fresh run.
+    Missing,
+}
+
+/// One compared run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The run's name.
+    pub name: String,
+    /// Baseline wall time, nanoseconds.
+    pub baseline_ns: u64,
+    /// Fresh wall time, nanoseconds (0 when [`Verdict::Missing`]).
+    pub fresh_ns: u64,
+    /// How the fresh time relates to the baseline.
+    pub verdict: Verdict,
+}
+
+/// Compares every baseline run against the fresh measurements.
+/// `tolerance` is a fraction: `0.30` allows ±30%. Runs only present in
+/// the fresh document are ignored (new benches land before their
+/// baseline is committed).
+pub fn compare(baseline: &[RunTime], fresh: &[RunTime], tolerance: f64) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .map(|base| {
+            let found = fresh.iter().find(|f| f.name == base.name);
+            let (fresh_ns, verdict) = match found {
+                None => (0, Verdict::Missing),
+                Some(f) => {
+                    // max(1) guards a degenerate zero-time baseline.
+                    let ratio = f.wall_ns as f64 / base.wall_ns.max(1) as f64;
+                    let verdict = if ratio > 1.0 + tolerance {
+                        Verdict::Slower { ratio }
+                    } else if ratio < 1.0 - tolerance {
+                        Verdict::Faster { ratio }
+                    } else {
+                        Verdict::Within { ratio }
+                    };
+                    (f.wall_ns, verdict)
+                }
+            };
+            Comparison {
+                name: base.name.clone(),
+                baseline_ns: base.wall_ns,
+                fresh_ns,
+                verdict,
+            }
+        })
+        .collect()
+}
+
+/// True when any comparison is a hard failure ([`Verdict::Slower`]).
+pub fn any_regression(comparisons: &[Comparison]) -> bool {
+    comparisons
+        .iter()
+        .any(|c| matches!(c.verdict, Verdict::Slower { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn run(name: &str, wall_ns: u64) -> RunTime {
+        RunTime {
+            name: name.into(),
+            wall_ns,
+        }
+    }
+
+    #[test]
+    fn extracts_runs_and_validates_schema() {
+        let doc = parse(
+            r#"{"schema": "flix-metrics/1", "runs": [
+                {"name": "g/a", "wall_ns": 100, "rounds": 3},
+                {"name": "g/b", "wall_ns": 200}
+            ]}"#,
+        )
+        .expect("valid json");
+        let runs = extract_runs(&doc).expect("valid metrics");
+        assert_eq!(runs, vec![run("g/a", 100), run("g/b", 200)]);
+
+        let wrong = parse(r#"{"schema": "flix-metrics/2", "runs": []}"#).expect("valid json");
+        assert!(extract_runs(&wrong).is_err());
+    }
+
+    #[test]
+    fn compare_classifies_all_directions() {
+        let baseline = [
+            run("a", 1000),
+            run("b", 1000),
+            run("c", 1000),
+            run("d", 1000),
+        ];
+        let fresh = [run("a", 1100), run("b", 1500), run("c", 500)];
+        let cmp = compare(&baseline, &fresh, 0.30);
+        assert!(matches!(cmp[0].verdict, Verdict::Within { .. }), "{cmp:?}");
+        assert!(matches!(cmp[1].verdict, Verdict::Slower { .. }), "{cmp:?}");
+        assert!(matches!(cmp[2].verdict, Verdict::Faster { .. }), "{cmp:?}");
+        assert!(matches!(cmp[3].verdict, Verdict::Missing), "{cmp:?}");
+        assert!(any_regression(&cmp));
+    }
+
+    #[test]
+    fn fresh_only_runs_are_ignored() {
+        let cmp = compare(&[run("a", 100)], &[run("a", 100), run("new", 1)], 0.30);
+        assert_eq!(cmp.len(), 1);
+        assert!(!any_regression(&cmp));
+    }
+}

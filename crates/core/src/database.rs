@@ -92,6 +92,31 @@ impl RelationData {
     }
 }
 
+/// Per-cell ascent counters, kept only when ascent telemetry is enabled
+/// (see [`crate::trace::AscentConfig`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct AscentEntry {
+    /// Joins absorbed by the cell (including no-change joins).
+    pub(crate) joins: u64,
+    /// Strict increases: the cell's height in its ascending chain.
+    pub(crate) height: u64,
+    /// Whether an [`crate::trace::AscentWarning`] already fired for this
+    /// cell (each cell warns at most once per solve).
+    pub(crate) warned: bool,
+}
+
+/// Updates a cell's ascent counters after a join, when telemetry is on.
+fn note_ascent(ascent: &mut Option<HashMap<Row, AscentEntry>>, key: &Row, increased: bool) {
+    let Some(map) = ascent else {
+        return;
+    };
+    let entry = map.entry(key.clone()).or_default();
+    entry.joins += 1;
+    if increased {
+        entry.height += 1;
+    }
+}
+
 /// Storage for one lattice predicate: the compact cell map.
 #[derive(Clone, Debug)]
 pub(crate) struct LatticeData {
@@ -99,6 +124,9 @@ pub(crate) struct LatticeData {
     cells: HashMap<Row, Value>,
     keys: Vec<Row>,
     indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<u32>>>,
+    /// `Some` only when ascent telemetry is enabled for this solve; the
+    /// hot path then pays one map update per join, and nothing otherwise.
+    ascent: Option<HashMap<Row, AscentEntry>>,
 }
 
 impl LatticeData {
@@ -108,6 +136,7 @@ impl LatticeData {
             cells: HashMap::new(),
             keys: Vec::new(),
             indexes: HashMap::new(),
+            ascent: None,
         }
     }
 
@@ -130,6 +159,7 @@ impl LatticeData {
         }
         if let Some(cell) = self.cells.get_mut(&key) {
             if self.ops.try_leq(&value, cell)? {
+                note_ascent(&mut self.ascent, &key, false);
                 return Ok(None);
             }
             let joined = self.ops.try_lub(cell, &value)?;
@@ -140,6 +170,7 @@ impl LatticeData {
                 )));
             }
             *cell = joined.clone();
+            note_ascent(&mut self.ascent, &key, true);
             return Ok(Some(joined));
         }
         if !self.ops.try_leq(&value, &value)? {
@@ -150,9 +181,18 @@ impl LatticeData {
             let ikey: Vec<Value> = cols.iter().map(|&c| key[c].clone()).collect();
             index.entry(ikey).or_default().push(idx);
         }
+        note_ascent(&mut self.ascent, &key, true);
         self.keys.push(key.clone());
         self.cells.insert(key, value.clone());
         Ok(Some(value))
+    }
+
+    /// Turns on per-cell ascent counting (idempotent; counters that
+    /// already exist — e.g. cloned from a prior resume — are kept).
+    pub(crate) fn enable_ascent(&mut self) {
+        if self.ascent.is_none() {
+            self.ascent = Some(HashMap::new());
+        }
     }
 
     pub(crate) fn keys(&self) -> &[Row] {
@@ -289,6 +329,63 @@ impl Database {
             PredData::Rel(r) => r.rows.len(),
             PredData::Lat(l) => l.keys.len(),
         }
+    }
+
+    /// Turns on ascent counting for every lattice predicate.
+    pub(crate) fn enable_ascent(&mut self) {
+        for p in &mut self.preds {
+            if let PredData::Lat(l) = p {
+                l.enable_ascent();
+            }
+        }
+    }
+
+    /// Whether any lattice predicate is collecting ascent counters.
+    pub(crate) fn ascent_enabled(&self) -> bool {
+        self.preds
+            .iter()
+            .any(|p| matches!(p, PredData::Lat(l) if l.ascent.is_some()))
+    }
+
+    /// If the cell at `pred`/`key` has reached `threshold` strict
+    /// increases and has not warned yet, marks it warned and returns its
+    /// height. The solver turns this into an
+    /// [`crate::trace::AscentWarning`].
+    pub(crate) fn ascent_crossed(
+        &mut self,
+        pred: PredId,
+        key: &[Value],
+        threshold: u64,
+    ) -> Option<u64> {
+        let PredData::Lat(l) = &mut self.preds[pred.0 as usize] else {
+            return None;
+        };
+        let entry = l.ascent.as_mut()?.get_mut(key)?;
+        if entry.warned || entry.height < threshold {
+            return None;
+        }
+        entry.warned = true;
+        Some(entry.height)
+    }
+
+    /// Snapshot of every cell's ascent counters:
+    /// `(predicate, key, joins, height, lattice-type name)`.
+    pub(crate) fn ascent_cells(&self) -> Vec<(PredId, Row, u64, u64, &str)> {
+        let mut out = Vec::new();
+        for (i, p) in self.preds.iter().enumerate() {
+            let PredData::Lat(l) = p else { continue };
+            let Some(map) = &l.ascent else { continue };
+            for (key, e) in map {
+                out.push((
+                    PredId(i as u32),
+                    key.clone(),
+                    e.joins,
+                    e.height,
+                    l.ops.name(),
+                ));
+            }
+        }
+        out
     }
 }
 
@@ -441,6 +538,48 @@ mod tests {
             matches!(fault, InsertFault::Safety(Violation::NotReflexive(_))),
             "got {fault:?}"
         );
+    }
+
+    #[test]
+    fn ascent_counters_track_joins_and_heights() {
+        let mut l = LatticeData::new(crate::LatticeOps::of::<Parity>());
+        l.enable_ascent();
+        let key = row(&[7]);
+        join_ok(&mut l, key.clone(), Parity::Even.to_value()); // height 1
+        join_ok(&mut l, key.clone(), Parity::Even.to_value()); // no change
+        join_ok(&mut l, key.clone(), Parity::Odd.to_value()); // -> Top, height 2
+        {
+            let map = l.ascent.as_ref().expect("enabled");
+            let entry = map.get(&key[..]).expect("tracked");
+            assert_eq!(entry.joins, 3);
+            assert_eq!(entry.height, 2);
+        }
+        // Bottom joins are filtered before counting.
+        join_ok(&mut l, key.clone(), Parity::Bot.to_value());
+        assert_eq!(l.ascent.as_ref().expect("enabled").len(), 1);
+    }
+
+    #[test]
+    fn ascent_crossed_warns_once_per_cell() {
+        let mut b = ProgramBuilder::new();
+        let iv = b.lattice("IntVar", 2, crate::LatticeOps::of::<Parity>());
+        let prog = b.build().expect("valid");
+        let mut db = Database::for_program(&prog, true);
+        db.enable_ascent();
+        assert!(db.ascent_enabled());
+        db.insert(iv, vec![Value::from("x"), Parity::Odd.to_value()])
+            .expect("insert");
+        db.insert(iv, vec![Value::from("x"), Parity::Even.to_value()])
+            .expect("insert");
+        let key = [Value::from("x")];
+        assert_eq!(db.ascent_crossed(iv, &key, 3), None, "below threshold");
+        assert_eq!(db.ascent_crossed(iv, &key, 2), Some(2));
+        assert_eq!(db.ascent_crossed(iv, &key, 2), None, "warns once");
+        let cells = db.ascent_cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].2, 2, "joins");
+        assert_eq!(cells[0].3, 2, "height");
+        assert_eq!(cells[0].4, "Parity");
     }
 
     #[test]

@@ -109,8 +109,9 @@ use crate::observe::{Observer, RuleEvaluated, RuleStats};
 use crate::program::CTerm;
 use crate::program::{CHead, CItem, CRule, Program};
 use crate::provenance::{Event, Source};
-use crate::solver::{make_solution, Fact};
+use crate::solver::{make_solution, rule_heads, Fact};
 use crate::stratify::check_stratifiable;
+use crate::trace::{AscentWarning, SpanKind, Tracer};
 use crate::{PredId, Solution, SolveError, SolveFailure, SolveStats, Solver, Value};
 use std::collections::{BTreeSet, HashSet};
 use std::fmt;
@@ -937,8 +938,8 @@ struct RemapObserver {
 }
 
 impl Observer for RemapObserver {
-    fn round_started(&self, stratum: usize, round: u64) {
-        self.inner.round_started(stratum, round);
+    fn round_started(&self, stratum: usize, round: u64, facts: u64) {
+        self.inner.round_started(stratum, round, facts);
     }
 
     fn rule_evaluated(&self, event: &RuleEvaluated) {
@@ -953,6 +954,16 @@ impl Observer for RemapObserver {
 
     fn budget_checked(&self, stratum: usize, exceeded: Option<&crate::BudgetKind>) {
         self.inner.budget_checked(stratum, exceeded);
+    }
+
+    fn resume_started(&self, delta_entries: usize) {
+        self.inner.resume_started(delta_entries);
+    }
+
+    fn ascent_warning(&self, warning: &AscentWarning) {
+        // Lattice predicates keep their names through the rewrite, so
+        // the warning is already in the original program's terms.
+        self.inner.ascent_warning(warning);
     }
 }
 
@@ -1088,7 +1099,10 @@ impl Solver {
                     ..SolveStats::default()
                 };
                 stats.wall_ns = wall_start.elapsed().as_nanos() as u64;
-                let partial = make_solution(program, db, stats.clone(), None);
+                if let Some(obs) = &self.config.observer {
+                    obs.solve_finished(&stats);
+                }
+                let partial = make_solution(program, db, stats.clone(), None, None);
                 return Err(Box::new(SolveFailure {
                     error: SolveError::Demand(e),
                     partial,
@@ -1101,9 +1115,12 @@ impl Solver {
         // predicates keep their original sub-program; demand edges are
         // purely positive), but a failed rewrite or stratification is
         // never fatal: fall back to an unrestricted solve and filter.
+        let tracer = Tracer::new(self.config.trace.as_ref());
+        let rewrite_start = tracer.now_ns();
         let rewritten = rewrite(program, &resolved)
             .ok()
             .filter(|rw| check_stratifiable(&rw.program).is_ok());
+        tracer.record(0, SpanKind::DemandRewrite, rewrite_start);
         let Some(rw) = rewritten else {
             let mut idb_names: Vec<String> = Vec::new();
             let mut seen = vec![false; program.preds.len()];
@@ -1135,6 +1152,9 @@ impl Solver {
         }
         let guard = Guard::new(&sub.config.budget);
         let mut db = Database::for_program(&rw.program, sub.config.use_indexes);
+        if sub.config.ascent.is_some() {
+            db.enable_ascent();
+        }
         let mut run_stats = SolveStats {
             per_rule: seed_per_rule(&rw.program),
             ..SolveStats::default()
@@ -1147,16 +1167,27 @@ impl Solver {
             &[],
             &mut run_stats,
             &mut events,
+            &tracer,
         );
 
         // Strip the demand machinery: truncate the database back to the
         // original predicates, fold rewritten-rule work onto original
-        // rules, translate provenance.
+        // rules, translate provenance. The trace is remapped the same
+        // way: demand-internal rule spans collapse onto the user-facing
+        // rules they propagate for.
+        tracer.record(0, SpanKind::Solve, 0);
+        let trace = tracer.finish(rule_heads(&rw.program)).map(|mut t| {
+            t.remap_rules(&rw.rule_origin, rule_heads(program));
+            t
+        });
         let db = db.truncated(rw.num_original_preds);
         run_stats.wall_ns = wall_start.elapsed().as_nanos() as u64;
         let stats = remap_stats(program, &rw, run_stats, &db);
+        if let Some(obs) = &self.config.observer {
+            obs.solve_finished(&stats);
+        }
         let events = events.map(|ev| remap_events(&rw, ev));
-        let solution = make_solution(program, db, stats.clone(), events);
+        let solution = make_solution(program, db, stats.clone(), events, trace);
         match outcome {
             Ok(()) => Ok(QueryResult {
                 solution,

@@ -71,6 +71,7 @@ use crate::program::{CItem, Program};
 use crate::provenance::{Event, Source};
 use crate::solver::{accumulate_change, insert_fault_error, make_solution};
 use crate::stratify::stratify;
+use crate::trace::{SpanKind, Tracer};
 use crate::{PredId, Solution, SolveError, SolveFailure, SolveStats, Solver, Strategy, Value};
 use std::collections::HashSet;
 use std::fmt;
@@ -248,6 +249,10 @@ impl Solver {
     ) -> Result<Solution, Box<SolveFailure>> {
         let wall_start = Instant::now();
         let guard = Guard::new(&self.config.budget);
+        let tracer = Tracer::new(self.config.trace.as_ref());
+        if let Some(obs) = &self.config.observer {
+            obs.resume_started(delta.len());
+        }
         let mut stats = SolveStats {
             per_rule: program
                 .rules
@@ -272,7 +277,10 @@ impl Solver {
                 let db = prior.database().clone();
                 stats.total_facts = db.total_facts() as u64;
                 stats.wall_ns = wall_start.elapsed().as_nanos() as u64;
-                let partial = make_solution(program, db, stats.clone(), None);
+                if let Some(obs) = &self.config.observer {
+                    obs.solve_finished(&stats);
+                }
+                let partial = make_solution(program, db, stats.clone(), None, None);
                 return Err(Box::new(SolveFailure {
                     error: e.into(),
                     partial,
@@ -285,17 +293,34 @@ impl Solver {
         // log when provenance is on (the prior log may be absent if the
         // prior solve ran without recording).
         let mut db = prior.database().clone();
+        if self.config.ascent.is_some() {
+            // Counters carried over from a prior ascent-enabled solve are
+            // kept; otherwise heights are measured from the resume start.
+            db.enable_ascent();
+        }
         let mut events: Option<Vec<Event>> = self
             .config
             .record_provenance
             .then(|| prior.events().cloned().unwrap_or_default());
 
-        let outcome =
-            self.resume_inner(program, &guard, &mut db, resolved, &mut stats, &mut events);
+        let outcome = self.resume_inner(
+            program,
+            &guard,
+            &mut db,
+            resolved,
+            &mut stats,
+            &mut events,
+            &tracer,
+        );
 
         stats.total_facts = db.total_facts() as u64;
         stats.wall_ns = wall_start.elapsed().as_nanos() as u64;
-        let solution = make_solution(program, db, stats.clone(), events);
+        tracer.record(0, SpanKind::Solve, 0);
+        let trace = tracer.finish(crate::solver::rule_heads(program));
+        if let Some(obs) = &self.config.observer {
+            obs.solve_finished(&stats);
+        }
+        let solution = make_solution(program, db, stats.clone(), events, trace);
         match outcome {
             Ok(()) => Ok(solution),
             Err(mut error) => {
@@ -315,6 +340,7 @@ impl Solver {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn resume_inner(
         &self,
         program: &Program,
@@ -323,6 +349,7 @@ impl Solver {
         resolved: Vec<(PredId, Vec<Value>)>,
         stats: &mut SolveStats,
         events: &mut Option<Vec<Event>>,
+        tracer: &Tracer,
     ) -> Result<(), SolveError> {
         let strata = stratify(program)?;
         let npreds = program.num_predicates();
@@ -337,14 +364,18 @@ impl Solver {
         }
         if negation_reaches(program, &delta_preds) {
             *db = Database::for_program(program, self.config.use_indexes);
+            if self.config.ascent.is_some() {
+                db.enable_ascent();
+            }
             if let Some(log) = events.as_mut() {
                 log.clear();
             }
-            return self.solve_inner(program, guard, db, &resolved, stats, events);
+            return self.solve_inner(program, guard, db, &resolved, stats, events, tracer);
         }
 
         // Apply the delta as extensional updates, tracking net changes
         // per predicate; already-subsumed entries are no-ops.
+        let seed_start = tracer.now_ns();
         let mut pending: Vec<Vec<Row>> = vec![Vec::new(); npreds];
         let mut dirty = vec![false; npreds];
         for (pred, values) in resolved {
@@ -356,6 +387,9 @@ impl Solver {
                 outcome => {
                     stats.facts_inserted += 1;
                     dirty[pred.0 as usize] = true;
+                    if let InsertOutcome::LatIncrease(key, _) = &outcome {
+                        self.check_ascent(program, db, pred, key);
+                    }
                     accumulate_change(&mut pending, pred, &outcome);
                     if let Some(log) = events.as_mut() {
                         log.push(Event {
@@ -376,6 +410,7 @@ impl Solver {
                 }
             }
         }
+        tracer.record(0, SpanKind::ResumeSeed, seed_start);
 
         // Re-run exactly the strata a change can reach, in stratum
         // order. Stratification guarantees a stratum's body predicates
@@ -398,19 +433,19 @@ impl Solver {
                 delta_sizes: Vec::new(),
             });
             let mut changes: Vec<Vec<Row>> = vec![Vec::new(); npreds];
-            match self.config.strategy {
-                Strategy::Naive => {
-                    self.run_naive(
-                        program,
-                        guard,
-                        db,
-                        group,
-                        stratum,
-                        stats,
-                        events,
-                        Some(&mut changes),
-                    )?;
-                }
+            let stratum_start = tracer.now_ns();
+            let result = match self.config.strategy {
+                Strategy::Naive => self.run_naive(
+                    program,
+                    guard,
+                    db,
+                    group,
+                    stratum,
+                    stats,
+                    events,
+                    Some(&mut changes),
+                    tracer,
+                ),
                 Strategy::SemiNaive => {
                     let seed = seed_delta(program, db, group, &pending, npreds);
                     self.run_semi_naive_rounds(
@@ -424,9 +459,12 @@ impl Solver {
                         events,
                         seed,
                         Some(&mut changes),
-                    )?;
+                        tracer,
+                    )
                 }
-            }
+            };
+            tracer.record(0, SpanKind::Stratum { stratum }, stratum_start);
+            result?;
             for (pred, rows) in changes.into_iter().enumerate() {
                 if !rows.is_empty() {
                     dirty[pred] = true;

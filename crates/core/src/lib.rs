@@ -85,6 +85,7 @@ mod program;
 pub mod provenance;
 mod solver;
 mod stratify;
+pub mod trace;
 mod value;
 pub mod verify;
 
@@ -96,13 +97,17 @@ pub use demand::{DemandError, Query, QueryResult};
 pub use guard::{Budget, BudgetKind, CancelToken};
 pub use incremental::{Delta, DeltaError};
 pub use observe::{
-    render_metrics_json, render_profile_table, MetricsReport, Observer, RuleEvaluated, RuleStats,
-    StratumStats, METRICS_SCHEMA,
+    render_metrics_json, render_profile_table, write_metrics_json, MetricsReport, Observer,
+    OwnedMetricsReport, RuleEvaluated, RuleStats, StratumStats, METRICS_SCHEMA,
 };
 pub use ops::{LatticeOps, ValueLattice};
 pub use program::Program;
 pub use solver::{
     ConfigError, Fact, FactsIter, LatticeIter, RelationIter, Solution, SolveError, SolveFailure,
     SolveStats, Solver, SolverConfig, Strategy,
+};
+pub use trace::{
+    render_ascent_report, AscentCell, AscentConfig, AscentReport, AscentWarning, ExecutionTrace,
+    SpanKind, TraceConfig, TraceEvent,
 };
 pub use value::Value;

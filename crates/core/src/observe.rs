@@ -12,6 +12,7 @@
 
 use crate::guard::BudgetKind;
 use crate::solver::SolveStats;
+use crate::trace::AscentWarning;
 use std::fmt::Write as _;
 
 /// Work profile of one rule, accumulated across all rounds of a solve.
@@ -90,9 +91,10 @@ pub struct RuleEvaluated {
 /// branches when no observer is attached, keeping the hot path free.
 pub trait Observer: Send + Sync {
     /// A fixed-point round is starting. `round` is the global round
-    /// number (1-based, counting across strata).
-    fn round_started(&self, stratum: usize, round: u64) {
-        let _ = (stratum, round);
+    /// number (1-based, counting across strata); `facts` is the database
+    /// size (rows plus non-bottom lattice cells) entering the round.
+    fn round_started(&self, stratum: usize, round: u64, facts: u64) {
+        let _ = (stratum, round, facts);
     }
 
     /// One rule evaluation finished (full body or one delta variant).
@@ -111,6 +113,28 @@ pub trait Observer: Send + Sync {
     fn budget_checked(&self, stratum: usize, exceeded: Option<&BudgetKind>) {
         let _ = stratum;
         let _ = exceeded;
+    }
+
+    /// A `resume` run is starting, before the delta is applied.
+    /// `delta_entries` is the number of entries in the update.
+    fn resume_started(&self, delta_entries: usize) {
+        let _ = delta_entries;
+    }
+
+    /// The run finished — fired exactly once per `solve`, `resume`, or
+    /// `solve_query` call, on success *and* on guarded failure, with the
+    /// final statistics (for `solve_query`, already re-aggregated onto
+    /// the original rules). External observers can bracket runs with
+    /// this instead of wrapping the call site.
+    fn solve_finished(&self, stats: &SolveStats) {
+        let _ = stats;
+    }
+
+    /// A lattice cell crossed the configured ascending-chain height
+    /// threshold (see [`crate::AscentConfig::warn_height`]). Non-fatal:
+    /// the solve continues. Fires at most once per cell per run.
+    fn ascent_warning(&self, warning: &AscentWarning) {
+        let _ = warning;
     }
 }
 
@@ -220,7 +244,7 @@ fn push_run(out: &mut String, report: &MetricsReport<'_>) {
 }
 
 /// Escapes and quotes `s` as a JSON string.
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -236,6 +260,43 @@ fn push_json_string(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// An owned [`MetricsReport`]: one recorded run that outlives the solve
+/// that produced it. Both `flixr --metrics-json` and the benchmark
+/// harness's metrics registry collect these and render them through
+/// [`write_metrics_json`], so the `flix-metrics/1` schema has a single
+/// producer and cannot drift.
+#[derive(Clone, Debug)]
+pub struct OwnedMetricsReport {
+    /// A label identifying the run (an input file, a benchmark id, ...).
+    pub name: String,
+    /// The evaluation strategy, as reported by [`crate::Strategy::name`].
+    pub strategy: String,
+    /// The worker-thread count the solver ran with.
+    pub threads: usize,
+    /// The run's statistics.
+    pub stats: SolveStats,
+}
+
+impl OwnedMetricsReport {
+    /// Borrows this record as a renderable [`MetricsReport`].
+    pub fn as_report(&self) -> MetricsReport<'_> {
+        MetricsReport {
+            name: &self.name,
+            strategy: &self.strategy,
+            threads: self.threads,
+            stats: &self.stats,
+        }
+    }
+}
+
+/// Renders `reports` as one `flix-metrics/1` document and writes it to
+/// `path` — the single exit point for every metrics file the project
+/// produces (`flixr --metrics-json`, bench `--metrics-json`, CI).
+pub fn write_metrics_json(path: &str, reports: &[OwnedMetricsReport]) -> std::io::Result<()> {
+    let borrowed: Vec<MetricsReport<'_>> = reports.iter().map(|r| r.as_report()).collect();
+    std::fs::write(path, render_metrics_json(&borrowed))
 }
 
 /// Renders the per-rule profile as a ranked, human-readable table

@@ -23,6 +23,10 @@ use crate::ops::OpsPanic;
 use crate::program::{CHead, CItem, CRule, CTerm, Program};
 use crate::provenance::{key_matches, pattern_matches, DerivationTree, Event, Premise, Source};
 use crate::stratify::stratify;
+use crate::trace::{
+    AscentCell, AscentConfig, AscentReport, AscentWarning, ExecutionTrace, Ring, SpanKind,
+    TraceConfig, TraceEvent, Tracer,
+};
 use crate::verify::Violation;
 use crate::{PredId, Value};
 use std::fmt;
@@ -348,6 +352,17 @@ pub struct SolverConfig {
     /// A progress observer receiving round/rule/stratum/budget events
     /// (default: none; the event paths are skipped entirely).
     pub observer: Option<Arc<dyn Observer>>,
+    /// Execution-span tracing: when set, the solve records hierarchical
+    /// spans into bounded per-worker ring buffers and the resulting
+    /// [`Solution::trace`] carries an [`ExecutionTrace`] (default: none;
+    /// the recording paths collapse to a single branch).
+    pub trace: Option<TraceConfig>,
+    /// Lattice-ascent telemetry: when set, every lattice cell counts its
+    /// joins and strict increases, [`Solution::ascent_report`] becomes
+    /// available, and cells crossing
+    /// [`AscentConfig::warn_height`] fire
+    /// [`Observer::ascent_warning`] (default: none).
+    pub ascent: Option<AscentConfig>,
 }
 
 impl Default for SolverConfig {
@@ -362,6 +377,8 @@ impl Default for SolverConfig {
             record_provenance: false,
             budget: Budget::new(),
             observer: None,
+            trace: None,
+            ascent: None,
         }
     }
 }
@@ -379,6 +396,8 @@ impl fmt::Debug for SolverConfig {
                 "observer",
                 &self.observer.as_ref().map(|_| "<dyn Observer>"),
             )
+            .field("trace", &self.trace)
+            .field("ascent", &self.ascent)
             .finish()
     }
 }
@@ -502,6 +521,28 @@ impl Solver {
         self
     }
 
+    /// Enables execution-span tracing: the solve records solve → stratum
+    /// → round → rule-eval spans (plus resume-seed and demand-rewrite
+    /// phases) into bounded per-worker ring buffers, merged at solve end
+    /// into [`Solution::trace`]. Export with
+    /// [`ExecutionTrace::to_chrome_json`] or
+    /// [`ExecutionTrace::to_folded`]. Disabled tracing (the default) adds
+    /// no hot-path work.
+    pub fn trace(mut self, config: TraceConfig) -> Solver {
+        self.config.trace = Some(config);
+        self
+    }
+
+    /// Enables lattice-ascent telemetry: per-cell join counts and
+    /// ascending-chain heights, aggregated into
+    /// [`Solution::ascent_report`], with optional non-fatal
+    /// [`Observer::ascent_warning`]s when a cell crosses
+    /// [`AscentConfig::warn_height`].
+    pub fn ascent(mut self, config: AscentConfig) -> Solver {
+        self.config.ascent = Some(config);
+        self
+    }
+
     /// Test hook: makes every parallel worker thread panic outside the
     /// guarded user-code paths, simulating an internal solver bug. Used
     /// by the fault-injection suite to pin that worker panics surface as
@@ -535,7 +576,11 @@ impl Solver {
     pub fn solve(&self, program: &Program) -> Result<Solution, Box<SolveFailure>> {
         let wall_start = Instant::now();
         let guard = Guard::new(&self.config.budget);
+        let tracer = Tracer::new(self.config.trace.as_ref());
         let mut db = Database::for_program(program, self.config.use_indexes);
+        if self.config.ascent.is_some() {
+            db.enable_ascent();
+        }
         let mut stats = SolveStats {
             per_rule: program
                 .rules
@@ -551,11 +596,24 @@ impl Solver {
         };
         let mut events: Option<Vec<Event>> = self.config.record_provenance.then(Vec::new);
 
-        let outcome = self.solve_inner(program, &guard, &mut db, &[], &mut stats, &mut events);
+        let outcome = self.solve_inner(
+            program,
+            &guard,
+            &mut db,
+            &[],
+            &mut stats,
+            &mut events,
+            &tracer,
+        );
 
         stats.total_facts = db.total_facts() as u64;
         stats.wall_ns = wall_start.elapsed().as_nanos() as u64;
-        let solution = make_solution(program, db, stats.clone(), events);
+        tracer.record(0, SpanKind::Solve, 0);
+        let trace = tracer.finish(rule_heads(program));
+        if let Some(obs) = &self.config.observer {
+            obs.solve_finished(&stats);
+        }
+        let solution = make_solution(program, db, stats.clone(), events, trace);
         match outcome {
             Ok(()) => Ok(solution),
             Err(mut error) => {
@@ -578,6 +636,7 @@ impl Solver {
     /// Runs the full from-scratch fixed point: loads the program's facts
     /// plus `extra_facts` (the resume fallback path appends the delta's
     /// facts there), then evaluates every stratum in order.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn solve_inner(
         &self,
         program: &Program,
@@ -586,18 +645,23 @@ impl Solver {
         extra_facts: &[(PredId, Vec<Value>)],
         stats: &mut SolveStats,
         events: &mut Option<Vec<Event>>,
+        tracer: &Tracer,
     ) -> Result<(), SolveError> {
         let strata = stratify(program)?;
         let npreds = program.preds.len();
 
         // Load the extensional facts.
+        let load_start = tracer.now_ns();
         let program_facts = program.facts.iter().map(|(p, v)| (*p, v));
         let extra = extra_facts.iter().map(|(p, v)| (*p, v));
         for (pred, values) in program_facts.chain(extra) {
             match db.insert(pred, values.clone()) {
                 Ok(InsertOutcome::Unchanged) => {}
-                Ok(_) => {
+                Ok(outcome) => {
                     stats.facts_inserted += 1;
+                    if let InsertOutcome::LatIncrease(key, _) = &outcome {
+                        self.check_ascent(program, db, pred, key);
+                    }
                     if let Some(log) = events.as_mut() {
                         log.push(Event {
                             pred,
@@ -609,6 +673,7 @@ impl Solver {
                 Err(fault) => return Err(insert_fault_error(program, pred, None, fault)),
             }
         }
+        tracer.record(0, SpanKind::LoadFacts, load_start);
 
         for (stratum, group) in strata.rule_groups.iter().enumerate() {
             stats.strata += 1;
@@ -617,16 +682,46 @@ impl Solver {
                 rounds: 0,
                 delta_sizes: Vec::new(),
             });
-            match self.config.strategy {
-                Strategy::Naive => {
-                    self.run_naive(program, guard, db, group, stratum, stats, events, None)?;
-                }
-                Strategy::SemiNaive => {
-                    self.run_semi_naive(program, guard, db, group, stratum, npreds, stats, events)?;
-                }
-            }
+            let stratum_start = tracer.now_ns();
+            let result = match self.config.strategy {
+                Strategy::Naive => self.run_naive(
+                    program, guard, db, group, stratum, stats, events, None, tracer,
+                ),
+                Strategy::SemiNaive => self.run_semi_naive(
+                    program, guard, db, group, stratum, npreds, stats, events, tracer,
+                ),
+            };
+            // Record the stratum span even when the stratum failed, so a
+            // guarded failure still carries the partial trace.
+            tracer.record(0, SpanKind::Stratum { stratum }, stratum_start);
+            result?;
         }
         Ok(())
+    }
+
+    /// Fires a non-fatal [`AscentWarning`] when the cell at `pred`/`key`
+    /// first crosses the configured chain-height threshold.
+    pub(crate) fn check_ascent(
+        &self,
+        program: &Program,
+        db: &mut Database,
+        pred: PredId,
+        key: &[Value],
+    ) {
+        let Some(threshold) = self.config.ascent.as_ref().and_then(|c| c.warn_height) else {
+            return;
+        };
+        let Some(height) = db.ascent_crossed(pred, key, threshold) else {
+            return;
+        };
+        if let Some(obs) = &self.config.observer {
+            obs.ascent_warning(&AscentWarning {
+                predicate: program.decl(pred).name.to_string(),
+                key: key.to_vec(),
+                height,
+                threshold,
+            });
+        }
     }
 
     pub(crate) fn check_round(
@@ -669,12 +764,14 @@ impl Solver {
         stats: &mut SolveStats,
         events: &mut Option<Vec<Event>>,
         mut accumulate: Option<&mut Vec<Vec<Row>>>,
+        tracer: &Tracer,
     ) -> Result<(), SolveError> {
         loop {
             self.check_round(guard, db, stratum, stats)?;
             stats.rounds += 1;
             let round = stats.rounds;
-            self.note_round_started(stats, stratum, round);
+            self.note_round_started(stats, stratum, round, db.total_facts() as u64);
+            let round_start = tracer.now_ns();
             let tasks: Vec<Task> = group
                 .iter()
                 .map(|&r| Task {
@@ -682,29 +779,57 @@ impl Solver {
                     variant: None,
                 })
                 .collect();
-            let derived = self.run_tasks(program, guard, db, &tasks, &[], stats, stratum, round)?;
-            let mut changed = 0u64;
-            let mut touched = TouchedCells::new();
-            for d in derived {
-                stats.facts_derived += 1;
-                match db.insert(d.pred, d.tuple.clone()) {
-                    Ok(InsertOutcome::Unchanged) => {}
-                    Ok(outcome) => {
-                        if touched.first_change(&d, &outcome) {
-                            stats.facts_inserted += 1;
-                            stats.per_rule[d.rule].inserted += 1;
-                            changed += 1;
+            // A labelled block so the round span is recorded on the error
+            // paths too (partial traces on guarded failures).
+            let outcome: Result<u64, SolveError> = 'round: {
+                let derived = match self.run_tasks(
+                    program,
+                    guard,
+                    db,
+                    &tasks,
+                    &[],
+                    stats,
+                    stratum,
+                    round,
+                    tracer,
+                ) {
+                    Ok(derived) => derived,
+                    Err(error) => break 'round Err(error),
+                };
+                let mut changed = 0u64;
+                let mut touched = TouchedCells::new();
+                for d in derived {
+                    stats.facts_derived += 1;
+                    match db.insert(d.pred, d.tuple.clone()) {
+                        Ok(InsertOutcome::Unchanged) => {}
+                        Ok(outcome) => {
+                            if touched.first_change(&d, &outcome) {
+                                stats.facts_inserted += 1;
+                                stats.per_rule[d.rule].inserted += 1;
+                                changed += 1;
+                            }
+                            if let InsertOutcome::LatIncrease(key, _) = &outcome {
+                                self.check_ascent(program, db, d.pred, key);
+                            }
+                            if let Some(acc) = accumulate.as_deref_mut() {
+                                accumulate_change(acc, d.pred, &outcome);
+                            }
+                            log_event(events, &d, outcome);
                         }
-                        if let Some(acc) = accumulate.as_deref_mut() {
-                            accumulate_change(acc, d.pred, &outcome);
+                        Err(fault) => {
+                            break 'round Err(insert_fault_error(
+                                program,
+                                d.pred,
+                                Some(d.rule),
+                                fault,
+                            ))
                         }
-                        log_event(events, &d, outcome);
-                    }
-                    Err(fault) => {
-                        return Err(insert_fault_error(program, d.pred, Some(d.rule), fault))
                     }
                 }
-            }
+                Ok(changed)
+            };
+            tracer.record(0, SpanKind::Round { stratum, round }, round_start);
+            let changed = outcome?;
             if let Some(st) = stats.per_stratum.last_mut() {
                 st.delta_sizes.push(changed);
             }
@@ -726,12 +851,14 @@ impl Solver {
         npreds: usize,
         stats: &mut SolveStats,
         events: &mut Option<Vec<Event>>,
+        tracer: &Tracer,
     ) -> Result<(), SolveError> {
         // Seed round: one full (naïve) evaluation of the stratum's rules.
         self.check_round(guard, db, stratum, stats)?;
         stats.rounds += 1;
         let round = stats.rounds;
-        self.note_round_started(stats, stratum, round);
+        self.note_round_started(stats, stratum, round, db.total_facts() as u64);
+        let round_start = tracer.now_ns();
         let seed_tasks: Vec<Task> = group
             .iter()
             .map(|&r| Task {
@@ -739,30 +866,49 @@ impl Solver {
                 variant: None,
             })
             .collect();
-        let derived =
-            self.run_tasks(program, guard, db, &seed_tasks, &[], stats, stratum, round)?;
-        let mut delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
-        let mut changed = 0u64;
-        let mut touched = TouchedCells::new();
-        for d in derived {
-            stats.facts_derived += 1;
-            record_insert(
+        let outcome: Result<Vec<Vec<Row>>, SolveError> = 'round: {
+            let derived = match self.run_tasks(
                 program,
+                guard,
                 db,
-                d,
-                &mut delta,
-                &mut touched,
-                &mut changed,
+                &seed_tasks,
+                &[],
                 stats,
-                events,
-            )?;
-        }
-        if let Some(st) = stats.per_stratum.last_mut() {
-            st.delta_sizes.push(changed);
-        }
+                stratum,
+                round,
+                tracer,
+            ) {
+                Ok(derived) => derived,
+                Err(error) => break 'round Err(error),
+            };
+            let mut delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
+            let mut changed = 0u64;
+            let mut touched = TouchedCells::new();
+            for d in derived {
+                stats.facts_derived += 1;
+                if let Err(error) = self.record_insert(
+                    program,
+                    db,
+                    d,
+                    &mut delta,
+                    &mut touched,
+                    &mut changed,
+                    stats,
+                    events,
+                ) {
+                    break 'round Err(error);
+                }
+            }
+            if let Some(st) = stats.per_stratum.last_mut() {
+                st.delta_sizes.push(changed);
+            }
+            Ok(delta)
+        };
+        tracer.record(0, SpanKind::Round { stratum, round }, round_start);
+        let delta = outcome?;
 
         self.run_semi_naive_rounds(
-            program, guard, db, group, stratum, npreds, stats, events, delta, None,
+            program, guard, db, group, stratum, npreds, stats, events, delta, None, tracer,
         )
     }
 
@@ -787,12 +933,14 @@ impl Solver {
         events: &mut Option<Vec<Event>>,
         mut delta: Vec<Vec<Row>>,
         mut accumulate: Option<&mut Vec<Vec<Row>>>,
+        tracer: &Tracer,
     ) -> Result<(), SolveError> {
         while delta.iter().any(|d| !d.is_empty()) {
             self.check_round(guard, db, stratum, stats)?;
             stats.rounds += 1;
             let round = stats.rounds;
-            self.note_round_started(stats, stratum, round);
+            self.note_round_started(stats, stratum, round, db.total_facts() as u64);
+            let round_start = tracer.now_ns();
             let mut tasks = Vec::new();
             for &r in group {
                 let rule = &program.rules[r];
@@ -805,27 +953,38 @@ impl Solver {
                     }
                 }
             }
-            let derived =
-                self.run_tasks(program, guard, db, &tasks, &delta, stats, stratum, round)?;
-            let mut new_delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
-            let mut changed = 0u64;
-            let mut touched = TouchedCells::new();
-            for d in derived {
-                stats.facts_derived += 1;
-                record_insert(
-                    program,
-                    db,
-                    d,
-                    &mut new_delta,
-                    &mut touched,
-                    &mut changed,
-                    stats,
-                    events,
-                )?;
-            }
-            if let Some(st) = stats.per_stratum.last_mut() {
-                st.delta_sizes.push(changed);
-            }
+            let outcome: Result<Vec<Vec<Row>>, SolveError> = 'round: {
+                let derived = match self.run_tasks(
+                    program, guard, db, &tasks, &delta, stats, stratum, round, tracer,
+                ) {
+                    Ok(derived) => derived,
+                    Err(error) => break 'round Err(error),
+                };
+                let mut new_delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
+                let mut changed = 0u64;
+                let mut touched = TouchedCells::new();
+                for d in derived {
+                    stats.facts_derived += 1;
+                    if let Err(error) = self.record_insert(
+                        program,
+                        db,
+                        d,
+                        &mut new_delta,
+                        &mut touched,
+                        &mut changed,
+                        stats,
+                        events,
+                    ) {
+                        break 'round Err(error);
+                    }
+                }
+                if let Some(st) = stats.per_stratum.last_mut() {
+                    st.delta_sizes.push(changed);
+                }
+                Ok(new_delta)
+            };
+            tracer.record(0, SpanKind::Round { stratum, round }, round_start);
+            let new_delta = outcome?;
             if let Some(acc) = accumulate.as_deref_mut() {
                 for (pred, rows) in new_delta.iter().enumerate() {
                     acc[pred].extend(rows.iter().cloned());
@@ -839,12 +998,12 @@ impl Solver {
 
     /// Fires the round-started observer event and counts the round on the
     /// current stratum's profile entry.
-    fn note_round_started(&self, stats: &mut SolveStats, stratum: usize, round: u64) {
+    fn note_round_started(&self, stats: &mut SolveStats, stratum: usize, round: u64, facts: u64) {
         if let Some(st) = stats.per_stratum.last_mut() {
             st.rounds += 1;
         }
         if let Some(obs) = &self.config.observer {
-            obs.round_started(stratum, round);
+            obs.round_started(stratum, round, facts);
         }
     }
 
@@ -892,13 +1051,23 @@ impl Solver {
         stats: &mut SolveStats,
         stratum: usize,
         round: u64,
+        tracer: &Tracer,
     ) -> Result<Vec<Derived>, SolveError> {
         stats.rule_evaluations += tasks.len() as u64;
         if self.config.threads <= 1 || tasks.len() <= 1 {
             let eval_guard = guard.eval_guard();
             let mut out = Vec::new();
+            let mut ring = tracer.local_ring();
+            let mut failure = None;
             for task in tasks {
-                let report = run_one_task(
+                let mut span = TaskSpan {
+                    tracer,
+                    ring: &mut ring,
+                    tid: 0,
+                    stratum,
+                    round,
+                };
+                match run_one_task(
                     program,
                     db,
                     task,
@@ -906,10 +1075,22 @@ impl Solver {
                     self.config.record_provenance,
                     &eval_guard,
                     &mut out,
-                )?;
-                self.note_task(stats, stratum, round, &report);
+                    &mut span,
+                ) {
+                    Ok(report) => self.note_task(stats, stratum, round, &report),
+                    Err(error) => {
+                        failure = Some(error);
+                        break;
+                    }
+                }
             }
-            return Ok(out);
+            // Merge even on failure, so the partial trace keeps the spans
+            // recorded before the fault.
+            tracer.merge(0, ring);
+            return match failure {
+                None => Ok(out),
+                Some(error) => Err(error),
+            };
         }
         // Parallel: rule evaluations within a round only read the database,
         // so they can proceed concurrently; outputs are merged afterwards
@@ -927,7 +1108,13 @@ impl Solver {
         std::thread::scope(|scope| {
             let handles: Vec<_> = tasks
                 .chunks(chunk)
-                .map(|task_chunk| {
+                .enumerate()
+                .map(|(w, task_chunk)| {
+                    // Track ids are stable worker *slots* (chunk index + 1;
+                    // 0 is the coordinator), so a worker's spans land on
+                    // the same Perfetto track every round even though the
+                    // scoped threads themselves are re-spawned per round.
+                    let tid = (w + 1) as u32;
                     scope.spawn(move || {
                         if inject_panic {
                             panic!("injected worker panic (test hook)");
@@ -935,8 +1122,17 @@ impl Solver {
                         let eval_guard = guard.eval_guard_scaled(threads);
                         let mut out = Vec::new();
                         let mut reports = Vec::with_capacity(task_chunk.len());
+                        let mut ring = tracer.local_ring();
+                        let mut failure = None;
                         for task in task_chunk {
-                            reports.push(run_one_task(
+                            let mut span = TaskSpan {
+                                tracer,
+                                ring: &mut ring,
+                                tid,
+                                stratum,
+                                round,
+                            };
+                            match run_one_task(
                                 program,
                                 db,
                                 task,
@@ -944,9 +1140,22 @@ impl Solver {
                                 provenance,
                                 &eval_guard,
                                 &mut out,
-                            )?);
+                                &mut span,
+                            ) {
+                                Ok(report) => reports.push(report),
+                                Err(error) => {
+                                    failure = Some(error);
+                                    break;
+                                }
+                            }
                         }
-                        Ok((out, reports))
+                        // Worker-local ring merges into the shared slot
+                        // exactly once per round, off the evaluation path.
+                        tracer.merge(tid, ring);
+                        match failure {
+                            None => Ok((out, reports)),
+                            Some(error) => Err(error),
+                        }
                     })
                 })
                 .collect();
@@ -1011,9 +1220,20 @@ struct TaskReport {
     eval_ns: u64,
 }
 
+/// Where one task records its rule-eval span: the worker's local ring
+/// (`None` when tracing is disabled) plus the coordinates the span needs.
+struct TaskSpan<'a, 'b> {
+    tracer: &'a Tracer,
+    ring: &'b mut Option<Ring>,
+    tid: u32,
+    stratum: usize,
+    round: u64,
+}
+
 /// Evaluates one task, converting an [`EvalFault`] into a [`SolveError`]
 /// attributed to the task's rule. Returns the task's work counters (time,
 /// derivations, probe/scan counts) for the per-rule profile.
+#[allow(clippy::too_many_arguments)]
 fn run_one_task(
     program: &Program,
     db: &Database,
@@ -1022,6 +1242,7 @@ fn run_one_task(
     provenance: bool,
     eval_guard: &EvalGuard<'_>,
     out: &mut Vec<Derived>,
+    span: &mut TaskSpan<'_, '_>,
 ) -> Result<TaskReport, SolveError> {
     eval_guard
         .check_now()
@@ -1044,6 +1265,23 @@ fn run_one_task(
         out,
     );
     let eval_ns = start.elapsed().as_nanos() as u64;
+    if let Some(ring) = span.ring.as_mut() {
+        // Reuses the timing this function already takes for the profile;
+        // recorded before the error check so a faulting evaluation still
+        // shows up in the partial trace.
+        ring.push(TraceEvent {
+            kind: SpanKind::RuleEval {
+                stratum: span.stratum,
+                round: span.round,
+                rule: task.rule,
+                variant: task.variant,
+                derived: (out.len() - before) as u64,
+            },
+            tid: span.tid,
+            start_ns: span.tracer.at_ns(start),
+            dur_ns: eval_ns,
+        });
+    }
     result.map_err(|fault| eval_fault_error(program, task.rule, fault))?;
     Ok(TaskReport {
         rule: task.rule,
@@ -1109,6 +1347,7 @@ pub(crate) fn make_solution(
     db: Database,
     stats: SolveStats,
     events: Option<Vec<Event>>,
+    trace: Option<ExecutionTrace>,
 ) -> Solution {
     Solution {
         names: program
@@ -1125,7 +1364,18 @@ pub(crate) fn make_solution(
         db,
         stats,
         events,
+        trace,
     }
+}
+
+/// The head-predicate name of every rule, indexed by rule — the label
+/// table an [`ExecutionTrace`] renders rule spans with.
+pub(crate) fn rule_heads(program: &Program) -> Vec<String> {
+    program
+        .rules
+        .iter()
+        .map(|r| program.decl(r.head_pred).name.to_string())
+        .collect()
 }
 
 /// One rule evaluation within a round: the full body (seed/naïve), or a
@@ -1158,10 +1408,10 @@ pub(crate) struct Derived {
 /// (see the "Strategy invariance" section on [`SolveStats`]). Relational
 /// tuples change at most once ever, so only lattice increases are
 /// tracked.
-struct TouchedCells(std::collections::HashSet<(PredId, Row)>);
+pub(crate) struct TouchedCells(std::collections::HashSet<(PredId, Row)>);
 
 impl TouchedCells {
-    fn new() -> TouchedCells {
+    pub(crate) fn new() -> TouchedCells {
         TouchedCells(std::collections::HashSet::new())
     }
 
@@ -1175,46 +1425,50 @@ impl TouchedCells {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn record_insert(
-    program: &Program,
-    db: &mut Database,
-    d: Derived,
-    delta: &mut [Vec<Row>],
-    touched: &mut TouchedCells,
-    changed: &mut u64,
-    stats: &mut SolveStats,
-    events: &mut Option<Vec<Event>>,
-) -> Result<(), SolveError> {
-    let pred = d.pred;
-    match db
-        .insert(pred, d.tuple.clone())
-        .map_err(|fault| insert_fault_error(program, pred, Some(d.rule), fault))?
-    {
-        InsertOutcome::Unchanged => {}
-        outcome => {
-            if touched.first_change(&d, &outcome) {
-                stats.facts_inserted += 1;
-                stats.per_rule[d.rule].inserted += 1;
-                *changed += 1;
-            }
-            match &outcome {
-                InsertOutcome::NewRow(row) => {
-                    delta[pred.0 as usize].push(row.clone());
+impl Solver {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_insert(
+        &self,
+        program: &Program,
+        db: &mut Database,
+        d: Derived,
+        delta: &mut [Vec<Row>],
+        touched: &mut TouchedCells,
+        changed: &mut u64,
+        stats: &mut SolveStats,
+        events: &mut Option<Vec<Event>>,
+    ) -> Result<(), SolveError> {
+        let pred = d.pred;
+        match db
+            .insert(pred, d.tuple.clone())
+            .map_err(|fault| insert_fault_error(program, pred, Some(d.rule), fault))?
+        {
+            InsertOutcome::Unchanged => {}
+            outcome => {
+                if touched.first_change(&d, &outcome) {
+                    stats.facts_inserted += 1;
+                    stats.per_rule[d.rule].inserted += 1;
+                    *changed += 1;
                 }
-                InsertOutcome::LatIncrease(key, value) => {
-                    // Delta rows carry the full tuple: key columns plus
-                    // the *new* cell value (§3.7's ga(P', S)).
-                    let mut full: Vec<Value> = key.to_vec();
-                    full.push(value.clone());
-                    delta[pred.0 as usize].push(full.into());
+                match &outcome {
+                    InsertOutcome::NewRow(row) => {
+                        delta[pred.0 as usize].push(row.clone());
+                    }
+                    InsertOutcome::LatIncrease(key, value) => {
+                        self.check_ascent(program, db, pred, key);
+                        // Delta rows carry the full tuple: key columns plus
+                        // the *new* cell value (§3.7's ga(P', S)).
+                        let mut full: Vec<Value> = key.to_vec();
+                        full.push(value.clone());
+                        delta[pred.0 as usize].push(full.into());
+                    }
+                    InsertOutcome::Unchanged => unreachable!("outer match excludes Unchanged"),
                 }
-                InsertOutcome::Unchanged => unreachable!("outer match excludes Unchanged"),
+                log_event(events, &d, outcome);
             }
-            log_event(events, &d, outcome);
         }
+        Ok(())
     }
-    Ok(())
 }
 
 /// Appends one net database change to a per-predicate accumulator, in
@@ -2027,6 +2281,7 @@ pub struct Solution {
     db: Database,
     stats: SolveStats,
     events: Option<Vec<Event>>,
+    trace: Option<ExecutionTrace>,
 }
 
 impl Solution {
@@ -2137,6 +2392,67 @@ impl Solution {
     /// insertion, in insertion order.
     pub fn provenance(&self) -> Option<&[Event]> {
         self.events.as_deref()
+    }
+
+    /// The merged execution trace, if the solver ran with
+    /// [`Solver::trace`]. Present on partial solutions from guarded
+    /// failures too (the spans recorded before the fault).
+    pub fn trace(&self) -> Option<&ExecutionTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Aggregates the per-cell ascent counters into an [`AscentReport`],
+    /// if the solver ran with [`Solver::ascent`]. `top_k` bounds the
+    /// hottest-cells list (by join count).
+    pub fn ascent_report(&self, top_k: usize) -> Option<AscentReport> {
+        if !self.db.ascent_enabled() {
+            return None;
+        }
+        let mut by_pred: std::collections::HashMap<PredId, &str> = std::collections::HashMap::new();
+        for (name, &pred) in &self.names {
+            by_pred.insert(pred, name);
+        }
+        let cells = self.db.ascent_cells();
+        let mut histogram: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let mut per_lattice: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        let mut max_height = 0u64;
+        for (_, _, _, height, lattice) in &cells {
+            *histogram.entry(*height).or_insert(0) += 1;
+            let entry = per_lattice.entry((*lattice).to_string()).or_insert(0);
+            *entry = (*entry).max(*height);
+            max_height = max_height.max(*height);
+        }
+        let mut ranked: Vec<_> = cells.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.2.cmp(&a.2) // joins, descending
+                .then(b.3.cmp(&a.3)) // height, descending
+                .then(a.0.cmp(&b.0)) // predicate id
+                .then(a.1.cmp(&b.1)) // key, for determinism
+        });
+        let hottest = ranked
+            .into_iter()
+            .take(top_k)
+            .map(|(pred, key, joins, height, _)| AscentCell {
+                predicate: by_pred.get(pred).copied().unwrap_or("?").to_string(),
+                key: format!(
+                    "({})",
+                    key.iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                joins: *joins,
+                height: *height,
+            })
+            .collect();
+        Some(AscentReport {
+            cells: cells.len() as u64,
+            max_height,
+            histogram: histogram.into_iter().collect(),
+            hottest,
+            per_lattice: per_lattice.into_iter().collect(),
+        })
     }
 
     /// Reconstructs the derivation tree of a fact.

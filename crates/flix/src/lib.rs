@@ -47,10 +47,11 @@ pub use flix_lang as lang;
 pub use flix_lattice as lattice;
 
 pub use flix_core::{
-    BodyItem, Budget, BudgetKind, CancelToken, ConfigError, Delta, DeltaError, DemandError, Fact,
-    FactsIter, Head, HeadTerm, LatticeIter, LatticeOps, Program, ProgramBuilder, Query,
-    QueryResult, RelationIter, Solution, SolveError, SolveFailure, Solver, SolverConfig, Strategy,
-    Term, Value, ValueLattice,
+    AscentConfig, AscentReport, AscentWarning, BodyItem, Budget, BudgetKind, CancelToken,
+    ConfigError, Delta, DeltaError, DemandError, ExecutionTrace, Fact, FactsIter, Head, HeadTerm,
+    LatticeIter, LatticeOps, Observer, Program, ProgramBuilder, Query, QueryResult, RelationIter,
+    Solution, SolveError, SolveFailure, Solver, SolverConfig, SpanKind, Strategy, Term,
+    TraceConfig, Value, ValueLattice,
 };
 pub use flix_lang::compile;
 pub use flix_lattice::{HasTop, Lattice};

@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! flixr [--stats] [--profile] [--metrics-json PATH]
+//!       [--trace PATH] [--trace-folded PATH]
+//!       [--ascent-report] [--ascent-threshold N] [--progress]
 //!       [--naive] [--verify] [--threads N]
 //!       [--max-rounds N] [--timeout SECS]
 //!       [--print PRED[,PRED...]] [--explain "Fact(args)"]
@@ -50,6 +52,19 @@
 //! `flix-metrics/1` JSON document (schema in DESIGN.md §10). Both also
 //! fire on guarded failures, describing the partial run.
 //!
+//! `--trace PATH` records an execution trace (solve → stratum → round →
+//! rule-evaluation spans, one track per worker thread) and writes it as
+//! Chrome trace-event JSON loadable in Perfetto or `chrome://tracing`;
+//! `--trace-folded PATH` writes the same trace as folded stacks for
+//! `flamegraph.pl`/`inferno`. `--ascent-report` prints the
+//! lattice-ascent diagnostic (chain-height histogram, hottest cells) on
+//! stderr, and `--ascent-threshold N` warns — without aborting — as soon
+//! as any lattice cell's ascending chain exceeds height `N` (the §3.2
+//! termination argument needs finite chains; a runaway height is the
+//! telltale of a missing widening). `--progress` prints a rate-limited
+//! one-line progress heartbeat per round on stderr. All of these fire on
+//! guarded failures too, describing the partial run.
+//!
 //! # Exit codes
 //!
 //! Failures are distinguishable by exit code so scripts can react without
@@ -69,11 +84,13 @@
 //! results instead of nothing.
 
 use flix_core::{
-    Budget, Delta, MetricsReport, Query, Solution, SolveError, Solver, SolverConfig, Strategy,
+    render_ascent_report, write_metrics_json, AscentConfig, AscentWarning, Budget, Delta, Observer,
+    OwnedMetricsReport, Query, Solution, SolveError, Solver, SolverConfig, Strategy, TraceConfig,
 };
 use std::collections::BTreeSet;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Usage or I/O problem (bad flag, unreadable input file).
 const EXIT_USAGE: u8 = 1;
@@ -142,6 +159,11 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     let mut stats = false;
     let mut profile = false;
     let mut metrics_json: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut trace_folded: Option<String> = None;
+    let mut ascent_report = false;
+    let mut ascent_threshold: Option<u64> = None;
+    let mut progress = false;
     let mut verify = false;
     let mut strategy = Strategy::SemiNaive;
     let mut threads = 1usize;
@@ -168,6 +190,39 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                 }
                 metrics_json = Some(path);
             }
+            "--trace" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--trace requires an output path"))?;
+                if path.starts_with('-') {
+                    return Err(Failure::usage(format!(
+                        "--trace requires an output path, got option {path}"
+                    )));
+                }
+                trace = Some(path);
+            }
+            "--trace-folded" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--trace-folded requires an output path"))?;
+                if path.starts_with('-') {
+                    return Err(Failure::usage(format!(
+                        "--trace-folded requires an output path, got option {path}"
+                    )));
+                }
+                trace_folded = Some(path);
+            }
+            "--ascent-report" => ascent_report = true,
+            "--ascent-threshold" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--ascent-threshold requires a height"))?;
+                ascent_threshold = Some(
+                    n.parse()
+                        .map_err(|_| Failure::usage(format!("invalid ascent threshold {n}")))?,
+                );
+            }
+            "--progress" => progress = true,
             "--verify" => verify = true,
             "--naive" => strategy = Strategy::Naive,
             "--threads" => {
@@ -232,6 +287,8 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
             "--help" | "-h" => {
                 println!(
                     "usage: flixr [--stats] [--profile] [--metrics-json PATH] \
+                     [--trace PATH] [--trace-folded PATH] \
+                     [--ascent-report] [--ascent-threshold N] [--progress] \
                      [--naive] [--verify] [--threads N] \
                      [--max-rounds N] [--timeout SECS] [--print PREDS] \
                      [--explain ATOM] [--query PATTERN] [--update FILE.flix] \
@@ -273,15 +330,34 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     if let Some(deadline) = timeout {
         budget = budget.deadline(deadline);
     }
+    let observer: Option<Arc<dyn Observer>> = (progress || ascent_threshold.is_some())
+        .then(|| Arc::new(CliObserver::new(progress)) as Arc<dyn Observer>);
     let solver = Solver::with_config(SolverConfig {
         strategy,
         threads,
         max_rounds,
         budget,
         record_provenance: explain.is_some(),
+        trace: (trace.is_some() || trace_folded.is_some()).then(TraceConfig::default),
+        ascent: (ascent_report || ascent_threshold.is_some()).then(|| AscentConfig {
+            warn_height: ascent_threshold,
+            ..AscentConfig::default()
+        }),
+        observer,
         ..SolverConfig::default()
     })
     .map_err(|e| Failure::usage(format!("--{e}")))?;
+
+    let emit = Emit {
+        profile,
+        metrics_json: metrics_json.as_deref(),
+        trace: trace.as_deref(),
+        trace_folded: trace_folded.as_deref(),
+        ascent_report,
+        name: &files[0],
+        strategy,
+        threads,
+    };
 
     if !queries.is_empty() {
         return run_queries(RunQueries {
@@ -291,11 +367,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
             explain: explain.as_deref(),
             update: update.as_deref(),
             stats,
-            profile,
-            metrics_json: metrics_json.as_deref(),
-            name: &files[0],
-            strategy,
-            threads,
+            emit: &emit,
             print: print.as_deref(),
         });
     }
@@ -319,14 +391,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
             if stats {
                 print_stats(&failure.stats);
             }
-            emit_observability(
-                profile,
-                metrics_json.as_deref(),
-                &files[0],
-                strategy,
-                threads,
-                &failure.stats,
-            )?;
+            emit_observability(&emit, &failure.stats, &failure.partial)?;
             return Err(Failure {
                 code,
                 message: None,
@@ -372,14 +437,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                 if stats {
                     print_stats(&failure.stats);
                 }
-                emit_observability(
-                    profile,
-                    metrics_json.as_deref(),
-                    &files[0],
-                    strategy,
-                    threads,
-                    &failure.stats,
-                )?;
+                emit_observability(&emit, &failure.stats, &failure.partial)?;
                 return Err(Failure {
                     code,
                     message: None,
@@ -399,14 +457,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         if stats {
             print_stats(updated.stats());
         }
-        emit_observability(
-            profile,
-            metrics_json.as_deref(),
-            &files[0],
-            strategy,
-            threads,
-            updated.stats(),
-        )?;
+        emit_observability(&emit, updated.stats(), &updated)?;
         return Ok(());
     }
 
@@ -418,14 +469,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     if stats {
         print_stats(solution.stats());
     }
-    emit_observability(
-        profile,
-        metrics_json.as_deref(),
-        &files[0],
-        strategy,
-        threads,
-        solution.stats(),
-    )?;
+    emit_observability(&emit, solution.stats(), &solution)?;
     Ok(())
 }
 
@@ -437,11 +481,7 @@ struct RunQueries<'a> {
     explain: Option<&'a str>,
     update: Option<&'a str>,
     stats: bool,
-    profile: bool,
-    metrics_json: Option<&'a str>,
-    name: &'a str,
-    strategy: Strategy,
-    threads: usize,
+    emit: &'a Emit<'a>,
     print: Option<&'a [String]>,
 }
 
@@ -502,14 +542,7 @@ fn run_queries(cx: RunQueries<'_>) -> Result<(), Failure> {
             if cx.stats {
                 print_stats(&failure.stats);
             }
-            emit_observability(
-                cx.profile,
-                cx.metrics_json,
-                cx.name,
-                cx.strategy,
-                cx.threads,
-                &failure.stats,
-            )?;
+            emit_observability(cx.emit, &failure.stats, &failure.partial)?;
             return Err(Failure {
                 code,
                 message: None,
@@ -535,14 +568,7 @@ fn run_queries(cx: RunQueries<'_>) -> Result<(), Failure> {
     if cx.stats {
         print_stats(result.stats());
     }
-    emit_observability(
-        cx.profile,
-        cx.metrics_json,
-        cx.name,
-        cx.strategy,
-        cx.threads,
-        result.stats(),
-    )?;
+    emit_observability(cx.emit, result.stats(), result.solution())?;
     Ok(())
 }
 
@@ -561,32 +587,123 @@ fn explain_fact(solution: &Solution, query: &str, model: &str) -> Result<(), Fai
     }
 }
 
-/// Writes the `--profile` table (stderr) and the `--metrics-json` report
-/// (file), when requested. Shared by the success and guarded-failure
-/// paths so partial runs are observable too.
-fn emit_observability(
+/// The observability outputs requested on the command line, resolved
+/// once in `run` and threaded to every exit path.
+struct Emit<'a> {
     profile: bool,
-    metrics_json: Option<&str>,
-    name: &str,
+    metrics_json: Option<&'a str>,
+    trace: Option<&'a str>,
+    trace_folded: Option<&'a str>,
+    ascent_report: bool,
+    name: &'a str,
     strategy: Strategy,
     threads: usize,
+}
+
+/// Writes the `--profile` table (stderr), the `--metrics-json` report,
+/// the `--trace`/`--trace-folded` exports, and the `--ascent-report`
+/// diagnostic, when requested. Shared by the success and guarded-failure
+/// paths so partial runs are observable too — a budget-killed solve
+/// still writes the trace of the work it did.
+fn emit_observability(
+    cx: &Emit<'_>,
     stats: &flix_core::SolveStats,
+    solution: &Solution,
 ) -> Result<(), Failure> {
-    if profile {
+    if cx.profile {
         eprint!("{}", flix_core::render_profile_table(stats));
     }
-    if let Some(path) = metrics_json {
-        let report = MetricsReport {
-            name,
-            strategy: strategy.name(),
-            threads,
-            stats,
+    if let Some(path) = cx.metrics_json {
+        let report = OwnedMetricsReport {
+            name: cx.name.to_string(),
+            strategy: cx.strategy.name().to_string(),
+            threads: cx.threads,
+            stats: stats.clone(),
         };
-        let json = flix_core::render_metrics_json(&[report]);
-        std::fs::write(path, json)
+        write_metrics_json(path, &[report])
             .map_err(|e| Failure::usage(format!("cannot write {path}: {e}")))?;
     }
+    if let Some(path) = cx.trace {
+        match solution.trace() {
+            Some(trace) => std::fs::write(path, trace.to_chrome_json())
+                .map_err(|e| Failure::usage(format!("cannot write {path}: {e}")))?,
+            None => eprintln!("flixr: no trace was recorded; not writing {path}"),
+        }
+    }
+    if let Some(path) = cx.trace_folded {
+        match solution.trace() {
+            Some(trace) => std::fs::write(path, trace.to_folded())
+                .map_err(|e| Failure::usage(format!("cannot write {path}: {e}")))?,
+            None => eprintln!("flixr: no trace was recorded; not writing {path}"),
+        }
+    }
+    if cx.ascent_report {
+        match solution.ascent_report(10) {
+            Some(report) => eprint!("{}", render_ascent_report(&report)),
+            None => eprintln!("flixr: no ascent data was recorded (no lattice predicates?)"),
+        }
+    }
     Ok(())
+}
+
+/// The `--progress`/`--ascent-threshold` observer: a rate-limited
+/// one-line-per-round heartbeat and an immediate printer for ascent
+/// warnings, both on stderr.
+struct CliObserver {
+    progress: bool,
+    last: Mutex<Option<Instant>>,
+}
+
+/// Minimum interval between `--progress` lines; rounds arriving faster
+/// than this are silently skipped (the final summary line always
+/// prints).
+const PROGRESS_INTERVAL: Duration = Duration::from_millis(100);
+
+impl CliObserver {
+    fn new(progress: bool) -> CliObserver {
+        CliObserver {
+            progress,
+            last: Mutex::new(None),
+        }
+    }
+}
+
+impl Observer for CliObserver {
+    fn round_started(&self, stratum: usize, round: u64, facts: u64) {
+        if !self.progress {
+            return;
+        }
+        let mut last = self.last.lock().expect("progress clock");
+        let now = Instant::now();
+        if last.is_none_or(|at| now.duration_since(at) >= PROGRESS_INTERVAL) {
+            *last = Some(now);
+            eprintln!("flixr: progress: stratum {stratum} round {round} facts {facts}");
+        }
+    }
+
+    fn solve_finished(&self, stats: &flix_core::SolveStats) {
+        if self.progress {
+            eprintln!(
+                "flixr: progress: done — {} rounds, {} facts",
+                stats.rounds, stats.total_facts
+            );
+        }
+    }
+
+    fn ascent_warning(&self, warning: &AscentWarning) {
+        let key = warning
+            .key
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!(
+            "flixr: warning: lattice cell {}({key}) reached ascending-chain height {} \
+             (threshold {}); if the lattice has infinite ascending chains the solve \
+             may not terminate",
+            warning.predicate, warning.height, warning.threshold
+        );
+    }
 }
 
 /// Prints the facts of `solution` in deterministic order, optionally

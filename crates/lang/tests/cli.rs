@@ -423,3 +423,151 @@ fn explain_prints_a_derivation_tree() {
     let stderr = String::from_utf8(output.stderr).expect("utf8");
     assert!(stderr.contains("not in the minimal model"), "{stderr}");
 }
+
+/// The tall-chain example checked into the repo: a max-of-ints counter
+/// that climbs one lattice step per round up to 100.
+const TALL_CHAIN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../examples/flix/tall_chain.flix"
+);
+
+#[test]
+fn trace_writes_chrome_json_and_folded_stacks() {
+    let file = write_temp("trace.flix", PATHS);
+    let json_out = write_temp("trace-out.json", "");
+    let folded_out = write_temp("trace-out.folded", "");
+    let output = flixr()
+        .arg("--trace")
+        .arg(&json_out)
+        .arg("--trace-folded")
+        .arg(&folded_out)
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+
+    let json = std::fs::read_to_string(&json_out).expect("trace file written");
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(json.contains("\"ph\": \"X\""), "{json}");
+    assert!(json.contains("\"displayTimeUnit\": \"ms\""), "{json}");
+    assert!(json.contains("\"thread_name\""), "{json}");
+
+    let stacks = std::fs::read_to_string(&folded_out).expect("folded file written");
+    assert!(!stacks.is_empty());
+    for line in stacks.lines() {
+        assert!(
+            line.starts_with("solve;"),
+            "folded stack roots at solve: {line}"
+        );
+        let (_, value) = line.rsplit_once(' ').expect("stack <space> value");
+        value
+            .parse::<u64>()
+            .expect("folded value is integral nanoseconds");
+    }
+    std::fs::remove_file(&json_out).ok();
+    std::fs::remove_file(&folded_out).ok();
+}
+
+#[test]
+fn ascent_report_prints_the_chain_height_histogram() {
+    let output = flixr()
+        .arg("--ascent-report")
+        .arg(TALL_CHAIN)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("lattice ascent:"), "{stderr}");
+    assert!(stderr.contains("chain-height histogram:"), "{stderr}");
+    assert!(
+        stderr.contains("max chain height per lattice type:"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("Count"), "names the lattice type: {stderr}");
+}
+
+#[test]
+fn ascent_threshold_warns_on_stderr_without_aborting() {
+    let output = flixr()
+        .args(["--ascent-threshold", "50"])
+        .arg(TALL_CHAIN)
+        .output()
+        .expect("runs");
+    // The warning is advisory: the solve still runs to its fixed point.
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("Counter(\"c\", At(100))"), "{stdout}");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("flixr: warning:"), "{stderr}");
+    assert!(stderr.contains("height 50"), "{stderr}");
+    assert!(stderr.contains("threshold 50"), "{stderr}");
+    assert_eq!(
+        stderr.matches("flixr: warning:").count(),
+        1,
+        "one warning per cell, not one per join: {stderr}"
+    );
+}
+
+#[test]
+fn progress_heartbeat_lands_on_stderr() {
+    let file = write_temp("progress.flix", PATHS);
+    let output = flixr().arg("--progress").arg(&file).output().expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("flixr: progress: done"), "{stderr}");
+    // The heartbeat never contaminates the model printed on stdout.
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(!stdout.contains("progress"), "{stdout}");
+}
+
+#[test]
+fn trace_composes_with_query() {
+    let file = write_temp("trace-query.flix", PATHS);
+    let json_out = write_temp("trace-query-out.json", "");
+    let output = flixr()
+        .arg("--trace")
+        .arg(&json_out)
+        .args(["--query", "Path(1, _)"])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    // Only the demanded answers on stdout; the demand machinery's rules
+    // are collapsed onto the user's rules in the trace.
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(
+        stdout.lines().all(|l| l.starts_with("Path(1, ")),
+        "{stdout}"
+    );
+    let json = std::fs::read_to_string(&json_out).expect("trace file written");
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(
+        !json.contains("demand$"),
+        "demand rules stay invisible: {json}"
+    );
+    std::fs::remove_file(&json_out).ok();
+}
+
+#[test]
+fn guarded_failure_still_writes_the_partial_trace() {
+    let file = write_temp("trace-budget.flix", PATHS);
+    let json_out = write_temp("trace-budget-out.json", "");
+    let output = flixr()
+        .args(["--max-rounds", "1", "--trace"])
+        .arg(&json_out)
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert_eq!(
+        output.status.code(),
+        Some(4),
+        "budget exhaustion exits with 4"
+    );
+    let json = std::fs::read_to_string(&json_out).expect("partial trace written");
+    assert!(json.contains("\"traceEvents\""), "{json}");
+    assert!(
+        json.contains("\"cat\": \"round\""),
+        "the round that ran is recorded: {json}"
+    );
+    std::fs::remove_file(&json_out).ok();
+}

@@ -1,0 +1,155 @@
+//! Persistence bench: snapshot save/load and write-ahead-log
+//! append/replay on the 400-node §4.4 shortest-paths model.
+//!
+//! Persistence should never dominate solving: a snapshot round trip of
+//! the full model ought to cost a small fraction of the fixed point
+//! that produced it, and one WAL append (a single fsynced frame) must
+//! stay cheap enough to sit on every update path.
+
+use flix_analyses::shortest_paths;
+use flix_analyses::workloads::graphs;
+use flix_bench::harness::Criterion;
+use flix_bench::{criterion_group, criterion_main};
+use flix_core::persist::{load_snapshot, save_snapshot, DeltaLog};
+use flix_core::{Delta, SolveStats, Solver, Strategy, Value};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const NODES: u32 = 400;
+const EXTRA_EDGES: usize = 1_500;
+const SEED: u64 = 0x5907;
+
+/// Frames in the replayed log: enough that the scan dominates the
+/// constant-cost header check.
+const LOG_FRAMES: u32 = 64;
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flix-bench-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn one_edge_delta(i: u32) -> Delta {
+    // Fresh shortcut edges (cost 1) from the tail into the body, one
+    // per frame, like an incremental pipeline would log.
+    Delta::new().insert(
+        "Edge",
+        vec![
+            Value::from((NODES - 1) as i64),
+            Value::from((i % (NODES / 2)) as i64),
+            Value::from(1i64),
+        ],
+    )
+}
+
+/// A named persistence operation timed for the `--metrics-json` record.
+type Op<'a> = Box<dyn Fn() + 'a>;
+
+fn bench_persist(c: &mut Criterion) {
+    let dir = scratch_dir();
+    let solver = Solver::new();
+    let graph = graphs::generate(NODES, EXTRA_EDGES, SEED);
+    let program = shortest_paths::build_single_source(&graph, 0);
+    let solution = solver.solve(&program).expect("solves");
+
+    let snap = dir.join("model.snap");
+    let wal = dir.join("deltas.wal");
+
+    // A populated log to replay: LOG_FRAMES one-edge deltas.
+    {
+        let (mut log, _) = DeltaLog::open(&wal, &program).expect("open log");
+        for i in 0..LOG_FRAMES {
+            log.append(&one_edge_delta(i)).expect("append");
+        }
+    }
+
+    let mut group = c.benchmark_group("persist");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("snapshot_save/400", |b| {
+        b.iter(|| save_snapshot(&snap, &program, &solution).expect("save"))
+    });
+    group.bench_function("snapshot_load/400", |b| {
+        b.iter(|| load_snapshot(&snap, &program).expect("load"))
+    });
+    group.bench_function("wal_append/400", |b| {
+        // Appends accumulate past the 64 seeded frames; the per-frame
+        // cost is flat, so the growing file does not skew samples.
+        let (mut log, _) = DeltaLog::open(&wal, &program).expect("open log");
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            log.append(&one_edge_delta(i)).expect("append")
+        });
+        // Reset to the seeded LOG_FRAMES frames for the replay bench.
+        drop(log);
+        std::fs::remove_file(&wal).expect("remove log");
+        let (mut log, _) = DeltaLog::open(&wal, &program).expect("recreate log");
+        for i in 0..LOG_FRAMES {
+            log.append(&one_edge_delta(i)).expect("append");
+        }
+    });
+    group.bench_function("wal_replay/400", |b| {
+        // `open` is the replay: header check, frame scan, delta decode.
+        b.iter(|| {
+            let (_, recovery) = DeltaLog::open(&wal, &program).expect("open log");
+            assert_eq!(recovery.deltas.len(), LOG_FRAMES as usize);
+            recovery
+        })
+    });
+    group.finish();
+
+    // Instrumented runs for `--metrics-json`: persistence has no
+    // SolveStats of its own, so record the averaged wall time of each
+    // operation in an otherwise-empty stats record — exactly the field
+    // the regression checker compares.
+    const REPS: u32 = 10;
+    let ops: [(&str, Op<'_>); 4] = [
+        (
+            "persist/snapshot_save/400",
+            Box::new(|| {
+                save_snapshot(&snap, &program, &solution)
+                    .map(|_| ())
+                    .expect("save")
+            }),
+        ),
+        (
+            "persist/snapshot_load/400",
+            Box::new(|| {
+                load_snapshot(&snap, &program).expect("load");
+            }),
+        ),
+        (
+            "persist/wal_append/400",
+            Box::new(|| {
+                let (mut log, _) = DeltaLog::open(&wal, &program).expect("open log");
+                log.append(&one_edge_delta(7)).expect("append");
+            }),
+        ),
+        (
+            "persist/wal_replay/400",
+            Box::new(|| {
+                DeltaLog::open(&wal, &program).expect("open log");
+            }),
+        ),
+    ];
+    for (name, op) in &ops {
+        let start = Instant::now();
+        for _ in 0..REPS {
+            op();
+        }
+        let stats = SolveStats {
+            wall_ns: (start.elapsed().as_nanos() / REPS as u128) as u64,
+            total_facts: solution.total_facts() as u64,
+            ..SolveStats::default()
+        };
+        flix_bench::metrics::record(name.to_string(), Strategy::SemiNaive.name(), 1, &stats);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_persist);
+criterion_main!(benches);

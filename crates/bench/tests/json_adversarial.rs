@@ -1,0 +1,151 @@
+//! Adversarial inputs for the hand-rolled `flix_bench::json` reader.
+//!
+//! The reader consumes files the bench tooling itself wrote, but it
+//! also gets pointed at whatever path a CI step or a human passes to
+//! the regression checker — so garbage must come back as a positioned
+//! [`JsonError`], never a panic and never a stack-overflow abort.
+
+use flix_bench::json::{parse, Json};
+
+/// A representative valid document of each shape the tooling emits.
+const DOCS: &[&str] = &[
+    r#"{"schema": "flix-metrics/1", "runs": [{"name": "a", "wall_ns": 12345, "ok": true}]}"#,
+    r#"{"traceEvents": [{"name": "solve", "cat": "solve", "ph": "X", "ts": 0.1, "dur": 2.5}]}"#,
+    r#"[null, true, false, 0, -1, 3.5e-2, "str", {"k": []}]"#,
+    "\"a\\u0041\\ud83d\\ude00\\n\"",
+];
+
+#[test]
+fn every_truncation_of_a_valid_document_errors_cleanly() {
+    for doc in DOCS {
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &doc[..cut];
+            // A prefix may still be valid JSON (e.g. "[1, 2" is not,
+            // but "-1" truncated to "-1" is); what it must never do is
+            // panic. Call through catch_unwind-free code: a panic here
+            // fails the test on its own.
+            let _ = parse(prefix);
+        }
+        assert!(parse(doc).is_ok(), "the untruncated document parses: {doc}");
+    }
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_a_stack_overflow() {
+    // Without a depth limit each of these would abort the process
+    // (recursion-induced stack overflow is not a catchable panic).
+    for bomb in [
+        "[".repeat(100_000),
+        "{\"k\":".repeat(100_000),
+        format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000)),
+    ] {
+        let err = parse(&bomb).expect_err("nesting bomb is rejected");
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+}
+
+#[test]
+fn moderate_nesting_still_parses() {
+    let depth = 200; // below the 256-level limit
+    let doc = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+    assert!(parse(&doc).is_ok());
+}
+
+#[test]
+fn invalid_escapes_and_unicode_sequences_error_cleanly() {
+    for bad in [
+        r#""\x""#,           // unknown escape
+        r#""\"#,             // escape at end of input
+        r#""\u12""#,         // truncated \u
+        r#""\uZZZZ""#,       // non-hex \u
+        r#""\ud800""#,       // lone high surrogate
+        r#""\ud800A""#,      // high surrogate + non-surrogate
+        r#""\udc00""#,       // lone low surrogate
+        r#""\ud83d\ud83d""#, // high surrogate twice
+    ] {
+        let err = parse(bad).expect_err(bad);
+        assert!(err.at <= bad.len(), "offset stays in bounds: {err}");
+    }
+    // The well-formed pair still decodes.
+    assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+}
+
+#[test]
+fn duplicate_keys_are_kept_in_order_and_get_returns_the_first() {
+    let doc = parse(r#"{"k": 1, "k": 2, "j": 3}"#).expect("valid");
+    assert_eq!(doc.get("k").and_then(Json::as_u64), Some(1));
+    match &doc {
+        Json::Obj(fields) => {
+            assert_eq!(fields.len(), 3, "duplicates are kept, not collapsed");
+        }
+        other => panic!("expected an object, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_numbers_and_literals_error_cleanly() {
+    for bad in [
+        "-", "+1", ".5", "1.", "1e", "1e+", "01x", "tru", "falsey", "nul", "nan", "Infinity",
+        "--1", "1.2.3",
+    ] {
+        // "1." and "1e" are lenient-parse candidates in some readers;
+        // here anything f64::from_str rejects is an error, and nothing
+        // panics. ("falsey" fails on the trailing 'y', "01x" on 'x'.)
+        let _ = parse(bad);
+    }
+    assert!(parse("-").is_err());
+    assert!(parse("+1").is_err());
+    assert!(parse("tru").is_err());
+    assert!(parse("nan").is_err());
+}
+
+/// A tiny deterministic xorshift so the fuzz sweep needs no external
+/// crate and reproduces bit-for-bit across runs.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+#[test]
+fn seeded_garbage_and_mutation_fuzz_never_panics() {
+    let mut rng = XorShift(0x5907_2026);
+
+    // Pure garbage: random bytes forced into a lossy string.
+    for _ in 0..500 {
+        let len = (rng.next() % 64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+        let _ = parse(&String::from_utf8_lossy(&bytes));
+    }
+
+    // Structured garbage: valid documents with random single-char
+    // mutations (delete, duplicate, replace) — the classic way to hit
+    // parser states a human never writes.
+    for doc in DOCS {
+        for _ in 0..500 {
+            let chars: Vec<char> = doc.chars().collect();
+            let i = (rng.next() as usize) % chars.len();
+            let mut mutated: String = chars[..i].iter().collect();
+            match rng.next() % 3 {
+                0 => {} // delete chars[i]
+                1 => {
+                    mutated.push(chars[i]);
+                    mutated.push(chars[i]);
+                }
+                _ => mutated.push((b' ' + (rng.next() % 95) as u8) as char),
+            }
+            mutated.extend(&chars[i + 1..]);
+            let _ = parse(&mutated);
+        }
+    }
+}

@@ -289,6 +289,32 @@ impl Solver {
             }
         };
 
+        // An empty delta cannot change a complete fixed point: hand back
+        // a solution sharing the prior database — no clone, no
+        // stratification, no per-stratum bookkeeping. Skipped when ascent
+        // instrumentation is requested, since enabling counters mutates
+        // the database and needs the warm-start copy below.
+        if delta.is_empty() && self.config.ascent.is_none() {
+            stats.total_facts = prior.database().total_facts() as u64;
+            stats.wall_ns = wall_start.elapsed().as_nanos() as u64;
+            tracer.record(0, SpanKind::Solve, 0);
+            let trace = tracer.finish(crate::solver::rule_heads(program));
+            if let Some(obs) = &self.config.observer {
+                obs.solve_finished(&stats);
+            }
+            let events = self
+                .config
+                .record_provenance
+                .then(|| prior.events().cloned().unwrap_or_default());
+            return Ok(make_solution(
+                program,
+                prior.database_arc(),
+                stats,
+                events,
+                trace,
+            ));
+        }
+
         // Warm start: clone the prior fixed point and extend its event
         // log when provenance is on (the prior log may be absent if the
         // prior solve ran without recording).

@@ -22,6 +22,8 @@
 //! * [`demand`] — point queries and [`Solver::solve_query`], a
 //!   magic-set-style rewrite restricting evaluation to the tuples and
 //!   lattice cells a query demands;
+//! * [`persist`] — crash-safe model persistence: checksummed snapshots,
+//!   a write-ahead delta log, and [`Solver::recover`];
 //! * [`model`] — the model-theoretic checker used to cross-validate
 //!   solver output against the declarative semantics of §3.2.
 //!
@@ -81,6 +83,7 @@ pub mod incremental;
 pub mod model;
 pub mod observe;
 mod ops;
+pub mod persist;
 mod program;
 pub mod provenance;
 mod solver;
@@ -101,6 +104,10 @@ pub use observe::{
     OwnedMetricsReport, RuleEvaluated, RuleStats, StratumStats, METRICS_SCHEMA,
 };
 pub use ops::{LatticeOps, ValueLattice};
+pub use persist::{
+    load_snapshot, program_fingerprint, save_snapshot, DeltaLog, PersistError, RecoveryReport,
+    WalRecovery,
+};
 pub use program::Program;
 pub use solver::{
     ConfigError, Fact, FactsIter, LatticeIter, RelationIter, Solution, SolveError, SolveFailure,

@@ -1,0 +1,136 @@
+//! Deterministic fault injection on the persistence write path —
+//! test-gated (`test-internals` feature), like
+//! `inject_worker_panic_for_tests`.
+//!
+//! Real storage fails in a handful of shapes; [`Fault`] names the four
+//! that matter for a log-structured format, each with a precise
+//! contract about (a) what reaches the disk and (b) what the writer is
+//! told. The fault-injection sweep in `crates/core/tests/persist.rs`
+//! drives every fault kind at every byte offset of the written stream
+//! and asserts that [`Solver::recover`](crate::Solver::recover) always
+//! lands on a model cell-for-cell equal to a scratch solve of the base
+//! program plus the surviving delta prefix.
+//!
+//! The entry points are [`save_snapshot_with_fault`],
+//! [`DeltaLog::append_with_fault`](super::DeltaLog), and — for
+//! corrupting files after the fact, e.g. to simulate a crashed foreign
+//! process — [`corrupt_file`].
+
+use super::snapshot::{snapshot_to_bytes, tmp_path};
+use super::PersistError;
+use crate::{Program, Solution};
+use std::io::Write;
+use std::path::Path;
+
+/// A storage failure shape. `at` in a [`FaultPlan`] is the byte offset
+/// within the written stream where the fault strikes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The process dies mid-write: the prefix `[..at]` reaches the
+    /// disk and the writer observes the failure (it never returns).
+    Torn,
+    /// A lost write: the prefix `[..at]` reaches the disk but the
+    /// writer is told the whole write succeeded. Later appends land at
+    /// the post-full-write offset, leaving a zero-filled gap — the
+    /// classic mid-file corruption only checksums catch.
+    Short,
+    /// Silent corruption: the full write lands, with one bit flipped
+    /// at offset `at`; the writer is told it succeeded.
+    BitFlip,
+    /// A clean I/O error after the prefix `[..at]` reached the disk;
+    /// the writer observes the error.
+    IoError,
+}
+
+/// One planned fault: the kind plus the byte offset it strikes at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The failure shape.
+    pub fault: Fault,
+    /// Byte offset within the written stream.
+    pub at: u64,
+}
+
+impl FaultPlan {
+    /// Applies the plan to an intended write, returning the bytes that
+    /// actually reach the disk and the length the writer believes was
+    /// written (for [`Fault::Short`] / [`Fault::BitFlip`], the full
+    /// length).
+    pub(crate) fn apply(&self, intended: &[u8]) -> (Vec<u8>, usize) {
+        let cut = (self.at as usize).min(intended.len());
+        match self.fault {
+            Fault::Torn | Fault::Short | Fault::IoError => {
+                (intended[..cut].to_vec(), intended.len())
+            }
+            Fault::BitFlip => {
+                let mut bytes = intended.to_vec();
+                if !bytes.is_empty() {
+                    let idx = (self.at as usize).min(bytes.len() - 1);
+                    bytes[idx] ^= 1 << (self.at % 8);
+                }
+                (bytes, intended.len())
+            }
+        }
+    }
+}
+
+/// [`save_snapshot`](super::save_snapshot) with a deterministic fault
+/// injected into the snapshot byte stream.
+///
+/// Faults the writer observes ([`Fault::Torn`], [`Fault::IoError`])
+/// strike the temporary file *before* the rename, so the previous
+/// snapshot at `path` survives untouched — that is the atomic-rename
+/// guarantee under test. Silent faults ([`Fault::Short`],
+/// [`Fault::BitFlip`]) complete the rename, leaving a truncated or
+/// corrupted snapshot for load-time validation to catch.
+#[doc(hidden)]
+pub fn save_snapshot_with_fault(
+    path: impl AsRef<Path>,
+    program: &Program,
+    solution: &Solution,
+    plan: FaultPlan,
+) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let bytes = snapshot_to_bytes(program, solution);
+    let (on_disk, _) = plan.apply(&bytes);
+    let tmp = tmp_path(path);
+    let mut file = std::fs::File::create(&tmp)
+        .map_err(|e| PersistError::io("create temporary snapshot", &tmp, e))?;
+    file.write_all(&on_disk)
+        .map_err(|e| PersistError::io("write temporary snapshot", &tmp, e))?;
+    file.sync_all()
+        .map_err(|e| PersistError::io("sync temporary snapshot", &tmp, e))?;
+    drop(file);
+    match plan.fault {
+        Fault::Torn | Fault::IoError => Err(PersistError::Injected { at: plan.at }),
+        Fault::Short | Fault::BitFlip => std::fs::rename(&tmp, path)
+            .map_err(|e| PersistError::io("rename snapshot into place", path, e)),
+    }
+}
+
+/// Applies a fault to a file already on disk — simulating a crash or
+/// corruption that happened to *someone else's* write. [`Fault::Torn`]
+/// and [`Fault::Short`] truncate the file at `at`; [`Fault::BitFlip`]
+/// flips one bit; [`Fault::IoError`] leaves the file untouched (the
+/// write never happened).
+#[doc(hidden)]
+pub fn corrupt_file(path: impl AsRef<Path>, plan: FaultPlan) -> std::io::Result<()> {
+    let path = path.as_ref();
+    match plan.fault {
+        Fault::Torn | Fault::Short => {
+            let file = std::fs::OpenOptions::new().write(true).open(path)?;
+            let len = file.metadata()?.len();
+            file.set_len(plan.at.min(len))?;
+            file.sync_data()
+        }
+        Fault::BitFlip => {
+            let mut bytes = std::fs::read(path)?;
+            if !bytes.is_empty() {
+                let idx = (plan.at as usize).min(bytes.len() - 1);
+                bytes[idx] ^= 1 << (plan.at % 8);
+            }
+            std::fs::write(path, bytes)
+        }
+        Fault::IoError => Ok(()),
+    }
+}

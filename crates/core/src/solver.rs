@@ -1344,7 +1344,7 @@ fn eval_fault_error(program: &Program, rule: usize, fault: EvalFault) -> SolveEr
 /// database.
 pub(crate) fn make_solution(
     program: &Program,
-    db: Database,
+    db: impl Into<Arc<Database>>,
     stats: SolveStats,
     events: Option<Vec<Event>>,
     trace: Option<ExecutionTrace>,
@@ -1361,7 +1361,7 @@ pub(crate) fn make_solution(
             .iter()
             .map(|d| matches!(d.kind, PredKind::Lattice(_)))
             .collect(),
-        db,
+        db: db.into(),
         stats,
         events,
         trace,
@@ -2274,11 +2274,16 @@ fn derive_head(program: &Program, rule: &CRule, body: &[CItem], env: &Env, cx: &
 ///
 /// Query by predicate name; relations yield tuples, lattice predicates
 /// yield `(key, element)` cells.
-#[derive(Debug)]
+// Clone shares the database (it is behind an `Arc`), so cloning a
+// solution is cheap even for large models; only the stats and any
+// recorded provenance/trace are deep-copied.
+#[derive(Clone, Debug)]
 pub struct Solution {
     names: std::collections::HashMap<String, PredId>,
     kinds: Vec<bool>, // true = lattice
-    db: Database,
+    // Shared, not owned: an empty-delta resume and a persistence
+    // round-trip both hand back the same database without copying it.
+    db: Arc<Database>,
     stats: SolveStats,
     events: Option<Vec<Event>>,
     trace: Option<ExecutionTrace>,
@@ -2528,6 +2533,13 @@ impl Solution {
 
     pub(crate) fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The database behind this solution, shared. The empty-delta
+    /// short-circuit in [`Solver::resume`](crate::incremental) returns a
+    /// new [`Solution`] over the same allocation instead of cloning.
+    pub(crate) fn database_arc(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
     }
 
     pub(crate) fn events(&self) -> Option<&Vec<Event>> {

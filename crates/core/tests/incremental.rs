@@ -453,3 +453,40 @@ fn chained_resumes_match_scratch() {
         }
     }
 }
+
+#[test]
+fn empty_delta_short_circuits_without_cloning_or_strata() {
+    let program = paths_program(&[(1, 2), (2, 3)]);
+    for solver in configurations() {
+        let prior = solver.solve(&program).expect("solves");
+        let resumed = solver
+            .resume(&program, &prior, &Delta::new())
+            .expect("resumes");
+        // Same model, and no fixed-point machinery ran: no rounds, no
+        // strata, no rule evaluations, no insertions.
+        assert_eq!(dump(&program, &prior), dump(&program, &resumed));
+        assert_eq!(resumed.stats().rounds, 0);
+        assert_eq!(resumed.stats().strata, 0);
+        assert_eq!(resumed.stats().rule_evaluations, 0);
+        assert_eq!(resumed.stats().facts_inserted, 0);
+        assert_eq!(resumed.stats().total_facts as usize, prior.total_facts(),);
+        // And the short-circuited solution keeps working as a prior for
+        // a real resume.
+        let delta = Delta::new().insert("Edge", vec![3.into(), 4.into()]);
+        let updated = solver.resume(&program, &resumed, &delta).expect("resumes");
+        assert!(updated.contains("Path", &[1.into(), 4.into()]));
+    }
+}
+
+#[test]
+fn empty_delta_carries_provenance_over() {
+    let program = paths_program(&[(1, 2), (2, 3)]);
+    let solver = Solver::new().record_provenance(true);
+    let prior = solver.solve(&program).expect("solves");
+    let events = prior.provenance().expect("recorded").len();
+    let resumed = solver
+        .resume(&program, &prior, &Delta::new())
+        .expect("resumes");
+    assert_eq!(resumed.provenance().expect("carried").len(), events);
+    assert!(resumed.explain("Path", &[1.into(), 3.into()]).is_some());
+}

@@ -47,11 +47,12 @@ pub use flix_lang as lang;
 pub use flix_lattice as lattice;
 
 pub use flix_core::{
-    AscentConfig, AscentReport, AscentWarning, BodyItem, Budget, BudgetKind, CancelToken,
-    ConfigError, Delta, DeltaError, DemandError, ExecutionTrace, Fact, FactsIter, Head, HeadTerm,
-    LatticeIter, LatticeOps, Observer, Program, ProgramBuilder, Query, QueryResult, RelationIter,
-    Solution, SolveError, SolveFailure, Solver, SolverConfig, SpanKind, Strategy, Term,
-    TraceConfig, Value, ValueLattice,
+    load_snapshot, program_fingerprint, save_snapshot, AscentConfig, AscentReport, AscentWarning,
+    BodyItem, Budget, BudgetKind, CancelToken, ConfigError, Delta, DeltaError, DeltaLog,
+    DemandError, ExecutionTrace, Fact, FactsIter, Head, HeadTerm, LatticeIter, LatticeOps,
+    Observer, PersistError, Program, ProgramBuilder, Query, QueryResult, RecoveryReport,
+    RelationIter, Solution, SolveError, SolveFailure, Solver, SolverConfig, SpanKind, Strategy,
+    Term, TraceConfig, Value, ValueLattice, WalRecovery,
 };
 pub use flix_lang::compile;
 pub use flix_lattice::{HasTop, Lattice};

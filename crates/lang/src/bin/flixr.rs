@@ -10,6 +10,8 @@
 //!       [--max-rounds N] [--timeout SECS]
 //!       [--print PRED[,PRED...]] [--explain "Fact(args)"]
 //!       [--query "Pred(pattern)"] [--update FILE.flix]
+//!       [--save SNAPSHOT] [--load SNAPSHOT]
+//!       [--wal LOG] [--compact-every N]
 //!       FILE.flix [MORE.flix ...]
 //! ```
 //!
@@ -33,6 +35,26 @@
 //! program without ever materializing either full model. A malformed
 //! query pattern (syntax, unknown predicate, wrong arity) exits 2 with
 //! the offending source position.
+//!
+//! `--save PATH` writes the final model (the updated model under
+//! `--update`, otherwise the initial one) as a checksummed snapshot,
+//! atomically. `--load PATH` replaces the initial solve with that
+//! snapshot; a missing, corrupt, or mismatched snapshot degrades to a
+//! scratch solve with a warning on stderr — it never aborts a run.
+//! `--wal PATH` opens (or creates) a write-ahead delta log: surviving
+//! logged deltas are replayed onto the base model before anything is
+//! printed, and with `--update` the new delta is appended — durably —
+//! *before* it is applied, so a crash mid-update is recoverable by the
+//! next run. A corrupt log tail is truncated with a warning; a log
+//! whose header is destroyed is recreated empty. `--compact-every N`
+//! (requires `--wal` and `--save`) absorbs the log into a fresh
+//! snapshot once it holds at least `N` deltas, instead of letting it
+//! grow forever. All replays resume from the base model with every
+//! surviving delta combined, so recovery always reproduces exactly the
+//! fixed point of the base program plus the logged updates. The
+//! persistence flags describe complete models and therefore cannot be
+//! combined with `--query` (whose demanded model is deliberately
+//! partial). Wire formats are specified byte-by-byte in DESIGN.md §14.
 //!
 //! `--update FILE` applies a monotone delta after the initial solve: the
 //! update file is compiled standalone (it re-declares the predicates its
@@ -84,8 +106,9 @@
 //! results instead of nothing.
 
 use flix_core::{
-    render_ascent_report, write_metrics_json, AscentConfig, AscentWarning, Budget, Delta, Observer,
-    OwnedMetricsReport, Query, Solution, SolveError, Solver, SolverConfig, Strategy, TraceConfig,
+    load_snapshot, render_ascent_report, save_snapshot, write_metrics_json, AscentConfig,
+    AscentWarning, Budget, Delta, DeltaLog, Observer, OwnedMetricsReport, PersistError, Query,
+    Solution, SolveError, Solver, SolverConfig, Strategy, TraceConfig,
 };
 use std::collections::BTreeSet;
 use std::process::ExitCode;
@@ -173,6 +196,10 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     let mut explain: Option<String> = None;
     let mut queries: Vec<String> = Vec::new();
     let mut update: Option<String> = None;
+    let mut save: Option<String> = None;
+    let mut load: Option<String> = None;
+    let mut wal: Option<String> = None;
+    let mut compact_every: Option<u64> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -284,6 +311,53 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                 }
                 update = Some(path);
             }
+            "--save" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--save requires a snapshot path"))?;
+                if path.starts_with('-') {
+                    return Err(Failure::usage(format!(
+                        "--save requires a snapshot path, got option {path}"
+                    )));
+                }
+                save = Some(path);
+            }
+            "--load" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--load requires a snapshot path"))?;
+                if path.starts_with('-') {
+                    return Err(Failure::usage(format!(
+                        "--load requires a snapshot path, got option {path}"
+                    )));
+                }
+                load = Some(path);
+            }
+            "--wal" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--wal requires a log path"))?;
+                if path.starts_with('-') {
+                    return Err(Failure::usage(format!(
+                        "--wal requires a log path, got option {path}"
+                    )));
+                }
+                wal = Some(path);
+            }
+            "--compact-every" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--compact-every requires a frame count"))?;
+                let every: u64 = n
+                    .parse()
+                    .map_err(|_| Failure::usage(format!("invalid compaction threshold {n}")))?;
+                if every == 0 {
+                    return Err(Failure::usage(
+                        "--compact-every must be at least 1 (0 would compact an empty log)",
+                    ));
+                }
+                compact_every = Some(every);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: flixr [--stats] [--profile] [--metrics-json PATH] \
@@ -292,6 +366,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                      [--naive] [--verify] [--threads N] \
                      [--max-rounds N] [--timeout SECS] [--print PREDS] \
                      [--explain ATOM] [--query PATTERN] [--update FILE.flix] \
+                     [--save SNAPSHOT] [--load SNAPSHOT] [--wal LOG] [--compact-every N] \
                      FILE.flix [MORE.flix ...]"
                 );
                 return Ok(());
@@ -306,10 +381,21 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     if files.is_empty() {
         return Err(Failure::usage("no input file; see --help"));
     }
+    if !queries.is_empty() && (save.is_some() || load.is_some() || wal.is_some()) {
+        return Err(Failure::usage(
+            "--save/--load/--wal describe complete models and cannot be combined \
+             with --query, whose demanded model is deliberately partial",
+        ));
+    }
+    if compact_every.is_some() && (wal.is_none() || save.is_none()) {
+        return Err(Failure::usage(
+            "--compact-every requires both --wal (the log to compact) and \
+             --save (the snapshot to compact it into)",
+        ));
+    }
     let mut source = String::new();
     for path in &files {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| Failure::usage(format!("cannot read {path}: {e}")))?;
+        let text = read_source(path)?;
         source.push_str(&text);
         source.push('\n');
     }
@@ -372,40 +458,149 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         });
     }
 
-    let solution = match solver.solve(&program) {
-        Ok(solution) => solution,
-        Err(failure) => {
-            let code = match &failure.error {
-                SolveError::BudgetExceeded { .. } | SolveError::RoundLimitExceeded { .. } => {
-                    EXIT_BUDGET
-                }
-                _ => EXIT_SOLVE,
-            };
-            let retained = failure.partial.total_facts();
-            eprintln!("flixr: {}", failure.error);
-            eprintln!(
-                "flixr: printing the partial model ({retained} fact{} derived before the failure)",
-                if retained == 1 { "" } else { "s" }
-            );
-            print_model(&program, &failure.partial, print.as_deref());
-            if stats {
-                print_stats(&failure.stats);
+    // The base model: a usable `--load` snapshot, otherwise a scratch
+    // solve. Snapshot problems degrade — a stale or corrupt snapshot
+    // costs a warning and a re-solve, never the run.
+    let loaded = match &load {
+        Some(path) => match load_snapshot(path, &program) {
+            Ok(base) => Some(base),
+            Err(e) => {
+                eprintln!(
+                    "flixr: warning: snapshot {path} is unusable ({e}); solving from scratch"
+                );
+                None
             }
-            emit_observability(&emit, &failure.stats, &failure.partial)?;
-            return Err(Failure {
-                code,
-                message: None,
-            });
+        },
+        None => None,
+    };
+    let base = match loaded {
+        Some(base) => base,
+        None => match solver.solve(&program) {
+            Ok(solution) => solution,
+            Err(failure) => {
+                let code = match &failure.error {
+                    SolveError::BudgetExceeded { .. } | SolveError::RoundLimitExceeded { .. } => {
+                        EXIT_BUDGET
+                    }
+                    _ => EXIT_SOLVE,
+                };
+                let retained = failure.partial.total_facts();
+                eprintln!("flixr: {}", failure.error);
+                eprintln!(
+                    "flixr: printing the partial model \
+                     ({retained} fact{} derived before the failure)",
+                    if retained == 1 { "" } else { "s" }
+                );
+                print_model(&program, &failure.partial, print.as_deref());
+                if stats {
+                    print_stats(&failure.stats);
+                }
+                emit_observability(&emit, &failure.stats, &failure.partial)?;
+                return Err(Failure {
+                    code,
+                    message: None,
+                });
+            }
+        },
+    };
+
+    // The write-ahead log: salvage the valid frame prefix and fold it
+    // into one combined delta to replay onto the base.
+    let mut log: Option<DeltaLog> = None;
+    let mut replayed = Delta::new();
+    if let Some(wal_path) = &wal {
+        match DeltaLog::open(wal_path, &program) {
+            Ok((opened, recovery)) => {
+                if recovery.dropped_bytes > 0 {
+                    eprintln!(
+                        "flixr: warning: write-ahead log {wal_path}: truncated {} corrupt \
+                         trailing byte(s); replaying the {} intact frame(s)",
+                        recovery.dropped_bytes,
+                        recovery.deltas.len()
+                    );
+                }
+                for delta in &recovery.deltas {
+                    extend_delta(&mut replayed, delta);
+                }
+                log = Some(opened);
+            }
+            Err(e @ (PersistError::BadMagic { .. } | PersistError::CorruptHeader { .. })) => {
+                // Nothing after a destroyed header is salvageable
+                // (frame boundaries are only known by walking the
+                // lengths), so recreating the log empty loses nothing
+                // that was recoverable.
+                eprintln!(
+                    "flixr: warning: write-ahead log {wal_path} is unusable ({e}); \
+                     starting a fresh log"
+                );
+                let fresh = DeltaLog::create_truncated(wal_path, &program)
+                    .map_err(|e| Failure::usage(e.to_string()))?;
+                log = Some(fresh);
+            }
+            // A version or fingerprint mismatch means the log belongs
+            // to another program or build; silently recreating it
+            // would destroy someone else's durable data.
+            Err(e) => return Err(Failure::usage(e.to_string())),
+        }
+    }
+
+    // Replay resumes from the *base* with every surviving delta
+    // combined — never chained one resume at a time — so the result is
+    // exactly the fixed point of the base program plus the log, even
+    // when stratified negation forces a fallback re-solve.
+    let initial = if replayed.is_empty() {
+        base.clone()
+    } else {
+        match solver.resume(&program, &base, &replayed) {
+            Ok(solution) => solution,
+            Err(failure) => {
+                let code = match &failure.error {
+                    SolveError::BudgetExceeded { .. } | SolveError::RoundLimitExceeded { .. } => {
+                        EXIT_BUDGET
+                    }
+                    _ => EXIT_SOLVE,
+                };
+                let retained = failure.partial.total_facts();
+                eprintln!(
+                    "flixr: {} (while replaying the write-ahead log)",
+                    failure.error
+                );
+                eprintln!(
+                    "flixr: printing the partial replayed model \
+                     ({retained} fact{} retained or derived before the failure)",
+                    if retained == 1 { "" } else { "s" }
+                );
+                print_model(&program, &failure.partial, print.as_deref());
+                if stats {
+                    print_stats(&failure.stats);
+                }
+                emit_observability(&emit, &failure.stats, &failure.partial)?;
+                return Err(Failure {
+                    code,
+                    message: None,
+                });
+            }
         }
     };
 
     if let Some(update_path) = &update {
-        let update_source = std::fs::read_to_string(update_path)
-            .map_err(|e| Failure::usage(format!("cannot read {update_path}: {e}")))?;
+        let update_source = read_source(update_path)?;
         let update_program =
             flix_lang::compile(&update_source).map_err(|e| Failure::lang(e.to_string()))?;
         let delta = Delta::from_facts(&update_program);
-        let updated = match solver.resume(&program, &solution, &delta) {
+        // Log before applying: once `append` returns, the delta is
+        // durable, so a crash anywhere past this point is recoverable
+        // by the next run's `--wal` replay.
+        if let Some(log) = log.as_mut() {
+            log.append(&delta)
+                .map_err(|e| Failure::usage(e.to_string()))?;
+        }
+        // Like replay, the updated model resumes from the base with
+        // everything combined (log + update), not from the replayed
+        // model, for the same fallback-correctness reason.
+        let mut combined = replayed;
+        extend_delta(&mut combined, &delta);
+        let updated = match solver.resume(&program, &base, &combined) {
             Ok(updated) => updated,
             Err(failure) => {
                 eprintln!("flixr: {}", failure.error);
@@ -431,7 +626,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                     if retained == 1 { "" } else { "s" }
                 );
                 println!("== initial model ==");
-                print_model(&program, &solution, print.as_deref());
+                print_model(&program, &initial, print.as_deref());
                 println!("== updated model ==");
                 print_model(&program, &failure.partial, print.as_deref());
                 if stats {
@@ -444,13 +639,14 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                 });
             }
         };
+        persist_finish(&mut log, compact_every, save.as_deref(), &program, &updated)?;
         if let Some(query) = &explain {
             return explain_fact(&updated, query, "updated model");
         }
         println!("== initial model ==");
-        print_model(&program, &solution, print.as_deref());
+        print_model(&program, &initial, print.as_deref());
         if stats {
-            print_stats(solution.stats());
+            print_stats(initial.stats());
         }
         println!("== updated model ==");
         print_model(&program, &updated, print.as_deref());
@@ -461,15 +657,64 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         return Ok(());
     }
 
+    persist_finish(&mut log, compact_every, save.as_deref(), &program, &initial)?;
     if let Some(query) = &explain {
-        return explain_fact(&solution, query, "minimal model");
+        return explain_fact(&initial, query, "minimal model");
     }
 
-    print_model(&program, &solution, print.as_deref());
+    print_model(&program, &initial, print.as_deref());
     if stats {
-        print_stats(solution.stats());
+        print_stats(initial.stats());
     }
-    emit_observability(&emit, solution.stats(), &solution)?;
+    emit_observability(&emit, initial.stats(), &initial)?;
+    Ok(())
+}
+
+/// Reads a source or fact file, wrapping failures with the path and
+/// operation so the message pins down exactly what could not be done;
+/// the format (`cannot read <path>: <cause>`) is pinned by a CLI test.
+fn read_source(path: &str) -> Result<String, Failure> {
+    std::fs::read_to_string(path).map_err(|e| Failure::usage(format!("cannot read {path}: {e}")))
+}
+
+/// Folds `delta`'s entries into `into` — the "combine every surviving
+/// delta, resume once from the base" half of the recovery contract.
+fn extend_delta(into: &mut Delta, delta: &Delta) {
+    for (name, tuple) in delta.entries() {
+        into.push(name, tuple.to_vec());
+    }
+}
+
+/// The end-of-run persistence work: compact the write-ahead log into
+/// the `--save` snapshot once it holds `--compact-every` frames, or
+/// plainly save the final model when `--save` was given without a
+/// pending compaction. Runs only on fully successful solves — a
+/// guarded failure's partial model never overwrites a good snapshot.
+fn persist_finish(
+    log: &mut Option<DeltaLog>,
+    compact_every: Option<u64>,
+    save: Option<&str>,
+    program: &flix_core::Program,
+    model: &Solution,
+) -> Result<(), Failure> {
+    let mut saved = false;
+    if let (Some(log), Some(every)) = (log.as_mut(), compact_every) {
+        if log.frames() >= every {
+            let path = save.expect("--compact-every requires --save; validated at parse");
+            log.compact_into(path, program, model)
+                .map_err(|e| Failure::usage(e.to_string()))?;
+            eprintln!(
+                "flixr: compacted the write-ahead log into snapshot {path} \
+                 (the log is empty again)"
+            );
+            saved = true;
+        }
+    }
+    if let Some(path) = save {
+        if !saved {
+            save_snapshot(path, program, model).map_err(|e| Failure::usage(e.to_string()))?;
+        }
+    }
     Ok(())
 }
 
@@ -502,8 +747,7 @@ fn run_queries(cx: RunQueries<'_>) -> Result<(), Failure> {
     // combined solve — neither full model is ever materialized.
     let program = match cx.update {
         Some(update_path) => {
-            let update_source = std::fs::read_to_string(update_path)
-                .map_err(|e| Failure::usage(format!("cannot read {update_path}: {e}")))?;
+            let update_source = read_source(update_path)?;
             let update_program =
                 flix_lang::compile(&update_source).map_err(|e| Failure::lang(e.to_string()))?;
             let delta = Delta::from_facts(&update_program);

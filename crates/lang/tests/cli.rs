@@ -571,3 +571,292 @@ fn guarded_failure_still_writes_the_partial_trace() {
     );
     std::fs::remove_file(&json_out).ok();
 }
+
+// ---------------------------------------------------------------------
+// Persistence: --save / --load / --wal / --compact-every.
+// ---------------------------------------------------------------------
+
+/// The worked example of Figure 2 (points-to + parity + div-by-zero),
+/// checked into the repo — the persistence round-trip fixture.
+const PARITY: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../examples/flix/parity.flix"
+);
+
+/// A fresh per-test scratch directory, removed on drop.
+struct Scratch(std::path::PathBuf);
+
+impl Scratch {
+    fn new(test: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("flixr-cli-{}-{test}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn io_errors_name_the_path_and_the_operation() {
+    // Missing input file.
+    let output = flixr().arg("/no/such/input.flix").output().expect("runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(
+        stderr.contains("flixr: cannot read /no/such/input.flix: "),
+        "the message names the operation and the path: {stderr}"
+    );
+
+    // Missing --update file: same pinned format.
+    let file = write_temp("io-err.flix", PATHS);
+    let output = flixr()
+        .args(["--update", "/no/such/delta.flix"])
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(
+        stderr.contains("flixr: cannot read /no/such/delta.flix: "),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn save_load_save_round_trips_the_worked_example_byte_identically() {
+    let scratch = Scratch::new("roundtrip");
+    let first = scratch.path("parity.snap");
+    let second = scratch.path("parity2.snap");
+
+    let output = flixr()
+        .arg("--save")
+        .arg(&first)
+        .arg(PARITY)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let direct = String::from_utf8(output.stdout).expect("utf8");
+
+    let output = flixr()
+        .arg("--load")
+        .arg(&first)
+        .arg("--save")
+        .arg(&second)
+        .arg(PARITY)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(
+        !stderr.contains("warning"),
+        "the snapshot loaded cleanly: {stderr}"
+    );
+    let reloaded = String::from_utf8(output.stdout).expect("utf8");
+
+    assert_eq!(direct, reloaded, "the loaded model prints identically");
+    let a = std::fs::read(&first).expect("first snapshot");
+    let b = std::fs::read(&second).expect("second snapshot");
+    assert_eq!(a, b, "save -> load -> save is byte-identical");
+}
+
+#[test]
+fn corrupt_snapshot_degrades_to_a_scratch_solve() {
+    let scratch = Scratch::new("corrupt-snap");
+    let snap = scratch.path("model.snap");
+    let file = write_temp("corrupt-snap.flix", PATHS);
+
+    let output = flixr()
+        .arg("--save")
+        .arg(&snap)
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let clean = String::from_utf8(output.stdout).expect("utf8");
+
+    // Flip one byte in the middle of the file.
+    let mut bytes = std::fs::read(&snap).expect("snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, &bytes).expect("corrupt snapshot");
+
+    let output = flixr()
+        .arg("--load")
+        .arg(&snap)
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "corruption never aborts the run");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(
+        stderr.contains("warning") && stderr.contains("solving from scratch"),
+        "{stderr}"
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert_eq!(stdout, clean, "the scratch solve reproduces the model");
+}
+
+#[test]
+fn kill_mid_update_is_recovered_from_the_write_ahead_log() {
+    let scratch = Scratch::new("kill-mid-update");
+    let snap = scratch.path("base.snap");
+    let wal = scratch.path("deltas.wal");
+    let file = write_temp("kill-mid.flix", PATHS);
+    let upd = write_temp(
+        "kill-mid-upd.flix",
+        "rel Edge(x: Int, y: Int);\nEdge(3, 4).",
+    );
+
+    // Save the base model, then apply an update through the log.
+    let output = flixr()
+        .arg("--save")
+        .arg(&snap)
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let output = flixr()
+        .arg("--load")
+        .arg(&snap)
+        .arg("--wal")
+        .arg(&wal)
+        .arg("--update")
+        .arg(&upd)
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let updated: Vec<String> = String::from_utf8(output.stdout)
+        .expect("utf8")
+        .lines()
+        .skip_while(|l| *l != "== updated model ==")
+        .skip(1)
+        .map(str::to_string)
+        .collect();
+    assert!(updated.contains(&"Path(1, 4)".to_string()), "{updated:?}");
+
+    // "Crash" after the append: the snapshot is stale, only the log
+    // knows about the delta. A plain re-run recovers the pre-crash
+    // fixed point from snapshot + log.
+    let output = flixr()
+        .arg("--load")
+        .arg(&snap)
+        .arg("--wal")
+        .arg(&wal)
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("Path(1, 4)"), "recovered: {stdout}");
+
+    // Torn append: chop bytes off the log tail mid-frame. The next run
+    // warns, truncates, and still replays the intact prefix (here:
+    // nothing, so the base model comes back).
+    let bytes = std::fs::read(&wal).expect("log");
+    std::fs::write(&wal, &bytes[..bytes.len() - 3]).expect("tear log tail");
+    let output = flixr()
+        .arg("--load")
+        .arg(&snap)
+        .arg("--wal")
+        .arg(&wal)
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "a torn log never aborts the run");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(
+        stderr.contains("truncated") && stderr.contains("corrupt trailing byte"),
+        "{stderr}"
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(
+        !stdout.contains("Path(1, 4)"),
+        "the torn frame is gone: {stdout}"
+    );
+    assert!(stdout.contains("Path(1, 3)"), "{stdout}");
+}
+
+#[test]
+fn compaction_absorbs_the_log_into_the_snapshot() {
+    let scratch = Scratch::new("compaction");
+    let snap = scratch.path("model.snap");
+    let wal = scratch.path("deltas.wal");
+    let file = write_temp("compaction.flix", PATHS);
+    let upd = write_temp(
+        "compaction-upd.flix",
+        "rel Edge(x: Int, y: Int);\nEdge(3, 4).",
+    );
+
+    let output = flixr()
+        .arg("--save")
+        .arg(&snap)
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+
+    // One update through the log, compaction threshold 1: the run must
+    // absorb the log into the snapshot and reset the log to empty.
+    let output = flixr()
+        .arg("--load")
+        .arg(&snap)
+        .arg("--wal")
+        .arg(&wal)
+        .arg("--save")
+        .arg(&snap)
+        .args(["--compact-every", "1"])
+        .arg("--update")
+        .arg(&upd)
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("compacted the write-ahead log"), "{stderr}");
+
+    // The updated model now lives in the snapshot alone.
+    let output = flixr()
+        .arg("--load")
+        .arg(&snap)
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("Path(1, 4)"), "{stdout}");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(!stderr.contains("warning"), "{stderr}");
+}
+
+#[test]
+fn persistence_flags_are_usage_errors_with_query_or_alone() {
+    let file = write_temp("persist-usage.flix", PATHS);
+    for flags in [
+        vec!["--save", "/tmp/x.snap", "--query", "Path(1, _)"],
+        vec!["--load", "/tmp/x.snap", "--query", "Path(1, _)"],
+        vec!["--wal", "/tmp/x.wal", "--query", "Path(1, _)"],
+        vec!["--compact-every", "4"], // missing --wal and --save
+        vec!["--wal", "/tmp/x.wal", "--compact-every", "4"], // missing --save
+        vec![
+            "--compact-every",
+            "0",
+            "--wal",
+            "/tmp/x.wal",
+            "--save",
+            "/tmp/x.snap",
+        ],
+    ] {
+        let output = flixr().args(&flags).arg(&file).output().expect("runs");
+        assert_eq!(output.status.code(), Some(1), "{flags:?}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Persistence parity through the facade: the paper's own models —
+//! the Figure 2 worked example and the Figure 5 IFDS encoding — must
+//! survive a save → load → save round trip byte-identically, and
+//! on-disk corruption (inflicted with plain `std::fs`, no internal
+//! fault hooks) must recover to exactly what a scratch solve produces.
+
+use flix::analyses::dataflow;
+use flix::analyses::ifds::{self, problems};
+use flix::analyses::workloads::jvm_program::{self, GenParams};
+use flix::{load_snapshot, save_snapshot, Delta, DeltaLog, Program, Solution, Solver};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A fresh per-test scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(test: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("flix-persist-parity-{}-{test}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Canonical rendering of a model: every fact of every predicate,
+/// sorted — the equality used by all parity assertions below.
+fn dump(program: &Program, solution: &Solution) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (_, decl) in program.predicates() {
+        let name = decl.name();
+        for fact in solution.facts(name).expect("declared predicate") {
+            lines.push(format!("{name}({fact})"));
+        }
+    }
+    lines.sort();
+    lines
+}
+
+/// save → load → save; asserts the two files are byte-identical and
+/// returns the loaded model for content checks.
+fn round_trip(dir: &Scratch, program: &Program, solution: &Solution) -> Solution {
+    let first = dir.path("first.snap");
+    let second = dir.path("second.snap");
+    save_snapshot(&first, program, solution).expect("save");
+    let loaded = load_snapshot(&first, program).expect("load");
+    save_snapshot(&second, program, &loaded).expect("re-save");
+    let a = std::fs::read(&first).expect("first bytes");
+    let b = std::fs::read(&second).expect("second bytes");
+    assert_eq!(a, b, "save -> load -> save is byte-identical");
+    loaded
+}
+
+#[test]
+fn figure_2_worked_example_round_trips_byte_identically() {
+    let dir = Scratch::new("figure2");
+    let input = dataflow::example_input();
+    let program = dataflow::build_program(&input);
+    let solution = Solver::new().solve(&program).expect("Figure 2 solves");
+    let loaded = round_trip(&dir, &program, &solution);
+    assert_eq!(dump(&program, &solution), dump(&program, &loaded));
+    // The division-by-zero client found its bug in the loaded model too.
+    assert!(dump(&program, &loaded)
+        .iter()
+        .any(|l| l.starts_with("ArithmeticError(")));
+}
+
+#[test]
+fn figure_5_ifds_model_round_trips_byte_identically() {
+    let dir = Scratch::new("ifds");
+    let model = Arc::new(jvm_program::generate(GenParams {
+        num_procs: 4,
+        nodes_per_proc: 10,
+        vars_per_proc: 4,
+        call_percent: 20,
+        seed: 0x5907,
+    }));
+    let problem = Arc::new(problems::Taint::new(model.clone()));
+    let program = ifds::flix::build_program(&model.graph, problem);
+    let solution = Solver::new().solve(&program).expect("IFDS solves");
+    let loaded = round_trip(&dir, &program, &solution);
+    assert_eq!(dump(&program, &solution), dump(&program, &loaded));
+    assert!(solution.total_facts() > 0);
+}
+
+fn paths_program() -> Program {
+    flix::compile(
+        "rel Edge(x: Int, y: Int);
+         rel Path(x: Int, y: Int);
+         Edge(1, 2). Edge(2, 3).
+         Path(x, y) :- Edge(x, y).
+         Path(x, z) :- Path(x, y), Edge(y, z).",
+    )
+    .expect("compiles")
+}
+
+fn edge_delta(x: i64, y: i64) -> Delta {
+    let mut delta = Delta::new();
+    delta.push("Edge", vec![x.into(), y.into()]);
+    delta
+}
+
+/// Flip one mid-file bit with nothing but `std::fs` — the kind of
+/// damage a real disk or an interrupted copy inflicts.
+fn flip_a_bit(path: &Path) {
+    let mut bytes = std::fs::read(path).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(path, &bytes).expect("write corrupted");
+}
+
+#[test]
+fn corrupt_snapshot_recovery_matches_a_scratch_solve() {
+    let dir = Scratch::new("corrupt-snap");
+    let snap = dir.path("model.snap");
+    let wal = dir.path("model.wal");
+    let program = paths_program();
+    let solver = Solver::new();
+
+    let solution = solver.solve(&program).expect("solves");
+    save_snapshot(&snap, &program, &solution).expect("save");
+    flip_a_bit(&snap);
+
+    let (recovered, report) = solver.recover(&program, &snap, &wal).expect("recovers");
+    assert!(report.scratch_solve, "the snapshot was rejected");
+    assert!(report.snapshot_error.is_some());
+    assert_eq!(dump(&program, &recovered), dump(&program, &solution));
+}
+
+#[test]
+fn truncated_wal_recovery_replays_the_surviving_prefix() {
+    let dir = Scratch::new("truncated-wal");
+    let snap = dir.path("model.snap");
+    let wal = dir.path("model.wal");
+    let program = paths_program();
+    let solver = Solver::new();
+
+    // Base model on disk, two deltas in the log.
+    let base = solver.solve(&program).expect("solves");
+    save_snapshot(&snap, &program, &base).expect("save");
+    let (mut log, _) = DeltaLog::open(&wal, &program).expect("open log");
+    log.append(&edge_delta(3, 4)).expect("append");
+    let intact_len = std::fs::metadata(&wal).expect("metadata").len();
+    log.append(&edge_delta(4, 5)).expect("append");
+    drop(log);
+
+    // Chop the second frame in half: a torn final append.
+    let bytes = std::fs::read(&wal).expect("read log");
+    let cut = (intact_len as usize + bytes.len()) / 2;
+    std::fs::write(&wal, &bytes[..cut]).expect("tear log");
+
+    let (recovered, report) = solver.recover(&program, &snap, &wal).expect("recovers");
+    assert_eq!(report.wal_frames_replayed, 1, "only the intact frame");
+    assert!(report.wal_bytes_dropped > 0);
+
+    // Parity: base + the surviving delta, solved from scratch.
+    let expected_program = program.with_delta(&edge_delta(3, 4)).expect("with delta");
+    let expected = solver.solve(&expected_program).expect("solves");
+    assert_eq!(dump(&program, &recovered), dump(&program, &expected));
+    let lines = dump(&program, &recovered);
+    assert!(lines.contains(&"Path(1, 4)".to_string()), "{lines:?}");
+    assert!(!lines.contains(&"Path(1, 5)".to_string()), "{lines:?}");
+}

@@ -66,6 +66,7 @@
 
 use crate::database::{Database, InsertOutcome, PredData, Row};
 use crate::guard::Guard;
+use crate::kernel::KernelSet;
 use crate::observe::{RuleStats, StratumStats};
 use crate::program::{CItem, Program};
 use crate::provenance::{Event, Source};
@@ -438,6 +439,15 @@ impl Solver {
         }
         tracer.record(0, SpanKind::ResumeSeed, seed_start);
 
+        // Compile the specialized join kernels against the warm database,
+        // exactly as a from-scratch solve would (provenance stays on the
+        // generic evaluator).
+        let kernels = if self.config.use_kernels && !self.config.record_provenance {
+            KernelSet::compile(program, db, self.config.ascent.is_none())
+        } else {
+            KernelSet::empty()
+        };
+
         // Re-run exactly the strata a change can reach, in stratum
         // order. Stratification guarantees a stratum's body predicates
         // are final before it runs, so accumulating changes front to
@@ -465,6 +475,7 @@ impl Solver {
                     program,
                     guard,
                     db,
+                    &kernels,
                     group,
                     stratum,
                     stats,
@@ -478,6 +489,7 @@ impl Solver {
                         program,
                         guard,
                         db,
+                        &kernels,
                         group,
                         stratum,
                         npreds,
@@ -645,7 +657,7 @@ fn seed_delta(
                         continue;
                     }
                     let value = lat
-                        .value(key)
+                        .value(key, db.spill())
                         .expect("pending lattice key has a stored cell");
                     let mut full = key.to_vec();
                     full.push(value.clone());

@@ -78,8 +78,10 @@
 mod ast;
 mod database;
 pub mod demand;
+mod fxhash;
 mod guard;
 pub mod incremental;
+mod kernel;
 pub mod model;
 pub mod observe;
 mod ops;
@@ -88,6 +90,7 @@ mod program;
 pub mod provenance;
 mod solver;
 mod stratify;
+pub mod symbol;
 pub mod trace;
 mod value;
 pub mod verify;

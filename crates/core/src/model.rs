@@ -61,14 +61,14 @@ fn violation_against(program: &Program, db: &Database) -> Option<(String, Vec<Va
 /// Is the ground atom `pred(values...)` true in the interpretation?
 fn satisfied(program: &Program, db: &Database, pred: PredId, values: &[Value]) -> bool {
     match db.pred(pred) {
-        PredData::Rel(rel) => rel.contains(values),
+        PredData::Rel(rel) => rel.contains(values, db.spill()),
         PredData::Lat(lat) => {
             let (key, value) = values.split_at(values.len() - 1);
             let ops = program.decl(pred).lattice_ops().expect("lattice predicate");
             if ops.is_bottom(&value[0]) {
                 return true; // ⊥ is below every cell, stored or not.
             }
-            match lat.value(key) {
+            match lat.value(key, db.spill()) {
                 Some(cell) => ops.leq(&value[0], cell),
                 None => false,
             }
@@ -174,7 +174,7 @@ fn rebuild_without(
             PredData::Rel(rel) => {
                 for row in rel.rows() {
                     if let Some((p, t)) = skip_rel {
-                        if p == pred && t.as_slice() == &row[..] {
+                        if p == pred && t.as_slice() == row {
                             continue;
                         }
                     }
@@ -185,7 +185,7 @@ fn rebuild_without(
                 for (key, cell) in lat.iter() {
                     let mut tuple = key.to_vec();
                     let value = match replace_lat {
-                        Some((p, k, v)) if p == pred && k == &key[..] => v.clone(),
+                        Some((p, k, v)) if p == pred && k == key => v.clone(),
                         _ => cell.clone(),
                     };
                     tuple.push(value);

@@ -73,12 +73,30 @@ impl LatticeOps {
                 a.leq(&b)
             }),
             lub: Arc::new(|a, b| {
-                let (a, b) = (L::expect_from(a), L::expect_from(b));
-                a.lub(&b).to_value()
+                let (x, y) = (L::expect_from(a), L::expect_from(b));
+                let j = x.lub(&y);
+                // When the join equals one operand — always, for
+                // chain-shaped lattices like `MinCost` — reuse its boxed
+                // form instead of re-boxing through `to_value`. On the
+                // solver's hot path this skips an allocation per join.
+                if j == y {
+                    return b.clone();
+                }
+                if j == x {
+                    return a.clone();
+                }
+                j.to_value()
             }),
             glb: Arc::new(|a, b| {
-                let (a, b) = (L::expect_from(a), L::expect_from(b));
-                a.glb(&b).to_value()
+                let (x, y) = (L::expect_from(a), L::expect_from(b));
+                let m = x.glb(&y);
+                if m == y {
+                    return b.clone();
+                }
+                if m == x {
+                    return a.clone();
+                }
+                m.to_value()
             }),
         }
     }

@@ -65,7 +65,7 @@ pub fn snapshot_to_bytes(program: &Program, solution: &Solution) -> Vec<u8> {
             PredData::Rel(rel) => {
                 frame.u8(0);
                 frame.u32(decl.arity() as u32);
-                frame.u32(rel.rows().len() as u32);
+                frame.u32(rel.len() as u32);
                 for row in rel.rows() {
                     for v in row.iter() {
                         frame.value(v);
@@ -75,7 +75,7 @@ pub fn snapshot_to_bytes(program: &Program, solution: &Solution) -> Vec<u8> {
             PredData::Lat(lat) => {
                 frame.u8(1);
                 frame.u32(decl.arity() as u32);
-                frame.u32(lat.keys().len() as u32);
+                frame.u32(lat.len() as u32);
                 for (key, cell) in lat.iter() {
                     for v in key.iter() {
                         frame.value(v);

@@ -18,6 +18,7 @@
 use crate::ast::{PredKind, ProgramError};
 use crate::database::{Database, InsertFault, InsertOutcome, PredData, Row};
 use crate::guard::{panic_payload, Budget, BudgetKind, EvalGuard, Guard};
+use crate::kernel::{self, KernelSet};
 use crate::observe::{Observer, RuleEvaluated, RuleStats, StratumStats};
 use crate::ops::OpsPanic;
 use crate::program::{CHead, CItem, CRule, CTerm, Program};
@@ -340,6 +341,12 @@ pub struct SolverConfig {
     /// Whether to build hash indexes (default `true`; `false` is the
     /// index-selection ablation forcing full scans on every join).
     pub use_indexes: bool,
+    /// Whether to compile specialized join kernels per rule body (default
+    /// `true`; `false` forces the generic tuple-at-a-time evaluator, the
+    /// kernel ablation). Kernels change evaluation speed, never results:
+    /// they derive the same tuples in the same order as the generic path.
+    /// Provenance-recording solves always use the generic evaluator.
+    pub use_kernels: bool,
     /// Bound on fixed-point rounds, a safety net against lattices of
     /// unbounded height (default: unlimited).
     pub max_rounds: Option<u64>,
@@ -373,6 +380,7 @@ impl Default for SolverConfig {
             strategy: Strategy::SemiNaive,
             threads: 1,
             use_indexes: true,
+            use_kernels: true,
             max_rounds: None,
             record_provenance: false,
             budget: Budget::new(),
@@ -389,6 +397,7 @@ impl fmt::Debug for SolverConfig {
             .field("strategy", &self.strategy)
             .field("threads", &self.threads)
             .field("use_indexes", &self.use_indexes)
+            .field("use_kernels", &self.use_kernels)
             .field("max_rounds", &self.max_rounds)
             .field("record_provenance", &self.record_provenance)
             .field("budget", &self.budget)
@@ -492,6 +501,14 @@ impl Solver {
     /// ablation; disabling forces full scans on every join).
     pub fn use_indexes(mut self, use_indexes: bool) -> Solver {
         self.config.use_indexes = use_indexes;
+        self
+    }
+
+    /// Enables or disables per-rule specialized join kernels (the kernel
+    /// ablation; disabling forces the generic tuple-at-a-time evaluator).
+    /// Either setting produces the same solution, statistics, and traces.
+    pub fn kernels(mut self, use_kernels: bool) -> Solver {
+        self.config.use_kernels = use_kernels;
         self
     }
 
@@ -675,6 +692,16 @@ impl Solver {
         }
         tracer.record(0, SpanKind::LoadFacts, load_start);
 
+        // Compile the specialized join kernels once per solve, after fact
+        // loading (literals in rule bodies are interned here, so their
+        // encodings stay canonical for the run). Provenance-recording
+        // solves need instantiated premises and stay fully generic.
+        let kernels = if self.config.use_kernels && !self.config.record_provenance {
+            KernelSet::compile(program, db, self.config.ascent.is_none())
+        } else {
+            KernelSet::empty()
+        };
+
         for (stratum, group) in strata.rule_groups.iter().enumerate() {
             stats.strata += 1;
             stats.per_stratum.push(StratumStats {
@@ -685,10 +712,10 @@ impl Solver {
             let stratum_start = tracer.now_ns();
             let result = match self.config.strategy {
                 Strategy::Naive => self.run_naive(
-                    program, guard, db, group, stratum, stats, events, None, tracer,
+                    program, guard, db, &kernels, group, stratum, stats, events, None, tracer,
                 ),
                 Strategy::SemiNaive => self.run_semi_naive(
-                    program, guard, db, group, stratum, npreds, stats, events, tracer,
+                    program, guard, db, &kernels, group, stratum, npreds, stats, events, tracer,
                 ),
             };
             // Record the stratum span even when the stratum failed, so a
@@ -759,6 +786,7 @@ impl Solver {
         program: &Program,
         guard: &Guard<'_>,
         db: &mut Database,
+        kernels: &KernelSet,
         group: &[usize],
         stratum: usize,
         stats: &mut SolveStats,
@@ -766,6 +794,7 @@ impl Solver {
         mut accumulate: Option<&mut Vec<Vec<Row>>>,
         tracer: &Tracer,
     ) -> Result<(), SolveError> {
+        let mut derived_buf: Vec<Derived> = Vec::new();
         loop {
             self.check_round(guard, db, stratum, stats)?;
             stats.rounds += 1;
@@ -782,25 +811,26 @@ impl Solver {
             // A labelled block so the round span is recorded on the error
             // paths too (partial traces on guarded failures).
             let outcome: Result<u64, SolveError> = 'round: {
-                let derived = match self.run_tasks(
+                if let Err(error) = self.run_tasks(
                     program,
                     guard,
                     db,
+                    kernels,
                     &tasks,
                     &[],
                     stats,
                     stratum,
                     round,
                     tracer,
+                    &mut derived_buf,
                 ) {
-                    Ok(derived) => derived,
-                    Err(error) => break 'round Err(error),
-                };
+                    break 'round Err(error);
+                }
                 let mut changed = 0u64;
                 let mut touched = TouchedCells::new();
-                for d in derived {
+                for mut d in derived_buf.drain(..) {
                     stats.facts_derived += 1;
-                    match db.insert(d.pred, d.tuple.clone()) {
+                    match insert_derived(db, &mut d, events.is_some()) {
                         Ok(InsertOutcome::Unchanged) => {}
                         Ok(outcome) => {
                             if touched.first_change(&d, &outcome) {
@@ -846,6 +876,7 @@ impl Solver {
         program: &Program,
         guard: &Guard<'_>,
         db: &mut Database,
+        kernels: &KernelSet,
         group: &[usize],
         stratum: usize,
         npreds: usize,
@@ -866,25 +897,27 @@ impl Solver {
                 variant: None,
             })
             .collect();
+        let mut derived_buf: Vec<Derived> = Vec::new();
         let outcome: Result<Vec<Vec<Row>>, SolveError> = 'round: {
-            let derived = match self.run_tasks(
+            if let Err(error) = self.run_tasks(
                 program,
                 guard,
                 db,
+                kernels,
                 &seed_tasks,
                 &[],
                 stats,
                 stratum,
                 round,
                 tracer,
+                &mut derived_buf,
             ) {
-                Ok(derived) => derived,
-                Err(error) => break 'round Err(error),
-            };
+                break 'round Err(error);
+            }
             let mut delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
             let mut changed = 0u64;
             let mut touched = TouchedCells::new();
-            for d in derived {
+            for d in derived_buf.drain(..) {
                 stats.facts_derived += 1;
                 if let Err(error) = self.record_insert(
                     program,
@@ -908,7 +941,7 @@ impl Solver {
         let delta = outcome?;
 
         self.run_semi_naive_rounds(
-            program, guard, db, group, stratum, npreds, stats, events, delta, None, tracer,
+            program, guard, db, kernels, group, stratum, npreds, stats, events, delta, None, tracer,
         )
     }
 
@@ -926,6 +959,7 @@ impl Solver {
         program: &Program,
         guard: &Guard<'_>,
         db: &mut Database,
+        kernels: &KernelSet,
         group: &[usize],
         stratum: usize,
         npreds: usize,
@@ -935,6 +969,7 @@ impl Solver {
         mut accumulate: Option<&mut Vec<Vec<Row>>>,
         tracer: &Tracer,
     ) -> Result<(), SolveError> {
+        let mut derived_buf: Vec<Derived> = Vec::new();
         while delta.iter().any(|d| !d.is_empty()) {
             self.check_round(guard, db, stratum, stats)?;
             stats.rounds += 1;
@@ -954,16 +989,25 @@ impl Solver {
                 }
             }
             let outcome: Result<Vec<Vec<Row>>, SolveError> = 'round: {
-                let derived = match self.run_tasks(
-                    program, guard, db, &tasks, &delta, stats, stratum, round, tracer,
+                if let Err(error) = self.run_tasks(
+                    program,
+                    guard,
+                    db,
+                    kernels,
+                    &tasks,
+                    &delta,
+                    stats,
+                    stratum,
+                    round,
+                    tracer,
+                    &mut derived_buf,
                 ) {
-                    Ok(derived) => derived,
-                    Err(error) => break 'round Err(error),
-                };
+                    break 'round Err(error);
+                }
                 let mut new_delta: Vec<Vec<Row>> = vec![Vec::new(); npreds];
                 let mut changed = 0u64;
                 let mut touched = TouchedCells::new();
-                for d in derived {
+                for d in derived_buf.drain(..) {
                     stats.facts_derived += 1;
                     if let Err(error) = self.record_insert(
                         program,
@@ -1026,6 +1070,10 @@ impl Solver {
         r.eval_ns += report.eval_ns;
         stats.index_probes += report.probes;
         stats.scan_fallbacks += report.scans;
+        // Suppressed derivations never reach the per-item counting in the
+        // insert loops; credit them here so `facts_derived` matches the
+        // generic evaluator.
+        stats.facts_derived += report.suppressed;
         if let Some(obs) = &self.config.observer {
             obs.rule_evaluated(&RuleEvaluated {
                 stratum,
@@ -1041,23 +1089,31 @@ impl Solver {
     }
 
     #[allow(clippy::too_many_arguments)]
+    /// Evaluates one round's tasks, appending their derivations to `out`
+    /// — a caller-owned buffer reused across rounds, so the (often tens
+    /// of megabytes of) derivation storage is allocated once per stratum
+    /// instead of once per round.
+    #[allow(clippy::too_many_arguments)]
     fn run_tasks(
         &self,
         program: &Program,
         guard: &Guard<'_>,
         db: &Database,
+        kernels: &KernelSet,
         tasks: &[Task],
         delta: &[Vec<Row>],
         stats: &mut SolveStats,
         stratum: usize,
         round: u64,
         tracer: &Tracer,
-    ) -> Result<Vec<Derived>, SolveError> {
+        out: &mut Vec<Derived>,
+    ) -> Result<(), SolveError> {
+        out.clear();
         stats.rule_evaluations += tasks.len() as u64;
         if self.config.threads <= 1 || tasks.len() <= 1 {
             let eval_guard = guard.eval_guard();
-            let mut out = Vec::new();
             let mut ring = tracer.local_ring();
+            let mut scratch = kernel::KernelScratch::new();
             let mut failure = None;
             for task in tasks {
                 let mut span = TaskSpan {
@@ -1070,12 +1126,14 @@ impl Solver {
                 match run_one_task(
                     program,
                     db,
+                    kernels,
                     task,
                     delta,
                     self.config.record_provenance,
                     &eval_guard,
-                    &mut out,
+                    out,
                     &mut span,
+                    &mut scratch,
                 ) {
                     Ok(report) => self.note_task(stats, stratum, round, &report),
                     Err(error) => {
@@ -1088,7 +1146,7 @@ impl Solver {
             // recorded before the fault.
             tracer.merge(0, ring);
             return match failure {
-                None => Ok(out),
+                None => Ok(()),
                 Some(error) => Err(error),
             };
         }
@@ -1123,6 +1181,7 @@ impl Solver {
                         let mut out = Vec::new();
                         let mut reports = Vec::with_capacity(task_chunk.len());
                         let mut ring = tracer.local_ring();
+                        let mut scratch = kernel::KernelScratch::new();
                         let mut failure = None;
                         for task in task_chunk {
                             let mut span = TaskSpan {
@@ -1135,12 +1194,14 @@ impl Solver {
                             match run_one_task(
                                 program,
                                 db,
+                                kernels,
                                 task,
                                 delta,
                                 provenance,
                                 &eval_guard,
                                 &mut out,
                                 &mut span,
+                                &mut scratch,
                             ) {
                                 Ok(report) => reports.push(report),
                                 Err(error) => {
@@ -1167,7 +1228,6 @@ impl Solver {
                 joined.push(h.join());
             }
         });
-        let mut merged = Vec::new();
         let mut failure: Option<SolveError> = None;
         for result in joined {
             if failure.is_some() {
@@ -1176,11 +1236,11 @@ impl Solver {
                 continue;
             }
             match result {
-                Ok(Ok((out, reports))) => {
+                Ok(Ok((chunk_out, reports))) => {
                     for report in &reports {
                         self.note_task(stats, stratum, round, report);
                     }
-                    merged.extend(out);
+                    out.extend(chunk_out);
                 }
                 Ok(Err(error)) => failure = Some(error),
                 // A panic that escaped the worker's guarded paths is an
@@ -1198,7 +1258,7 @@ impl Solver {
             }
         }
         match failure {
-            None => Ok(merged),
+            None => Ok(()),
             Some(error) => Err(error),
         }
     }
@@ -1214,7 +1274,12 @@ type WorkerResult = Result<(Vec<Derived>, Vec<TaskReport>), SolveError>;
 struct TaskReport {
     rule: usize,
     variant: Option<usize>,
+    /// All derivations of this evaluation, including kernel-suppressed
+    /// ones — the same count the generic evaluator would report.
     derived: u64,
+    /// The suppressed subset of `derived`: counted into `facts_derived`
+    /// here because those tuples never reach the insert loop's counter.
+    suppressed: u64,
     probes: u64,
     scans: u64,
     eval_ns: u64,
@@ -1237,12 +1302,14 @@ struct TaskSpan<'a, 'b> {
 fn run_one_task(
     program: &Program,
     db: &Database,
+    kernels: &KernelSet,
     task: &Task,
     delta: &[Vec<Row>],
     provenance: bool,
     eval_guard: &EvalGuard<'_>,
     out: &mut Vec<Derived>,
     span: &mut TaskSpan<'_, '_>,
+    scratch: &mut kernel::KernelScratch,
 ) -> Result<TaskReport, SolveError> {
     eval_guard
         .check_now()
@@ -1253,17 +1320,30 @@ fn run_one_task(
     let before = out.len();
     let mut counters = EvalCounters::default();
     let start = Instant::now();
-    let result = eval_rule_prov(
-        program,
-        db,
-        task.rule,
-        task.variant,
-        delta,
-        provenance,
-        eval_guard,
-        &mut counters,
-        out,
-    );
+    let result = match kernels.plan(task.rule, task.variant) {
+        Some(plan) => kernel::run_plan(
+            program,
+            db,
+            plan,
+            task.rule,
+            delta,
+            eval_guard,
+            &mut counters,
+            out,
+            scratch,
+        ),
+        None => eval_rule_prov(
+            program,
+            db,
+            task.rule,
+            task.variant,
+            delta,
+            provenance,
+            eval_guard,
+            &mut counters,
+            out,
+        ),
+    };
     let eval_ns = start.elapsed().as_nanos() as u64;
     if let Some(ring) = span.ring.as_mut() {
         // Reuses the timing this function already takes for the profile;
@@ -1275,7 +1355,7 @@ fn run_one_task(
                 round: span.round,
                 rule: task.rule,
                 variant: task.variant,
-                derived: (out.len() - before) as u64,
+                derived: (out.len() - before) as u64 + counters.suppressed,
             },
             tid: span.tid,
             start_ns: span.tracer.at_ns(start),
@@ -1286,7 +1366,8 @@ fn run_one_task(
     Ok(TaskReport {
         rule: task.rule,
         variant: task.variant,
-        derived: (out.len() - before) as u64,
+        derived: (out.len() - before) as u64 + counters.suppressed,
+        suppressed: counters.suppressed,
         probes: counters.probes,
         scans: counters.scans,
         eval_ns,
@@ -1390,9 +1471,70 @@ struct Task {
 #[derive(Clone, Debug)]
 pub(crate) struct Derived {
     pub(crate) pred: PredId,
-    pub(crate) tuple: Vec<Value>,
+    pub(crate) payload: Payload,
     pub(crate) rule: usize,
     pub(crate) premises: Option<Vec<Premise>>,
+}
+
+/// Width of the inline encoded-key representation shared by the kernel's
+/// shadow tables and the [`Payload::LatEnc`] fast path. Wider heads fall
+/// back to materialized tuples.
+pub(crate) const ENC_KEY: usize = 4;
+
+/// The content of a [`Derived`] fact: a materialized head tuple, or — on
+/// the kernel fast path — a lattice head kept in encoded form so the
+/// insert loop can skip re-materializing and re-encoding the key columns.
+#[derive(Clone, Debug)]
+pub(crate) enum Payload {
+    /// A fully materialized head tuple (lattice heads carry the cell
+    /// value as the last column).
+    Tuple(Vec<Value>),
+    /// A lattice head whose key slots are canonical encodings against the
+    /// database the kernel probed; only the cell value is materialized.
+    LatEnc {
+        /// Number of live slots in `key`.
+        arity: u8,
+        /// Row id of the target cell when the kernel resolved it
+        /// ([`crate::kernel::NO_ID`] otherwise). Ids are append-only, so
+        /// a resolved id is still the same cell at insert time; the
+        /// insert skips the hash lookup and joins the cell directly.
+        id: u32,
+        /// Encoded key columns, zero-padded past `arity`.
+        key: [u64; ENC_KEY],
+        /// The candidate cell value.
+        cell: Value,
+    },
+}
+
+/// Feeds a derived fact into the database, consuming the payload unless
+/// the event log will still need it (`keep_for_events`). Encoded lattice
+/// payloads never need keeping: a database change is always a
+/// `LatIncrease`, and [`log_event`] rebuilds the logged tuple from that
+/// outcome.
+fn insert_derived(
+    db: &mut Database,
+    d: &mut Derived,
+    keep_for_events: bool,
+) -> Result<InsertOutcome, InsertFault> {
+    match &mut d.payload {
+        Payload::Tuple(t) => {
+            let tuple = if keep_for_events {
+                t.clone()
+            } else {
+                std::mem::take(t)
+            };
+            db.insert(d.pred, tuple)
+        }
+        Payload::LatEnc {
+            arity,
+            id,
+            key,
+            cell,
+        } => {
+            let value = std::mem::replace(cell, Value::Unit);
+            db.insert_lat_encoded(d.pred, &key[..*arity as usize], *id, value)
+        }
+    }
 }
 
 /// Lattice cells already credited with a net change in the current
@@ -1408,11 +1550,11 @@ pub(crate) struct Derived {
 /// (see the "Strategy invariance" section on [`SolveStats`]). Relational
 /// tuples change at most once ever, so only lattice increases are
 /// tracked.
-pub(crate) struct TouchedCells(std::collections::HashSet<(PredId, Row)>);
+pub(crate) struct TouchedCells(crate::fxhash::FxHashSet<(PredId, Row)>);
 
 impl TouchedCells {
     pub(crate) fn new() -> TouchedCells {
-        TouchedCells(std::collections::HashSet::new())
+        TouchedCells(crate::fxhash::FxHashSet::default())
     }
 
     /// Returns `true` when `outcome` is the first net change of its fact
@@ -1431,7 +1573,7 @@ impl Solver {
         &self,
         program: &Program,
         db: &mut Database,
-        d: Derived,
+        mut d: Derived,
         delta: &mut [Vec<Row>],
         touched: &mut TouchedCells,
         changed: &mut u64,
@@ -1439,8 +1581,7 @@ impl Solver {
         events: &mut Option<Vec<Event>>,
     ) -> Result<(), SolveError> {
         let pred = d.pred;
-        match db
-            .insert(pred, d.tuple.clone())
+        match insert_derived(db, &mut d, events.is_some())
             .map_err(|fault| insert_fault_error(program, pred, Some(d.rule), fault))?
         {
             InsertOutcome::Unchanged => {}
@@ -1499,7 +1640,12 @@ fn log_event(events: &mut Option<Vec<Event>>, d: &Derived, outcome: InsertOutcom
             full.push(value);
             full
         }
-        _ => d.tuple.clone(),
+        _ => match &d.payload {
+            Payload::Tuple(t) => t.clone(),
+            // A lattice insert that changed the database is always a
+            // `LatIncrease`, handled above.
+            Payload::LatEnc { .. } => unreachable!("lattice changes are logged from the outcome"),
+        },
     };
     log.push(Event {
         pred: d.pred,
@@ -1544,6 +1690,11 @@ impl From<OpsPanic> for EvalFault {
 pub(crate) struct EvalCounters {
     pub(crate) probes: u64,
     pub(crate) scans: u64,
+    /// Derivations a kernel suppressed at emit time because the database
+    /// already subsumed them (the insert loop would have dropped them as
+    /// `Unchanged`). Counted back into `facts_derived` so the statistics
+    /// match the generic evaluator exactly. Always 0 on the generic path.
+    pub(crate) suppressed: u64,
 }
 
 /// Evaluates a rule by index, producing [`Derived`] records (with
@@ -1573,7 +1724,7 @@ pub(crate) fn eval_rule_prov(
     )?;
     out.extend(raw.into_iter().map(|(pred, tuple, premises)| Derived {
         pred,
-        tuple,
+        payload: Payload::Tuple(tuple),
         rule: rule_idx,
         premises,
     }));
@@ -1791,7 +1942,7 @@ fn eval_body(
                         // A membership test, not an index probe: available
                         // even with indexes disabled.
                         if let Some(key) = probe_key(index_cols, terms, env) {
-                            if rel.contains(&key) {
+                            if rel.contains(&key, db.spill()) {
                                 eval_body(
                                     program,
                                     db,
@@ -1809,12 +1960,11 @@ fn eval_body(
                         }
                     }
                     if let Some(hits) = probe_key(index_cols, terms, env)
-                        .and_then(|key| rel.probe(index_cols, &key))
+                        .and_then(|key| rel.probe(index_cols, &key, db.spill()))
                     {
                         cx.probes += 1;
-                        let rows = rel.rows();
                         for &i in hits {
-                            visit(&rows[i as usize], env, trail, cx);
+                            visit(rel.row(i), env, trail, cx);
                         }
                     } else {
                         if !index_cols.is_empty() {
@@ -1828,7 +1978,7 @@ fn eval_body(
                 PredData::Lat(lat) => {
                     // Fast path: all key columns ground.
                     if let Some(key) = ground_key(terms, env) {
-                        if let Some(cell) = lat.value(&key) {
+                        if let Some(cell) = lat.value(&key, db.spill()) {
                             let mark = trail.len();
                             match match_lattice_value(
                                 terms.last().expect("lattice arity >= 1"),
@@ -1857,13 +2007,12 @@ fn eval_body(
                         return;
                     }
                     if let Some(hits) = probe_key(index_cols, terms, env)
-                        .and_then(|key| lat.probe(index_cols, &key))
+                        .and_then(|key| lat.probe(index_cols, &key, db.spill()))
                     {
                         cx.probes += 1;
-                        let keys = lat.keys();
                         for &i in hits {
-                            let key = &keys[i as usize];
-                            let cell = lat.value(key).expect("indexed key exists");
+                            let key = lat.key(i);
+                            let cell = lat.cell(i);
                             visit_lat(
                                 key,
                                 cell,
@@ -2186,7 +2335,7 @@ fn exists_match(
         }
         PredData::Lat(lat) => {
             if let Some(key) = ground_key(terms, env) {
-                if let Some(cell) = lat.value(&key) {
+                if let Some(cell) = lat.value(&key, db.spill()) {
                     let mark = trail.len();
                     let matched = match_lattice_value(
                         terms.last().expect("arity >= 1"),
@@ -2301,9 +2450,7 @@ impl Solution {
     pub fn relation(&self, name: &str) -> Option<RelationIter<'_>> {
         let pred = self.predicate(name)?;
         match self.db.pred(pred) {
-            PredData::Rel(rel) => Some(RelationIter {
-                rows: rel.rows().iter(),
-            }),
+            PredData::Rel(rel) => Some(RelationIter { rows: rel.rows() }),
             PredData::Lat(_) => None,
         }
     }
@@ -2316,7 +2463,7 @@ impl Solution {
         match self.db.pred(pred) {
             PredData::Lat(lat) => Some(LatticeIter {
                 lat,
-                keys: lat.keys().iter(),
+                ids: 0..lat.len() as u32,
             }),
             PredData::Rel(_) => None,
         }
@@ -2331,12 +2478,10 @@ impl Solution {
     pub fn facts(&self, name: &str) -> Option<FactsIter<'_>> {
         let pred = self.predicate(name)?;
         let inner = match self.db.pred(pred) {
-            PredData::Rel(rel) => FactsInner::Rel(RelationIter {
-                rows: rel.rows().iter(),
-            }),
+            PredData::Rel(rel) => FactsInner::Rel(RelationIter { rows: rel.rows() }),
             PredData::Lat(lat) => FactsInner::Lat(LatticeIter {
                 lat,
-                keys: lat.keys().iter(),
+                ids: 0..lat.len() as u32,
             }),
         };
         Some(FactsIter { inner })
@@ -2349,7 +2494,7 @@ impl Solution {
         let pred = self.predicate(name)?;
         match self.db.pred(pred) {
             PredData::Lat(lat) => Some(
-                lat.value(key)
+                lat.value(key, self.db.spill())
                     .cloned()
                     .unwrap_or_else(|| lat.ops().bottom().clone()),
             ),
@@ -2360,7 +2505,7 @@ impl Solution {
     /// Returns `true` if the relational predicate contains the tuple.
     pub fn contains(&self, name: &str, row: &[Value]) -> bool {
         match self.predicate(name).map(|p| self.db.pred(p)) {
-            Some(PredData::Rel(rel)) => rel.contains(row),
+            Some(PredData::Rel(rel)) => rel.contains(row, self.db.spill()),
             _ => false,
         }
     }
@@ -2559,14 +2704,14 @@ impl Solution {
 /// deterministic for a given program and solver configuration.
 #[derive(Clone, Debug)]
 pub struct RelationIter<'a> {
-    rows: std::slice::Iter<'a, Row>,
+    rows: crate::database::RowsIter<'a>,
 }
 
 impl<'a> Iterator for RelationIter<'a> {
     type Item = &'a [Value];
 
     fn next(&mut self) -> Option<&'a [Value]> {
-        self.rows.next().map(|r| &r[..])
+        self.rows.next()
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -2582,23 +2727,19 @@ impl ExactSizeIterator for RelationIter<'_> {}
 #[derive(Clone, Debug)]
 pub struct LatticeIter<'a> {
     lat: &'a crate::database::LatticeData,
-    keys: std::slice::Iter<'a, Row>,
+    ids: std::ops::Range<u32>,
 }
 
 impl<'a> Iterator for LatticeIter<'a> {
     type Item = (&'a [Value], &'a Value);
 
     fn next(&mut self) -> Option<(&'a [Value], &'a Value)> {
-        let key = self.keys.next()?;
-        let value = self
-            .lat
-            .value(key)
-            .expect("every stored key has a non-bottom cell");
-        Some((&key[..], value))
+        let id = self.ids.next()?;
+        Some((self.lat.key(id), self.lat.cell(id)))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.keys.size_hint()
+        self.ids.size_hint()
     }
 }
 

@@ -1,0 +1,105 @@
+//! The global string interner behind [`Value::Str`](crate::Value).
+//!
+//! Every string value constructed through [`Value::str`](crate::Value::str)
+//! (and the `From<&str>` / `From<String>` conversions the parser and fact
+//! loaders use) is registered here, so equal strings share one canonical
+//! `Arc<str>` and a stable `u32` symbol id. The columnar fact store
+//! ([`crate::database`]) encodes string columns as that id, which makes
+//! string joins compare a single machine word instead of re-hashing
+//! characters, and makes `Value` equality on interned strings a pointer
+//! comparison.
+//!
+//! The table is process-global and append-only: symbols are never freed.
+//! That is the right trade-off for a Datalog engine — the set of distinct
+//! strings is bounded by the input EDB plus anything user functions
+//! fabricate, and ids must stay stable for as long as any encoded column
+//! references them.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The interner: content → id, and id → canonical `Arc<str>`.
+#[derive(Default)]
+pub struct SymbolTable {
+    ids: HashMap<Arc<str>, u32>,
+    names: Vec<Arc<str>>,
+}
+
+impl SymbolTable {
+    fn intern(&mut self, s: &str) -> (u32, Arc<str>) {
+        if let Some((name, &id)) = self.ids.get_key_value(s) {
+            return (id, Arc::clone(name));
+        }
+        let id = u32::try_from(self.names.len()).expect("fewer than 2^32 distinct strings");
+        let name: Arc<str> = Arc::from(s);
+        self.names.push(Arc::clone(&name));
+        self.ids.insert(Arc::clone(&name), id);
+        (id, name)
+    }
+}
+
+fn table() -> &'static RwLock<SymbolTable> {
+    static TABLE: OnceLock<RwLock<SymbolTable>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(SymbolTable::default()))
+}
+
+/// Interns `s`, returning its stable symbol id and the canonical
+/// `Arc<str>` all equal interned strings share.
+pub fn intern(s: &str) -> (u32, Arc<str>) {
+    // Fast path: already interned, shared read lock only.
+    if let Some(hit) = {
+        let t = table().read().expect("symbol table lock");
+        t.ids.get_key_value(s).map(|(n, &id)| (id, Arc::clone(n)))
+    } {
+        return hit;
+    }
+    table().write().expect("symbol table lock").intern(s)
+}
+
+/// Looks up the symbol id of `s` without interning it. Read-only: safe
+/// to call concurrently from solver workers. A string that was never
+/// interned has no id — and therefore cannot equal any encoded column.
+pub fn lookup(s: &str) -> Option<u32> {
+    table()
+        .read()
+        .expect("symbol table lock")
+        .ids
+        .get(s)
+        .copied()
+}
+
+/// Resolves a symbol id back to its canonical string.
+///
+/// # Panics
+///
+/// Panics on an id that was never issued by [`intern`].
+pub fn resolve(id: u32) -> Arc<str> {
+    Arc::clone(&table().read().expect("symbol table lock").names[id as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_canonical() {
+        let (id1, a) = intern("flix-symbol-test");
+        let (id2, b) = intern("flix-symbol-test");
+        assert_eq!(id1, id2);
+        assert!(Arc::ptr_eq(&a, &b), "equal strings share one allocation");
+        assert!(Arc::ptr_eq(&resolve(id1), &a));
+        assert_eq!(lookup("flix-symbol-test"), Some(id1));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert_eq!(lookup("flix-symbol-never-interned-q7x"), None);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let (a, _) = intern("flix-symbol-a");
+        let (b, _) = intern("flix-symbol-b");
+        assert_ne!(a, b);
+    }
+}

@@ -1,5 +1,6 @@
 //! The dynamic value representation of the FLIX engine.
 
+use crate::symbol;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
@@ -29,7 +30,11 @@ use std::sync::Arc;
 /// let v = Value::tuple([Value::from(1), Value::from("x")]);
 /// assert_eq!(v.to_string(), "(1, \"x\")");
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+// The manual `PartialEq` below is observationally the derived one (the
+// pointer checks only short-circuit structural equality), so the derived
+// `Hash` remains consistent with it.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum Value {
     /// The unit value.
     #[default]
@@ -38,7 +43,11 @@ pub enum Value {
     Bool(bool),
     /// A 64-bit integer.
     Int(i64),
-    /// An interned string.
+    /// A string. Strings built through [`Value::str`] (and the `From`
+    /// conversions) are interned in the global [`crate::symbol`] table, so
+    /// equal strings share one allocation and compare by pointer. The
+    /// variant itself accepts any `Arc<str>`; a non-interned string still
+    /// compares correctly (by content), it just skips the fast paths.
     Str(Arc<str>),
     /// A tagged value (an `enum` constructor applied to a payload).
     Tag(Arc<str>, Arc<Value>),
@@ -48,10 +57,36 @@ pub enum Value {
     Set(Arc<BTreeSet<Value>>),
 }
 
+// Equality is structural, with pointer-identity fast paths on the
+// reference-counted variants: interning makes equal strings (and equal
+// rows stored once) share allocations, so the common case is a single
+// pointer compare. The fallback compares content, so hand-built
+// `Value::Str` values that bypassed the interner still behave.
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Tag(an, ap), Value::Tag(bn, bp)) => {
+                (Arc::ptr_eq(an, bn) || an == bn) && (Arc::ptr_eq(ap, bp) || ap == bp)
+            }
+            (Value::Tuple(a), Value::Tuple(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Set(a), Value::Set(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
+}
+
 impl Value {
-    /// Creates a string value.
-    pub fn str(s: impl Into<Arc<str>>) -> Value {
-        Value::Str(s.into())
+    /// Creates a string value, interning it in the global
+    /// [`crate::symbol`] table: equal strings share one canonical
+    /// allocation and a stable `u32` symbol id, which the fact store
+    /// uses to encode string columns as a single machine word.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        let (_, name) = symbol::intern(s.as_ref());
+        Value::Str(name)
     }
 
     /// Creates a tagged value `Tag(payload)`.
@@ -290,6 +325,22 @@ mod tests {
         for v in &values {
             assert_eq!(v.cmp(v), std::cmp::Ordering::Equal);
         }
+    }
+
+    #[test]
+    fn strings_are_interned() {
+        let a = Value::from("interned-via-from");
+        let b = Value::str(String::from("interned-via-from"));
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => {
+                assert!(Arc::ptr_eq(x, y), "equal strings share one allocation")
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(a, b);
+        // A hand-built (non-interned) string still compares by content.
+        let c = Value::Str(Arc::from("interned-via-from"));
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -63,6 +63,10 @@ pub enum Violation {
     /// A choice function returned something other than a set of tuples of
     /// the expected arity.
     ChoiceMalformed(Vec<Value>, Value),
+    /// A predicate's fact store ran out of row ids (the columnar store
+    /// addresses rows with `u32` indices). Carries the row count at
+    /// which the insert was refused.
+    StoreFull(u64),
 }
 
 impl fmt::Display for Violation {
@@ -106,6 +110,12 @@ impl fmt::Display for Violation {
                 write!(
                     f,
                     "choice function returned malformed result {out} on {args:?}"
+                )
+            }
+            StoreFull(rows) => {
+                write!(
+                    f,
+                    "fact store is full: row-id capacity reached at {rows} rows"
                 )
             }
         }

@@ -1164,7 +1164,7 @@ impl Solver {
             &rw.program,
             &guard,
             &mut db,
-            &[],
+            crate::solver::FactSource::ProgramPlus(&[]),
             &mut run_stats,
             &mut events,
             &tracer,

@@ -101,7 +101,7 @@ pub use ast::{
 };
 pub use demand::{DemandError, Query, QueryResult};
 pub use guard::{Budget, BudgetKind, CancelToken};
-pub use incremental::{Delta, DeltaError};
+pub use incremental::{Delta, DeltaError, DeltaOp};
 pub use observe::{
     render_metrics_json, render_profile_table, write_metrics_json, MetricsReport, Observer,
     OwnedMetricsReport, RuleEvaluated, RuleStats, StratumStats, METRICS_SCHEMA,

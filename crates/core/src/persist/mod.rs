@@ -6,7 +6,7 @@
 //! across batched updates; this module is what makes that durable. The
 //! design follows the shape of the incremental engine
 //! ([`crate::incremental`]): a model is a *base fixed point* plus a
-//! *log of monotone deltas*, so durability decomposes into
+//! *log of deltas*, so durability decomposes into
 //!
 //! 1. a **snapshot** of the base model ([`save_snapshot`] /
 //!    [`load_snapshot`]): a versioned binary file with a CRC-32 per
@@ -21,12 +21,18 @@
 //!    tail is truncated and only the intact prefix replays, and every
 //!    degradation is reported in a [`RecoveryReport`].
 //!
-//! Replay is *idempotent* because deltas are monotone (relational
-//! inserts and lattice lub-raises): applying a delta the model already
-//! absorbed is a no-op. That is what makes the crash windows safe — in
-//! particular, a crash between writing the compaction snapshot and
-//! truncating the log merely replays absorbed deltas on the next
-//! recovery.
+//! Replay is *idempotent* because every delta op — insert, retract,
+//! raise, or lower ([`crate::incremental::DeltaOp`]) — is a set
+//! operation on the extensional store: applying an op the store
+//! already reflects is a no-op. That is what makes the crash windows
+//! safe — in particular, a crash between writing the compaction
+//! snapshot and truncating the log merely replays absorbed deltas on
+//! the next recovery. Retracting deltas additionally need the snapshot
+//! to record the extensional store (snapshot format version 2); when a
+//! version-1 snapshot is recovered under a WAL containing retractions,
+//! recovery degrades to a scratch solve of the program with the
+//! combined delta applied, reported in
+//! [`RecoveryReport::scratch_solve`].
 //!
 //! Both formats embed a [`program_fingerprint`] of the program they
 //! were produced against, and loading rejects a mismatch: replaying
@@ -109,9 +115,10 @@ mod wire;
 #[cfg(any(test, feature = "test-internals"))]
 pub use faultfs::{corrupt_file, save_snapshot_with_fault, Fault, FaultPlan};
 pub use snapshot::{
-    load_snapshot, save_snapshot, snapshot_from_bytes, snapshot_to_bytes, SNAPSHOT_VERSION,
+    load_snapshot, save_snapshot, snapshot_from_bytes, snapshot_to_bytes, SNAPSHOT_MIN_VERSION,
+    SNAPSHOT_VERSION,
 };
-pub use wal::{DeltaLog, WalRecovery, WAL_VERSION};
+pub use wal::{DeltaLog, WalRecovery, WAL_MIN_VERSION, WAL_VERSION};
 pub use wire::program_fingerprint;
 
 /// A persistence failure: file I/O, or a corruption the checksums and
@@ -331,9 +338,7 @@ impl Solver {
                     report.wal_frames_replayed = recovery.deltas.len();
                     report.wal_bytes_dropped = recovery.dropped_bytes;
                     for delta in &recovery.deltas {
-                        for (name, tuple) in delta.entries() {
-                            combined.push(name, tuple.to_vec());
-                        }
+                        combined.extend_from(delta);
                     }
                 }
                 Err(e) => report.wal_error = Some(e),
@@ -341,34 +346,51 @@ impl Solver {
         }
         report.wal_entries_replayed = combined.len();
 
-        let solution = match base {
-            Some(prior) => self.resume(program, &prior, &combined)?,
-            None => {
-                report.scratch_solve = true;
-                if combined.is_empty() {
-                    self.solve(program)?
-                } else {
-                    let extended = program.with_delta(&combined).map_err(|e| {
-                        // Unreachable when the fingerprint matched (the
-                        // entries were validated when appended), but a
-                        // recovery path does not get to assume that.
-                        let stats = SolveStats::default();
-                        let partial = make_solution(
-                            program,
-                            Database::for_program(program, self.config.use_indexes),
-                            stats.clone(),
-                            None,
-                            None,
-                        );
-                        Box::new(SolveFailure {
-                            error: e.into(),
-                            partial,
-                            stats,
-                        })
-                    })?;
-                    self.solve(&extended)?
-                }
+        let delta_failure = |e: crate::incremental::DeltaError| {
+            // Unreachable when the fingerprint matched (the entries
+            // were validated when appended), but a recovery path does
+            // not get to assume that.
+            let stats = SolveStats::default();
+            let partial = make_solution(
+                program,
+                Database::for_program(program, self.config.use_indexes),
+                stats.clone(),
+                None,
+                None,
+            );
+            Box::new(SolveFailure {
+                error: e.into(),
+                partial,
+                stats,
+            })
+        };
+        let scratch = |report: &mut RecoveryReport| -> Result<Solution, Box<SolveFailure>> {
+            report.scratch_solve = true;
+            if combined.is_empty() {
+                self.solve(program)
+            } else {
+                let extended = program.with_delta(&combined).map_err(delta_failure)?;
+                self.solve(&extended)
             }
+        };
+        let solution = match base {
+            Some(prior) => match self.resume(program, &prior, &combined) {
+                Ok(solution) => solution,
+                // A pre-version-2 snapshot records no extensional store,
+                // so a WAL that retracts facts cannot be replayed against
+                // it exactly; the sound degradation is a scratch solve of
+                // the program with the combined delta applied.
+                Err(failure)
+                    if matches!(
+                        failure.error,
+                        crate::SolveError::Delta(crate::incremental::DeltaError::NoExtensionalBase)
+                    ) =>
+                {
+                    scratch(&mut report)?
+                }
+                Err(failure) => return Err(failure),
+            },
+            None => scratch(&mut report)?,
         };
         Ok((solution, report))
     }

@@ -11,14 +11,22 @@
 //! payload  := name str  kind u8 (0 rel | 1 lat)  arity u32  count u32
 //!             row*count
 //! row      := value*arity        -- lattice rows: key columns, then cell
+//! edb      := count u32  assertion*count       -- version 2: one extra
+//! assertion:= pred u32  width u32  value*width --   frame after the rows
 //! ```
 //!
-//! Frames appear in predicate-id order and `frame_count` equals the
-//! program's predicate count, so a loaded model always covers exactly
-//! the program's declarations. Rows are written in database iteration
-//! order and re-inserted in that order on load, which is what makes
-//! save → load → save byte-identical without any canonicalization
-//! pass.
+//! Predicate frames appear in predicate-id order and `frame_count`
+//! equals the program's predicate count, so a loaded model always
+//! covers exactly the program's declarations. Version 2 appends one
+//! more frame carrying the extensional store the model is the fixed
+//! point of (the program's facts composed with every absorbed delta) —
+//! what makes retracting deltas resumable after a restart. A solution
+//! whose store is unknown (itself loaded from a version-1 snapshot)
+//! saves as version 1 again, so v1 fixtures round-trip byte-identically
+//! and nothing fabricates a store it does not know. Rows are written in
+//! database iteration order and re-inserted in that order on load,
+//! which is what makes save → load → save byte-identical without any
+//! canonicalization pass.
 
 use super::wire::{crc32, program_fingerprint, ByteReader, ByteWriter};
 use super::PersistError;
@@ -30,11 +38,18 @@ use std::path::{Path, PathBuf};
 
 pub(crate) const SNAPSHOT_MAGIC: &[u8; 8] = b"FLIXSNP\0";
 
-/// The snapshot format version this build reads and writes. Bump it —
-/// and regenerate the golden fixture — whenever the wire format
-/// changes shape; old snapshots are then rejected with
-/// [`PersistError::UnsupportedVersion`] instead of misparsed.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The snapshot format version this build writes for solutions with a
+/// known extensional store; versions back to [`SNAPSHOT_MIN_VERSION`]
+/// are read. Bump it — and regenerate the golden fixture — whenever
+/// the wire format changes shape; older snapshots are then rejected
+/// with [`PersistError::UnsupportedVersion`] instead of misparsed.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The oldest snapshot format version this build still reads. Version-1
+/// snapshots carry no extensional-store frame; solutions loaded from
+/// them reject retracting deltas with
+/// [`DeltaError::NoExtensionalBase`](crate::DeltaError).
+pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 
 /// Header length in bytes: magic + version + fingerprint + frame count
 /// + header CRC.
@@ -45,11 +60,18 @@ pub(crate) const HEADER_LEN: usize = 8 + 4 + 8 + 4 + 4;
 /// trigger a huge allocation.
 pub(crate) const MAX_FRAME_LEN: usize = 1 << 30;
 
-/// Serializes a solved model to the snapshot wire format.
+/// Serializes a solved model to the snapshot wire format: version 2
+/// with an extensional-store frame when the solution knows its store,
+/// version 1 (rows only) when it does not.
 pub fn snapshot_to_bytes(program: &Program, solution: &Solution) -> Vec<u8> {
+    let edb = solution.edb();
+    let version = match edb {
+        Some(_) => SNAPSHOT_VERSION,
+        None => 1,
+    };
     let mut out = ByteWriter::new();
     out.bytes(SNAPSHOT_MAGIC);
-    out.u32(SNAPSHOT_VERSION);
+    out.u32(version);
     out.u64(program_fingerprint(program));
     out.u32(program.num_predicates() as u32);
     let header = out.into_bytes();
@@ -90,19 +112,36 @@ pub fn snapshot_to_bytes(program: &Program, solution: &Solution) -> Vec<u8> {
         bytes.extend_from_slice(&payload);
         bytes.extend_from_slice(&crc.to_le_bytes());
     }
+    if let Some(edb) = edb {
+        let mut frame = ByteWriter::new();
+        frame.u32(edb.len() as u32);
+        for (pred, tuple) in edb.iter() {
+            frame.u32(pred.0);
+            frame.u32(tuple.len() as u32);
+            for v in tuple {
+                frame.value(v);
+            }
+        }
+        let payload = frame.into_bytes();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let crc = crc32(&payload);
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+    }
     bytes
 }
 
 /// Validates a snapshot's header against `program`, returning the
-/// declared frame count. Shared with the WAL, which uses the same
-/// header shape (different magic, frame count fixed at 0).
+/// stored format version and the declared frame count. Shared with the
+/// WAL, which uses the same header shape (different magic, frame count
+/// fixed at 0).
 pub(crate) fn check_header(
     bytes: &[u8],
     kind: &'static str,
     magic: &[u8; 8],
-    version: u32,
+    versions: std::ops::RangeInclusive<u32>,
     fingerprint: u64,
-) -> Result<u32, PersistError> {
+) -> Result<(u32, u32), PersistError> {
     if bytes.len() < HEADER_LEN {
         return Err(PersistError::CorruptHeader { kind });
     }
@@ -115,11 +154,11 @@ pub(crate) fn check_header(
     }
     let mut r = ByteReader::new(&bytes[8..HEADER_LEN - 4]);
     let found_version = r.u32().expect("header length checked");
-    if found_version != version {
+    if !versions.contains(&found_version) {
         return Err(PersistError::UnsupportedVersion {
             kind,
             found: found_version,
-            supported: version,
+            supported: *versions.end(),
         });
     }
     let found_fingerprint = r.u64().expect("header length checked");
@@ -129,7 +168,7 @@ pub(crate) fn check_header(
             found: found_fingerprint,
         });
     }
-    Ok(r.u32().expect("header length checked"))
+    Ok((found_version, r.u32().expect("header length checked")))
 }
 
 /// Splits one `len + payload + crc` frame off `bytes` at `offset`,
@@ -176,11 +215,11 @@ pub(crate) fn check_frame(
 /// would not accept.
 pub fn snapshot_from_bytes(program: &Program, bytes: &[u8]) -> Result<Solution, PersistError> {
     let fingerprint = program_fingerprint(program);
-    let frame_count = check_header(
+    let (version, frame_count) = check_header(
         bytes,
         "snapshot",
         SNAPSHOT_MAGIC,
-        SNAPSHOT_VERSION,
+        SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION,
         fingerprint,
     )?;
     if frame_count as usize != program.num_predicates() {
@@ -206,6 +245,24 @@ pub fn snapshot_from_bytes(program: &Program, bytes: &[u8]) -> Result<Solution, 
         )?;
         offset = next;
     }
+    let edb = if version >= 2 {
+        let frame_idx = program.num_predicates();
+        let (payload, next) = check_frame(bytes, offset, frame_idx)?;
+        let entries =
+            decode_edb_frame(program, payload).map_err(|reason| PersistError::CorruptFrame {
+                frame: frame_idx,
+                at: offset,
+                reason,
+            })?;
+        offset = next;
+        Some(std::sync::Arc::new(entries))
+    } else {
+        // A version-1 snapshot does not record the extensional store;
+        // the loaded solution must not pretend the program's own facts
+        // are it (absorbed deltas would be lost), so it carries None
+        // and rejects retracting deltas.
+        None
+    };
     if offset != bytes.len() {
         return Err(PersistError::TrailingBytes { at: offset });
     }
@@ -214,7 +271,45 @@ pub fn snapshot_from_bytes(program: &Program, bytes: &[u8]) -> Result<Solution, 
         total_facts: db.total_facts() as u64,
         ..SolveStats::default()
     };
-    Ok(make_solution(program, db, stats, None, None))
+    let mut solution = make_solution(program, db, stats, None, None);
+    solution.set_edb(edb);
+    Ok(solution)
+}
+
+/// Decodes the version-2 extensional-store frame: the exact set of
+/// assertions the stored model is the least fixed point of.
+fn decode_edb_frame(
+    program: &Program,
+    payload: &[u8],
+) -> Result<Vec<(PredId, Vec<crate::Value>)>, String> {
+    let mut r = ByteReader::new(payload);
+    let decode = |e: super::wire::WireError| format!("{} at byte {}", e.what, e.at);
+    let count = r.u32().map_err(decode)? as usize;
+    if count > r.remaining() && count > 0 {
+        return Err("assertion count exceeds frame payload".to_string());
+    }
+    let mut entries = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let pred = r.u32().map_err(decode)? as usize;
+        if pred >= program.num_predicates() {
+            return Err("assertion names a predicate the program lacks".to_string());
+        }
+        let pred = PredId(pred as u32);
+        let width = r.u32().map_err(decode)? as usize;
+        let decl = program.decl(pred);
+        if width != decl.arity() {
+            return Err("assertion width does not match the predicate's arity".to_string());
+        }
+        let mut tuple = Vec::with_capacity(width);
+        for _ in 0..width {
+            tuple.push(r.value().map_err(decode)?);
+        }
+        entries.push((pred, tuple));
+    }
+    if !r.is_done() {
+        return Err("frame payload has trailing bytes".to_string());
+    }
+    Ok(entries)
 }
 
 enum FrameFault {

@@ -9,19 +9,26 @@
 //!            reserved u32 (0)  crc u32          -- CRC-32 of bytes 0..24
 //! frame   := len u32  payload (len bytes)  crc u32  -- CRC-32 of payload
 //! payload := count u32  entry*count
-//! entry   := predicate str  width u32  value*width
+//! entry   := op u8 (0 insert | 1 retract | 2 raise | 3 lower)
+//!            predicate str  width u32  value*width
+//!                        -- raise/lower: key columns, then the element
 //! ```
+//!
+//! Version 1 entries had no `op` tag (every entry was an insert); v1
+//! logs are still read, and [`DeltaLog::open`] upgrades them to the
+//! current version in place (atomically) so that later appends — always
+//! current-version frames — stay readable.
 //!
 //! Opening scans the longest valid frame prefix and **truncates the
 //! file** at the first torn or corrupt frame — whatever follows a bad
 //! frame is unrecoverable (frame boundaries are only known by walking
-//! the lengths) and monotone replay of the intact prefix is exactly
-//! the state the writer had durably reached.
+//! the lengths) and replay of the intact prefix is exactly the state
+//! the writer had durably reached.
 
-use super::snapshot::{check_frame, check_header, save_snapshot, HEADER_LEN};
+use super::snapshot::{check_frame, check_header, save_snapshot, write_atomic, HEADER_LEN};
 use super::wire::{crc32, program_fingerprint, ByteReader, ByteWriter};
 use super::PersistError;
-use crate::incremental::Delta;
+use crate::incremental::{Delta, DeltaOp};
 use crate::{Program, Solution};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -29,9 +36,14 @@ use std::path::{Path, PathBuf};
 
 pub(crate) const WAL_MAGIC: &[u8; 8] = b"FLIXWAL\0";
 
-/// The WAL format version this build reads and writes; see
-/// [`super::SNAPSHOT_VERSION`] for the bump discipline.
-pub const WAL_VERSION: u32 = 1;
+/// The WAL format version this build writes; versions back to
+/// [`WAL_MIN_VERSION`] are read. See [`super::SNAPSHOT_VERSION`] for
+/// the bump discipline.
+pub const WAL_VERSION: u32 = 2;
+
+/// The oldest WAL format version this build still reads (and upgrades
+/// in place on open).
+pub const WAL_MIN_VERSION: u32 = 1;
 
 /// What [`DeltaLog::open`] salvaged from an existing log file.
 #[derive(Debug, Default)]
@@ -82,14 +94,46 @@ fn header_bytes(fingerprint: u64) -> Vec<u8> {
     bytes
 }
 
+/// The op tag of a version-2 entry.
+fn op_tag(op: &DeltaOp) -> u8 {
+    match op {
+        DeltaOp::Insert { .. } => 0,
+        DeltaOp::Retract { .. } => 1,
+        DeltaOp::Raise { .. } => 2,
+        DeltaOp::Lower { .. } => 3,
+    }
+}
+
 fn encode_frame(delta: &Delta) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.u32(delta.len() as u32);
-    for (name, tuple) in delta.entries() {
-        w.string(name);
-        w.u32(tuple.len() as u32);
-        for v in tuple {
-            w.value(v);
+    for op in delta.ops() {
+        w.u8(op_tag(op));
+        match op {
+            DeltaOp::Insert { predicate, tuple } | DeltaOp::Retract { predicate, tuple } => {
+                w.string(predicate);
+                w.u32(tuple.len() as u32);
+                for v in tuple {
+                    w.value(v);
+                }
+            }
+            DeltaOp::Raise {
+                predicate,
+                key,
+                element,
+            }
+            | DeltaOp::Lower {
+                predicate,
+                key,
+                element,
+            } => {
+                w.string(predicate);
+                w.u32(key.len() as u32 + 1);
+                for v in key {
+                    w.value(v);
+                }
+                w.value(element);
+            }
         }
     }
     let payload = w.into_bytes();
@@ -101,6 +145,65 @@ fn encode_frame(delta: &Delta) -> Vec<u8> {
 }
 
 fn decode_frame(payload: &[u8]) -> Result<Delta, String> {
+    let mut r = ByteReader::new(payload);
+    let fail = |e: super::wire::WireError| format!("{} at byte {}", e.what, e.at);
+    let count = r.u32().map_err(fail)? as usize;
+    if count > r.remaining() && count > 0 {
+        return Err("entry count exceeds frame payload".to_string());
+    }
+    let mut delta = Delta::new();
+    for _ in 0..count {
+        let tag = r.u8().map_err(fail)?;
+        if tag > 3 {
+            return Err("entry has an unknown op tag".to_string());
+        }
+        let name = r.string().map_err(fail)?.to_string();
+        let width = r.u32().map_err(fail)? as usize;
+        if width > r.remaining() && width > 0 {
+            return Err("entry width exceeds frame payload".to_string());
+        }
+        let mut tuple = Vec::with_capacity(width);
+        for _ in 0..width {
+            tuple.push(r.value().map_err(fail)?);
+        }
+        let op = match tag {
+            0 => DeltaOp::Insert {
+                predicate: name,
+                tuple,
+            },
+            1 => DeltaOp::Retract {
+                predicate: name,
+                tuple,
+            },
+            _ => {
+                let Some(element) = tuple.pop() else {
+                    return Err("lattice entry has no element column".to_string());
+                };
+                if tag == 2 {
+                    DeltaOp::Raise {
+                        predicate: name,
+                        key: tuple,
+                        element,
+                    }
+                } else {
+                    DeltaOp::Lower {
+                        predicate: name,
+                        key: tuple,
+                        element,
+                    }
+                }
+            }
+        };
+        delta.push_op(op);
+    }
+    if !r.is_done() {
+        return Err("frame payload has trailing bytes".to_string());
+    }
+    Ok(delta)
+}
+
+/// Decodes a version-1 frame: untagged entries, every one an insert.
+fn decode_frame_v1(payload: &[u8]) -> Result<Delta, String> {
     let mut r = ByteReader::new(payload);
     let fail = |e: super::wire::WireError| format!("{} at byte {}", e.what, e.at);
     let count = r.u32().map_err(fail)? as usize;
@@ -147,11 +250,11 @@ impl DeltaLog {
 
         let bytes =
             std::fs::read(path).map_err(|e| PersistError::io("read write-ahead log", path, e))?;
-        check_header(
+        let (version, _) = check_header(
             &bytes,
             "write-ahead log",
             WAL_MAGIC,
-            WAL_VERSION,
+            WAL_MIN_VERSION..=WAL_VERSION,
             fingerprint,
         )?;
 
@@ -159,7 +262,12 @@ impl DeltaLog {
         let mut offset = HEADER_LEN;
         while offset < bytes.len() {
             let parsed = check_frame(&bytes, offset, deltas.len()).and_then(|(payload, next)| {
-                match decode_frame(payload) {
+                let decoded = if version < 2 {
+                    decode_frame_v1(payload)
+                } else {
+                    decode_frame(payload)
+                };
+                match decoded {
                     Ok(delta) => Ok((delta, next)),
                     Err(reason) => Err(PersistError::CorruptFrame {
                         frame: deltas.len(),
@@ -179,6 +287,37 @@ impl DeltaLog {
             }
         }
         let dropped_bytes = (bytes.len() - offset) as u64;
+
+        if version < WAL_VERSION {
+            // Upgrade in place: appends always write current-version
+            // frames, which a stale header would mislabel. The rewrite
+            // (re-encoded valid prefix under a fresh header) is atomic,
+            // so a crash leaves either the old v1 log or the new one —
+            // and it drops the corruption tail as a side effect.
+            let mut upgraded = header_bytes(fingerprint);
+            for delta in &deltas {
+                upgraded.extend_from_slice(&encode_frame(delta));
+            }
+            write_atomic(path, &upgraded)?;
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(path)
+                .map_err(|e| PersistError::io("open write-ahead log", path, e))?;
+            let frames = deltas.len() as u64;
+            return Ok((
+                DeltaLog {
+                    path: path.to_path_buf(),
+                    file,
+                    end: upgraded.len() as u64,
+                    frames,
+                },
+                WalRecovery {
+                    deltas,
+                    dropped_bytes,
+                },
+            ));
+        }
 
         let file = OpenOptions::new()
             .read(true)

@@ -617,7 +617,7 @@ impl Solver {
             program,
             &guard,
             &mut db,
-            &[],
+            FactSource::ProgramPlus(&[]),
             &mut stats,
             &mut events,
             &tracer,
@@ -650,16 +650,16 @@ impl Solver {
         }
     }
 
-    /// Runs the full from-scratch fixed point: loads the program's facts
-    /// plus `extra_facts` (the resume fallback path appends the delta's
-    /// facts there), then evaluates every stratum in order.
+    /// Runs the full from-scratch fixed point: loads the extensional
+    /// store described by `base_facts`, then evaluates every stratum in
+    /// order.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn solve_inner(
         &self,
         program: &Program,
         guard: &Guard<'_>,
         db: &mut Database,
-        extra_facts: &[(PredId, Vec<Value>)],
+        base_facts: FactSource<'_>,
         stats: &mut SolveStats,
         events: &mut Option<Vec<Event>>,
         tracer: &Tracer,
@@ -669,7 +669,11 @@ impl Solver {
 
         // Load the extensional facts.
         let load_start = tracer.now_ns();
-        let program_facts = program.facts.iter().map(|(p, v)| (*p, v));
+        let (own, extra_facts) = match base_facts {
+            FactSource::ProgramPlus(extra) => (program.facts.as_slice(), extra),
+            FactSource::Exact(store) => (&[][..], store),
+        };
+        let program_facts = own.iter().map(|(p, v)| (*p, v));
         let extra = extra_facts.iter().map(|(p, v)| (*p, v));
         for (pred, values) in program_facts.chain(extra) {
             match db.insert(pred, values.clone()) {
@@ -1376,6 +1380,19 @@ fn run_one_task(
 
 /// Attributes an [`InsertFault`] (from [`Database::insert`]) to the
 /// predicate and rule it happened under.
+/// The extensional store a from-scratch run loads before the strata.
+pub(crate) enum FactSource<'a> {
+    /// The program's own facts plus extras: plain solves, and the resume
+    /// fallback when the prior's extensional store is unknown (the extras
+    /// are then the delta's insertions).
+    ProgramPlus(&'a [(PredId, Vec<Value>)]),
+    /// An explicit store replacing the program's facts entirely — the
+    /// retraction paths of [`Solver::resume`](crate::incremental) solve
+    /// from the updated store E′, where a retracted program fact must
+    /// *not* be re-loaded.
+    Exact(&'a [(PredId, Vec<Value>)]),
+}
+
 pub(crate) fn insert_fault_error(
     program: &Program,
     pred: PredId,
@@ -1444,7 +1461,9 @@ pub(crate) fn make_solution(
             .collect(),
         db: db.into(),
         stats,
+        events_complete: events.is_some(),
         events,
+        edb: Some(Arc::new(program.facts.clone())),
         trace,
     }
 }
@@ -2419,6 +2438,11 @@ fn derive_head(program: &Program, rule: &CRule, body: &[CItem], env: &Env, cx: &
     cx.out.push((rule.head_pred, tuple, premises));
 }
 
+/// The extensional store E a model is the least fixed point of: every
+/// asserted relation tuple and lattice contribution, program facts
+/// composed with absorbed deltas.
+pub(crate) type ExtensionalStore = Arc<Vec<(PredId, Vec<Value>)>>;
+
 /// The computed minimal model: the final fact database plus run statistics.
 ///
 /// Query by predicate name; relations yield tuples, lattice predicates
@@ -2435,6 +2459,15 @@ pub struct Solution {
     db: Arc<Database>,
     stats: SolveStats,
     events: Option<Vec<Event>>,
+    // Whether `events` covers every insertion since the empty database —
+    // the precondition for exact retraction handling in `resume`. False
+    // when a recording resume extended a prior that had no log.
+    events_complete: bool,
+    // The extensional store E this model is the least fixed point of:
+    // the program's facts composed with every delta absorbed by resumes.
+    // `None` when unknown (solutions loaded from version-1 snapshots),
+    // in which case retracting deltas are rejected.
+    edb: Option<ExtensionalStore>,
     trace: Option<ExecutionTrace>,
 }
 
@@ -2696,6 +2729,26 @@ impl Solution {
     /// does not match the one being resumed.
     pub(crate) fn num_predicates(&self) -> usize {
         self.kinds.len()
+    }
+
+    /// Whether the event log covers every insertion since the empty
+    /// database (see the field). Meaningful only when `events` is some.
+    pub(crate) fn events_complete(&self) -> bool {
+        self.events_complete
+    }
+
+    pub(crate) fn set_events_complete(&mut self, complete: bool) {
+        self.events_complete = complete;
+    }
+
+    /// The extensional store this model is the fixed point of, or `None`
+    /// when unknown (version-1 snapshot loads).
+    pub(crate) fn edb(&self) -> Option<&ExtensionalStore> {
+        self.edb.as_ref()
+    }
+
+    pub(crate) fn set_edb(&mut self, edb: Option<ExtensionalStore>) {
+        self.edb = edb;
     }
 }
 

@@ -490,3 +490,313 @@ fn empty_delta_carries_provenance_over() {
     assert_eq!(resumed.provenance().expect("carried").len(), events);
     assert!(resumed.explain("Path", &[1.into(), 3.into()]).is_some());
 }
+
+// ---------------------------------------------------------------------
+// Retraction (DeltaOp::Retract / DeltaOp::Lower) coverage.
+// ---------------------------------------------------------------------
+
+/// Configurations with provenance recording on — the precondition for
+/// the exact over-delete/re-derive path (without it retraction degrades
+/// to a scratch solve, covered separately below).
+fn provenance_configurations() -> Vec<Solver> {
+    configurations()
+        .into_iter()
+        .map(|s| s.record_provenance(true))
+        .collect()
+}
+
+#[test]
+fn retraction_matches_scratch_on_paths() {
+    // Retract the middle edge of a chain: every Path fact that routed
+    // through it must disappear, while an alternative route survives.
+    let base_edges = [(1, 2), (2, 3), (3, 4), (1, 3)];
+    let base = paths_program(&base_edges);
+    let scratch_program = paths_program(&[(1, 2), (3, 4), (1, 3)]);
+    let delta = Delta::new().retract("Edge", vec![Value::from(2), Value::from(3)]);
+    for solver in provenance_configurations() {
+        let prior = solver.solve(&base).expect("solves");
+        assert!(prior.contains("Path", &[Value::from(2), Value::from(4)]));
+        let resumed = solver.resume(&base, &prior, &delta).expect("resumes");
+        let scratch = solver.solve(&scratch_program).expect("solves");
+        assert_eq!(dump(&base, &resumed), dump(&scratch_program, &scratch));
+        assert!(!resumed.contains("Path", &[Value::from(2), Value::from(4)]));
+        // Path(1, 4) survives: it re-derives through Edge(1, 3).
+        assert!(resumed.contains("Path", &[Value::from(1), Value::from(4)]));
+    }
+}
+
+#[test]
+fn retraction_without_provenance_falls_back_and_matches_scratch() {
+    // With no event log there is no cone to over-delete; the resume
+    // must degrade to a scratch solve of the updated store and still
+    // agree with it cell-for-cell.
+    let base = paths_program(&[(1, 2), (2, 3), (3, 4)]);
+    let scratch_program = paths_program(&[(1, 2), (3, 4)]);
+    let delta = Delta::new().retract("Edge", vec![Value::from(2), Value::from(3)]);
+    for solver in configurations() {
+        let prior = solver.solve(&base).expect("solves");
+        let resumed = solver.resume(&base, &prior, &delta).expect("resumes");
+        let scratch = solver.solve(&scratch_program).expect("solves");
+        assert_eq!(dump(&base, &resumed), dump(&scratch_program, &scratch));
+    }
+}
+
+#[test]
+fn lattice_lower_resettles_at_the_lub_of_survivors() {
+    // Dist(2) = 7 via 0→1→2; the direct Edge(0, 2, 9) is dominated.
+    // Retracting Edge(1, 2, 3) removes the justification for 7, and the
+    // cell must re-settle at 9 — the lub of what remains — not vanish
+    // and not stay at the stale 7.
+    let base = shortest_paths_program(&[(0, 1, 4), (1, 2, 3), (0, 2, 9), (2, 3, 1)]);
+    let scratch_program = shortest_paths_program(&[(0, 1, 4), (0, 2, 9), (2, 3, 1)]);
+    let delta = Delta::new().retract("Edge", vec![Value::from(1), Value::from(2), Value::from(3)]);
+    for solver in provenance_configurations() {
+        let prior = solver.solve(&base).expect("solves");
+        assert_eq!(
+            prior.lattice_value("Dist", &[Value::from(2)]),
+            Some(MinCost::finite(7).to_value())
+        );
+        let resumed = solver.resume(&base, &prior, &delta).expect("resumes");
+        let scratch = solver.solve(&scratch_program).expect("solves");
+        assert_eq!(dump(&base, &resumed), dump(&scratch_program, &scratch));
+        assert_eq!(
+            resumed.lattice_value("Dist", &[Value::from(2)]),
+            Some(MinCost::finite(9).to_value())
+        );
+        assert_eq!(
+            resumed.lattice_value("Dist", &[Value::from(3)]),
+            Some(MinCost::finite(10).to_value())
+        );
+    }
+}
+
+#[test]
+fn lowering_an_asserted_cell_withdraws_its_contribution() {
+    // The base asserts Dist(5) = finite(2) directly (no edge reaches
+    // node 5). Lowering exactly that contribution must make the cell
+    // disappear; lowering a contribution that was never asserted is a
+    // no-op.
+    let mut b = ProgramBuilder::new();
+    let edge = b.relation("Edge", 3);
+    let dist = b.lattice("Dist", 2, LatticeOps::of::<MinCost>());
+    let extend = b.function("extend", |args| {
+        let d = MinCost::expect_from(&args[0]);
+        let c = args[1].as_int().expect("edge weight") as u64;
+        d.add_weight(c).to_value()
+    });
+    b.fact(dist, vec![Value::from(0), MinCost::finite(0).to_value()]);
+    b.fact(dist, vec![Value::from(5), MinCost::finite(2).to_value()]);
+    b.fact(edge, vec![Value::from(0), Value::from(1), Value::from(4)]);
+    b.rule(
+        Head::new(
+            dist,
+            [
+                HeadTerm::var("y"),
+                HeadTerm::app(extend, [Term::var("d"), Term::var("c")]),
+            ],
+        ),
+        [
+            BodyItem::atom(dist, [Term::var("x"), Term::var("d")]),
+            BodyItem::atom(edge, [Term::var("x"), Term::var("y"), Term::var("c")]),
+        ],
+    );
+    let base = b.build().expect("valid program");
+
+    for solver in provenance_configurations() {
+        let prior = solver.solve(&base).expect("solves");
+        assert_eq!(
+            prior.lattice_value("Dist", &[Value::from(5)]),
+            Some(MinCost::finite(2).to_value())
+        );
+        let lower = Delta::new().lower("Dist", vec![Value::from(5)], MinCost::finite(2).to_value());
+        let resumed = solver.resume(&base, &prior, &lower).expect("resumes");
+        // The cell is gone from the database; reading it yields the
+        // lattice bottom (absent ≡ ⊥), and the unified fact view no
+        // longer lists it.
+        assert_eq!(
+            resumed.lattice_value("Dist", &[Value::from(5)]),
+            Some(MinCost::INFINITY.to_value())
+        );
+        assert!(
+            !dump(&base, &resumed)
+                .iter()
+                .any(|line| line.starts_with("Dist(5")),
+            "the lowered cell must drop out of the model"
+        );
+        assert_eq!(
+            resumed.lattice_value("Dist", &[Value::from(1)]),
+            Some(MinCost::finite(4).to_value()),
+            "untouched cells survive the lower"
+        );
+        // Lowering a never-asserted contribution changes nothing.
+        let noop = Delta::new().lower("Dist", vec![Value::from(1)], MinCost::finite(4).to_value());
+        let unchanged = solver.resume(&base, &resumed, &noop).expect("resumes");
+        assert_eq!(dump(&base, &unchanged), dump(&base, &resumed));
+    }
+}
+
+#[test]
+fn retraction_into_a_negated_cone_falls_back_to_scratch() {
+    // C(x) :- A(x), not B(x): retracting a B fact must *create* C facts,
+    // which the over-delete/re-derive pass cannot express (the event log
+    // only witnesses positive premises) — resume must detect the negated
+    // cone, fall back to a scratch solve of the updated store, and still
+    // match it exactly.
+    fn build(a_facts: &[i64], b_facts: &[i64]) -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.relation("A", 1);
+        let bb = b.relation("B", 1);
+        let c = b.relation("C", 1);
+        for x in a_facts {
+            b.fact(a, vec![Value::from(*x)]);
+        }
+        for x in b_facts {
+            b.fact(bb, vec![Value::from(*x)]);
+        }
+        b.rule(
+            Head::new(c, [HeadTerm::var("x")]),
+            [
+                BodyItem::atom(a, [Term::var("x")]),
+                BodyItem::not(bb, [Term::var("x")]),
+            ],
+        );
+        b.build().expect("valid program")
+    }
+    let base = build(&[1, 2], &[1, 2]);
+    let scratch_program = build(&[1, 2], &[2]);
+    for solver in provenance_configurations() {
+        let prior = solver.solve(&base).expect("solves");
+        assert!(!prior.contains("C", &[Value::from(1)]));
+        let delta = Delta::new().retract("B", vec![Value::from(1)]);
+        let resumed = solver.resume(&base, &prior, &delta).expect("resumes");
+        let scratch = solver.solve(&scratch_program).expect("solves");
+        assert_eq!(dump(&base, &resumed), dump(&scratch_program, &scratch));
+        assert!(
+            resumed.contains("C", &[Value::from(1)]),
+            "C(1) must appear once B(1) is retracted"
+        );
+    }
+}
+
+#[test]
+fn retracting_a_derived_only_fact_is_a_noop() {
+    // Path(1, 3) is derived, never asserted; delta ops are set
+    // operations on the extensional store, so retracting it changes
+    // nothing — the derivation still stands.
+    let base = paths_program(&[(1, 2), (2, 3)]);
+    for solver in provenance_configurations() {
+        let prior = solver.solve(&base).expect("solves");
+        let delta = Delta::new().retract("Path", vec![Value::from(1), Value::from(3)]);
+        let resumed = solver.resume(&base, &prior, &delta).expect("resumes");
+        assert_eq!(dump(&base, &resumed), dump(&base, &prior));
+        assert!(resumed.contains("Path", &[Value::from(1), Value::from(3)]));
+    }
+}
+
+#[test]
+fn retract_then_reinsert_in_one_delta_cancels() {
+    let base = paths_program(&[(1, 2), (2, 3)]);
+    for solver in provenance_configurations() {
+        let prior = solver.solve(&base).expect("solves");
+        let delta = Delta::new()
+            .retract("Edge", vec![Value::from(1), Value::from(2)])
+            .insert("Edge", vec![Value::from(1), Value::from(2)]);
+        let resumed = solver.resume(&base, &prior, &delta).expect("resumes");
+        assert_eq!(dump(&base, &resumed), dump(&base, &prior));
+        // The ops cancelled: nothing was effectively removed, and the
+        // reinserted fact was already absorbed, so no re-derivation ran.
+        assert_eq!(resumed.stats().facts_inserted, 0);
+    }
+}
+
+#[test]
+fn chained_mixed_resumes_match_scratch() {
+    // Inserts, retracts, raises, and lowers chained through five
+    // resumes, each checked against a scratch solve of the same store.
+    let base = shortest_paths_program(&[(0, 1, 4), (1, 2, 3), (0, 2, 9)]);
+    for solver in provenance_configurations() {
+        let mut current = solver.solve(&base).expect("solves");
+
+        // Step 1: insert an edge extending the graph.
+        let d1 = Delta::new().insert("Edge", vec![Value::from(2), Value::from(3), Value::from(1)]);
+        current = solver.resume(&base, &current, &d1).expect("resumes");
+        let s1 = shortest_paths_program(&[(0, 1, 4), (1, 2, 3), (0, 2, 9), (2, 3, 1)]);
+        let scratch = solver.solve(&s1).expect("solves");
+        assert_eq!(dump(&base, &current), dump(&s1, &scratch));
+
+        // Step 2: retract the cheap middle edge inserted before step 1.
+        let d2 = Delta::new().retract("Edge", vec![Value::from(1), Value::from(2), Value::from(3)]);
+        current = solver.resume(&base, &current, &d2).expect("resumes");
+        let s2 = shortest_paths_program(&[(0, 1, 4), (0, 2, 9), (2, 3, 1)]);
+        let scratch = solver.solve(&s2).expect("solves");
+        assert_eq!(dump(&base, &current), dump(&s2, &scratch));
+        assert_eq!(
+            current.lattice_value("Dist", &[Value::from(2)]),
+            Some(MinCost::finite(9).to_value())
+        );
+
+        // Step 3: raise Dist(3) directly, as if a better out-of-band
+        // route appeared.
+        let d3 = Delta::new().raise("Dist", vec![Value::from(3)], MinCost::finite(5).to_value());
+        current = solver.resume(&base, &current, &d3).expect("resumes");
+        assert_eq!(
+            current.lattice_value("Dist", &[Value::from(3)]),
+            Some(MinCost::finite(5).to_value())
+        );
+
+        // Step 4: lower it again — the cell re-settles at the derived 10.
+        let d4 = Delta::new().lower("Dist", vec![Value::from(3)], MinCost::finite(5).to_value());
+        current = solver.resume(&base, &current, &d4).expect("resumes");
+        let scratch = solver.solve(&s2).expect("solves");
+        assert_eq!(dump(&base, &current), dump(&s2, &scratch));
+        assert_eq!(
+            current.lattice_value("Dist", &[Value::from(3)]),
+            Some(MinCost::finite(10).to_value())
+        );
+
+        // Step 5: re-insert the retracted edge; back to the step-1 model.
+        let d5 = Delta::new().insert("Edge", vec![Value::from(1), Value::from(2), Value::from(3)]);
+        current = solver.resume(&base, &current, &d5).expect("resumes");
+        let scratch = solver.solve(&s1).expect("solves");
+        assert_eq!(dump(&base, &current), dump(&s1, &scratch));
+    }
+}
+
+#[test]
+fn delta_op_builder_and_wrappers_agree() {
+    use flix_core::DeltaOp;
+    // The thin wrappers produce exactly the ops the explicit builder
+    // does, and is_empty accounts for every op kind.
+    let via_wrappers = Delta::new()
+        .insert("Edge", vec![Value::from(1), Value::from(2)])
+        .retract("Edge", vec![Value::from(2), Value::from(3)])
+        .raise("Dist", vec![Value::from(0)], Value::from(0))
+        .lower("Dist", vec![Value::from(1)], Value::from(5));
+    let via_ops = Delta::new()
+        .op(DeltaOp::Insert {
+            predicate: "Edge".to_string(),
+            tuple: vec![Value::from(1), Value::from(2)],
+        })
+        .op(DeltaOp::Retract {
+            predicate: "Edge".to_string(),
+            tuple: vec![Value::from(2), Value::from(3)],
+        })
+        .op(DeltaOp::Raise {
+            predicate: "Dist".to_string(),
+            key: vec![Value::from(0)],
+            element: Value::from(0),
+        })
+        .op(DeltaOp::Lower {
+            predicate: "Dist".to_string(),
+            key: vec![Value::from(1)],
+            element: Value::from(5),
+        });
+    assert_eq!(via_wrappers, via_ops);
+    assert_eq!(via_wrappers.len(), 4);
+    assert!(!via_wrappers.is_empty());
+    for op in via_wrappers.ops() {
+        let single = Delta::new().op(op.clone());
+        assert!(!single.is_empty(), "{op:?} must make the delta non-empty");
+    }
+    assert!(Delta::new().is_empty());
+}

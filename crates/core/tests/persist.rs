@@ -167,9 +167,7 @@ fn workloads() -> Vec<(&'static str, Program, Vec<Delta>)> {
 fn combined(deltas: &[Delta], m: usize) -> Delta {
     let mut all = Delta::new();
     for delta in &deltas[..m] {
-        for (name, tuple) in delta.entries() {
-            all.push(name, tuple.to_vec());
-        }
+        all.extend_from(delta);
     }
     all
 }
@@ -581,24 +579,391 @@ fn golden_program() -> Program {
 }
 
 const GOLDEN: &[u8] = include_bytes!("fixtures/golden_v1.snap");
+const GOLDEN_V2: &[u8] = include_bytes!("fixtures/golden_v2.snap");
 
 #[test]
-fn golden_snapshot_keeps_loading() {
+fn golden_v1_snapshot_keeps_loading() {
     let program = golden_program();
     let loaded = snapshot_from_bytes(&program, GOLDEN)
         .expect("committed golden snapshot must load; format changes need a version bump");
     let scratch = Solver::new().solve(&program).expect("solvable");
     assert_eq!(dump(&program, &scratch), dump(&program, &loaded));
-    // And the fixture is canonical: re-saving reproduces it exactly.
+    // And the legacy fixture is canonical for what it knows: a v1 load
+    // carries no extensional store, so it re-saves as v1, byte-exactly.
     assert_eq!(GOLDEN, snapshot_to_bytes(&program, &loaded).as_slice());
+}
+
+#[test]
+fn golden_v2_snapshot_keeps_loading() {
+    let program = golden_program();
+    let loaded = snapshot_from_bytes(&program, GOLDEN_V2)
+        .expect("committed golden v2 snapshot must load; format changes need a version bump");
+    let scratch = Solver::new().solve(&program).expect("solvable");
+    assert_eq!(dump(&program, &scratch), dump(&program, &loaded));
+    // The v2 fixture is canonical: re-saving reproduces it exactly.
+    assert_eq!(GOLDEN_V2, snapshot_to_bytes(&program, &loaded).as_slice());
+    // And it recorded the extensional store, so retracting deltas resume.
+    let shrink = Delta::new().retract("Edge", vec![1.into(), 2.into()]);
+    Solver::new()
+        .resume(&program, &loaded, &shrink)
+        .expect("v2 snapshots support retraction");
 }
 
 #[test]
 #[ignore = "regenerates the golden fixture; run after a deliberate format change"]
 fn regenerate_golden_snapshot() {
+    // Only the current-version fixture can be regenerated; golden_v1.snap
+    // is a frozen legacy artifact no current writer produces.
     let program = golden_program();
     let solution = Solver::new().solve(&program).expect("solvable");
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_v1.snap");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_v2.snap");
     std::fs::write(&path, snapshot_to_bytes(&program, &solution)).expect("writes fixture");
+    println!("wrote {}", path.display());
+}
+
+// ---------------------------------------------------------------------
+// Format version 2: retraction-capable WAL entries and the snapshot's
+// extensional-store frame.
+// ---------------------------------------------------------------------
+
+/// Reference CRC-32 (bitwise, IEEE 802.3) for handcrafting legacy
+/// fixtures without reaching into the crate's private wire module.
+fn crc32_ref(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// Handcrafts a version-1 (pre-retraction) WAL: untagged insert-only
+/// entries, exactly the bytes an older build would have written. Only
+/// `Int` values are needed by the tests that use this.
+fn v1_wal_bytes(program: &Program, deltas: &[Vec<(&str, Vec<i64>)>]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FLIXWAL\0");
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&flix_core::program_fingerprint(program).to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    let crc = crc32_ref(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    for entries in deltas {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for (name, tuple) in entries {
+            payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            payload.extend_from_slice(name.as_bytes());
+            payload.extend_from_slice(&(tuple.len() as u32).to_le_bytes());
+            for v in tuple {
+                payload.push(2); // Value::Int tag
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let crc = crc32_ref(&payload);
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+    }
+    bytes
+}
+
+/// A mixed-op delta over the shortest-paths workload's program:
+/// insert, retract, raise, and lower in one delta.
+fn mixed_delta() -> Delta {
+    Delta::new()
+        .insert("Edge", vec![3.into(), 4.into(), 2.into()])
+        .retract("Edge", vec![1.into(), 2.into(), 3.into()])
+        .raise("Dist", vec![3.into()], MinCost::finite(1).to_value())
+        .lower("Dist", vec![0.into()], MinCost::finite(0).to_value())
+}
+
+#[test]
+fn wal_v2_round_trips_mixed_ops_byte_identically() {
+    let scratch = Scratch::new("wal-v2-roundtrip");
+    let (program, deltas) = shortest_paths_workload();
+    let wal = scratch.path("model.wal");
+    let mixed = mixed_delta();
+    {
+        let (mut log, recovery) = DeltaLog::open(&wal, &program).expect("creates");
+        assert!(recovery.deltas.is_empty());
+        log.append(&deltas[0]).expect("appends");
+        log.append(&mixed).expect("appends mixed ops");
+        // An empty delta short-circuits regardless of op kinds seen.
+        log.append(&Delta::new()).expect("no-op append");
+        assert_eq!(log.frames(), 2);
+    }
+    let bytes_after_write = std::fs::read(&wal).expect("readable");
+    let (version, _) = (
+        u32::from_le_bytes(bytes_after_write[8..12].try_into().unwrap()),
+        (),
+    );
+    assert_eq!(version, flix_core::persist::WAL_VERSION);
+
+    // Reopen: every op of every frame survives, in order, and the
+    // reopen itself rewrites nothing.
+    let (_log, recovery) = DeltaLog::open(&wal, &program).expect("reopens");
+    assert_eq!(recovery.dropped_bytes, 0);
+    assert_eq!(recovery.deltas.len(), 2);
+    assert_eq!(recovery.deltas[0], deltas[0]);
+    assert_eq!(recovery.deltas[1], mixed);
+    let bytes_after_reopen = std::fs::read(&wal).expect("readable");
+    assert_eq!(
+        bytes_after_write, bytes_after_reopen,
+        "reopening a clean v2 log must be byte-identical"
+    );
+}
+
+#[test]
+fn v1_wal_upgrades_in_place_and_accepts_mixed_appends() {
+    let scratch = Scratch::new("wal-v1-upgrade");
+    let (program, _) = paths_workload();
+    let wal = scratch.path("model.wal");
+    let legacy = v1_wal_bytes(
+        &program,
+        &[
+            vec![("Edge", vec![3, 4]), ("Edge", vec![4, 5])],
+            vec![("Edge", vec![5, 6])],
+        ],
+    );
+    std::fs::write(&wal, &legacy).expect("writes legacy log");
+
+    // Open reads the untagged entries as inserts and upgrades the file
+    // to the current version so later tagged appends stay readable.
+    let expected_first = Delta::new()
+        .insert("Edge", vec![3.into(), 4.into()])
+        .insert("Edge", vec![4.into(), 5.into()]);
+    let expected_second = Delta::new().insert("Edge", vec![5.into(), 6.into()]);
+    {
+        let (mut log, recovery) = DeltaLog::open(&wal, &program).expect("opens v1");
+        assert_eq!(recovery.dropped_bytes, 0);
+        assert_eq!(
+            recovery.deltas,
+            vec![expected_first.clone(), expected_second.clone()]
+        );
+        let upgraded = std::fs::read(&wal).expect("readable");
+        assert_eq!(
+            u32::from_le_bytes(upgraded[8..12].try_into().unwrap()),
+            flix_core::persist::WAL_VERSION,
+            "open must upgrade a v1 log in place"
+        );
+        log.append(&Delta::new().retract("Edge", vec![3.into(), 4.into()]))
+            .expect("appends a retraction");
+    }
+    let (_log, recovery) = DeltaLog::open(&wal, &program).expect("reopens upgraded");
+    assert_eq!(recovery.dropped_bytes, 0);
+    assert_eq!(
+        recovery.deltas,
+        vec![
+            expected_first,
+            expected_second,
+            Delta::new().retract("Edge", vec![3.into(), 4.into()]),
+        ]
+    );
+}
+
+#[test]
+fn wal_v2_fault_sweep_with_mixed_ops_recovers_surviving_prefix() {
+    // The mixed-op frame faulted at every byte offset, for every fault
+    // kind: recovery must land on either "without the mixed delta" or
+    // "with it" — never a torn in-between or a panic.
+    let (program, deltas) = shortest_paths_workload();
+    let solver = Solver::new();
+    let base_model = solver.solve(&program).expect("solvable");
+    let mixed = mixed_delta();
+
+    let without: Vec<String> = {
+        let extended = program.with_delta(&deltas[0]).expect("fits");
+        let s = solver.solve(&extended).expect("solvable");
+        dump(&program, &s)
+    };
+    let with: Vec<String> = {
+        let mut combined = deltas[0].clone();
+        combined.extend_from(&mixed);
+        let extended = program.with_delta(&combined).expect("fits");
+        let s = solver.solve(&extended).expect("solvable");
+        dump(&program, &s)
+    };
+
+    let scratch = Scratch::new("wal-v2-sweep");
+    let snap = scratch.path("model.snap");
+    save_snapshot(&snap, &program, &base_model).expect("saves");
+
+    // Measure the mixed frame's length with a clean append.
+    let probe = scratch.path("probe.wal");
+    let (mut plog, _) = DeltaLog::open(&probe, &program).expect("creates probe");
+    let before = std::fs::metadata(&probe).expect("probe exists").len();
+    plog.append(&mixed).expect("appends");
+    let frame_len = (std::fs::metadata(&probe).expect("probe exists").len() - before) as usize;
+    drop(plog);
+
+    for fault in ALL_FAULTS {
+        for at in 0..=frame_len {
+            let wal = scratch.path(&format!("sweep-{fault:?}-{at}.wal"));
+            let (mut log, _) = DeltaLog::open(&wal, &program).expect("creates");
+            log.append(&deltas[0]).expect("clean append");
+            let _ = log.append_with_fault(
+                &mixed,
+                FaultPlan {
+                    fault,
+                    at: at as u64,
+                },
+            );
+            drop(log);
+
+            // The mixed frame survives only when the fault let the whole
+            // write through; a bit flip always corrupts it.
+            let survives = at >= frame_len && fault != Fault::BitFlip;
+            let (recovered, report) = solver
+                .recover(&program, &snap, &wal)
+                .expect("recovery never fails on corruption");
+            let got = dump(&program, &recovered);
+            let expected = if survives { &with } else { &without };
+            assert_eq!(
+                &got, expected,
+                "{fault:?} at byte {at}: recovered model is not the surviving \
+                 prefix (report: {report:?})"
+            );
+            let _ = std::fs::remove_file(&wal);
+        }
+    }
+}
+
+#[test]
+fn v1_snapshot_loads_reject_retracting_deltas() {
+    use flix_core::{DeltaError, SolveError};
+    let program = golden_program();
+    let loaded = snapshot_from_bytes(&program, GOLDEN).expect("golden loads");
+    let solver = Solver::new();
+    // Monotone resumes still work from a v1 snapshot...
+    let grow = Delta::new().insert("Edge", vec![7.into(), 8.into()]);
+    solver
+        .resume(&program, &loaded, &grow)
+        .expect("monotone resume from a v1 snapshot");
+    // ...but a retracting delta is rejected up front: the v1 format
+    // does not record the extensional store the model is a fixed point
+    // of, so exact removal is impossible.
+    let shrink = Delta::new().retract("Edge", vec![1.into(), 2.into()]);
+    let failure = solver
+        .resume(&program, &loaded, &shrink)
+        .expect_err("retraction rejected");
+    assert!(
+        matches!(
+            &failure.error,
+            SolveError::Delta(DeltaError::NoExtensionalBase)
+        ),
+        "{:?}",
+        failure.error
+    );
+    assert_eq!(dump(&program, &failure.partial), dump(&program, &loaded));
+}
+
+#[test]
+fn recover_degrades_v1_snapshot_with_retracting_wal_to_scratch() {
+    let scratch = Scratch::new("v1-snap-retract-wal");
+    let program = golden_program();
+    let snap = scratch.path("model.snap");
+    let wal = scratch.path("model.wal");
+    std::fs::write(&snap, GOLDEN).expect("writes v1 snapshot");
+    let shrink = Delta::new().retract("Edge", vec![1.into(), 2.into()]);
+    {
+        let (mut log, _) = DeltaLog::open(&wal, &program).expect("creates");
+        log.append(&shrink).expect("appends");
+    }
+    let solver = Solver::new();
+    let (recovered, report) = solver
+        .recover(&program, &snap, &wal)
+        .expect("recovery degrades, not fails");
+    assert!(report.snapshot_loaded);
+    assert!(
+        report.scratch_solve,
+        "a v1 snapshot cannot replay retractions exactly; report={report:?}"
+    );
+    let extended = program.with_delta(&shrink).expect("fits");
+    let expected = solver.solve(&extended).expect("solvable");
+    assert_eq!(dump(&program, &recovered), dump(&extended, &expected));
+}
+
+#[test]
+fn snapshot_v2_preserves_the_extensional_store_across_restarts() {
+    let scratch = Scratch::new("snap-v2-edb");
+    let (program, _) = shortest_paths_workload();
+    let solver = Solver::new();
+    let base = solver.solve(&program).expect("solvable");
+
+    // Absorb a mixed delta, snapshot the result, reload it, and retract
+    // again: the reloaded solution must know its updated store, so the
+    // second retraction resumes exactly instead of being rejected.
+    let mixed = mixed_delta();
+    let updated = solver.resume(&program, &base, &mixed).expect("resumes");
+    let snap = scratch.path("model.snap");
+    save_snapshot(&snap, &program, &updated).expect("saves v2");
+    let reloaded = load_snapshot(&snap, &program).expect("loads v2");
+    assert_eq!(dump(&program, &updated), dump(&program, &reloaded));
+
+    let again = Delta::new().retract("Edge", vec![3.into(), 4.into(), 2.into()]);
+    let resumed = solver
+        .resume(&program, &reloaded, &again)
+        .expect("retracting resume from a v2 snapshot");
+    let mut combined = mixed.clone();
+    combined.extend_from(&again);
+    let extended = program.with_delta(&combined).expect("fits");
+    let expected = solver.solve(&extended).expect("solvable");
+    assert_eq!(dump(&program, &resumed), dump(&extended, &expected));
+
+    // And the v2 bytes themselves round-trip exactly.
+    let bytes = snapshot_to_bytes(&program, &updated);
+    let from_bytes = snapshot_from_bytes(&program, &bytes).expect("decodes");
+    assert_eq!(bytes, snapshot_to_bytes(&program, &from_bytes));
+}
+
+const GOLDEN_WAL_V2: &[u8] = include_bytes!("fixtures/golden_v2.wal");
+
+/// The deltas pinned inside the committed v2 WAL fixture: the shortest
+/// paths workload's first monotone delta, then a mixed-op delta
+/// exercising all four tags of the v2 frame encoding.
+fn golden_wal_deltas() -> Vec<Delta> {
+    let (_, deltas) = shortest_paths_workload();
+    vec![deltas[0].clone(), mixed_delta()]
+}
+
+#[test]
+fn golden_v2_wal_keeps_loading() {
+    let scratch = Scratch::new("golden-wal-v2");
+    let (program, _) = shortest_paths_workload();
+    let wal = scratch.path("model.wal");
+    std::fs::write(&wal, GOLDEN_WAL_V2).expect("writes fixture copy");
+    let (_log, recovery) = DeltaLog::open(&wal, &program)
+        .expect("committed golden WAL must open; frame-format changes need a version bump");
+    assert_eq!(recovery.dropped_bytes, 0);
+    assert_eq!(recovery.deltas, golden_wal_deltas());
+    // Opening a clean current-version log rewrites nothing: the fixture
+    // is canonical for the v2 frame encoding, byte for byte.
+    assert_eq!(
+        GOLDEN_WAL_V2,
+        std::fs::read(&wal).expect("readable").as_slice()
+    );
+}
+
+#[test]
+#[ignore = "regenerates the golden WAL fixture; run after a deliberate format change"]
+fn regenerate_golden_wal() {
+    let scratch = Scratch::new("golden-wal-v2-regen");
+    let (program, _) = shortest_paths_workload();
+    let wal = scratch.path("model.wal");
+    {
+        let (mut log, _) = DeltaLog::open(&wal, &program).expect("creates");
+        for delta in golden_wal_deltas() {
+            log.append(&delta).expect("appends");
+        }
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_v2.wal");
+    std::fs::copy(&wal, &path).expect("writes fixture");
     println!("wrote {}", path.display());
 }

@@ -48,7 +48,7 @@ pub use flix_lattice as lattice;
 
 pub use flix_core::{
     load_snapshot, program_fingerprint, save_snapshot, AscentConfig, AscentReport, AscentWarning,
-    BodyItem, Budget, BudgetKind, CancelToken, ConfigError, Delta, DeltaError, DeltaLog,
+    BodyItem, Budget, BudgetKind, CancelToken, ConfigError, Delta, DeltaError, DeltaLog, DeltaOp,
     DemandError, ExecutionTrace, Fact, FactsIter, Head, HeadTerm, LatticeIter, LatticeOps,
     Observer, PersistError, Program, ProgramBuilder, Query, QueryResult, RecoveryReport,
     RelationIter, Solution, SolveError, SolveFailure, Solver, SolverConfig, SpanKind, Strategy,

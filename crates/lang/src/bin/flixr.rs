@@ -56,14 +56,21 @@
 //! combined with `--query` (whose demanded model is deliberately
 //! partial). Wire formats are specified byte-by-byte in DESIGN.md §14.
 //!
-//! `--update FILE` applies a monotone delta after the initial solve: the
-//! update file is compiled standalone (it re-declares the predicates its
-//! facts touch) and its facts are fed to [`Solver::resume`], which
-//! warm-starts the fixed point from the initial model instead of solving
-//! from scratch. Both models are printed, separated by
-//! `== initial model ==` / `== updated model ==` headers; without
-//! `--update` the model is printed headerless as before. `--explain`
-//! combined with `--update` explains the fact in the *updated* model.
+//! `--update FILE` applies a delta after the initial solve: the update
+//! file is compiled standalone (it re-declares the predicates its facts
+//! touch) and its facts are fed to [`Solver::resume`], which
+//! warm-starts the fixed point from the initial model instead of
+//! solving from scratch. Plain facts assert (lattice facts lub-raise);
+//! a line `-Edge(1, 2).` (equivalently `retract Edge(1, 2).`) retracts
+//! an asserted fact, and the resume over-deletes its cone of
+//! consequences and re-derives what survives — for a lattice
+//! predicate the retracted key's cell re-settles at the lub of its
+//! remaining justifications. Retractions apply after the same file's
+//! assertions; a malformed retraction line exits 2 with its file and
+//! line. Both models are printed, separated by `== initial model ==` /
+//! `== updated model ==` headers; without `--update` the model is
+//! printed headerless as before. `--explain` combined with `--update`
+//! explains the fact in the *updated* model.
 //!
 //! Prints every relation tuple and lattice cell of the minimal model (or
 //! only the named predicates), one fact per line, in deterministic order.
@@ -107,8 +114,8 @@
 
 use flix_core::{
     load_snapshot, render_ascent_report, save_snapshot, write_metrics_json, AscentConfig,
-    AscentWarning, Budget, Delta, DeltaLog, Observer, OwnedMetricsReport, PersistError, Query,
-    Solution, SolveError, Solver, SolverConfig, Strategy, TraceConfig,
+    AscentWarning, Budget, Delta, DeltaLog, DeltaOp, Observer, OwnedMetricsReport, PersistError,
+    Query, Solution, SolveError, Solver, SolverConfig, Strategy, TraceConfig,
 };
 use std::collections::BTreeSet;
 use std::process::ExitCode;
@@ -520,7 +527,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                     );
                 }
                 for delta in &recovery.deltas {
-                    extend_delta(&mut replayed, delta);
+                    replayed.extend_from(delta);
                 }
                 log = Some(opened);
             }
@@ -584,10 +591,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     };
 
     if let Some(update_path) = &update {
-        let update_source = read_source(update_path)?;
-        let update_program =
-            flix_lang::compile(&update_source).map_err(|e| Failure::lang(e.to_string()))?;
-        let delta = Delta::from_facts(&update_program);
+        let delta = compile_update(update_path)?;
         // Log before applying: once `append` returns, the delta is
         // durable, so a crash anywhere past this point is recoverable
         // by the next run's `--wal` replay.
@@ -599,7 +603,7 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         // everything combined (log + update), not from the replayed
         // model, for the same fallback-correctness reason.
         let mut combined = replayed;
-        extend_delta(&mut combined, &delta);
+        combined.extend_from(&delta);
         let updated = match solver.resume(&program, &base, &combined) {
             Ok(updated) => updated,
             Err(failure) => {
@@ -677,12 +681,51 @@ fn read_source(path: &str) -> Result<String, Failure> {
     std::fs::read_to_string(path).map_err(|e| Failure::usage(format!("cannot read {path}: {e}")))
 }
 
-/// Folds `delta`'s entries into `into` — the "combine every surviving
-/// delta, resume once from the base" half of the recovery contract.
-fn extend_delta(into: &mut Delta, delta: &Delta) {
-    for (name, tuple) in delta.entries() {
-        into.push(name, tuple.to_vec());
+/// Compiles an `--update` file into a [`Delta`]. Plain facts become
+/// insertions (for lattice predicates: lub-raises). A line of the form
+/// `-Edge(1, 2).` or `retract Edge(1, 2).` becomes a retraction — for
+/// a lattice predicate, a lower withdrawing that key's asserted
+/// contribution. Retraction lines are extracted before the rest of the
+/// file is compiled (blanked in place, so error positions in the
+/// remainder keep their line numbers) and are applied *after* the
+/// file's assertions. A malformed retraction line fails with the file
+/// path and line number, exit code 2.
+fn compile_update(path: &str) -> Result<Delta, Failure> {
+    let source = read_source(path)?;
+    let mut kept = String::with_capacity(source.len());
+    let mut retractions: Vec<(usize, String)> = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let trimmed = line.trim_start();
+        let atom = if let Some(rest) = trimmed.strip_prefix('-') {
+            // Only a minus directly before a predicate name marks a
+            // retraction; anything else (a stray `-1`, say) falls
+            // through to the compiler, whose error will point at it.
+            rest.chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic())
+                .then_some(rest)
+        } else {
+            trimmed.strip_prefix("retract ")
+        };
+        match atom {
+            Some(text) => {
+                retractions.push((idx + 1, text.trim().to_string()));
+                kept.push('\n');
+            }
+            None => {
+                kept.push_str(line);
+                kept.push('\n');
+            }
+        }
     }
+    let update_program = flix_lang::compile(&kept).map_err(|e| Failure::lang(e.to_string()))?;
+    let mut delta = Delta::from_facts(&update_program);
+    for (lineno, text) in retractions {
+        let (predicate, tuple) = flix_lang::parse_ground_atom(&text)
+            .map_err(|e| Failure::lang(format!("{path}:{lineno}: {e}")))?;
+        delta.push_op(DeltaOp::Retract { predicate, tuple });
+    }
+    Ok(delta)
 }
 
 /// The end-of-run persistence work: compact the write-ahead log into
@@ -747,10 +790,7 @@ fn run_queries(cx: RunQueries<'_>) -> Result<(), Failure> {
     // combined solve — neither full model is ever materialized.
     let program = match cx.update {
         Some(update_path) => {
-            let update_source = read_source(update_path)?;
-            let update_program =
-                flix_lang::compile(&update_source).map_err(|e| Failure::lang(e.to_string()))?;
-            let delta = Delta::from_facts(&update_program);
+            let delta = compile_update(update_path)?;
             cx.program
                 .with_delta(&delta)
                 .map_err(|e| Failure::lang(e.to_string()))?

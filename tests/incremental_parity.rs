@@ -338,3 +338,113 @@ fn ifds_update_sequences_match_scratch() {
         assert_incremental_parity(&format!("IFDS seed {seed}"), &base, &steps);
     }
 }
+
+// ---------------------------------------------------------------------
+// Workload 4: mixed insert/retract/raise/lower sequences.
+// ---------------------------------------------------------------------
+
+/// The three configurations again, plus provenance-recording variants of
+/// each — with an event log the retracting steps take the exact
+/// over-delete/re-derive path; without one they fall back to a scratch
+/// solve. Parity must hold either way.
+fn mixed_configurations() -> Vec<(String, Solver)> {
+    let mut all = Vec::new();
+    for (name, solver) in configurations() {
+        all.push((name.to_string(), solver));
+    }
+    for (name, solver) in configurations() {
+        all.push((
+            format!("{name} +provenance"),
+            solver.record_provenance(true),
+        ));
+    }
+    all
+}
+
+#[test]
+fn mixed_update_sequences_match_scratch() {
+    const NODES: u64 = 20;
+    for seed in 0..10u64 {
+        let mut rng = Rng::new(seed + 977);
+        // A random base graph; every edge is a candidate for retraction.
+        let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+        for _ in 0..45 {
+            let x = rng.below(NODES) as u32;
+            let y = rng.below(NODES) as u32;
+            let c = rng.below(9) + 1;
+            if x != y && !edges.iter().any(|&(a, b, _)| (a, b) == (x, y)) {
+                edges.push((x, y, c));
+            }
+        }
+        let withheld = 6.min(edges.len() / 3);
+        let split = edges.len() - withheld;
+        let base_edges: Vec<(u32, u32, u64)> = edges[..split].to_vec();
+        let base = sp_program(&base_edges, &[]);
+
+        // Chain four steps: each inserts a withheld edge, retracts a
+        // present one, and on alternating steps raises or lowers a Dist
+        // cell out of band. Each step's scratch mirror is rebuilt from
+        // the tracked current state.
+        let mut current_edges = base_edges.clone();
+        let mut pool: Vec<(u32, u32, u64)> = edges[split..].to_vec();
+        let mut raises: Vec<(u32, u64)> = Vec::new();
+        let mut steps = Vec::new();
+        for step in 0..4 {
+            let mut delta = Delta::new();
+            if let Some(edge) = pool.pop() {
+                current_edges.push(edge);
+                delta.push(
+                    "Edge",
+                    vec![
+                        (edge.0 as i64).into(),
+                        (edge.1 as i64).into(),
+                        (edge.2 as i64).into(),
+                    ],
+                );
+            }
+            if !current_edges.is_empty() {
+                let victim = rng.below(current_edges.len() as u64) as usize;
+                let (x, y, c) = current_edges.remove(victim);
+                delta = delta.retract(
+                    "Edge",
+                    vec![(x as i64).into(), (y as i64).into(), (c as i64).into()],
+                );
+            }
+            if step % 2 == 0 {
+                let node = rng.below(NODES) as u32;
+                let cost = rng.below(4) + 1;
+                raises.push((node, cost));
+                delta = delta.raise(
+                    "Dist",
+                    vec![(node as i64).into()],
+                    MinCost::finite(cost).to_value(),
+                );
+            } else if let Some((node, cost)) = raises.pop() {
+                // Withdraw the most recent out-of-band raise; the cell
+                // re-settles at the lub of its remaining justifications.
+                delta = delta.lower(
+                    "Dist",
+                    vec![(node as i64).into()],
+                    MinCost::finite(cost).to_value(),
+                );
+            }
+            steps.push((delta, sp_program(&current_edges, &raises)));
+        }
+
+        for (config, solver) in mixed_configurations() {
+            let label = format!("mixed seed {seed}/{config}");
+            let mut current = solver.solve(&base).expect("base solves");
+            for (i, (delta, scratch_program)) in steps.iter().enumerate() {
+                current = solver
+                    .resume(&base, &current, delta)
+                    .unwrap_or_else(|f| panic!("{label} step {i}: {}", f.error));
+                let scratch = solver.solve(scratch_program).expect("scratch solves");
+                assert_eq!(
+                    dump(&base, &current),
+                    dump(scratch_program, &scratch),
+                    "{label}: resume diverged from scratch at step {i}"
+                );
+            }
+        }
+    }
+}

@@ -474,15 +474,19 @@ impl Solver {
             return Ok(solution);
         }
 
-        // The updated extensional store E′ and the assertions the delta
-        // effectively removed from it (present before, absent after);
-        // retract-then-reinsert within one delta cancels out here.
-        let (eprime, removed) = match prior.edb() {
+        // The updated extensional store E′, the assertions the delta
+        // effectively removed from it (present before, absent after),
+        // and the assertions it effectively added (absent before,
+        // present after); insert-then-retract and retract-then-reinsert
+        // within one delta both cancel out here. Without an extensional
+        // base no removals exist (validated above), so the raw add ops
+        // are exactly the net additions.
+        let (eprime, removed, added) = match prior.edb() {
             Some(base) => {
-                let (entries, removed) = apply_ops(base, &resolved);
-                (Some(Arc::new(entries)), removed)
+                let (entries, removed, added) = apply_ops(base, &resolved);
+                (Some(Arc::new(entries)), removed, Some(added))
             }
-            None => (None, Vec::new()),
+            None => (None, Vec::new(), None),
         };
 
         // Warm start: clone the prior fixed point and extend its event
@@ -512,6 +516,7 @@ impl Solver {
             &mut db,
             resolved,
             eprime.as_ref().map(|v| v.as_slice()),
+            added,
             &removed,
             prior_log,
             &mut rebuilt,
@@ -565,6 +570,7 @@ impl Solver {
         db: &mut Database,
         resolved: Vec<ResolvedOp>,
         eprime: Option<&[(PredId, Vec<Value>)]>,
+        added: Option<Vec<(PredId, Vec<Value>)>>,
         removed: &[(PredId, Vec<Value>)],
         prior_log: Option<&[Event]>,
         rebuilt: &mut bool,
@@ -628,9 +634,24 @@ impl Solver {
                     }
                 };
             }
-            // Removal ops with no net effect (retracting assertions not
-            // in the store) contribute nothing to the warm seed.
-            let adds: Vec<ResolvedOp> = resolved.into_iter().filter(|op| op.add).collect();
+            // Seed the warm path from the *net* store change E′ \ E, not
+            // the raw add ops: an insertion cancelled by a later
+            // retraction of the same tuple (reachable via WAL recovery,
+            // which folds frames from separate runs into one delta) must
+            // not reach the warm database, or the model diverges from a
+            // scratch solve of E′. Without an extensional base the raw
+            // add ops are the net additions (removals were rejected).
+            let adds: Vec<ResolvedOp> = match added {
+                Some(net) => net
+                    .into_iter()
+                    .map(|(pred, tuple)| ResolvedOp {
+                        add: true,
+                        pred,
+                        tuple,
+                    })
+                    .collect(),
+                None => resolved.into_iter().filter(|op| op.add).collect(),
+            };
             return self.resume_monotone(program, guard, db, &strata, adds, stats, events, tracer);
         }
 
@@ -1169,16 +1190,23 @@ fn resolve_delta(program: &Program, delta: &Delta) -> Result<Vec<ResolvedOp>, De
 }
 
 /// Applies the ops, in order, to the extensional store `base`. Returns
-/// the updated store E′ (order-preserving; re-adds land at the end) and
-/// the assertions with a *net* removal — present in `base`, absent from
-/// E′ — deduplicated. Removing an assertion not currently in the store
-/// is a no-op, so retract-then-reinsert within one delta produces no
-/// net removal and no over-deletion work.
+/// the updated store E′ (order-preserving; re-adds land at the end), the
+/// assertions with a *net* removal — present in `base`, absent from
+/// E′ — deduplicated, and the assertions with a *net* addition — added
+/// by the ops and still live in E′. Removing an assertion not currently
+/// in the store is a no-op, so retract-then-reinsert within one delta
+/// produces no net removal and no over-deletion work; symmetrically, an
+/// insertion cancelled by a later retraction of the same tuple produces
+/// no net addition and must not seed the warm paths.
 #[allow(clippy::type_complexity)]
 fn apply_ops(
     base: &[(PredId, Vec<Value>)],
     ops: &[ResolvedOp],
-) -> (Vec<(PredId, Vec<Value>)>, Vec<(PredId, Vec<Value>)>) {
+) -> (
+    Vec<(PredId, Vec<Value>)>,
+    Vec<(PredId, Vec<Value>)>,
+    Vec<(PredId, Vec<Value>)>,
+) {
     let mut entries: Vec<(PredId, Vec<Value>)> = base.to_vec();
     let mut alive = vec![true; entries.len()];
     // Indices of the currently-live copies of each assertion (the base
@@ -1210,13 +1238,24 @@ fn apply_ops(
             removed.push(entry.clone());
         }
     }
+    // Net additions: entries the ops pushed (index past the base) that
+    // survived every later op. A push happens only while no live copy of
+    // the key exists, so at most one pushed copy per key is alive and no
+    // deduplication is needed.
+    let added = entries
+        .iter()
+        .zip(&alive)
+        .skip(base.len())
+        .filter(|(_, alive)| **alive)
+        .map(|(entry, _)| entry.clone())
+        .collect();
     let eprime = entries
         .into_iter()
         .zip(alive)
         .filter(|(_, alive)| *alive)
         .map(|(entry, _)| entry)
         .collect();
-    (eprime, removed)
+    (eprime, removed, added)
 }
 
 /// Conservative check for the negation fallback: transitively closes the

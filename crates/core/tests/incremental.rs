@@ -542,6 +542,88 @@ fn retraction_without_provenance_falls_back_and_matches_scratch() {
 }
 
 #[test]
+fn insert_then_retract_in_one_delta_is_a_net_noop() {
+    // An insertion cancelled by a later retraction of the same tuple in
+    // one delta has no net effect on the store, so the resumed model
+    // must equal the prior one — the cancelled tuple must not leak into
+    // the warm database. This is the WAL-recovery shape: an insert
+    // logged in one run and its retraction logged in a later run fold
+    // into a single combined delta on replay.
+    let base = paths_program(&[(1, 2)]);
+    let delta = Delta::new()
+        .insert("Edge", vec![Value::from(2), Value::from(3)])
+        .retract("Edge", vec![Value::from(2), Value::from(3)]);
+    for solver in configurations()
+        .into_iter()
+        .chain(provenance_configurations())
+    {
+        let prior = solver.solve(&base).expect("solves");
+        let resumed = solver.resume(&base, &prior, &delta).expect("resumes");
+        let scratch = solver.solve(&base).expect("solves");
+        assert_eq!(dump(&base, &resumed), dump(&base, &scratch));
+        assert!(!resumed.contains("Edge", &[Value::from(2), Value::from(3)]));
+        assert!(!resumed.contains("Path", &[Value::from(2), Value::from(3)]));
+        assert!(!resumed.contains("Path", &[Value::from(1), Value::from(3)]));
+    }
+}
+
+#[test]
+fn cancelled_ops_ride_along_with_surviving_insertions() {
+    // A cancelled insert/retract pair mixed with a real insertion: only
+    // the net addition may seed the warm monotone path.
+    let base = paths_program(&[(1, 2)]);
+    let scratch_program = paths_program(&[(1, 2), (2, 5)]);
+    let delta = Delta::new()
+        .insert("Edge", vec![Value::from(2), Value::from(3)])
+        .insert("Edge", vec![Value::from(2), Value::from(5)])
+        .retract("Edge", vec![Value::from(2), Value::from(3)]);
+    for solver in configurations()
+        .into_iter()
+        .chain(provenance_configurations())
+    {
+        let prior = solver.solve(&base).expect("solves");
+        let resumed = solver.resume(&base, &prior, &delta).expect("resumes");
+        let scratch = solver.solve(&scratch_program).expect("solves");
+        assert_eq!(dump(&base, &resumed), dump(&scratch_program, &scratch));
+        assert!(resumed.contains("Path", &[Value::from(1), Value::from(5)]));
+        assert!(!resumed.contains("Path", &[Value::from(1), Value::from(3)]));
+    }
+}
+
+#[test]
+fn raise_then_lower_in_one_delta_is_a_net_noop() {
+    // The lattice mirror of the cancelled pair: a Raise withdrawn by a
+    // Lower of the same contribution within one delta must not leave a
+    // stale upper bound (or any cell at all) behind.
+    let base = shortest_paths_program(&[(0, 1, 4)]);
+    let raise = (vec![Value::from(5)], MinCost::finite(1).to_value());
+    let delta = Delta::new()
+        .raise("Dist", raise.0.clone(), raise.1.clone())
+        .lower("Dist", raise.0.clone(), raise.1.clone());
+    for solver in configurations()
+        .into_iter()
+        .chain(provenance_configurations())
+    {
+        let prior = solver.solve(&base).expect("solves");
+        let resumed = solver.resume(&base, &prior, &delta).expect("resumes");
+        let scratch = solver.solve(&base).expect("solves");
+        assert_eq!(dump(&base, &resumed), dump(&base, &scratch));
+        // The never-materialized cell reads as bottom (absent ≡ ⊥) and
+        // stays out of the model dump.
+        assert_eq!(
+            resumed.lattice_value("Dist", &[Value::from(5)]),
+            Some(MinCost::INFINITY.to_value())
+        );
+        assert!(
+            !dump(&base, &resumed)
+                .iter()
+                .any(|line| line.starts_with("Dist(5")),
+            "the cancelled raise must not materialize a cell"
+        );
+    }
+}
+
+#[test]
 fn lattice_lower_resettles_at_the_lub_of_survivors() {
     // Dist(2) = 7 via 0→1→2; the direct Edge(0, 2, 9) is dominated.
     // Retracting Edge(1, 2, 3) removes the justification for 7, and the

@@ -891,6 +891,36 @@ fn recover_degrades_v1_snapshot_with_retracting_wal_to_scratch() {
 }
 
 #[test]
+fn recovery_cancels_an_insert_retracted_in_a_later_frame() {
+    // An insert appended in one run and its retraction appended in a
+    // later run fold into a single combined delta at recovery
+    // (`extend_from`); the cancelled pair has no net effect on the
+    // store, so the recovered model must equal a scratch solve of the
+    // base program — the inserted tuple and its consequences must not
+    // survive the replay.
+    let scratch = Scratch::new("wal-cancelled-pair");
+    let (program, _) = paths_workload();
+    let snap = scratch.path("model.snap");
+    let wal = scratch.path("model.wal");
+    let solver = Solver::new();
+    let base = solver.solve(&program).expect("solvable");
+    save_snapshot(&snap, &program, &base).expect("saves");
+    {
+        let (mut log, _) = DeltaLog::open(&wal, &program).expect("creates");
+        log.append(&Delta::new().insert("Edge", vec![4.into(), 5.into()]))
+            .expect("appends insert");
+        log.append(&Delta::new().retract("Edge", vec![4.into(), 5.into()]))
+            .expect("appends retraction");
+    }
+    let (recovered, report) = solver.recover(&program, &snap, &wal).expect("recovers");
+    assert!(report.snapshot_loaded);
+    assert_eq!(report.wal_frames_replayed, 2);
+    assert_eq!(dump(&program, &recovered), dump(&program, &base));
+    assert!(!recovered.contains("Edge", &[4.into(), 5.into()]));
+    assert!(!recovered.contains("Path", &[1.into(), 5.into()]));
+}
+
+#[test]
 fn snapshot_v2_preserves_the_extensional_store_across_restarts() {
     let scratch = Scratch::new("snap-v2-edb");
     let (program, _) = shortest_paths_workload();

@@ -428,6 +428,24 @@ fn mixed_update_sequences_match_scratch() {
                     MinCost::finite(cost).to_value(),
                 );
             }
+            // Every step also carries cancelled pairs — an insertion
+            // retracted and a raise lowered within the same delta. They
+            // have no net effect on the store, so they must not leak
+            // into the resumed model (the scratch mirror ignores them).
+            // Weights ≥ 100 and costs ≥ 50 cannot collide with real
+            // edges (1..=9) or tracked raises (1..=4), so the pairs
+            // cancel exactly instead of retracting live assertions.
+            let px = rng.below(NODES) as i64;
+            let py = rng.below(NODES) as i64;
+            let phantom = vec![px.into(), py.into(), (100 + step as i64).into()];
+            delta = delta
+                .insert("Edge", phantom.clone())
+                .retract("Edge", phantom);
+            let pnode = rng.below(NODES) as i64;
+            let pcost = MinCost::finite(50 + step as u64).to_value();
+            delta = delta
+                .raise("Dist", vec![pnode.into()], pcost.clone())
+                .lower("Dist", vec![pnode.into()], pcost);
             steps.push((delta, sp_program(&current_edges, &raises)));
         }
 

@@ -1,0 +1,202 @@
+//! Service bench: the cost of asking a resident flixd for answers vs
+//! paying a fresh fixed point per question, on the 400-node §4.4
+//! shortest-paths model.
+//!
+//! The daemon's pitch is amortisation: solve once, then serve queries
+//! at socket-round-trip cost and updates at `Solver::resume` cost. The
+//! interesting ratios are `query_roundtrip` (wire framing + epoch pin +
+//! index probe) against `solve_per_query` (what a CLI invocation pays
+//! for the same answer), and `update_roundtrip` (WAL-less resume +
+//! epoch publish + acknowledgement) against the same scratch solve.
+
+use flix_analyses::shortest_paths;
+use flix_analyses::workloads::graphs;
+use flix_bench::harness::Criterion;
+use flix_bench::{criterion_group, criterion_main};
+use flix_core::{Delta, DeltaOp, SolveStats, Solver, Strategy, Value};
+use flixd::{Client, Hooks, ReplyBody, Request, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const NODES: u32 = 400;
+const EXTRA_EDGES: usize = 1_500;
+const SEED: u64 = 0x5907;
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flix-bench-service-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Hooks speaking a minimal space-separated syntax: queries `Dist 7 _`,
+/// updates one `+Edge x y c` / `-Edge x y c` per line. The bench talks
+/// to the engine directly; the surface language is not what is timed.
+fn bench_hooks() -> Hooks {
+    let term = |p: &str| -> Result<Option<Value>, String> {
+        if p == "_" {
+            Ok(None)
+        } else {
+            p.parse::<i64>()
+                .map(|v| Some(Value::from(v)))
+                .map_err(|_| format!("bad term {p:?}"))
+        }
+    };
+    Hooks {
+        parse_query: Box::new(move |text| {
+            let mut parts = text.split_whitespace();
+            let pred = parts.next().ok_or("empty query")?.to_string();
+            let pattern = parts.map(term).collect::<Result<Vec<_>, _>>()?;
+            Ok((pred, pattern))
+        }),
+        parse_atom: Box::new(|text| {
+            let mut parts = text.split_whitespace();
+            let pred = parts.next().ok_or("empty atom")?.to_string();
+            let values = parts
+                .map(|p| p.parse::<i64>().map(Value::from).map_err(|e| e.to_string()))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((pred, values))
+        }),
+        compile_update: Box::new(|text| {
+            let mut delta = Delta::new();
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                let (op, rest) = line.trim().split_at(1);
+                let mut parts = rest.split_whitespace();
+                let predicate = parts.next().ok_or("missing predicate")?.to_string();
+                let tuple = parts
+                    .map(|p| p.parse::<i64>().map(Value::from).map_err(|e| e.to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                match op {
+                    "+" => delta.push(predicate, tuple),
+                    "-" => delta.push_op(DeltaOp::Retract { predicate, tuple }),
+                    other => return Err(format!("bad op {other:?}")),
+                }
+            }
+            Ok(delta)
+        }),
+    }
+}
+
+fn bench_service(c: &mut Criterion) {
+    let dir = scratch_dir();
+    let graph = graphs::generate(NODES, EXTRA_EDGES, SEED);
+    let program = Arc::new(shortest_paths::build_single_source(&graph, 0));
+
+    let config = ServerConfig::new(dir.join("flixd.sock"));
+    let server = Server::start(Arc::clone(&program), config, bench_hooks()).expect("server starts");
+    let mut client = Client::connect(server.socket()).expect("connects");
+
+    // The alternating update: a shortcut edge appears, then retracts,
+    // so the model stays bounded no matter how many samples run.
+    let insert = format!("+Edge {} 1 1\n", NODES - 1);
+    let retract = format!("-Edge {} 1 1\n", NODES - 1);
+
+    let solver = Solver::new();
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("query_roundtrip/400", |b| {
+        b.iter(|| {
+            let reply = client
+                .request(&Request::Query {
+                    atom: "Dist 7 _".into(),
+                })
+                .expect("query");
+            assert!(matches!(reply.body, ReplyBody::Answers(_)));
+            reply
+        })
+    });
+    group.bench_function("update_roundtrip/400", |b| {
+        let mut add = true;
+        b.iter(|| {
+            let text = if add { insert.clone() } else { retract.clone() };
+            add = !add;
+            let reply = client
+                .request(&Request::Update {
+                    text,
+                    timeout_secs: None,
+                })
+                .expect("update");
+            assert!(matches!(reply.body, ReplyBody::Updated { .. }), "{reply:?}");
+            reply
+        })
+    });
+    group.bench_function("solve_per_query/400", |b| {
+        // The non-resident reference: what answering one question costs
+        // when every invocation re-derives the fixed point.
+        b.iter(|| solver.solve(&program).expect("solves"))
+    });
+    group.finish();
+
+    // Instrumented runs for `--metrics-json`: the daemon's solve stats
+    // live on its side of the socket, so record the client-observed
+    // wall time of each round trip — the number a service caller sees —
+    // in an otherwise-empty stats record, like the persist bench.
+    let scratch = solver.solve(&program).expect("solves");
+    let record_roundtrip = |name: &str, reps: u32, mut op: Box<dyn FnMut() + '_>| {
+        let start = Instant::now();
+        for _ in 0..reps {
+            op();
+        }
+        let stats = SolveStats {
+            wall_ns: (start.elapsed().as_nanos() / reps as u128) as u64,
+            total_facts: scratch.total_facts() as u64,
+            ..SolveStats::default()
+        };
+        flix_bench::metrics::record(name.to_string(), Strategy::SemiNaive.name(), 1, &stats);
+    };
+    {
+        let client = &mut client;
+        // Sub-millisecond round trips need many reps before scheduler
+        // noise averages out under the regression tolerance.
+        record_roundtrip(
+            "service/query_roundtrip/400",
+            500,
+            Box::new(|| {
+                client
+                    .request(&Request::Query {
+                        atom: "Dist 7 _".into(),
+                    })
+                    .expect("query");
+            }),
+        );
+    }
+    {
+        let client = &mut client;
+        let insert = &insert;
+        let retract = &retract;
+        let mut add = true;
+        record_roundtrip(
+            "service/update_roundtrip/400",
+            10,
+            Box::new(move || {
+                let text = if add { insert.clone() } else { retract.clone() };
+                add = !add;
+                client
+                    .request(&Request::Update {
+                        text,
+                        timeout_secs: None,
+                    })
+                    .expect("update");
+            }),
+        );
+    }
+    record_roundtrip(
+        "service/solve_per_query/400",
+        10,
+        Box::new(|| {
+            solver.solve(&program).expect("solves");
+        }),
+    );
+
+    drop(client);
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

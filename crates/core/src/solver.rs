@@ -2750,7 +2750,132 @@ impl Solution {
     pub(crate) fn set_edb(&mut self, edb: Option<ExtensionalStore>) {
         self.edb = edb;
     }
+
+    /// A cheap, immutable, shareable read view of this solution's fact
+    /// database — the handle a resident service publishes per epoch.
+    ///
+    /// # Cost model
+    ///
+    /// The fact data itself is **never copied**: the snapshot bumps the
+    /// reference count on the `Arc`-shared database and copies only the
+    /// predicate name table (one `String` + id per declared predicate,
+    /// `O(#predicates)`, independent of fact count). Contrast with
+    /// cloning the whole [`Solution`], which additionally deep-copies
+    /// the run statistics, any recorded provenance event log (one entry
+    /// per insertion — easily larger than the model itself), and any
+    /// execution trace. Cloning the returned [`Snapshot`] is `O(1)`:
+    /// two `Arc` bumps.
+    ///
+    /// The view is immutable: the solver never mutates a database behind
+    /// a published [`Solution`] (updates build a new database and a new
+    /// solution), so a snapshot taken before an update keeps observing
+    /// the pre-update model — the snapshot-isolation primitive of the
+    /// `flixd` service.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            names: Arc::new(self.names.clone()),
+            kinds: Arc::new(self.kinds.clone()),
+            db: Arc::clone(&self.db),
+        }
+    }
 }
+
+/// An immutable, cheaply cloneable read view of a solved model's facts,
+/// produced by [`Solution::snapshot`].
+///
+/// Offers the read-only query surface of [`Solution`] (facts, membership,
+/// lattice cells) without the statistics, provenance, or trace baggage —
+/// see [`Solution::snapshot`] for the cost model. `Clone` is `O(1)`
+/// (reference-count bumps only), and the type is `Send + Sync`, so many
+/// reader threads can serve queries from one snapshot while a writer
+/// computes the next fixed point.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    names: Arc<std::collections::HashMap<String, PredId>>,
+    kinds: Arc<Vec<bool>>,
+    db: Arc<Database>,
+}
+
+impl Snapshot {
+    /// Looks up a predicate id by name.
+    pub fn predicate(&self, name: &str) -> Option<PredId> {
+        self.names.get(name).copied()
+    }
+
+    /// The declared predicate names, in declaration order.
+    pub fn predicate_names(&self) -> Vec<&str> {
+        let mut names: Vec<(&str, PredId)> =
+            self.names.iter().map(|(n, &p)| (n.as_str(), p)).collect();
+        names.sort_by_key(|(_, p)| p.0);
+        names.into_iter().map(|(n, _)| n).collect()
+    }
+
+    /// Iterates every fact of a predicate, relational or lattice, as a
+    /// uniform [`Fact`] view. Returns `None` for unknown names.
+    pub fn facts(&self, name: &str) -> Option<FactsIter<'_>> {
+        let pred = self.predicate(name)?;
+        let inner = match self.db.pred(pred) {
+            PredData::Rel(rel) => FactsInner::Rel(RelationIter { rows: rel.rows() }),
+            PredData::Lat(lat) => FactsInner::Lat(LatticeIter {
+                lat,
+                ids: 0..lat.len() as u32,
+            }),
+        };
+        Some(FactsIter { inner })
+    }
+
+    /// The lattice element at `key`, or `⊥` when the cell was never
+    /// derived. Returns `None` for unknown or relational predicates.
+    pub fn lattice_value(&self, name: &str, key: &[Value]) -> Option<Value> {
+        let pred = self.predicate(name)?;
+        match self.db.pred(pred) {
+            PredData::Lat(lat) => Some(
+                lat.value(key, self.db.spill())
+                    .cloned()
+                    .unwrap_or_else(|| lat.ops().bottom().clone()),
+            ),
+            PredData::Rel(_) => None,
+        }
+    }
+
+    /// Returns `true` if the relational predicate contains the tuple.
+    pub fn contains(&self, name: &str, row: &[Value]) -> bool {
+        match self.predicate(name).map(|p| self.db.pred(p)) {
+            Some(PredData::Rel(rel)) => rel.contains(row, self.db.spill()),
+            _ => false,
+        }
+    }
+
+    /// The number of facts stored for a predicate (tuples, or non-bottom
+    /// cells for lattice predicates).
+    pub fn len(&self, name: &str) -> Option<usize> {
+        let pred = self.predicate(name)?;
+        Some(self.db.len_of(pred))
+    }
+
+    /// Returns `true` if a predicate holds no facts.
+    pub fn is_empty(&self, name: &str) -> Option<bool> {
+        self.len(name).map(|n| n == 0)
+    }
+
+    /// Returns `true` if the named predicate is a lattice predicate.
+    pub fn is_lattice(&self, name: &str) -> Option<bool> {
+        self.predicate(name).map(|p| self.kinds[p.0 as usize])
+    }
+
+    /// Total facts across all predicates.
+    pub fn total_facts(&self) -> usize {
+        self.db.total_facts()
+    }
+}
+
+// The service shares solutions and snapshots across reader and writer
+// threads; losing either bound is an API break, caught at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Solution>();
+    assert_send_sync::<Snapshot>();
+};
 
 /// Iterator over the tuples of a relational predicate, returned by
 /// [`Solution::relation`]. Tuples come back in insertion order, which is

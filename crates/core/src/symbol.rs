@@ -4,7 +4,7 @@
 //! (and the `From<&str>` / `From<String>` conversions the parser and fact
 //! loaders use) is registered here, so equal strings share one canonical
 //! `Arc<str>` and a stable `u32` symbol id. The columnar fact store
-//! ([`crate::database`]) encodes string columns as that id, which makes
+//! (`crate::database`) encodes string columns as that id, which makes
 //! string joins compare a single machine word instead of re-hashing
 //! characters, and makes `Value` equality on interned strings a pointer
 //! comparison.

@@ -1,0 +1,88 @@
+//! A blocking `flixd/1` client over a Unix domain socket.
+//!
+//! One [`Client`] is one connection: it validates the server's hello
+//! frame at connect time and then drives a strict request/response
+//! alternation. A client is cheap — `flixr --connect` opens one per
+//! invocation — and is *not* shareable across threads mid-request; open
+//! one connection per concurrent caller instead (the server multiplexes
+//! them against the same resident model).
+
+use crate::proto::{self, Hello, Reply, Request};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// A connected `flixd/1` client.
+#[derive(Debug)]
+pub struct Client {
+    stream: UnixStream,
+    hello: Hello,
+}
+
+/// Why a client call failed — transport problems, not server-side
+/// errors (those arrive as [`ReplyBody::Error`](crate::ReplyBody::Error)
+/// replies with an [`ErrorCode`](crate::ErrorCode)).
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket could not be connected, read, or written.
+    Io(std::io::Error),
+    /// The peer spoke something other than `flixd/1`, or sent a frame
+    /// that does not parse.
+    Protocol(String),
+    /// The peer closed the connection where a reply was due.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connects to a flixd socket and validates its hello frame.
+    pub fn connect(socket: impl AsRef<Path>) -> Result<Client, ClientError> {
+        let mut stream = UnixStream::connect(socket.as_ref())?;
+        let frame = proto::read_frame(&mut stream)?.ok_or(ClientError::Disconnected)?;
+        let hello = Hello::from_json(&frame).map_err(ClientError::Protocol)?;
+        if hello.proto != proto::PROTOCOL {
+            return Err(ClientError::Protocol(format!(
+                "server speaks {:?}, this client speaks {:?}",
+                hello.proto,
+                proto::PROTOCOL
+            )));
+        }
+        Ok(Client { stream, hello })
+    }
+
+    /// The hello frame the server sent at connect time.
+    pub fn hello(&self) -> &Hello {
+        &self.hello
+    }
+
+    /// Sets a read timeout on replies, so a caller with a deadline is
+    /// not held hostage by a long resume ahead of its request.
+    pub fn set_reply_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request and blocks for its reply.
+    pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        proto::write_frame(&mut self.stream, request.to_json().as_bytes())?;
+        let frame = proto::read_frame(&mut self.stream)?.ok_or(ClientError::Disconnected)?;
+        Reply::from_json(&frame).map_err(ClientError::Protocol)
+    }
+}

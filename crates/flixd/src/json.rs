@@ -1,0 +1,389 @@
+//! JSON reading and writing for the `flixd/1` wire protocol.
+//!
+//! The workspace builds offline with no serialisation dependency, so the
+//! protocol layer carries its own reader and writer, mirroring the
+//! hand-rolled pair the observability layer uses
+//! ([`flix_core::render_metrics_json`] renders, `flix_bench::json`
+//! reads). The reader parses the full RFC 8259 grammar into an untyped
+//! [`Json`] tree with a recursion-depth guard (a hostile client must not
+//! be able to blow the daemon's stack with `[[[[…`); the writer escapes
+//! strings per the RFC and can splice a pre-rendered document verbatim
+//! ([`Json::Raw`]), which is how `flix-metrics/1` reports and Chrome
+//! trace exports ride inside a response without being re-parsed.
+
+use std::fmt::Write as _;
+
+/// Parsed documents deeper than this are rejected — far beyond any
+/// legitimate `flixd/1` message (requests nest two or three levels) but
+/// low enough that parsing cannot exhaust the stack.
+const MAX_DEPTH: usize = 64;
+
+/// An untyped JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; exact for integers below 2⁵³ (every counter the
+    /// protocol carries stays far below that).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+    /// Write-only: a pre-rendered JSON document spliced verbatim into
+    /// the output. Never produced by the parser.
+    Raw(String),
+}
+
+impl Json {
+    /// Looks up `key` in an object; `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The contents of a string; `None` on non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array; `None` on non-arrays.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean value; `None` on non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric value; `None` on non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a non-negative integer, when it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+            Json::Raw(doc) => out.push_str(doc),
+        }
+    }
+}
+
+/// Escapes and quotes `s` per RFC 8259.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document, requiring it to span the whole input.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting exceeds the {MAX_DEPTH}-level limit"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at offset {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "invalid utf-8 in number")?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at offset {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "invalid \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
+                        *pos += 4;
+                        // Surrogate pairs: a high surrogate must be
+                        // followed by an escaped low surrogate.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err("unpaired surrogate".into());
+                            }
+                            let lo_hex = bytes
+                                .get(*pos + 3..*pos + 7)
+                                .ok_or("truncated surrogate pair")?;
+                            let lo_hex =
+                                std::str::from_utf8(lo_hex).map_err(|_| "invalid surrogate")?;
+                            let lo =
+                                u32::from_str_radix(lo_hex, 16).map_err(|_| "invalid surrogate")?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err("unpaired surrogate".into());
+                            }
+                            *pos += 6;
+                            0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            code
+                        };
+                        out.push(char::from_u32(c).ok_or("invalid \\u escape")?);
+                    }
+                    _ => return Err(format!("invalid escape at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest =
+                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid utf-8 in string")?;
+                let c = rest.chars().next().expect("non-empty");
+                if (c as u32) < 0x20 {
+                    return Err(format!("unescaped control character at offset {pos}"));
+                }
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let doc = Json::Obj(vec![
+            ("op".into(), Json::Str("query".into())),
+            ("atom".into(), Json::Str("Dist(\"a\", _)".into())),
+            ("n".into(), Json::Num(42.0)),
+            (
+                "xs".into(),
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(-1.5)]),
+            ),
+        ]);
+        let text = doc.render();
+        assert_eq!(parse(&text).expect("parses"), doc);
+    }
+
+    #[test]
+    fn escapes_and_unescapes() {
+        let doc = Json::Str("a\"b\\c\nd\te\u{1}f — π".into());
+        assert_eq!(parse(&doc.render()).expect("parses"), doc);
+    }
+
+    #[test]
+    fn raw_splices_verbatim() {
+        let doc = Json::Obj(vec![(
+            "metrics".into(),
+            Json::Raw("{\"schema\":\"flix-metrics/1\"}".into()),
+        )]);
+        assert_eq!(
+            doc.render(),
+            "{\"metrics\":{\"schema\":\"flix-metrics/1\"}}"
+        );
+    }
+
+    #[test]
+    fn depth_bomb_is_rejected() {
+        let bomb = "[".repeat(10_000);
+        assert!(parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn junk_is_rejected() {
+        for junk in ["", "{", "{\"a\":}", "[1,]", "nul", "\"\\q\"", "1 2"] {
+            assert!(parse(junk).is_err(), "{junk:?} should not parse");
+        }
+    }
+}

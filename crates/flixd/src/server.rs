@@ -1,0 +1,905 @@
+//! The resident fixed-point service.
+//!
+//! A [`Server`] loads (or recovers) a model once, keeps it resident, and
+//! serves the `flixd/1` protocol over a Unix domain socket:
+//!
+//! * **Reads** (`query`, `facts`, `explain`, `metrics`, `trace`,
+//!   `status`) run concurrently, one thread per connection, each against
+//!   an epoch-pinned [`Arc<Solution>`] — *snapshot isolation*: a read
+//!   observes exactly one published fixed point, never a mid-update
+//!   state, and its reply names the epoch it saw.
+//! * **Writes** (`update`, `compact`) are serialized through a single
+//!   writer thread. Updates queued while a resume is in flight are
+//!   *batched*: the writer drains its queue, folds the deltas into one,
+//!   appends that combined delta to the write-ahead log, **then** runs
+//!   [`Solver::resume`] from the last clean model and publishes the new
+//!   fixed point atomically as the next epoch (log-then-apply, so a
+//!   crash between the append and the publish replays the delta at
+//!   restart instead of losing it).
+//!
+//! When a guarded resume fails (deadline, budget), the WAL is already
+//! ahead of the resident model. The writer keeps those durable entries
+//! as an *unapplied carry-over* folded into the next batch, readers keep
+//! the old epoch, and `status` exposes the debt as `unapplied_durable`;
+//! `compact` refuses (`busy`) while the debt is non-zero, since folding
+//! the WAL into a snapshot of the clean model would silently drop it.
+//! DESIGN.md §17 walks the full crash-window analysis.
+
+use crate::hooks::Hooks;
+use crate::proto::{self, ErrorCode, Hello, Reply, ReplyBody, Request, Status};
+use flix_core::{
+    render_metrics_json, Budget, ConfigError, Delta, DeltaLog, MetricsReport, PersistError,
+    Program, Query, RecoveryReport, Solution, SolveError, SolveFailure, Solver, SolverConfig,
+};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a [`Server`] is started: where it listens, where it persists,
+/// how it solves.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// The Unix socket path to listen on. A stale file at this path is
+    /// removed at bind time and the socket is unlinked on shutdown.
+    pub socket: PathBuf,
+    /// Snapshot path: loaded at startup (scratch solve when absent or
+    /// corrupt) and rewritten by `compact`.
+    pub snapshot: Option<PathBuf>,
+    /// Write-ahead log path: replayed at startup, appended by every
+    /// `update`, truncated by `compact`. Without it updates stay
+    /// volatile (still correct, not durable).
+    pub wal: Option<PathBuf>,
+    /// The solver configuration for the startup solve and every resume.
+    /// `record_provenance` enables `explain`; `trace` enables `trace`.
+    pub solver: SolverConfig,
+    /// Cap on any update's resume deadline, in seconds. A request's
+    /// `timeout_secs` is clamped to this; requests without one inherit
+    /// it. `None` leaves unrequested updates unbounded.
+    pub max_update_secs: Option<f64>,
+    /// Admission control: `update` requests beyond this many queued or
+    /// in flight are refused with [`ErrorCode::Busy`].
+    pub max_pending: usize,
+    /// Auto-compaction: after a publish, fold the WAL into the snapshot
+    /// once it holds at least this many frames (requires both paths).
+    pub compact_every: Option<u64>,
+}
+
+impl ServerConfig {
+    /// A volatile server on `socket`: no persistence, default solver,
+    /// at most 64 queued updates, no deadline cap.
+    pub fn new(socket: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            socket: socket.into(),
+            snapshot: None,
+            wal: None,
+            solver: SolverConfig::default(),
+            max_update_secs: None,
+            max_pending: 64,
+            compact_every: None,
+        }
+    }
+}
+
+/// Why [`Server::start`] failed.
+#[derive(Debug)]
+pub enum StartError {
+    /// The solver configuration was invalid.
+    Config(ConfigError),
+    /// The startup solve (or WAL replay) failed.
+    Solve(Box<SolveFailure>),
+    /// The write-ahead log could not be opened for appending.
+    Persist(PersistError),
+    /// The socket could not be bound.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::Config(e) => write!(f, "invalid solver configuration: {e}"),
+            StartError::Solve(e) => write!(f, "startup solve failed: {e}"),
+            StartError::Persist(e) => write!(f, "write-ahead log unusable: {e}"),
+            StartError::Io(e) => write!(f, "cannot bind socket: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+/// One published fixed point: the model plus the epoch that names it.
+struct Published {
+    epoch: u64,
+    model: Arc<Solution>,
+}
+
+/// State shared between the acceptor, every connection thread, and the
+/// writer.
+struct Shared {
+    program: Arc<Program>,
+    hooks: Hooks,
+    published: RwLock<Arc<Published>>,
+    shutting_down: AtomicBool,
+    queries_served: AtomicU64,
+    pending_updates: AtomicU64,
+    unapplied_durable: AtomicU64,
+    started: Instant,
+    strategy_name: &'static str,
+    threads: usize,
+    provenance: bool,
+    max_update_secs: Option<f64>,
+    max_pending: u64,
+    persistent: bool,
+    fingerprint: String,
+    socket: PathBuf,
+}
+
+impl Shared {
+    fn current(&self) -> Arc<Published> {
+        Arc::clone(&self.published.read().expect("epoch store never poisoned"))
+    }
+
+    fn publish(&self, epoch: u64, model: Arc<Solution>) {
+        *self.published.write().expect("epoch store never poisoned") =
+            Arc::new(Published { epoch, model });
+    }
+}
+
+/// Work items for the single writer thread. Each carries a rendezvous
+/// channel the requesting connection blocks on.
+enum WriterJob {
+    Update {
+        delta: Delta,
+        entries: u64,
+        deadline: Option<Duration>,
+        reply: SyncSender<Reply>,
+    },
+    Compact {
+        reply: SyncSender<Reply>,
+    },
+    Shutdown,
+}
+
+/// A running flixd server: a bound socket, an acceptor thread, a pool
+/// of per-connection reader threads, and one writer thread.
+///
+/// Dropping the handle does *not* stop the server; call
+/// [`Server::shutdown`] (or send the protocol `shutdown` op) and then
+/// [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    writer_tx: Sender<WriterJob>,
+    acceptor: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+    socket: PathBuf,
+    /// What startup recovery found on disk, when the server was started
+    /// with persistence paths (absent for a volatile scratch solve).
+    pub recovery: Option<RecoveryReport>,
+}
+
+impl Server {
+    /// Loads (or recovers) the model, binds the socket, and starts
+    /// serving. Returns once the socket is accepting connections — a
+    /// client connecting after `start` returns is never refused.
+    pub fn start(
+        program: Arc<Program>,
+        config: ServerConfig,
+        hooks: Hooks,
+    ) -> Result<Server, StartError> {
+        let solver = Solver::with_config(config.solver.clone()).map_err(StartError::Config)?;
+
+        // Resolve the startup model: recover from snapshot + WAL when
+        // either is configured, scratch-solve otherwise. `recover`
+        // degrades (missing/corrupt files → scratch solve + truncated
+        // replay) rather than failing, so a first boot needs no special
+        // case.
+        let (initial, recovery) = match (&config.snapshot, &config.wal) {
+            (None, None) => (solver.solve(&program).map_err(StartError::Solve)?, None),
+            (snap, wal) => {
+                let missing = |stem: &str| config.socket.with_extension(stem);
+                let snap = snap.clone().unwrap_or_else(|| missing("no-snapshot"));
+                let wal_path = wal.clone().unwrap_or_else(|| missing("no-wal"));
+                let (solution, report) = solver
+                    .recover(&program, &snap, &wal_path)
+                    .map_err(StartError::Solve)?;
+                (solution, Some(report))
+            }
+        };
+
+        // Reopen the WAL for appending. Recovery already truncated any
+        // corrupt tail, so this open sees a valid log.
+        let log = match &config.wal {
+            Some(path) => Some(
+                DeltaLog::open(path, &program)
+                    .map(|(log, _)| log)
+                    .map_err(StartError::Persist)?,
+            ),
+            None => None,
+        };
+
+        if config.socket.exists() {
+            // A stale socket from a dead daemon refuses `bind`; a live
+            // daemon's socket also dies here, which is the documented
+            // single-daemon-per-socket contract.
+            std::fs::remove_file(&config.socket).map_err(StartError::Io)?;
+        }
+        let listener = UnixListener::bind(&config.socket).map_err(StartError::Io)?;
+
+        let shared = Arc::new(Shared {
+            hooks,
+            published: RwLock::new(Arc::new(Published {
+                epoch: 1,
+                model: Arc::new(initial),
+            })),
+            shutting_down: AtomicBool::new(false),
+            queries_served: AtomicU64::new(0),
+            pending_updates: AtomicU64::new(0),
+            unapplied_durable: AtomicU64::new(0),
+            started: Instant::now(),
+            strategy_name: config.solver.strategy.name(),
+            threads: config.solver.threads,
+            provenance: config.solver.record_provenance,
+            max_update_secs: config.max_update_secs,
+            max_pending: config.max_pending as u64,
+            persistent: config.snapshot.is_some() && config.wal.is_some(),
+            fingerprint: format!("{:#018x}", flix_core::program_fingerprint(&program)),
+            socket: config.socket.clone(),
+            program,
+        });
+
+        let (writer_tx, writer_rx) = mpsc::channel::<WriterJob>();
+        let writer = {
+            let shared = Arc::clone(&shared);
+            let state = WriterState {
+                clean: shared.current().model.clone(),
+                unapplied: Delta::new(),
+                log,
+                snapshot: config.snapshot.clone(),
+                compact_every: config.compact_every,
+                base: config.solver.clone(),
+                epoch: 1,
+            };
+            std::thread::Builder::new()
+                .name("flixd-writer".into())
+                .spawn(move || writer_loop(shared, state, writer_rx))
+                .map_err(StartError::Io)?
+        };
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let tx = writer_tx.clone();
+            let socket = config.socket.clone();
+            std::thread::Builder::new()
+                .name("flixd-acceptor".into())
+                .spawn(move || accept_loop(listener, socket, shared, tx))
+                .map_err(StartError::Io)?
+        };
+
+        Ok(Server {
+            shared,
+            writer_tx,
+            acceptor: Some(acceptor),
+            writer: Some(writer),
+            socket: config.socket,
+            recovery,
+        })
+    }
+
+    /// The socket path the server is listening on.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.current().epoch
+    }
+
+    /// Initiates shutdown exactly as the protocol `shutdown` op does:
+    /// stops admitting work, drains the writer, unbinds the socket.
+    /// Idempotent; does not wait — follow with [`Server::join`].
+    pub fn shutdown(&self) {
+        if !self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            let _ = self.writer_tx.send(WriterJob::Shutdown);
+            // Unblock the acceptor's blocking `accept`.
+            let _ = UnixStream::connect(&self.socket);
+        }
+    }
+
+    /// Waits for the acceptor and writer threads to finish. Connection
+    /// threads are detached; in-flight reads complete against their
+    /// pinned epochs regardless.
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: UnixListener,
+    socket: PathBuf,
+    shared: Arc<Shared>,
+    writer_tx: Sender<WriterJob>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        let writer_tx = writer_tx.clone();
+        let spawned = std::thread::Builder::new()
+            .name("flixd-conn".into())
+            .spawn(move || serve_connection(stream, shared, writer_tx));
+        // Thread exhaustion: drop the connection rather than the server.
+        drop(spawned);
+    }
+    let _ = std::fs::remove_file(&socket);
+}
+
+fn serve_connection(mut stream: UnixStream, shared: Arc<Shared>, writer_tx: Sender<WriterJob>) {
+    let hello = {
+        let published = shared.current();
+        Hello {
+            proto: proto::PROTOCOL.to_string(),
+            epoch: published.epoch,
+            facts: published.model.total_facts() as u64,
+            fingerprint: shared.fingerprint.clone(),
+        }
+    };
+    if proto::write_frame(&mut stream, hello.to_json().as_bytes()).is_err() {
+        return;
+    }
+    loop {
+        let frame = match proto::read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => return,
+        };
+        let (reply, last) = match Request::from_json(&frame) {
+            Ok(request) => handle_request(&shared, &writer_tx, &mut stream, request),
+            Err(e) => (error_reply(&shared, ErrorCode::Proto, e), false),
+        };
+        let sent = proto::write_frame(&mut stream, reply.to_json().as_bytes()).is_ok();
+        if last {
+            // Only now tear the server down: this thread is detached,
+            // and the process may exit the moment the acceptor and
+            // writer observe the flag — the acknowledgement must
+            // already sit in the peer's socket buffer by then.
+            trigger_shutdown(&shared, &writer_tx);
+            return;
+        }
+        if !sent {
+            return;
+        }
+    }
+}
+
+fn error_reply(shared: &Shared, code: ErrorCode, message: String) -> Reply {
+    Reply {
+        epoch: shared.current().epoch,
+        body: ReplyBody::Error { code, message },
+    }
+}
+
+/// Dispatches one request. Returns the reply plus whether the
+/// connection should close after sending it (shutdown acknowledgement).
+fn handle_request(
+    shared: &Arc<Shared>,
+    writer_tx: &Sender<WriterJob>,
+    _stream: &mut UnixStream,
+    request: Request,
+) -> (Reply, bool) {
+    match request {
+        Request::Query { atom } => (handle_query(shared, &atom), false),
+        Request::Facts { predicate } => (handle_facts(shared, predicate.as_deref()), false),
+        Request::Explain { atom } => (handle_explain(shared, &atom), false),
+        Request::Metrics => (handle_metrics(shared), false),
+        Request::Trace => (handle_trace(shared), false),
+        Request::Status => (handle_status(shared), false),
+        Request::Update { text, timeout_secs } => {
+            (handle_update(shared, writer_tx, &text, timeout_secs), false)
+        }
+        Request::Compact => (handle_compact(shared, writer_tx), false),
+        Request::Shutdown => {
+            // The teardown itself happens in `serve_connection`, after
+            // the acknowledgement is on the wire.
+            let reply = Reply {
+                epoch: shared.current().epoch,
+                body: ReplyBody::Stopping,
+            };
+            (reply, true)
+        }
+    }
+}
+
+fn trigger_shutdown(shared: &Shared, writer_tx: &Sender<WriterJob>) {
+    if !shared.shutting_down.swap(true, Ordering::SeqCst) {
+        let _ = writer_tx.send(WriterJob::Shutdown);
+        // The acceptor is parked in `accept`; a throwaway connection
+        // unparks it so it can observe the flag.
+        let _ = UnixStream::connect(&shared.socket);
+    }
+}
+
+fn render_fact_lines(
+    model: &Solution,
+    predicate: &str,
+    filter: Option<&Query>,
+) -> Option<Vec<String>> {
+    let facts = model.facts(predicate)?;
+    let mut lines: Vec<String> = facts
+        .filter(|f| filter.is_none_or(|q| q.matches(f)))
+        .map(|f| format!("{predicate}({f})"))
+        .collect();
+    lines.sort();
+    Some(lines)
+}
+
+fn handle_query(shared: &Shared, atom: &str) -> Reply {
+    shared.queries_served.fetch_add(1, Ordering::Relaxed);
+    let (predicate, pattern) = match (shared.hooks.parse_query)(atom) {
+        Ok(parsed) => parsed,
+        Err(e) => return error_reply(shared, ErrorCode::Parse, e),
+    };
+    let published = shared.current();
+    let Some(pred_id) = shared.program.predicate(&predicate) else {
+        return error_reply(
+            shared,
+            ErrorCode::Query,
+            format!("unknown predicate {predicate:?}"),
+        );
+    };
+    let arity = shared.program.decl(pred_id).arity();
+    if pattern.len() != arity {
+        return error_reply(
+            shared,
+            ErrorCode::Query,
+            format!(
+                "{predicate} takes {arity} argument{}, pattern has {}",
+                if arity == 1 { "" } else { "s" },
+                pattern.len()
+            ),
+        );
+    }
+    let query = Query::new(predicate.clone(), pattern);
+    let lines = render_fact_lines(&published.model, &predicate, Some(&query)).unwrap_or_default();
+    Reply {
+        epoch: published.epoch,
+        body: ReplyBody::Answers(lines),
+    }
+}
+
+fn handle_facts(shared: &Shared, predicate: Option<&str>) -> Reply {
+    shared.queries_served.fetch_add(1, Ordering::Relaxed);
+    let published = shared.current();
+    let lines = match predicate {
+        Some(name) => match render_fact_lines(&published.model, name, None) {
+            Some(lines) => lines,
+            None => {
+                return error_reply(
+                    shared,
+                    ErrorCode::Query,
+                    format!("unknown predicate {name:?}"),
+                )
+            }
+        },
+        None => {
+            let snapshot = published.model.snapshot();
+            let mut lines = Vec::with_capacity(published.model.total_facts());
+            for name in snapshot.predicate_names() {
+                lines.extend(render_fact_lines(&published.model, name, None).unwrap_or_default());
+            }
+            // The per-predicate lists are already sorted; sort the full
+            // dump too so clients see one deterministic order.
+            lines.sort();
+            lines
+        }
+    };
+    Reply {
+        epoch: published.epoch,
+        body: ReplyBody::Facts(lines),
+    }
+}
+
+fn handle_explain(shared: &Shared, atom: &str) -> Reply {
+    shared.queries_served.fetch_add(1, Ordering::Relaxed);
+    if !shared.provenance {
+        return error_reply(
+            shared,
+            ErrorCode::Unsupported,
+            "the server is not recording provenance (start flixd with --explainable)".into(),
+        );
+    }
+    let (predicate, values) = match (shared.hooks.parse_atom)(atom) {
+        Ok(parsed) => parsed,
+        Err(e) => return error_reply(shared, ErrorCode::Parse, e),
+    };
+    let published = shared.current();
+    if published.model.predicate(&predicate).is_none() {
+        return error_reply(
+            shared,
+            ErrorCode::Query,
+            format!("unknown predicate {predicate:?}"),
+        );
+    }
+    match published.model.explain(&predicate, &values) {
+        Some(tree) => Reply {
+            epoch: published.epoch,
+            body: ReplyBody::Explain(tree.to_string()),
+        },
+        None => error_reply(
+            shared,
+            ErrorCode::Absent,
+            format!("{atom} is not in the model at epoch {}", published.epoch),
+        ),
+    }
+}
+
+fn handle_metrics(shared: &Shared) -> Reply {
+    shared.queries_served.fetch_add(1, Ordering::Relaxed);
+    let published = shared.current();
+    let doc = render_metrics_json(&[MetricsReport {
+        name: "flixd",
+        strategy: shared.strategy_name,
+        threads: shared.threads,
+        stats: published.model.stats(),
+    }]);
+    Reply {
+        epoch: published.epoch,
+        body: ReplyBody::Metrics(doc),
+    }
+}
+
+fn handle_trace(shared: &Shared) -> Reply {
+    shared.queries_served.fetch_add(1, Ordering::Relaxed);
+    let published = shared.current();
+    match published.model.trace() {
+        Some(trace) => Reply {
+            epoch: published.epoch,
+            body: ReplyBody::Trace(trace.to_chrome_json()),
+        },
+        None => error_reply(
+            shared,
+            ErrorCode::Unsupported,
+            "the server is not recording execution traces (start flixd with --traced)".into(),
+        ),
+    }
+}
+
+fn handle_status(shared: &Shared) -> Reply {
+    let published = shared.current();
+    Reply {
+        epoch: published.epoch,
+        body: ReplyBody::Status(Status {
+            facts: published.model.total_facts() as u64,
+            updates_applied: published.epoch - 1,
+            queries_served: shared.queries_served.load(Ordering::Relaxed),
+            pending_updates: shared.pending_updates.load(Ordering::Relaxed),
+            unapplied_durable: shared.unapplied_durable.load(Ordering::Relaxed),
+            uptime_secs: shared.started.elapsed().as_secs_f64(),
+        }),
+    }
+}
+
+fn handle_update(
+    shared: &Shared,
+    writer_tx: &Sender<WriterJob>,
+    text: &str,
+    timeout_secs: Option<f64>,
+) -> Reply {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return error_reply(
+            shared,
+            ErrorCode::ShuttingDown,
+            "the server is shutting down".into(),
+        );
+    }
+    let delta = match (shared.hooks.compile_update)(text) {
+        Ok(delta) => delta,
+        Err(e) => return error_reply(shared, ErrorCode::Parse, e),
+    };
+    // Reject deltas that do not fit the program *before* they reach the
+    // write-ahead log — a bad request must never poison the batch it
+    // would have ridden in.
+    if let Err(e) = shared.program.with_delta(&delta) {
+        return error_reply(shared, ErrorCode::Delta, e.to_string());
+    }
+    // Admission control: bound the queue, not the caller's patience.
+    if shared.pending_updates.fetch_add(1, Ordering::SeqCst) >= shared.max_pending {
+        shared.pending_updates.fetch_sub(1, Ordering::SeqCst);
+        return error_reply(
+            shared,
+            ErrorCode::Busy,
+            format!("update queue is full ({} pending)", shared.max_pending),
+        );
+    }
+    let requested = timeout_secs.filter(|s| s.is_finite() && *s > 0.0);
+    let deadline = match (requested, shared.max_update_secs) {
+        (Some(r), Some(cap)) => Some(Duration::from_secs_f64(r.min(cap))),
+        (Some(r), None) => Some(Duration::from_secs_f64(r)),
+        (None, cap) => cap.map(Duration::from_secs_f64),
+    };
+    let entries = delta.len() as u64;
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = WriterJob::Update {
+        delta,
+        entries,
+        deadline,
+        reply: reply_tx,
+    };
+    if writer_tx.send(job).is_err() {
+        shared.pending_updates.fetch_sub(1, Ordering::SeqCst);
+        return error_reply(
+            shared,
+            ErrorCode::ShuttingDown,
+            "the server is shutting down".into(),
+        );
+    }
+    reply_rx.recv().unwrap_or_else(|_| {
+        error_reply(
+            shared,
+            ErrorCode::ShuttingDown,
+            "the server shut down before applying the update".into(),
+        )
+    })
+}
+
+fn handle_compact(shared: &Shared, writer_tx: &Sender<WriterJob>) -> Reply {
+    if !shared.persistent {
+        return error_reply(
+            shared,
+            ErrorCode::Unsupported,
+            "compaction requires the server to run with both --snapshot and --wal".into(),
+        );
+    }
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    if writer_tx
+        .send(WriterJob::Compact { reply: reply_tx })
+        .is_err()
+    {
+        return error_reply(
+            shared,
+            ErrorCode::ShuttingDown,
+            "the server is shutting down".into(),
+        );
+    }
+    reply_rx.recv().unwrap_or_else(|_| {
+        error_reply(
+            shared,
+            ErrorCode::ShuttingDown,
+            "the server shut down before compacting".into(),
+        )
+    })
+}
+
+/// State owned by the writer thread.
+struct WriterState {
+    /// The last successfully published model — resumes start here.
+    clean: Arc<Solution>,
+    /// Durable (WAL-logged) delta entries not yet in `clean`; non-empty
+    /// only after a guarded resume failure.
+    unapplied: Delta,
+    log: Option<DeltaLog>,
+    snapshot: Option<PathBuf>,
+    compact_every: Option<u64>,
+    base: SolverConfig,
+    epoch: u64,
+}
+
+fn writer_loop(shared: Arc<Shared>, mut state: WriterState, rx: Receiver<WriterJob>) {
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        // Batch: drain everything already queued behind the first job.
+        let mut batch = vec![first];
+        while let Ok(job) = rx.try_recv() {
+            batch.push(job);
+        }
+        let mut updates = Vec::new();
+        let mut compacts = Vec::new();
+        let mut stop = false;
+        for job in batch {
+            match job {
+                WriterJob::Update {
+                    delta,
+                    entries,
+                    deadline,
+                    reply,
+                } => updates.push((delta, entries, deadline, reply)),
+                WriterJob::Compact { reply } => compacts.push(reply),
+                WriterJob::Shutdown => stop = true,
+            }
+        }
+        if !updates.is_empty() {
+            apply_batch(&shared, &mut state, updates);
+        }
+        for reply in compacts {
+            let response = compact(&shared, &mut state);
+            let _ = reply.send(response);
+        }
+        if stop {
+            return;
+        }
+    }
+}
+
+type PendingUpdate = (Delta, u64, Option<Duration>, SyncSender<Reply>);
+
+fn apply_batch(shared: &Shared, state: &mut WriterState, updates: Vec<PendingUpdate>) {
+    let batched = updates.len() as u64;
+    let mut combined_new = Delta::new();
+    for (delta, _, _, _) in &updates {
+        combined_new.extend_from(delta);
+    }
+
+    let finish = |reply: Reply, updates: &[PendingUpdate]| {
+        for (_, _, _, tx) in updates {
+            let _ = tx.send(reply.clone());
+        }
+        shared
+            .pending_updates
+            .fetch_sub(updates.len() as u64, Ordering::SeqCst);
+    };
+
+    // Log-then-apply: the combined delta becomes durable *before* the
+    // resume runs, so a crash mid-resume replays it at restart. An
+    // append failure aborts the batch before any solving — durability
+    // and the resident model stay in lockstep.
+    if let Some(log) = &mut state.log {
+        if let Err(e) = log.append(&combined_new) {
+            let reply = Reply {
+                epoch: state.epoch,
+                body: ReplyBody::Error {
+                    code: ErrorCode::Persist,
+                    message: format!("write-ahead log append failed: {e}"),
+                },
+            };
+            finish(reply, &updates);
+            return;
+        }
+    }
+
+    // The resume covers the durable debt of earlier failed batches too.
+    let mut full = state.unapplied.clone();
+    full.extend_from(&combined_new);
+
+    // The batch deadline is the tightest requested by any rider: a
+    // caller who asked for 2 s should not wait 30 because a slow
+    // request got batched with theirs.
+    let deadline = updates.iter().filter_map(|(_, _, d, _)| *d).min();
+    let mut config = state.base.clone();
+    if let Some(d) = deadline {
+        config.budget = Budget::new().deadline(d);
+    }
+    let solver = match Solver::with_config(config) {
+        Ok(solver) => solver,
+        Err(e) => {
+            // Unreachable: `base` was validated at startup and the only
+            // edit was the budget. Handled anyway — a writer must not
+            // panic with replies outstanding.
+            let reply = Reply {
+                epoch: state.epoch,
+                body: ReplyBody::Error {
+                    code: ErrorCode::Solve,
+                    message: e.to_string(),
+                },
+            };
+            finish(reply, &updates);
+            return;
+        }
+    };
+
+    match solver.resume(&shared.program, &state.clean, &full) {
+        Ok(next) => {
+            state.clean = Arc::new(next);
+            state.unapplied = Delta::new();
+            state.epoch += 1;
+            shared.unapplied_durable.store(0, Ordering::SeqCst);
+            shared.publish(state.epoch, Arc::clone(&state.clean));
+            for (_, entries, _, tx) in &updates {
+                let _ = tx.send(Reply {
+                    epoch: state.epoch,
+                    body: ReplyBody::Updated {
+                        applied: *entries,
+                        batched,
+                    },
+                });
+            }
+            shared.pending_updates.fetch_sub(batched, Ordering::SeqCst);
+            maybe_autocompact(shared, state);
+        }
+        Err(failure) => {
+            // The entries are durable but not applied: carry them into
+            // the next batch (and into restart replay) rather than
+            // letting the WAL run ahead of what we ever apply.
+            let code = match &failure.error {
+                SolveError::BudgetExceeded { .. } | SolveError::RoundLimitExceeded { .. } => {
+                    ErrorCode::Budget
+                }
+                SolveError::Delta(_) => ErrorCode::Delta,
+                _ => ErrorCode::Solve,
+            };
+            state.unapplied = full;
+            shared
+                .unapplied_durable
+                .store(state.unapplied.len() as u64, Ordering::SeqCst);
+            let reply = Reply {
+                epoch: state.epoch,
+                body: ReplyBody::Error {
+                    code,
+                    message: format!(
+                        "update logged but not applied (will retry with the next batch): {}",
+                        failure.error
+                    ),
+                },
+            };
+            finish(reply, &updates);
+        }
+    }
+}
+
+fn compact(shared: &Shared, state: &mut WriterState) -> Reply {
+    if !state.unapplied.is_empty() {
+        return Reply {
+            epoch: state.epoch,
+            body: ReplyBody::Error {
+                code: ErrorCode::Busy,
+                message: format!(
+                    "{} durable delta entries await application; retry after the next \
+                     successful update",
+                    state.unapplied.len()
+                ),
+            },
+        };
+    }
+    let (Some(log), Some(snapshot)) = (&mut state.log, &state.snapshot) else {
+        return Reply {
+            epoch: state.epoch,
+            body: ReplyBody::Error {
+                code: ErrorCode::Unsupported,
+                message: "compaction requires both --snapshot and --wal".into(),
+            },
+        };
+    };
+    let frames = log.frames();
+    match log.compact_into(snapshot, &shared.program, &state.clean) {
+        Ok(()) => Reply {
+            epoch: state.epoch,
+            body: ReplyBody::Compacted {
+                frames_absorbed: frames,
+            },
+        },
+        Err(e) => Reply {
+            epoch: state.epoch,
+            body: ReplyBody::Error {
+                code: ErrorCode::Persist,
+                message: format!("compaction failed: {e}"),
+            },
+        },
+    }
+}
+
+fn maybe_autocompact(shared: &Shared, state: &mut WriterState) {
+    let Some(threshold) = state.compact_every else {
+        return;
+    };
+    if !state.unapplied.is_empty() {
+        return;
+    }
+    let due = state.log.as_ref().is_some_and(|l| l.frames() >= threshold);
+    if due && state.snapshot.is_some() {
+        // Best-effort: a failed auto-compaction leaves the WAL longer
+        // than ideal, never incorrect. The explicit `compact` op
+        // surfaces errors to a caller who can act on them.
+        let _ = compact(shared, state);
+    }
+}

@@ -1,0 +1,274 @@
+//! `flixd` — run a FLIX program as a resident fixed-point service.
+//!
+//! Usage:
+//!
+//! ```text
+//! flixd --socket PATH [--snapshot PATH] [--wal LOG]
+//!       [--naive] [--threads N] [--explainable] [--traced]
+//!       [--max-update-secs S] [--max-pending N] [--compact-every N]
+//!       FILE.flix [MORE.flix ...]
+//! ```
+//!
+//! The daemon compiles the program, recovers its model (snapshot +
+//! write-ahead log when `--snapshot`/`--wal` are given, scratch solve
+//! otherwise), binds `--socket`, and serves the `flixd/1` protocol
+//! until it receives a `shutdown` request — from `flixr --connect
+//! SOCKET --shutdown`, or any other client. Reads are served
+//! concurrently against epoch-pinned model snapshots; updates are
+//! batched, WAL-logged before application, and published atomically.
+//! DESIGN.md §17 specifies the protocol and its isolation and crash
+//! semantics.
+//!
+//! `--explainable` records provenance so clients can use the `explain`
+//! op (costs memory proportional to insertions); `--traced` records
+//! execution spans for the `trace` op. `--max-update-secs S` caps every
+//! update's resume deadline; `--max-pending N` bounds the update queue
+//! (default 64); `--compact-every N` folds the write-ahead log into the
+//! snapshot automatically once it holds `N` frames.
+//!
+//! # Exit codes
+//!
+//! | code | meaning                                              |
+//! |------|------------------------------------------------------|
+//! | 0    | clean shutdown via the `shutdown` op                 |
+//! | 1    | usage error, unbindable socket, or unusable log      |
+//! | 2    | the program failed to parse or type-check            |
+//! | 3    | the startup solve failed                             |
+//! | 4    | the startup solve exhausted a budget                 |
+
+use flix_core::{SolveError, SolverConfig, Strategy, TraceConfig};
+use flixd::{Hooks, Server, ServerConfig, StartError};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const EXIT_USAGE: u8 = 1;
+const EXIT_LANG: u8 = 2;
+const EXIT_SOLVE: u8 = 3;
+const EXIT_BUDGET: u8 = 4;
+
+struct Failure {
+    code: u8,
+    message: String,
+}
+
+impl Failure {
+    fn usage(message: impl Into<String>) -> Failure {
+        Failure {
+            code: EXIT_USAGE,
+            message: message.into(),
+        }
+    }
+
+    fn lang(message: impl Into<String>) -> Failure {
+        Failure {
+            code: EXIT_LANG,
+            message: message.into(),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failure) => {
+            eprintln!("flixd: {}", failure.message);
+            ExitCode::from(failure.code)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), Failure> {
+    let mut files: Vec<String> = Vec::new();
+    let mut socket: Option<String> = None;
+    let mut snapshot: Option<String> = None;
+    let mut wal: Option<String> = None;
+    let mut strategy = Strategy::SemiNaive;
+    let mut threads = 1usize;
+    let mut explainable = false;
+    let mut traced = false;
+    let mut max_update_secs: Option<f64> = None;
+    let mut max_pending = 64usize;
+    let mut compact_every: Option<u64> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(path_arg(&mut it, "--socket", "a socket path")?),
+            "--snapshot" => snapshot = Some(path_arg(&mut it, "--snapshot", "a snapshot path")?),
+            "--wal" => wal = Some(path_arg(&mut it, "--wal", "a log path")?),
+            "--naive" => strategy = Strategy::Naive,
+            "--threads" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--threads requires a number"))?;
+                threads = n
+                    .parse()
+                    .map_err(|_| Failure::usage(format!("invalid thread count {n}")))?;
+            }
+            "--explainable" => explainable = true,
+            "--traced" => traced = true,
+            "--max-update-secs" => {
+                let s = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--max-update-secs requires seconds"))?;
+                let secs: f64 = s
+                    .parse()
+                    .map_err(|_| Failure::usage(format!("invalid deadline {s}")))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(Failure::usage(format!(
+                        "--max-update-secs must be a positive number of seconds, got {s}"
+                    )));
+                }
+                max_update_secs = Some(secs);
+            }
+            "--max-pending" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--max-pending requires a count"))?;
+                max_pending = n
+                    .parse()
+                    .map_err(|_| Failure::usage(format!("invalid pending bound {n}")))?;
+            }
+            "--compact-every" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--compact-every requires a frame count"))?;
+                let every: u64 = n
+                    .parse()
+                    .map_err(|_| Failure::usage(format!("invalid compaction threshold {n}")))?;
+                if every == 0 {
+                    return Err(Failure::usage(
+                        "--compact-every must be at least 1 (0 would compact an empty log)",
+                    ));
+                }
+                compact_every = Some(every);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: flixd --socket PATH [--snapshot PATH] [--wal LOG] \
+                     [--naive] [--threads N] [--explainable] [--traced] \
+                     [--max-update-secs S] [--max-pending N] [--compact-every N] \
+                     FILE.flix [MORE.flix ...]"
+                );
+                return Ok(());
+            }
+            other if other.starts_with('-') => {
+                return Err(Failure::usage(format!("unknown option {other}")));
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+
+    let Some(socket) = socket else {
+        return Err(Failure::usage("--socket is required; see --help"));
+    };
+    if files.is_empty() {
+        return Err(Failure::usage("no input file; see --help"));
+    }
+    if compact_every.is_some() && (wal.is_none() || snapshot.is_none()) {
+        return Err(Failure::usage(
+            "--compact-every requires both --wal (the log to compact) and \
+             --snapshot (the snapshot to compact it into)",
+        ));
+    }
+
+    let mut source = String::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Failure::usage(format!("cannot read {path}: {e}")))?;
+        source.push_str(&text);
+        source.push('\n');
+    }
+    let program = Arc::new(flix_lang::compile(&source).map_err(|e| Failure::lang(e.to_string()))?);
+
+    let config = ServerConfig {
+        socket: socket.clone().into(),
+        snapshot: snapshot.map(Into::into),
+        wal: wal.map(Into::into),
+        solver: SolverConfig {
+            strategy,
+            threads,
+            record_provenance: explainable,
+            trace: traced.then(TraceConfig::default),
+            ..SolverConfig::default()
+        },
+        max_update_secs,
+        max_pending,
+        compact_every,
+    };
+    let hooks = Hooks {
+        parse_query: Box::new(|text| flix_lang::parse_query_atom(text).map_err(|e| e.to_string())),
+        parse_atom: Box::new(|text| flix_lang::parse_ground_atom(text).map_err(|e| e.to_string())),
+        compile_update: Box::new(|text| flix_lang::compile_update(text).map_err(|e| e.to_string())),
+    };
+
+    let server = Server::start(program, config, hooks).map_err(|e| {
+        let code = match &e {
+            StartError::Solve(failure) => match &failure.error {
+                SolveError::BudgetExceeded { .. } | SolveError::RoundLimitExceeded { .. } => {
+                    EXIT_BUDGET
+                }
+                _ => EXIT_SOLVE,
+            },
+            _ => EXIT_USAGE,
+        };
+        Failure {
+            code,
+            message: e.to_string(),
+        }
+    })?;
+
+    if let Some(report) = &server.recovery {
+        if let Some(e) = &report.snapshot_error {
+            eprintln!("flixd: warning: snapshot unusable ({e}); solved from scratch");
+        }
+        if let Some(e) = &report.wal_error {
+            eprintln!("flixd: warning: write-ahead log unusable ({e}); nothing replayed");
+        }
+        if report.wal_bytes_dropped > 0 {
+            eprintln!(
+                "flixd: warning: truncated {} corrupt trailing byte(s) from the write-ahead log",
+                report.wal_bytes_dropped
+            );
+        }
+        if report.wal_entries_replayed > 0 {
+            eprintln!(
+                "flixd: replayed {} delta entr{} from {} write-ahead frame(s)",
+                report.wal_entries_replayed,
+                if report.wal_entries_replayed == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                report.wal_frames_replayed
+            );
+        }
+    }
+    eprintln!(
+        "flixd: serving {} on {socket} (epoch {})",
+        files.join(" "),
+        server.epoch()
+    );
+
+    // Serve until a client sends the `shutdown` op.
+    server.join();
+    eprintln!("flixd: shut down");
+    Ok(())
+}
+
+fn path_arg(
+    it: &mut impl Iterator<Item = String>,
+    flag: &str,
+    what: &str,
+) -> Result<String, Failure> {
+    let path = it
+        .next()
+        .ok_or_else(|| Failure::usage(format!("{flag} requires {what}")))?;
+    if path.starts_with('-') {
+        return Err(Failure::usage(format!(
+            "{flag} requires {what}, got option {path}"
+        )));
+    }
+    Ok(path)
+}

@@ -12,8 +12,34 @@
 //!       [--query "Pred(pattern)"] [--update FILE.flix]
 //!       [--save SNAPSHOT] [--load SNAPSHOT]
 //!       [--wal LOG] [--compact-every N]
+//!       [--quiet-model]
 //!       FILE.flix [MORE.flix ...]
+//!
+//! flixr --connect SOCKET [--query PATTERN] [--print PREDS]
+//!       [--explain ATOM] [--update FILE.flix] [--timeout SECS]
+//!       [--metrics-json PATH] [--status] [--compact] [--shutdown]
+//!       [--quiet-model]
 //! ```
+//!
+//! `--quiet-model` suppresses printing the model itself (and, with
+//! `--update`, both models) — the run still solves, persists, and
+//! reports stats/diagnostics, so scripts that only care about side
+//! effects or exit codes are not flooded by large fixed points.
+//!
+//! `--connect SOCKET` switches to *client mode* against a running
+//! `flixd` daemon (see the `flixd` binary): no local compile or solve
+//! happens; instead `--query`, `--print`, `--explain`, `--update`,
+//! `--metrics-json`, `--status`, `--compact`, and `--shutdown` are sent
+//! over the `flixd/1` protocol and rendered exactly as local mode
+//! renders its own output. `--update` prints the daemon's updated model
+//! afterwards unless `--quiet-model` (or an explicit `--query`/
+//! `--print`) narrows the output; `--timeout` becomes the update's
+//! server-side resume deadline. Error replies map onto the same exit
+//! codes as local failures: 2 for language-level rejections (parse,
+//! unknown predicate, delta mismatch), 4 for exhausted budgets, 3 for
+//! solver faults, 1 for operational errors (daemon busy, unsupported
+//! capability, shutdown races). The protocol and its epoch/snapshot-
+//! isolation semantics are specified in DESIGN.md §17.
 //!
 //! Multiple input files are concatenated before compilation, so rules and
 //! facts can live in separate files (the interoperability story of §1 of
@@ -114,9 +140,10 @@
 
 use flix_core::{
     load_snapshot, render_ascent_report, save_snapshot, write_metrics_json, AscentConfig,
-    AscentWarning, Budget, Delta, DeltaLog, DeltaOp, Observer, OwnedMetricsReport, PersistError,
-    Query, Solution, SolveError, Solver, SolverConfig, Strategy, TraceConfig,
+    AscentWarning, Budget, Delta, DeltaLog, Observer, OwnedMetricsReport, PersistError, Query,
+    Solution, SolveError, Solver, SolverConfig, Strategy, TraceConfig,
 };
+use flixd::{Client, ErrorCode, Reply, ReplyBody, Request};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
@@ -207,6 +234,11 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     let mut load: Option<String> = None;
     let mut wal: Option<String> = None;
     let mut compact_every: Option<u64> = None;
+    let mut quiet_model = false;
+    let mut connect: Option<String> = None;
+    let mut status = false;
+    let mut compact = false;
+    let mut shutdown = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -365,6 +397,21 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                 }
                 compact_every = Some(every);
             }
+            "--quiet-model" => quiet_model = true,
+            "--connect" => {
+                let path = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--connect requires a flixd socket path"))?;
+                if path.starts_with('-') {
+                    return Err(Failure::usage(format!(
+                        "--connect requires a flixd socket path, got option {path}"
+                    )));
+                }
+                connect = Some(path);
+            }
+            "--status" => status = true,
+            "--compact" => compact = true,
+            "--shutdown" => shutdown = true,
             "--help" | "-h" => {
                 println!(
                     "usage: flixr [--stats] [--profile] [--metrics-json PATH] \
@@ -374,7 +421,13 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                      [--max-rounds N] [--timeout SECS] [--print PREDS] \
                      [--explain ATOM] [--query PATTERN] [--update FILE.flix] \
                      [--save SNAPSHOT] [--load SNAPSHOT] [--wal LOG] [--compact-every N] \
-                     FILE.flix [MORE.flix ...]"
+                     [--quiet-model] FILE.flix [MORE.flix ...]\n\
+                     \n\
+                     client mode (against a running flixd daemon):\n\
+                     flixr --connect SOCKET [--query PATTERN] [--print PREDS] \
+                     [--explain ATOM] [--update FILE.flix] [--timeout SECS] \
+                     [--metrics-json PATH] [--status] [--compact] [--shutdown] \
+                     [--quiet-model]"
                 );
                 return Ok(());
             }
@@ -385,6 +438,38 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         }
     }
 
+    if let Some(socket) = connect {
+        if save.is_some() || load.is_some() || wal.is_some() || verify {
+            return Err(Failure::usage(
+                "--save/--load/--wal/--verify are local-mode flags; the daemon owns \
+                 persistence when using --connect (see --compact)",
+            ));
+        }
+        if !files.is_empty() {
+            return Err(Failure::usage(
+                "--connect talks to a daemon that already loaded its program; \
+                 drop the .flix file arguments",
+            ));
+        }
+        return run_connect(RunConnect {
+            socket: &socket,
+            queries: &queries,
+            print: print.as_deref(),
+            explain: explain.as_deref(),
+            update: update.as_deref(),
+            timeout,
+            metrics_json: metrics_json.as_deref(),
+            status,
+            compact,
+            shutdown,
+            quiet_model,
+        });
+    }
+    if status || compact || shutdown {
+        return Err(Failure::usage(
+            "--status/--compact/--shutdown are client-mode flags and require --connect SOCKET",
+        ));
+    }
     if files.is_empty() {
         return Err(Failure::usage("no input file; see --help"));
     }
@@ -647,13 +732,17 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         if let Some(query) = &explain {
             return explain_fact(&updated, query, "updated model");
         }
-        println!("== initial model ==");
-        print_model(&program, &initial, print.as_deref());
+        if !quiet_model {
+            println!("== initial model ==");
+            print_model(&program, &initial, print.as_deref());
+        }
         if stats {
             print_stats(initial.stats());
         }
-        println!("== updated model ==");
-        print_model(&program, &updated, print.as_deref());
+        if !quiet_model {
+            println!("== updated model ==");
+            print_model(&program, &updated, print.as_deref());
+        }
         if stats {
             print_stats(updated.stats());
         }
@@ -666,11 +755,167 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         return explain_fact(&initial, query, "minimal model");
     }
 
-    print_model(&program, &initial, print.as_deref());
+    if !quiet_model {
+        print_model(&program, &initial, print.as_deref());
+    }
     if stats {
         print_stats(initial.stats());
     }
     emit_observability(&emit, initial.stats(), &initial)?;
+    Ok(())
+}
+
+/// Everything the `--connect` client mode needs from `run`.
+struct RunConnect<'a> {
+    socket: &'a str,
+    queries: &'a [String],
+    print: Option<&'a [String]>,
+    explain: Option<&'a str>,
+    update: Option<&'a str>,
+    timeout: Option<Duration>,
+    metrics_json: Option<&'a str>,
+    status: bool,
+    compact: bool,
+    shutdown: bool,
+    quiet_model: bool,
+}
+
+/// Maps a daemon error reply onto the local-mode exit codes, so scripts
+/// driving `flixr --connect` can react exactly as they would to a local
+/// run: 2 for language-level rejections, 4 for exhausted budgets, 3 for
+/// solver faults, 1 for everything operational.
+fn connect_failure(code: ErrorCode, message: String) -> Failure {
+    let exit = match code {
+        ErrorCode::Parse | ErrorCode::Query | ErrorCode::Delta => EXIT_LANG,
+        ErrorCode::Budget => EXIT_BUDGET,
+        ErrorCode::Solve => EXIT_SOLVE,
+        ErrorCode::Proto
+        | ErrorCode::Absent
+        | ErrorCode::Persist
+        | ErrorCode::Unsupported
+        | ErrorCode::Busy
+        | ErrorCode::ShuttingDown => EXIT_USAGE,
+    };
+    Failure {
+        code: exit,
+        message: Some(format!("flixd replied [{code}]: {message}")),
+    }
+}
+
+/// The client mode: one connection to a running flixd daemon, driving
+/// the requested operations in a fixed order — update, compact, queries
+/// and fact dumps, explain, metrics, status, shutdown — and rendering
+/// the replies exactly as local mode renders its own output (fact lines
+/// on stdout, diagnostics on stderr).
+fn run_connect(cx: RunConnect<'_>) -> Result<(), Failure> {
+    let mut client = Client::connect(cx.socket)
+        .map_err(|e| Failure::usage(format!("cannot connect to flixd at {}: {e}", cx.socket)))?;
+
+    let mut call = |request: Request| -> Result<Reply, Failure> {
+        let reply = client
+            .request(&request)
+            .map_err(|e| Failure::usage(format!("flixd connection lost: {e}")))?;
+        if let ReplyBody::Error { code, message } = reply.body {
+            return Err(connect_failure(code, message));
+        }
+        Ok(reply)
+    };
+
+    if let Some(path) = cx.update {
+        let text = read_source(path)?;
+        let reply = call(Request::Update {
+            text,
+            timeout_secs: cx.timeout.map(|d| d.as_secs_f64()),
+        })?;
+        if let ReplyBody::Updated { applied, batched } = reply.body {
+            eprintln!(
+                "flixr: update applied at epoch {} ({applied} delta entr{}, \
+                 batched with {} other update{})",
+                reply.epoch,
+                if applied == 1 { "y" } else { "ies" },
+                batched - 1,
+                if batched == 2 { "" } else { "s" }
+            );
+        }
+        // Local mode prints the updated model after an update; the
+        // client asks the daemon for it instead, unless --quiet-model.
+        if !cx.quiet_model && cx.queries.is_empty() && cx.print.is_none() {
+            let reply = call(Request::Facts { predicate: None })?;
+            if let ReplyBody::Facts(lines) = reply.body {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+        }
+    }
+
+    if cx.compact {
+        let reply = call(Request::Compact)?;
+        if let ReplyBody::Compacted { frames_absorbed } = reply.body {
+            eprintln!(
+                "flixr: flixd compacted {frames_absorbed} write-ahead frame{} into its snapshot",
+                if frames_absorbed == 1 { "" } else { "s" }
+            );
+        }
+    }
+
+    for pattern in cx.queries {
+        let reply = call(Request::Query {
+            atom: pattern.clone(),
+        })?;
+        if let ReplyBody::Answers(lines) = reply.body {
+            for line in lines {
+                println!("{line}");
+            }
+        }
+    }
+
+    if let Some(preds) = cx.print {
+        for pred in preds {
+            let reply = call(Request::Facts {
+                predicate: Some(pred.clone()),
+            })?;
+            if let ReplyBody::Facts(lines) = reply.body {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+        }
+    }
+
+    if let Some(atom) = cx.explain {
+        let reply = call(Request::Explain { atom: atom.into() })?;
+        if let ReplyBody::Explain(tree) = reply.body {
+            print!("{tree}");
+        }
+    }
+
+    if let Some(path) = cx.metrics_json {
+        let reply = call(Request::Metrics)?;
+        if let ReplyBody::Metrics(doc) = reply.body {
+            std::fs::write(path, doc)
+                .map_err(|e| Failure::usage(format!("cannot write {path}: {e}")))?;
+        }
+    }
+
+    if cx.status {
+        let reply = call(Request::Status)?;
+        if let ReplyBody::Status(s) = reply.body {
+            println!("epoch: {}", reply.epoch);
+            println!("facts: {}", s.facts);
+            println!("updates_applied: {}", s.updates_applied);
+            println!("queries_served: {}", s.queries_served);
+            println!("pending_updates: {}", s.pending_updates);
+            println!("unapplied_durable: {}", s.unapplied_durable);
+            println!("uptime_secs: {:.3}", s.uptime_secs);
+        }
+    }
+
+    if cx.shutdown {
+        call(Request::Shutdown)?;
+        eprintln!("flixr: flixd acknowledged shutdown");
+    }
+
     Ok(())
 }
 
@@ -692,40 +937,7 @@ fn read_source(path: &str) -> Result<String, Failure> {
 /// path and line number, exit code 2.
 fn compile_update(path: &str) -> Result<Delta, Failure> {
     let source = read_source(path)?;
-    let mut kept = String::with_capacity(source.len());
-    let mut retractions: Vec<(usize, String)> = Vec::new();
-    for (idx, line) in source.lines().enumerate() {
-        let trimmed = line.trim_start();
-        let atom = if let Some(rest) = trimmed.strip_prefix('-') {
-            // Only a minus directly before a predicate name marks a
-            // retraction; anything else (a stray `-1`, say) falls
-            // through to the compiler, whose error will point at it.
-            rest.chars()
-                .next()
-                .is_some_and(|c| c.is_alphabetic())
-                .then_some(rest)
-        } else {
-            trimmed.strip_prefix("retract ")
-        };
-        match atom {
-            Some(text) => {
-                retractions.push((idx + 1, text.trim().to_string()));
-                kept.push('\n');
-            }
-            None => {
-                kept.push_str(line);
-                kept.push('\n');
-            }
-        }
-    }
-    let update_program = flix_lang::compile(&kept).map_err(|e| Failure::lang(e.to_string()))?;
-    let mut delta = Delta::from_facts(&update_program);
-    for (lineno, text) in retractions {
-        let (predicate, tuple) = flix_lang::parse_ground_atom(&text)
-            .map_err(|e| Failure::lang(format!("{path}:{lineno}: {e}")))?;
-        delta.push_op(DeltaOp::Retract { predicate, tuple });
-    }
-    Ok(delta)
+    flix_lang::compile_update(&source).map_err(|e| Failure::lang(format!("{path}: {e}")))
 }
 
 /// The end-of-run persistence work: compact the write-ahead log into

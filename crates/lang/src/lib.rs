@@ -143,6 +143,65 @@ pub fn parse_query_atom(text: &str) -> Result<(String, Vec<Option<flix_core::Val
     Ok((pred, pattern))
 }
 
+/// Compiles update-file text into a [`flix_core::Delta`] — the syntax
+/// of `flixr --update` and of the daemon `update` op. The text is a
+/// standalone FLIX file re-declaring the predicates its facts touch:
+/// plain facts become insertions (lattice facts lub-raise), and a line
+/// of the form `-Edge(1, 2).` or `retract Edge(1, 2).` becomes a
+/// retraction — for a lattice predicate, a lower withdrawing that key's
+/// asserted contribution. Retraction lines are extracted before the
+/// rest of the text is compiled (blanked in place, so error positions
+/// in the remainder keep their line numbers) and are ordered *after*
+/// the text's assertions.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] from compiling the assertions, or a parse
+/// error carrying the line number of a malformed retraction.
+pub fn compile_update(source: &str) -> Result<flix_core::Delta, LangError> {
+    let mut kept = String::with_capacity(source.len());
+    let mut retractions: Vec<(usize, String)> = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let trimmed = line.trim_start();
+        let atom = if let Some(rest) = trimmed.strip_prefix('-') {
+            // Only a minus directly before a predicate name marks a
+            // retraction; anything else (a stray `-1`, say) falls
+            // through to the compiler, whose error will point at it.
+            rest.chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic())
+                .then_some(rest)
+        } else {
+            trimmed.strip_prefix("retract ")
+        };
+        match atom {
+            Some(text) => {
+                retractions.push((idx + 1, text.trim().to_string()));
+                kept.push('\n');
+            }
+            None => {
+                kept.push_str(line);
+                kept.push('\n');
+            }
+        }
+    }
+    let update_program = compile(&kept)?;
+    let mut delta = flix_core::Delta::from_facts(&update_program);
+    for (lineno, text) in retractions {
+        let (predicate, tuple) = parse_ground_atom(&text).map_err(|e| {
+            LangError::parse(
+                token::Pos {
+                    line: lineno as u32,
+                    col: 1,
+                },
+                format!("in retraction on line {lineno}: {e}"),
+            )
+        })?;
+        delta.push_op(flix_core::DeltaOp::Retract { predicate, tuple });
+    }
+    Ok(delta)
+}
+
 fn ground_ctor(t: &ast::RuleTerm) -> flix_core::Value {
     match t {
         ast::RuleTerm::Lit(l, _) => interp::lit_value(l),

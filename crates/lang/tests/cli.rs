@@ -860,3 +860,159 @@ fn persistence_flags_are_usage_errors_with_query_or_alone() {
         assert_eq!(output.status.code(), Some(1), "{flags:?}");
     }
 }
+
+#[test]
+fn quiet_model_suppresses_model_printing() {
+    let file = write_temp("quiet.flix", PATHS);
+    let output = flixr()
+        .arg("--quiet-model")
+        .arg(&file)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    assert!(output.stdout.is_empty(), "{output:?}");
+
+    // With --update, neither model nor the `== ... ==` headers print,
+    // but explicit --query output still does.
+    let update = write_temp(
+        "quiet-delta.flix",
+        "rel Edge(x: Int, y: Int);
+         Edge(3, 4).",
+    );
+    let output = flixr()
+        .arg("--quiet-model")
+        .arg(&file)
+        .arg("--update")
+        .arg(&update)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    assert!(output.stdout.is_empty(), "{output:?}");
+
+    let output = flixr()
+        .arg("--quiet-model")
+        .args(["--query", "Path(1, _)"])
+        .arg(&file)
+        .arg("--update")
+        .arg(&update)
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert_eq!(
+        stdout.lines().collect::<Vec<_>>(),
+        vec!["Path(1, 2)", "Path(1, 3)", "Path(1, 4)"],
+        "{stdout}"
+    );
+}
+
+#[test]
+fn client_only_flags_require_connect() {
+    let file = write_temp("client-usage.flix", PATHS);
+    for flag in ["--status", "--compact", "--shutdown"] {
+        let output = flixr().arg(flag).arg(&file).output().expect("runs");
+        assert_eq!(output.status.code(), Some(1), "{flag}");
+        let stderr = String::from_utf8(output.stderr).expect("utf8");
+        assert!(stderr.contains("--connect"), "{flag}: {stderr}");
+    }
+    // ...and persistence stays daemon-side in client mode.
+    let output = flixr()
+        .args(["--connect", "/tmp/nope.sock", "--save", "/tmp/x.snap"])
+        .output()
+        .expect("runs");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+}
+
+/// End-to-end service smoke: start a real `flixd` on a temp socket,
+/// drive it with `flixr --connect` through queries, a retraction-ful
+/// update, status, and error mapping, then shut it down and check the
+/// daemon exits 0.
+#[test]
+fn flixd_serves_flixr_clients_end_to_end() {
+    let file = write_temp("daemon.flix", PATHS);
+    let socket =
+        std::env::temp_dir().join(format!("flixr-test-{}-daemon.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_flixd"))
+        .arg("--socket")
+        .arg(&socket)
+        .arg(&file)
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("flixd starts");
+
+    // The daemon binds the socket before serving; wait for it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !socket.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flixd never bound its socket"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let connect = |extra: &[&str]| {
+        let mut cmd = flixr();
+        cmd.arg("--connect").arg(&socket);
+        cmd.args(extra);
+        cmd.output().expect("flixr runs")
+    };
+
+    // Query the initial model.
+    let output = connect(&["--query", "Path(1, _)"]);
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert_eq!(
+        stdout.lines().collect::<Vec<_>>(),
+        vec!["Path(1, 2)", "Path(1, 3)"]
+    );
+
+    // A live update with a retraction; --quiet-model keeps stdout empty.
+    let update = write_temp(
+        "daemon-delta.flix",
+        "rel Edge(x: Int, y: Int);
+         Edge(3, 4).
+         -Edge(1, 2)",
+    );
+    let update = update.to_str().expect("utf8 path").to_string();
+    let output = connect(&["--update", &update, "--quiet-model"]);
+    assert!(output.status.success(), "{output:?}");
+    assert!(output.stdout.is_empty(), "{output:?}");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("update applied at epoch 2"), "{stderr}");
+
+    // Reads see the new epoch: the retracted edge's paths are gone, the
+    // inserted edge's appeared.
+    let output = connect(&["--print", "Path"]);
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert_eq!(
+        stdout.lines().collect::<Vec<_>>(),
+        vec!["Path(2, 3)", "Path(2, 4)", "Path(3, 4)"]
+    );
+
+    let output = connect(&["--status"]);
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("epoch: 2"), "{stdout}");
+    assert!(stdout.contains("updates_applied: 1"), "{stdout}");
+
+    // Error mapping: daemon-side language errors come back as exit 2,
+    // capability errors (no persistence configured) as exit 1.
+    let output = connect(&["--query", "Nope(_)"]);
+    assert_eq!(output.status.code(), Some(2), "{output:?}");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("flixd replied"), "{stderr}");
+    let output = connect(&["--compact"]);
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+
+    // Shut down and reap the daemon.
+    let output = connect(&["--shutdown"]);
+    assert!(output.status.success(), "{output:?}");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("acknowledged shutdown"), "{stderr}");
+    let status = daemon.wait().expect("flixd exits");
+    assert!(status.success(), "flixd exit: {status:?}");
+    assert!(!socket.exists(), "the daemon unlinks its socket");
+}

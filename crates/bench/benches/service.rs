@@ -191,7 +191,49 @@ fn bench_service(c: &mut Criterion) {
             solver.solve(&program).expect("solves");
         }),
     );
+    {
+        // The telemetry round trip itself: rendering the full
+        // `flixd-stats/1` document from a warm registry.
+        let client = &mut client;
+        record_roundtrip(
+            "service/stats_roundtrip/400",
+            100,
+            Box::new(|| {
+                let reply = client
+                    .request(&Request::Stats { prometheus: false })
+                    .expect("stats");
+                assert!(matches!(reply.body, ReplyBody::Stats(_)));
+            }),
+        );
+    }
 
+    drop(client);
+    server.shutdown();
+    server.join();
+
+    // The idle-overhead A/B: the same query round trip against a daemon
+    // whose telemetry is compiled off (every record call returns after
+    // one branch). CI gates `query_roundtrip` and
+    // `query_roundtrip_notelem` against the same baseline tolerance, so
+    // instrumentation drifting out of the noise floor fails the run.
+    let mut config = ServerConfig::new(dir.join("flixd-notelem.sock"));
+    config.telemetry = false;
+    let server = Server::start(Arc::clone(&program), config, bench_hooks()).expect("server starts");
+    let mut client = Client::connect(server.socket()).expect("connects");
+    {
+        let client = &mut client;
+        record_roundtrip(
+            "service/query_roundtrip_notelem/400",
+            500,
+            Box::new(|| {
+                client
+                    .request(&Request::Query {
+                        atom: "Dist 7 _".into(),
+                    })
+                    .expect("query");
+            }),
+        );
+    }
     drop(client);
     server.shutdown();
     server.join();

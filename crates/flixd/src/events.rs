@@ -1,0 +1,377 @@
+//! Structured JSONL event log.
+//!
+//! `flixd --log-json PATH` appends one JSON object per line describing
+//! service lifecycle: connections opening and closing, batches applied
+//! or failed, slow queries, compaction and recovery outcomes. The hot
+//! path never blocks on I/O: [`EventLogger::emit`] pushes onto a
+//! bounded channel with `try_send`, and a dedicated logger thread
+//! drains the channel and writes lines. When the channel is full the
+//! event is *dropped* and counted (`events.dropped` in `flixd-stats/1`)
+//! — losing a log line is always preferable to stalling a reader or
+//! the writer thread.
+//!
+//! Ordering: the channel is a FIFO, so events emitted by one thread
+//! appear in emission order. The server drops the logger (flushing and
+//! joining the thread) only after the writer thread has joined, so a
+//! shutdown-clean log always contains every `batch_applied` event in
+//! publish order — the replay property the stress test pins.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// How many events may sit in the channel before emitters start
+/// dropping. Sized for bursts (a busy writer publishes well under a
+/// thousand batches a second; the logger drains far faster than that).
+const CHANNEL_BOUND: usize = 1024;
+
+/// Event severity, least to most severe. A logger configured at level
+/// `L` writes events at `L` and above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventLevel {
+    /// High-volume lifecycle noise: connection open/close.
+    Debug,
+    /// Normal operation: batches applied, compactions, recovery,
+    /// server start/stop.
+    Info,
+    /// Something an operator should look at: slow queries, failed
+    /// batches, failed compactions.
+    Warn,
+}
+
+impl EventLevel {
+    /// The level name as written in the log and accepted by
+    /// `--log-level`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventLevel::Debug => "debug",
+            EventLevel::Info => "info",
+            EventLevel::Warn => "warn",
+        }
+    }
+
+    /// Parses a `--log-level` argument.
+    pub fn parse(text: &str) -> Option<EventLevel> {
+        match text {
+            "debug" => Some(EventLevel::Debug),
+            "info" => Some(EventLevel::Info),
+            "warn" => Some(EventLevel::Warn),
+            _ => None,
+        }
+    }
+}
+
+/// Where and how verbosely to log, carried on
+/// [`ServerConfig`](crate::ServerConfig).
+#[derive(Debug, Clone)]
+pub struct EventLogConfig {
+    /// File the JSONL lines are appended to (created if absent).
+    pub path: PathBuf,
+    /// Minimum level written; defaults to [`EventLevel::Info`].
+    pub level: EventLevel,
+}
+
+impl EventLogConfig {
+    /// Logs to `path` at the default `info` level.
+    pub fn new(path: impl Into<PathBuf>) -> EventLogConfig {
+        EventLogConfig {
+            path: path.into(),
+            level: EventLevel::Info,
+        }
+    }
+}
+
+/// One event: a name plus flat string/number fields, rendered as a
+/// single JSON object line.
+#[derive(Debug)]
+pub struct Event {
+    /// Severity.
+    pub level: EventLevel,
+    /// Event name, e.g. `batch_applied`.
+    pub name: &'static str,
+    /// Flat key/value payload; values are pre-stringified by
+    /// [`field`]/[`field_num`] so the logger thread does no rendering
+    /// decisions of its own.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// A field value: a string (JSON-escaped at write time) or a raw
+/// number.
+#[derive(Debug)]
+pub enum FieldValue {
+    /// Escaped and quoted on output.
+    Str(String),
+    /// Written verbatim (finite numbers only).
+    Num(f64),
+}
+
+/// Builds a string field.
+pub fn field(key: &'static str, value: impl Into<String>) -> (&'static str, FieldValue) {
+    (key, FieldValue::Str(value.into()))
+}
+
+/// Builds a numeric field.
+pub fn field_num(key: &'static str, value: f64) -> (&'static str, FieldValue) {
+    (key, FieldValue::Num(value))
+}
+
+enum Message {
+    Event(Event),
+    Shutdown,
+}
+
+/// The shared handle connection threads and the writer emit through.
+/// Cloned freely; the logger thread itself is owned by the server and
+/// joined at shutdown via [`LoggerThread::finish`].
+pub struct EventLogger {
+    sender: SyncSender<Message>,
+    level: EventLevel,
+    logged: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for EventLogger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLogger")
+            .field("level", &self.level)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for EventLogger {
+    fn clone(&self) -> EventLogger {
+        EventLogger {
+            sender: self.sender.clone(),
+            level: self.level,
+            logged: Arc::clone(&self.logged),
+            dropped: Arc::clone(&self.dropped),
+        }
+    }
+}
+
+/// Owns the logger thread; dropping or calling
+/// [`LoggerThread::finish`] flushes and joins it.
+pub struct LoggerThread {
+    sender: SyncSender<Message>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for LoggerThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoggerThread").finish_non_exhaustive()
+    }
+}
+
+impl EventLogger {
+    /// Opens `config.path` for append and spawns the logger thread.
+    /// Returns the emit handle and the thread owner.
+    pub fn start(config: &EventLogConfig) -> std::io::Result<(EventLogger, LoggerThread)> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&config.path)?;
+        let (sender, receiver) = sync_channel::<Message>(CHANNEL_BOUND);
+        let logged = Arc::new(AtomicU64::new(0));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let handle = std::thread::Builder::new()
+            .name("flixd-logger".into())
+            .spawn(move || {
+                let mut out = std::io::BufWriter::new(file);
+                while let Ok(message) = receiver.recv() {
+                    match message {
+                        Message::Event(event) => {
+                            let line = render_line(&event);
+                            // A full disk is not worth crashing the
+                            // daemon over; the line is simply lost.
+                            let _ = out.write_all(line.as_bytes());
+                            let _ = out.write_all(b"\n");
+                            let _ = out.flush();
+                        }
+                        Message::Shutdown => break,
+                    }
+                }
+                let _ = out.flush();
+            })?;
+        let logger = EventLogger {
+            sender: sender.clone(),
+            level: config.level,
+            logged,
+            dropped,
+        };
+        let thread = LoggerThread {
+            sender,
+            handle: Some(handle),
+        };
+        Ok((logger, thread))
+    }
+
+    /// Emits one event. Never blocks: a full channel drops the event
+    /// and bumps the dropped counter instead.
+    pub fn emit(&self, event: Event) {
+        if event.level < self.level {
+            return;
+        }
+        match self.sender.try_send(Message::Event(event)) {
+            Ok(()) => {
+                self.logged.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Events accepted onto the channel so far.
+    pub fn logged(&self) -> u64 {
+        self.logged.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped because the channel was full (or closed).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl LoggerThread {
+    /// Flushes everything queued so far and joins the thread. The
+    /// channel is FIFO, so every event emitted before this call (and
+    /// accepted) is on disk when it returns.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            // `send` (not try_send) — the sentinel must get through
+            // even when the channel is momentarily full.
+            let _ = self.sender.send(Message::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LoggerThread {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+/// Milliseconds since the Unix epoch, the `ts_ms` stamp on every line.
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn render_line(event: &Event) -> String {
+    use crate::json::Json;
+    let mut fields: Vec<(String, Json)> = vec![
+        ("ts_ms".into(), Json::Num(now_ms() as f64)),
+        ("level".into(), Json::Str(event.level.as_str().into())),
+        ("event".into(), Json::Str(event.name.into())),
+    ];
+    for (key, value) in &event.fields {
+        let v = match value {
+            FieldValue::Str(s) => Json::Str(s.clone()),
+            FieldValue::Num(n) => Json::Num(*n),
+        };
+        fields.push(((*key).into(), v));
+    }
+    Json::Obj(fields).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("flixd-events-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn events_render_as_one_json_object_per_line() {
+        let dir = scratch("render");
+        let path = dir.join("events.jsonl");
+        let (logger, thread) =
+            EventLogger::start(&EventLogConfig::new(&path)).expect("logger starts");
+        logger.emit(Event {
+            level: EventLevel::Info,
+            name: "batch_applied",
+            fields: vec![field_num("epoch", 2.0), field("note", "has \"quotes\"")],
+        });
+        logger.emit(Event {
+            level: EventLevel::Warn,
+            name: "slow_query",
+            fields: vec![field("atom", "Path 0 _"), field_num("ms", 12.5)],
+        });
+        thread.finish();
+        let text = std::fs::read_to_string(&path).expect("log exists");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = parse(lines[0]).expect("line 1 is JSON");
+        assert_eq!(
+            first.get("event").and_then(Json::as_str),
+            Some("batch_applied")
+        );
+        assert_eq!(first.get("epoch").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            first.get("note").and_then(Json::as_str),
+            Some("has \"quotes\"")
+        );
+        assert!(first.get("ts_ms").and_then(Json::as_u64).is_some());
+        let second = parse(lines[1]).expect("line 2 is JSON");
+        assert_eq!(second.get("level").and_then(Json::as_str), Some("warn"));
+        assert_eq!(logger.logged(), 2);
+        assert_eq!(logger.dropped(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn level_filter_suppresses_quieter_events() {
+        let dir = scratch("level");
+        let path = dir.join("events.jsonl");
+        let config = EventLogConfig {
+            path: path.clone(),
+            level: EventLevel::Warn,
+        };
+        let (logger, thread) = EventLogger::start(&config).expect("logger starts");
+        logger.emit(Event {
+            level: EventLevel::Debug,
+            name: "conn_open",
+            fields: vec![],
+        });
+        logger.emit(Event {
+            level: EventLevel::Info,
+            name: "batch_applied",
+            fields: vec![],
+        });
+        logger.emit(Event {
+            level: EventLevel::Warn,
+            name: "slow_query",
+            fields: vec![],
+        });
+        thread.finish();
+        let text = std::fs::read_to_string(&path).expect("log exists");
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("slow_query"));
+        assert_eq!(logger.logged(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(EventLevel::Debug < EventLevel::Info);
+        assert!(EventLevel::Info < EventLevel::Warn);
+        assert_eq!(EventLevel::parse("info"), Some(EventLevel::Info));
+        assert_eq!(EventLevel::parse("warn"), Some(EventLevel::Warn));
+        assert_eq!(EventLevel::parse("debug"), Some(EventLevel::Debug));
+        assert_eq!(EventLevel::parse("loud"), None);
+    }
+}

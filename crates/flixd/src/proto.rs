@@ -106,6 +106,13 @@ pub enum Request {
     Trace,
     /// Liveness and progress counters.
     Status,
+    /// The service telemetry registry: a `flixd-stats/1` JSON document,
+    /// or a Prometheus-style text exposition of the same numbers.
+    Stats {
+        /// `true` requests the Prometheus text form
+        /// (`{"op":"stats","format":"prometheus"}` on the wire).
+        prometheus: bool,
+    },
     /// Apply a delta: the text of an update file in flixr `--update`
     /// syntax (redeclaring the predicates it touches; `-P(..)` /
     /// `retract P(..)` lines retract). Batched with concurrently queued
@@ -147,6 +154,12 @@ impl Request {
             Request::Metrics => fields.push(op("metrics")),
             Request::Trace => fields.push(op("trace")),
             Request::Status => fields.push(op("status")),
+            Request::Stats { prometheus } => {
+                fields.push(op("stats"));
+                if *prometheus {
+                    fields.push(("format".into(), Json::Str("prometheus".into())));
+                }
+            }
             Request::Update { text, timeout_secs } => {
                 fields.push(op("update"));
                 fields.push(("text".into(), Json::Str(text.clone())));
@@ -191,6 +204,16 @@ impl Request {
             "metrics" => Ok(Request::Metrics),
             "trace" => Ok(Request::Trace),
             "status" => Ok(Request::Status),
+            "stats" => {
+                let prometheus = match doc.get("format").and_then(Json::as_str) {
+                    None | Some("json") => false,
+                    Some("prometheus") => true,
+                    Some(other) => {
+                        return Err(format!("unknown stats format {other:?}"));
+                    }
+                };
+                Ok(Request::Stats { prometheus })
+            }
             "update" => Ok(Request::Update {
                 text: str_field("text")?,
                 timeout_secs: doc.get("timeout_secs").and_then(Json::as_f64),
@@ -304,6 +327,10 @@ pub enum ReplyBody {
     Trace(String),
     /// `status`: liveness counters.
     Status(Status),
+    /// `stats`: a `flixd-stats/1` document (pre-rendered JSON).
+    Stats(String),
+    /// `stats` with `format:"prometheus"`: a text exposition.
+    Prom(String),
     /// `update`: the batch published; `applied` delta entries rode in a
     /// batch of `batched` requests.
     Updated {
@@ -333,8 +360,13 @@ pub enum ReplyBody {
 pub struct Status {
     /// Total facts in the resident model.
     pub facts: u64,
-    /// Update batches published since startup (epoch - initial epoch).
+    /// Update *requests* folded into batches published since startup.
+    /// A recovered daemon restarts this at 0 even though its epoch does
+    /// not; pair with `epoch` (on the [`Reply`]) and `batches_applied`.
     pub updates_applied: u64,
+    /// Update *batches* published since startup (several queued
+    /// requests can fold into one batch).
+    pub batches_applied: u64,
     /// Read requests served since startup.
     pub queries_served: u64,
     /// Update requests currently queued or mid-resume.
@@ -366,6 +398,10 @@ impl Reply {
                     "updates_applied".into(),
                     Json::Num(s.updates_applied as f64),
                 ));
+                fields.push((
+                    "batches_applied".into(),
+                    Json::Num(s.batches_applied as f64),
+                ));
                 fields.push(("queries_served".into(), Json::Num(s.queries_served as f64)));
                 fields.push((
                     "pending_updates".into(),
@@ -377,6 +413,8 @@ impl Reply {
                 ));
                 fields.push(("uptime_secs".into(), Json::Num(s.uptime_secs)));
             }
+            ReplyBody::Stats(doc) => fields.push(("stats".into(), Json::Raw(doc.clone()))),
+            ReplyBody::Prom(text) => fields.push(("prom".into(), Json::Str(text.clone()))),
             ReplyBody::Updated { applied, batched } => {
                 fields.push(("applied".into(), Json::Num(*applied as f64)));
                 fields.push(("batched".into(), Json::Num(*batched as f64)));
@@ -438,11 +476,16 @@ impl Reply {
             ReplyBody::Metrics(metrics.render())
         } else if let Some(trace) = doc.get("trace") {
             ReplyBody::Trace(trace.render())
+        } else if let Some(stats) = doc.get("stats") {
+            ReplyBody::Stats(stats.render())
+        } else if let Some(prom) = doc.get("prom").and_then(Json::as_str) {
+            ReplyBody::Prom(prom.to_string())
         } else if doc.get("uptime_secs").is_some() {
             let counter = |key: &str| doc.get(key).and_then(Json::as_u64).unwrap_or(0);
             ReplyBody::Status(Status {
                 facts: counter("facts"),
                 updates_applied: counter("updates_applied"),
+                batches_applied: counter("batches_applied"),
                 queries_served: counter("queries_served"),
                 pending_updates: counter("pending_updates"),
                 unapplied_durable: counter("unapplied_durable"),
@@ -535,6 +578,8 @@ mod tests {
             Request::Metrics,
             Request::Trace,
             Request::Status,
+            Request::Stats { prometheus: false },
+            Request::Stats { prometheus: true },
             Request::Update {
                 text: "rel Edge(x: Int, y: Int);\nEdge(1, 2).\n".into(),
                 timeout_secs: Some(2.5),
@@ -568,11 +613,24 @@ mod tests {
                 body: ReplyBody::Status(Status {
                     facts: 10,
                     updates_applied: 1,
+                    batches_applied: 1,
                     queries_served: 3,
                     pending_updates: 0,
                     unapplied_durable: 0,
                     uptime_secs: 1.25,
                 }),
+            },
+            Reply {
+                epoch: 2,
+                // Raw splice round-trips through a parse + re-render, so
+                // the fixture must already be in canonical compact form.
+                body: ReplyBody::Stats("{\"schema\":\"flixd-stats/1\",\"epoch\":2}".to_string()),
+            },
+            Reply {
+                epoch: 2,
+                body: ReplyBody::Prom(
+                    "flixd_epoch 2\nflixd_requests_total{op=\"query\"} 1\n".into(),
+                ),
             },
             Reply {
                 epoch: 3,

@@ -25,8 +25,12 @@
 //! the WAL into a snapshot of the clean model would silently drop it.
 //! DESIGN.md §17 walks the full crash-window analysis.
 
+use crate::events::{
+    field, field_num, Event, EventLevel, EventLogConfig, EventLogger, LoggerThread,
+};
 use crate::hooks::Hooks;
 use crate::proto::{self, ErrorCode, Hello, Reply, ReplyBody, Request, Status};
+use crate::telemetry::{RecoveryStats, RequestKind, RequestSample, StatsContext, Telemetry};
 use flix_core::{
     render_metrics_json, Budget, ConfigError, Delta, DeltaLog, MetricsReport, PersistError,
     Program, Query, RecoveryReport, Solution, SolveError, SolveFailure, Solver, SolverConfig,
@@ -35,7 +39,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -66,6 +70,15 @@ pub struct ServerConfig {
     /// Auto-compaction: after a publish, fold the WAL into the snapshot
     /// once it holds at least this many frames (requires both paths).
     pub compact_every: Option<u64>,
+    /// Service telemetry (the `stats` op). On by default; `false` takes
+    /// the compiled-off path — every record call returns after one
+    /// branch and `stats` answers [`ErrorCode::Unsupported`].
+    pub telemetry: bool,
+    /// Structured JSONL event log; `None` (the default) logs nothing.
+    pub event_log: Option<EventLogConfig>,
+    /// Read requests (query/facts/explain) slower than this many
+    /// milliseconds are counted and logged as `slow_query` events.
+    pub slow_query_ms: Option<f64>,
 }
 
 impl ServerConfig {
@@ -80,6 +93,9 @@ impl ServerConfig {
             max_update_secs: None,
             max_pending: 64,
             compact_every: None,
+            telemetry: true,
+            event_log: None,
+            slow_query_ms: None,
         }
     }
 }
@@ -126,6 +142,20 @@ struct Shared {
     queries_served: AtomicU64,
     pending_updates: AtomicU64,
     unapplied_durable: AtomicU64,
+    /// Update *requests* folded into successfully published batches.
+    updates_applied: AtomicU64,
+    /// Update *batches* successfully published. `status` reports this
+    /// instead of deriving `epoch - 1`, which misreports on a recovered
+    /// daemon whose epoch did not start at 1.
+    batches_applied: AtomicU64,
+    telemetry: Telemetry,
+    events: Option<EventLogger>,
+    /// Connection ids for `conn_open`/`conn_close` events.
+    next_conn_id: AtomicU64,
+    slow_query_ns: Option<u64>,
+    /// The rendered `flix-metrics/1` document for `(epoch, doc)` —
+    /// rebuilt at most once per epoch, invalidated by `publish`.
+    metrics_cache: Mutex<Option<(u64, Arc<String>)>>,
     started: Instant,
     strategy_name: &'static str,
     threads: usize,
@@ -145,6 +175,27 @@ impl Shared {
     fn publish(&self, epoch: u64, model: Arc<Solution>) {
         *self.published.write().expect("epoch store never poisoned") =
             Arc::new(Published { epoch, model });
+        // The cached `metrics` document describes the previous epoch's
+        // model; the next `metrics` request re-renders.
+        *self.metrics_cache.lock().expect("metrics cache") = None;
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(events) = &self.events {
+            events.emit(event);
+        }
+    }
+
+    fn stats_context(&self) -> StatsContext {
+        let published = self.current();
+        StatsContext {
+            epoch: published.epoch,
+            facts: published.model.total_facts() as u64,
+            pending_updates: self.pending_updates.load(Ordering::Relaxed),
+            unapplied_durable: self.unapplied_durable.load(Ordering::Relaxed),
+            events_logged: self.events.as_ref().map(EventLogger::logged).unwrap_or(0),
+            events_dropped: self.events.as_ref().map(EventLogger::dropped).unwrap_or(0),
+        }
     }
 }
 
@@ -174,6 +225,7 @@ pub struct Server {
     writer_tx: Sender<WriterJob>,
     acceptor: Option<JoinHandle<()>>,
     writer: Option<JoinHandle<()>>,
+    logger: Option<LoggerThread>,
     socket: PathBuf,
     /// What startup recovery found on disk, when the server was started
     /// with persistence paths (absent for a volatile scratch solve).
@@ -228,6 +280,30 @@ impl Server {
         }
         let listener = UnixListener::bind(&config.socket).map_err(StartError::Io)?;
 
+        let telemetry = if config.telemetry {
+            Telemetry::new(match &recovery {
+                Some(report) => RecoveryStats {
+                    performed: true,
+                    snapshot_loaded: report.snapshot_loaded,
+                    scratch_solve: report.scratch_solve,
+                    wal_frames_replayed: report.wal_frames_replayed as u64,
+                    wal_entries_replayed: report.wal_entries_replayed as u64,
+                    wal_bytes_dropped: report.wal_bytes_dropped,
+                },
+                None => RecoveryStats::default(),
+            })
+        } else {
+            Telemetry::disabled()
+        };
+
+        let (events, logger) = match &config.event_log {
+            Some(log_config) => {
+                let (logger, thread) = EventLogger::start(log_config).map_err(StartError::Io)?;
+                (Some(logger), Some(thread))
+            }
+            None => (None, None),
+        };
+
         let shared = Arc::new(Shared {
             hooks,
             published: RwLock::new(Arc::new(Published {
@@ -238,6 +314,16 @@ impl Server {
             queries_served: AtomicU64::new(0),
             pending_updates: AtomicU64::new(0),
             unapplied_durable: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+            batches_applied: AtomicU64::new(0),
+            telemetry,
+            events,
+            next_conn_id: AtomicU64::new(0),
+            slow_query_ns: config
+                .slow_query_ms
+                .filter(|ms| ms.is_finite() && *ms >= 0.0)
+                .map(|ms| (ms * 1e6) as u64),
+            metrics_cache: Mutex::new(None),
             started: Instant::now(),
             strategy_name: config.solver.strategy.name(),
             threads: config.solver.threads,
@@ -249,6 +335,32 @@ impl Server {
             socket: config.socket.clone(),
             program,
         });
+
+        {
+            let published = shared.current();
+            shared.emit(Event {
+                level: EventLevel::Info,
+                name: "server_start",
+                fields: vec![
+                    field_num("epoch", published.epoch as f64),
+                    field_num("facts", published.model.total_facts() as f64),
+                    field("socket", config.socket.display().to_string()),
+                ],
+            });
+        }
+        if let Some(report) = &recovery {
+            shared.emit(Event {
+                level: EventLevel::Info,
+                name: "recovery",
+                fields: vec![
+                    field_num("snapshot_loaded", report.snapshot_loaded as u8 as f64),
+                    field_num("scratch_solve", report.scratch_solve as u8 as f64),
+                    field_num("wal_frames_replayed", report.wal_frames_replayed as f64),
+                    field_num("wal_entries_replayed", report.wal_entries_replayed as f64),
+                    field_num("wal_bytes_dropped", report.wal_bytes_dropped as f64),
+                ],
+            });
+        }
 
         let (writer_tx, writer_rx) = mpsc::channel::<WriterJob>();
         let writer = {
@@ -283,6 +395,7 @@ impl Server {
             writer_tx,
             acceptor: Some(acceptor),
             writer: Some(writer),
+            logger,
             socket: config.socket,
             recovery,
         })
@@ -319,6 +432,19 @@ impl Server {
         if let Some(h) = self.writer.take() {
             let _ = h.join();
         }
+        // The logger drains *after* the writer has joined: the channel
+        // is FIFO, so every `batch_applied` the writer emitted is on
+        // disk (in publish order) when `finish` returns. Events from
+        // still-detached connection threads may land after
+        // `server_stop` or be dropped — lifecycle noise, by design.
+        self.shared.emit(Event {
+            level: EventLevel::Info,
+            name: "server_stop",
+            fields: vec![field_num("epoch", self.shared.current().epoch as f64)],
+        });
+        if let Some(logger) = self.logger.take() {
+            logger.finish();
+        }
     }
 }
 
@@ -344,7 +470,24 @@ fn accept_loop(
     let _ = std::fs::remove_file(&socket);
 }
 
-fn serve_connection(mut stream: UnixStream, shared: Arc<Shared>, writer_tx: Sender<WriterJob>) {
+fn serve_connection(stream: UnixStream, shared: Arc<Shared>, writer_tx: Sender<WriterJob>) {
+    let conn = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    shared.telemetry.connection_opened();
+    shared.emit(Event {
+        level: EventLevel::Debug,
+        name: "conn_open",
+        fields: vec![field_num("conn", conn as f64)],
+    });
+    connection_loop(stream, &shared, &writer_tx);
+    shared.telemetry.connection_closed();
+    shared.emit(Event {
+        level: EventLevel::Debug,
+        name: "conn_close",
+        fields: vec![field_num("conn", conn as f64)],
+    });
+}
+
+fn connection_loop(mut stream: UnixStream, shared: &Arc<Shared>, writer_tx: &Sender<WriterJob>) {
     let hello = {
         let published = shared.current();
         Hello {
@@ -362,23 +505,99 @@ fn serve_connection(mut stream: UnixStream, shared: Arc<Shared>, writer_tx: Send
             Ok(Some(frame)) => frame,
             Ok(None) | Err(_) => return,
         };
-        let (reply, last) = match Request::from_json(&frame) {
-            Ok(request) => handle_request(&shared, &writer_tx, &mut stream, request),
-            Err(e) => (error_reply(&shared, ErrorCode::Proto, e), false),
+        let started = Instant::now();
+        let (reply, last, kind) = match Request::from_json(&frame) {
+            Ok(request) => {
+                let kind = request_kind(&request);
+                let slow_atom = slow_query_atom(shared, &request);
+                let (reply, last) = handle_request(shared, writer_tx, &mut stream, request);
+                if let Some(atom) = slow_atom {
+                    observe_slow_query(shared, kind, &atom, &reply, started.elapsed());
+                }
+                (reply, last, Some(kind))
+            }
+            Err(e) => {
+                shared.telemetry.record_proto_error();
+                (error_reply(shared, ErrorCode::Proto, e), false, None)
+            }
         };
-        let sent = proto::write_frame(&mut stream, reply.to_json().as_bytes()).is_ok();
+        let payload = reply.to_json();
+        if let Some(kind) = kind {
+            shared.telemetry.record_request(RequestSample {
+                kind,
+                latency_ns: started.elapsed().as_nanos() as u64,
+                bytes_in: frame.len() as u64,
+                bytes_out: payload.len() as u64,
+                error: match &reply.body {
+                    ReplyBody::Error { code, .. } => Some(*code),
+                    _ => None,
+                },
+            });
+        }
+        let sent = proto::write_frame(&mut stream, payload.as_bytes()).is_ok();
         if last {
             // Only now tear the server down: this thread is detached,
             // and the process may exit the moment the acceptor and
             // writer observe the flag — the acknowledgement must
             // already sit in the peer's socket buffer by then.
-            trigger_shutdown(&shared, &writer_tx);
+            trigger_shutdown(shared, writer_tx);
             return;
         }
         if !sent {
             return;
         }
     }
+}
+
+fn request_kind(request: &Request) -> RequestKind {
+    match request {
+        Request::Query { .. } => RequestKind::Query,
+        Request::Facts { .. } => RequestKind::Facts,
+        Request::Explain { .. } => RequestKind::Explain,
+        Request::Metrics => RequestKind::Metrics,
+        Request::Trace => RequestKind::Trace,
+        Request::Status => RequestKind::Status,
+        Request::Stats { .. } => RequestKind::Stats,
+        Request::Update { .. } => RequestKind::Update,
+        Request::Compact => RequestKind::Compact,
+        Request::Shutdown => RequestKind::Shutdown,
+    }
+}
+
+/// For read ops under a `--slow-query-ms` threshold, the atom (or
+/// predicate) to name in the `slow_query` event; `None` when the op is
+/// not slow-query-tracked or no threshold is set.
+fn slow_query_atom(shared: &Shared, request: &Request) -> Option<String> {
+    shared.slow_query_ns?;
+    match request {
+        Request::Query { atom } | Request::Explain { atom } => Some(atom.clone()),
+        Request::Facts { predicate } => Some(predicate.clone().unwrap_or_else(|| "*".to_string())),
+        _ => None,
+    }
+}
+
+fn observe_slow_query(
+    shared: &Shared,
+    kind: RequestKind,
+    atom: &str,
+    reply: &Reply,
+    elapsed: Duration,
+) {
+    let threshold = shared.slow_query_ns.unwrap_or(u64::MAX);
+    if (elapsed.as_nanos() as u64) < threshold {
+        return;
+    }
+    shared.telemetry.record_slow_query();
+    shared.emit(Event {
+        level: EventLevel::Warn,
+        name: "slow_query",
+        fields: vec![
+            field("op", kind.as_str()),
+            field("atom", atom),
+            field_num("epoch", reply.epoch as f64),
+            field_num("ms", elapsed.as_secs_f64() * 1e3),
+        ],
+    });
 }
 
 fn error_reply(shared: &Shared, code: ErrorCode, message: String) -> Reply {
@@ -403,6 +622,7 @@ fn handle_request(
         Request::Metrics => (handle_metrics(shared), false),
         Request::Trace => (handle_trace(shared), false),
         Request::Status => (handle_status(shared), false),
+        Request::Stats { prometheus } => (handle_stats(shared, prometheus), false),
         Request::Update { text, timeout_secs } => {
             (handle_update(shared, writer_tx, &text, timeout_secs), false)
         }
@@ -545,15 +765,51 @@ fn handle_explain(shared: &Shared, atom: &str) -> Reply {
 fn handle_metrics(shared: &Shared) -> Reply {
     shared.queries_served.fetch_add(1, Ordering::Relaxed);
     let published = shared.current();
-    let doc = render_metrics_json(&[MetricsReport {
-        name: "flixd",
-        strategy: shared.strategy_name,
-        threads: shared.threads,
-        stats: published.model.stats(),
-    }]);
+    // The report is a pure function of the published model, so render
+    // it at most once per epoch; `publish` clears the cache.
+    let doc = {
+        let mut cache = shared.metrics_cache.lock().expect("metrics cache");
+        match cache.as_ref() {
+            Some((epoch, doc)) if *epoch == published.epoch => {
+                shared.telemetry.record_metrics_cache_hit();
+                Arc::clone(doc)
+            }
+            _ => {
+                let doc = Arc::new(render_metrics_json(&[MetricsReport {
+                    name: "flixd",
+                    strategy: shared.strategy_name,
+                    threads: shared.threads,
+                    stats: published.model.stats(),
+                }]));
+                *cache = Some((published.epoch, Arc::clone(&doc)));
+                doc
+            }
+        }
+    };
     Reply {
         epoch: published.epoch,
-        body: ReplyBody::Metrics(doc),
+        body: ReplyBody::Metrics(doc.as_ref().clone()),
+    }
+}
+
+fn handle_stats(shared: &Shared, prometheus: bool) -> Reply {
+    shared.queries_served.fetch_add(1, Ordering::Relaxed);
+    if !shared.telemetry.enabled() {
+        return error_reply(
+            shared,
+            ErrorCode::Unsupported,
+            "the server is not recording telemetry (started with --no-telemetry)".into(),
+        );
+    }
+    let cx = shared.stats_context();
+    let body = if prometheus {
+        ReplyBody::Prom(shared.telemetry.render_prometheus(&cx))
+    } else {
+        ReplyBody::Stats(shared.telemetry.render_stats_json(&cx))
+    };
+    Reply {
+        epoch: cx.epoch,
+        body,
     }
 }
 
@@ -579,7 +835,8 @@ fn handle_status(shared: &Shared) -> Reply {
         epoch: published.epoch,
         body: ReplyBody::Status(Status {
             facts: published.model.total_facts() as u64,
-            updates_applied: published.epoch - 1,
+            updates_applied: shared.updates_applied.load(Ordering::Relaxed),
+            batches_applied: shared.batches_applied.load(Ordering::Relaxed),
             queries_served: shared.queries_served.load(Ordering::Relaxed),
             pending_updates: shared.pending_updates.load(Ordering::Relaxed),
             unapplied_durable: shared.unapplied_durable.load(Ordering::Relaxed),
@@ -755,7 +1012,12 @@ fn apply_batch(shared: &Shared, state: &mut WriterState, updates: Vec<PendingUpd
     // append failure aborts the batch before any solving — durability
     // and the resident model stay in lockstep.
     if let Some(log) = &mut state.log {
-        if let Err(e) = log.append(&combined_new) {
+        let wal_started = Instant::now();
+        let appended = log.append(&combined_new);
+        shared
+            .telemetry
+            .record_wal_append(wal_started.elapsed().as_nanos() as u64);
+        if let Err(e) = appended {
             let reply = Reply {
                 epoch: state.epoch,
                 body: ReplyBody::Error {
@@ -763,6 +1025,16 @@ fn apply_batch(shared: &Shared, state: &mut WriterState, updates: Vec<PendingUpd
                     message: format!("write-ahead log append failed: {e}"),
                 },
             };
+            shared.emit(Event {
+                level: EventLevel::Warn,
+                name: "batch_failed",
+                fields: vec![
+                    field("code", ErrorCode::Persist.as_str()),
+                    field_num("epoch", state.epoch as f64),
+                    field_num("riders", batched as f64),
+                    field("error", e.to_string()),
+                ],
+            });
             finish(reply, &updates);
             return;
         }
@@ -798,13 +1070,31 @@ fn apply_batch(shared: &Shared, state: &mut WriterState, updates: Vec<PendingUpd
         }
     };
 
+    let total_entries = full.len() as u64;
+    let resume_started = Instant::now();
     match solver.resume(&shared.program, &state.clean, &full) {
         Ok(next) => {
+            let resume_ns = resume_started.elapsed().as_nanos() as u64;
             state.clean = Arc::new(next);
             state.unapplied = Delta::new();
             state.epoch += 1;
             shared.unapplied_durable.store(0, Ordering::SeqCst);
             shared.publish(state.epoch, Arc::clone(&state.clean));
+            shared.updates_applied.fetch_add(batched, Ordering::Relaxed);
+            shared.batches_applied.fetch_add(1, Ordering::Relaxed);
+            shared
+                .telemetry
+                .record_batch_applied(batched, total_entries, resume_ns);
+            shared.emit(Event {
+                level: EventLevel::Info,
+                name: "batch_applied",
+                fields: vec![
+                    field_num("epoch", state.epoch as f64),
+                    field_num("entries", total_entries as f64),
+                    field_num("riders", batched as f64),
+                    field_num("resume_ms", resume_ns as f64 / 1e6),
+                ],
+            });
             for (_, entries, _, tx) in &updates {
                 let _ = tx.send(Reply {
                     epoch: state.epoch,
@@ -832,6 +1122,18 @@ fn apply_batch(shared: &Shared, state: &mut WriterState, updates: Vec<PendingUpd
             shared
                 .unapplied_durable
                 .store(state.unapplied.len() as u64, Ordering::SeqCst);
+            shared.telemetry.record_batch_failed();
+            shared.emit(Event {
+                level: EventLevel::Warn,
+                name: "batch_failed",
+                fields: vec![
+                    field("code", code.as_str()),
+                    field_num("epoch", state.epoch as f64),
+                    field_num("entries", total_entries as f64),
+                    field_num("riders", batched as f64),
+                    field("error", failure.error.to_string()),
+                ],
+            });
             let reply = Reply {
                 epoch: state.epoch,
                 body: ReplyBody::Error {
@@ -872,19 +1174,41 @@ fn compact(shared: &Shared, state: &mut WriterState) -> Reply {
     };
     let frames = log.frames();
     match log.compact_into(snapshot, &shared.program, &state.clean) {
-        Ok(()) => Reply {
-            epoch: state.epoch,
-            body: ReplyBody::Compacted {
-                frames_absorbed: frames,
-            },
-        },
-        Err(e) => Reply {
-            epoch: state.epoch,
-            body: ReplyBody::Error {
-                code: ErrorCode::Persist,
-                message: format!("compaction failed: {e}"),
-            },
-        },
+        Ok(()) => {
+            shared.telemetry.record_compaction(true);
+            shared.emit(Event {
+                level: EventLevel::Info,
+                name: "compaction",
+                fields: vec![
+                    field_num("epoch", state.epoch as f64),
+                    field_num("frames_absorbed", frames as f64),
+                ],
+            });
+            Reply {
+                epoch: state.epoch,
+                body: ReplyBody::Compacted {
+                    frames_absorbed: frames,
+                },
+            }
+        }
+        Err(e) => {
+            shared.telemetry.record_compaction(false);
+            shared.emit(Event {
+                level: EventLevel::Warn,
+                name: "compaction_failed",
+                fields: vec![
+                    field_num("epoch", state.epoch as f64),
+                    field("error", e.to_string()),
+                ],
+            });
+            Reply {
+                epoch: state.epoch,
+                body: ReplyBody::Error {
+                    code: ErrorCode::Persist,
+                    message: format!("compaction failed: {e}"),
+                },
+            }
+        }
     }
 }
 

@@ -87,6 +87,7 @@ fn reads_match_a_scratch_solve_and_name_their_epoch() {
     };
     assert_eq!(status.facts, scratch.total_facts() as u64);
     assert_eq!(status.updates_applied, 0);
+    assert_eq!(status.batches_applied, 0);
     assert_eq!(status.unapplied_durable, 0);
     assert!(status.queries_served >= 3);
 
@@ -130,6 +131,15 @@ fn update_publishes_a_new_epoch_matching_scratch_parity() {
         .expect("facts");
     assert_eq!(reply.epoch, 2);
     assert_eq!(reply.body, ReplyBody::Facts(render_model(&scratch)));
+
+    // `updates_applied` counts update *requests* applied, not epochs:
+    // one request, one batch, epoch 2.
+    let reply = client.request(&Request::Status).expect("status");
+    let ReplyBody::Status(status) = reply.body else {
+        panic!("status body");
+    };
+    assert_eq!(status.updates_applied, 1);
+    assert_eq!(status.batches_applied, 1);
 
     // A connection opened before the update pinned nothing: reads
     // always serve the *current* epoch; pinning happens per request.

@@ -9,7 +9,8 @@ mod common;
 
 use common::{build_program, parse_update, render_model, scratch_dir, test_hooks, Rng};
 use flix_core::{Program, Solver};
-use flixd::{Client, ReplyBody, Request, Server, ServerConfig};
+use flixd::json::{parse, Json};
+use flixd::{Client, EventLogConfig, ReplyBody, Request, Server, ServerConfig};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -103,7 +104,9 @@ fn run_stress(tag: &str, seed: u64, configure: impl FnOnce(&mut ServerConfig)) {
     let final_epoch = (updates.len() + 1) as u64;
 
     let dir = scratch_dir(tag);
+    let event_log = dir.join("events.jsonl");
     let mut config = ServerConfig::new(dir.join("flixd.sock"));
+    config.event_log = Some(EventLogConfig::new(&event_log));
     configure(&mut config);
     let server = Server::start(Arc::clone(&program), config, test_hooks()).expect("server starts");
 
@@ -193,8 +196,81 @@ fn run_stress(tag: &str, seed: u64, configure: impl FnOnce(&mut ServerConfig)) {
         "readers made no progress ({total_reads} reads)"
     );
 
+    // The telemetry registry saw the whole workload: every reader
+    // request is in the per-op counters with a latency sample, and the
+    // writer counted exactly one batch per update.
+    let reply = writer
+        .request(&Request::Stats { prometheus: false })
+        .expect("stats");
+    let ReplyBody::Stats(doc) = reply.body else {
+        panic!("stats body, got {:?}", reply.body);
+    };
+    let stats = parse(&doc).expect("stats document parses");
+    let op_count = |op: &str, field: &str| {
+        stats
+            .get("requests")
+            .and_then(|r| r.get(op))
+            .and_then(|o| o.get(field))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("stats has requests.{op}.{field}"))
+    };
+    assert_eq!(
+        op_count("query", "count") + op_count("facts", "count"),
+        total_reads
+    );
+    assert_eq!(op_count("update", "count"), updates.len() as u64);
+    let latency_samples: u64 = ["query", "facts"]
+        .iter()
+        .map(|op| {
+            stats
+                .get("requests")
+                .and_then(|r| r.get(op))
+                .and_then(|o| o.get("latency_ns"))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64)
+                .expect("latency histogram")
+        })
+        .sum();
+    assert_eq!(latency_samples, total_reads);
+    let writer_counter = |field: &str| {
+        stats
+            .get("writer")
+            .and_then(|w| w.get(field))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("stats has writer.{field}"))
+    };
+    assert_eq!(writer_counter("batches_applied"), updates.len() as u64);
+    assert_eq!(writer_counter("updates_applied"), updates.len() as u64);
+
     server.shutdown();
     server.join();
+
+    // Replay check: the JSONL event log must contain one
+    // `batch_applied` per publish, naming epochs 2..=final in exactly
+    // the order the writer observed them — FIFO ordering plus
+    // logger-after-writer shutdown guarantees nothing is lost or
+    // reordered.
+    let text = std::fs::read_to_string(&event_log).expect("event log exists");
+    let events: Vec<Json> = text
+        .lines()
+        .map(|line| parse(line).expect("every log line is a JSON object"))
+        .collect();
+    let logged_epochs: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("event").and_then(Json::as_str) == Some("batch_applied"))
+        .map(|e| e.get("epoch").and_then(Json::as_u64).expect("epoch field"))
+        .collect();
+    let expected_epochs: Vec<u64> = (2..=final_epoch).collect();
+    assert_eq!(
+        logged_epochs, expected_epochs,
+        "the event log replays the exact publish sequence"
+    );
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("event").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names.first(), Some(&"server_start"));
+    assert_eq!(names.last(), Some(&"server_stop"));
 }
 
 #[test]

@@ -1,0 +1,348 @@
+//! Telemetry integration tests: the histogram's concurrency contract
+//! under seeded multi-threaded stress, and the `stats` op end to end —
+//! a mixed workload must surface as non-zero per-op counters and
+//! latency histograms, the metrics cache must report its hits, the
+//! Prometheus form must carry the same numbers, and a daemon started
+//! without telemetry must refuse the op entirely.
+
+mod common;
+
+use common::{build_program, scratch_dir, test_hooks, Rng};
+use flixd::json::{parse, Json};
+use flixd::telemetry::Histogram;
+use flixd::{Client, ErrorCode, ReplyBody, Request, Server, ServerConfig, STATS_SCHEMA};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const EDGES: &[(i64, i64)] = &[(0, 1), (1, 2), (2, 3)];
+
+fn start_server(
+    tag: &str,
+    configure: impl FnOnce(&mut ServerConfig),
+) -> (Server, Arc<flix_core::Program>) {
+    let program = Arc::new(build_program(EDGES));
+    let dir = scratch_dir(tag);
+    let mut config = ServerConfig::new(dir.join("flixd.sock"));
+    configure(&mut config);
+    let server = Server::start(Arc::clone(&program), config, test_hooks()).expect("server starts");
+    (server, program)
+}
+
+fn fetch_stats(client: &mut Client) -> Json {
+    let reply = client
+        .request(&Request::Stats { prometheus: false })
+        .expect("stats request");
+    let ReplyBody::Stats(doc) = reply.body else {
+        panic!("stats body, got {:?}", reply.body);
+    };
+    parse(&doc).expect("stats document parses")
+}
+
+fn counter(doc: &Json, path: &[&str]) -> u64 {
+    let mut node = doc;
+    for key in path {
+        node = node
+            .get(key)
+            .unwrap_or_else(|| panic!("stats document has {path:?}"));
+    }
+    node.as_u64()
+        .unwrap_or_else(|| panic!("{path:?} is a counter"))
+}
+
+/// Writers hammer a shared histogram with seeded samples while a
+/// snapshot thread races them: every mid-flight snapshot must satisfy
+/// `count <= sum(buckets)` (a sample is never counted before it is
+/// bucketed), and once the writers join, counts, sums, and buckets must
+/// all agree exactly.
+#[test]
+fn histogram_snapshots_stay_consistent_under_concurrent_recording() {
+    const WRITERS: usize = 4;
+    const SAMPLES_PER_WRITER: u64 = 20_000;
+
+    let hist = Arc::new(Histogram::default());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let snapshotter = {
+        let hist = Arc::clone(&hist);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut snapshots = 0u64;
+            let mut last_count = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let snap = hist.snapshot();
+                let bucketed: u64 = snap.buckets.iter().sum();
+                assert!(
+                    snap.count <= bucketed,
+                    "snapshot saw {} counted but only {bucketed} bucketed",
+                    snap.count
+                );
+                assert!(
+                    snap.count >= last_count,
+                    "count went backwards: {last_count} -> {}",
+                    snap.count
+                );
+                last_count = snap.count;
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    let mut expected_sum = 0u64;
+    let mut expected_max = 0u64;
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        // Pre-walk each writer's seeded schedule so the main thread
+        // knows the exact totals without sharing state with the
+        // writers.
+        let seed = 0x7e1e_0000_0000_0001 + w as u64;
+        let mut rng = Rng(seed);
+        for _ in 0..SAMPLES_PER_WRITER {
+            let v = rng.below(1 << 20);
+            expected_sum += v;
+            expected_max = expected_max.max(v);
+        }
+        let hist = Arc::clone(&hist);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Rng(seed);
+            for _ in 0..SAMPLES_PER_WRITER {
+                hist.record(rng.below(1 << 20));
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("writer panicked");
+    }
+    done.store(true, Ordering::Release);
+    let snapshots = snapshotter.join().expect("snapshotter panicked");
+    assert!(snapshots > 0, "snapshotter never ran");
+
+    let total = WRITERS as u64 * SAMPLES_PER_WRITER;
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, total);
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(snap.max, expected_max);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), total);
+}
+
+/// A seeded mixed workload (queries, dumps, status, errors, updates)
+/// must show up in the `stats` document as non-zero request counts and
+/// latency histograms — the ISSUE's acceptance round trip.
+#[test]
+fn stats_round_trip_reflects_a_mixed_workload() {
+    let (server, _) = start_server("stats-mixed", |_| {});
+    let mut client = Client::connect(server.socket()).expect("connects");
+
+    let mut rng = Rng(0x57a7_57a7_0000_0001);
+    let mut queries = 0u64;
+    let mut dumps = 0u64;
+    let mut errors = 0u64;
+    for _ in 0..40 {
+        match rng.below(3) {
+            0 => {
+                let reply = client
+                    .request(&Request::Query {
+                        atom: "Path 0 _".into(),
+                    })
+                    .expect("query");
+                assert!(matches!(reply.body, ReplyBody::Answers(_)));
+                queries += 1;
+            }
+            1 => {
+                let reply = client
+                    .request(&Request::Facts { predicate: None })
+                    .expect("facts");
+                assert!(matches!(reply.body, ReplyBody::Facts(_)));
+                dumps += 1;
+            }
+            _ => {
+                let reply = client
+                    .request(&Request::Query {
+                        atom: "Nope 1 2".into(),
+                    })
+                    .expect("bad query");
+                assert!(matches!(reply.body, ReplyBody::Error { .. }));
+                queries += 1;
+                errors += 1;
+            }
+        }
+    }
+    let reply = client
+        .request(&Request::Update {
+            text: "+Edge 3 4\n".into(),
+            timeout_secs: None,
+        })
+        .expect("update");
+    assert_eq!(reply.epoch, 2);
+
+    let stats = fetch_stats(&mut client);
+    assert_eq!(
+        stats.get("schema").and_then(Json::as_str),
+        Some(STATS_SCHEMA)
+    );
+    assert_eq!(counter(&stats, &["epoch"]), 2);
+    assert!(counter(&stats, &["facts"]) > 0);
+    assert!(counter(&stats, &["connections", "opened"]) >= 1);
+    assert!(counter(&stats, &["connections", "active"]) >= 1);
+
+    assert_eq!(counter(&stats, &["requests", "query", "count"]), queries);
+    assert_eq!(counter(&stats, &["requests", "facts", "count"]), dumps);
+    assert_eq!(counter(&stats, &["requests", "update", "count"]), 1);
+    assert_eq!(
+        counter(&stats, &["requests", "query", "errors", "query"]),
+        errors
+    );
+    assert!(counter(&stats, &["requests", "query", "bytes_in"]) > 0);
+    assert!(counter(&stats, &["requests", "query", "bytes_out"]) > 0);
+
+    // Latency histograms recorded one sample per request, and the
+    // bucket counts account for every one of them.
+    for (op, want) in [("query", queries), ("facts", dumps), ("update", 1)] {
+        let hist = stats
+            .get("requests")
+            .and_then(|r| r.get(op))
+            .and_then(|o| o.get("latency_ns"))
+            .expect("latency histogram");
+        assert_eq!(counter(hist, &["count"]), want, "latency count for {op}");
+        let buckets: u64 = hist
+            .get("buckets")
+            .and_then(Json::as_array)
+            .expect("buckets")
+            .iter()
+            .map(|b| b.as_u64().expect("bucket count"))
+            .sum();
+        assert_eq!(buckets, want, "bucketed samples for {op}");
+    }
+
+    // The writer applied exactly one batch carrying one update request.
+    assert_eq!(counter(&stats, &["writer", "batches_applied"]), 1);
+    assert_eq!(counter(&stats, &["writer", "updates_applied"]), 1);
+    assert_eq!(counter(&stats, &["writer", "resume_ns", "count"]), 1);
+    assert_eq!(counter(&stats, &["writer", "unapplied_durable"]), 0);
+
+    server.shutdown();
+    server.join();
+}
+
+/// Repeated `metrics` requests at the same epoch are served from the
+/// per-epoch cache and counted; a publish invalidates the cache, so the
+/// next request re-renders (hit count stays put).
+#[test]
+fn metrics_cache_hits_are_observable_and_publish_invalidates() {
+    let (server, _) = start_server("stats-cache", |_| {});
+    let mut client = Client::connect(server.socket()).expect("connects");
+
+    let render = |client: &mut Client| {
+        let reply = client.request(&Request::Metrics).expect("metrics");
+        let ReplyBody::Metrics(doc) = reply.body else {
+            panic!("metrics body");
+        };
+        doc
+    };
+    let first = render(&mut client);
+    let second = render(&mut client);
+    assert_eq!(first, second, "cached render is byte-identical");
+    let stats = fetch_stats(&mut client);
+    assert_eq!(counter(&stats, &["metrics_cache_hits"]), 1);
+
+    client
+        .request(&Request::Update {
+            text: "+Edge 3 4\n".into(),
+            timeout_secs: None,
+        })
+        .expect("update");
+    let third = render(&mut client);
+    assert_ne!(first, third, "publish invalidated the cached render");
+    let stats = fetch_stats(&mut client);
+    assert_eq!(
+        counter(&stats, &["metrics_cache_hits"]),
+        1,
+        "the post-publish render was a miss"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+/// `--slow-query-ms 0` flags every read; the counter shows up in stats.
+#[test]
+fn slow_queries_are_counted_against_the_threshold() {
+    let (server, _) = start_server("stats-slow", |config| {
+        config.slow_query_ms = Some(0.0);
+    });
+    let mut client = Client::connect(server.socket()).expect("connects");
+    for _ in 0..3 {
+        client
+            .request(&Request::Query {
+                atom: "Path 0 _".into(),
+            })
+            .expect("query");
+    }
+    let stats = fetch_stats(&mut client);
+    assert_eq!(counter(&stats, &["slow_queries"]), 3);
+    server.shutdown();
+    server.join();
+}
+
+/// The Prometheus form carries the same counters as the JSON form, in
+/// scrapeable text shape.
+#[test]
+fn prometheus_exposition_matches_the_workload() {
+    let (server, _) = start_server("stats-prom", |_| {});
+    let mut client = Client::connect(server.socket()).expect("connects");
+    for _ in 0..5 {
+        client
+            .request(&Request::Query {
+                atom: "Path 0 _".into(),
+            })
+            .expect("query");
+    }
+    let reply = client
+        .request(&Request::Stats { prometheus: true })
+        .expect("stats --prom");
+    let ReplyBody::Prom(text) = reply.body else {
+        panic!("prom body, got {:?}", reply.body);
+    };
+    assert!(
+        text.contains("flixd_requests_total{op=\"query\"} 5"),
+        "{text}"
+    );
+    assert!(
+        text.contains("flixd_request_latency_seconds_count{op=\"query\"} 5"),
+        "{text}"
+    );
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+    assert!(text.contains("# TYPE flixd_uptime_seconds gauge"), "{text}");
+    assert!(text.contains("flixd_epoch 1"), "{text}");
+    server.shutdown();
+    server.join();
+}
+
+/// `--no-telemetry` makes `stats` an `unsupported` error and leaves
+/// every other op untouched.
+#[test]
+fn disabled_telemetry_refuses_stats_but_serves_everything_else() {
+    let (server, _) = start_server("stats-off", |config| {
+        config.telemetry = false;
+    });
+    let mut client = Client::connect(server.socket()).expect("connects");
+
+    let reply = client
+        .request(&Request::Query {
+            atom: "Path 0 _".into(),
+        })
+        .expect("query");
+    assert!(matches!(reply.body, ReplyBody::Answers(_)));
+
+    let reply = client
+        .request(&Request::Stats { prometheus: false })
+        .expect("stats");
+    let ReplyBody::Error { code, message } = reply.body else {
+        panic!("expected an error, got {:?}", reply.body);
+    };
+    assert_eq!(code, ErrorCode::Unsupported);
+    assert!(message.contains("--no-telemetry"), "{message}");
+
+    server.shutdown();
+    server.join();
+}

@@ -6,6 +6,8 @@
 //! flixd --socket PATH [--snapshot PATH] [--wal LOG]
 //!       [--naive] [--threads N] [--explainable] [--traced]
 //!       [--max-update-secs S] [--max-pending N] [--compact-every N]
+//!       [--log-json PATH] [--log-level debug|info|warn]
+//!       [--slow-query-ms MS] [--no-telemetry]
 //!       FILE.flix [MORE.flix ...]
 //! ```
 //!
@@ -26,6 +28,12 @@
 //! (default 64); `--compact-every N` folds the write-ahead log into the
 //! snapshot automatically once it holds `N` frames.
 //!
+//! Telemetry (the `stats` op, DESIGN.md §17.6) is on by default;
+//! `--no-telemetry` disables recording entirely. `--log-json PATH`
+//! appends structured JSONL events to `PATH` (`--log-level` filters;
+//! default `info`); `--slow-query-ms MS` flags read requests slower
+//! than `MS` milliseconds as `slow_query` events.
+//!
 //! # Exit codes
 //!
 //! | code | meaning                                              |
@@ -37,7 +45,7 @@
 //! | 4    | the startup solve exhausted a budget                 |
 
 use flix_core::{SolveError, SolverConfig, Strategy, TraceConfig};
-use flixd::{Hooks, Server, ServerConfig, StartError};
+use flixd::{EventLevel, EventLogConfig, Hooks, Server, ServerConfig, StartError};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -90,6 +98,10 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     let mut max_update_secs: Option<f64> = None;
     let mut max_pending = 64usize;
     let mut compact_every: Option<u64> = None;
+    let mut log_json: Option<String> = None;
+    let mut log_level = EventLevel::Info;
+    let mut slow_query_ms: Option<f64> = None;
+    let mut telemetry = true;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -144,11 +156,39 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                 }
                 compact_every = Some(every);
             }
+            "--log-json" => log_json = Some(path_arg(&mut it, "--log-json", "a log path")?),
+            "--log-level" => {
+                let level = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--log-level requires debug, info, or warn"))?;
+                log_level = EventLevel::parse(&level).ok_or_else(|| {
+                    Failure::usage(format!(
+                        "unknown log level {level:?} (expected debug, info, or warn)"
+                    ))
+                })?;
+            }
+            "--slow-query-ms" => {
+                let ms = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--slow-query-ms requires milliseconds"))?;
+                let threshold: f64 = ms
+                    .parse()
+                    .map_err(|_| Failure::usage(format!("invalid threshold {ms}")))?;
+                if !threshold.is_finite() || threshold < 0.0 {
+                    return Err(Failure::usage(format!(
+                        "--slow-query-ms must be a non-negative number of milliseconds, got {ms}"
+                    )));
+                }
+                slow_query_ms = Some(threshold);
+            }
+            "--no-telemetry" => telemetry = false,
             "--help" | "-h" => {
                 println!(
                     "usage: flixd --socket PATH [--snapshot PATH] [--wal LOG] \
                      [--naive] [--threads N] [--explainable] [--traced] \
                      [--max-update-secs S] [--max-pending N] [--compact-every N] \
+                     [--log-json PATH] [--log-level debug|info|warn] \
+                     [--slow-query-ms MS] [--no-telemetry] \
                      FILE.flix [MORE.flix ...]"
                 );
                 return Ok(());
@@ -196,6 +236,12 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
         max_update_secs,
         max_pending,
         compact_every,
+        telemetry,
+        event_log: log_json.map(|path| EventLogConfig {
+            path: path.into(),
+            level: log_level,
+        }),
+        slow_query_ms,
     };
     let hooks = Hooks {
         parse_query: Box::new(|text| flix_lang::parse_query_atom(text).map_err(|e| e.to_string())),

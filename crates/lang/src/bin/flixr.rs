@@ -17,8 +17,9 @@
 //!
 //! flixr --connect SOCKET [--query PATTERN] [--print PREDS]
 //!       [--explain ATOM] [--update FILE.flix] [--timeout SECS]
-//!       [--metrics-json PATH] [--status] [--compact] [--shutdown]
-//!       [--quiet-model]
+//!       [--metrics-json PATH] [--status] [--stats [--prom]]
+//!       [--watch [--interval SECS] [--watch-count N]]
+//!       [--compact] [--shutdown] [--quiet-model]
 //! ```
 //!
 //! `--quiet-model` suppresses printing the model itself (and, with
@@ -31,7 +32,12 @@
 //! happens; instead `--query`, `--print`, `--explain`, `--update`,
 //! `--metrics-json`, `--status`, `--compact`, and `--shutdown` are sent
 //! over the `flixd/1` protocol and rendered exactly as local mode
-//! renders its own output. `--update` prints the daemon's updated model
+//! renders its own output. In client mode `--stats` fetches the
+//! daemon's `flixd-stats/1` telemetry document (add `--prom` for the
+//! Prometheus text exposition, e.g. to serve as a scrape target), and
+//! `--watch` polls `stats` every `--interval` seconds (default 2) into
+//! a live rate-and-latency view (`--watch-count N` stops after `N`
+//! polls). `--update` prints the daemon's updated model
 //! afterwards unless `--quiet-model` (or an explicit `--query`/
 //! `--print`) narrows the output; `--timeout` becomes the update's
 //! server-side resume deadline. Error replies map onto the same exit
@@ -239,6 +245,10 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
     let mut status = false;
     let mut compact = false;
     let mut shutdown = false;
+    let mut prom = false;
+    let mut watch = false;
+    let mut interval = 2.0f64;
+    let mut watch_count: Option<u64> = None;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -412,6 +422,31 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
             "--status" => status = true,
             "--compact" => compact = true,
             "--shutdown" => shutdown = true,
+            "--prom" => prom = true,
+            "--watch" => watch = true,
+            "--interval" => {
+                let s = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--interval requires seconds"))?;
+                let secs: f64 = s
+                    .parse()
+                    .map_err(|_| Failure::usage(format!("invalid interval {s}")))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(Failure::usage(format!(
+                        "--interval must be a positive number of seconds, got {s}"
+                    )));
+                }
+                interval = secs;
+            }
+            "--watch-count" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| Failure::usage("--watch-count requires a poll count"))?;
+                watch_count = Some(
+                    n.parse()
+                        .map_err(|_| Failure::usage(format!("invalid poll count {n}")))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: flixr [--stats] [--profile] [--metrics-json PATH] \
@@ -426,8 +461,9 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                      client mode (against a running flixd daemon):\n\
                      flixr --connect SOCKET [--query PATTERN] [--print PREDS] \
                      [--explain ATOM] [--update FILE.flix] [--timeout SECS] \
-                     [--metrics-json PATH] [--status] [--compact] [--shutdown] \
-                     [--quiet-model]"
+                     [--metrics-json PATH] [--status] [--stats [--prom]] \
+                     [--watch [--interval SECS] [--watch-count N]] \
+                     [--compact] [--shutdown] [--quiet-model]"
                 );
                 return Ok(());
             }
@@ -451,6 +487,11 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
                  drop the .flix file arguments",
             ));
         }
+        if prom && !stats {
+            return Err(Failure::usage(
+                "--prom selects the Prometheus form of --stats; add --stats",
+            ));
+        }
         return run_connect(RunConnect {
             socket: &socket,
             queries: &queries,
@@ -460,14 +501,20 @@ fn run(args: Vec<String>) -> Result<(), Failure> {
             timeout,
             metrics_json: metrics_json.as_deref(),
             status,
+            stats,
+            prom,
+            watch,
+            interval,
+            watch_count,
             compact,
             shutdown,
             quiet_model,
         });
     }
-    if status || compact || shutdown {
+    if status || compact || shutdown || prom || watch || watch_count.is_some() {
         return Err(Failure::usage(
-            "--status/--compact/--shutdown are client-mode flags and require --connect SOCKET",
+            "--status/--compact/--shutdown/--prom/--watch/--watch-count are client-mode \
+             flags and require --connect SOCKET",
         ));
     }
     if files.is_empty() {
@@ -775,6 +822,11 @@ struct RunConnect<'a> {
     timeout: Option<Duration>,
     metrics_json: Option<&'a str>,
     status: bool,
+    stats: bool,
+    prom: bool,
+    watch: bool,
+    interval: f64,
+    watch_count: Option<u64>,
     compact: bool,
     shutdown: bool,
     quiet_model: bool,
@@ -811,7 +863,7 @@ fn run_connect(cx: RunConnect<'_>) -> Result<(), Failure> {
     let mut client = Client::connect(cx.socket)
         .map_err(|e| Failure::usage(format!("cannot connect to flixd at {}: {e}", cx.socket)))?;
 
-    let mut call = |request: Request| -> Result<Reply, Failure> {
+    fn call(client: &mut Client, request: Request) -> Result<Reply, Failure> {
         let reply = client
             .request(&request)
             .map_err(|e| Failure::usage(format!("flixd connection lost: {e}")))?;
@@ -819,14 +871,17 @@ fn run_connect(cx: RunConnect<'_>) -> Result<(), Failure> {
             return Err(connect_failure(code, message));
         }
         Ok(reply)
-    };
+    }
 
     if let Some(path) = cx.update {
         let text = read_source(path)?;
-        let reply = call(Request::Update {
-            text,
-            timeout_secs: cx.timeout.map(|d| d.as_secs_f64()),
-        })?;
+        let reply = call(
+            &mut client,
+            Request::Update {
+                text,
+                timeout_secs: cx.timeout.map(|d| d.as_secs_f64()),
+            },
+        )?;
         if let ReplyBody::Updated { applied, batched } = reply.body {
             eprintln!(
                 "flixr: update applied at epoch {} ({applied} delta entr{}, \
@@ -840,7 +895,7 @@ fn run_connect(cx: RunConnect<'_>) -> Result<(), Failure> {
         // Local mode prints the updated model after an update; the
         // client asks the daemon for it instead, unless --quiet-model.
         if !cx.quiet_model && cx.queries.is_empty() && cx.print.is_none() {
-            let reply = call(Request::Facts { predicate: None })?;
+            let reply = call(&mut client, Request::Facts { predicate: None })?;
             if let ReplyBody::Facts(lines) = reply.body {
                 for line in lines {
                     println!("{line}");
@@ -850,7 +905,7 @@ fn run_connect(cx: RunConnect<'_>) -> Result<(), Failure> {
     }
 
     if cx.compact {
-        let reply = call(Request::Compact)?;
+        let reply = call(&mut client, Request::Compact)?;
         if let ReplyBody::Compacted { frames_absorbed } = reply.body {
             eprintln!(
                 "flixr: flixd compacted {frames_absorbed} write-ahead frame{} into its snapshot",
@@ -860,9 +915,12 @@ fn run_connect(cx: RunConnect<'_>) -> Result<(), Failure> {
     }
 
     for pattern in cx.queries {
-        let reply = call(Request::Query {
-            atom: pattern.clone(),
-        })?;
+        let reply = call(
+            &mut client,
+            Request::Query {
+                atom: pattern.clone(),
+            },
+        )?;
         if let ReplyBody::Answers(lines) = reply.body {
             for line in lines {
                 println!("{line}");
@@ -872,9 +930,12 @@ fn run_connect(cx: RunConnect<'_>) -> Result<(), Failure> {
 
     if let Some(preds) = cx.print {
         for pred in preds {
-            let reply = call(Request::Facts {
-                predicate: Some(pred.clone()),
-            })?;
+            let reply = call(
+                &mut client,
+                Request::Facts {
+                    predicate: Some(pred.clone()),
+                },
+            )?;
             if let ReplyBody::Facts(lines) = reply.body {
                 for line in lines {
                     println!("{line}");
@@ -884,14 +945,14 @@ fn run_connect(cx: RunConnect<'_>) -> Result<(), Failure> {
     }
 
     if let Some(atom) = cx.explain {
-        let reply = call(Request::Explain { atom: atom.into() })?;
+        let reply = call(&mut client, Request::Explain { atom: atom.into() })?;
         if let ReplyBody::Explain(tree) = reply.body {
             print!("{tree}");
         }
     }
 
     if let Some(path) = cx.metrics_json {
-        let reply = call(Request::Metrics)?;
+        let reply = call(&mut client, Request::Metrics)?;
         if let ReplyBody::Metrics(doc) = reply.body {
             std::fs::write(path, doc)
                 .map_err(|e| Failure::usage(format!("cannot write {path}: {e}")))?;
@@ -899,11 +960,12 @@ fn run_connect(cx: RunConnect<'_>) -> Result<(), Failure> {
     }
 
     if cx.status {
-        let reply = call(Request::Status)?;
+        let reply = call(&mut client, Request::Status)?;
         if let ReplyBody::Status(s) = reply.body {
             println!("epoch: {}", reply.epoch);
             println!("facts: {}", s.facts);
             println!("updates_applied: {}", s.updates_applied);
+            println!("batches_applied: {}", s.batches_applied);
             println!("queries_served: {}", s.queries_served);
             println!("pending_updates: {}", s.pending_updates);
             println!("unapplied_durable: {}", s.unapplied_durable);
@@ -911,12 +973,174 @@ fn run_connect(cx: RunConnect<'_>) -> Result<(), Failure> {
         }
     }
 
+    if cx.stats {
+        let reply = call(
+            &mut client,
+            Request::Stats {
+                prometheus: cx.prom,
+            },
+        )?;
+        match reply.body {
+            ReplyBody::Stats(doc) => println!("{doc}"),
+            ReplyBody::Prom(text) => print!("{text}"),
+            _ => {}
+        }
+    }
+
+    if cx.watch {
+        watch_stats(&mut client, cx.interval, cx.watch_count)?;
+    }
+
     if cx.shutdown {
-        call(Request::Shutdown)?;
+        call(&mut client, Request::Shutdown)?;
         eprintln!("flixr: flixd acknowledged shutdown");
     }
 
     Ok(())
+}
+
+/// One `--watch` poll's worth of counters, extracted from a
+/// `flixd-stats/1` document.
+struct WatchSample {
+    epoch: u64,
+    facts: u64,
+    active_conns: u64,
+    reads: u64,
+    updates: u64,
+    batches: u64,
+    pending: u64,
+    debt: u64,
+    query_latency: (u64, Vec<u64>, u64),
+}
+
+fn watch_extract(doc: &flixd::json::Json) -> Option<WatchSample> {
+    use flixd::json::Json;
+    let num = |j: &Json, key: &str| j.get(key).and_then(Json::as_u64);
+    let requests = doc.get("requests")?;
+    let op_count = |op: &str| requests.get(op).and_then(|o| num(o, "count")).unwrap_or(0);
+    let writer = doc.get("writer")?;
+    let query = requests.get("query")?;
+    let latency = query.get("latency_ns")?;
+    let buckets: Vec<u64> = latency
+        .get("buckets")
+        .and_then(Json::as_array)
+        .map(|xs| xs.iter().filter_map(Json::as_u64).collect())
+        .unwrap_or_default();
+    Some(WatchSample {
+        epoch: num(doc, "epoch")?,
+        facts: num(doc, "facts").unwrap_or(0),
+        active_conns: doc
+            .get("connections")
+            .and_then(|c| num(c, "active"))
+            .unwrap_or(0),
+        reads: op_count("query") + op_count("facts") + op_count("explain"),
+        updates: op_count("update"),
+        batches: num(writer, "batches_applied").unwrap_or(0),
+        pending: num(writer, "pending_updates").unwrap_or(0),
+        debt: num(writer, "unapplied_durable").unwrap_or(0),
+        query_latency: (
+            num(latency, "count").unwrap_or(0),
+            buckets,
+            num(latency, "max").unwrap_or(0),
+        ),
+    })
+}
+
+/// Estimates the `q`-quantile of a log-scale histogram (bucket `i`
+/// holds samples below `2^(i+1)` ns) as the upper bound of the bucket
+/// where the cumulative count crosses `q * count`.
+fn watch_quantile_ns(count: u64, buckets: &[u64], max: u64, q: f64) -> Option<u64> {
+    if count == 0 {
+        return None;
+    }
+    let target = (q * count as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return if i + 1 >= buckets.len() {
+                Some(max)
+            } else {
+                Some(1u64 << (i + 1))
+            };
+        }
+    }
+    Some(max)
+}
+
+fn watch_format_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{}µs", ns / 1_000),
+        1_000_000..=999_999_999 => format!("{}ms", ns / 1_000_000),
+        _ => format!("{:.1}s", ns as f64 / 1e9),
+    }
+}
+
+/// `--watch`: poll `stats` every `interval` seconds and print one line
+/// per poll — epoch, model size, connections, request/update rates
+/// since the previous poll, and query latency quantiles so far.
+fn watch_stats(
+    client: &mut Client,
+    interval: f64,
+    watch_count: Option<u64>,
+) -> Result<(), Failure> {
+    let mut previous: Option<WatchSample> = None;
+    let mut polls = 0u64;
+    println!(
+        "{:>6} {:>9} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>5} {:>5}",
+        "epoch", "facts", "conns", "read/s", "upd/s", "batch/s", "q-p50", "q-p99", "pend", "debt"
+    );
+    loop {
+        let reply = client
+            .request(&Request::Stats { prometheus: false })
+            .map_err(|e| Failure::usage(format!("flixd connection lost: {e}")))?;
+        let doc = match reply.body {
+            ReplyBody::Stats(doc) => doc,
+            ReplyBody::Error { code, message } => return Err(connect_failure(code, message)),
+            other => return Err(Failure::usage(format!("unexpected stats reply {other:?}"))),
+        };
+        let parsed = flixd::json::parse(&doc)
+            .map_err(|e| Failure::usage(format!("malformed stats document: {e}")))?;
+        let sample = watch_extract(&parsed)
+            .ok_or_else(|| Failure::usage("stats document is missing expected fields"))?;
+        let rate = |cur: u64, prev: u64| (cur.saturating_sub(prev)) as f64 / interval;
+        let (reads_s, upd_s, batch_s) = match &previous {
+            Some(prev) => (
+                rate(sample.reads, prev.reads),
+                rate(sample.updates, prev.updates),
+                rate(sample.batches, prev.batches),
+            ),
+            // The first poll has no earlier sample to difference
+            // against; rates start on the second line.
+            None => (0.0, 0.0, 0.0),
+        };
+        let (count, buckets, max) = &sample.query_latency;
+        let quant = |q: f64| {
+            watch_quantile_ns(*count, buckets, *max, q)
+                .map(watch_format_ns)
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:>6} {:>9} {:>6} {:>8.1} {:>8.1} {:>8.1} {:>8} {:>8} {:>5} {:>5}",
+            sample.epoch,
+            sample.facts,
+            sample.active_conns,
+            reads_s,
+            upd_s,
+            batch_s,
+            quant(0.5),
+            quant(0.99),
+            sample.pending,
+            sample.debt,
+        );
+        previous = Some(sample);
+        polls += 1;
+        if watch_count.is_some_and(|n| polls >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
 }
 
 /// Reads a source or fact file, wrapping failures with the path and
@@ -1238,4 +1462,63 @@ fn print_stats(s: &flix_core::SolveStats) {
         s.scan_fallbacks,
         s.total_facts
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full daemon-error → exit-code mapping, pinned code by code so
+    /// adding an `ErrorCode` variant forces a decision here (and in the
+    /// README table).
+    #[test]
+    fn connect_failure_exit_codes_cover_every_error_code() {
+        let cases = [
+            (ErrorCode::Parse, EXIT_LANG),
+            (ErrorCode::Query, EXIT_LANG),
+            (ErrorCode::Delta, EXIT_LANG),
+            (ErrorCode::Budget, EXIT_BUDGET),
+            (ErrorCode::Solve, EXIT_SOLVE),
+            (ErrorCode::Proto, EXIT_USAGE),
+            (ErrorCode::Absent, EXIT_USAGE),
+            (ErrorCode::Persist, EXIT_USAGE),
+            (ErrorCode::Unsupported, EXIT_USAGE),
+            (ErrorCode::Busy, EXIT_USAGE),
+            (ErrorCode::ShuttingDown, EXIT_USAGE),
+        ];
+        for (code, exit) in cases {
+            let failure = connect_failure(code, "test".into());
+            assert_eq!(failure.code, exit, "exit code for {code}");
+            assert!(
+                failure
+                    .message
+                    .as_deref()
+                    .unwrap_or("")
+                    .contains(code.as_str()),
+                "message names the wire code for {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn watch_quantiles_estimate_from_log_buckets() {
+        // 90 samples in bucket 6 (≤128 ns), 10 in bucket 19 (≤2^20 ns).
+        let mut buckets = vec![0u64; 40];
+        buckets[6] = 90;
+        buckets[19] = 10;
+        assert_eq!(watch_quantile_ns(100, &buckets, 900_000, 0.5), Some(128));
+        assert_eq!(
+            watch_quantile_ns(100, &buckets, 900_000, 0.99),
+            Some(1 << 20)
+        );
+        assert_eq!(watch_quantile_ns(0, &buckets, 0, 0.5), None);
+    }
+
+    #[test]
+    fn watch_latency_formatting_picks_sane_units() {
+        assert_eq!(watch_format_ns(512), "512ns");
+        assert_eq!(watch_format_ns(2_048), "2µs");
+        assert_eq!(watch_format_ns(3_000_000), "3ms");
+        assert_eq!(watch_format_ns(2_500_000_000), "2.5s");
+    }
 }

@@ -997,6 +997,33 @@ fn flixd_serves_flixr_clients_end_to_end() {
     let stdout = String::from_utf8(output.stdout).expect("utf8");
     assert!(stdout.contains("epoch: 2"), "{stdout}");
     assert!(stdout.contains("updates_applied: 1"), "{stdout}");
+    assert!(stdout.contains("batches_applied: 1"), "{stdout}");
+
+    // Telemetry round trip: the stats document reflects the requests
+    // this test already made, in both JSON and Prometheus form.
+    let output = connect(&["--stats"]);
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(stdout.contains("\"schema\":\"flixd-stats/1\""), "{stdout}");
+    assert!(stdout.contains("\"batches_applied\":1"), "{stdout}");
+    let output = connect(&["--stats", "--prom"]);
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    assert!(
+        stdout.contains("flixd_requests_total{op=\"query\"}"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("flixd_batches_applied_total 1"), "{stdout}");
+
+    // --watch polls stats into a table: a header plus one row per poll.
+    let output = connect(&["--watch", "--watch-count", "2", "--interval", "0.05"]);
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].contains("epoch"), "{stdout}");
+    assert!(lines[0].contains("q-p99"), "{stdout}");
+    assert!(lines[1].trim_start().starts_with('2'), "{stdout}");
 
     // Error mapping: daemon-side language errors come back as exit 2,
     // capability errors (no persistence configured) as exit 1.
@@ -1015,4 +1042,101 @@ fn flixd_serves_flixr_clients_end_to_end() {
     let status = daemon.wait().expect("flixd exits");
     assert!(status.success(), "flixd exit: {status:?}");
     assert!(!socket.exists(), "the daemon unlinks its socket");
+}
+
+/// A `busy` refusal (admission control) exits 1: retrying is an
+/// operator decision, not a language or budget problem. Pinned against
+/// a real daemon whose update queue admits nothing.
+#[test]
+fn connect_busy_refusal_exits_one() {
+    let file = write_temp("busy.flix", PATHS);
+    let socket = std::env::temp_dir().join(format!("flixr-test-{}-busy.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_flixd"))
+        .arg("--socket")
+        .arg(&socket)
+        .args(["--max-pending", "0"])
+        .arg(&file)
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("flixd starts");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while !socket.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flixd never bound its socket"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let update = write_temp(
+        "busy-delta.flix",
+        "rel Edge(x: Int, y: Int);
+         Edge(3, 4).",
+    );
+    let output = flixr()
+        .arg("--connect")
+        .arg(&socket)
+        .arg("--update")
+        .arg(&update)
+        .output()
+        .expect("flixr runs");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("[busy]"), "{stderr}");
+    assert!(stderr.contains("queue is full"), "{stderr}");
+
+    let output = flixr()
+        .arg("--connect")
+        .arg(&socket)
+        .arg("--shutdown")
+        .output()
+        .expect("flixr runs");
+    assert!(output.status.success(), "{output:?}");
+    let status = daemon.wait().expect("flixd exits");
+    assert!(status.success(), "flixd exit: {status:?}");
+}
+
+/// A `shutting-down` refusal also exits 1. No live daemon ever holds
+/// still in that state long enough to test against, so a fake daemon
+/// speaks just enough `flixd/1` to refuse one request.
+#[test]
+fn connect_shutting_down_refusal_exits_one() {
+    use std::os::unix::net::UnixListener;
+    let socket = std::env::temp_dir().join(format!("flixr-test-{}-fake.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let listener = UnixListener::bind(&socket).expect("binds fake socket");
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accepts");
+        flixd::proto::write_frame(
+            &mut stream,
+            br#"{"proto":"flixd/1","epoch":1,"facts":0,"fingerprint":"0x0"}"#,
+        )
+        .expect("writes hello");
+        let frame = flixd::proto::read_frame(&mut stream)
+            .expect("reads")
+            .expect("request frame");
+        assert!(
+            String::from_utf8(frame).expect("utf8").contains("status"),
+            "the client sent its one request"
+        );
+        flixd::proto::write_frame(
+            &mut stream,
+            br#"{"ok":false,"epoch":1,"code":"shutting-down","error":"draining connections"}"#,
+        )
+        .expect("writes refusal");
+    });
+
+    let output = flixr()
+        .arg("--connect")
+        .arg(&socket)
+        .arg("--status")
+        .output()
+        .expect("flixr runs");
+    server.join().expect("fake daemon thread");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stderr = String::from_utf8(output.stderr).expect("utf8");
+    assert!(stderr.contains("[shutting-down]"), "{stderr}");
+    assert!(stderr.contains("draining connections"), "{stderr}");
+    let _ = std::fs::remove_file(&socket);
 }
